@@ -1,0 +1,49 @@
+//! End-to-end benchmarks of the figure-regeneration harnesses themselves:
+//! one per paper artifact that is cheap enough to iterate (the heavy
+//! mixed-workload sweeps are exercised once, not iterated).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bench::harness::{train_artifacts, Effort};
+
+fn figure_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig1_motivation", |b| {
+        b.iter(|| black_box(bench::fig1::run()));
+    });
+
+    group.bench_function("fig4_training_data", |b| {
+        b.iter(|| black_box(bench::fig4::run()));
+    });
+
+    group.bench_function("fig5_single_benchmark_overhead", |b| {
+        // One ping-pong measurement (the full figure loops over 16).
+        b.iter(|| {
+            let report = bench::fig5::run();
+            black_box(report.rows.len())
+        });
+    });
+    group.finish();
+
+    // The artifact-dependent figures: train once, regenerate each figure
+    // once, and time the regeneration as a single-shot group.
+    let artifacts = train_artifacts(Effort::Quick);
+    let mut heavy = c.benchmark_group("figures_heavy");
+    heavy.sample_size(10);
+    heavy.bench_function("fig7_illustrative", |b| {
+        b.iter(|| black_box(bench::fig7::run(&artifacts)));
+    });
+    heavy.bench_function("fig11_overhead", |b| {
+        b.iter(|| black_box(bench::fig11::run(&artifacts)));
+    });
+    heavy.bench_function("model_eval", |b| {
+        b.iter(|| black_box(bench::model_eval::run(&artifacts, Effort::Quick)));
+    });
+    heavy.finish();
+}
+
+criterion_group!(benches, figure_benches);
+criterion_main!(benches);

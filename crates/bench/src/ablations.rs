@@ -1,0 +1,264 @@
+//! Ablation studies of the design choices DESIGN.md calls out:
+//!
+//! * **α (Eq. 4)** — label sharpness: the trade-off between tolerating
+//!   slightly hotter mappings and noise susceptibility,
+//! * **migration epoch length** — 250/500/1000 ms,
+//! * **DVFS skip-after-migration** — 0 vs. 2 skipped iterations,
+//! * **migration hysteresis threshold** — 0 / 0.1 / 0.3.
+
+use std::fmt;
+
+use hikey_platform::{SimConfig, Simulator};
+use hmc_types::SimDuration;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use topil::eval::evaluate_model;
+use topil::oracle::{ExtractionConfig, Scenario, SourcePolicy};
+use topil::training::{IlTrainer, TrainSettings};
+use topil::TopIlGovernor;
+use workloads::{MixedWorkloadConfig, WorkloadGenerator};
+
+use crate::harness::Effort;
+use crate::model_eval::unseen_test_cases;
+
+/// One ablation row: a configuration label and its outcome metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub label: String,
+    /// Primary metric (context-dependent, see the section title).
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// One ablation section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationSection {
+    /// Section title.
+    pub title: String,
+    /// Rows.
+    pub rows: Vec<AblationRow>,
+}
+
+/// The full ablation report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationReport {
+    /// All sections.
+    pub sections: Vec<AblationSection>,
+}
+
+impl AblationReport {
+    /// Finds a section by title prefix.
+    pub fn section(&self, prefix: &str) -> Option<&AblationSection> {
+        self.sections.iter().find(|s| s.title.starts_with(prefix))
+    }
+}
+
+impl fmt::Display for AblationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Ablations")?;
+        for section in &self.sections {
+            writeln!(f, "\n## {}", section.title)?;
+            for row in &section.rows {
+                write!(f, "  {:<14}", row.label)?;
+                for (name, value) in &row.metrics {
+                    write!(f, "  {name}={value:.3}")?;
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn training_settings(effort: Effort) -> TrainSettings {
+    TrainSettings {
+        nn: effort.train_config(),
+        ..TrainSettings::default()
+    }
+}
+
+/// α sweep: retrain with different label sharpness, evaluate in isolation.
+fn alpha_sweep(effort: Effort) -> AblationSection {
+    let scenarios = Scenario::standard_set(effort.scenario_count().min(20), 0xC0FFEE);
+    let test_cases = unseen_test_cases(5, 0xBEEF);
+    let rows = [0.25f64, 1.0, 4.0]
+        .into_iter()
+        .map(|alpha| {
+            let mut settings = training_settings(effort);
+            settings.extraction = ExtractionConfig {
+                alpha,
+                ..ExtractionConfig::default()
+            };
+            let model = IlTrainer::new(settings).train(&scenarios, 0);
+            let result = evaluate_model(&model, &test_cases);
+            AblationRow {
+                label: format!("alpha={alpha}"),
+                metrics: vec![
+                    ("within_1c".to_string(), result.within_1c),
+                    ("mean_excess_K".to_string(), result.mean_excess),
+                    ("infeasible".to_string(), result.infeasible_rate),
+                ],
+            }
+        })
+        .collect();
+    AblationSection {
+        title: "label sharpness α (Eq. 4) — model quality on unseen AoIs".to_string(),
+        rows,
+    }
+}
+
+/// Source exhaustiveness: the paper argues DAgger is unnecessary because
+/// one example is created for *every* free source core ("the policy is
+/// trained to recover from each potential mapping"). Training only on the
+/// optimal source (naive behavioural cloning) should degrade decisions
+/// made from suboptimal mappings.
+fn source_exhaustiveness(effort: Effort) -> AblationSection {
+    let scenarios = Scenario::standard_set(effort.scenario_count().min(20), 0xC0FFEE);
+    // Test cases always contain every source, so the evaluation covers
+    // recovery from arbitrary (including bad) current mappings.
+    let test_cases = unseen_test_cases(5, 0xBEEF);
+    let rows = [
+        ("every-source", SourcePolicy::EveryFreeCore),
+        ("optimal-only", SourcePolicy::OptimalCoreOnly),
+    ]
+    .into_iter()
+    .map(|(label, sources)| {
+        let mut settings = training_settings(effort);
+        settings.extraction = ExtractionConfig {
+            sources,
+            ..ExtractionConfig::default()
+        };
+        let model = IlTrainer::new(settings).train(&scenarios, 0);
+        let result = evaluate_model(&model, &test_cases);
+        AblationRow {
+            label: label.to_string(),
+            metrics: vec![
+                ("within_1c".to_string(), result.within_1c),
+                ("mean_excess_K".to_string(), result.mean_excess),
+            ],
+        }
+    })
+    .collect();
+    AblationSection {
+        title: "source exhaustiveness (why DAgger is unnecessary, §4.2)".to_string(),
+        rows,
+    }
+}
+
+/// Runs one mixed workload under a configured governor and summarizes.
+fn governor_run(governor: &mut TopIlGovernor, effort: Effort) -> Vec<(String, f64)> {
+    let workload_cfg = MixedWorkloadConfig {
+        num_apps: 12,
+        mean_interarrival: SimDuration::from_secs(6),
+        total_instructions: Some(effort.app_instructions()),
+        ..MixedWorkloadConfig::default()
+    };
+    let workload = WorkloadGenerator::mixed(&workload_cfg, &mut StdRng::seed_from_u64(17));
+    let sim = SimConfig {
+        max_duration: SimDuration::from_secs(1200),
+        ..SimConfig::default()
+    };
+    let report = Simulator::new(sim).run(&workload, governor);
+    vec![
+        (
+            "avg_temp_C".to_string(),
+            report.metrics.avg_temperature().value(),
+        ),
+        (
+            "violations".to_string(),
+            report.metrics.qos_violations() as f64,
+        ),
+        (
+            "migrations".to_string(),
+            report.metrics.migrations() as f64,
+        ),
+    ]
+}
+
+/// Regenerates all ablation sections.
+pub fn run(effort: Effort) -> AblationReport {
+    let scenarios = Scenario::standard_set(effort.scenario_count().min(20), 0xC0FFEE);
+    let trainer = IlTrainer::new(training_settings(effort));
+    let cases = trainer.collect_cases(&scenarios);
+    let model = trainer.train_from_cases(&cases, 0);
+
+    let mut sections = vec![alpha_sweep(effort), source_exhaustiveness(effort)];
+
+    // Migration epoch length.
+    sections.push(AblationSection {
+        title: "migration epoch length (paper: 500 ms)".to_string(),
+        rows: [250u64, 500, 1000]
+            .into_iter()
+            .map(|ms| {
+                let mut governor = TopIlGovernor::new(model.clone())
+                    .with_migration_period(SimDuration::from_millis(ms));
+                AblationRow {
+                    label: format!("{ms} ms"),
+                    metrics: governor_run(&mut governor, effort),
+                }
+            })
+            .collect(),
+    });
+
+    // DVFS skips around migrations.
+    sections.push(AblationSection {
+        title: "DVFS iterations skipped after migration (paper: 2)".to_string(),
+        rows: [0u8, 2]
+            .into_iter()
+            .map(|skips| {
+                let mut governor = TopIlGovernor::new(model.clone()).with_dvfs_skip(skips);
+                AblationRow {
+                    label: format!("skip={skips}"),
+                    metrics: governor_run(&mut governor, effort),
+                }
+            })
+            .collect(),
+    });
+
+    // Migration hysteresis threshold.
+    sections.push(AblationSection {
+        title: "migration hysteresis threshold".to_string(),
+        rows: [0.0f32, 0.1, 0.3]
+            .into_iter()
+            .map(|threshold| {
+                let mut governor =
+                    TopIlGovernor::new(model.clone()).with_threshold(threshold);
+                AblationRow {
+                    label: format!("thr={threshold}"),
+                    metrics: governor_run(&mut governor, effort),
+                }
+            })
+            .collect(),
+    });
+
+    AblationReport { sections }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablations_produce_expected_trends() {
+        let report = run(Effort::Quick);
+        assert_eq!(report.sections.len(), 5);
+
+        // Zero hysteresis migrates at least as much as strong hysteresis.
+        let thr = report.section("migration hysteresis").unwrap();
+        let migrations = |row: &AblationRow| {
+            row.metrics
+                .iter()
+                .find(|(n, _)| n == "migrations")
+                .unwrap()
+                .1
+        };
+        assert!(migrations(&thr.rows[0]) >= migrations(&thr.rows[2]));
+
+        // All α settings still produce usable models.
+        let alpha = report.section("label sharpness").unwrap();
+        for row in &alpha.rows {
+            let within = row.metrics.iter().find(|(n, _)| n == "within_1c").unwrap().1;
+            assert!(within > 0.4, "{}: within_1c {within}", row.label);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The experiment driver: regenerates every figure and table of the paper.
+//!
+//! ```text
+//! experiments [--full] [fig1|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|model-eval|all]
+//! ```
+//!
+//! By default experiments run at `Quick` effort (reduced training sets and
+//! simulation lengths, minutes of wall time); `--full` switches to
+//! paper-scale parameters.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bench::harness::{train_artifacts, Effort, TrainedArtifacts};
+use thermal::Cooling;
+
+/// Writes a CSV artifact if an output directory was requested.
+fn write_csv(out: &Option<PathBuf>, name: &str, contents: String) {
+    let Some(dir) = out else { return };
+    if let Err(e) = std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(dir.join(name), contents))
+    {
+        eprintln!("failed to write {name}: {e}");
+    }
+}
+
+const USAGE: &str = "\
+usage: experiments [--full] [--out <dir>] [COMMAND ...]
+
+Regenerates the paper's evaluation artifacts. Without a command (or with
+`all`) the whole suite runs. `--full` uses paper-scale parameters;
+`--out <dir>` additionally writes CSV data series.
+
+commands:
+  fig1         motivational example (optimal mapping differs per app)
+  fig3         NAS grid search over depth x width
+  fig4         training-data generation tables
+  fig5         worst-case migration overhead per benchmark
+  fig7         illustrative IL-vs-RL mapping timelines
+  fig8         main mixed-workload experiment (incl. fig9)
+  fig9         busy CPU time per cluster x V/f level
+  fig10        single-application workloads (all unseen apps)
+  fig11        run-time overhead vs. number of applications
+  model-eval   isolated model evaluation (within-1-degree fraction)
+  ablations    design-choice ablations
+  oracle-gap   extension: online oracle vs. the imitating network
+  sensitivity  extension: thermal-calibration perturbations
+  all          everything above
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h" || a == "list") {
+        print!("{USAGE}");
+        return;
+    }
+    let full = args.iter().any(|a| a == "--full");
+    let out: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let effort = if full { Effort::Full } else { Effort::Quick };
+    // Positional arguments are commands; skip flags and the --out value.
+    let out_index = args.iter().position(|a| a == "--out");
+    let commands: Vec<&str> = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| !a.starts_with("--") && Some(i) != out_index.map(|o| o + 1))
+        .map(|(_, a)| a.as_str())
+        .collect();
+    let commands: Vec<&str> = if commands.is_empty() || commands.contains(&"all") {
+        vec![
+            "fig1", "fig3", "fig4", "fig5", "fig7", "fig8", "fig10", "fig11", "model-eval",
+            "ablations", "oracle-gap", "sensitivity",
+        ]
+    } else {
+        commands
+    };
+
+    println!("# TOP-IL experiment suite (effort: {effort:?})\n");
+
+    // Train once; share across experiments that need models.
+    let needs_models = commands.iter().any(|c| {
+        matches!(
+            *c,
+            "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "model-eval" | "oracle-gap"
+                | "sensitivity"
+        )
+    });
+    let artifacts: Option<TrainedArtifacts> = if needs_models {
+        let t = Instant::now();
+        println!("training IL models and pre-training RL tables ...");
+        let a = train_artifacts(effort);
+        println!("done in {:.1} s\n", t.elapsed().as_secs_f64());
+        Some(a)
+    } else {
+        None
+    };
+
+    for command in commands {
+        let t = Instant::now();
+        match command {
+            "fig1" => println!("{}", bench::fig1::run()),
+            "fig3" => println!("{}", bench::fig3::run(effort)),
+            "fig4" => println!("{}", bench::fig4::run()),
+            "fig5" => println!("{}", bench::fig5::run()),
+            "fig7" => println!("{}", bench::fig7::run(artifacts.as_ref().expect("trained"))),
+            "fig8" => {
+                let artifacts = artifacts.as_ref().expect("trained");
+                let fan = bench::fig8::run(artifacts, effort, Cooling::fan());
+                println!("{fan}");
+                write_csv(&out, "fig8_fan.csv", bench::csv::fig8_csv(&fan));
+                let nofan = bench::fig8::run(artifacts, effort, Cooling::passive());
+                println!("{nofan}");
+                write_csv(&out, "fig8_nofan.csv", bench::csv::fig8_csv(&nofan));
+                // Fig. 9 is derived from the no-fan runs of Fig. 8.
+                let fig9 = bench::fig9::run(&nofan);
+                println!("{fig9}");
+                write_csv(&out, "fig9.csv", bench::csv::fig9_csv(&fig9));
+            }
+            "fig9" => {
+                let artifacts = artifacts.as_ref().expect("trained");
+                let nofan = bench::fig8::run(artifacts, effort, Cooling::passive());
+                println!("{}", bench::fig9::run(&nofan));
+            }
+            "fig10" => {
+                let report = bench::fig10::run(artifacts.as_ref().expect("trained"), effort);
+                println!("{report}");
+                write_csv(&out, "fig10.csv", bench::csv::fig10_csv(&report));
+            }
+            "fig11" => {
+                let report = bench::fig11::run(artifacts.as_ref().expect("trained"));
+                println!("{report}");
+                write_csv(&out, "fig11.csv", bench::csv::fig11_csv(&report));
+            }
+            "model-eval" => println!(
+                "{}",
+                bench::model_eval::run(artifacts.as_ref().expect("trained"), effort)
+            ),
+            "ablations" => println!("{}", bench::ablations::run(effort)),
+            "oracle-gap" => println!(
+                "{}",
+                bench::oracle_gap::run(artifacts.as_ref().expect("trained"), effort)
+            ),
+            "sensitivity" => {
+                let report =
+                    bench::sensitivity::run(artifacts.as_ref().expect("trained"), effort);
+                println!("{report}");
+                write_csv(&out, "sensitivity.csv", bench::csv::sensitivity_csv(&report));
+            }
+            other => {
+                eprintln!("unknown experiment `{other}`\n");
+                eprint!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        println!("[{command} finished in {:.1} s]\n", t.elapsed().as_secs_f64());
+    }
+}

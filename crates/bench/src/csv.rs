@@ -1,0 +1,170 @@
+//! CSV serialization of the data-bearing reports, for external plotting.
+
+use std::fmt::Write as _;
+
+use hmc_types::Cluster;
+
+use crate::fig10::Fig10Report;
+use crate::fig11::Fig11Report;
+use crate::fig8::Fig8Report;
+use crate::fig9::Fig9Report;
+use crate::sensitivity::SensitivityReport;
+
+/// Escapes one CSV field (quotes fields containing separators).
+fn field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Fig. 8 rows: `cooling,interarrival_s,policy,avg_temp_c,avg_temp_std,violations,violations_std`.
+pub fn fig8_csv(report: &Fig8Report) -> String {
+    let mut out = String::from(
+        "cooling,mean_interarrival_s,policy,avg_temp_c,avg_temp_std,violations,violations_std\n",
+    );
+    for rate in &report.rates {
+        for (policy, temp, viol) in rate.summary() {
+            let _ = writeln!(
+                out,
+                "{},{},{},{:.3},{:.3},{:.3},{:.3}",
+                report.cooling,
+                rate.mean_interarrival.as_secs_f64(),
+                field(&policy),
+                temp.mean,
+                temp.std,
+                viol.mean,
+                viol.std
+            );
+        }
+    }
+    out
+}
+
+/// Fig. 9 rows: `policy,cluster,level,busy_seconds`.
+pub fn fig9_csv(report: &Fig9Report) -> String {
+    let mut out = String::from("policy,cluster,level,busy_seconds\n");
+    for (policy, profile) in &report.profiles {
+        for (cluster, levels) in [
+            (Cluster::Little, &profile.little),
+            (Cluster::Big, &profile.big),
+        ] {
+            for (level, secs) in levels.iter().enumerate() {
+                let _ = writeln!(out, "{},{cluster},{level},{secs:.3}", field(policy));
+            }
+        }
+    }
+    out
+}
+
+/// Fig. 10 rows: `policy,avg_temp_c,violating,executions,violating_apps`.
+pub fn fig10_csv(report: &Fig10Report) -> String {
+    let mut out = String::from("policy,avg_temp_c,avg_temp_std,violating,executions,violating_apps\n");
+    for row in &report.rows {
+        let _ = writeln!(
+            out,
+            "{},{:.3},{:.3},{},{},{}",
+            field(&row.policy),
+            row.avg_temperature.mean,
+            row.avg_temperature.std,
+            row.violating_executions,
+            row.executions,
+            field(&row.violating_benchmarks.join(";"))
+        );
+    }
+    out
+}
+
+/// Fig. 11 rows: `apps,dvfs_ms_per_s,migration_npu_ms_per_s,migration_cpu_ms_per_s`.
+pub fn fig11_csv(report: &Fig11Report) -> String {
+    let mut out =
+        String::from("apps,dvfs_ms_per_s,migration_npu_ms_per_s,migration_cpu_ms_per_s\n");
+    for row in &report.rows {
+        let _ = writeln!(
+            out,
+            "{},{:.4},{:.4},{:.4}",
+            row.apps, row.dvfs_ms_per_s, row.migration_npu_ms_per_s, row.migration_cpu_ms_per_s
+        );
+    }
+    out
+}
+
+/// Sensitivity rows: `perturbation,policy,avg_temp_c,violations,conclusions_hold`.
+pub fn sensitivity_csv(report: &SensitivityReport) -> String {
+    let mut out = String::from("perturbation,policy,avg_temp_c,violations,conclusions_hold\n");
+    for row in &report.rows {
+        for (policy, temp, violations) in &row.outcomes {
+            let _ = writeln!(
+                out,
+                "{},{},{temp:.3},{violations},{}",
+                field(&row.label),
+                field(policy),
+                row.conclusions_hold()
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_escaping() {
+        assert_eq!(field("plain"), "plain");
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn fig10_csv_shape() {
+        use crate::harness::Stat;
+        let report = Fig10Report {
+            rows: vec![crate::fig10::PolicyRow {
+                policy: "TOP-IL".to_string(),
+                avg_temperature: Stat { mean: 28.4, std: 0.2 },
+                violating_executions: 0,
+                executions: 27,
+                violating_benchmarks: vec![],
+            }],
+        };
+        let csv = fig10_csv(&report);
+        assert!(csv.lines().nth(1).unwrap().starts_with("TOP-IL,28.400,0.200,0,27,"));
+    }
+
+    #[test]
+    fn sensitivity_csv_shape() {
+        let report = SensitivityReport {
+            rows: vec![crate::sensitivity::SensitivityRow {
+                label: "lateral x2.0".to_string(),
+                outcomes: vec![
+                    ("TOP-IL".to_string(), 32.0, 1),
+                    ("GTS/ondemand".to_string(), 40.0, 0),
+                    ("GTS/powersave".to_string(), 31.0, 9),
+                ],
+            }],
+        };
+        let csv = sensitivity_csv(&report);
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.contains("lateral x2.0,TOP-IL,32.000,1,true"));
+    }
+
+    #[test]
+    fn fig11_csv_shape() {
+        let report = Fig11Report {
+            rows: vec![crate::fig11::OverheadRow {
+                apps: 4,
+                dvfs_ms_per_s: 2.5,
+                migration_npu_ms_per_s: 8.1,
+                migration_cpu_ms_per_s: 2.7,
+            }],
+        };
+        let csv = fig11_csv(&report);
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("apps,"));
+        assert_eq!(lines.next().unwrap(), "4,2.5000,8.1000,2.7000");
+        assert!(lines.next().is_none());
+    }
+}

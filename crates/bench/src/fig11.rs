@@ -1,0 +1,133 @@
+//! **Fig. 11 (run-time overhead).** Overhead of the DVFS control loop and
+//! the migration policy as the number of running applications grows.
+//!
+//! Expected shape (paper): the DVFS loop's cost grows with the application
+//! count (reading perf counters dominates), while the NPU-batched
+//! migration policy stays flat (4.3 ms per invocation, 8.6 ms/s). A CPU
+//! inference backend is included as the ablation that grows instead.
+
+use std::fmt;
+
+use hikey_platform::{SimConfig, Simulator};
+use hmc_types::{SimDuration, SimTime};
+use topil::migration::InferenceBackend;
+use topil::TopIlGovernor;
+use workloads::{ArrivalSpec, Benchmark, QosSpec, Workload};
+
+use crate::harness::TrainedArtifacts;
+
+/// Overhead at one application count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadRow {
+    /// Number of running applications.
+    pub apps: usize,
+    /// DVFS-loop overhead in ms per second.
+    pub dvfs_ms_per_s: f64,
+    /// Migration-policy overhead (NPU) in ms per second.
+    pub migration_npu_ms_per_s: f64,
+    /// Migration-policy overhead (CPU inference) in ms per second.
+    pub migration_cpu_ms_per_s: f64,
+}
+
+/// The Fig. 11 report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig11Report {
+    /// One row per application count.
+    pub rows: Vec<OverheadRow>,
+}
+
+impl fmt::Display for Fig11Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 11 — run-time overhead [ms per second of wall time]")?;
+        writeln!(
+            f,
+            "{:>6} {:>12} {:>16} {:>16}",
+            "apps", "DVFS loop", "migration (NPU)", "migration (CPU)"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:>6} {:>12.2} {:>16.2} {:>16.2}",
+                row.apps, row.dvfs_ms_per_s, row.migration_npu_ms_per_s, row.migration_cpu_ms_per_s
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn measure(artifacts: &TrainedArtifacts, apps: usize, backend: InferenceBackend) -> (f64, f64) {
+    let sim = SimConfig {
+        max_duration: SimDuration::from_secs(20),
+        stop_when_idle: false,
+        ..SimConfig::default()
+    };
+    let workload = Workload::new(
+        (0..apps)
+            .map(|_| ArrivalSpec {
+                at: SimTime::ZERO,
+                benchmark: Benchmark::Syr2k,
+                qos: QosSpec::FractionOfMaxBig(0.2),
+                total_instructions: Some(u64::MAX),
+            })
+            .collect(),
+    );
+    let mut governor =
+        TopIlGovernor::new(artifacts.il_models[0].clone()).with_backend(backend);
+    let report = Simulator::new(sim).run(&workload, &mut governor);
+    let stats = governor.stats();
+    let secs = report.metrics.elapsed().as_secs_f64();
+    (
+        stats.dvfs_time.as_secs_f64() * 1e3 / secs,
+        stats.migration_time.as_secs_f64() * 1e3 / secs,
+    )
+}
+
+/// Regenerates Fig. 11.
+pub fn run(artifacts: &TrainedArtifacts) -> Fig11Report {
+    let rows = [1usize, 2, 4, 8, 12, 16]
+        .into_iter()
+        .map(|apps| {
+            let (dvfs, npu) = measure(artifacts, apps, InferenceBackend::Npu);
+            let (_, cpu) = measure(artifacts, apps, InferenceBackend::Cpu);
+            OverheadRow {
+                apps,
+                dvfs_ms_per_s: dvfs,
+                migration_npu_ms_per_s: npu,
+                migration_cpu_ms_per_s: cpu,
+            }
+        })
+        .collect();
+    Fig11Report { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{train_artifacts, Effort};
+
+    #[test]
+    fn overhead_shape_matches_paper() {
+        let artifacts = train_artifacts(Effort::Quick);
+        let report = run(&artifacts);
+        let first = report.rows.first().unwrap();
+        let last = report.rows.last().unwrap();
+
+        // DVFS loop grows with the number of applications.
+        assert!(last.dvfs_ms_per_s > first.dvfs_ms_per_s * 2.0);
+        // NPU migration stays flat.
+        assert!(
+            last.migration_npu_ms_per_s < first.migration_npu_ms_per_s * 1.4,
+            "NPU overhead should stay flat: {} -> {}",
+            first.migration_npu_ms_per_s,
+            last.migration_npu_ms_per_s
+        );
+        // CPU inference grows.
+        assert!(last.migration_cpu_ms_per_s > first.migration_cpu_ms_per_s * 2.0);
+        // Paper magnitudes: worst-case DVFS 8.7 ms/s, migration 8.6 ms/s;
+        // total overhead ≤ ~2 %.
+        assert!(last.dvfs_ms_per_s < 15.0);
+        assert!(last.migration_npu_ms_per_s < 15.0);
+        let total_fraction = (last.dvfs_ms_per_s + last.migration_npu_ms_per_s) / 1e3;
+        assert!(total_fraction < 0.03, "total overhead {total_fraction}");
+    }
+}

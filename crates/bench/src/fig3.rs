@@ -1,0 +1,94 @@
+//! **Fig. 3 (NAS grid search).** Validation loss over the topology grid;
+//! the paper's best topology is 4 hidden layers × 64 neurons.
+
+use std::fmt;
+
+use nn::nas::GridSearchResult;
+use topil::oracle::Scenario;
+use topil::training::{IlTrainer, TrainSettings};
+
+use crate::harness::Effort;
+
+/// The NAS report: the evaluated grid plus the winner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Report {
+    /// Depths evaluated.
+    pub depths: Vec<usize>,
+    /// Widths evaluated.
+    pub widths: Vec<usize>,
+    /// The raw grid-search result.
+    pub result: GridSearchResult,
+}
+
+impl fmt::Display for Fig3Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 3 — NAS grid search (validation MSE)")?;
+        write!(f, "{:>8}", "depth\\w")?;
+        for w in &self.widths {
+            write!(f, "{w:>10}")?;
+        }
+        writeln!(f)?;
+        for &d in &self.depths {
+            write!(f, "{d:>8}")?;
+            for &w in &self.widths {
+                let point = self
+                    .result
+                    .points
+                    .iter()
+                    .find(|p| p.hidden_layers == d && p.width == w)
+                    .expect("full grid evaluated");
+                write!(f, "{:>10.4}", point.val_loss)?;
+            }
+            writeln!(f)?;
+        }
+        let best = self.result.best();
+        writeln!(
+            f,
+            "best: {} hidden layers x {} neurons (val loss {:.4}, {} params)",
+            best.hidden_layers, best.width, best.val_loss, best.params
+        )
+    }
+}
+
+/// Regenerates Fig. 3.
+pub fn run(effort: Effort) -> Fig3Report {
+    let (depths, widths, seeds): (Vec<usize>, Vec<usize>, Vec<u64>) = match effort {
+        Effort::Quick => (vec![1, 2, 4], vec![8, 32, 64], vec![0]),
+        Effort::Full => (vec![1, 2, 3, 4, 5], vec![8, 16, 32, 64, 128], vec![0, 1]),
+    };
+    // The grid multiplies training runs, so cap the dataset size: relative
+    // topology quality stabilizes well below the full trace corpus.
+    let nas_scenarios = effort.scenario_count().min(30);
+    let scenarios = Scenario::standard_set(nas_scenarios, 0xC0FFEE);
+    let settings = TrainSettings {
+        nn: effort.train_config(),
+        ..TrainSettings::default()
+    };
+    let trainer = IlTrainer::new(settings);
+    let result = trainer.nas(&scenarios, &depths, &widths, &seeds);
+    Fig3Report {
+        depths,
+        widths,
+        result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_is_complete_and_deeper_wider_wins() {
+        let report = run(Effort::Quick);
+        assert_eq!(report.result.points.len(), 9);
+        let best = report.result.best();
+        // A 21->8 regression over thousands of soft-label examples needs
+        // capacity: the 1x8 corner must not win.
+        assert!(
+            !(best.hidden_layers == 1 && best.width == 8),
+            "trivial topology should not win the grid"
+        );
+        let text = report.to_string();
+        assert!(text.contains("best:"));
+    }
+}

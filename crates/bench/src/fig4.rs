@@ -1,0 +1,130 @@
+//! **Fig. 4 (training-data illustration).** Reprints the paper's
+//! illustrative tables: trace results (AoI performance and temperature on
+//! the two free cores over the V/f grid), label calculation for selected
+//! QoS targets (Eq. 4), and the resulting training examples.
+
+use std::fmt;
+
+use hmc_types::CoreId;
+use topil::oracle::{
+    extract_cases, ExtractionConfig, Scenario, ScenarioTraces, TraceCollector,
+};
+use workloads::Benchmark;
+
+/// The illustrative report: traces plus a sample of labeled cases.
+#[derive(Debug, Clone)]
+pub struct Fig4Report {
+    /// The collected traces of the illustrative scenario.
+    pub traces: ScenarioTraces,
+    /// Extracted labeled cases (a small sweep).
+    pub cases: Vec<topil::oracle::OracleCase>,
+}
+
+impl fmt::Display for Fig4Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 4 — training-data generation for AoI `{}` (free cores: {:?})",
+            self.traces.scenario.aoi,
+            self.traces
+                .free_cores()
+                .iter()
+                .map(|c| c.index())
+                .collect::<Vec<_>>()
+        )?;
+        for &core in self.traces.free_cores() {
+            writeln!(f, "\nTrace results (AoI on {core}):")?;
+            write!(f, "{:>12}", "q / T")?;
+            for fb in &self.traces.big_freqs {
+                write!(f, "{:>22}", format!("f_b={fb}"))?;
+            }
+            writeln!(f)?;
+            for (fl_idx, fl) in self.traces.little_freqs.iter().enumerate() {
+                write!(f, "{:>12}", format!("f_l={fl}"))?;
+                for fb_idx in 0..self.traces.big_freqs.len() {
+                    let p = self.traces.point(core, fl_idx, fb_idx);
+                    write!(
+                        f,
+                        "{:>22}",
+                        format!("{:.0} MIPS / {}", p.ips.as_mips(), p.peak_temp)
+                    )?;
+                }
+                writeln!(f)?;
+            }
+        }
+        writeln!(f, "\nLabel examples (Eq. 4, α = 1):")?;
+        writeln!(
+            f,
+            "{:>10} {:>12} {:>12}   labels l_0..l_7",
+            "Q_AoI", "f̃_l\\AoI", "f̃_b\\AoI"
+        )?;
+        for case in self.cases.iter().take(8) {
+            let src = &case.sources[0];
+            write!(
+                f,
+                "{:>10} {:>12.2} {:>12.2}  ",
+                format!("{:.0} MIPS", src.qos_target.ips().as_mips()),
+                src.required_vf_ratio[0],
+                src.required_vf_ratio[1],
+            )?;
+            for l in case.labels {
+                write!(f, " {l:>5.2}")?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(
+            f,
+            "\n{} labeled cases -> {} training examples",
+            self.cases.len(),
+            self.cases.iter().map(|c| c.sources.len()).sum::<usize>()
+        )
+    }
+}
+
+/// Regenerates Fig. 4 using the paper's illustrative scenario: seidel-2d
+/// as AoI with cores 3 and 6 free.
+pub fn run() -> Fig4Report {
+    let scenario = Scenario::new(
+        Benchmark::SeidelTwoD,
+        vec![
+            (Benchmark::Adi, CoreId::new(0)),
+            (Benchmark::Syr2k, CoreId::new(1)),
+            (Benchmark::Gramschmidt, CoreId::new(2)),
+            (Benchmark::FdtdTwoD, CoreId::new(4)),
+            (Benchmark::HeatThreeD, CoreId::new(5)),
+            (Benchmark::FloydWarshall, CoreId::new(7)),
+        ],
+    );
+    let traces = TraceCollector::new().collect(&scenario);
+    let cases = extract_cases(
+        &traces,
+        &ExtractionConfig {
+            qos_fractions: vec![0.2, 0.4],
+            ..ExtractionConfig::default()
+        },
+    );
+    Fig4Report { traces, cases }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn illustrative_pipeline_matches_paper_structure() {
+        let report = run();
+        assert_eq!(report.traces.free_cores(), &[CoreId::new(3), CoreId::new(6)]);
+        assert!(!report.cases.is_empty());
+        // Every case must label exactly the two free cores as non-occupied.
+        for case in &report.cases {
+            let free_labels = [case.labels[3], case.labels[6]];
+            assert!(free_labels.iter().any(|&l| l != 0.0));
+            for i in [0, 1, 2, 4, 5, 7] {
+                assert_eq!(case.labels[i], 0.0);
+            }
+        }
+        let text = report.to_string();
+        assert!(text.contains("Trace results"));
+        assert!(text.contains("Label examples"));
+    }
+}

@@ -1,0 +1,154 @@
+//! **Fig. 5 (migration overhead).** Worst-case overhead of periodic
+//! migration: each application ping-pongs between the clusters every
+//! migration epoch; the overhead compares its throughput against the
+//! average of the two pinned executions:
+//!
+//! ```text
+//! m = (1/2 · (1/t_big + 1/t_LITTLE)) / (1/t_migrate) − 1
+//! ```
+
+use std::fmt;
+
+use hikey_platform::{Platform, PlatformConfig};
+use hmc_types::{CoreId, QosTarget, SimDuration, SimTime};
+use workloads::Benchmark;
+
+/// Instructions per measurement run.
+const INSTRUCTIONS: u64 = 20_000_000_000;
+/// The paper's migration epoch.
+const EPOCH: SimDuration = SimDuration::from_millis(500);
+
+/// Overhead of one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadRow {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Worst-case migration overhead (fraction; 0.01 = 1 %).
+    pub overhead: f64,
+}
+
+/// The migration-overhead report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Report {
+    /// Per-benchmark overhead.
+    pub rows: Vec<OverheadRow>,
+}
+
+impl Fig5Report {
+    /// The maximum worst-case overhead (paper: < 4 %).
+    pub fn max_overhead(&self) -> f64 {
+        self.rows.iter().map(|r| r.overhead).fold(f64::MIN, f64::max)
+    }
+
+    /// The mean worst-case overhead (paper: ≈ 0.1 %).
+    pub fn mean_overhead(&self) -> f64 {
+        self.rows.iter().map(|r| r.overhead).sum::<f64>() / self.rows.len().max(1) as f64
+    }
+}
+
+impl fmt::Display for Fig5Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 5 — worst-case migration overhead (ping-pong every 500 ms)")?;
+        for row in &self.rows {
+            writeln!(f, "{:<16} {:>7.2} %", row.benchmark.name(), row.overhead * 100.0)?;
+        }
+        writeln!(
+            f,
+            "max {:.2} %, mean {:.2} %",
+            self.max_overhead() * 100.0,
+            self.mean_overhead() * 100.0
+        )
+    }
+}
+
+/// Time to execute the benchmark pinned to `core` at peak frequencies.
+fn pinned_time(benchmark: Benchmark, core: CoreId) -> f64 {
+    let mut platform = Platform::new(PlatformConfig::default());
+    let id = platform.admit_model(
+        benchmark.model(),
+        QosTarget::NONE,
+        core,
+        Some(INSTRUCTIONS),
+    );
+    while platform.app_count() > 0 {
+        platform.tick();
+    }
+    let _ = id;
+    platform.now().since(SimTime::ZERO).as_secs_f64()
+}
+
+/// Time with a forced migration between clusters every epoch.
+fn migrating_time(benchmark: Benchmark) -> f64 {
+    let mut platform = Platform::new(PlatformConfig::default());
+    let id = platform.admit_model(
+        benchmark.model(),
+        QosTarget::NONE,
+        CoreId::new(5),
+        Some(INSTRUCTIONS),
+    );
+    let cores = [CoreId::new(1), CoreId::new(5)];
+    let mut side = 0;
+    let epoch_ticks = EPOCH.as_nanos() / platform.tick_duration().as_nanos();
+    'outer: loop {
+        for _ in 0..epoch_ticks {
+            platform.tick();
+            if platform.app_count() == 0 {
+                break 'outer;
+            }
+        }
+        platform.migrate(id, cores[side]);
+        side = 1 - side;
+    }
+    platform.now().since(SimTime::ZERO).as_secs_f64()
+}
+
+/// Regenerates Fig. 5 for all sixteen benchmarks.
+pub fn run() -> Fig5Report {
+    let rows = Benchmark::all()
+        .iter()
+        .map(|&benchmark| {
+            let t_big = pinned_time(benchmark, CoreId::new(5));
+            let t_little = pinned_time(benchmark, CoreId::new(1));
+            let t_migrate = migrating_time(benchmark);
+            let avg_rate = 0.5 * (1.0 / t_big + 1.0 / t_little);
+            let overhead = avg_rate / (1.0 / t_migrate) - 1.0;
+            OverheadRow {
+                benchmark,
+                overhead,
+            }
+        })
+        .collect();
+    Fig5Report { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_are_small_like_the_paper() {
+        let report = run();
+        assert_eq!(report.rows.len(), 16);
+        assert!(
+            report.max_overhead() < 0.05,
+            "paper: max worst-case overhead < 4 %, got {:.2} %",
+            report.max_overhead() * 100.0
+        );
+        assert!(
+            report.mean_overhead() < 0.02,
+            "paper: average ≈ 0.1 %, got {:.2} %",
+            report.mean_overhead() * 100.0
+        );
+        // Memory/cache-heavy canneal pays more than compute-bound
+        // swaptions.
+        let get = |b: Benchmark| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.benchmark == b)
+                .unwrap()
+                .overhead
+        };
+        assert!(get(Benchmark::Canneal) > get(Benchmark::Swaptions));
+    }
+}

@@ -1,0 +1,178 @@
+//! **Fig. 7 (illustrative IL vs. RL).** Runs `adi` (optimal: big) and
+//! `seidel-2d` (optimal: LITTLE) as single applications under TOP-IL and
+//! TOP-RL and reports the chosen cluster over time: IL picks the optimal
+//! mapping stably, RL oscillates.
+
+use std::fmt;
+
+use hikey_platform::{RunReport, SimConfig, Simulator};
+use hmc_types::{Cluster, SimDuration, SimTime};
+use topil::TopIlGovernor;
+use toprl::TopRlGovernor;
+use workloads::{ArrivalSpec, Benchmark, QosSpec, Workload};
+
+use crate::harness::TrainedArtifacts;
+
+/// Time series of one policy on one application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyTimeline {
+    /// Policy name.
+    pub policy: String,
+    /// Fraction of samples with the application on its optimal cluster.
+    pub on_optimal_cluster: f64,
+    /// Number of cluster switches over the run.
+    pub cluster_switches: usize,
+    /// Average temperature.
+    pub avg_temperature: f64,
+    /// QoS violations (0 or 1 — single application).
+    pub violations: usize,
+    /// One character per 2 s sample: `B`/`L`.
+    pub strip: String,
+}
+
+/// The illustrative comparison for one application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppComparison {
+    /// The application.
+    pub benchmark: Benchmark,
+    /// Its thermally optimal cluster.
+    pub optimal: Cluster,
+    /// IL and RL timelines.
+    pub timelines: Vec<PolicyTimeline>,
+}
+
+/// The Fig. 7 report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Report {
+    /// Comparisons for adi and seidel-2d.
+    pub apps: Vec<AppComparison>,
+}
+
+impl fmt::Display for Fig7Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 7 — illustrative example: mapping over time (B=big, L=LITTLE)")?;
+        for app in &self.apps {
+            writeln!(f, "\n{} (optimal: {})", app.benchmark.name(), app.optimal)?;
+            for t in &app.timelines {
+                writeln!(
+                    f,
+                    "  {:<8} optimal {:>5.1} %  switches {:>3}  avg {:>5.1} °C  viol {}  {}",
+                    t.policy,
+                    t.on_optimal_cluster * 100.0,
+                    t.cluster_switches,
+                    t.avg_temperature,
+                    t.violations,
+                    t.strip
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn timeline(report: &RunReport, optimal: Cluster) -> PolicyTimeline {
+    let mut on_optimal = 0usize;
+    let mut samples = 0usize;
+    let mut switches = 0usize;
+    let mut last: Option<Cluster> = None;
+    let mut strip = String::new();
+    for (i, sample) in report.trace.iter().enumerate() {
+        let Some(&(_, core)) = sample.app_cores.first() else {
+            continue;
+        };
+        let cluster = core.cluster();
+        samples += 1;
+        if cluster == optimal {
+            on_optimal += 1;
+        }
+        if let Some(prev) = last {
+            if prev != cluster {
+                switches += 1;
+            }
+        }
+        last = Some(cluster);
+        if i % 4 == 0 {
+            strip.push(match cluster {
+                Cluster::Big => 'B',
+                Cluster::Little => 'L',
+            });
+        }
+    }
+    PolicyTimeline {
+        policy: report.policy.clone(),
+        on_optimal_cluster: on_optimal as f64 / samples.max(1) as f64,
+        cluster_switches: switches,
+        avg_temperature: report.metrics.avg_temperature().value(),
+        violations: report.metrics.qos_violations(),
+        strip,
+    }
+}
+
+/// Regenerates Fig. 7 using the first trained model / Q-table.
+pub fn run(artifacts: &TrainedArtifacts) -> Fig7Report {
+    let config = SimConfig {
+        max_duration: SimDuration::from_secs(120),
+        stop_when_idle: false,
+        trace_interval: Some(SimDuration::from_millis(500)),
+        ..SimConfig::default()
+    };
+    let apps = [
+        (Benchmark::Adi, Cluster::Big),
+        (Benchmark::SeidelTwoD, Cluster::Little),
+    ]
+    .into_iter()
+    .map(|(benchmark, optimal)| {
+        let workload = Workload::new(vec![ArrivalSpec {
+            at: SimTime::ZERO,
+            benchmark,
+            qos: QosSpec::FractionOfMaxBig(0.3),
+            total_instructions: Some(u64::MAX),
+        }]);
+        let mut timelines = Vec::new();
+        {
+            let mut governor = TopIlGovernor::new(artifacts.il_models[0].clone());
+            let report = Simulator::new(config).run(&workload, &mut governor);
+            timelines.push(timeline(&report, optimal));
+        }
+        {
+            let mut governor = TopRlGovernor::with_qtable(artifacts.rl_tables[0].clone(), 1);
+            let report = Simulator::new(config).run(&workload, &mut governor);
+            timelines.push(timeline(&report, optimal));
+        }
+        AppComparison {
+            benchmark,
+            optimal,
+            timelines,
+        }
+    })
+    .collect();
+    Fig7Report { apps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{train_artifacts, Effort};
+
+    #[test]
+    fn il_is_stable_and_mostly_optimal() {
+        let artifacts = train_artifacts(Effort::Quick);
+        let report = run(&artifacts);
+        assert_eq!(report.apps.len(), 2);
+        for app in &report.apps {
+            let il = &app.timelines[0];
+            assert!(
+                il.on_optimal_cluster > 0.7,
+                "{}: IL on optimal cluster only {:.0} %",
+                app.benchmark,
+                il.on_optimal_cluster * 100.0
+            );
+            assert!(
+                il.cluster_switches <= 3,
+                "{}: IL switched {} times",
+                app.benchmark,
+                il.cluster_switches
+            );
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! **Fig. 8 (main experiment).** A mixed workload of 20 randomly selected
+//! applications with Poisson arrivals at several arrival rates, executed
+//! under TOP-IL, TOP-RL, GTS/ondemand and GTS/powersave — with a fan
+//! (Fig. 8a, the training cooling) and without (Fig. 8b, generalization).
+//!
+//! Expected shape (paper): TOP-IL cuts the average temperature by up to
+//! 17 °C versus GTS/ondemand at only slightly more QoS violations;
+//! GTS/powersave is coolest but violates most targets; TOP-RL reaches
+//! IL-like temperatures but 63–89 % more violations.
+
+use std::fmt;
+
+use hikey_platform::{Policy, RunMetrics, SimConfig, Simulator};
+use hmc_types::SimDuration;
+use governors::LinuxGovernor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use thermal::Cooling;
+use topil::TopIlGovernor;
+use toprl::TopRlGovernor;
+use workloads::{MixedWorkloadConfig, WorkloadGenerator};
+
+use crate::harness::{Effort, Stat, TrainedArtifacts};
+
+/// One simulation run's retained results.
+#[derive(Debug, Clone)]
+pub struct PolicyRun {
+    /// Policy name.
+    pub policy: String,
+    /// Full run metrics (consumed by Fig. 9 as well).
+    pub metrics: RunMetrics,
+}
+
+/// All runs at one arrival rate.
+#[derive(Debug, Clone)]
+pub struct RateBlock {
+    /// Mean inter-arrival time of the Poisson process.
+    pub mean_interarrival: SimDuration,
+    /// All runs (several seeds per learned policy).
+    pub runs: Vec<PolicyRun>,
+}
+
+impl RateBlock {
+    /// Aggregates `(avg temperature, QoS violations)` per policy.
+    pub fn summary(&self) -> Vec<(String, Stat, Stat)> {
+        let mut policies: Vec<String> = Vec::new();
+        for run in &self.runs {
+            if !policies.contains(&run.policy) {
+                policies.push(run.policy.clone());
+            }
+        }
+        policies
+            .into_iter()
+            .map(|policy| {
+                let temps: Vec<f64> = self
+                    .runs
+                    .iter()
+                    .filter(|r| r.policy == policy)
+                    .map(|r| r.metrics.avg_temperature().value())
+                    .collect();
+                let viols: Vec<f64> = self
+                    .runs
+                    .iter()
+                    .filter(|r| r.policy == policy)
+                    .map(|r| r.metrics.qos_violations() as f64)
+                    .collect();
+                (policy, Stat::of(&temps), Stat::of(&viols))
+            })
+            .collect()
+    }
+}
+
+/// The Fig. 8 report for one cooling configuration.
+#[derive(Debug, Clone)]
+pub struct Fig8Report {
+    /// Cooling configuration name ("fan" / "no-fan").
+    pub cooling: &'static str,
+    /// Results per arrival rate.
+    pub rates: Vec<RateBlock>,
+}
+
+impl Fig8Report {
+    /// Mean metric for one policy across all rates: `(temp, violations)`.
+    pub fn policy_means(&self, policy: &str) -> (f64, f64) {
+        let mut temps = Vec::new();
+        let mut viols = Vec::new();
+        for rate in &self.rates {
+            for run in rate.runs.iter().filter(|r| r.policy == policy) {
+                temps.push(run.metrics.avg_temperature().value());
+                viols.push(run.metrics.qos_violations() as f64);
+            }
+        }
+        (
+            temps.iter().sum::<f64>() / temps.len().max(1) as f64,
+            viols.iter().sum::<f64>() / viols.len().max(1) as f64,
+        )
+    }
+}
+
+impl fmt::Display for Fig8Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 8 ({}) — mixed workload: avg temperature [°C] / QoS violations [apps of 20]",
+            self.cooling
+        )?;
+        for rate in &self.rates {
+            writeln!(
+                f,
+                "\narrival rate: mean inter-arrival {}",
+                rate.mean_interarrival
+            )?;
+            writeln!(f, "{:<16} {:>16} {:>16}", "policy", "avg temp", "violations")?;
+            for (policy, temp, viol) in rate.summary() {
+                writeln!(f, "{policy:<16} {temp:>16} {viol:>16}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Regenerates Fig. 8 for one cooling configuration.
+pub fn run(artifacts: &TrainedArtifacts, effort: Effort, cooling: Cooling) -> Fig8Report {
+    let interarrivals: Vec<u64> = match effort {
+        Effort::Quick => vec![12, 5],
+        Effort::Full => vec![30, 15, 8, 4],
+    };
+    let sim = SimConfig {
+        cooling,
+        max_duration: SimDuration::from_secs(1800),
+        stop_when_idle: true,
+        ..SimConfig::default()
+    };
+
+    let rates = interarrivals
+        .into_iter()
+        .map(|secs| {
+            let workload_cfg = MixedWorkloadConfig {
+                mean_interarrival: SimDuration::from_secs(secs),
+                total_instructions: Some(effort.app_instructions()),
+                ..MixedWorkloadConfig::default()
+            };
+            // One workload per rate, shared by all policies (seeded).
+            let workload =
+                WorkloadGenerator::mixed(&workload_cfg, &mut StdRng::seed_from_u64(secs));
+
+            let mut runs = Vec::new();
+            for (seed, model) in artifacts.il_models.iter().enumerate() {
+                let mut governor = TopIlGovernor::new(model.clone());
+                let report = Simulator::new(sim).run(&workload, &mut governor);
+                let _ = seed;
+                runs.push(PolicyRun {
+                    policy: "TOP-IL".to_string(),
+                    metrics: report.metrics,
+                });
+            }
+            for (seed, table) in artifacts.rl_tables.iter().enumerate() {
+                let mut governor = TopRlGovernor::with_qtable(table.clone(), seed as u64);
+                let report = Simulator::new(sim).run(&workload, &mut governor);
+                runs.push(PolicyRun {
+                    policy: governor.name().to_string(),
+                    metrics: report.metrics,
+                });
+            }
+            for mut governor in [LinuxGovernor::gts_ondemand(), LinuxGovernor::gts_powersave()]
+            {
+                let report = Simulator::new(sim).run(&workload, &mut governor);
+                runs.push(PolicyRun {
+                    policy: governor.name().to_string(),
+                    metrics: report.metrics,
+                });
+            }
+            RateBlock {
+                mean_interarrival: SimDuration::from_secs(secs),
+                runs,
+            }
+        })
+        .collect();
+
+    Fig8Report {
+        cooling: cooling.name(),
+        rates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::train_artifacts;
+
+    /// The paper's headline shape on a reduced scale: ondemand is hottest,
+    /// powersave coolest but most violations, TOP-IL cool at few
+    /// violations, TOP-RL with more violations than TOP-IL.
+    #[test]
+    fn main_result_shape_holds() {
+        let artifacts = train_artifacts(Effort::Quick);
+        let report = run(&artifacts, Effort::Quick, Cooling::fan());
+
+        let (t_il, v_il) = report.policy_means("TOP-IL");
+        let (t_rl, v_rl) = report.policy_means("TOP-RL");
+        let (t_on, v_on) = report.policy_means("GTS/ondemand");
+        let (t_ps, v_ps) = report.policy_means("GTS/powersave");
+
+        assert!(t_il < t_on - 2.0, "TOP-IL {t_il} should be well below ondemand {t_on}");
+        assert!(t_ps <= t_il + 1.0, "powersave {t_ps} is the coolest, IL {t_il}");
+        assert!(v_ps > v_il + 2.0, "powersave must violate far more: {v_ps} vs {v_il}");
+        assert!(v_rl > v_il, "RL {v_rl} should violate more than IL {v_il}");
+        assert!(v_on <= v_il + 2.0, "ondemand violates little: {v_on}");
+        let _ = t_rl;
+    }
+}

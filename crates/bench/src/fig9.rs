@@ -1,0 +1,178 @@
+//! **Fig. 9 (frequency usage).** Distribution of busy CPU time over
+//! clusters and V/f levels per technique, aggregated across all arrival
+//! rates of the main experiment (no-fan runs).
+//!
+//! Expected shape (paper): GTS/ondemand concentrates on the top big OPP
+//! (with occasional throttling without a fan), GTS/powersave sits at the
+//! bottom levels of both clusters, TOP-RL wastes time at high LITTLE and
+//! low big levels, TOP-IL spends most time at low-to-mid big levels.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use hmc_types::Cluster;
+
+use crate::fig8::Fig8Report;
+
+/// Busy CPU seconds per `(cluster, level)` for one policy.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UsageProfile {
+    /// Seconds per LITTLE OPP index.
+    pub little: Vec<f64>,
+    /// Seconds per big OPP index.
+    pub big: Vec<f64>,
+}
+
+impl UsageProfile {
+    /// Total busy seconds.
+    pub fn total(&self) -> f64 {
+        self.little.iter().sum::<f64>() + self.big.iter().sum::<f64>()
+    }
+
+    /// Fraction of busy time on the big cluster.
+    pub fn big_fraction(&self) -> f64 {
+        let total = self.total();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.big.iter().sum::<f64>() / total
+        }
+    }
+
+    /// Fraction of a cluster's busy time at its top level.
+    pub fn top_level_fraction(&self, cluster: Cluster) -> f64 {
+        let levels = match cluster {
+            Cluster::Little => &self.little,
+            Cluster::Big => &self.big,
+        };
+        let total: f64 = levels.iter().sum();
+        if total <= 0.0 {
+            0.0
+        } else {
+            levels.last().copied().unwrap_or(0.0) / total
+        }
+    }
+
+    /// Fraction of a cluster's busy time at its bottom level.
+    pub fn bottom_level_fraction(&self, cluster: Cluster) -> f64 {
+        let levels = match cluster {
+            Cluster::Little => &self.little,
+            Cluster::Big => &self.big,
+        };
+        let total: f64 = levels.iter().sum();
+        if total <= 0.0 {
+            0.0
+        } else {
+            levels.first().copied().unwrap_or(0.0) / total
+        }
+    }
+}
+
+/// The Fig. 9 report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Report {
+    /// Per-policy usage profiles (averaged over seeds, summed over rates).
+    pub profiles: BTreeMap<String, UsageProfile>,
+}
+
+impl fmt::Display for Fig9Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 9 — busy CPU time per cluster and V/f level [core-seconds]"
+        )?;
+        for (policy, profile) in &self.profiles {
+            writeln!(f, "\n{policy}:")?;
+            write!(f, "  LITTLE:")?;
+            for (i, s) in profile.little.iter().enumerate() {
+                write!(f, " L{i}={s:.0}")?;
+            }
+            writeln!(f)?;
+            write!(f, "  big:   ")?;
+            for (i, s) in profile.big.iter().enumerate() {
+                write!(f, " B{i}={s:.0}")?;
+            }
+            writeln!(f)?;
+            writeln!(
+                f,
+                "  big-cluster share {:.0} %, top-big share {:.0} %, bottom-big share {:.0} %",
+                profile.big_fraction() * 100.0,
+                profile.top_level_fraction(Cluster::Big) * 100.0,
+                profile.bottom_level_fraction(Cluster::Big) * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds Fig. 9 from the retained Fig. 8 runs.
+pub fn run(fig8: &Fig8Report) -> Fig9Report {
+    let mut profiles: BTreeMap<String, UsageProfile> = BTreeMap::new();
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for rate in &fig8.rates {
+        for run in &rate.runs {
+            let entry = profiles.entry(run.policy.clone()).or_default();
+            let little = run.metrics.cpu_time_distribution(Cluster::Little);
+            let big = run.metrics.cpu_time_distribution(Cluster::Big);
+            entry.little.resize(little.len(), 0.0);
+            entry.big.resize(big.len(), 0.0);
+            for (acc, d) in entry.little.iter_mut().zip(little) {
+                *acc += d.as_secs_f64();
+            }
+            for (acc, d) in entry.big.iter_mut().zip(big) {
+                *acc += d.as_secs_f64();
+            }
+            *counts.entry(run.policy.clone()).or_default() += 1;
+        }
+    }
+    // Average over the seeds (each policy ran `seeds` times per rate).
+    let rates = fig8.rates.len().max(1);
+    for (policy, profile) in &mut profiles {
+        let seeds = counts[policy] / rates;
+        let div = seeds.max(1) as f64;
+        for v in profile.little.iter_mut().chain(profile.big.iter_mut()) {
+            *v /= div;
+        }
+    }
+    Fig9Report { profiles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{train_artifacts, Effort};
+    use thermal::Cooling;
+
+    #[test]
+    fn frequency_usage_shape_matches_paper() {
+        let artifacts = train_artifacts(Effort::Quick);
+        let fig8 = crate::fig8::run(&artifacts, Effort::Quick, Cooling::passive());
+        let report = run(&fig8);
+
+        let ondemand = &report.profiles["GTS/ondemand"];
+        let powersave = &report.profiles["GTS/powersave"];
+        let il = &report.profiles["TOP-IL"];
+
+        let rl = &report.profiles["TOP-RL"];
+
+        // ondemand: almost all big-cluster time at the top level.
+        assert!(
+            ondemand.top_level_fraction(Cluster::Big) > 0.9,
+            "ondemand should sit at the top big OPP"
+        );
+        // powersave: everything at the lowest levels.
+        assert!(powersave.bottom_level_fraction(Cluster::Big) > 0.95);
+        assert!(powersave.bottom_level_fraction(Cluster::Little) > 0.95);
+        // TOP-IL runs the big cluster at low/mid levels, avoiding the peak.
+        assert!(
+            il.top_level_fraction(Cluster::Big) < 0.2,
+            "TOP-IL should mostly avoid the top big OPP"
+        );
+        // TOP-RL wastes time at the peak big OPP where a migration would
+        // have been better (the paper's instability explanation).
+        assert!(
+            rl.top_level_fraction(Cluster::Big) > il.top_level_fraction(Cluster::Big),
+            "RL should burn more time at the top big OPP than IL"
+        );
+    }
+}

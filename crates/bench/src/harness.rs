@@ -1,0 +1,180 @@
+//! Shared experiment infrastructure.
+
+use std::fmt;
+
+use hmc_types::SimDuration;
+use nn::TrainConfig;
+use topil::oracle::Scenario;
+use topil::training::{IlTrainer, TrainSettings};
+use topil::IlModel;
+use toprl::{QTable, TopRlGovernor};
+
+/// Effort level of an experiment run.
+///
+/// `Quick` shrinks training sets and simulation lengths so the whole suite
+/// finishes in a couple of minutes (used by CI/tests); `Full` uses the
+/// paper-scale parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Reduced scale for fast iteration.
+    Quick,
+    /// Paper-scale runs.
+    Full,
+}
+
+impl Effort {
+    /// Number of oracle scenarios (paper: 100 AoI/background combinations).
+    pub fn scenario_count(self) -> usize {
+        match self {
+            Effort::Quick => 12,
+            Effort::Full => 100,
+        }
+    }
+
+    /// Number of independently trained models/seeds (paper: 3).
+    pub fn seeds(self) -> u64 {
+        3
+    }
+
+    /// NN training budget.
+    pub fn train_config(self) -> TrainConfig {
+        match self {
+            Effort::Quick => TrainConfig {
+                max_epochs: 60,
+                patience: 12,
+                ..TrainConfig::default()
+            },
+            Effort::Full => TrainConfig {
+                max_epochs: 200,
+                patience: 20,
+                ..TrainConfig::default()
+            },
+        }
+    }
+
+    /// RL pre-training budget (paper: ~3 h simulated until convergence).
+    pub fn rl_pretrain(self) -> SimDuration {
+        match self {
+            Effort::Quick => SimDuration::from_secs(600),
+            Effort::Full => SimDuration::from_secs(3 * 3600),
+        }
+    }
+
+    /// Per-application instruction budget in workload experiments
+    /// (shortened so runs fit in the harness budget while still spanning
+    /// many control epochs).
+    pub fn app_instructions(self) -> u64 {
+        match self {
+            Effort::Quick => 20_000_000_000,
+            Effort::Full => 60_000_000_000,
+        }
+    }
+}
+
+/// Everything the evaluation experiments need: IL models and RL Q-tables
+/// trained with different random seeds (the paper's robustness protocol).
+#[derive(Debug, Clone)]
+pub struct TrainedArtifacts {
+    /// One IL model per seed.
+    pub il_models: Vec<IlModel>,
+    /// One pre-trained Q-table per seed.
+    pub rl_tables: Vec<QTable>,
+}
+
+/// Trains the IL models and pre-trains the RL baselines.
+///
+/// Trace collection happens once; each seed retrains from the same oracle
+/// cases, exactly like the paper ("three models are trained with different
+/// random seed").
+pub fn train_artifacts(effort: Effort) -> TrainedArtifacts {
+    let scenarios = Scenario::standard_set(effort.scenario_count(), 0xC0FFEE);
+    let settings = TrainSettings {
+        nn: effort.train_config(),
+        ..TrainSettings::default()
+    };
+    let trainer = IlTrainer::new(settings);
+    let cases = trainer.collect_cases(&scenarios);
+    let il_models = (0..effort.seeds())
+        .map(|seed| trainer.train_from_cases(&cases, seed))
+        .collect();
+    let rl_tables = (0..effort.seeds())
+        .map(|seed| TopRlGovernor::pretrain(seed, effort.rl_pretrain()))
+        .collect();
+    TrainedArtifacts {
+        il_models,
+        rl_tables,
+    }
+}
+
+/// Trains only the IL side (for experiments that do not involve RL).
+pub fn train_il_models(effort: Effort) -> Vec<IlModel> {
+    let scenarios = Scenario::standard_set(effort.scenario_count(), 0xC0FFEE);
+    let settings = TrainSettings {
+        nn: effort.train_config(),
+        ..TrainSettings::default()
+    };
+    let trainer = IlTrainer::new(settings);
+    let cases = trainer.collect_cases(&scenarios);
+    (0..effort.seeds())
+        .map(|seed| trainer.train_from_cases(&cases, seed))
+        .collect()
+}
+
+/// Mean and standard deviation of a sample.
+pub fn mean_std(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// A `mean ± std` cell for report tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stat {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+}
+
+impl Stat {
+    /// Computes the statistic over samples.
+    pub fn of(samples: &[f64]) -> Stat {
+        let (mean, std) = mean_std(samples);
+        Stat { mean, std }
+    }
+}
+
+impl fmt::Display for Stat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:6.2} ± {:4.2}", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_known_values() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn quick_effort_is_smaller() {
+        assert!(Effort::Quick.scenario_count() < Effort::Full.scenario_count());
+        assert!(Effort::Quick.rl_pretrain() < Effort::Full.rl_pretrain());
+    }
+
+    #[test]
+    fn stat_formats() {
+        let s = Stat::of(&[1.0, 3.0]);
+        assert_eq!(s.to_string(), "  2.00 ± 1.00");
+    }
+}

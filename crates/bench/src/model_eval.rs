@@ -1,0 +1,103 @@
+//! **Model evaluation (§7.4).** Splits benchmarks by AoI — the training
+//! set AoIs versus entirely unseen AoIs — and measures how often the model
+//! picks a mapping within 1 °C of the oracle optimum.
+//!
+//! Paper numbers: within 1 °C in 82 ± 5 % of cases; the selected mapping
+//! is on average 0.5 ± 0.2 °C hotter than the optimum.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use topil::eval::evaluate_model;
+use topil::oracle::{extract_cases, ExtractionConfig, OracleCase, Scenario, TraceCollector};
+use workloads::Benchmark;
+
+use crate::harness::{Effort, Stat, TrainedArtifacts};
+
+/// The model-evaluation report across seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelEvalReport {
+    /// Fraction of decisions within 1 °C of the optimum, across seeds.
+    pub within_1c: Stat,
+    /// Mean temperature excess over the optimum in kelvin, across seeds.
+    pub mean_excess: Stat,
+    /// Fraction of decisions that picked a QoS-infeasible mapping.
+    pub infeasible_rate: Stat,
+    /// Number of evaluated decisions per seed.
+    pub decisions: usize,
+}
+
+impl fmt::Display for ModelEvalReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Model evaluation — unseen-AoI test split ({} decisions)", self.decisions)?;
+        writeln!(f, "within 1 °C of optimum : {} (fraction)", self.within_1c)?;
+        writeln!(f, "mean excess temperature: {} K", self.mean_excess)?;
+        writeln!(f, "infeasible choices     : {} (fraction)", self.infeasible_rate)
+    }
+}
+
+/// Builds test scenarios whose AoIs are entirely unseen benchmarks.
+pub fn unseen_test_cases(n_scenarios: usize, seed: u64) -> Vec<OracleCase> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = Benchmark::unseen_set();
+    let collector = TraceCollector::new();
+    (0..n_scenarios)
+        .flat_map(|_| {
+            let mut scenario = Scenario::random(&mut rng);
+            scenario.aoi = pool[rng.random_range(0..pool.len())];
+            let traces = collector.collect(&scenario);
+            extract_cases(&traces, &ExtractionConfig::default())
+        })
+        .collect()
+}
+
+/// Regenerates the §7.4 evaluation.
+pub fn run(artifacts: &TrainedArtifacts, effort: Effort) -> ModelEvalReport {
+    let n_test = match effort {
+        Effort::Quick => 6,
+        Effort::Full => 25,
+    };
+    let cases = unseen_test_cases(n_test, 0xBEEF);
+    let mut within = Vec::new();
+    let mut excess = Vec::new();
+    let mut infeasible = Vec::new();
+    let mut decisions = 0;
+    for model in &artifacts.il_models {
+        let result = evaluate_model(model, &cases);
+        within.push(result.within_1c);
+        excess.push(result.mean_excess);
+        infeasible.push(result.infeasible_rate);
+        decisions = result.decisions;
+    }
+    ModelEvalReport {
+        within_1c: Stat::of(&within),
+        mean_excess: Stat::of(&excess),
+        infeasible_rate: Stat::of(&infeasible),
+        decisions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::train_artifacts;
+
+    #[test]
+    fn near_optimal_on_unseen_aois() {
+        let artifacts = train_artifacts(Effort::Quick);
+        let report = run(&artifacts, Effort::Quick);
+        assert!(report.decisions > 100);
+        assert!(
+            report.within_1c.mean > 0.55,
+            "within-1°C fraction {:.2} too low",
+            report.within_1c.mean
+        );
+        assert!(
+            report.mean_excess.mean < 2.5,
+            "mean excess {:.2} K too high",
+            report.mean_excess.mean
+        );
+        assert!(report.infeasible_rate.mean < 0.2);
+    }
+}

@@ -1,0 +1,170 @@
+//! **Imitation gap** (extension beyond the paper): runs the oracle policy
+//! TOP-IL was trained to imitate *directly* as a governor and measures how
+//! much temperature the learned policy gives away.
+//!
+//! The oracle is not deployable (it reads application models and solves a
+//! thermal network per candidate mapping — exactly the design-time
+//! knowledge IL distills into a 14k-parameter network), so this experiment
+//! bounds what any run-time policy could achieve on this platform.
+
+use std::fmt;
+
+use governors::LinuxGovernor;
+use hikey_platform::{Policy, SimConfig, Simulator};
+use hmc_types::SimDuration;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use thermal::Cooling;
+use topil::oracle_governor::OracleGovernor;
+use topil::TopIlGovernor;
+use workloads::{MixedWorkloadConfig, WorkloadGenerator};
+
+use crate::harness::{Effort, Stat, TrainedArtifacts};
+
+/// One row: a policy's outcome on the shared workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GapRow {
+    /// Policy name.
+    pub policy: String,
+    /// Average temperature.
+    pub avg_temp: Stat,
+    /// QoS violations.
+    pub violations: Stat,
+}
+
+/// The imitation-gap report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleGapReport {
+    /// Rows per policy.
+    pub rows: Vec<GapRow>,
+}
+
+impl OracleGapReport {
+    /// Looks up one policy's mean temperature.
+    pub fn temp(&self, policy: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.policy == policy)
+            .map(|r| r.avg_temp.mean)
+    }
+
+    /// The temperature TOP-IL gives away relative to the oracle, in
+    /// kelvin.
+    pub fn imitation_gap(&self) -> f64 {
+        match (self.temp("TOP-IL"), self.temp("Oracle")) {
+            (Some(il), Some(oracle)) => il - oracle,
+            _ => f64::NAN,
+        }
+    }
+}
+
+impl fmt::Display for OracleGapReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Imitation gap — oracle policy vs. the network that imitates it"
+        )?;
+        writeln!(f, "{:<16} {:>16} {:>16}", "policy", "avg temp [°C]", "violations")?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<16} {:>16} {:>16}",
+                row.policy,
+                row.avg_temp.to_string(),
+                row.violations.to_string()
+            )?;
+        }
+        let gap = self.imitation_gap();
+        if gap >= 0.0 {
+            writeln!(f, "TOP-IL gives away {gap:.2} K versus the online oracle")
+        } else {
+            writeln!(
+                f,
+                "TOP-IL runs {:.2} K cooler than the online oracle (the oracle is \
+                 per-epoch myopic with zero-margin DVFS; IL's measurement-driven \
+                 control loop compensates transients it cannot see)",
+                -gap
+            )
+        }
+    }
+}
+
+/// Runs the imitation-gap experiment on a moderately loaded mixed
+/// workload.
+pub fn run(artifacts: &TrainedArtifacts, effort: Effort) -> OracleGapReport {
+    let sim = SimConfig {
+        cooling: Cooling::fan(),
+        max_duration: SimDuration::from_secs(1200),
+        ..SimConfig::default()
+    };
+    let workload_cfg = MixedWorkloadConfig {
+        num_apps: 12,
+        mean_interarrival: SimDuration::from_secs(8),
+        total_instructions: Some(effort.app_instructions()),
+        ..MixedWorkloadConfig::default()
+    };
+
+    let mut rows: Vec<GapRow> = Vec::new();
+    let mut record = |policy: &str, temps: Vec<f64>, viols: Vec<f64>| {
+        rows.push(GapRow {
+            policy: policy.to_string(),
+            avg_temp: Stat::of(&temps),
+            violations: Stat::of(&viols),
+        });
+    };
+
+    // Three workload seeds for every policy.
+    let workloads: Vec<_> = (0..3)
+        .map(|seed| WorkloadGenerator::mixed(&workload_cfg, &mut StdRng::seed_from_u64(seed)))
+        .collect();
+
+    let run_policy = |make: &mut dyn FnMut(usize) -> Box<dyn Policy>| {
+        let mut temps = Vec::new();
+        let mut viols = Vec::new();
+        for (i, workload) in workloads.iter().enumerate() {
+            let mut policy = make(i);
+            let report = Simulator::new(sim).run(workload, policy.as_mut());
+            temps.push(report.metrics.avg_temperature().value());
+            viols.push(report.metrics.qos_violations() as f64);
+        }
+        (temps, viols)
+    };
+
+    let (t, v) = run_policy(&mut |_| Box::new(OracleGovernor::new(Cooling::fan())));
+    record("Oracle", t, v);
+    let models = artifacts.il_models.clone();
+    let (t, v) = run_policy(&mut |i| {
+        Box::new(TopIlGovernor::new(models[i % models.len()].clone()))
+    });
+    record("TOP-IL", t, v);
+    let (t, v) = run_policy(&mut |_| Box::new(LinuxGovernor::gts_ondemand()));
+    record("GTS/ondemand", t, v);
+    let (t, v) = run_policy(&mut |_| Box::new(LinuxGovernor::gts_schedutil()));
+    record("GTS/schedutil", t, v);
+
+    OracleGapReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::train_artifacts;
+
+    #[test]
+    fn il_tracks_the_oracle_closely() {
+        let artifacts = train_artifacts(Effort::Quick);
+        let report = run(&artifacts, Effort::Quick);
+        let il = report.temp("TOP-IL").unwrap();
+        let ondemand = report.temp("GTS/ondemand").unwrap();
+        assert!(il < ondemand, "IL {il} must beat ondemand {ondemand}");
+        // The learned policy must land within 2 K of the oracle in either
+        // direction: slightly above (imperfect imitation) or even slightly
+        // below — the online oracle is myopic (per-epoch, zero-margin
+        // DVFS), and IL's measurement-driven control loop can edge it out.
+        let gap = report.imitation_gap();
+        assert!(
+            gap.abs() < 2.0,
+            "the learned policy should track its oracle closely, gap {gap} K"
+        );
+    }
+}

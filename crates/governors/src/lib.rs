@@ -1,0 +1,352 @@
+//! State-of-the-practice baselines: Linux **GTS** scheduling combined with
+//! the **ondemand** or **powersave** cpufreq governors.
+//!
+//! * GTS (global task scheduling) places and migrates applications across
+//!   the heterogeneous clusters by computational demand: it prefers the
+//!   big cluster for busy tasks and spills to LITTLE only when big is
+//!   full, up-migrating back when big cores free up. It is oblivious to
+//!   QoS targets and application characteristics.
+//! * *ondemand* raises a cluster to the maximum V/f level whenever any of
+//!   its cores is busy and steps down when idle.
+//! * *powersave* pins both clusters at the lowest V/f level.
+//!
+//! `GTS/ondemand` is the stock Android 8.0 configuration on the HiKey 970
+//! and the paper's primary comparison point.
+//!
+//! # Examples
+//!
+//! ```
+//! use governors::LinuxGovernor;
+//! use hikey_platform::{SimConfig, Simulator};
+//! use hmc_types::SimDuration;
+//! use workloads::{Benchmark, QosSpec, Workload};
+//!
+//! let config = SimConfig { max_duration: SimDuration::from_secs(2), ..SimConfig::default() };
+//! let w = Workload::single(Benchmark::Swaptions, QosSpec::FractionOfMaxBig(0.2));
+//! let report = Simulator::new(config).run(&w, &mut LinuxGovernor::gts_ondemand());
+//! assert_eq!(report.policy, "GTS/ondemand");
+//! ```
+
+#![warn(missing_docs)]
+
+use hikey_platform::{Platform, Policy};
+use hmc_types::{Cluster, CoreId, QosTarget, SimDuration, SimTime};
+use hmc_types::AppModel;
+
+/// GTS load-balancing period (Linux scheduler granularity, coarsened).
+const BALANCE_PERIOD: SimDuration = SimDuration::from_millis(100);
+/// ondemand sampling period.
+const SAMPLING_PERIOD: SimDuration = SimDuration::from_millis(100);
+
+/// The cpufreq governor paired with GTS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpufreqGovernor {
+    /// Max V/f when busy, step down when idle.
+    Ondemand,
+    /// Always the lowest V/f level.
+    Powersave,
+    /// Frequency proportional to cluster utilization with the kernel's
+    /// 25 % headroom (`f = 1.25 · f_max · util`) — the modern Linux
+    /// default.
+    Schedutil,
+}
+
+/// Linux GTS scheduling + a cpufreq governor.
+#[derive(Debug, Clone)]
+pub struct LinuxGovernor {
+    cpufreq: CpufreqGovernor,
+    name: &'static str,
+}
+
+impl LinuxGovernor {
+    /// The stock Android configuration: GTS with *ondemand*.
+    pub fn gts_ondemand() -> Self {
+        LinuxGovernor {
+            cpufreq: CpufreqGovernor::Ondemand,
+            name: "GTS/ondemand",
+        }
+    }
+
+    /// GTS with *powersave*.
+    pub fn gts_powersave() -> Self {
+        LinuxGovernor {
+            cpufreq: CpufreqGovernor::Powersave,
+            name: "GTS/powersave",
+        }
+    }
+
+    /// GTS with *schedutil* (utilization-proportional frequency).
+    pub fn gts_schedutil() -> Self {
+        LinuxGovernor {
+            cpufreq: CpufreqGovernor::Schedutil,
+            name: "GTS/schedutil",
+        }
+    }
+
+    /// GTS load balance: spread within clusters, up-migrate to big.
+    fn balance(&self, platform: &mut Platform) {
+        // 1. Spread: a core hosting several apps hands one to a free core
+        //    of the same cluster.
+        for cluster in Cluster::ALL {
+            let free: Vec<CoreId> = cluster
+                .cores()
+                .filter(|&c| platform.apps_on_core(c) == 0)
+                .collect();
+            if free.is_empty() {
+                continue;
+            }
+            let mut free_iter = free.into_iter();
+            let snapshots = platform.snapshots();
+            for core in cluster.cores() {
+                if platform.apps_on_core(core) >= 2 {
+                    if let Some(target) = free_iter.next() {
+                        if let Some(app) =
+                            snapshots.iter().find(|s| s.core == core).map(|s| s.id)
+                        {
+                            platform.migrate(app, target);
+                        }
+                    }
+                }
+            }
+        }
+        // 2. Up-migration: busy apps prefer the big cluster. Move the
+        //    LITTLE-resident app with the highest measured performance to
+        //    any free big core (GTS considers it "performance-hungry").
+        loop {
+            let free_big: Option<CoreId> = Cluster::Big
+                .cores()
+                .find(|&c| platform.apps_on_core(c) == 0);
+            let Some(target) = free_big else { break };
+            let snapshots = platform.snapshots();
+            let candidate = snapshots
+                .iter()
+                .filter(|s| s.core.cluster() == Cluster::Little)
+                .max_by(|a, b| {
+                    a.qos_current
+                        .value()
+                        .partial_cmp(&b.qos_current.value())
+                        .expect("IPS finite")
+                })
+                .map(|s| s.id);
+            match candidate {
+                Some(app) => {
+                    platform.migrate(app, target);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// cpufreq step for both clusters.
+    fn cpufreq(&self, platform: &mut Platform) {
+        for cluster in Cluster::ALL {
+            match self.cpufreq {
+                CpufreqGovernor::Powersave => {
+                    platform.set_cluster_level(cluster, 0);
+                }
+                CpufreqGovernor::Ondemand => {
+                    let busy = cluster
+                        .cores()
+                        .any(|c| platform.core_utilization(c) > 0.0);
+                    if busy {
+                        // Utilization above the up-threshold: jump to max.
+                        let top = platform.opp_table(cluster).len() - 1;
+                        platform.set_cluster_level(cluster, top);
+                    } else {
+                        // Below the down-threshold: step down.
+                        let current = platform.cluster_level(cluster);
+                        platform.set_cluster_level(cluster, current.saturating_sub(1));
+                    }
+                }
+                CpufreqGovernor::Schedutil => {
+                    // util = busy cores / cluster cores; f = 1.25·f_max·util.
+                    let busy = cluster
+                        .cores()
+                        .filter(|&c| platform.core_utilization(c) > 0.0)
+                        .count();
+                    let util = busy as f64 / hmc_types::CORES_PER_CLUSTER as f64;
+                    if busy == 0 {
+                        platform.set_cluster_level(cluster, 0);
+                    } else {
+                        let f_max = platform.opp_table(cluster).max_frequency();
+                        let target = hmc_types::Frequency::from_khz(
+                            ((1.25 * util * f_max.as_khz() as f64) as u64).max(1),
+                        );
+                        platform.set_cluster_frequency(cluster, target);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Policy for LinuxGovernor {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn placement(&mut self, platform: &Platform, model: &AppModel, qos: QosTarget) -> CoreId {
+        let _ = (model, qos);
+        // GTS prefers the big cluster for new busy tasks.
+        hikey_platform::default_placement(platform)
+    }
+
+    fn on_tick(&mut self, platform: &mut Platform) {
+        let now: SimTime = platform.now();
+        if now.is_multiple_of(BALANCE_PERIOD) {
+            self.balance(platform);
+            platform.consume_governor_time(SimDuration::from_micros(15));
+        }
+        if now.is_multiple_of(SAMPLING_PERIOD) {
+            self.cpufreq(platform);
+            platform.consume_governor_time(SimDuration::from_micros(10));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hikey_platform::{PlatformConfig, SimConfig, Simulator};
+    use workloads::{ArrivalSpec, Benchmark, QosSpec, Workload};
+
+    fn endless(benchmark: Benchmark, at_secs: u64) -> ArrivalSpec {
+        ArrivalSpec {
+            at: SimTime::from_secs(at_secs),
+            benchmark,
+            qos: QosSpec::FractionOfMaxBig(0.3),
+            total_instructions: Some(u64::MAX),
+        }
+    }
+
+    #[test]
+    fn ondemand_runs_busy_clusters_at_max() {
+        let config = SimConfig {
+            max_duration: SimDuration::from_secs(2),
+            stop_when_idle: false,
+            dtm_enabled: false,
+            ..SimConfig::default()
+        };
+        let w = Workload::new(vec![endless(Benchmark::Adi, 0)]);
+        let report = Simulator::new(config).run(&w, &mut LinuxGovernor::gts_ondemand());
+        // All busy CPU time accumulates at the top big OPP.
+        let big = report.metrics.cpu_time_distribution(Cluster::Big);
+        let top = big.len() - 1;
+        let top_time = big[top].as_secs_f64();
+        let total: f64 = big.iter().map(|d| d.as_secs_f64()).sum();
+        assert!(top_time / total > 0.9, "ondemand should sit at max when busy");
+    }
+
+    #[test]
+    fn powersave_stays_at_lowest() {
+        let config = SimConfig {
+            max_duration: SimDuration::from_secs(2),
+            stop_when_idle: false,
+            ..SimConfig::default()
+        };
+        let w = Workload::new(vec![endless(Benchmark::Adi, 0)]);
+        let report = Simulator::new(config).run(&w, &mut LinuxGovernor::gts_powersave());
+        let big = report.metrics.cpu_time_distribution(Cluster::Big);
+        let total: f64 = big.iter().map(|d| d.as_secs_f64()).sum();
+        assert!(big[0].as_secs_f64() / total > 0.99, "powersave pins level 0");
+    }
+
+    #[test]
+    fn powersave_violates_demanding_qos_ondemand_does_not() {
+        let config = SimConfig {
+            max_duration: SimDuration::from_secs(30),
+            ..SimConfig::default()
+        };
+        let mk = || {
+            Workload::new(vec![ArrivalSpec {
+                at: SimTime::ZERO,
+                benchmark: Benchmark::Gramschmidt,
+                qos: QosSpec::FractionOfMaxBig(0.6),
+                total_instructions: Some(5_000_000_000),
+            }])
+        };
+        let on = Simulator::new(config).run(&mk(), &mut LinuxGovernor::gts_ondemand());
+        let save = Simulator::new(config).run(&mk(), &mut LinuxGovernor::gts_powersave());
+        assert_eq!(on.metrics.qos_violations(), 0, "ondemand meets the target");
+        assert_eq!(save.metrics.qos_violations(), 1, "powersave misses it");
+        assert!(
+            save.metrics.avg_temperature().value() < on.metrics.avg_temperature().value(),
+            "powersave is cooler"
+        );
+    }
+
+    #[test]
+    fn schedutil_scales_with_cluster_utilization() {
+        let config = SimConfig {
+            max_duration: SimDuration::from_secs(3),
+            stop_when_idle: false,
+            dtm_enabled: false,
+            ..SimConfig::default()
+        };
+        // One busy big core: util 0.25 -> f = 1.25*0.25*f_max ~ 0.74 GHz.
+        let one = Workload::new(vec![endless(Benchmark::Adi, 0)]);
+        let r1 = Simulator::new(config).run(&one, &mut LinuxGovernor::gts_schedutil());
+        // Four busy big cores: util 1.0 -> max frequency.
+        let four = Workload::new((0..4).map(|_| endless(Benchmark::Adi, 0)).collect());
+        let r4 = Simulator::new(config).run(&four, &mut LinuxGovernor::gts_schedutil());
+        let busiest_level = |m: &hikey_platform::RunMetrics| {
+            m.cpu_time_distribution(Cluster::Big)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        let l1 = busiest_level(&r1.metrics);
+        let l4 = busiest_level(&r4.metrics);
+        assert!(l1 < l4, "more utilization must raise the level: {l1} vs {l4}");
+        assert_eq!(l4, 8, "fully busy cluster runs at max");
+    }
+
+    #[test]
+    fn gts_spreads_shared_cores() {
+        let mut platform = Platform::new(PlatformConfig::default());
+        let w = Workload::single(Benchmark::Adi, QosSpec::FractionOfMaxBig(0.2));
+        let spec = w.iter().next().unwrap();
+        // Two apps crammed on one big core, another big core free.
+        platform.admit(spec, CoreId::new(4));
+        platform.admit(spec, CoreId::new(4));
+        let gov = LinuxGovernor::gts_ondemand();
+        gov.balance(&mut platform);
+        assert_eq!(platform.apps_on_core(CoreId::new(4)), 1, "spread should split them");
+    }
+
+    #[test]
+    fn gts_up_migrates_to_freed_big_core() {
+        let mut platform = Platform::new(PlatformConfig::default());
+        let w = Workload::single(Benchmark::Adi, QosSpec::FractionOfMaxBig(0.2));
+        let spec = w.iter().next().unwrap();
+        let app = platform.admit(spec, CoreId::new(1));
+        for _ in 0..100 {
+            platform.tick();
+        }
+        let gov = LinuxGovernor::gts_ondemand();
+        gov.balance(&mut platform);
+        let core = platform.snapshots()[0].core;
+        assert_eq!(core.cluster(), Cluster::Big, "app should move to big");
+        let _ = app;
+    }
+
+    #[test]
+    fn gts_uses_little_when_big_is_full() {
+        let config = SimConfig {
+            max_duration: SimDuration::from_secs(3),
+            stop_when_idle: false,
+            ..SimConfig::default()
+        };
+        let w = Workload::new((0..6).map(|_| endless(Benchmark::Syr2k, 0)).collect());
+        let report = Simulator::new(config).run(&w, &mut LinuxGovernor::gts_powersave());
+        let little: f64 = report
+            .metrics
+            .cpu_time_distribution(Cluster::Little)
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .sum();
+        assert!(little > 0.5, "overflow should land on LITTLE, got {little}");
+    }
+}

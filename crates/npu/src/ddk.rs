@@ -1,0 +1,254 @@
+//! The HiAI-DDK-shaped client API: non-blocking submit / poll.
+
+use hmc_types::{SimDuration, SimTime};
+use nn::{Matrix, Mlp};
+
+use crate::{NpuDevice, NpuModel};
+
+/// Handle to a submitted inference job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobHandle(u64);
+
+/// Status of a polled job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus {
+    /// Still executing on the NPU; ready at the contained time.
+    Pending {
+        /// When the job's results become available.
+        ready_at: SimTime,
+    },
+    /// Finished.
+    Done(CompletedJob),
+    /// Unknown or already-collected handle.
+    Unknown,
+}
+
+/// The result of a finished job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedJob {
+    /// Model outputs, one row per input sample.
+    pub output: Matrix,
+    /// End-to-end latency of the job.
+    pub latency: SimDuration,
+    /// Host CPU time consumed (submit + completion path); the remainder
+    /// ran asynchronously on the NPU.
+    pub host_cpu_time: SimDuration,
+}
+
+/// A loaded model on the NPU, exposing the DDK's non-blocking call style:
+/// `submit` returns immediately with a handle, `poll` reports completion
+/// against simulated time.
+///
+/// # Examples
+///
+/// ```
+/// use hmc_types::{SimDuration, SimTime};
+/// use nn::{Matrix, Mlp};
+/// use npu::{HiaiClient, JobStatus, NpuDevice};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mlp = Mlp::new(&[4, 8, 2], &mut StdRng::seed_from_u64(0));
+/// let mut client = HiaiClient::load(NpuDevice::kirin970(), &mlp);
+/// let job = client.submit(&Matrix::from_rows(vec![vec![0.0; 4]]), SimTime::ZERO);
+/// // Immediately after submit the job is still pending...
+/// assert!(matches!(client.poll(job, SimTime::ZERO), JobStatus::Pending { .. }));
+/// // ...and completes once the device latency has elapsed.
+/// let later = SimTime::ZERO + SimDuration::from_secs(1);
+/// assert!(matches!(client.poll(job, later), JobStatus::Done(_)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HiaiClient {
+    device: NpuDevice,
+    model: NpuModel,
+    next_handle: u64,
+    in_flight: Vec<(JobHandle, SimTime, CompletedJob)>,
+}
+
+impl HiaiClient {
+    /// Compiles and loads `mlp` onto the device.
+    pub fn load(device: NpuDevice, mlp: &Mlp) -> Self {
+        HiaiClient {
+            device,
+            model: NpuModel::compile(mlp),
+            next_handle: 0,
+            in_flight: Vec::new(),
+        }
+    }
+
+    /// The device this client talks to.
+    pub fn device(&self) -> &NpuDevice {
+        &self.device
+    }
+
+    /// The compiled model.
+    pub fn model(&self) -> &NpuModel {
+        &self.model
+    }
+
+    /// Submits a batch for inference (non-blocking). Results become
+    /// available after the device latency has elapsed.
+    pub fn submit(&mut self, batch: &Matrix, now: SimTime) -> JobHandle {
+        let handle = JobHandle(self.next_handle);
+        self.next_handle += 1;
+        let latency = self.device.inference_latency(&self.model, batch.rows());
+        let job = CompletedJob {
+            output: self.model.infer(batch),
+            latency,
+            host_cpu_time: self.device.host_cpu_time(batch.rows()),
+        };
+        self.in_flight.push((handle, now + latency, job));
+        handle
+    }
+
+    /// Polls a job against simulated time. A `Done` result removes the job
+    /// from the client; polling the same handle again yields `Unknown`.
+    pub fn poll(&mut self, handle: JobHandle, now: SimTime) -> JobStatus {
+        let Some(pos) = self.in_flight.iter().position(|(h, _, _)| *h == handle) else {
+            return JobStatus::Unknown;
+        };
+        if self.in_flight[pos].1 <= now {
+            let (_, _, job) = self.in_flight.swap_remove(pos);
+            JobStatus::Done(job)
+        } else {
+            JobStatus::Pending {
+                ready_at: self.in_flight[pos].1,
+            }
+        }
+    }
+
+    /// Blocking convenience wrapper: submits and returns the completed job
+    /// (the caller accounts the latency).
+    pub fn wait(&mut self, handle: JobHandle) -> CompletedJob {
+        let pos = self
+            .in_flight
+            .iter()
+            .position(|(h, _, _)| *h == handle)
+            .expect("waiting on an unknown or already-collected job");
+        let (_, _, job) = self.in_flight.swap_remove(pos);
+        job
+    }
+
+    /// Number of jobs submitted but not yet collected.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+/// Cost model for running the same inference on a CPU core instead of the
+/// NPU — the ablation behind the paper's claim that the NPU keeps the
+/// migration overhead constant.
+///
+/// # Examples
+///
+/// ```
+/// use npu::CpuInference;
+/// let cpu = CpuInference::cortex_a73();
+/// let one = cpu.latency(14_000, 1);
+/// let many = cpu.latency(14_000, 16);
+/// assert!(many > one * 4); // grows with batch, unlike the NPU
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuInference {
+    /// Sustained multiply-accumulate rate, MACs per second.
+    macs_per_sec: f64,
+    /// Fixed per-invocation overhead.
+    fixed: SimDuration,
+}
+
+impl CpuInference {
+    /// A Cortex-A73 core running scalar f32 inference.
+    pub fn cortex_a73() -> Self {
+        CpuInference {
+            macs_per_sec: 6.0e7,
+            fixed: SimDuration::from_micros(300),
+        }
+    }
+
+    /// Latency of inferring `batch` samples of a model with `macs`
+    /// multiply-accumulates per sample.
+    pub fn latency(&self, macs: usize, batch: usize) -> SimDuration {
+        if batch == 0 {
+            return SimDuration::ZERO;
+        }
+        let compute = SimDuration::from_secs_f64(macs as f64 * batch as f64 / self.macs_per_sec);
+        self.fixed + compute
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn client() -> HiaiClient {
+        let mlp = Mlp::with_topology(21, 4, 64, 8, &mut StdRng::seed_from_u64(3));
+        HiaiClient::load(NpuDevice::kirin970(), &mlp)
+    }
+
+    #[test]
+    fn submit_poll_lifecycle() {
+        let mut c = client();
+        let batch = Matrix::from_rows(vec![vec![0.1; 21]; 4]);
+        let job = c.submit(&batch, SimTime::ZERO);
+        assert_eq!(c.in_flight(), 1);
+        let JobStatus::Pending { ready_at } = c.poll(job, SimTime::ZERO) else {
+            panic!("expected pending right after submit");
+        };
+        match c.poll(job, ready_at) {
+            JobStatus::Done(done) => {
+                assert_eq!(done.output.rows(), 4);
+                assert_eq!(done.output.cols(), 8);
+                assert!(done.host_cpu_time < done.latency);
+            }
+            other => panic!("expected done, got {other:?}"),
+        }
+        assert_eq!(c.in_flight(), 0);
+        assert_eq!(c.poll(job, ready_at), JobStatus::Unknown);
+    }
+
+    #[test]
+    fn wait_collects_immediately() {
+        let mut c = client();
+        let job = c.submit(&Matrix::from_rows(vec![vec![0.0; 21]]), SimTime::ZERO);
+        let done = c.wait(job);
+        assert_eq!(done.output.rows(), 1);
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn outputs_match_direct_model_inference() {
+        let mlp = Mlp::with_topology(21, 2, 16, 8, &mut StdRng::seed_from_u64(4));
+        let mut c = HiaiClient::load(NpuDevice::kirin970(), &mlp);
+        let batch = Matrix::from_rows(vec![vec![0.25; 21]]);
+        let job = c.submit(&batch, SimTime::ZERO);
+        let done = c.wait(job);
+        let direct = NpuModel::compile(&mlp).infer(&batch);
+        assert_eq!(done.output, direct);
+    }
+
+    #[test]
+    fn multiple_jobs_tracked_independently() {
+        let mut c = client();
+        let b1 = Matrix::from_rows(vec![vec![0.1; 21]]);
+        let b2 = Matrix::from_rows(vec![vec![0.9; 21]; 2]);
+        let j1 = c.submit(&b1, SimTime::ZERO);
+        let j2 = c.submit(&b2, SimTime::from_millis(1));
+        assert_eq!(c.in_flight(), 2);
+        let d2 = c.wait(j2);
+        let d1 = c.wait(j1);
+        assert_eq!(d1.output.rows(), 1);
+        assert_eq!(d2.output.rows(), 2);
+    }
+
+    #[test]
+    fn cpu_inference_linear_in_batch() {
+        let cpu = CpuInference::cortex_a73();
+        let macs = 14_000;
+        let l1 = cpu.latency(macs, 1).as_secs_f64();
+        let l16 = cpu.latency(macs, 16).as_secs_f64();
+        assert!(l16 > 8.0 * l1 * 0.5, "should grow with batch");
+        assert_eq!(cpu.latency(macs, 0), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,215 @@
+//! The "compiled" NPU model: int8 weights executed in integer arithmetic.
+
+use nn::{Matrix, Mlp};
+use serde::{Deserialize, Serialize};
+
+use crate::QuantizedTensor;
+
+/// One compiled layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct NpuLayer {
+    /// Quantized weights, row-major `out × in`.
+    weights: QuantizedTensor,
+    n_out: usize,
+    n_in: usize,
+    /// Biases stay in float (accumulators are rescaled before adding).
+    bias: Vec<f32>,
+    relu: bool,
+}
+
+/// An offline-compiled network in the NPU's int8 execution format.
+///
+/// Inference quantizes each layer's input activations on the fly
+/// (symmetric per-tensor), runs the matrix product in `i32` accumulators,
+/// and rescales to float — the standard int8 NN-accelerator dataflow. The
+/// resulting outputs carry realistic quantization error relative to the
+/// float [`Mlp`].
+///
+/// # Examples
+///
+/// ```
+/// use nn::{Matrix, Mlp};
+/// use npu::NpuModel;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mlp = Mlp::new(&[4, 16, 2], &mut rng);
+/// let model = NpuModel::compile(&mlp);
+/// let x = [0.3, -0.2, 0.5, 0.0];
+/// let exact = mlp.forward(&x);
+/// let approx = model.infer(&Matrix::from_rows(vec![x.to_vec()]));
+/// assert!((exact[0] - approx.get(0, 0)).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NpuModel {
+    layers: Vec<NpuLayer>,
+    input_size: usize,
+    output_size: usize,
+    macs: usize,
+}
+
+impl NpuModel {
+    /// Compiles a float network into the int8 execution format.
+    pub fn compile(mlp: &Mlp) -> Self {
+        let n = mlp.layer_count();
+        let layers = (0..n)
+            .map(|i| {
+                let w = mlp.weights(i);
+                NpuLayer {
+                    weights: QuantizedTensor::quantize(w.as_slice()),
+                    n_out: w.rows(),
+                    n_in: w.cols(),
+                    bias: mlp.biases(i).to_vec(),
+                    relu: i + 1 < n,
+                }
+            })
+            .collect();
+        NpuModel {
+            layers,
+            input_size: mlp.input_size(),
+            output_size: mlp.output_size(),
+            macs: mlp.macs(),
+        }
+    }
+
+    /// Input feature width.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Output width.
+    pub fn output_size(&self) -> usize {
+        self.output_size
+    }
+
+    /// Multiply-accumulate operations per sample.
+    pub fn macs(&self) -> usize {
+        self.macs
+    }
+
+    /// Weight bytes resident in NPU SRAM (one byte per int8 weight).
+    pub fn weight_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.weights.len()).sum()
+    }
+
+    /// Runs int8 batch inference. Each row of `x` is one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width does not match.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.input_size, "input width mismatch");
+        let mut activations = x.clone();
+        for layer in &self.layers {
+            activations = Self::infer_layer(layer, &activations);
+        }
+        activations
+    }
+
+    fn infer_layer(layer: &NpuLayer, input: &Matrix) -> Matrix {
+        // Quantize the activations of the whole batch with one scale.
+        let act_q = QuantizedTensor::quantize(input.as_slice());
+        let w_q = layer.weights.values();
+        let out_scale = layer.weights.scale() * act_q.scale();
+        let mut out = Matrix::zeros(input.rows(), layer.n_out);
+        for r in 0..input.rows() {
+            let a_row = &act_q.values()[r * layer.n_in..(r + 1) * layer.n_in];
+            for o in 0..layer.n_out {
+                let w_row = &w_q[o * layer.n_in..(o + 1) * layer.n_in];
+                let mut acc: i32 = 0;
+                for (a, w) in a_row.iter().zip(w_row) {
+                    acc += *a as i32 * *w as i32;
+                }
+                let mut v = acc as f32 * out_scale + layer.bias[o];
+                if layer.relu {
+                    v = v.max(0.0);
+                }
+                out.set(r, o, v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp() -> Mlp {
+        Mlp::with_topology(21, 4, 64, 8, &mut StdRng::seed_from_u64(9))
+    }
+
+    #[test]
+    fn compiled_metadata_matches() {
+        let m = mlp();
+        let c = NpuModel::compile(&m);
+        assert_eq!(c.input_size(), 21);
+        assert_eq!(c.output_size(), 8);
+        assert_eq!(c.macs(), m.macs());
+        assert_eq!(c.weight_bytes(), m.macs()); // one byte per weight
+    }
+
+    #[test]
+    fn quantized_inference_tracks_float() {
+        let m = mlp();
+        let c = NpuModel::compile(&m);
+        let rows: Vec<Vec<f32>> = (0..16)
+            .map(|i| (0..21).map(|j| ((i * 7 + j * 3) % 11) as f32 / 11.0 - 0.5).collect())
+            .collect();
+        let batch = Matrix::from_rows(rows.clone());
+        let approx = c.infer(&batch);
+        let mut max_err = 0.0f32;
+        let mut max_mag = 0.0f32;
+        for (i, row) in rows.iter().enumerate() {
+            let exact = m.forward(row);
+            for (j, &e) in exact.iter().enumerate() {
+                max_err = max_err.max((e - approx.get(i, j)).abs());
+                max_mag = max_mag.max(e.abs());
+            }
+        }
+        assert!(
+            max_err < 0.05 * max_mag.max(1.0),
+            "quantization error too large: {max_err} (magnitude {max_mag})"
+        );
+    }
+
+    #[test]
+    fn argmax_decisions_agree_with_float() {
+        // The migration policy only needs the argmax structure to survive
+        // quantization.
+        let m = mlp();
+        let c = NpuModel::compile(&m);
+        let mut agree = 0;
+        let total = 64;
+        for i in 0..total {
+            let row: Vec<f32> = (0..21)
+                .map(|j| (((i * 13 + j * 5) % 17) as f32 / 17.0) - 0.5)
+                .collect();
+            let exact = m.forward(&row);
+            let approx = c.infer(&Matrix::from_rows(vec![row]));
+            let am_exact = exact
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            let am_approx = (0..8)
+                .max_by(|&a, &b| approx.get(0, a).partial_cmp(&approx.get(0, b)).unwrap())
+                .unwrap();
+            if am_exact == am_approx {
+                agree += 1;
+            }
+        }
+        assert!(agree >= total - 3, "argmax agreement too low: {agree}/{total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn infer_validates_width() {
+        let c = NpuModel::compile(&mlp());
+        let _ = c.infer(&Matrix::zeros(1, 3));
+    }
+}

@@ -1,0 +1,39 @@
+//! Lumped RC thermal network model of the HiKey 970 SoC.
+//!
+//! The paper evaluates on real hardware with an on-board thermal sensor.
+//! This crate substitutes that hardware with a HotSpot-style compartment
+//! model: every core, cluster uncore, the SoC package and the board are
+//! thermal nodes with a heat capacity, connected by thermal conductances and
+//! coupled to the ambient. The model captures exactly the two effects the
+//! paper argues make temperature different from power/energy:
+//!
+//! * **spatial**: heat transfer between neighbouring cores and clusters, and
+//! * **temporal**: heat capacities that make the temperature depend on the
+//!   entire power history, not just the current configuration.
+//!
+//! [`Cooling`] switches between the active (fan) setup used for oracle trace
+//! collection and the passive setup used to demonstrate generalization.
+//!
+//! # Examples
+//!
+//! ```
+//! use hmc_types::{SimDuration, Watts};
+//! use thermal::{Cooling, SocThermal};
+//!
+//! let mut soc = SocThermal::new(Cooling::fan());
+//! let powers = [Watts::new(0.5); 8];
+//! for _ in 0..1_000 {
+//!     soc.step(&powers, [Watts::new(0.2); 2], SimDuration::from_millis(10));
+//! }
+//! assert!(soc.sensor().value() > soc.ambient().value());
+//! ```
+
+#![warn(missing_docs)]
+
+mod cooling;
+mod network;
+mod soc;
+
+pub use cooling::Cooling;
+pub use network::{NodeId, RcNetwork, RcNetworkBuilder};
+pub use soc::{SocThermal, ThermalParams};

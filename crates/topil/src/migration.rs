@@ -1,0 +1,300 @@
+//! The run-time migration policy with batched NPU inference (§5.1).
+//!
+//! Every 500 ms the policy treats **each** running application as the AoI
+//! once, builds the 21-feature vector per AoI, and submits the whole batch
+//! to the NPU in a single job (the device's parallelism makes the latency
+//! independent of the application count — Fig. 11). The inference output
+//! is the rating matrix `l̃_{k,c}`; the executed migration maximizes the
+//! improvement over the current mapping (Eq. 5):
+//!
+//! ```text
+//! k̂, ĉ = argmax_{k, c} ( l̃_{k,c} − l̃_{k,c(k)} )
+//! ```
+//!
+//! Only one application migrates per epoch, which keeps the action space
+//! tractable and the thermal effect attributable.
+
+use hikey_platform::Platform;
+use hmc_types::{AppId, CoreId, SimDuration};
+use npu::{CpuInference, HiaiClient, NpuDevice};
+
+use crate::features::Features;
+use crate::training::IlModel;
+
+/// Per-application cost of building the feature vector.
+const FEATURE_COST_PER_APP: SimDuration = SimDuration::from_micros(25);
+
+/// Default minimum predicted rating improvement required to execute a
+/// migration. With the soft labels of Eq. 4, a rating gap of 0.1
+/// corresponds to a predicted temperature difference of ≈0.1 K — below
+/// that, migrating would churn between equal-quality mappings (the paper
+/// tolerates near-equal mappings by design: "several mappings result in a
+/// very close temperature").
+pub const DEFAULT_IMPROVEMENT_THRESHOLD: f32 = 0.1;
+
+/// Where the batched inference executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InferenceBackend {
+    /// The NPU via the (simulated) HiAI DDK — the paper's configuration.
+    Npu,
+    /// A CPU core — the ablation whose overhead grows with the number of
+    /// applications.
+    Cpu,
+}
+
+/// The outcome of one migration epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationOutcome {
+    /// The executed migration, if any.
+    pub migrated: Option<(AppId, CoreId)>,
+    /// Wall-clock latency of the invocation (feature build + inference).
+    pub latency: SimDuration,
+    /// CPU time charged to the platform.
+    pub cpu_time: SimDuration,
+}
+
+/// The IL migration policy.
+///
+/// # Examples
+///
+/// ```
+/// use topil::migration::{InferenceBackend, MigrationPolicy};
+/// use topil::oracle::Scenario;
+/// use topil::training::{IlTrainer, TrainSettings};
+/// use hikey_platform::{Platform, PlatformConfig};
+///
+/// let mut settings = TrainSettings::default();
+/// settings.nn.max_epochs = 10;
+/// let model = IlTrainer::new(settings).train(&Scenario::standard_set(2, 0), 0);
+/// let mut policy = MigrationPolicy::new(model);
+/// let mut platform = Platform::new(PlatformConfig::default());
+/// let outcome = policy.run(&mut platform);
+/// assert!(outcome.migrated.is_none()); // nothing to migrate yet
+/// ```
+#[derive(Debug, Clone)]
+pub struct MigrationPolicy {
+    model: IlModel,
+    client: HiaiClient,
+    cpu: CpuInference,
+    backend: InferenceBackend,
+    threshold: f32,
+}
+
+impl MigrationPolicy {
+    /// Creates the policy with the model loaded onto the Kirin 970 NPU.
+    pub fn new(model: IlModel) -> Self {
+        let client = HiaiClient::load(NpuDevice::kirin970(), model.mlp());
+        MigrationPolicy {
+            model,
+            client,
+            cpu: CpuInference::cortex_a73(),
+            backend: InferenceBackend::Npu,
+            threshold: DEFAULT_IMPROVEMENT_THRESHOLD,
+        }
+    }
+
+    /// Switches the inference backend (for the overhead ablation).
+    pub fn with_backend(mut self, backend: InferenceBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Overrides the migration hysteresis threshold (for ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite values.
+    pub fn with_threshold(mut self, threshold: f32) -> Self {
+        assert!(threshold.is_finite() && threshold >= 0.0, "invalid threshold");
+        self.threshold = threshold;
+        self
+    }
+
+    /// The deployed model.
+    pub fn model(&self) -> &IlModel {
+        &self.model
+    }
+
+    /// Runs one migration epoch on the platform.
+    pub fn run(&mut self, platform: &mut Platform) -> MigrationOutcome {
+        let snapshots = platform.snapshots();
+        if snapshots.is_empty() {
+            return MigrationOutcome {
+                migrated: None,
+                latency: SimDuration::ZERO,
+                cpu_time: SimDuration::ZERO,
+            };
+        }
+
+        // Parallel inference: every application is the AoI once.
+        let features: Vec<Features> = snapshots
+            .iter()
+            .filter_map(|s| Features::from_platform(platform, s.id))
+            .collect();
+        let batch = self.model.standardized_batch(&features);
+        let feature_cost = FEATURE_COST_PER_APP * features.len() as u64;
+
+        let (ratings, inference_latency, inference_cpu) = match self.backend {
+            InferenceBackend::Npu => {
+                let job = self.client.submit(&batch, platform.now());
+                let done = self.client.wait(job);
+                (done.output, done.latency, done.host_cpu_time)
+            }
+            InferenceBackend::Cpu => {
+                let out = self.model.mlp().forward_batch(&batch);
+                let lat = self.cpu.latency(self.model.mlp().macs(), batch.rows());
+                (out, lat, lat)
+            }
+        };
+
+        // Eq. 5: the best single migration across all (app, free core).
+        let free = platform.free_cores();
+        let mut best: Option<(AppId, CoreId, f32)> = None;
+        for (k, snap) in snapshots.iter().enumerate() {
+            let current = ratings.get(k, snap.core.index());
+            for &core in &free {
+                let delta = ratings.get(k, core.index()) - current;
+                if delta > best.map_or(self.threshold, |(_, _, d)| d) {
+                    best = Some((snap.id, core, delta));
+                }
+            }
+        }
+        let migrated = best.map(|(id, core, _)| {
+            platform.migrate(id, core);
+            (id, core)
+        });
+
+        let cpu_time = feature_cost + inference_cpu;
+        platform.consume_governor_time(cpu_time);
+        MigrationOutcome {
+            migrated,
+            latency: feature_cost + inference_latency,
+            cpu_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Scenario;
+    use crate::training::{IlTrainer, TrainSettings};
+    use hikey_platform::PlatformConfig;
+    use hmc_types::Cluster;
+    use nn::TrainConfig;
+    use workloads::{Benchmark, QosSpec, Workload};
+
+    fn trained_model(seed: u64) -> IlModel {
+        let settings = TrainSettings {
+            nn: TrainConfig {
+                max_epochs: 80,
+                patience: 20,
+                ..TrainConfig::default()
+            },
+            ..TrainSettings::default()
+        };
+        IlTrainer::new(settings).train(&Scenario::standard_set(12, 21), seed)
+    }
+
+    #[test]
+    fn empty_platform_is_a_noop() {
+        let model = trained_model(0);
+        let mut policy = MigrationPolicy::new(model);
+        let mut platform = Platform::new(PlatformConfig::default());
+        let outcome = policy.run(&mut platform);
+        assert!(outcome.migrated.is_none());
+        assert_eq!(outcome.cpu_time, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn npu_latency_flat_cpu_latency_grows() {
+        let model = trained_model(0);
+        let w = Workload::single(Benchmark::Adi, QosSpec::FractionOfMaxBig(0.2));
+        let spec = w.iter().next().unwrap();
+
+        let run_with = |backend: InferenceBackend, napps: usize| {
+            let mut policy = MigrationPolicy::new(trained_model(0)).with_backend(backend);
+            let mut platform = Platform::new(PlatformConfig::default());
+            for i in 0..napps {
+                platform.admit(spec, hmc_types::CoreId::new(i));
+            }
+            for _ in 0..200 {
+                platform.tick();
+            }
+            policy.run(&mut platform).latency
+        };
+        let _ = model;
+
+        let npu_1 = run_with(InferenceBackend::Npu, 1).as_secs_f64();
+        let npu_8 = run_with(InferenceBackend::Npu, 8).as_secs_f64();
+        let cpu_1 = run_with(InferenceBackend::Cpu, 1).as_secs_f64();
+        let cpu_8 = run_with(InferenceBackend::Cpu, 8).as_secs_f64();
+        assert!(npu_8 / npu_1 < 1.3, "NPU latency should stay flat");
+        assert!(cpu_8 / cpu_1 > 2.0, "CPU latency should grow with batch");
+    }
+
+    /// Steps the platform for one migration epoch while co-running the
+    /// DVFS control loop (the policy is deployed together with it, and the
+    /// training distribution assumes near-minimal operating points).
+    fn epoch_with_dvfs(platform: &mut Platform, dvfs: &mut crate::dvfs::DvfsControlLoop) {
+        for slot in 0..10 {
+            for _ in 0..50 {
+                platform.tick();
+            }
+            if slot >= 2 {
+                dvfs.run(platform);
+            }
+        }
+    }
+
+    /// The end-to-end check of the paper's motivational example: the
+    /// trained policy migrates adi to the big cluster and seidel-2d to the
+    /// LITTLE cluster when each starts on the wrong side.
+    #[test]
+    fn motivational_migrations() {
+        let model = trained_model(1);
+
+        // adi on LITTLE should move to big.
+        let mut policy = MigrationPolicy::new(model.clone());
+        let mut dvfs = crate::dvfs::DvfsControlLoop::new();
+        let mut platform = Platform::new(PlatformConfig::default());
+        let w = Workload::single(Benchmark::Adi, QosSpec::FractionOfMaxBig(0.3));
+        let id = platform.admit(w.iter().next().unwrap(), hmc_types::CoreId::new(2));
+        let mut core = hmc_types::CoreId::new(2);
+        for _ in 0..8 {
+            epoch_with_dvfs(&mut platform, &mut dvfs);
+            if let Some((app, c)) = policy.run(&mut platform).migrated {
+                assert_eq!(app, id);
+                core = c;
+            }
+        }
+        assert_eq!(
+            core.cluster(),
+            Cluster::Big,
+            "adi should end up on the big cluster"
+        );
+    }
+
+    #[test]
+    fn does_not_churn_on_equal_mappings() {
+        // After reaching a good mapping, repeated invocations should not
+        // keep migrating between equally rated cores of the same cluster.
+        let model = trained_model(2);
+        let mut policy = MigrationPolicy::new(model);
+        let mut dvfs = crate::dvfs::DvfsControlLoop::new();
+        let mut platform = Platform::new(PlatformConfig::default());
+        let w = Workload::single(Benchmark::SeidelTwoD, QosSpec::FractionOfMaxBig(0.3));
+        platform.admit(w.iter().next().unwrap(), hmc_types::CoreId::new(1));
+        let mut migrations = 0;
+        for _ in 0..12 {
+            epoch_with_dvfs(&mut platform, &mut dvfs);
+            if policy.run(&mut platform).migrated.is_some() {
+                migrations += 1;
+            }
+        }
+        assert!(
+            migrations <= 3,
+            "stable policy should settle, saw {migrations} migrations"
+        );
+    }
+}

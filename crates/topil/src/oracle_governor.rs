@@ -1,0 +1,254 @@
+//! The oracle run directly as a governor — the upper bound TOP-IL
+//! imitates.
+//!
+//! Where TOP-IL *predicts* per-core ratings with a trained network, this
+//! policy *computes* them: every migration epoch it evaluates, for every
+//! (application, candidate core) pair, the analytic steady-state
+//! temperature at the minimum V/f levels that satisfy all QoS targets,
+//! and executes the best migration. It also sets those exact V/f levels
+//! instead of running the linear-scaling control loop.
+//!
+//! This is **not deployable** — it reads the application models (which a
+//! real platform cannot observe) and solves a thermal network per
+//! candidate — but it quantifies the *imitation gap*: how much temperature
+//! TOP-IL gives away relative to the policy it was trained to imitate.
+
+use hikey_platform::{default_placement, Opp, Platform, Policy};
+use hmc_types::{AppId, Cluster, CoreId, QosTarget, SimDuration, NUM_CORES};
+use hmc_types::AppModel;
+use thermal::Cooling;
+use workloads::Benchmark;
+
+use crate::oracle::steady_state_temperature;
+
+/// Migration epoch (same as TOP-IL's for comparability).
+const EPOCH: SimDuration = SimDuration::from_millis(500);
+/// Minimum predicted improvement (kelvin) to execute a migration.
+const IMPROVEMENT_K: f64 = 0.1;
+
+/// The oracle upper-bound governor.
+///
+/// # Examples
+///
+/// ```
+/// use hikey_platform::{SimConfig, Simulator};
+/// use hmc_types::SimDuration;
+/// use thermal::Cooling;
+/// use topil::oracle_governor::OracleGovernor;
+/// use workloads::{Benchmark, QosSpec, Workload};
+///
+/// let config = SimConfig { max_duration: SimDuration::from_secs(2), ..SimConfig::default() };
+/// let w = Workload::single(Benchmark::Adi, QosSpec::FractionOfMaxBig(0.3));
+/// let report = Simulator::new(config).run(&w, &mut OracleGovernor::new(Cooling::fan()));
+/// assert_eq!(report.policy, "Oracle");
+/// ```
+#[derive(Debug, Clone)]
+pub struct OracleGovernor {
+    cooling: Cooling,
+}
+
+impl OracleGovernor {
+    /// Creates the oracle governor; `cooling` must match the simulation's
+    /// cooling configuration (the oracle knows the platform).
+    pub fn new(cooling: Cooling) -> Self {
+        OracleGovernor { cooling }
+    }
+
+    /// Resolves each running application's model from its benchmark name
+    /// (the oracle's design-time knowledge).
+    fn placement_of(platform: &Platform) -> Vec<(AppId, AppModel, QosTarget, CoreId)> {
+        platform
+            .snapshots()
+            .iter()
+            .filter_map(|s| {
+                let benchmark: Benchmark = s.name.parse().ok()?;
+                Some((s.id, benchmark.model(), s.qos_target, s.core))
+            })
+            .collect()
+    }
+
+    /// The minimum per-cluster operating points satisfying every target
+    /// for a hypothetical placement, or `None` if some target is
+    /// unreachable even at the peak levels.
+    fn minimal_opps(
+        platform: &Platform,
+        placement: &[(AppId, AppModel, QosTarget, CoreId)],
+    ) -> Option<[Opp; 2]> {
+        let mut per_core = [0usize; NUM_CORES];
+        for (_, _, _, core) in placement {
+            per_core[core.index()] += 1;
+        }
+        let mut level = [0usize; 2];
+        for (_, model, target, core) in placement {
+            let cluster = core.cluster();
+            let table = platform.opp_table(cluster);
+            let share = 1.0 / per_core[core.index()] as f64;
+            let required = table.frequencies().into_iter().position(|f| {
+                model.mean_ips(cluster, f, share).meets(target.ips())
+            })?;
+            level[cluster.index()] = level[cluster.index()].max(required);
+        }
+        Some([
+            platform.opp_table(Cluster::Little).opp(level[0]),
+            platform.opp_table(Cluster::Big).opp(level[1]),
+        ])
+    }
+
+    /// Steady-state temperature of a hypothetical placement at its minimal
+    /// operating points (`None` if infeasible).
+    fn evaluate(
+        &self,
+        platform: &Platform,
+        placement: &[(AppId, AppModel, QosTarget, CoreId)],
+    ) -> Option<f64> {
+        let opps = Self::minimal_opps(platform, placement)?;
+        let models: Vec<(AppModel, CoreId)> = placement
+            .iter()
+            .map(|(_, m, _, c)| (m.clone(), *c))
+            .collect();
+        Some(steady_state_temperature(&models, opps, self.cooling).value())
+    }
+}
+
+impl Policy for OracleGovernor {
+    fn name(&self) -> &str {
+        "Oracle"
+    }
+
+    fn placement(&mut self, platform: &Platform, model: &AppModel, qos: QosTarget) -> CoreId {
+        let _ = (model, qos);
+        default_placement(platform)
+    }
+
+    fn on_tick(&mut self, platform: &mut Platform) {
+        let now = platform.now();
+        if !now.is_multiple_of(EPOCH) || platform.app_count() == 0 {
+            return;
+        }
+        let placement = Self::placement_of(platform);
+        if placement.is_empty() {
+            return;
+        }
+        let current_temp = self.evaluate(platform, &placement);
+
+        // Best single migration across all (application, free core) pairs.
+        let free = platform.free_cores();
+        let mut best: Option<(AppId, CoreId, f64)> = None;
+        for (idx, &(id, _, _, _)) in placement.iter().enumerate() {
+            for &core in &free {
+                let mut hypothetical = placement.clone();
+                hypothetical[idx].3 = core;
+                if let Some(temp) = self.evaluate(platform, &hypothetical) {
+                    let improvement = match current_temp {
+                        Some(cur) => cur - temp,
+                        // Current placement is infeasible: any feasible
+                        // alternative is an improvement.
+                        None => f64::INFINITY,
+                    };
+                    let beats = best.map_or(IMPROVEMENT_K, |(_, _, i)| i);
+                    if improvement > beats {
+                        best = Some((id, core, improvement));
+                    }
+                }
+            }
+        }
+        let final_placement = if let Some((id, core, _)) = best {
+            platform.migrate(id, core);
+            let mut p = placement;
+            if let Some(entry) = p.iter_mut().find(|(pid, _, _, _)| *pid == id) {
+                entry.3 = core;
+            }
+            p
+        } else {
+            placement
+        };
+
+        // Oracle DVFS: jump straight to the minimal satisfying levels.
+        if let Some(opps) = Self::minimal_opps(platform, &final_placement) {
+            platform.set_cluster_frequency(Cluster::Little, opps[0].frequency);
+            platform.set_cluster_frequency(Cluster::Big, opps[1].frequency);
+        } else {
+            // Some target unreachable: run flat out.
+            let top_l = platform.opp_table(Cluster::Little).len() - 1;
+            let top_b = platform.opp_table(Cluster::Big).len() - 1;
+            platform.set_cluster_level(Cluster::Little, top_l);
+            platform.set_cluster_level(Cluster::Big, top_b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hikey_platform::{SimConfig, Simulator};
+    use workloads::{QosSpec, Workload};
+
+    fn sim() -> SimConfig {
+        SimConfig {
+            max_duration: SimDuration::from_secs(60),
+            stop_when_idle: false,
+            ..SimConfig::default()
+        }
+    }
+
+    fn endless(benchmark: Benchmark, fraction: f64) -> Workload {
+        Workload::new(vec![workloads::ArrivalSpec {
+            at: hmc_types::SimTime::ZERO,
+            benchmark,
+            qos: QosSpec::FractionOfMaxBig(fraction),
+            total_instructions: Some(u64::MAX),
+        }])
+    }
+
+    #[test]
+    fn oracle_picks_the_motivational_mappings() {
+        // adi should end on big, seidel-2d on LITTLE, per Fig. 1.
+        for (benchmark, cluster) in [
+            (Benchmark::Adi, Cluster::Big),
+            (Benchmark::SeidelTwoD, Cluster::Little),
+        ] {
+            let mut governor = OracleGovernor::new(Cooling::fan());
+            let config = SimConfig {
+                trace_interval: Some(SimDuration::from_secs(5)),
+                ..sim()
+            };
+            let report = Simulator::new(config).run(&endless(benchmark, 0.3), &mut governor);
+            let last = report.trace.last().unwrap();
+            let (_, core) = last.app_cores[0];
+            assert_eq!(core.cluster(), cluster, "{benchmark} on wrong cluster");
+            assert_eq!(report.metrics.qos_violations(), 0);
+        }
+    }
+
+    #[test]
+    fn oracle_meets_qos_and_undercuts_max_frequency() {
+        let mut governor = OracleGovernor::new(Cooling::fan());
+        let report = Simulator::new(sim()).run(&endless(Benchmark::Syr2k, 0.4), &mut governor);
+        assert_eq!(report.metrics.qos_violations(), 0);
+        // Far below the boot-at-max temperature for the same app.
+        struct NoGovernor;
+        impl Policy for NoGovernor {
+            fn name(&self) -> &str {
+                "none"
+            }
+            fn on_tick(&mut self, _: &mut Platform) {}
+        }
+        let max = Simulator::new(sim()).run(&endless(Benchmark::Syr2k, 0.4), &mut NoGovernor);
+        assert!(
+            report.metrics.avg_temperature().value()
+                < max.metrics.avg_temperature().value() - 1.0
+        );
+    }
+
+    #[test]
+    fn oracle_is_stable() {
+        let mut governor = OracleGovernor::new(Cooling::fan());
+        let report =
+            Simulator::new(sim()).run(&endless(Benchmark::SeidelTwoD, 0.3), &mut governor);
+        assert!(
+            report.metrics.migrations() <= 2,
+            "oracle should settle, saw {}",
+            report.metrics.migrations()
+        );
+    }
+}

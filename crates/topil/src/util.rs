@@ -1,0 +1,109 @@
+//! Shared helpers.
+
+use hikey_platform::OppTable;
+use hmc_types::{Frequency, Ips, QosTarget};
+
+/// Estimates the minimum OPP index at which application `k` still meets
+/// its QoS target, by **linear scaling** from the current operating point
+/// (the paper's Eq. 1):
+///
+/// ```text
+/// f̃_k,min = min { f ∈ F_x : q_k · f / f_x ≥ Q_k }
+/// ```
+///
+/// Returns the highest index when even the top level misses the target
+/// (the control loop can do no better), and the lowest when the target is
+/// zero or the measurement is unusable.
+pub fn estimate_min_level(
+    q_current: Ips,
+    target: QosTarget,
+    f_current: Frequency,
+    table: &OppTable,
+) -> usize {
+    if target.ips().value() <= 0.0 {
+        return 0;
+    }
+    if q_current.value() <= 0.0 || f_current.as_khz() == 0 {
+        // No usable measurement yet (e.g. the app just arrived): be safe.
+        return table.len() - 1;
+    }
+    for (idx, opp) in table.iter().enumerate() {
+        let scaled = q_current.scaled(opp.frequency.ratio(f_current));
+        if scaled.meets(target.ips()) {
+            return idx;
+        }
+    }
+    table.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::Cluster;
+
+    fn table() -> OppTable {
+        OppTable::hikey970(Cluster::Little)
+    }
+
+    #[test]
+    fn exact_linear_scaling() {
+        let t = table();
+        // Running at 1844 MHz delivering 400 MIPS; target 200 MIPS ->
+        // any f >= 922 MHz works -> first OPP >= that is 1018 (index 1).
+        let level = estimate_min_level(
+            Ips::from_mips(400.0),
+            QosTarget::new(Ips::from_mips(200.0)),
+            Frequency::from_mhz(1844),
+            &t,
+        );
+        assert_eq!(level, 1);
+    }
+
+    #[test]
+    fn target_already_met_at_lowest() {
+        let t = table();
+        let level = estimate_min_level(
+            Ips::from_mips(1000.0),
+            QosTarget::new(Ips::from_mips(10.0)),
+            Frequency::from_mhz(1844),
+            &t,
+        );
+        assert_eq!(level, 0);
+    }
+
+    #[test]
+    fn unreachable_target_gives_top_level() {
+        let t = table();
+        let level = estimate_min_level(
+            Ips::from_mips(100.0),
+            QosTarget::new(Ips::from_mips(10_000.0)),
+            Frequency::from_mhz(1844),
+            &t,
+        );
+        assert_eq!(level, t.len() - 1);
+    }
+
+    #[test]
+    fn missing_measurement_is_conservative() {
+        let t = table();
+        let level = estimate_min_level(
+            Ips::ZERO,
+            QosTarget::new(Ips::from_mips(100.0)),
+            Frequency::from_mhz(509),
+            &t,
+        );
+        assert_eq!(level, t.len() - 1);
+    }
+
+    #[test]
+    fn zero_target_gives_lowest() {
+        let t = table();
+        let level = estimate_min_level(
+            Ips::ZERO,
+            QosTarget::NONE,
+            Frequency::from_mhz(509),
+            &t,
+        );
+        assert_eq!(level, 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the TOP-IL pipeline invariants.
+
+use hmc_types::{CoreId, Ips, QosTarget, NUM_CORES};
+use proptest::prelude::*;
+use topil::oracle::{extract_cases, ExtractionConfig, Scenario, TraceCollector};
+use topil::Features;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The feature vector layout is stable: 21 finite entries, exactly one
+    /// one-hot bit, utilizations binary.
+    #[test]
+    fn feature_vector_well_formed(
+        q in 0.0f64..5e9,
+        l2d in 0.0f64..5e8,
+        core in 0usize..NUM_CORES,
+        target in 0.0f64..5e9,
+        ratio_l in 0.0f64..2.0,
+        ratio_b in 0.0f64..2.0,
+        util_bits in 0u8..=255,
+    ) {
+        let features = Features {
+            qos_current: Ips::new(q),
+            l2d_per_sec: l2d,
+            current_core: CoreId::new(core),
+            qos_target: QosTarget::new(Ips::new(target)),
+            required_vf_ratio: [ratio_l, ratio_b],
+            core_utilization: std::array::from_fn(|i| f64::from((util_bits >> i) & 1)),
+        };
+        let arr = features.to_array();
+        prop_assert_eq!(arr.len(), topil::FEATURE_COUNT);
+        prop_assert!(arr.iter().all(|v| v.is_finite()));
+        let onehot = &arr[2..10];
+        prop_assert_eq!(onehot.iter().filter(|&&v| v == 1.0).count(), 1);
+        prop_assert_eq!(onehot[core], 1.0);
+        for v in &arr[13..21] {
+            prop_assert!(*v == 0.0 || *v == 1.0);
+        }
+    }
+
+    /// Oracle labels always satisfy the Eq. 4 contract, for any scenario
+    /// and any α.
+    #[test]
+    fn oracle_labels_satisfy_eq4(seed in 0u64..500, alpha in 0.1f64..5.0) {
+        let scenario = &Scenario::standard_set(1, seed)[0];
+        let traces = TraceCollector::new().collect(scenario);
+        let config = ExtractionConfig {
+            qos_fractions: vec![0.3],
+            alpha,
+            ..ExtractionConfig::default()
+        };
+        let cases = extract_cases(&traces, &config);
+        for case in &cases {
+            let mut has_unit_label = false;
+            for core in CoreId::all() {
+                let l = case.labels[core.index()];
+                let free = traces.free_cores().contains(&core);
+                if !free {
+                    prop_assert_eq!(l, 0.0, "occupied core must be 0");
+                } else {
+                    prop_assert!(l == -1.0 || (l > 0.0 && l <= 1.0));
+                    if (l - 1.0).abs() < 1e-6 {
+                        has_unit_label = true;
+                    }
+                    // Feasible cores have temperatures, infeasible do not.
+                    prop_assert_eq!(
+                        case.temperatures[core.index()].is_some(),
+                        l > 0.0
+                    );
+                }
+            }
+            if case.temperatures.iter().any(Option::is_some) {
+                prop_assert!(has_unit_label, "the optimum must be labeled 1.0");
+            }
+        }
+    }
+
+    /// Labels are anti-monotone in temperature: a hotter feasible mapping
+    /// never gets a higher label.
+    #[test]
+    fn labels_anti_monotone_in_temperature(seed in 0u64..500) {
+        let scenario = &Scenario::standard_set(1, seed)[0];
+        let traces = TraceCollector::new().collect(scenario);
+        let cases = extract_cases(&traces, &ExtractionConfig::default());
+        for case in &cases {
+            let feasible: Vec<(f64, f32)> = CoreId::all()
+                .filter_map(|c| {
+                    case.temperatures[c.index()].map(|t| (t.value(), case.labels[c.index()]))
+                })
+                .collect();
+            for a in &feasible {
+                for b in &feasible {
+                    if a.0 < b.0 {
+                        prop_assert!(
+                            a.1 >= b.1 - 1e-6,
+                            "cooler mapping {a:?} labeled below hotter {b:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The linear-scaling V/f estimate (Eq. 1) is monotone: a higher QoS
+    /// target never yields a lower required level.
+    #[test]
+    fn eq1_estimate_monotone_in_target(
+        q_mips in 50.0f64..2000.0,
+        t1 in 10.0f64..2000.0,
+        delta in 0.0f64..1000.0,
+    ) {
+        let table = hikey_platform::OppTable::hikey970(hmc_types::Cluster::Big);
+        let f = hmc_types::Frequency::from_mhz(1210);
+        let lo = topil::estimate_min_level(
+            Ips::from_mips(q_mips),
+            QosTarget::new(Ips::from_mips(t1)),
+            f,
+            &table,
+        );
+        let hi = topil::estimate_min_level(
+            Ips::from_mips(q_mips),
+            QosTarget::new(Ips::from_mips(t1 + delta)),
+            f,
+            &table,
+        );
+        prop_assert!(hi >= lo);
+    }
+}

@@ -1,0 +1,382 @@
+//! The TOP-RL governor: per-application agents, mediator, shared Q-table,
+//! and the same DVFS control loop as TOP-IL (for a fair comparison).
+
+
+use hikey_platform::{default_placement, Platform, Policy};
+use hmc_types::{AppId, CoreId, QosTarget, SimDuration};
+use hmc_types::AppModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use topil::dvfs::DvfsControlLoop;
+use workloads::{MixedWorkloadConfig, WorkloadGenerator};
+
+use crate::qtable::QTable;
+use crate::state::{quantize_state, RlConfig};
+
+/// Migration epoch (same as TOP-IL's 500 ms for a fair comparison).
+pub const EPOCH: SimDuration = SimDuration::from_millis(500);
+/// DVFS control-loop period.
+const DVFS_PERIOD: SimDuration = SimDuration::from_millis(50);
+
+/// Run-time statistics of the RL governor.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RlStats {
+    /// Migration epochs executed.
+    pub epochs: u64,
+    /// Migrations actually executed by the mediator.
+    pub migrations_executed: u64,
+    /// Q-table updates performed.
+    pub updates: u64,
+    /// Cumulative reward observed.
+    pub cumulative_reward: f64,
+}
+
+/// The multi-agent Q-learning migration governor.
+///
+/// # Examples
+///
+/// ```
+/// use toprl::TopRlGovernor;
+/// use hikey_platform::{SimConfig, Simulator};
+/// use hmc_types::SimDuration;
+/// use workloads::{Benchmark, QosSpec, Workload};
+///
+/// let mut governor = TopRlGovernor::new(0);
+/// let config = SimConfig { max_duration: SimDuration::from_secs(2), ..SimConfig::default() };
+/// let w = Workload::single(Benchmark::Adi, QosSpec::FractionOfMaxBig(0.3));
+/// let report = Simulator::new(config).run(&w, &mut governor);
+/// assert_eq!(report.policy, "TOP-RL");
+/// ```
+#[derive(Debug)]
+pub struct TopRlGovernor {
+    qtable: QTable,
+    config: RlConfig,
+    rng: StdRng,
+    dvfs: DvfsControlLoop,
+    dvfs_skip: u8,
+    /// The agent selected by the mediator last epoch: `(app, state,
+    /// action)` — the only agent that learns from the next reward.
+    pending: Option<(AppId, usize, usize)>,
+    stats: RlStats,
+    learning: bool,
+}
+
+impl TopRlGovernor {
+    /// Creates a governor with a zero-initialized Q-table.
+    pub fn new(seed: u64) -> Self {
+        Self::with_qtable(QTable::new(), seed)
+    }
+
+    /// Creates a governor from a pre-trained Q-table (the paper stores the
+    /// converged table and loads it for each evaluation run).
+    pub fn with_qtable(qtable: QTable, seed: u64) -> Self {
+        TopRlGovernor {
+            qtable,
+            config: RlConfig::default(),
+            rng: StdRng::seed_from_u64(seed),
+            dvfs: DvfsControlLoop::new(),
+            dvfs_skip: 0,
+            pending: None,
+            stats: RlStats::default(),
+            learning: true,
+        }
+    }
+
+    /// Disables run-time exploration and learning (not used in the paper —
+    /// online learning is inherent to its RL baseline — but useful for
+    /// ablations).
+    pub fn frozen(mut self) -> Self {
+        self.learning = false;
+        self
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> RlStats {
+        self.stats
+    }
+
+    /// A reference to the (shared) Q-table.
+    pub fn qtable(&self) -> &QTable {
+        &self.qtable
+    }
+
+    /// Extracts the learned Q-table.
+    pub fn into_qtable(self) -> QTable {
+        self.qtable
+    }
+
+    /// Pre-trains on a random workload until `sim_time` has elapsed (the
+    /// paper trains ~3 h until convergence on a workload disjoint from the
+    /// evaluation), returning the learned table.
+    pub fn pretrain(seed: u64, sim_time: SimDuration) -> QTable {
+        use hikey_platform::{SimConfig, Simulator};
+        let mut governor = TopRlGovernor::new(seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9E37_79B9));
+        let config = SimConfig {
+            max_duration: sim_time,
+            stop_when_idle: false,
+            ..SimConfig::default()
+        };
+        // Random training workload from the training benchmarks only.
+        let workload_cfg = MixedWorkloadConfig {
+            num_apps: 400,
+            mean_interarrival: SimDuration::from_secs(8),
+            benchmarks: workloads::Benchmark::training_set().to_vec(),
+            total_instructions: Some(8_000_000_000),
+            ..MixedWorkloadConfig::default()
+        };
+        let workload = WorkloadGenerator::mixed(&workload_cfg, &mut rng);
+        let _ = Simulator::new(config).run(&workload, &mut governor);
+        governor.into_qtable()
+    }
+
+    /// The scalar reward of the paper: `80 °C − T`, or −200 on any QoS
+    /// violation.
+    fn reward(&self, platform: &Platform) -> f32 {
+        let any_violation = platform
+            .snapshots()
+            .iter()
+            .any(|s| s.qos_target.is_violated_by(s.qos_current));
+        if any_violation {
+            self.config.qos_penalty
+        } else {
+            self.config.reward_base - platform.sensor().value() as f32
+        }
+    }
+
+    fn migration_epoch(&mut self, platform: &mut Platform) {
+        // 1. Learn from the previous epoch's executed action.
+        if let Some((app, state, action)) = self.pending.take() {
+            if self.learning {
+                let reward = self.reward(platform);
+                let next_state = platform
+                    .snapshots()
+                    .iter()
+                    .find(|s| s.id == app)
+                    .map(|s| quantize_state(platform, s));
+                self.qtable.learn(
+                    state,
+                    action,
+                    reward,
+                    next_state,
+                    self.config.alpha,
+                    self.config.gamma,
+                );
+                self.stats.updates += 1;
+                self.stats.cumulative_reward += reward as f64;
+            }
+        }
+
+        // 2. Every agent proposes an action; the mediator executes the one
+        //    with the highest Q-value.
+        let snapshots = platform.snapshots();
+        if snapshots.is_empty() {
+            return;
+        }
+        let epsilon = if self.learning { self.config.epsilon } else { 0.0 };
+        let mut proposals: Vec<(AppId, usize, usize, f32)> = Vec::with_capacity(snapshots.len());
+        for snap in &snapshots {
+            let state = quantize_state(platform, snap);
+            let action = self.qtable.epsilon_greedy(state, epsilon, &mut self.rng);
+            proposals.push((snap.id, state, action, self.qtable.value(state, action)));
+        }
+        let chosen = proposals
+            .iter()
+            .max_by(|a, b| a.3.partial_cmp(&b.3).expect("Q-values finite"))
+            .copied()
+            .expect("proposals is non-empty");
+        let (app, state, action, _) = chosen;
+        let target = CoreId::new(action);
+        let moved = snapshots
+            .iter()
+            .find(|s| s.id == app)
+            .map(|s| s.core != target)
+            .unwrap_or(false);
+        platform.migrate(app, target);
+        if moved {
+            self.stats.migrations_executed += 1;
+        }
+        self.pending = Some((app, state, action));
+        self.stats.epochs += 1;
+
+        // A tiny CPU cost: table lookups per application.
+        platform
+            .consume_governor_time(SimDuration::from_micros(20 + 10 * snapshots.len() as u64));
+    }
+}
+
+impl Policy for TopRlGovernor {
+    fn name(&self) -> &str {
+        "TOP-RL"
+    }
+
+    fn placement(&mut self, platform: &Platform, model: &AppModel, qos: QosTarget) -> CoreId {
+        let _ = (model, qos);
+        default_placement(platform)
+    }
+
+    fn on_tick(&mut self, platform: &mut Platform) {
+        let now = platform.now();
+        if now.is_multiple_of(EPOCH) && platform.app_count() > 0 {
+            self.migration_epoch(platform);
+            self.dvfs_skip = 2;
+        }
+        if now.is_multiple_of(DVFS_PERIOD) {
+            if self.dvfs_skip > 0 {
+                self.dvfs_skip -= 1;
+            } else {
+                self.dvfs.run(platform);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hikey_platform::{SimConfig, Simulator};
+    use hmc_types::SimTime;
+    use workloads::{ArrivalSpec, Benchmark, QosSpec, Workload};
+
+    #[test]
+    fn runs_and_learns() {
+        let mut governor = TopRlGovernor::new(1);
+        let config = SimConfig {
+            max_duration: SimDuration::from_secs(20),
+            stop_when_idle: false,
+            ..SimConfig::default()
+        };
+        let w = Workload::new(vec![ArrivalSpec {
+            at: SimTime::ZERO,
+            benchmark: Benchmark::Adi,
+            qos: QosSpec::FractionOfMaxBig(0.3),
+            total_instructions: Some(u64::MAX),
+        }]);
+        let _ = Simulator::new(config).run(&w, &mut governor);
+        let stats = governor.stats();
+        assert!(stats.epochs > 30);
+        assert!(stats.updates > 25);
+        assert!(governor.qtable().nonzero_entries() > 0, "learning must write");
+    }
+
+    #[test]
+    fn pretraining_improves_reward() {
+        // A pre-trained table should collect more reward on a fresh run
+        // than a blank table collects on its own first run.
+        let table = TopRlGovernor::pretrain(3, SimDuration::from_secs(240));
+        let run = |mut governor: TopRlGovernor| {
+            let config = SimConfig {
+                max_duration: SimDuration::from_secs(60),
+                stop_when_idle: false,
+                ..SimConfig::default()
+            };
+            let w = Workload::new(vec![ArrivalSpec {
+                at: SimTime::ZERO,
+                benchmark: Benchmark::SeidelTwoD,
+                qos: QosSpec::FractionOfMaxBig(0.3),
+                total_instructions: Some(u64::MAX),
+            }]);
+            let _ = Simulator::new(config).run(&w, &mut governor);
+            governor.stats().cumulative_reward / governor.stats().updates.max(1) as f64
+        };
+        let blank = run(TopRlGovernor::new(5));
+        let trained = run(TopRlGovernor::with_qtable(table, 5));
+        assert!(
+            trained >= blank - 5.0,
+            "pre-trained mean reward {trained} should not be far below blank {blank}"
+        );
+    }
+
+    #[test]
+    fn mediator_executes_at_most_one_migration_per_epoch() {
+        let mut governor = TopRlGovernor::new(2);
+        let config = SimConfig {
+            max_duration: SimDuration::from_secs(10),
+            stop_when_idle: false,
+            ..SimConfig::default()
+        };
+        let w = Workload::new(
+            (0..4)
+                .map(|_i| ArrivalSpec {
+                    at: SimTime::ZERO,
+                    benchmark: Benchmark::Syr2k,
+                    qos: QosSpec::FractionOfMaxBig(0.2),
+                    total_instructions: Some(u64::MAX),
+                })
+                .map(|mut a| {
+                    a.at = SimTime::ZERO;
+                    a
+                })
+                .collect(),
+        );
+        let report = Simulator::new(config).run(&w, &mut governor);
+        let stats = governor.stats();
+        assert!(
+            report.metrics.migrations() <= stats.epochs,
+            "at most one migration per epoch"
+        );
+    }
+
+    #[test]
+    fn impossible_targets_earn_the_penalty_reward() {
+        let mut governor = TopRlGovernor::new(9);
+        let config = SimConfig {
+            max_duration: SimDuration::from_secs(10),
+            stop_when_idle: false,
+            ..SimConfig::default()
+        };
+        let w = Workload::new(vec![ArrivalSpec {
+            at: SimTime::ZERO,
+            benchmark: Benchmark::Adi,
+            // Far beyond any achievable IPS: every epoch is a violation.
+            qos: QosSpec::Absolute(hmc_types::Ips::new(1e15)),
+            total_instructions: Some(u64::MAX),
+        }]);
+        let _ = Simulator::new(config).run(&w, &mut governor);
+        let stats = governor.stats();
+        assert!(stats.updates > 5);
+        let mean_reward = stats.cumulative_reward / stats.updates as f64;
+        assert!(
+            (mean_reward - (-200.0)).abs() < 1e-6,
+            "every reward must be the -200 penalty, mean {mean_reward}"
+        );
+    }
+
+    #[test]
+    fn healthy_run_earns_temperature_rewards() {
+        let mut governor = TopRlGovernor::new(10);
+        let config = SimConfig {
+            max_duration: SimDuration::from_secs(10),
+            stop_when_idle: false,
+            ..SimConfig::default()
+        };
+        let w = Workload::new(vec![ArrivalSpec {
+            at: SimTime::ZERO,
+            benchmark: Benchmark::Adi,
+            qos: QosSpec::FractionOfMaxBig(0.1),
+            total_instructions: Some(u64::MAX),
+        }]);
+        let _ = Simulator::new(config).run(&w, &mut governor);
+        let stats = governor.stats();
+        let mean_reward = stats.cumulative_reward / stats.updates.max(1) as f64;
+        // r = 80 °C − T with T in the 25–60 °C range.
+        assert!(
+            (20.0..56.0).contains(&mean_reward),
+            "expected thermal rewards, mean {mean_reward}"
+        );
+    }
+
+    #[test]
+    fn frozen_governor_does_not_update() {
+        let mut governor = TopRlGovernor::new(4).frozen();
+        let config = SimConfig {
+            max_duration: SimDuration::from_secs(5),
+            stop_when_idle: false,
+            ..SimConfig::default()
+        };
+        let w = Workload::single(Benchmark::Adi, QosSpec::FractionOfMaxBig(0.3));
+        let _ = Simulator::new(config).run(&w, &mut governor);
+        assert_eq!(governor.stats().updates, 0);
+        assert_eq!(governor.qtable().nonzero_entries(), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! **TOP-RL** — the paper's RL baseline (§6): multi-agent tabular
+//! Q-learning for application migration, sharing the TOP-IL DVFS control
+//! loop.
+//!
+//! One logical agent exists per running application; all agents share a
+//! single [`QTable`] ("to improve generalization to different applications,
+//! and to immediately start with a trained policy when a new application
+//! arrives"). Each epoch every agent proposes an ε-greedy migration; a
+//! [mediator](TopRlGovernor) executes only the proposal with the highest
+//! Q-value and later routes the observed reward exclusively to that agent.
+//!
+//! The reward combines objective and constraint into one scalar —
+//! precisely the structural weakness the paper attributes RL's instability
+//! to:
+//!
+//! ```text
+//! r = 80 °C − T      if every application meets its QoS target
+//! r = −200           otherwise
+//! ```
+
+#![warn(missing_docs)]
+
+mod governor;
+mod qtable;
+mod state;
+
+pub use governor::{RlStats, TopRlGovernor};
+pub use qtable::QTable;
+pub use state::{quantize_state, RlConfig, NUM_ACTIONS, NUM_STATES};

@@ -1,0 +1,38 @@
+//! Synthetic application models and workload generators.
+//!
+//! The paper evaluates with eight *Polybench* kernels (steady-state, used
+//! for oracle training — except `jacobi-2d`) and eight *PARSEC* benchmarks
+//! (phased, all unseen during training). Real binaries cannot run inside
+//! this reproduction, so each benchmark is replaced by an analytic
+//! [`AppModel`] whose parameters were calibrated to reproduce the paper's
+//! observable behaviours:
+//!
+//! * `adi` needs the **highest** LITTLE OPP but only the **lowest** big OPP
+//!   to reach a 30 % QoS target (motivational example, Fig. 1),
+//! * `seidel-2d` reaches the same target at 1.21 GHz LITTLE vs 1.018 GHz
+//!   big, making the LITTLE mapping marginally cooler,
+//! * `canneal` is so memory-bound that its performance barely depends on
+//!   the CPU V/f level (single-application experiment),
+//! * PARSEC applications have execution phases; Polybench ones do not
+//!   (a requirement of the paper's trace-collection optimization).
+//!
+//! # Examples
+//!
+//! ```
+//! use workloads::Benchmark;
+//! let adi = Benchmark::Adi.model();
+//! assert_eq!(adi.name(), "adi");
+//! assert!(Benchmark::training_set().contains(&Benchmark::Adi));
+//! assert!(!Benchmark::training_set().contains(&Benchmark::Canneal));
+//! ```
+
+#![warn(missing_docs)]
+
+mod catalog;
+mod generator;
+pub mod replay;
+
+pub use catalog::Benchmark;
+pub use generator::{ArrivalSpec, MixedWorkloadConfig, QosSpec, Workload, WorkloadGenerator};
+
+pub use hmc_types::AppModel;

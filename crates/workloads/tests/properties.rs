@@ -1,0 +1,79 @@
+//! Property-based tests of workload generation and the benchmark catalog.
+
+use hmc_types::{Cluster, Frequency, SimDuration};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::{Benchmark, MixedWorkloadConfig, QosSpec, WorkloadGenerator};
+
+proptest! {
+    /// Generated workloads always have the requested size, ordered
+    /// arrivals, and QoS fractions inside the configured range.
+    #[test]
+    fn mixed_workloads_well_formed(
+        seed in 0u64..10_000,
+        num_apps in 1usize..40,
+        mean_secs in 1u64..60,
+        lo in 0.05f64..0.5,
+        width in 0.0f64..0.4,
+    ) {
+        let config = MixedWorkloadConfig {
+            num_apps,
+            mean_interarrival: SimDuration::from_secs(mean_secs),
+            qos_fraction_range: (lo, lo + width),
+            ..MixedWorkloadConfig::default()
+        };
+        let w = WorkloadGenerator::mixed(&config, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(w.len(), num_apps);
+        let mut last = None;
+        for arrival in &w {
+            if let Some(prev) = last {
+                prop_assert!(arrival.at >= prev);
+            }
+            last = Some(arrival.at);
+            match arrival.qos {
+                QosSpec::FractionOfMaxBig(f) => {
+                    prop_assert!(f >= lo && f <= lo + width + 1e-12);
+                }
+                other => prop_assert!(false, "unexpected spec {:?}", other),
+            }
+        }
+    }
+
+    /// Resolved QoS targets are always positive and achievable at the
+    /// maximum big frequency for any benchmark and in-range fraction.
+    #[test]
+    fn resolved_targets_achievable_on_big(
+        bench_idx in 0usize..16,
+        fraction in 0.05f64..0.95,
+    ) {
+        let benchmark = Benchmark::all()[bench_idx];
+        let model = benchmark.model();
+        let little_max = Frequency::from_mhz(1844);
+        let big_max = Frequency::from_mhz(2362);
+        let target = QosSpec::FractionOfMaxBig(fraction).resolve(&model, little_max, big_max);
+        prop_assert!(target.ips().value() > 0.0);
+        // The phase-averaged throughput at max big must meet the target.
+        let mean = model.mean_ips(Cluster::Big, big_max, 1.0);
+        prop_assert!(mean.meets(target.ips()));
+    }
+
+    /// Per-benchmark invariants of the catalog: big dominates LITTLE at
+    /// equal frequency, and mean IPS is frequency-monotone.
+    #[test]
+    fn catalog_models_monotone(bench_idx in 0usize..16, mhz in 500u64..2300) {
+        let model = Benchmark::all()[bench_idx].model();
+        let f_lo = Frequency::from_mhz(mhz);
+        let f_hi = Frequency::from_mhz(mhz + 100);
+        for cluster in Cluster::ALL {
+            prop_assert!(
+                model.mean_ips(cluster, f_hi, 1.0).value()
+                    >= model.mean_ips(cluster, f_lo, 1.0).value()
+            );
+        }
+        prop_assert!(
+            model.mean_ips(Cluster::Big, f_lo, 1.0).value()
+                >= model.mean_ips(Cluster::Little, f_lo, 1.0).value()
+        );
+    }
+}

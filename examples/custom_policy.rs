@@ -1,0 +1,112 @@
+//! Writing a custom resource-management policy against the platform API.
+//!
+//! The simulator accepts anything implementing [`Policy`], so the stack
+//! doubles as a sandbox for new governors. This example implements a naive
+//! "coolest-core" policy (migrate the hottest application's neighbour
+//! away... no model, no oracle) and shows how far behind TOP-IL it lands.
+//!
+//! ```text
+//! cargo run --example custom_policy
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use top_il::prelude::*;
+
+/// A hand-written heuristic: every 500 ms, migrate the application with
+/// the worst QoS margin to the cluster that should serve it better, and
+/// drive both clusters with a simple proportional V/f rule.
+struct HeuristicGovernor;
+
+impl Policy for HeuristicGovernor {
+    fn name(&self) -> &str {
+        "heuristic"
+    }
+
+    fn on_tick(&mut self, platform: &mut Platform) {
+        let now = platform.now();
+        // Proportional DVFS every 50 ms: raise on any violation, lower
+        // when everyone has slack.
+        if now.is_multiple_of(SimDuration::from_millis(50)) {
+            for cluster in Cluster::ALL {
+                let snapshots = platform.snapshots();
+                let apps: Vec<_> = snapshots
+                    .iter()
+                    .filter(|s| s.core.cluster() == cluster)
+                    .collect();
+                let level = platform.cluster_level(cluster);
+                if apps.is_empty() {
+                    platform.set_cluster_level(cluster, 0);
+                } else if apps.iter().any(|s| s.qos_target.is_violated_by(s.qos_current)) {
+                    platform.set_cluster_level(cluster, level + 1);
+                } else if apps
+                    .iter()
+                    .all(|s| s.qos_current.value() > 1.3 * s.qos_target.ips().value())
+                {
+                    platform.set_cluster_level(cluster, level.saturating_sub(1));
+                }
+            }
+        }
+        // Migration every 500 ms: move the tightest application to a free
+        // core on the other cluster if its own cluster looks saturated.
+        if now.is_multiple_of(SimDuration::from_millis(500)) {
+            let snapshots = platform.snapshots();
+            let Some(worst) = snapshots.iter().min_by(|a, b| {
+                let ma = a.qos_current.value() - a.qos_target.ips().value();
+                let mb = b.qos_current.value() - b.qos_target.ips().value();
+                ma.partial_cmp(&mb).expect("finite")
+            }) else {
+                return;
+            };
+            if worst.qos_target.is_violated_by(worst.qos_current) {
+                let other = worst.core.cluster().other();
+                if let Some(free) = platform
+                    .free_cores()
+                    .into_iter()
+                    .find(|c| c.cluster() == other)
+                {
+                    platform.migrate(worst.id, free);
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    println!("training TOP-IL for comparison ...");
+    let scenarios = Scenario::standard_set(16, 5);
+    let model = IlTrainer::new(TrainSettings::default()).train(&scenarios, 0);
+
+    let workload_config = MixedWorkloadConfig {
+        num_apps: 12,
+        mean_interarrival: SimDuration::from_secs(8),
+        total_instructions: Some(20_000_000_000),
+        ..MixedWorkloadConfig::default()
+    };
+    let workload = WorkloadGenerator::mixed(&workload_config, &mut StdRng::seed_from_u64(11));
+    let sim = SimConfig {
+        max_duration: SimDuration::from_secs(900),
+        ..SimConfig::default()
+    };
+
+    println!(
+        "\n{:<12} {:>10} {:>12} {:>11}",
+        "policy", "avg temp", "violations", "migrations"
+    );
+    for report in [
+        Simulator::new(sim).run(&workload, &mut TopIlGovernor::new(model)),
+        Simulator::new(sim).run(&workload, &mut HeuristicGovernor),
+        Simulator::new(sim).run(&workload, &mut LinuxGovernor::gts_ondemand()),
+    ] {
+        println!(
+            "{:<12} {:>10} {:>9}/{:<2} {:>11}",
+            report.policy,
+            format!("{}", report.metrics.avg_temperature()),
+            report.metrics.qos_violations(),
+            report.metrics.outcomes().len(),
+            report.metrics.migrations(),
+        );
+    }
+    println!("\nThe heuristic reacts to violations after they happen; the IL model");
+    println!("anticipates them from the oracle's demonstrations.");
+}

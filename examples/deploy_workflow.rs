@@ -1,0 +1,73 @@
+//! The deployment workflow: train at "design time", persist the model to
+//! disk, reload it on the "device", and run a workload defined in a plain
+//! CSV file — the artifacts a real integration would ship.
+//!
+//! ```text
+//! cargo run --example deploy_workflow
+//! ```
+
+use top_il::prelude::*;
+use workloads::replay;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Design time: train and persist --------------------------------
+    println!("training ...");
+    let scenarios = Scenario::standard_set(12, 7);
+    let model = IlTrainer::new(TrainSettings::default()).train(&scenarios, 0);
+    let model_path = std::env::temp_dir().join("topil-deployed-model.txt");
+    model.save(&model_path)?;
+    println!(
+        "saved model to {} ({} bytes)",
+        model_path.display(),
+        std::fs::metadata(&model_path)?.len()
+    );
+
+    // ---- A workload shipped as CSV --------------------------------------
+    let csv = "at_s,benchmark,qos_kind,qos_value,instructions\n\
+               0,bodytrack,max_big,0.35,20000000000\n\
+               2,adi,max_big,0.3,20000000000\n\
+               5,canneal,max_little,0.8,4000000000\n\
+               8,swaptions,max_big,0.45,20000000000\n\
+               12,seidel-2d,max_big,0.3,20000000000\n";
+    let workload = replay::from_csv(csv)?;
+    println!("loaded workload with {} arrivals:", workload.len());
+    print!("{}", replay::to_csv(&workload));
+
+    // ---- Run time: reload and govern ------------------------------------
+    let deployed = IlModel::load(&model_path)?;
+    assert_eq!(deployed, model, "persistence must be lossless");
+    std::fs::remove_file(&model_path).ok();
+
+    let sim = SimConfig {
+        max_duration: SimDuration::from_secs(600),
+        ..SimConfig::default()
+    };
+    let mut governor = TopIlGovernor::new(deployed);
+    let report = Simulator::new(sim).run(&workload, &mut governor);
+
+    println!(
+        "\n{}: avg {} peak {}, {} violations of {} apps, {} migrations",
+        report.policy,
+        report.metrics.avg_temperature(),
+        report.metrics.peak_temperature(),
+        report.metrics.qos_violations(),
+        report.metrics.outcomes().len(),
+        report.metrics.migrations(),
+    );
+    println!("\nper-application outcomes:");
+    println!(
+        "{:<14} {:>12} {:>12} {:>9} {:>8}",
+        "app", "mean IPS", "target", "energy", "ok"
+    );
+    for outcome in report.metrics.outcomes() {
+        println!(
+            "{:<14} {:>12} {:>12} {:>9} {:>8}",
+            outcome.benchmark,
+            format!("{}", outcome.mean_ips),
+            format!("{}", outcome.qos_target.ips()),
+            format!("{}", outcome.energy),
+            if outcome.violated_qos() { "VIOLATED" } else { "met" },
+        );
+    }
+    Ok(())
+}

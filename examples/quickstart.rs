@@ -1,0 +1,74 @@
+//! Quickstart: train a TOP-IL model from oracle demonstrations and let it
+//! manage a mixed workload, comparing against the stock Android governor.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use top_il::prelude::*;
+
+fn main() {
+    // ---- Design time -----------------------------------------------------
+    // Collect oracle demonstrations for random scenarios (AoI + background
+    // combinations) and train the imitation-learning model. The paper uses
+    // 100 scenarios; a couple of dozen suffice for a demo.
+    println!("collecting oracle demonstrations and training the IL model ...");
+    let scenarios = Scenario::standard_set(16, 42);
+    let model = IlTrainer::new(TrainSettings::default()).train(&scenarios, 0);
+    println!(
+        "trained: {:?} topology, {} parameters\n",
+        model.mlp().layer_sizes(),
+        model.mlp().num_params()
+    );
+
+    // ---- Run time --------------------------------------------------------
+    // A mixed workload: 10 random applications with Poisson arrivals and
+    // random QoS targets (an open system).
+    let workload_config = MixedWorkloadConfig {
+        num_apps: 10,
+        mean_interarrival: SimDuration::from_secs(10),
+        total_instructions: Some(6_000_000_000),
+        ..MixedWorkloadConfig::default()
+    };
+    let workload = WorkloadGenerator::mixed(&workload_config, &mut StdRng::seed_from_u64(7));
+
+    let sim = SimConfig {
+        cooling: Cooling::fan(),
+        max_duration: SimDuration::from_secs(600),
+        ..SimConfig::default()
+    };
+
+    println!(
+        "{:<16} {:>10} {:>10} {:>12} {:>11}",
+        "policy", "avg temp", "peak temp", "violations", "migrations"
+    );
+    let print_run = |report: &RunReport| {
+        println!(
+            "{:<16} {:>10} {:>10} {:>9}/{:<2} {:>11}",
+            report.policy,
+            format!("{}", report.metrics.avg_temperature()),
+            format!("{}", report.metrics.peak_temperature()),
+            report.metrics.qos_violations(),
+            report.metrics.outcomes().len(),
+            report.metrics.migrations(),
+        );
+    };
+
+    let mut topil = TopIlGovernor::new(model);
+    print_run(&Simulator::new(sim).run(&workload, &mut topil));
+
+    let mut ondemand = LinuxGovernor::gts_ondemand();
+    print_run(&Simulator::new(sim).run(&workload, &mut ondemand));
+
+    let mut powersave = LinuxGovernor::gts_powersave();
+    print_run(&Simulator::new(sim).run(&workload, &mut powersave));
+
+    println!(
+        "\nTOP-IL governor stats: {} DVFS invocations, {} migration epochs, {} migrations",
+        topil.stats().dvfs_invocations,
+        topil.stats().migration_invocations,
+        topil.stats().migrations_executed,
+    );
+}

@@ -1,0 +1,75 @@
+//! Deployment-artifact integration tests: model persistence and workload
+//! replay through the public API.
+
+use top_il::prelude::*;
+use workloads::replay;
+
+fn quick_model(seed: u64) -> IlModel {
+    let scenarios = Scenario::standard_set(8, 13);
+    let mut settings = TrainSettings::default();
+    settings.nn.max_epochs = 40;
+    settings.nn.patience = 10;
+    IlTrainer::new(settings).train(&scenarios, seed)
+}
+
+#[test]
+fn persisted_model_governs_identically() {
+    let model = quick_model(0);
+    let path = std::env::temp_dir().join("topil-integration-model.txt");
+    model.save(&path).unwrap();
+    let reloaded = IlModel::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let workload = Workload::single(Benchmark::Bodytrack, QosSpec::FractionOfMaxBig(0.35));
+    let sim = SimConfig {
+        max_duration: SimDuration::from_secs(120),
+        ..SimConfig::default()
+    };
+    let original = Simulator::new(sim).run(&workload, &mut TopIlGovernor::new(model));
+    let deployed = Simulator::new(sim).run(&workload, &mut TopIlGovernor::new(reloaded));
+    assert_eq!(
+        original.metrics, deployed.metrics,
+        "a reloaded model must reproduce the run bit-for-bit"
+    );
+}
+
+#[test]
+fn csv_workload_replay_reproduces_generated_run() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let config = MixedWorkloadConfig {
+        num_apps: 6,
+        mean_interarrival: SimDuration::from_secs(4),
+        total_instructions: Some(6_000_000_000),
+        ..MixedWorkloadConfig::default()
+    };
+    let generated = WorkloadGenerator::mixed(&config, &mut StdRng::seed_from_u64(5));
+    let replayed = replay::from_csv(&replay::to_csv(&generated)).unwrap();
+
+    let model = quick_model(1);
+    let sim = SimConfig {
+        max_duration: SimDuration::from_secs(400),
+        ..SimConfig::default()
+    };
+    let a = Simulator::new(sim).run(&generated, &mut TopIlGovernor::new(model.clone()));
+    let b = Simulator::new(sim).run(&replayed, &mut TopIlGovernor::new(model));
+    // Arrival times round-trip at nanosecond precision through the CSV, so
+    // the outcomes must be essentially identical.
+    assert_eq!(a.metrics.outcomes().len(), b.metrics.outcomes().len());
+    assert_eq!(a.metrics.qos_violations(), b.metrics.qos_violations());
+    assert!(
+        (a.metrics.avg_temperature().value() - b.metrics.avg_temperature().value()).abs() < 0.05
+    );
+}
+
+#[test]
+fn malformed_artifacts_are_rejected_cleanly() {
+    // A corrupt model file.
+    let path = std::env::temp_dir().join("topil-integration-corrupt.txt");
+    std::fs::write(&path, "definitely not a model").unwrap();
+    assert!(IlModel::load(&path).is_err());
+    std::fs::remove_file(&path).ok();
+    // A corrupt workload CSV.
+    assert!(replay::from_csv("garbage").is_err());
+}

@@ -1,0 +1,116 @@
+//! Cross-crate integration tests: the full design-time + run-time pipeline
+//! through the public umbrella API.
+
+use std::sync::OnceLock;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use top_il::prelude::*;
+
+/// One shared quick model for all tests in this file.
+fn model() -> &'static IlModel {
+    static MODEL: OnceLock<IlModel> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let scenarios = Scenario::standard_set(12, 77);
+        let mut settings = TrainSettings::default();
+        settings.nn.max_epochs = 60;
+        settings.nn.patience = 12;
+        IlTrainer::new(settings).train(&scenarios, 0)
+    })
+}
+
+fn mixed_workload(seed: u64) -> Workload {
+    let config = MixedWorkloadConfig {
+        num_apps: 10,
+        mean_interarrival: SimDuration::from_secs(6),
+        total_instructions: Some(15_000_000_000),
+        ..MixedWorkloadConfig::default()
+    };
+    WorkloadGenerator::mixed(&config, &mut StdRng::seed_from_u64(seed))
+}
+
+fn sim() -> SimConfig {
+    SimConfig {
+        max_duration: SimDuration::from_secs(900),
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn topil_completes_mixed_workload_with_few_violations() {
+    let workload = mixed_workload(1);
+    let mut governor = TopIlGovernor::new(model().clone());
+    let report = Simulator::new(sim()).run(&workload, &mut governor);
+    assert_eq!(report.metrics.outcomes().len(), 10);
+    assert!(
+        report.metrics.qos_violations() <= 1,
+        "TOP-IL should violate at most one of ten targets, got {}",
+        report.metrics.qos_violations()
+    );
+    // All applications actually completed within the time cap.
+    assert!(report
+        .metrics
+        .outcomes()
+        .iter()
+        .all(|o| o.finished_at.is_some()));
+}
+
+#[test]
+fn topil_is_cooler_than_ondemand_at_comparable_qos() {
+    let workload = mixed_workload(2);
+    let il = Simulator::new(sim()).run(&workload, &mut TopIlGovernor::new(model().clone()));
+    let od = Simulator::new(sim()).run(&workload, &mut LinuxGovernor::gts_ondemand());
+    assert!(
+        il.metrics.avg_temperature().value() < od.metrics.avg_temperature().value() - 1.0,
+        "IL {} should undercut ondemand {}",
+        il.metrics.avg_temperature(),
+        od.metrics.avg_temperature()
+    );
+    assert!(il.metrics.qos_violations() <= od.metrics.qos_violations() + 1);
+}
+
+#[test]
+fn powersave_trades_qos_for_temperature() {
+    let workload = mixed_workload(3);
+    let il = Simulator::new(sim()).run(&workload, &mut TopIlGovernor::new(model().clone()));
+    let ps = Simulator::new(sim()).run(&workload, &mut LinuxGovernor::gts_powersave());
+    assert!(ps.metrics.qos_violations() > il.metrics.qos_violations());
+    assert!(
+        ps.metrics.avg_temperature().value() <= il.metrics.avg_temperature().value() + 0.5
+    );
+}
+
+#[test]
+fn governor_overhead_is_negligible() {
+    let workload = mixed_workload(4);
+    let mut governor = TopIlGovernor::new(model().clone());
+    let report = Simulator::new(sim()).run(&workload, &mut governor);
+    let overhead =
+        report.metrics.governor_time().as_secs_f64() / report.metrics.elapsed().as_secs_f64();
+    // The paper reports a total run-time overhead of <= 1.7 %.
+    assert!(overhead < 0.02, "governor overhead {overhead:.4} too high");
+}
+
+#[test]
+fn energy_and_cpu_time_are_accounted() {
+    let workload = mixed_workload(5);
+    let report =
+        Simulator::new(sim()).run(&workload, &mut TopIlGovernor::new(model().clone()));
+    assert!(report.metrics.energy().value() > 0.0);
+    let total_busy: f64 = Cluster::ALL
+        .iter()
+        .flat_map(|&c| report.metrics.cpu_time_distribution(c))
+        .map(|d| d.as_secs_f64())
+        .sum();
+    assert!(total_busy > 10.0, "ten applications must accumulate busy time");
+}
+
+#[test]
+fn rl_baseline_runs_the_same_workload() {
+    let workload = mixed_workload(6);
+    let table = TopRlGovernor::pretrain(1, SimDuration::from_secs(300));
+    let mut governor = TopRlGovernor::with_qtable(table, 0);
+    let report = Simulator::new(sim()).run(&workload, &mut governor);
+    assert_eq!(report.metrics.outcomes().len(), 10);
+    assert_eq!(report.policy, "TOP-RL");
+}

@@ -1,0 +1,139 @@
+//! Generalization tests — the paper's robustness claims: the fan-trained
+//! model works without a fan, on unseen applications, and across random
+//! initializations.
+
+use std::sync::OnceLock;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use top_il::prelude::*;
+
+fn models() -> &'static Vec<IlModel> {
+    static MODELS: OnceLock<Vec<IlModel>> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        let scenarios = Scenario::standard_set(12, 55);
+        let mut settings = TrainSettings::default();
+        settings.nn.max_epochs = 60;
+        settings.nn.patience = 12;
+        let trainer = IlTrainer::new(settings);
+        let cases = trainer.collect_cases(&scenarios);
+        (0..3).map(|seed| trainer.train_from_cases(&cases, seed)).collect()
+    })
+}
+
+fn unseen_workload(seed: u64) -> Workload {
+    let config = MixedWorkloadConfig {
+        num_apps: 8,
+        mean_interarrival: SimDuration::from_secs(6),
+        benchmarks: Benchmark::unseen_set().to_vec(),
+        total_instructions: Some(12_000_000_000),
+        ..MixedWorkloadConfig::default()
+    };
+    WorkloadGenerator::mixed(&config, &mut StdRng::seed_from_u64(seed))
+}
+
+/// The model was trained exclusively with fan-cooled oracle traces; it
+/// must still beat GTS/ondemand without the fan.
+#[test]
+fn fan_trained_model_works_without_fan() {
+    let workload = unseen_workload(21);
+    let sim = SimConfig {
+        cooling: Cooling::passive(),
+        max_duration: SimDuration::from_secs(900),
+        ..SimConfig::default()
+    };
+    let il = Simulator::new(sim).run(&workload, &mut TopIlGovernor::new(models()[0].clone()));
+    let od = Simulator::new(sim).run(&workload, &mut LinuxGovernor::gts_ondemand());
+    assert!(
+        il.metrics.avg_temperature().value() < od.metrics.avg_temperature().value() - 1.0,
+        "no-fan: IL {} vs ondemand {}",
+        il.metrics.avg_temperature(),
+        od.metrics.avg_temperature()
+    );
+    assert!(il.metrics.qos_violations() <= 1);
+}
+
+/// The workload consists only of benchmarks never seen during training.
+#[test]
+fn unseen_applications_are_managed_well() {
+    let workload = unseen_workload(22);
+    let sim = SimConfig {
+        max_duration: SimDuration::from_secs(900),
+        ..SimConfig::default()
+    };
+    let report =
+        Simulator::new(sim).run(&workload, &mut TopIlGovernor::new(models()[0].clone()));
+    assert_eq!(report.metrics.outcomes().len(), 8);
+    assert!(
+        report.metrics.qos_violations() <= 1,
+        "unseen apps: {} violations",
+        report.metrics.qos_violations()
+    );
+}
+
+/// Three models trained from different random initializations must agree
+/// in outcome quality (the paper's seed-robustness protocol).
+#[test]
+fn different_seeds_agree_in_outcome_quality() {
+    let workload = unseen_workload(23);
+    let sim = SimConfig {
+        max_duration: SimDuration::from_secs(900),
+        ..SimConfig::default()
+    };
+    let temps: Vec<f64> = models()
+        .iter()
+        .map(|m| {
+            Simulator::new(sim)
+                .run(&workload, &mut TopIlGovernor::new(m.clone()))
+                .metrics
+                .avg_temperature()
+                .value()
+        })
+        .collect();
+    let mean = temps.iter().sum::<f64>() / temps.len() as f64;
+    for t in &temps {
+        assert!(
+            (t - mean).abs() < 1.0,
+            "seed variance too high: {temps:?}"
+        );
+    }
+}
+
+/// Switching the cooling mid-run: the governor keeps QoS intact while the
+/// temperature level shifts.
+#[test]
+fn cooling_switch_mid_run_is_handled() {
+    let sim = SimConfig {
+        cooling: Cooling::fan(),
+        max_duration: SimDuration::from_secs(300),
+        stop_when_idle: false,
+        ..SimConfig::default()
+    };
+    // Drive the platform manually to switch cooling at half time.
+    let mut platform = Platform::new(top_il::platform::PlatformConfig {
+        cooling: Cooling::fan(),
+        ..Default::default()
+    });
+    let spec = workloads::ArrivalSpec {
+        at: SimTime::ZERO,
+        benchmark: Benchmark::Syr2k,
+        qos: QosSpec::FractionOfMaxBig(0.4),
+        total_instructions: Some(u64::MAX),
+    };
+    let mut governor = TopIlGovernor::new(models()[0].clone());
+    platform.admit(&spec, CoreId::new(5));
+    let mut fan_temp = 0.0;
+    for tick in 0..150_000u64 {
+        governor.on_tick(&mut platform);
+        platform.tick();
+        if tick == 75_000 {
+            fan_temp = platform.sensor().value();
+            platform.set_cooling(Cooling::passive());
+        }
+    }
+    let nofan_temp = platform.sensor().value();
+    assert!(nofan_temp > fan_temp + 2.0, "passive cooling must run hotter");
+    let report = platform.into_report();
+    assert_eq!(report.qos_violations(), 0, "QoS survives the cooling switch");
+    let _ = sim;
+}
