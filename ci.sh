@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full test suite.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace -q

@@ -20,7 +20,11 @@ fn thermal_benches(c: &mut Criterion) {
     group.bench_function("step_1ms", |b| {
         let mut soc = SocThermal::new(Cooling::fan());
         b.iter(|| {
-            soc.step(black_box(&powers), [Watts::ZERO; 2], SimDuration::from_millis(1));
+            soc.step(
+                black_box(&powers),
+                [Watts::ZERO; 2],
+                SimDuration::from_millis(1),
+            );
         });
     });
     group.bench_function("steady_state_solve", |b| {

@@ -168,10 +168,7 @@ fn governor_run(governor: &mut TopIlGovernor, effort: Effort) -> Vec<(String, f6
             "violations".to_string(),
             report.metrics.qos_violations() as f64,
         ),
-        (
-            "migrations".to_string(),
-            report.metrics.migrations() as f64,
-        ),
+        ("migrations".to_string(), report.metrics.migrations() as f64),
     ]
 }
 
@@ -221,8 +218,7 @@ pub fn run(effort: Effort) -> AblationReport {
         rows: [0.0f32, 0.1, 0.3]
             .into_iter()
             .map(|threshold| {
-                let mut governor =
-                    TopIlGovernor::new(model.clone()).with_threshold(threshold);
+                let mut governor = TopIlGovernor::new(model.clone()).with_threshold(threshold);
                 AblationRow {
                     label: format!("thr={threshold}"),
                     metrics: governor_run(&mut governor, effort),
@@ -257,7 +253,12 @@ mod tests {
         // All α settings still produce usable models.
         let alpha = report.section("label sharpness").unwrap();
         for row in &alpha.rows {
-            let within = row.metrics.iter().find(|(n, _)| n == "within_1c").unwrap().1;
+            let within = row
+                .metrics
+                .iter()
+                .find(|(n, _)| n == "within_1c")
+                .unwrap()
+                .1;
             assert!(within > 0.4, "{}: within_1c {within}", row.label);
         }
     }

@@ -17,8 +17,8 @@ use thermal::Cooling;
 /// Writes a CSV artifact if an output directory was requested.
 fn write_csv(out: &Option<PathBuf>, name: &str, contents: String) {
     let Some(dir) = out else { return };
-    if let Err(e) = std::fs::create_dir_all(dir)
-        .and_then(|()| std::fs::write(dir.join(name), contents))
+    if let Err(e) =
+        std::fs::create_dir_all(dir).and_then(|()| std::fs::write(dir.join(name), contents))
     {
         eprintln!("failed to write {name}: {e}");
     }
@@ -45,12 +45,16 @@ commands:
   ablations    design-choice ablations
   oracle-gap   extension: online oracle vs. the imitating network
   sensitivity  extension: thermal-calibration perturbations
+  robustness   extension: fault-rate sweep vs. the degradation ladder
   all          everything above
 ";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--help" || a == "-h" || a == "list") {
+    if args
+        .iter()
+        .any(|a| a == "--help" || a == "-h" || a == "list")
+    {
         print!("{USAGE}");
         return;
     }
@@ -71,8 +75,19 @@ fn main() {
         .collect();
     let commands: Vec<&str> = if commands.is_empty() || commands.contains(&"all") {
         vec![
-            "fig1", "fig3", "fig4", "fig5", "fig7", "fig8", "fig10", "fig11", "model-eval",
-            "ablations", "oracle-gap", "sensitivity",
+            "fig1",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig7",
+            "fig8",
+            "fig10",
+            "fig11",
+            "model-eval",
+            "ablations",
+            "oracle-gap",
+            "sensitivity",
+            "robustness",
         ]
     } else {
         commands
@@ -84,7 +99,13 @@ fn main() {
     let needs_models = commands.iter().any(|c| {
         matches!(
             *c,
-            "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "model-eval" | "oracle-gap"
+            "fig7"
+                | "fig8"
+                | "fig9"
+                | "fig10"
+                | "fig11"
+                | "model-eval"
+                | "oracle-gap"
                 | "sensitivity"
         )
     });
@@ -144,10 +165,18 @@ fn main() {
                 bench::oracle_gap::run(artifacts.as_ref().expect("trained"), effort)
             ),
             "sensitivity" => {
-                let report =
-                    bench::sensitivity::run(artifacts.as_ref().expect("trained"), effort);
+                let report = bench::sensitivity::run(artifacts.as_ref().expect("trained"), effort);
                 println!("{report}");
-                write_csv(&out, "sensitivity.csv", bench::csv::sensitivity_csv(&report));
+                write_csv(
+                    &out,
+                    "sensitivity.csv",
+                    bench::csv::sensitivity_csv(&report),
+                );
+            }
+            "robustness" => {
+                let report = bench::robustness::run(effort);
+                println!("{report}");
+                write_csv(&out, "robustness.csv", bench::csv::robustness_csv(&report));
             }
             other => {
                 eprintln!("unknown experiment `{other}`\n");
@@ -155,6 +184,9 @@ fn main() {
                 std::process::exit(2);
             }
         }
-        println!("[{command} finished in {:.1} s]\n", t.elapsed().as_secs_f64());
+        println!(
+            "[{command} finished in {:.1} s]\n",
+            t.elapsed().as_secs_f64()
+        );
     }
 }

@@ -8,6 +8,7 @@ use crate::fig10::Fig10Report;
 use crate::fig11::Fig11Report;
 use crate::fig8::Fig8Report;
 use crate::fig9::Fig9Report;
+use crate::robustness::RobustnessReport;
 use crate::sensitivity::SensitivityReport;
 
 /// Escapes one CSV field (quotes fields containing separators).
@@ -60,7 +61,8 @@ pub fn fig9_csv(report: &Fig9Report) -> String {
 
 /// Fig. 10 rows: `policy,avg_temp_c,violating,executions,violating_apps`.
 pub fn fig10_csv(report: &Fig10Report) -> String {
-    let mut out = String::from("policy,avg_temp_c,avg_temp_std,violating,executions,violating_apps\n");
+    let mut out =
+        String::from("policy,avg_temp_c,avg_temp_std,violating,executions,violating_apps\n");
     for row in &report.rows {
         let _ = writeln!(
             out,
@@ -107,6 +109,34 @@ pub fn sensitivity_csv(report: &SensitivityReport) -> String {
     out
 }
 
+/// Robustness rows: one per fault point × ladder setting.
+pub fn robustness_csv(report: &RobustnessReport) -> String {
+    let mut out = String::from(
+        "npu_failure_rate,sensor_dropout_rate,ladder,avg_temp_c,peak_temp_c,\
+         violations,executions,degraded_epochs,cpu_fallback_epochs,npu_failures,\
+         breaker_opens,failsafe_events\n",
+    );
+    for p in &report.points {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.3},{:.3},{},{},{},{},{},{},{}",
+            p.npu_failure_rate,
+            p.sensor_dropout_rate,
+            p.ladder,
+            p.avg_temp_c,
+            p.peak_temp_c,
+            p.violations,
+            p.executions,
+            p.degraded_epochs,
+            p.cpu_fallback_epochs,
+            p.npu_failures,
+            p.breaker_opens,
+            p.failsafe_events
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,14 +154,21 @@ mod tests {
         let report = Fig10Report {
             rows: vec![crate::fig10::PolicyRow {
                 policy: "TOP-IL".to_string(),
-                avg_temperature: Stat { mean: 28.4, std: 0.2 },
+                avg_temperature: Stat {
+                    mean: 28.4,
+                    std: 0.2,
+                },
                 violating_executions: 0,
                 executions: 27,
                 violating_benchmarks: vec![],
             }],
         };
         let csv = fig10_csv(&report);
-        assert!(csv.lines().nth(1).unwrap().starts_with("TOP-IL,28.400,0.200,0,27,"));
+        assert!(csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("TOP-IL,28.400,0.200,0,27,"));
     }
 
     #[test]
@@ -149,6 +186,34 @@ mod tests {
         let csv = sensitivity_csv(&report);
         assert_eq!(csv.lines().count(), 4);
         assert!(csv.contains("lateral x2.0,TOP-IL,32.000,1,true"));
+    }
+
+    #[test]
+    fn robustness_csv_shape() {
+        let report = RobustnessReport {
+            points: vec![crate::robustness::RobustnessPoint {
+                npu_failure_rate: 0.2,
+                sensor_dropout_rate: 0.1,
+                ladder: true,
+                avg_temp_c: 31.25,
+                peak_temp_c: 44.5,
+                violations: 1,
+                executions: 12,
+                degraded_epochs: 0,
+                cpu_fallback_epochs: 7,
+                npu_failures: 30,
+                breaker_opens: 2,
+                failsafe_events: 3,
+            }],
+        };
+        let csv = robustness_csv(&report);
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("npu_failure_rate,"));
+        assert_eq!(
+            lines.next().unwrap(),
+            "0.2,0.1,true,31.250,44.500,1,12,0,7,30,2,3"
+        );
+        assert!(lines.next().is_none());
     }
 
     #[test]

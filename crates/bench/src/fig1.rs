@@ -5,8 +5,8 @@
 
 use std::fmt;
 
-use hmc_types::{Celsius, Cluster, CoreId, Frequency, QosTarget};
 use hikey_platform::OppTable;
+use hmc_types::{Celsius, Cluster, CoreId, Frequency, QosTarget};
 use topil::oracle::{Scenario, TraceCollector};
 use workloads::Benchmark;
 
@@ -38,21 +38,25 @@ impl Fig1Report {
     /// The cluster that minimizes temperature for `benchmark` in
     /// Scenario 1.
     pub fn optimal_cluster(&self, benchmark: Benchmark) -> Option<Cluster> {
-        self.scenario1.iter().find(|(b, _, _)| *b == benchmark).map(
-            |(_, little, big)| {
+        self.scenario1
+            .iter()
+            .find(|(b, _, _)| *b == benchmark)
+            .map(|(_, little, big)| {
                 if little.temperature <= big.temperature {
                     Cluster::Little
                 } else {
                     Cluster::Big
                 }
-            },
-        )
+            })
     }
 }
 
 impl fmt::Display for Fig1Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 1 — motivational example (QoS = 30 % of max-big IPS)")?;
+        writeln!(
+            f,
+            "Fig. 1 — motivational example (QoS = 30 % of max-big IPS)"
+        )?;
         writeln!(f, "\nScenario 1: single application")?;
         writeln!(
             f,
@@ -72,7 +76,10 @@ impl fmt::Display for Fig1Report {
                 )?;
             }
         }
-        writeln!(f, "\nScenario 2: adi + high-QoS background on both clusters")?;
+        writeln!(
+            f,
+            "\nScenario 2: adi + high-QoS background on both clusters"
+        )?;
         for r in [&self.scenario2.0, &self.scenario2.1] {
             writeln!(
                 f,
@@ -199,8 +206,7 @@ mod tests {
         // paper observes near-equal temperatures; our simpler thermal
         // model preserves the reversal with a somewhat larger delta).
         assert!(
-            report.scenario2.1.temperature.value()
-                >= report.scenario2.0.temperature.value() - 0.5,
+            report.scenario2.1.temperature.value() >= report.scenario2.0.temperature.value() - 0.5,
             "big must no longer be the cooler mapping under peak background"
         );
     }

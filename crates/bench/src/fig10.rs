@@ -92,35 +92,35 @@ pub fn run(artifacts: &TrainedArtifacts, effort: Effort) -> Fig10Report {
         .collect();
 
     let mut rows = Vec::new();
-    let mut eval = |policy_name: &str, mut make: Box<dyn FnMut(usize) -> Box<dyn Policy>>,
-                    reps: usize| {
-        let mut temps = Vec::new();
-        let mut violating = 0usize;
-        let mut violators: Vec<String> = Vec::new();
-        let mut executions = 0usize;
-        for (benchmark, workload) in &suite {
-            for rep in 0..reps {
-                let mut policy = make(rep);
-                let report = Simulator::new(sim).run(workload, policy.as_mut());
-                temps.push(report.metrics.avg_temperature().value());
-                executions += 1;
-                if report.metrics.qos_violations() > 0 {
-                    violating += 1;
-                    let name = benchmark.name().to_string();
-                    if !violators.contains(&name) {
-                        violators.push(name);
+    let mut eval =
+        |policy_name: &str, mut make: Box<dyn FnMut(usize) -> Box<dyn Policy>>, reps: usize| {
+            let mut temps = Vec::new();
+            let mut violating = 0usize;
+            let mut violators: Vec<String> = Vec::new();
+            let mut executions = 0usize;
+            for (benchmark, workload) in &suite {
+                for rep in 0..reps {
+                    let mut policy = make(rep);
+                    let report = Simulator::new(sim).run(workload, policy.as_mut());
+                    temps.push(report.metrics.avg_temperature().value());
+                    executions += 1;
+                    if report.metrics.qos_violations() > 0 {
+                        violating += 1;
+                        let name = benchmark.name().to_string();
+                        if !violators.contains(&name) {
+                            violators.push(name);
+                        }
                     }
                 }
             }
-        }
-        rows.push(PolicyRow {
-            policy: policy_name.to_string(),
-            avg_temperature: Stat::of(&temps),
-            violating_executions: violating,
-            executions,
-            violating_benchmarks: violators,
-        });
-    };
+            rows.push(PolicyRow {
+                policy: policy_name.to_string(),
+                avg_temperature: Stat::of(&temps),
+                violating_executions: violating,
+                executions,
+                violating_benchmarks: violators,
+            });
+        };
 
     let models = artifacts.il_models.clone();
     eval(

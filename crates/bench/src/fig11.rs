@@ -38,7 +38,10 @@ pub struct Fig11Report {
 
 impl fmt::Display for Fig11Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 11 — run-time overhead [ms per second of wall time]")?;
+        writeln!(
+            f,
+            "Fig. 11 — run-time overhead [ms per second of wall time]"
+        )?;
         writeln!(
             f,
             "{:>6} {:>12} {:>16} {:>16}",
@@ -71,8 +74,7 @@ fn measure(artifacts: &TrainedArtifacts, apps: usize, backend: InferenceBackend)
             })
             .collect(),
     );
-    let mut governor =
-        TopIlGovernor::new(artifacts.il_models[0].clone()).with_backend(backend);
+    let mut governor = TopIlGovernor::new(artifacts.il_models[0].clone()).with_backend(backend);
     let report = Simulator::new(sim).run(&workload, &mut governor);
     let stats = governor.stats();
     let secs = report.metrics.elapsed().as_secs_f64();

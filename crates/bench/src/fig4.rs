@@ -6,9 +6,7 @@
 use std::fmt;
 
 use hmc_types::CoreId;
-use topil::oracle::{
-    extract_cases, ExtractionConfig, Scenario, ScenarioTraces, TraceCollector,
-};
+use topil::oracle::{extract_cases, ExtractionConfig, Scenario, ScenarioTraces, TraceCollector};
 use workloads::Benchmark;
 
 /// The illustrative report: traces plus a sample of labeled cases.
@@ -113,7 +111,10 @@ mod tests {
     #[test]
     fn illustrative_pipeline_matches_paper_structure() {
         let report = run();
-        assert_eq!(report.traces.free_cores(), &[CoreId::new(3), CoreId::new(6)]);
+        assert_eq!(
+            report.traces.free_cores(),
+            &[CoreId::new(3), CoreId::new(6)]
+        );
         assert!(!report.cases.is_empty());
         // Every case must label exactly the two free cores as non-occupied.
         for case in &report.cases {

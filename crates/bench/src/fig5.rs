@@ -37,7 +37,10 @@ pub struct Fig5Report {
 impl Fig5Report {
     /// The maximum worst-case overhead (paper: < 4 %).
     pub fn max_overhead(&self) -> f64 {
-        self.rows.iter().map(|r| r.overhead).fold(f64::MIN, f64::max)
+        self.rows
+            .iter()
+            .map(|r| r.overhead)
+            .fold(f64::MIN, f64::max)
     }
 
     /// The mean worst-case overhead (paper: ≈ 0.1 %).
@@ -48,9 +51,17 @@ impl Fig5Report {
 
 impl fmt::Display for Fig5Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 5 — worst-case migration overhead (ping-pong every 500 ms)")?;
+        writeln!(
+            f,
+            "Fig. 5 — worst-case migration overhead (ping-pong every 500 ms)"
+        )?;
         for row in &self.rows {
-            writeln!(f, "{:<16} {:>7.2} %", row.benchmark.name(), row.overhead * 100.0)?;
+            writeln!(
+                f,
+                "{:<16} {:>7.2} %",
+                row.benchmark.name(),
+                row.overhead * 100.0
+            )?;
         }
         writeln!(
             f,
@@ -64,12 +75,7 @@ impl fmt::Display for Fig5Report {
 /// Time to execute the benchmark pinned to `core` at peak frequencies.
 fn pinned_time(benchmark: Benchmark, core: CoreId) -> f64 {
     let mut platform = Platform::new(PlatformConfig::default());
-    let id = platform.admit_model(
-        benchmark.model(),
-        QosTarget::NONE,
-        core,
-        Some(INSTRUCTIONS),
-    );
+    let id = platform.admit_model(benchmark.model(), QosTarget::NONE, core, Some(INSTRUCTIONS));
     while platform.app_count() > 0 {
         platform.tick();
     }

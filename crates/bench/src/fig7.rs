@@ -50,7 +50,10 @@ pub struct Fig7Report {
 
 impl fmt::Display for Fig7Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 7 — illustrative example: mapping over time (B=big, L=LITTLE)")?;
+        writeln!(
+            f,
+            "Fig. 7 — illustrative example: mapping over time (B=big, L=LITTLE)"
+        )?;
         for app in &self.apps {
             writeln!(f, "\n{} (optimal: {})", app.benchmark.name(), app.optimal)?;
             for t in &app.timelines {

@@ -10,9 +10,9 @@
 
 use std::fmt;
 
+use governors::LinuxGovernor;
 use hikey_platform::{Policy, RunMetrics, SimConfig, Simulator};
 use hmc_types::SimDuration;
-use governors::LinuxGovernor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use thermal::Cooling;
@@ -110,7 +110,11 @@ impl fmt::Display for Fig8Report {
                 "\narrival rate: mean inter-arrival {}",
                 rate.mean_interarrival
             )?;
-            writeln!(f, "{:<16} {:>16} {:>16}", "policy", "avg temp", "violations")?;
+            writeln!(
+                f,
+                "{:<16} {:>16} {:>16}",
+                "policy", "avg temp", "violations"
+            )?;
             for (policy, temp, viol) in rate.summary() {
                 writeln!(f, "{policy:<16} {temp:>16} {viol:>16}")?;
             }
@@ -162,8 +166,10 @@ pub fn run(artifacts: &TrainedArtifacts, effort: Effort, cooling: Cooling) -> Fi
                     metrics: report.metrics,
                 });
             }
-            for mut governor in [LinuxGovernor::gts_ondemand(), LinuxGovernor::gts_powersave()]
-            {
+            for mut governor in [
+                LinuxGovernor::gts_ondemand(),
+                LinuxGovernor::gts_powersave(),
+            ] {
                 let report = Simulator::new(sim).run(&workload, &mut governor);
                 runs.push(PolicyRun {
                     policy: governor.name().to_string(),
@@ -201,9 +207,18 @@ mod tests {
         let (t_on, v_on) = report.policy_means("GTS/ondemand");
         let (t_ps, v_ps) = report.policy_means("GTS/powersave");
 
-        assert!(t_il < t_on - 2.0, "TOP-IL {t_il} should be well below ondemand {t_on}");
-        assert!(t_ps <= t_il + 1.0, "powersave {t_ps} is the coolest, IL {t_il}");
-        assert!(v_ps > v_il + 2.0, "powersave must violate far more: {v_ps} vs {v_il}");
+        assert!(
+            t_il < t_on - 2.0,
+            "TOP-IL {t_il} should be well below ondemand {t_on}"
+        );
+        assert!(
+            t_ps <= t_il + 1.0,
+            "powersave {t_ps} is the coolest, IL {t_il}"
+        );
+        assert!(
+            v_ps > v_il + 2.0,
+            "powersave must violate far more: {v_ps} vs {v_il}"
+        );
         assert!(v_rl > v_il, "RL {v_rl} should violate more than IL {v_il}");
         assert!(v_on <= v_il + 2.0, "ondemand violates little: {v_on}");
         let _ = t_rl;

@@ -22,4 +22,5 @@ pub mod fig9;
 pub mod harness;
 pub mod model_eval;
 pub mod oracle_gap;
+pub mod robustness;
 pub mod sensitivity;

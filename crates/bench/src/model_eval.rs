@@ -30,10 +30,18 @@ pub struct ModelEvalReport {
 
 impl fmt::Display for ModelEvalReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Model evaluation — unseen-AoI test split ({} decisions)", self.decisions)?;
+        writeln!(
+            f,
+            "Model evaluation — unseen-AoI test split ({} decisions)",
+            self.decisions
+        )?;
         writeln!(f, "within 1 °C of optimum : {} (fraction)", self.within_1c)?;
         writeln!(f, "mean excess temperature: {} K", self.mean_excess)?;
-        writeln!(f, "infeasible choices     : {} (fraction)", self.infeasible_rate)
+        writeln!(
+            f,
+            "infeasible choices     : {} (fraction)",
+            self.infeasible_rate
+        )
     }
 }
 

@@ -64,7 +64,11 @@ impl fmt::Display for OracleGapReport {
             f,
             "Imitation gap — oracle policy vs. the network that imitates it"
         )?;
-        writeln!(f, "{:<16} {:>16} {:>16}", "policy", "avg temp [°C]", "violations")?;
+        writeln!(
+            f,
+            "{:<16} {:>16} {:>16}",
+            "policy", "avg temp [°C]", "violations"
+        )?;
         for row in &self.rows {
             writeln!(
                 f,
@@ -133,9 +137,8 @@ pub fn run(artifacts: &TrainedArtifacts, effort: Effort) -> OracleGapReport {
     let (t, v) = run_policy(&mut |_| Box::new(OracleGovernor::new(Cooling::fan())));
     record("Oracle", t, v);
     let models = artifacts.il_models.clone();
-    let (t, v) = run_policy(&mut |i| {
-        Box::new(TopIlGovernor::new(models[i % models.len()].clone()))
-    });
+    let (t, v) =
+        run_policy(&mut |i| Box::new(TopIlGovernor::new(models[i % models.len()].clone())));
     record("TOP-IL", t, v);
     let (t, v) = run_policy(&mut |_| Box::new(LinuxGovernor::gts_ondemand()));
     record("GTS/ondemand", t, v);

@@ -73,7 +73,10 @@ impl fmt::Display for SensitivityReport {
         for row in &self.rows {
             writeln!(f, "\n{}:", row.label)?;
             for (policy, temp, violations) in &row.outcomes {
-                writeln!(f, "  {policy:<16} {temp:>7.2} °C  {violations:>2} violations")?;
+                writeln!(
+                    f,
+                    "  {policy:<16} {temp:>7.2} °C  {violations:>2} violations"
+                )?;
             }
             writeln!(
                 f,

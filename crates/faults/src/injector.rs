@@ -1,0 +1,269 @@
+//! The injector: executes a [`FaultPlan`] against per-domain RNG streams.
+
+use hmc_types::{Celsius, SimTime};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::plan::FaultPlan;
+
+/// Domain-separation constants mixed into the plan seed so every fault
+/// domain draws from its own stream.
+const NPU_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
+const SENSOR_STREAM: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const DVFS_STREAM: u64 = 0x1656_67B1_9E37_79F9;
+
+/// Fate drawn for one submitted NPU job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NpuFault {
+    /// The job completes normally.
+    None,
+    /// The job fails with a device fault; the device is lost until reset.
+    DeviceFault,
+    /// The job hangs in the driver and never completes.
+    Timeout,
+    /// The job completes with its latency multiplied by the factor.
+    LatencySpike(f64),
+}
+
+/// Fate drawn for one requested DVFS transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DvfsFault {
+    /// The transition applies immediately.
+    None,
+    /// The transition is rejected; the cluster keeps its current OPP.
+    Reject,
+    /// The transition lands late, at `now + delay`.
+    Delay(hmc_types::SimDuration),
+}
+
+/// Counters of every fault the injector has produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// NPU jobs failed with a device fault.
+    pub npu_device_faults: u64,
+    /// NPU jobs hung.
+    pub npu_timeouts: u64,
+    /// NPU jobs with a latency spike.
+    pub npu_latency_spikes: u64,
+    /// Sensor samples dropped.
+    pub sensor_dropouts: u64,
+    /// Sensor samples served from a stuck-at latch.
+    pub sensor_stuck_samples: u64,
+    /// Sensor samples hit by an impulse spike.
+    pub sensor_spikes: u64,
+    /// DVFS transitions rejected.
+    pub dvfs_rejects: u64,
+    /// DVFS transitions delayed.
+    pub dvfs_delays: u64,
+}
+
+impl FaultStats {
+    /// Total number of injected faults across all domains (noise excluded).
+    pub fn total(&self) -> u64 {
+        self.npu_device_faults
+            + self.npu_timeouts
+            + self.npu_latency_spikes
+            + self.sensor_dropouts
+            + self.sensor_stuck_samples
+            + self.sensor_spikes
+            + self.dvfs_rejects
+            + self.dvfs_delays
+    }
+}
+
+/// Executes a [`FaultPlan`]: one seeded RNG stream per fault domain, so
+/// the NPU, sensor and DVFS schedules are mutually independent. A rate of
+/// zero never draws from the RNG at all, which makes a zero-fault plan
+/// bit-identical to running without an injector.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    npu_rng: StdRng,
+    sensor_rng: StdRng,
+    dvfs_rng: StdRng,
+    /// Active stuck-at episode: (expiry, latched value).
+    stuck: Option<(SimTime, f64)>,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Creates an injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            npu_rng: StdRng::seed_from_u64(plan.seed ^ NPU_STREAM),
+            sensor_rng: StdRng::seed_from_u64(plan.seed ^ SENSOR_STREAM),
+            dvfs_rng: StdRng::seed_from_u64(plan.seed ^ DVFS_STREAM),
+            stuck: None,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counters of all faults produced so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Draws the fate of one submitted NPU job.
+    pub fn npu_job(&mut self) -> NpuFault {
+        let cfg = self.plan.npu;
+        if cfg.failure_rate > 0.0 && self.npu_rng.random::<f64>() < cfg.failure_rate {
+            self.stats.npu_device_faults += 1;
+            return NpuFault::DeviceFault;
+        }
+        if cfg.timeout_rate > 0.0 && self.npu_rng.random::<f64>() < cfg.timeout_rate {
+            self.stats.npu_timeouts += 1;
+            return NpuFault::Timeout;
+        }
+        if cfg.latency_spike_rate > 0.0 && self.npu_rng.random::<f64>() < cfg.latency_spike_rate {
+            self.stats.npu_latency_spikes += 1;
+            return NpuFault::LatencySpike(cfg.latency_spike_factor);
+        }
+        NpuFault::None
+    }
+
+    /// Filters one thermal-sensor sample: returns the (possibly corrupted)
+    /// reading, or `None` when the sample is dropped.
+    pub fn sensor(&mut self, now: SimTime, truth: Celsius) -> Option<Celsius> {
+        let cfg = self.plan.sensor;
+        // A stuck-at latch overrides everything until it expires.
+        if let Some((until, latched)) = self.stuck {
+            if now < until {
+                self.stats.sensor_stuck_samples += 1;
+                return Some(Celsius::new(latched));
+            }
+            self.stuck = None;
+        }
+        if cfg.stuck_rate > 0.0 && self.sensor_rng.random::<f64>() < cfg.stuck_rate {
+            self.stuck = Some((now + cfg.stuck_duration, truth.value()));
+            self.stats.sensor_stuck_samples += 1;
+            return Some(truth);
+        }
+        if cfg.dropout_rate > 0.0 && self.sensor_rng.random::<f64>() < cfg.dropout_rate {
+            self.stats.sensor_dropouts += 1;
+            return None;
+        }
+        let mut value = truth.value();
+        if cfg.spike_rate > 0.0 && self.sensor_rng.random::<f64>() < cfg.spike_rate {
+            let sign = if self.sensor_rng.random::<f64>() < 0.5 {
+                -1.0
+            } else {
+                1.0
+            };
+            value += sign * cfg.spike_magnitude;
+            self.stats.sensor_spikes += 1;
+        }
+        if cfg.noise_std > 0.0 {
+            // Irwin–Hall approximation of a standard normal.
+            let normal: f64 = (0..12)
+                .map(|_| self.sensor_rng.random::<f64>())
+                .sum::<f64>()
+                - 6.0;
+            value += cfg.noise_std * normal;
+        }
+        Some(Celsius::new(value))
+    }
+
+    /// Draws the fate of one requested DVFS transition.
+    pub fn dvfs_transition(&mut self) -> DvfsFault {
+        let cfg = self.plan.dvfs;
+        if cfg.reject_rate > 0.0 && self.dvfs_rng.random::<f64>() < cfg.reject_rate {
+            self.stats.dvfs_rejects += 1;
+            return DvfsFault::Reject;
+        }
+        if cfg.delay_rate > 0.0 && self.dvfs_rng.random::<f64>() < cfg.delay_rate {
+            self.stats.dvfs_delays += 1;
+            return DvfsFault::Delay(cfg.delay);
+        }
+        DvfsFault::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::SimDuration;
+
+    #[test]
+    fn zero_plan_never_faults_and_passes_samples_through() {
+        let mut inj = FaultInjector::new(FaultPlan::none(7));
+        for i in 0..1000u64 {
+            assert_eq!(inj.npu_job(), NpuFault::None);
+            assert_eq!(inj.dvfs_transition(), DvfsFault::None);
+            let t = Celsius::new(25.0 + i as f64 * 0.01);
+            // Exact pass-through, bit for bit.
+            assert_eq!(inj.sensor(SimTime::from_millis(i), t), Some(t));
+        }
+        assert_eq!(inj.stats().total(), 0);
+    }
+
+    #[test]
+    fn certain_faults_always_fire() {
+        let mut plan = FaultPlan::none(3);
+        plan.npu.failure_rate = 1.0;
+        plan.sensor.dropout_rate = 1.0;
+        plan.dvfs.reject_rate = 1.0;
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.npu_job(), NpuFault::DeviceFault);
+        assert_eq!(inj.sensor(SimTime::ZERO, Celsius::new(40.0)), None);
+        assert_eq!(inj.dvfs_transition(), DvfsFault::Reject);
+        assert_eq!(inj.stats().total(), 3);
+    }
+
+    #[test]
+    fn stuck_at_latches_and_expires() {
+        let mut plan = FaultPlan::none(0);
+        plan.sensor.stuck_rate = 1.0;
+        plan.sensor.stuck_duration = SimDuration::from_millis(10);
+        let mut inj = FaultInjector::new(plan);
+        let first = inj.sensor(SimTime::ZERO, Celsius::new(50.0));
+        assert_eq!(first, Some(Celsius::new(50.0)));
+        // While latched, the truth is ignored.
+        let held = inj.sensor(SimTime::from_millis(5), Celsius::new(80.0));
+        assert_eq!(held, Some(Celsius::new(50.0)));
+        // After expiry the latch re-arms (rate 1.0 latches again on the
+        // new value).
+        let relatched = inj.sensor(SimTime::from_millis(20), Celsius::new(80.0));
+        assert_eq!(relatched, Some(Celsius::new(80.0)));
+    }
+
+    #[test]
+    fn spikes_move_samples_by_the_configured_magnitude() {
+        let mut plan = FaultPlan::none(11);
+        plan.sensor.spike_rate = 1.0;
+        plan.sensor.spike_magnitude = 25.0;
+        let mut inj = FaultInjector::new(plan);
+        for i in 0..50u64 {
+            let got = inj
+                .sensor(SimTime::from_millis(i), Celsius::new(40.0))
+                .expect("spikes never drop samples");
+            assert!(
+                (got.value() - 40.0).abs() > 24.9,
+                "sample not spiked: {got}"
+            );
+        }
+        assert_eq!(inj.stats().sensor_spikes, 50);
+    }
+
+    #[test]
+    fn domains_are_independent_streams() {
+        // Enabling sensor faults must not change the NPU schedule.
+        let mut npu_only = FaultPlan::none(99);
+        npu_only.npu.failure_rate = 0.3;
+        let mut both = npu_only;
+        both.sensor.dropout_rate = 0.5;
+
+        let mut a = FaultInjector::new(npu_only);
+        let mut b = FaultInjector::new(both);
+        for i in 0..500u64 {
+            // Interleave sensor draws in `b` only.
+            let _ = b.sensor(SimTime::from_millis(i), Celsius::new(30.0));
+            assert_eq!(a.npu_job(), b.npu_job(), "diverged at job {i}");
+        }
+    }
+}

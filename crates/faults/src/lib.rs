@@ -1,0 +1,37 @@
+//! Deterministic fault injection for the NPU / sensor / DVFS stack.
+//!
+//! Real HiKey 970 deployments see transient failures the idealized
+//! simulator never produces: NPU jobs that error out or hang inside the
+//! HiAI driver, thermal-sensor glitches (stuck-at registers, dropped
+//! samples, impulse noise on the shared I²C bus), and cpufreq transitions
+//! that the firmware rejects or applies late. This crate models those as a
+//! declarative [`FaultPlan`] executed by a [`FaultInjector`]:
+//!
+//! * the plan is plain data (seed + per-domain rates) and serializable, so
+//!   an experiment's fault schedule is part of its configuration,
+//! * the injector draws from **one seeded RNG stream per fault domain**
+//!   (NPU / sensor / DVFS), so enabling faults in one domain never
+//!   perturbs the schedule of another,
+//! * the same seed always reproduces the same fault schedule, and a plan
+//!   with all rates at zero draws nothing at all — a zero-fault run is
+//!   bit-identical to a run without any injector.
+//!
+//! # Examples
+//!
+//! ```
+//! use faults::{FaultInjector, FaultPlan, NpuFault};
+//!
+//! let mut plan = FaultPlan::none(42);
+//! plan.npu.failure_rate = 1.0;
+//! let mut injector = FaultInjector::new(plan);
+//! assert_eq!(injector.npu_job(), NpuFault::DeviceFault);
+//! assert_eq!(injector.stats().npu_device_faults, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod injector;
+mod plan;
+
+pub use injector::{DvfsFault, FaultInjector, FaultStats, NpuFault};
+pub use plan::{DvfsFaultConfig, FaultPlan, NpuFaultConfig, SensorFaultConfig};

@@ -1,0 +1,150 @@
+//! Declarative fault plans: seed + per-domain fault rates.
+
+use hmc_types::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// NPU fault model. All rates are per submitted job, in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NpuFaultConfig {
+    /// Probability that a job fails with a device fault (the device then
+    /// needs a reset before it accepts work again).
+    pub failure_rate: f64,
+    /// Probability that a job hangs inside the driver and never completes.
+    pub timeout_rate: f64,
+    /// Probability that a job completes but with inflated latency.
+    pub latency_spike_rate: f64,
+    /// Multiplier applied to the latency of a spiking job.
+    pub latency_spike_factor: f64,
+}
+
+impl Default for NpuFaultConfig {
+    fn default() -> Self {
+        NpuFaultConfig {
+            failure_rate: 0.0,
+            timeout_rate: 0.0,
+            latency_spike_rate: 0.0,
+            latency_spike_factor: 10.0,
+        }
+    }
+}
+
+/// Thermal-sensor fault model. All rates are per sample, in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorFaultConfig {
+    /// Probability that a sample is dropped (no reading available).
+    pub dropout_rate: f64,
+    /// Probability that the sensor latches its current value (stuck-at).
+    pub stuck_rate: f64,
+    /// How long a stuck-at episode lasts.
+    pub stuck_duration: SimDuration,
+    /// Standard deviation of additive noise, in kelvin (0 disables).
+    pub noise_std: f64,
+    /// Probability of an impulse spike on a sample.
+    pub spike_rate: f64,
+    /// Magnitude of an impulse spike, in kelvin (sign drawn randomly).
+    pub spike_magnitude: f64,
+}
+
+impl Default for SensorFaultConfig {
+    fn default() -> Self {
+        SensorFaultConfig {
+            dropout_rate: 0.0,
+            stuck_rate: 0.0,
+            stuck_duration: SimDuration::from_millis(200),
+            noise_std: 0.0,
+            spike_rate: 0.0,
+            spike_magnitude: 20.0,
+        }
+    }
+}
+
+/// DVFS actuation fault model. All rates are per requested transition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvfsFaultConfig {
+    /// Probability that a V/f transition is rejected outright.
+    pub reject_rate: f64,
+    /// Probability that a transition is applied late.
+    pub delay_rate: f64,
+    /// How late a delayed transition lands.
+    pub delay: SimDuration,
+}
+
+impl Default for DvfsFaultConfig {
+    fn default() -> Self {
+        DvfsFaultConfig {
+            reject_rate: 0.0,
+            delay_rate: 0.0,
+            delay: SimDuration::from_millis(20),
+        }
+    }
+}
+
+/// A complete fault plan: one seed, one config per fault domain.
+///
+/// The plan is plain serializable data; pass it to
+/// [`FaultInjector::new`](crate::FaultInjector::new) to execute it. The
+/// same plan (seed included) always reproduces the same fault schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the fault schedule. Each domain derives its own stream.
+    pub seed: u64,
+    /// NPU job faults.
+    pub npu: NpuFaultConfig,
+    /// Thermal-sensor faults.
+    pub sensor: SensorFaultConfig,
+    /// DVFS actuation faults.
+    pub dvfs: DvfsFaultConfig,
+}
+
+impl FaultPlan {
+    /// A plan with every fault rate at zero: the injector never draws from
+    /// its RNGs and never perturbs the run.
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            npu: NpuFaultConfig::default(),
+            sensor: SensorFaultConfig::default(),
+            dvfs: DvfsFaultConfig::default(),
+        }
+    }
+
+    /// Whether the plan can produce any fault at all.
+    pub fn is_zero(&self) -> bool {
+        self.npu.failure_rate == 0.0
+            && self.npu.timeout_rate == 0.0
+            && self.npu.latency_spike_rate == 0.0
+            && self.sensor.dropout_rate == 0.0
+            && self.sensor.stuck_rate == 0.0
+            && self.sensor.noise_std == 0.0
+            && self.sensor.spike_rate == 0.0
+            && self.dvfs.reject_rate == 0.0
+            && self.dvfs.delay_rate == 0.0
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_zero() {
+        assert!(FaultPlan::none(123).is_zero());
+        assert!(FaultPlan::default().is_zero());
+    }
+
+    #[test]
+    fn any_rate_makes_plan_nonzero() {
+        let mut plan = FaultPlan::none(0);
+        plan.sensor.spike_rate = 0.01;
+        assert!(!plan.is_zero());
+        let mut plan = FaultPlan::none(0);
+        plan.dvfs.reject_rate = 0.5;
+        assert!(!plan.is_zero());
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests: the fault schedule is a pure function of the plan.
+
+use faults::{FaultInjector, FaultPlan};
+use hmc_types::{Celsius, SimTime};
+use proptest::prelude::*;
+
+fn plan(seed: u64, npu: f64, dropout: f64, reject: f64) -> FaultPlan {
+    let mut plan = FaultPlan::none(seed);
+    plan.npu.failure_rate = npu;
+    plan.npu.timeout_rate = npu / 2.0;
+    plan.sensor.dropout_rate = dropout;
+    plan.sensor.spike_rate = dropout / 2.0;
+    plan.dvfs.reject_rate = reject;
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Two injectors built from the same plan produce identical fault
+    /// schedules across every domain.
+    #[test]
+    fn same_seed_same_schedule(
+        seed in 0u64..10_000,
+        npu in 0.0f64..0.8,
+        dropout in 0.0f64..0.5,
+        reject in 0.0f64..0.5,
+        calls in 1usize..300,
+    ) {
+        let p = plan(seed, npu, dropout, reject);
+        let mut a = FaultInjector::new(p);
+        let mut b = FaultInjector::new(p);
+        for i in 0..calls {
+            let now = SimTime::from_millis(i as u64);
+            let truth = Celsius::new(30.0 + (i % 40) as f64);
+            prop_assert_eq!(a.npu_job(), b.npu_job());
+            prop_assert_eq!(a.sensor(now, truth), b.sensor(now, truth));
+            prop_assert_eq!(a.dvfs_transition(), b.dvfs_transition());
+        }
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+
+    /// A zero-rate plan never produces a fault and returns every sensor
+    /// sample unmodified, regardless of the seed.
+    #[test]
+    fn zero_plan_is_transparent(seed in 0u64..10_000, calls in 1usize..300) {
+        let mut inj = FaultInjector::new(FaultPlan::none(seed));
+        for i in 0..calls {
+            let now = SimTime::from_millis(i as u64);
+            let truth = Celsius::new(25.0 + i as f64 * 0.03);
+            prop_assert_eq!(inj.npu_job(), faults::NpuFault::None);
+            prop_assert_eq!(inj.sensor(now, truth), Some(truth));
+            prop_assert_eq!(inj.dvfs_transition(), faults::DvfsFault::None);
+        }
+        prop_assert_eq!(inj.stats().total(), 0);
+    }
+
+    /// Fault frequency tracks the configured rate (law of large numbers,
+    /// loose bounds).
+    #[test]
+    fn rates_are_respected(seed in 0u64..1000, rate in 0.1f64..0.9) {
+        let mut p = FaultPlan::none(seed);
+        p.npu.failure_rate = rate;
+        let mut inj = FaultInjector::new(p);
+        let n = 2000;
+        let faults = (0..n)
+            .filter(|_| inj.npu_job() == faults::NpuFault::DeviceFault)
+            .count();
+        let observed = faults as f64 / n as f64;
+        prop_assert!((observed - rate).abs() < 0.08, "rate {rate}, observed {observed}");
+    }
+}

@@ -30,8 +30,8 @@
 #![warn(missing_docs)]
 
 use hikey_platform::{Platform, Policy};
-use hmc_types::{Cluster, CoreId, QosTarget, SimDuration, SimTime};
 use hmc_types::AppModel;
+use hmc_types::{Cluster, CoreId, QosTarget, SimDuration, SimTime};
 
 /// GTS load-balancing period (Linux scheduler granularity, coarsened).
 const BALANCE_PERIOD: SimDuration = SimDuration::from_millis(100);
@@ -100,9 +100,7 @@ impl LinuxGovernor {
             for core in cluster.cores() {
                 if platform.apps_on_core(core) >= 2 {
                     if let Some(target) = free_iter.next() {
-                        if let Some(app) =
-                            snapshots.iter().find(|s| s.core == core).map(|s| s.id)
-                        {
+                        if let Some(app) = snapshots.iter().find(|s| s.core == core).map(|s| s.id) {
                             platform.migrate(app, target);
                         }
                     }
@@ -145,9 +143,7 @@ impl LinuxGovernor {
                     platform.set_cluster_level(cluster, 0);
                 }
                 CpufreqGovernor::Ondemand => {
-                    let busy = cluster
-                        .cores()
-                        .any(|c| platform.core_utilization(c) > 0.0);
+                    let busy = cluster.cores().any(|c| platform.core_utilization(c) > 0.0);
                     if busy {
                         // Utilization above the up-threshold: jump to max.
                         let top = platform.opp_table(cluster).len() - 1;
@@ -234,7 +230,10 @@ mod tests {
         let top = big.len() - 1;
         let top_time = big[top].as_secs_f64();
         let total: f64 = big.iter().map(|d| d.as_secs_f64()).sum();
-        assert!(top_time / total > 0.9, "ondemand should sit at max when busy");
+        assert!(
+            top_time / total > 0.9,
+            "ondemand should sit at max when busy"
+        );
     }
 
     #[test]
@@ -248,7 +247,10 @@ mod tests {
         let report = Simulator::new(config).run(&w, &mut LinuxGovernor::gts_powersave());
         let big = report.metrics.cpu_time_distribution(Cluster::Big);
         let total: f64 = big.iter().map(|d| d.as_secs_f64()).sum();
-        assert!(big[0].as_secs_f64() / total > 0.99, "powersave pins level 0");
+        assert!(
+            big[0].as_secs_f64() / total > 0.99,
+            "powersave pins level 0"
+        );
     }
 
     #[test]
@@ -299,7 +301,10 @@ mod tests {
         };
         let l1 = busiest_level(&r1.metrics);
         let l4 = busiest_level(&r4.metrics);
-        assert!(l1 < l4, "more utilization must raise the level: {l1} vs {l4}");
+        assert!(
+            l1 < l4,
+            "more utilization must raise the level: {l1} vs {l4}"
+        );
         assert_eq!(l4, 8, "fully busy cluster runs at max");
     }
 
@@ -313,7 +318,11 @@ mod tests {
         platform.admit(spec, CoreId::new(4));
         let gov = LinuxGovernor::gts_ondemand();
         gov.balance(&mut platform);
-        assert_eq!(platform.apps_on_core(CoreId::new(4)), 1, "spread should split them");
+        assert_eq!(
+            platform.apps_on_core(CoreId::new(4)),
+            1,
+            "spread should split them"
+        );
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Runtime state of one executing application.
 
-use hmc_types::{
-    AppId, Cluster, CoreId, Frequency, Ips, Phase, QosTarget, SimDuration, SimTime,
-};
 use hmc_types::AppModel;
+use hmc_types::{AppId, Cluster, CoreId, Frequency, Ips, Phase, QosTarget, SimDuration, SimTime};
 
 /// Number of buckets in the sliding IPS window.
 const WINDOW_BUCKETS: usize = 10;
@@ -157,10 +155,7 @@ impl AppInstance {
             }
         }
         let phase = self.phase();
-        let ips = self
-            .model
-            .ips_in_phase(cluster, f, share, phase)
-            .value();
+        let ips = self.model.ips_in_phase(cluster, f, share, phase).value();
         let insts = ips * effective_dt.as_secs_f64();
         self.executed = (self.executed + insts).min(self.total);
         let l2d = insts * self.model.l2d_per_kinst() / 1000.0;
@@ -361,6 +356,9 @@ mod tests {
         let f = Frequency::from_mhz(2362);
         let dt = SimDuration::from_millis(1);
         app.advance(Cluster::Big, f, 1.0, dt, SimTime::ZERO);
-        assert!(app.is_complete(), "1M instructions fit in one 1ms tick at ~2 GIPS");
+        assert!(
+            app.is_complete(),
+            "1M instructions fit in one 1ms tick at ~2 GIPS"
+        );
     }
 }

@@ -40,6 +40,10 @@ pub struct Dtm {
     /// Number of times the trip point was crossed upward.
     trip_events: u64,
     above_trip: bool,
+    /// Fail-safe engaged: the thermal sensor is lost, so both clusters are
+    /// clamped to their lowest OPP regardless of `throttled_levels`.
+    #[serde(default)]
+    failsafe: bool,
 }
 
 impl Dtm {
@@ -84,9 +88,27 @@ impl Dtm {
     }
 
     /// Returns the highest allowed OPP index for a table with `table_len`
-    /// levels (never below 0).
+    /// levels (never below 0). While the fail-safe is engaged only the
+    /// lowest OPP is allowed.
     pub fn max_allowed_index(&self, table_len: usize) -> usize {
-        table_len.saturating_sub(1).saturating_sub(self.throttled_levels)
+        if self.failsafe {
+            return 0;
+        }
+        table_len
+            .saturating_sub(1)
+            .saturating_sub(self.throttled_levels)
+    }
+
+    /// Engages or releases the sensor-loss fail-safe. While engaged, the
+    /// platform cannot trust its only thermal input, so the safe action is
+    /// to run both clusters at their lowest OPP.
+    pub fn set_failsafe(&mut self, on: bool) {
+        self.failsafe = on;
+    }
+
+    /// Whether the sensor-loss fail-safe is engaged.
+    pub fn failsafe(&self) -> bool {
+        self.failsafe
     }
 
     /// Total time spent with throttling active.
@@ -101,7 +123,7 @@ impl Dtm {
 
     /// Returns `true` if any level is currently clamped.
     pub fn is_throttling(&self) -> bool {
-        self.throttled_levels > 0
+        self.failsafe || self.throttled_levels > 0
     }
 }
 
@@ -144,7 +166,11 @@ mod tests {
         dtm.update(SimTime::from_millis(100), Celsius::new(90.0));
         dtm.update(SimTime::from_millis(110), Celsius::new(90.0));
         dtm.update(SimTime::from_millis(120), Celsius::new(90.0));
-        assert_eq!(dtm.throttled_levels(), 1, "sub-period updates must not stack");
+        assert_eq!(
+            dtm.throttled_levels(),
+            1,
+            "sub-period updates must not stack"
+        );
     }
 
     #[test]
@@ -155,6 +181,19 @@ mod tests {
             dtm.update(SimTime::from_millis(step * 100), Celsius::new(95.0));
         }
         assert_eq!(dtm.max_allowed_index(9), 0, "never throttles below level 0");
+    }
+
+    #[test]
+    fn failsafe_forces_lowest_opp() {
+        let mut dtm = Dtm::new();
+        assert_eq!(dtm.max_allowed_index(9), 8);
+        dtm.set_failsafe(true);
+        assert!(dtm.failsafe());
+        assert!(dtm.is_throttling());
+        assert_eq!(dtm.max_allowed_index(9), 0);
+        dtm.set_failsafe(false);
+        assert_eq!(dtm.max_allowed_index(9), 8);
+        assert!(!dtm.is_throttling());
     }
 
     #[test]

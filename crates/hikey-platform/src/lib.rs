@@ -53,12 +53,14 @@ mod opp;
 mod platform;
 mod policy;
 mod power;
+mod sensor;
 mod sim;
 
 pub use dtm::{Dtm, RELEASE_CELSIUS, TRIP_CELSIUS};
 pub use metrics::{AppOutcome, RunMetrics};
 pub use opp::{Opp, OppTable};
 pub use platform::{AppSnapshot, Platform, PlatformConfig};
-pub use policy::{default_placement, Policy};
+pub use policy::{default_placement, DegradationReport, Policy};
 pub use power::PowerModel;
+pub use sensor::{SensorFilter, SensorFilterConfig, SensorReading};
 pub use sim::{RunReport, SimConfig, Simulator, TraceSample};

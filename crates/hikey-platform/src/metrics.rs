@@ -1,8 +1,6 @@
 //! Run metrics: everything the paper's evaluation figures are built from.
 
-use hmc_types::{
-    AppId, Celsius, Cluster, Ips, Joules, QosTarget, SimDuration, SimTime,
-};
+use hmc_types::{AppId, Celsius, Cluster, Ips, Joules, QosTarget, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// The final record of one application's execution.
@@ -77,6 +75,20 @@ pub struct RunMetrics {
     throttled_time: SimDuration,
     trip_events: u64,
     outcomes: Vec<AppOutcome>,
+    #[serde(default)]
+    sensor_held: u64,
+    #[serde(default)]
+    sensor_rejected: u64,
+    #[serde(default)]
+    sensor_dropouts: u64,
+    #[serde(default)]
+    failsafe_time: SimDuration,
+    #[serde(default)]
+    failsafe_events: u64,
+    #[serde(default)]
+    dvfs_rejects: u64,
+    #[serde(default)]
+    dvfs_delays: u64,
 }
 
 impl RunMetrics {
@@ -99,6 +111,13 @@ impl RunMetrics {
             throttled_time: SimDuration::ZERO,
             trip_events: 0,
             outcomes: Vec::new(),
+            sensor_held: 0,
+            sensor_rejected: 0,
+            sensor_dropouts: 0,
+            failsafe_time: SimDuration::ZERO,
+            failsafe_events: 0,
+            dvfs_rejects: 0,
+            dvfs_delays: 0,
         }
     }
 
@@ -137,6 +156,26 @@ impl RunMetrics {
     pub(crate) fn record_dtm(&mut self, throttled_time: SimDuration, trip_events: u64) {
         self.throttled_time = throttled_time;
         self.trip_events = trip_events;
+    }
+
+    pub(crate) fn record_sensor_faults(
+        &mut self,
+        held: u64,
+        rejected: u64,
+        dropouts: u64,
+        failsafe_time: SimDuration,
+        failsafe_events: u64,
+    ) {
+        self.sensor_held = held;
+        self.sensor_rejected = rejected;
+        self.sensor_dropouts = dropouts;
+        self.failsafe_time = failsafe_time;
+        self.failsafe_events = failsafe_events;
+    }
+
+    pub(crate) fn record_dvfs_faults(&mut self, rejects: u64, delays: u64) {
+        self.dvfs_rejects = rejects;
+        self.dvfs_delays = delays;
     }
 
     /// Total simulated time covered by these metrics.
@@ -217,6 +256,42 @@ impl RunMetrics {
     /// Number of applications that violated their QoS target.
     pub fn qos_violations(&self) -> usize {
         self.outcomes.iter().filter(|o| o.violated_qos()).count()
+    }
+
+    /// Sensor samples bridged by hold-last-good (missing or rejected).
+    pub fn sensor_samples_held(&self) -> u64 {
+        self.sensor_held
+    }
+
+    /// Sensor samples rejected by the plausibility filter.
+    pub fn sensor_samples_rejected(&self) -> u64 {
+        self.sensor_rejected
+    }
+
+    /// Sensor samples that never arrived (bus dropouts).
+    pub fn sensor_dropouts(&self) -> u64 {
+        self.sensor_dropouts
+    }
+
+    /// Time spent in the sensor-loss fail-safe (lowest OPP on both
+    /// clusters).
+    pub fn failsafe_time(&self) -> SimDuration {
+        self.failsafe_time
+    }
+
+    /// Number of times the sensor-loss fail-safe engaged.
+    pub fn failsafe_events(&self) -> u64 {
+        self.failsafe_events
+    }
+
+    /// DVFS transitions rejected by an actuation fault.
+    pub fn dvfs_rejects(&self) -> u64 {
+        self.dvfs_rejects
+    }
+
+    /// DVFS transitions delayed by an actuation fault.
+    pub fn dvfs_delays(&self) -> u64 {
+        self.dvfs_delays
     }
 }
 

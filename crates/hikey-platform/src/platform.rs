@@ -3,11 +3,12 @@
 
 use std::collections::BTreeMap;
 
+use faults::{DvfsFault, FaultInjector, FaultPlan, FaultStats};
+use hmc_types::AppModel;
 use hmc_types::{
     AppId, Celsius, Cluster, CoreId, Frequency, Ips, QosTarget, SimDuration, SimTime, Watts,
     NUM_CORES,
 };
-use hmc_types::AppModel;
 use thermal::{Cooling, SocThermal, ThermalParams};
 use workloads::ArrivalSpec;
 
@@ -15,6 +16,7 @@ use crate::app::AppInstance;
 use crate::metrics::{AppOutcome, RunMetrics};
 use crate::opp::OppTable;
 use crate::power::PowerModel;
+use crate::sensor::{SensorFilter, SensorFilterConfig, SensorReading};
 use crate::Dtm;
 
 /// Configuration of a [`Platform`].
@@ -30,6 +32,14 @@ pub struct PlatformConfig {
     /// Thermal-model perturbations (sensitivity analysis; identity by
     /// default).
     pub thermal_params: ThermalParams,
+    /// Fault-injection plan for sensor and DVFS faults (`None` = pristine
+    /// hardware). NPU faults in the same plan are consumed by the
+    /// governor's own injector on an independent random stream.
+    pub fault_plan: Option<FaultPlan>,
+    /// Sensor plausibility filtering. `None` disables the degradation
+    /// ladder: raw samples reach DTM unchecked and dropouts hold the last
+    /// estimate forever (no fail-safe).
+    pub sensor_filter: Option<SensorFilterConfig>,
 }
 
 impl Default for PlatformConfig {
@@ -39,6 +49,8 @@ impl Default for PlatformConfig {
             tick: SimDuration::from_millis(1),
             dtm_enabled: true,
             thermal_params: ThermalParams::default(),
+            fault_plan: None,
+            sensor_filter: Some(SensorFilterConfig::default()),
         }
     }
 }
@@ -101,6 +113,18 @@ pub struct Platform {
     metrics: RunMetrics,
     /// CPU time owed by the governor, drained from core 0's capacity.
     governor_debt: SimDuration,
+    injector: Option<FaultInjector>,
+    filter: Option<SensorFilter>,
+    /// Last software-visible sensor value (filtered / held).
+    sensor_estimate: Celsius,
+    sensor_lost: bool,
+    sensor_dropouts: u64,
+    /// Delayed DVFS transitions per cluster: (due time, target index).
+    pending_level: [Option<(SimTime, usize)>; 2],
+    dvfs_rejects: u64,
+    dvfs_delays: u64,
+    failsafe_time: SimDuration,
+    failsafe_events: u64,
 }
 
 impl Platform {
@@ -113,18 +137,36 @@ impl Platform {
         ];
         let level = [opp_tables[0].len() - 1, opp_tables[1].len() - 1];
         let metrics = RunMetrics::new(opp_tables[0].len(), opp_tables[1].len());
+        let thermal = SocThermal::with_params(config.cooling, config.thermal_params);
+        let ambient = thermal.sensor();
+        let filter = config.sensor_filter.map(|filter_config| {
+            let mut filter = SensorFilter::new(filter_config);
+            // The board boots at ambient with a working sensor.
+            filter.seed(SimTime::ZERO, ambient);
+            filter
+        });
         Platform {
             config,
             opp_tables,
             level,
             power: PowerModel::kirin970(),
-            thermal: SocThermal::with_params(config.cooling, config.thermal_params),
+            thermal,
             dtm: Dtm::new(),
             apps: BTreeMap::new(),
             next_app_id: 0,
             now: SimTime::ZERO,
             metrics,
             governor_debt: SimDuration::ZERO,
+            injector: config.fault_plan.map(FaultInjector::new),
+            filter,
+            sensor_estimate: ambient,
+            sensor_lost: false,
+            sensor_dropouts: 0,
+            pending_level: [None, None],
+            dvfs_rejects: 0,
+            dvfs_delays: 0,
+            failsafe_time: SimDuration::ZERO,
+            failsafe_events: 0,
         }
     }
 
@@ -204,17 +246,39 @@ impl Platform {
 
     /// Sets a cluster to the OPP with the given index, clamped by DTM.
     ///
-    /// Returns the index actually applied.
+    /// Returns the index actually in effect after the call. With fault
+    /// injection active the transition may be rejected (level unchanged)
+    /// or delayed (the old level stays until the fault's delay elapses).
     pub fn set_cluster_level(&mut self, cluster: Cluster, index: usize) -> usize {
-        let table = &self.opp_tables[cluster.index()];
+        let ci = cluster.index();
+        let table = &self.opp_tables[ci];
         let max_allowed = if self.config.dtm_enabled {
             self.dtm.max_allowed_index(table.len())
         } else {
             table.len() - 1
         };
         let applied = index.min(max_allowed);
-        self.level[cluster.index()] = applied;
-        applied
+        if applied == self.level[ci] {
+            // No transition requested: nothing for the fault model to act
+            // on (keeps re-requests of the current level draw-free).
+            return applied;
+        }
+        match self.injector.as_mut().map(|i| i.dvfs_transition()) {
+            None | Some(DvfsFault::None) => {
+                self.level[ci] = applied;
+                self.pending_level[ci] = None;
+                applied
+            }
+            Some(DvfsFault::Reject) => {
+                self.dvfs_rejects += 1;
+                self.level[ci]
+            }
+            Some(DvfsFault::Delay(delay)) => {
+                self.dvfs_delays += 1;
+                self.pending_level[ci] = Some((self.now + delay, applied));
+                self.level[ci]
+            }
+        }
     }
 
     /// Sets a cluster to the lowest OPP whose frequency is `>= f`.
@@ -236,9 +300,22 @@ impl Platform {
             .frequency
     }
 
-    /// Reading of the on-board thermal sensor.
+    /// Reading of the on-board thermal sensor as visible to software: the
+    /// last (possibly faulted, then filtered) sample. Identical to the
+    /// physical die temperature when no faults are injected.
     pub fn sensor(&self) -> Celsius {
-        self.thermal.sensor()
+        self.sensor_estimate
+    }
+
+    /// Whether the thermal sensor is currently considered lost (no
+    /// plausible sample for longer than the filter's hold deadline).
+    pub fn sensor_lost(&self) -> bool {
+        self.sensor_lost
+    }
+
+    /// Statistics of the fault injector (`None` without a fault plan).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.injector.as_ref().map(FaultInjector::stats)
     }
 
     /// Temperature of one core (available to the oracle, not meant for
@@ -328,6 +405,22 @@ impl Platform {
         let dt = self.config.tick;
         let now = self.now;
 
+        // Apply DVFS transitions that a fault delayed and are now due.
+        for ci in 0..2 {
+            if let Some((due, target)) = self.pending_level[ci] {
+                if due <= now {
+                    let table_len = self.opp_tables[ci].len();
+                    let max_allowed = if self.config.dtm_enabled {
+                        self.dtm.max_allowed_index(table_len)
+                    } else {
+                        table_len - 1
+                    };
+                    self.level[ci] = target.min(max_allowed);
+                    self.pending_level[ci] = None;
+                }
+            }
+        }
+
         // Drain governor debt from core 0's capacity this tick.
         let governor_drain = self.governor_debt.min(dt);
         self.governor_debt -= governor_drain;
@@ -348,7 +441,11 @@ impl Platform {
                 continue;
             }
             core_busy[core.index()] = true;
-            let capacity = if core.index() == 0 { core0_capacity } else { 1.0 };
+            let capacity = if core.index() == 0 {
+                core0_capacity
+            } else {
+                1.0
+            };
             let share = capacity / ids.len() as f64;
             let cluster = core.cluster();
             let f = self.cluster_frequency(cluster);
@@ -408,13 +505,43 @@ impl Platform {
             total_power += p.value();
         }
 
-        // Thermal integration and DTM.
+        // Thermal integration, sensor sampling and DTM.
         let soc_static = self.power.soc_static_power();
         total_power += soc_static.value();
         self.thermal
             .step_with_soc(&core_powers, cluster_powers, soc_static, dt);
+        let truth = self.thermal.sensor();
+        let observed = match &mut self.injector {
+            Some(injector) => injector.sensor(self.now, truth),
+            None => Some(truth),
+        };
+        if observed.is_none() {
+            self.sensor_dropouts += 1;
+        }
+        let reading = match &mut self.filter {
+            Some(filter) => filter.ingest(self.now, observed),
+            // Ladder disabled: act on whatever arrives; dropouts hold the
+            // previous estimate forever (no fail-safe).
+            None => match observed {
+                Some(sample) => SensorReading::Valid(sample),
+                None => SensorReading::Held(self.sensor_estimate),
+            },
+        };
+        let lost = matches!(reading, SensorReading::Lost);
+        if let SensorReading::Valid(value) | SensorReading::Held(value) = reading {
+            self.sensor_estimate = value;
+        }
+        if lost && !self.sensor_lost {
+            self.failsafe_events += 1;
+        }
+        self.sensor_lost = lost;
         if self.config.dtm_enabled {
-            self.dtm.update(self.now, self.thermal.sensor());
+            self.dtm.set_failsafe(lost);
+            if lost {
+                self.failsafe_time += dt;
+            } else {
+                self.dtm.update(self.now, self.sensor_estimate);
+            }
             for cluster in Cluster::ALL {
                 let table_len = self.opp_tables[cluster.index()].len();
                 let max_allowed = self.dtm.max_allowed_index(table_len);
@@ -438,7 +565,10 @@ impl Platform {
             (
                 Cluster::Big,
                 self.level[1],
-                Cluster::Big.cores().filter(|c| core_busy[c.index()]).count(),
+                Cluster::Big
+                    .cores()
+                    .filter(|c| core_busy[c.index()])
+                    .count(),
             ),
         ];
         self.metrics.record_tick(
@@ -497,6 +627,19 @@ impl Platform {
         }
         self.metrics
             .record_dtm(self.dtm.throttled_time(), self.dtm.trip_events());
+        let (held, rejected) = match &self.filter {
+            Some(filter) => (filter.held_samples(), filter.rejected_samples()),
+            None => (0, 0),
+        };
+        self.metrics.record_sensor_faults(
+            held,
+            rejected,
+            self.sensor_dropouts,
+            self.failsafe_time,
+            self.failsafe_events,
+        );
+        self.metrics
+            .record_dvfs_faults(self.dvfs_rejects, self.dvfs_delays);
         self.metrics
     }
 }
@@ -516,7 +659,10 @@ mod tests {
     #[test]
     fn boots_at_max_frequency() {
         let p = Platform::new(PlatformConfig::default());
-        assert_eq!(p.cluster_frequency(Cluster::Little), Frequency::from_mhz(1844));
+        assert_eq!(
+            p.cluster_frequency(Cluster::Little),
+            Frequency::from_mhz(1844)
+        );
         assert_eq!(p.cluster_frequency(Cluster::Big), Frequency::from_mhz(2362));
     }
 
@@ -688,6 +834,87 @@ mod tests {
         let report = p.into_report();
         assert_eq!(report.outcomes().len(), 1);
         assert!(report.outcomes()[0].finished_at.is_none());
+    }
+
+    #[test]
+    fn sensor_dropout_engages_failsafe_after_deadline() {
+        let mut plan = faults::FaultPlan::none(7);
+        plan.sensor.dropout_rate = 1.0;
+        let mut p = Platform::new(PlatformConfig {
+            fault_plan: Some(plan),
+            ..PlatformConfig::default()
+        });
+        let mut s = spec(Benchmark::Adi, 0.3);
+        s.total_instructions = Some(u64::MAX);
+        p.admit(&s, CoreId::new(4));
+        for _ in 0..400 {
+            p.tick();
+        }
+        assert!(!p.sensor_lost(), "held within the 500 ms deadline");
+        for _ in 0..400 {
+            p.tick();
+        }
+        assert!(p.sensor_lost(), "lost past the deadline");
+        assert_eq!(
+            p.cluster_level(Cluster::Big),
+            0,
+            "fail-safe clamps to lowest OPP"
+        );
+        assert_eq!(p.cluster_level(Cluster::Little), 0);
+        assert_eq!(
+            p.set_cluster_level(Cluster::Big, 8),
+            0,
+            "requests stay clamped"
+        );
+        let report = p.into_report();
+        assert!(report.failsafe_time() > SimDuration::ZERO);
+        assert_eq!(report.failsafe_events(), 1);
+        assert!(report.sensor_dropouts() >= 799);
+    }
+
+    #[test]
+    fn dvfs_faults_reject_and_delay_transitions() {
+        let mut plan = faults::FaultPlan::none(3);
+        plan.dvfs.reject_rate = 1.0;
+        let mut p = Platform::new(PlatformConfig {
+            fault_plan: Some(plan),
+            ..PlatformConfig::default()
+        });
+        let top = p.cluster_level(Cluster::Big);
+        assert_eq!(p.set_cluster_level(Cluster::Big, 0), top, "rejected");
+        assert_eq!(p.cluster_level(Cluster::Big), top);
+
+        let mut plan = faults::FaultPlan::none(3);
+        plan.dvfs.delay_rate = 1.0;
+        let mut p = Platform::new(PlatformConfig {
+            fault_plan: Some(plan),
+            ..PlatformConfig::default()
+        });
+        assert_eq!(p.set_cluster_level(Cluster::Big, 0), top, "not yet applied");
+        for _ in 0..25 {
+            p.tick();
+        }
+        assert_eq!(p.cluster_level(Cluster::Big), 0, "applied after the delay");
+        let report = p.into_report();
+        assert_eq!(report.dvfs_delays(), 1);
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_no_injector() {
+        let mut faulty = Platform::new(PlatformConfig {
+            fault_plan: Some(faults::FaultPlan::none(11)),
+            ..PlatformConfig::default()
+        });
+        let mut clean = Platform::new(PlatformConfig::default());
+        let s = spec(Benchmark::Swaptions, 0.2);
+        faulty.admit(&s, CoreId::new(5));
+        clean.admit(&s, CoreId::new(5));
+        for _ in 0..500 {
+            faulty.tick();
+            clean.tick();
+            assert_eq!(faulty.sensor(), clean.sensor());
+        }
+        assert_eq!(faulty.into_report(), clean.into_report());
     }
 
     #[test]

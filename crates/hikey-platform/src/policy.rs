@@ -1,9 +1,27 @@
 //! The resource-management policy interface.
 
-use hmc_types::{CoreId, QosTarget};
 use hmc_types::AppModel;
+use hmc_types::{CoreId, QosTarget, SimDuration};
+use serde::{Deserialize, Serialize};
 
 use crate::Platform;
+
+/// Counters describing how far a policy degraded from its nominal
+/// operating mode during a run (retries, fallbacks, skipped epochs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DegradationReport {
+    /// Migration epochs where inference missed its deadline and the
+    /// migration step was skipped (DVFS kept running).
+    pub degraded_epochs: u64,
+    /// Migration epochs served by the CPU inference fallback.
+    pub cpu_fallback_epochs: u64,
+    /// Total time spent with the CPU fallback active.
+    pub fallback_active_time: SimDuration,
+    /// Individual NPU job failures observed (before retries).
+    pub npu_failures: u64,
+    /// Times the NPU circuit breaker opened.
+    pub breaker_opens: u64,
+}
 
 /// A run-time resource-management policy (scheduler + DVFS governor).
 ///
@@ -38,16 +56,19 @@ pub trait Policy {
 
     /// Called every platform tick, before the platform advances.
     fn on_tick(&mut self, platform: &mut Platform);
+
+    /// Degradation counters accumulated over the run (`None` for policies
+    /// without a degradation ladder).
+    fn degradation(&self) -> Option<DegradationReport> {
+        None
+    }
 }
 
 /// Default arrival placement: a free big core, then a free LITTLE core,
 /// then the globally least-populated core.
 pub fn default_placement(platform: &Platform) -> CoreId {
     let free = platform.free_cores();
-    if let Some(&core) = free
-        .iter()
-        .find(|c| c.cluster() == hmc_types::Cluster::Big)
-    {
+    if let Some(&core) = free.iter().find(|c| c.cluster() == hmc_types::Cluster::Big) {
         return core;
     }
     if let Some(&core) = free.first() {
@@ -55,7 +76,7 @@ pub fn default_placement(platform: &Platform) -> CoreId {
     }
     CoreId::all()
         .min_by_key(|&c| platform.apps_on_core(c))
-        .expect("platform always has cores")
+        .unwrap_or_else(|| CoreId::new(0))
 }
 
 #[cfg(test)]

@@ -97,8 +97,7 @@ impl PowerModel {
         let v2f = v.as_volts() * v.as_volts() * f.as_ghz();
         let activity = effective_activity.max(c.idle_fraction);
         let dynamic = c.k_dyn * activity * v2f;
-        let leakage =
-            c.k_leak * v.as_volts() * ((core_temp.value() - 25.0) / LEAKAGE_T0).exp();
+        let leakage = c.k_leak * v.as_volts() * ((core_temp.value() - 25.0) / LEAKAGE_T0).exp();
         Watts::new(dynamic + leakage)
     }
 
@@ -108,7 +107,11 @@ impl PowerModel {
     pub fn uncore_power(&self, cluster: Cluster, f: Frequency, v: Voltage, busy: bool) -> Watts {
         let c = &self.coeffs[cluster.index()];
         let v2f = v.as_volts() * v.as_volts() * f.as_ghz();
-        let base = if busy { c.uncore_base } else { c.uncore_base * 0.3 };
+        let base = if busy {
+            c.uncore_base
+        } else {
+            c.uncore_base * 0.3
+        };
         Watts::new(base + if busy { c.uncore_k * v2f } else { 0.0 })
     }
 

@@ -1,12 +1,14 @@
 //! The simulation driver: workload arrivals + policy + platform.
 
+use faults::FaultPlan;
 use hmc_types::{AppId, Celsius, Cluster, CoreId, Frequency, SimDuration, SimTime};
 use thermal::{Cooling, ThermalParams};
 use workloads::Workload;
 
 use crate::metrics::RunMetrics;
 use crate::platform::{Platform, PlatformConfig};
-use crate::policy::Policy;
+use crate::policy::{DegradationReport, Policy};
+use crate::sensor::SensorFilterConfig;
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,6 +28,12 @@ pub struct SimConfig {
     pub dtm_enabled: bool,
     /// Thermal-model perturbations (sensitivity analysis).
     pub thermal_params: ThermalParams,
+    /// Fault-injection plan for sensor and DVFS faults (`None` = pristine
+    /// hardware).
+    pub fault_plan: Option<FaultPlan>,
+    /// Sensor plausibility filtering (`None` disables the degradation
+    /// ladder on the sensor path).
+    pub sensor_filter: Option<SensorFilterConfig>,
 }
 
 impl Default for SimConfig {
@@ -38,6 +46,8 @@ impl Default for SimConfig {
             trace_interval: None,
             dtm_enabled: true,
             thermal_params: ThermalParams::default(),
+            fault_plan: None,
+            sensor_filter: Some(SensorFilterConfig::default()),
         }
     }
 }
@@ -64,6 +74,9 @@ pub struct RunReport {
     pub metrics: RunMetrics,
     /// Optional time-series trace.
     pub trace: Vec<TraceSample>,
+    /// Degradation counters reported by the policy (`None` for policies
+    /// without a degradation ladder).
+    pub degradation: Option<DegradationReport>,
 }
 
 /// Drives a [`Platform`] through a [`Workload`] under a [`Policy`].
@@ -107,6 +120,8 @@ impl Simulator {
             tick: self.config.tick,
             dtm_enabled: self.config.dtm_enabled,
             thermal_params: self.config.thermal_params,
+            fault_plan: self.config.fault_plan,
+            sensor_filter: self.config.sensor_filter,
         });
         policy.on_start(&mut platform);
 
@@ -162,8 +177,7 @@ impl Simulator {
             if self.config.stop_when_idle && drained && platform.app_count() == 0 {
                 break;
             }
-            if platform.now().since(SimTime::ZERO).as_nanos()
-                >= self.config.max_duration.as_nanos()
+            if platform.now().since(SimTime::ZERO).as_nanos() >= self.config.max_duration.as_nanos()
             {
                 break;
             }
@@ -173,6 +187,7 @@ impl Simulator {
             policy: policy.name().to_string(),
             metrics: platform.into_report(),
             trace,
+            degradation: policy.degradation(),
         }
     }
 }
@@ -238,7 +253,11 @@ mod tests {
             ..SimConfig::default()
         };
         let report = Simulator::new(config).run(&short_workload(), &mut Idle);
-        assert!((9..=11).contains(&report.trace.len()), "{}", report.trace.len());
+        assert!(
+            (9..=11).contains(&report.trace.len()),
+            "{}",
+            report.trace.len()
+        );
         assert_eq!(report.trace[0].at, SimTime::ZERO);
     }
 

@@ -1,7 +1,7 @@
 //! Property-based tests of the platform simulator's invariants.
 
-use hikey_platform::{Platform, PlatformConfig};
-use hmc_types::{Cluster, CoreId, Frequency, SimDuration, NUM_CORES};
+use hikey_platform::{Platform, PlatformConfig, SensorFilter, SensorFilterConfig, SensorReading};
+use hmc_types::{Celsius, Cluster, CoreId, Frequency, SimDuration, SimTime, NUM_CORES};
 use proptest::prelude::*;
 use workloads::{Benchmark, QosSpec, Workload};
 
@@ -142,6 +142,51 @@ proptest! {
         let t = platform.sensor().value();
         prop_assert!(t >= 25.0 - 1e-9, "below ambient: {t}");
         prop_assert!(t < 120.0, "thermal runaway: {t}");
+    }
+
+    /// The sensor filter rejects any single-sample impulse spike and holds
+    /// the pre-spike value, regardless of baseline or spike magnitude.
+    #[test]
+    fn sensor_filter_rejects_single_sample_spikes(
+        baseline in 30.0f64..75.0,
+        magnitude in 15.0f64..60.0,
+        up in 0u8..2,
+        warmup in 6u64..50,
+    ) {
+        let up = up == 1;
+        let mut filter = SensorFilter::new(SensorFilterConfig::default());
+        for i in 1..=warmup {
+            let r = filter.ingest(SimTime::from_millis(i), Some(Celsius::new(baseline)));
+            prop_assert_eq!(r, SensorReading::Valid(Celsius::new(baseline)));
+        }
+        let spike = if up { baseline + magnitude } else { baseline - magnitude };
+        let r = filter.ingest(SimTime::from_millis(warmup + 1), Some(Celsius::new(spike)));
+        prop_assert_eq!(r, SensorReading::Held(Celsius::new(baseline)));
+        // The next clean sample is accepted again.
+        let r = filter.ingest(SimTime::from_millis(warmup + 2), Some(Celsius::new(baseline)));
+        prop_assert_eq!(r, SensorReading::Valid(Celsius::new(baseline)));
+    }
+
+    /// The sensor filter tracks any physically plausible ramp without
+    /// rejecting a single sample.
+    #[test]
+    fn sensor_filter_tracks_genuine_ramps(
+        start in 25.0f64..50.0,
+        rate_c_per_s in 0.1f64..5.0,
+        down in 0u8..2,
+        samples in 200u64..2000,
+    ) {
+        let down = down == 1;
+        let mut filter = SensorFilter::new(SensorFilterConfig::default());
+        filter.seed(SimTime::ZERO, Celsius::new(start));
+        let signed_rate = if down { -rate_c_per_s } else { rate_c_per_s };
+        for i in 1..=samples {
+            let t = start + signed_rate * i as f64 * 1e-3;
+            let r = filter.ingest(SimTime::from_millis(i), Some(Celsius::new(t)));
+            prop_assert_eq!(r, SensorReading::Valid(Celsius::new(t)));
+        }
+        prop_assert_eq!(filter.rejected_samples(), 0);
+        prop_assert_eq!(filter.held_samples(), 0);
     }
 }
 

@@ -390,7 +390,10 @@ mod tests {
     fn ips_zero_cases() {
         let m = sample();
         assert_eq!(m.ips(Cluster::Big, Frequency::ZERO, 1.0), Ips::ZERO);
-        assert_eq!(m.ips(Cluster::Big, Frequency::from_mhz(1000), 0.0), Ips::ZERO);
+        assert_eq!(
+            m.ips(Cluster::Big, Frequency::from_mhz(1000), 0.0),
+            Ips::ZERO
+        );
     }
 
     #[test]
@@ -450,7 +453,10 @@ mod tests {
     fn mean_ips_matches_ips_without_phases() {
         let m = sample();
         let f = Frequency::from_mhz(1498);
-        assert_eq!(m.mean_ips(Cluster::Big, f, 1.0), m.ips(Cluster::Big, f, 1.0));
+        assert_eq!(
+            m.mean_ips(Cluster::Big, f, 1.0),
+            m.ips(Cluster::Big, f, 1.0)
+        );
     }
 
     #[test]

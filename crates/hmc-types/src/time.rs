@@ -236,7 +236,10 @@ mod tests {
     fn time_arithmetic() {
         let t = SimTime::from_millis(100) + SimDuration::from_millis(50);
         assert_eq!(t.as_millis(), 150);
-        assert_eq!(t.since(SimTime::from_millis(100)), SimDuration::from_millis(50));
+        assert_eq!(
+            t.since(SimTime::from_millis(100)),
+            SimDuration::from_millis(50)
+        );
     }
 
     #[test]

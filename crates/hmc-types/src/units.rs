@@ -462,8 +462,14 @@ mod tests {
         let t = Celsius::new(40.0) + 2.5;
         assert!((t.value() - 42.5).abs() < 1e-12);
         assert!((t.degrees_above(Celsius::new(40.0)) - 2.5).abs() < 1e-12);
-        assert_eq!(Celsius::new(50.0).max(Celsius::new(40.0)), Celsius::new(50.0));
-        assert_eq!(Celsius::new(50.0).min(Celsius::new(40.0)), Celsius::new(40.0));
+        assert_eq!(
+            Celsius::new(50.0).max(Celsius::new(40.0)),
+            Celsius::new(50.0)
+        );
+        assert_eq!(
+            Celsius::new(50.0).min(Celsius::new(40.0)),
+            Celsius::new(40.0)
+        );
     }
 
     #[test]

@@ -253,7 +253,10 @@ mod tests {
         let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
         let b = Matrix::from_rows(vec![vec![5.0, 6.0], vec![7.0, 8.0]]);
         let c = a.matmul(&b);
-        assert_eq!(c, Matrix::from_rows(vec![vec![19.0, 22.0], vec![43.0, 50.0]]));
+        assert_eq!(
+            c,
+            Matrix::from_rows(vec![vec![19.0, 22.0], vec![43.0, 50.0]])
+        );
     }
 
     #[test]

@@ -161,7 +161,11 @@ impl Mlp {
         }
         for (i, (w, b)) in layers.iter().enumerate() {
             if w.rows() != b.len() {
-                return Err(format!("layer {i}: {} outputs but {} biases", w.rows(), b.len()));
+                return Err(format!(
+                    "layer {i}: {} outputs but {} biases",
+                    w.rows(),
+                    b.len()
+                ));
             }
             if i > 0 && layers[i - 1].0.rows() != w.cols() {
                 return Err(format!(

@@ -117,9 +117,7 @@ fn bad(message: &str) -> io::Error {
 }
 
 fn next_line<B: BufRead>(lines: &mut io::Lines<B>) -> io::Result<String> {
-    lines
-        .next()
-        .ok_or_else(|| bad("unexpected end of file"))?
+    lines.next().ok_or_else(|| bad("unexpected end of file"))?
 }
 
 fn expect_line<B: BufRead>(lines: &mut io::Lines<B>, expected: &str) -> io::Result<()> {

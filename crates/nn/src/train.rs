@@ -227,7 +227,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let mut mlp = Mlp::new(&[2, 32, 2], &mut rng);
         let report = train(&mut mlp, &toy_dataset(), &TrainConfig::default(), &mut rng);
-        assert!(report.best_val_loss < 1e-3, "val loss {}", report.best_val_loss);
+        assert!(
+            report.best_val_loss < 1e-3,
+            "val loss {}",
+            report.best_val_loss
+        );
         let out = mlp.forward(&[0.5, 0.2]);
         assert!((out[0] - 0.7).abs() < 0.1);
         assert!((out[1] - 0.3).abs() < 0.1);

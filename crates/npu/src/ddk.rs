@@ -1,9 +1,15 @@
 //! The HiAI-DDK-shaped client API: non-blocking submit / poll.
 
+use faults::{FaultInjector, FaultStats, NpuFault};
 use hmc_types::{SimDuration, SimTime};
 use nn::{Matrix, Mlp};
 
-use crate::{NpuDevice, NpuModel};
+use crate::{NpuDevice, NpuError, NpuModel};
+
+/// How long a hung job stays pending before the driver itself reports a
+/// timeout. Callers enforce their own (much shorter) deadlines via
+/// [`HiaiClient::poll_until`].
+const DRIVER_HANG_TIMEOUT: SimDuration = SimDuration::from_secs(3600);
 
 /// Handle to a submitted inference job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -19,8 +25,11 @@ pub enum JobStatus {
     },
     /// Finished.
     Done(CompletedJob),
-    /// Unknown or already-collected handle.
-    Unknown,
+    /// Failed; the handle is consumed.
+    Failed {
+        /// Why the job failed.
+        error: NpuError,
+    },
 }
 
 /// The result of a finished job.
@@ -35,9 +44,25 @@ pub struct CompletedJob {
     pub host_cpu_time: SimDuration,
 }
 
+/// One submitted job: completion time, outcome, and the (pre-computed)
+/// result it would deliver on success.
+#[derive(Debug, Clone)]
+struct InFlightJob {
+    handle: JobHandle,
+    /// When the outcome (result or error) becomes observable.
+    ready_at: SimTime,
+    /// `None` for a successful job, otherwise the injected failure.
+    fate: Option<NpuError>,
+    job: CompletedJob,
+}
+
 /// A loaded model on the NPU, exposing the DDK's non-blocking call style:
 /// `submit` returns immediately with a handle, `poll` reports completion
 /// against simulated time.
+///
+/// An optional [`FaultInjector`] decides a fate for every submitted job
+/// (device fault, hang, latency spike); without one the client is
+/// fault-free and behaves exactly as before.
 ///
 /// # Examples
 ///
@@ -62,7 +87,11 @@ pub struct HiaiClient {
     device: NpuDevice,
     model: NpuModel,
     next_handle: u64,
-    in_flight: Vec<(JobHandle, SimTime, CompletedJob)>,
+    in_flight: Vec<InFlightJob>,
+    injector: Option<FaultInjector>,
+    /// Set after a device fault; submissions fail until [`Self::reset`].
+    device_lost: bool,
+    resets: u64,
 }
 
 impl HiaiClient {
@@ -73,7 +102,16 @@ impl HiaiClient {
             model: NpuModel::compile(mlp),
             next_handle: 0,
             in_flight: Vec::new(),
+            injector: None,
+            device_lost: false,
+            resets: 0,
         }
+    }
+
+    /// Attaches a fault injector deciding the fate of every submitted job.
+    pub fn with_injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
     }
 
     /// The device this client talks to.
@@ -86,47 +124,154 @@ impl HiaiClient {
         &self.model
     }
 
+    /// Whether the device is in its faulted state (submissions fail until
+    /// [`Self::reset`]).
+    pub fn device_lost(&self) -> bool {
+        self.device_lost
+    }
+
+    /// Number of device resets performed.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// Counters of the faults injected so far (`None` without an injector).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.injector.as_ref().map(|i| i.stats())
+    }
+
+    /// Resets the device after a fault: reloads the model and drops every
+    /// in-flight job (their handles become unknown).
+    pub fn reset(&mut self) {
+        self.device_lost = false;
+        self.in_flight.clear();
+        self.resets += 1;
+    }
+
     /// Submits a batch for inference (non-blocking). Results become
     /// available after the device latency has elapsed.
+    ///
+    /// With an injector attached the job may be fated to fail, hang, or
+    /// complete late; the failure surfaces when the job is polled. While
+    /// the device is lost every submission fails with
+    /// [`NpuError::ModelNotLoaded`].
     pub fn submit(&mut self, batch: &Matrix, now: SimTime) -> JobHandle {
         let handle = JobHandle(self.next_handle);
         self.next_handle += 1;
-        let latency = self.device.inference_latency(&self.model, batch.rows());
+        let mut latency = self.device.inference_latency(&self.model, batch.rows());
+        let host_cpu_time = self.device.host_cpu_time(batch.rows());
+
+        let mut fate = None;
+        if self.device_lost {
+            // The driver notices the dead device within the host round trip.
+            fate = Some(NpuError::ModelNotLoaded);
+            latency = host_cpu_time;
+        } else if let Some(injector) = &mut self.injector {
+            match injector.npu_job() {
+                NpuFault::None => {}
+                NpuFault::DeviceFault => {
+                    fate = Some(NpuError::DeviceFault);
+                    self.device_lost = true;
+                }
+                NpuFault::Timeout => {
+                    fate = Some(NpuError::Timeout);
+                    latency = DRIVER_HANG_TIMEOUT;
+                }
+                NpuFault::LatencySpike(factor) => {
+                    latency = SimDuration::from_secs_f64(latency.as_secs_f64() * factor);
+                }
+            }
+        }
+
         let job = CompletedJob {
             output: self.model.infer(batch),
             latency,
-            host_cpu_time: self.device.host_cpu_time(batch.rows()),
+            host_cpu_time,
         };
-        self.in_flight.push((handle, now + latency, job));
+        self.in_flight.push(InFlightJob {
+            handle,
+            ready_at: now + latency,
+            fate,
+            job,
+        });
         handle
     }
 
-    /// Polls a job against simulated time. A `Done` result removes the job
-    /// from the client; polling the same handle again yields `Unknown`.
+    fn position_of(&self, handle: JobHandle) -> Option<usize> {
+        let pos = self.in_flight.iter().position(|j| j.handle == handle);
+        if pos.is_none() && cfg!(debug_assertions) {
+            eprintln!(
+                "npu: polled unknown or already-collected job handle {handle:?} \
+                 (double collection or a handle from before a reset)"
+            );
+        }
+        pos
+    }
+
+    /// Polls a job against simulated time. A `Done` or `Failed` result
+    /// removes the job from the client; polling the same handle again
+    /// yields `Failed` with [`NpuError::UnknownHandle`] (and, in debug
+    /// builds, a loud message on stderr).
     pub fn poll(&mut self, handle: JobHandle, now: SimTime) -> JobStatus {
-        let Some(pos) = self.in_flight.iter().position(|(h, _, _)| *h == handle) else {
-            return JobStatus::Unknown;
+        let Some(pos) = self.position_of(handle) else {
+            return JobStatus::Failed {
+                error: NpuError::UnknownHandle,
+            };
         };
-        if self.in_flight[pos].1 <= now {
-            let (_, _, job) = self.in_flight.swap_remove(pos);
-            JobStatus::Done(job)
+        if self.in_flight[pos].ready_at <= now {
+            let entry = self.in_flight.swap_remove(pos);
+            match entry.fate {
+                None => JobStatus::Done(entry.job),
+                Some(error) => JobStatus::Failed { error },
+            }
         } else {
             JobStatus::Pending {
-                ready_at: self.in_flight[pos].1,
+                ready_at: self.in_flight[pos].ready_at,
             }
         }
     }
 
+    /// Resolves a job against a caller-imposed deadline: the completed job
+    /// if it succeeds by `deadline`, [`NpuError::Timeout`] if it is still
+    /// pending then (the job is cancelled), or the job's own error.
+    /// The handle is consumed either way.
+    pub fn poll_until(
+        &mut self,
+        handle: JobHandle,
+        deadline: SimTime,
+    ) -> Result<CompletedJob, NpuError> {
+        let Some(pos) = self.position_of(handle) else {
+            return Err(NpuError::UnknownHandle);
+        };
+        let entry = self.in_flight.swap_remove(pos);
+        if entry.ready_at > deadline {
+            return Err(NpuError::Timeout);
+        }
+        match entry.fate {
+            None => Ok(entry.job),
+            Some(error) => Err(error),
+        }
+    }
+
     /// Blocking convenience wrapper: submits and returns the completed job
-    /// (the caller accounts the latency).
+    /// (the caller accounts the latency). Only meaningful on fault-free
+    /// clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown or already-collected handle, and on a job that
+    /// was fated to fail — fault-aware callers use [`Self::poll_until`].
     pub fn wait(&mut self, handle: JobHandle) -> CompletedJob {
         let pos = self
             .in_flight
             .iter()
-            .position(|(h, _, _)| *h == handle)
+            .position(|j| j.handle == handle)
             .expect("waiting on an unknown or already-collected job");
-        let (_, _, job) = self.in_flight.swap_remove(pos);
-        job
+        let entry = self.in_flight.swap_remove(pos);
+        if let Some(error) = entry.fate {
+            panic!("waited on a failed NPU job: {error}");
+        }
+        entry.job
     }
 
     /// Number of jobs submitted but not yet collected.
@@ -179,12 +324,19 @@ impl CpuInference {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use faults::FaultPlan;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn client() -> HiaiClient {
         let mlp = Mlp::with_topology(21, 4, 64, 8, &mut StdRng::seed_from_u64(3));
         HiaiClient::load(NpuDevice::kirin970(), &mlp)
+    }
+
+    fn faulty_client(configure: impl FnOnce(&mut FaultPlan)) -> HiaiClient {
+        let mut plan = FaultPlan::none(5);
+        configure(&mut plan);
+        client().with_injector(FaultInjector::new(plan))
     }
 
     #[test]
@@ -205,7 +357,12 @@ mod tests {
             other => panic!("expected done, got {other:?}"),
         }
         assert_eq!(c.in_flight(), 0);
-        assert_eq!(c.poll(job, ready_at), JobStatus::Unknown);
+        assert_eq!(
+            c.poll(job, ready_at),
+            JobStatus::Failed {
+                error: NpuError::UnknownHandle
+            }
+        );
     }
 
     #[test]
@@ -250,5 +407,99 @@ mod tests {
         let l16 = cpu.latency(macs, 16).as_secs_f64();
         assert!(l16 > 8.0 * l1 * 0.5, "should grow with batch");
         assert_eq!(cpu.latency(macs, 0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn device_fault_surfaces_on_poll_and_loses_device() {
+        let mut c = faulty_client(|p| p.npu.failure_rate = 1.0);
+        let batch = Matrix::from_rows(vec![vec![0.1; 21]]);
+        let job = c.submit(&batch, SimTime::ZERO);
+        // The fault manifests once the device latency has elapsed.
+        assert!(matches!(
+            c.poll(job, SimTime::ZERO),
+            JobStatus::Pending { .. }
+        ));
+        let status = c.poll(job, SimTime::from_secs(1));
+        assert_eq!(
+            status,
+            JobStatus::Failed {
+                error: NpuError::DeviceFault
+            }
+        );
+        assert!(c.device_lost());
+        // Subsequent submissions fail fast with ModelNotLoaded.
+        let job2 = c.submit(&batch, SimTime::from_secs(1));
+        assert_eq!(
+            c.poll_until(job2, SimTime::from_secs(2)),
+            Err(NpuError::ModelNotLoaded)
+        );
+        // Reset restores service (next jobs draw fresh fates; with rate 1.0
+        // they fail again, so drop the injector first to prove recovery).
+        c.reset();
+        assert!(!c.device_lost());
+        assert_eq!(c.resets(), 1);
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn hung_job_times_out_against_caller_deadline() {
+        let mut c = faulty_client(|p| p.npu.timeout_rate = 1.0);
+        let batch = Matrix::from_rows(vec![vec![0.1; 21]]);
+        let job = c.submit(&batch, SimTime::ZERO);
+        // Still pending long after the normal latency.
+        assert!(matches!(
+            c.poll(job, SimTime::from_secs(1)),
+            JobStatus::Pending { .. }
+        ));
+        assert_eq!(
+            c.poll_until(job, SimTime::from_secs(2)),
+            Err(NpuError::Timeout)
+        );
+        // The cancelled handle is gone.
+        assert_eq!(c.in_flight(), 0);
+        assert!(!c.device_lost(), "a hang is not a device loss");
+    }
+
+    #[test]
+    fn latency_spike_inflates_latency_only() {
+        let mut plain = client();
+        let mut spiky = faulty_client(|p| {
+            p.npu.latency_spike_rate = 1.0;
+            p.npu.latency_spike_factor = 10.0;
+        });
+        let batch = Matrix::from_rows(vec![vec![0.1; 21]; 4]);
+        let a = plain.submit(&batch, SimTime::ZERO);
+        let b = spiky.submit(&batch, SimTime::ZERO);
+        let normal = plain.wait(a);
+        let spiked = spiky
+            .poll_until(b, SimTime::from_secs(10))
+            .expect("spiked jobs still complete");
+        assert_eq!(spiked.output, normal.output, "results are unaffected");
+        let ratio = spiked.latency.as_secs_f64() / normal.latency.as_secs_f64();
+        assert!((ratio - 10.0).abs() < 1e-9, "latency x{ratio}");
+    }
+
+    #[test]
+    fn poll_until_succeeds_within_deadline() {
+        let mut c = client();
+        let batch = Matrix::from_rows(vec![vec![0.1; 21]; 2]);
+        let job = c.submit(&batch, SimTime::ZERO);
+        let done = c.poll_until(job, SimTime::from_secs(1)).expect("completes");
+        assert_eq!(done.output.rows(), 2);
+        // Too-early deadline on a fresh job reports Timeout and cancels.
+        let job = c.submit(&batch, SimTime::ZERO);
+        assert_eq!(c.poll_until(job, SimTime::ZERO), Err(NpuError::Timeout));
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn zero_fault_injector_is_transparent() {
+        let mut plain = client();
+        let mut injected = faulty_client(|_| {});
+        let batch = Matrix::from_rows(vec![vec![0.3; 21]; 3]);
+        let a = plain.submit(&batch, SimTime::ZERO);
+        let b = injected.submit(&batch, SimTime::ZERO);
+        assert_eq!(plain.wait(a), injected.wait(b));
+        assert_eq!(injected.fault_stats().map(|s| s.total()), Some(0));
     }
 }

@@ -136,7 +136,10 @@ mod tests {
         let sixteen = dev.inference_latency(&m, 16);
         // Paper's Fig. 11: overhead "barely changes" with more apps.
         let growth = sixteen.as_secs_f64() / one.as_secs_f64();
-        assert!(growth < 1.15, "batch-16 latency grew {growth}x over batch-1");
+        assert!(
+            growth < 1.15,
+            "batch-16 latency grew {growth}x over batch-1"
+        );
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! Error taxonomy of the DDK-shaped client.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error reported by the (simulated) HiAI DDK for one inference job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NpuError {
+    /// The device faulted while executing the job; it stays unusable until
+    /// [`HiaiClient::reset`](crate::HiaiClient::reset) is called.
+    DeviceFault,
+    /// The job did not complete before the caller's deadline.
+    Timeout,
+    /// The model is not loaded (the device is in its faulted state).
+    ModelNotLoaded,
+    /// The polled handle is unknown or was already collected.
+    UnknownHandle,
+}
+
+impl fmt::Display for NpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NpuError::DeviceFault => write!(f, "NPU device fault; reset required"),
+            NpuError::Timeout => write!(f, "NPU job timed out"),
+            NpuError::ModelNotLoaded => write!(f, "model not loaded on the NPU"),
+            NpuError::UnknownHandle => write!(f, "unknown or already-collected job handle"),
+        }
+    }
+}
+
+impl Error for NpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_distinct() {
+        let all = [
+            NpuError::DeviceFault,
+            NpuError::Timeout,
+            NpuError::ModelNotLoaded,
+            NpuError::UnknownHandle,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.to_string(), b.to_string());
+            }
+        }
+    }
+}

@@ -40,10 +40,12 @@
 
 mod ddk;
 mod device;
+mod error;
 mod model;
 mod quant;
 
 pub use ddk::{CompletedJob, CpuInference, HiaiClient, JobHandle, JobStatus};
 pub use device::NpuDevice;
+pub use error::NpuError;
 pub use model::NpuModel;
 pub use quant::QuantizedTensor;

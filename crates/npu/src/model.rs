@@ -157,7 +157,11 @@ mod tests {
         let m = mlp();
         let c = NpuModel::compile(&m);
         let rows: Vec<Vec<f32>> = (0..16)
-            .map(|i| (0..21).map(|j| ((i * 7 + j * 3) % 11) as f32 / 11.0 - 0.5).collect())
+            .map(|i| {
+                (0..21)
+                    .map(|j| ((i * 7 + j * 3) % 11) as f32 / 11.0 - 0.5)
+                    .collect()
+            })
             .collect();
         let batch = Matrix::from_rows(rows.clone());
         let approx = c.infer(&batch);
@@ -203,7 +207,10 @@ mod tests {
                 agree += 1;
             }
         }
-        assert!(agree >= total - 3, "argmax agreement too low: {agree}/{total}");
+        assert!(
+            agree >= total - 3,
+            "argmax agreement too low: {agree}/{total}"
+        );
     }
 
     #[test]

@@ -95,9 +95,7 @@ impl RcNetworkBuilder {
             adjacency[b].push((a, g));
         }
         let total_g: Vec<f64> = (0..n)
-            .map(|i| {
-                self.nodes[i].g_ambient + adjacency[i].iter().map(|&(_, g)| g).sum::<f64>()
-            })
+            .map(|i| self.nodes[i].g_ambient + adjacency[i].iter().map(|&(_, g)| g).sum::<f64>())
             .collect();
         RcNetwork {
             nodes: self.nodes,
@@ -153,7 +151,11 @@ impl RcNetwork {
 
     /// Returns all node temperatures in node order.
     pub fn temperatures(&self) -> Vec<Celsius> {
-        self.temperatures.iter().copied().map(Celsius::new).collect()
+        self.temperatures
+            .iter()
+            .copied()
+            .map(Celsius::new)
+            .collect()
     }
 
     /// Sets every node to the given temperature (e.g. to model a cooled-down
@@ -176,7 +178,13 @@ impl RcNetwork {
         self.nodes
             .iter()
             .zip(&self.total_g)
-            .map(|(node, &g)| if g > 0.0 { node.capacity / g } else { f64::INFINITY })
+            .map(|(node, &g)| {
+                if g > 0.0 {
+                    node.capacity / g
+                } else {
+                    f64::INFINITY
+                }
+            })
             .fold(f64::INFINITY, f64::min)
     }
 

@@ -172,7 +172,11 @@ impl SocThermal {
                 G_CLUSTER_TO_SOC * params.stack_scale,
             );
         }
-        b.connect(clusters[0], clusters[1], G_CLUSTER_TO_CLUSTER * params.lateral_scale);
+        b.connect(
+            clusters[0],
+            clusters[1],
+            G_CLUSTER_TO_CLUSTER * params.lateral_scale,
+        );
         b.connect(soc, board, G_SOC_TO_BOARD * params.stack_scale);
 
         SocThermal {
@@ -211,7 +215,12 @@ impl SocThermal {
 
     /// Advances the model by `dt` under the given per-core and per-cluster
     /// (uncore) power dissipation.
-    pub fn step(&mut self, core_powers: &[Watts; NUM_CORES], cluster_powers: [Watts; 2], dt: SimDuration) {
+    pub fn step(
+        &mut self,
+        core_powers: &[Watts; NUM_CORES],
+        cluster_powers: [Watts; 2],
+        dt: SimDuration,
+    ) {
         self.step_with_soc(core_powers, cluster_powers, Watts::ZERO, dt);
     }
 
@@ -376,9 +385,18 @@ mod tests {
         let t5 = soc.core_temperature(CoreId::new(5)).value();
         let t7 = soc.core_temperature(CoreId::new(7)).value();
         let t0 = soc.core_temperature(CoreId::new(0)).value();
-        assert!(t4 > t5 && t5 > t7, "heat should decay with distance: {t4} {t5} {t7}");
-        assert!(t7 > t0, "same-cluster cores should be warmer than other cluster");
-        assert!(t0 > 25.5, "even the far cluster should warm a little, got {t0}");
+        assert!(
+            t4 > t5 && t5 > t7,
+            "heat should decay with distance: {t4} {t5} {t7}"
+        );
+        assert!(
+            t7 > t0,
+            "same-cluster cores should be warmer than other cluster"
+        );
+        assert!(
+            t0 > 25.5,
+            "even the far cluster should warm a little, got {t0}"
+        );
     }
 
     #[test]

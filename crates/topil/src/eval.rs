@@ -41,7 +41,7 @@ pub fn evaluate_model(model: &IlModel, cases: &[OracleCase]) -> EvalResult {
             .iter()
             .flatten()
             .map(|t| t.value())
-            .min_by(|a, b| a.partial_cmp(b).expect("temps finite"))
+            .min_by(|a, b| a.total_cmp(b))
         else {
             continue; // no feasible mapping at all
         };
@@ -53,15 +53,13 @@ pub fn evaluate_model(model: &IlModel, cases: &[OracleCase]) -> EvalResult {
             .collect();
         for source in &case.sources {
             let ratings = model.predict(source);
-            let chosen = candidates
+            let Some(chosen) = candidates
                 .iter()
                 .copied()
-                .max_by(|a, b| {
-                    ratings[a.index()]
-                        .partial_cmp(&ratings[b.index()])
-                        .expect("ratings finite")
-                })
-                .expect("cases always have free cores");
+                .max_by(|a, b| ratings[a.index()].total_cmp(&ratings[b.index()]))
+            else {
+                continue; // a case with no free core yields no decision
+            };
             decisions += 1;
             match case.temperatures[chosen.index()] {
                 Some(t) => {

@@ -200,7 +200,11 @@ mod tests {
         }
         let f = Features::from_platform(&platform, aoi).unwrap();
         // Big background needs nearly the full V/f level.
-        assert!(f.required_vf_ratio[1] > 0.8, "got {:?}", f.required_vf_ratio);
+        assert!(
+            f.required_vf_ratio[1] > 0.8,
+            "got {:?}",
+            f.required_vf_ratio
+        );
         // No LITTLE background -> lowest LITTLE level relative to current.
         assert!(f.required_vf_ratio[0] < 0.5);
     }

@@ -2,12 +2,13 @@
 //! DVFS control loop every 50 ms, with two skipped DVFS iterations around
 //! each migration epoch.
 
-use hikey_platform::{default_placement, Platform, Policy};
-use hmc_types::{CoreId, QosTarget, SimDuration};
+use faults::{FaultInjector, FaultPlan};
+use hikey_platform::{default_placement, DegradationReport, Platform, Policy};
 use hmc_types::AppModel;
+use hmc_types::{CoreId, QosTarget, SimDuration};
 
 use crate::dvfs::DvfsControlLoop;
-use crate::migration::{InferenceBackend, MigrationPolicy};
+use crate::migration::{InferenceBackend, MigrationPolicy, RobustnessConfig};
 use crate::training::IlModel;
 
 /// Migration epoch length (paper: 500 ms).
@@ -30,6 +31,18 @@ pub struct GovernorStats {
     pub migration_time: SimDuration,
     /// Migrations actually executed.
     pub migrations_executed: u64,
+    /// Individual NPU job failures observed by the migration policy.
+    pub npu_failures: u64,
+    /// Times the NPU circuit breaker opened.
+    pub breaker_opens: u64,
+    /// Migration epochs served by the CPU inference fallback.
+    pub cpu_fallback_epochs: u64,
+    /// Migration epochs skipped entirely (inference missed its deadline;
+    /// the DVFS loop kept running).
+    pub degraded_epochs: u64,
+    /// Total time with the CPU fallback active (fallback epochs × epoch
+    /// length).
+    pub fallback_active_time: SimDuration,
 }
 
 /// The TOP-IL governor: implements [`Policy`] for the platform simulator.
@@ -103,6 +116,20 @@ impl TopIlGovernor {
         self
     }
 
+    /// Attaches a fault injector built from `plan` to the NPU client
+    /// (robustness experiments). The plan's sensor and DVFS faults are
+    /// injected by the platform from independent streams of the same seed.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.migration = self.migration.with_fault_injector(FaultInjector::new(plan));
+        self
+    }
+
+    /// Overrides the NPU degradation-ladder configuration.
+    pub fn with_robustness(mut self, config: RobustnessConfig) -> Self {
+        self.migration = self.migration.with_robustness(config);
+        self
+    }
+
     /// The accumulated run-time statistics.
     pub fn stats(&self) -> GovernorStats {
         self.stats
@@ -127,12 +154,24 @@ impl Policy for TopIlGovernor {
             let outcome = self.migration.run(platform);
             self.stats.migration_invocations += 1;
             self.stats.migration_time += outcome.latency;
+            self.stats.npu_failures += u64::from(outcome.npu_failures);
+            self.stats.breaker_opens = self.migration.breaker_opens();
             if outcome.migrated.is_some() {
                 self.stats.migrations_executed += 1;
             }
-            // Skip DVFS iterations around the migration: cold-cache
-            // transients would corrupt the linear-scaling estimate.
-            self.dvfs_skip = self.skip_after_migration;
+            if outcome.fallback_active {
+                self.stats.cpu_fallback_epochs += 1;
+                self.stats.fallback_active_time += self.migration_period;
+            }
+            if outcome.deadline_missed {
+                // Watchdog: the epoch produced no ratings, so there is no
+                // migration to shield — keep the 50 ms DVFS loop running.
+                self.stats.degraded_epochs += 1;
+            } else {
+                // Skip DVFS iterations around the migration: cold-cache
+                // transients would corrupt the linear-scaling estimate.
+                self.dvfs_skip = self.skip_after_migration;
+            }
         }
         if now.is_multiple_of(self.dvfs_period) {
             if self.dvfs_skip > 0 {
@@ -143,6 +182,16 @@ impl Policy for TopIlGovernor {
                 self.stats.dvfs_time += cost;
             }
         }
+    }
+
+    fn degradation(&self) -> Option<DegradationReport> {
+        Some(DegradationReport {
+            degraded_epochs: self.stats.degraded_epochs,
+            cpu_fallback_epochs: self.stats.cpu_fallback_epochs,
+            fallback_active_time: self.stats.fallback_active_time,
+            npu_failures: self.stats.npu_failures,
+            breaker_opens: self.stats.breaker_opens,
+        })
     }
 }
 
@@ -177,7 +226,11 @@ mod tests {
         };
         let workload = Workload::single(Benchmark::Adi, QosSpec::FractionOfMaxBig(0.3));
         let report = Simulator::new(config).run(&workload, &mut governor);
-        assert_eq!(report.metrics.qos_violations(), 0, "adi must meet its target");
+        assert_eq!(
+            report.metrics.qos_violations(),
+            0,
+            "adi must meet its target"
+        );
         let stats = governor.stats();
         assert!(stats.dvfs_invocations > 0);
         assert!(stats.migration_invocations > 0);

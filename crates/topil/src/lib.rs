@@ -55,5 +55,6 @@ mod util;
 
 pub use features::{Features, FEATURE_COUNT};
 pub use governor::{GovernorStats, TopIlGovernor};
+pub use migration::{BreakerState, RobustnessConfig};
 pub use training::IlModel;
 pub use util::estimate_min_level;

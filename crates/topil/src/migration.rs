@@ -14,8 +14,10 @@
 //! Only one application migrates per epoch, which keeps the action space
 //! tractable and the thermal effect attributable.
 
+use faults::FaultInjector;
 use hikey_platform::Platform;
 use hmc_types::{AppId, CoreId, SimDuration};
+use nn::Matrix;
 use npu::{CpuInference, HiaiClient, NpuDevice};
 
 use crate::features::Features;
@@ -42,15 +44,171 @@ pub enum InferenceBackend {
     Cpu,
 }
 
+/// Configuration of the NPU retry / circuit-breaker degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RobustnessConfig {
+    /// Maximum inference attempts per epoch (first try + retries).
+    pub max_attempts: u32,
+    /// Deadline imposed on a single NPU attempt.
+    pub attempt_timeout: SimDuration,
+    /// Backoff inserted before each retry.
+    pub retry_backoff: SimDuration,
+    /// Total wall-clock budget for inference within one migration epoch;
+    /// once exhausted the epoch's migration is skipped.
+    pub epoch_budget: SimDuration,
+    /// Consecutive NPU failures after which the circuit breaker opens.
+    pub breaker_threshold: u32,
+    /// Epochs the breaker stays open before a half-open probe (the device
+    /// is reset and one real attempt is made).
+    pub breaker_cooldown_epochs: u32,
+    /// Whether to serve inference from the CPU while the NPU is
+    /// unavailable.
+    pub cpu_fallback: bool,
+}
+
+impl Default for RobustnessConfig {
+    fn default() -> Self {
+        RobustnessConfig {
+            max_attempts: 3,
+            attempt_timeout: SimDuration::from_millis(30),
+            retry_backoff: SimDuration::from_millis(5),
+            epoch_budget: SimDuration::from_millis(250),
+            breaker_threshold: 3,
+            breaker_cooldown_epochs: 4,
+            cpu_fallback: true,
+        }
+    }
+}
+
+impl RobustnessConfig {
+    /// Disables the degradation ladder: one attempt, no retries, no CPU
+    /// fallback, breaker never opens. A failed epoch simply skips its
+    /// migration (the naive deployment the robustness experiment compares
+    /// against).
+    pub fn disabled() -> Self {
+        RobustnessConfig {
+            max_attempts: 1,
+            attempt_timeout: SimDuration::from_millis(250),
+            retry_backoff: SimDuration::ZERO,
+            epoch_budget: SimDuration::from_millis(250),
+            breaker_threshold: u32::MAX,
+            breaker_cooldown_epochs: u32::MAX,
+            cpu_fallback: false,
+        }
+    }
+}
+
+/// State of the NPU circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// NPU inference is trusted.
+    Closed,
+    /// Too many consecutive failures; the NPU is bypassed while the
+    /// cooldown runs.
+    Open,
+    /// Cooldown elapsed; the next epoch probes the (reset) device with one
+    /// real attempt.
+    HalfOpen,
+}
+
+/// Consecutive-failure circuit breaker guarding the NPU path.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    cooldown_left: u32,
+    threshold: u32,
+    cooldown_epochs: u32,
+    opens: u64,
+}
+
+impl CircuitBreaker {
+    fn new(threshold: u32, cooldown_epochs: u32) -> Self {
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            cooldown_left: 0,
+            threshold,
+            cooldown_epochs,
+            opens: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker opened.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    fn record_failure(&mut self) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let trip = match self.state {
+            // A failed half-open probe reopens immediately.
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => self.consecutive_failures >= self.threshold,
+            BreakerState::Open => false,
+        };
+        if trip {
+            self.state = BreakerState::Open;
+            self.cooldown_left = self.cooldown_epochs;
+            self.opens += 1;
+        }
+    }
+
+    /// Advances the open-state cooldown by one epoch. Returns `true` when
+    /// the breaker just moved to half-open (a probe is allowed).
+    fn epoch_elapsed(&mut self) -> bool {
+        if self.state == BreakerState::Open {
+            self.cooldown_left = self.cooldown_left.saturating_sub(1);
+            if self.cooldown_left == 0 {
+                self.state = BreakerState::HalfOpen;
+                return true;
+            }
+        }
+        false
+    }
+}
+
 /// The outcome of one migration epoch.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MigrationOutcome {
     /// The executed migration, if any.
     pub migrated: Option<(AppId, CoreId)>,
-    /// Wall-clock latency of the invocation (feature build + inference).
+    /// Wall-clock latency of the invocation (feature build + inference,
+    /// including failed attempts and backoffs).
     pub latency: SimDuration,
     /// CPU time charged to the platform.
     pub cpu_time: SimDuration,
+    /// Backend that served the epoch's inference.
+    pub backend: InferenceBackend,
+    /// NPU job failures observed this epoch (before recovery).
+    pub npu_failures: u32,
+    /// Whether the CPU fallback served this epoch (breaker open or retries
+    /// exhausted).
+    pub fallback_active: bool,
+    /// The epoch's inference missed its deadline entirely; the migration
+    /// step was skipped.
+    pub deadline_missed: bool,
+}
+
+/// Result of one epoch's inference, before migration selection.
+struct InferenceResult {
+    /// Rating matrix, or `None` when the epoch's deadline was missed.
+    output: Option<Matrix>,
+    latency: SimDuration,
+    cpu_time: SimDuration,
+    backend: InferenceBackend,
+    npu_failures: u32,
+    fallback_active: bool,
 }
 
 /// The IL migration policy.
@@ -78,18 +236,26 @@ pub struct MigrationPolicy {
     cpu: CpuInference,
     backend: InferenceBackend,
     threshold: f32,
+    robustness: RobustnessConfig,
+    breaker: CircuitBreaker,
 }
 
 impl MigrationPolicy {
     /// Creates the policy with the model loaded onto the Kirin 970 NPU.
     pub fn new(model: IlModel) -> Self {
         let client = HiaiClient::load(NpuDevice::kirin970(), model.mlp());
+        let robustness = RobustnessConfig::default();
         MigrationPolicy {
             model,
             client,
             cpu: CpuInference::cortex_a73(),
             backend: InferenceBackend::Npu,
             threshold: DEFAULT_IMPROVEMENT_THRESHOLD,
+            robustness,
+            breaker: CircuitBreaker::new(
+                robustness.breaker_threshold,
+                robustness.breaker_cooldown_epochs,
+            ),
         }
     }
 
@@ -99,13 +265,47 @@ impl MigrationPolicy {
         self
     }
 
+    /// Attaches a fault injector to the NPU client (robustness
+    /// experiments).
+    pub fn with_fault_injector(mut self, injector: FaultInjector) -> Self {
+        self.client = self.client.with_injector(injector);
+        self
+    }
+
+    /// Overrides the degradation-ladder configuration. Resets the circuit
+    /// breaker.
+    pub fn with_robustness(mut self, config: RobustnessConfig) -> Self {
+        self.robustness = config;
+        self.breaker =
+            CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown_epochs);
+        self
+    }
+
+    /// Current circuit-breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// Times the circuit breaker opened so far.
+    pub fn breaker_opens(&self) -> u64 {
+        self.breaker.opens()
+    }
+
+    /// The active degradation-ladder configuration.
+    pub fn robustness(&self) -> &RobustnessConfig {
+        &self.robustness
+    }
+
     /// Overrides the migration hysteresis threshold (for ablations).
     ///
     /// # Panics
     ///
     /// Panics on negative or non-finite values.
     pub fn with_threshold(mut self, threshold: f32) -> Self {
-        assert!(threshold.is_finite() && threshold >= 0.0, "invalid threshold");
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "invalid threshold"
+        );
         self.threshold = threshold;
         self
     }
@@ -123,6 +323,10 @@ impl MigrationPolicy {
                 migrated: None,
                 latency: SimDuration::ZERO,
                 cpu_time: SimDuration::ZERO,
+                backend: self.backend,
+                npu_failures: 0,
+                fallback_active: false,
+                deadline_missed: false,
             };
         }
 
@@ -134,17 +338,25 @@ impl MigrationPolicy {
         let batch = self.model.standardized_batch(&features);
         let feature_cost = FEATURE_COST_PER_APP * features.len() as u64;
 
-        let (ratings, inference_latency, inference_cpu) = match self.backend {
-            InferenceBackend::Npu => {
-                let job = self.client.submit(&batch, platform.now());
-                let done = self.client.wait(job);
-                (done.output, done.latency, done.host_cpu_time)
-            }
-            InferenceBackend::Cpu => {
-                let out = self.model.mlp().forward_batch(&batch);
-                let lat = self.cpu.latency(self.model.mlp().macs(), batch.rows());
-                (out, lat, lat)
-            }
+        let inference = match self.backend {
+            InferenceBackend::Npu => self.npu_with_recovery(platform, &batch),
+            InferenceBackend::Cpu => self.cpu_inference(&batch, false),
+        };
+        let cpu_time = feature_cost + inference.cpu_time;
+        platform.consume_governor_time(cpu_time);
+        let latency = feature_cost + inference.latency;
+
+        let Some(ratings) = inference.output else {
+            // Deadline missed: skip this epoch's migration entirely.
+            return MigrationOutcome {
+                migrated: None,
+                latency,
+                cpu_time,
+                backend: inference.backend,
+                npu_failures: inference.npu_failures,
+                fallback_active: inference.fallback_active,
+                deadline_missed: true,
+            };
         };
 
         // Eq. 5: the best single migration across all (app, free core).
@@ -164,12 +376,117 @@ impl MigrationPolicy {
             (id, core)
         });
 
-        let cpu_time = feature_cost + inference_cpu;
-        platform.consume_governor_time(cpu_time);
         MigrationOutcome {
             migrated,
-            latency: feature_cost + inference_latency,
+            latency,
             cpu_time,
+            backend: inference.backend,
+            npu_failures: inference.npu_failures,
+            fallback_active: inference.fallback_active,
+            deadline_missed: false,
+        }
+    }
+
+    /// Runs the batch on the CPU cost model.
+    fn cpu_inference(&self, batch: &Matrix, fallback: bool) -> InferenceResult {
+        let output = self.model.mlp().forward_batch(batch);
+        let latency = self.cpu.latency(self.model.mlp().macs(), batch.rows());
+        InferenceResult {
+            output: Some(output),
+            latency,
+            cpu_time: latency,
+            backend: InferenceBackend::Cpu,
+            npu_failures: 0,
+            fallback_active: fallback,
+        }
+    }
+
+    /// NPU inference behind the degradation ladder: bounded retries with
+    /// backoff, a consecutive-failure circuit breaker with half-open
+    /// probing, and an optional CPU fallback. On pristine hardware this is
+    /// exactly one submit + collect, identical to the fault-free path.
+    fn npu_with_recovery(&mut self, platform: &Platform, batch: &Matrix) -> InferenceResult {
+        let cfg = self.robustness;
+        let mut spent = SimDuration::ZERO;
+        // Failed attempts cost wall time only: the governor sleeps between
+        // polls, so no CPU time is charged for them.
+        let cpu_time = SimDuration::ZERO;
+        let mut failures = 0u32;
+
+        if self.breaker.state() == BreakerState::Open {
+            let probe = self.breaker.epoch_elapsed();
+            if !probe {
+                // Still cooling down: bypass the NPU entirely this epoch.
+                if cfg.cpu_fallback {
+                    return self.cpu_inference(batch, true);
+                }
+                return InferenceResult {
+                    output: None,
+                    latency: SimDuration::ZERO,
+                    cpu_time: SimDuration::ZERO,
+                    backend: InferenceBackend::Npu,
+                    npu_failures: 0,
+                    fallback_active: false,
+                };
+            }
+            // Half-open: reset the device and probe with a real attempt.
+            self.client.reset();
+        }
+
+        for attempt in 0..cfg.max_attempts {
+            if attempt > 0 {
+                spent += cfg.retry_backoff;
+            }
+            let timeout = cfg.attempt_timeout.min(cfg.epoch_budget - spent);
+            if timeout.is_zero() {
+                break;
+            }
+            let submit_at = platform.now() + spent;
+            let job = self.client.submit(batch, submit_at);
+            match self.client.poll_until(job, submit_at + timeout) {
+                Ok(done) => {
+                    self.breaker.record_success();
+                    return InferenceResult {
+                        output: Some(done.output),
+                        latency: spent + done.latency,
+                        cpu_time: cpu_time + done.host_cpu_time,
+                        backend: InferenceBackend::Npu,
+                        npu_failures: failures,
+                        fallback_active: false,
+                    };
+                }
+                Err(_) => {
+                    failures += 1;
+                    // The governor discovers a failure at its polling
+                    // deadline, so a failed attempt costs its full timeout.
+                    spent += timeout;
+                    self.breaker.record_failure();
+                    if self.breaker.state() == BreakerState::Open {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Retries exhausted (or the breaker tripped mid-epoch).
+        if cfg.cpu_fallback && spent < cfg.epoch_budget {
+            let fallback = self.cpu_inference(batch, true);
+            return InferenceResult {
+                output: fallback.output,
+                latency: spent + fallback.latency,
+                cpu_time: cpu_time + fallback.cpu_time,
+                backend: InferenceBackend::Cpu,
+                npu_failures: failures,
+                fallback_active: true,
+            };
+        }
+        InferenceResult {
+            output: None,
+            latency: spent,
+            cpu_time,
+            backend: InferenceBackend::Npu,
+            npu_failures: failures,
+            fallback_active: false,
         }
     }
 }
@@ -273,6 +590,125 @@ mod tests {
             Cluster::Big,
             "adi should end up on the big cluster"
         );
+    }
+
+    fn loaded_platform(napps: usize) -> Platform {
+        let w = Workload::single(Benchmark::Adi, QosSpec::FractionOfMaxBig(0.2));
+        let spec = w.iter().next().unwrap();
+        let mut platform = Platform::new(PlatformConfig::default());
+        for i in 0..napps {
+            platform.admit(spec, hmc_types::CoreId::new(i));
+        }
+        for _ in 0..200 {
+            platform.tick();
+        }
+        platform
+    }
+
+    fn faulty_policy(
+        model: IlModel,
+        configure: impl FnOnce(&mut faults::FaultPlan),
+    ) -> MigrationPolicy {
+        let mut plan = faults::FaultPlan::none(5);
+        configure(&mut plan);
+        MigrationPolicy::new(model).with_fault_injector(faults::FaultInjector::new(plan))
+    }
+
+    #[test]
+    fn full_npu_failure_falls_back_to_cpu_and_opens_breaker() {
+        let mut policy = faulty_policy(trained_model(0), |p| p.npu.failure_rate = 1.0);
+        let mut platform = loaded_platform(2);
+        let outcome = policy.run(&mut platform);
+        assert!(outcome.npu_failures > 0, "every attempt must fail");
+        assert!(outcome.fallback_active, "CPU fallback must serve the epoch");
+        assert_eq!(outcome.backend, InferenceBackend::Cpu);
+        assert!(
+            !outcome.deadline_missed,
+            "the fallback still produced ratings"
+        );
+        assert_eq!(policy.breaker_state(), BreakerState::Open);
+        assert_eq!(policy.breaker_opens(), 1);
+        // While open, subsequent epochs bypass the NPU without new failures.
+        let outcome = policy.run(&mut platform);
+        assert_eq!(outcome.npu_failures, 0);
+        assert!(outcome.fallback_active);
+    }
+
+    #[test]
+    fn circuit_breaker_state_machine() {
+        let mut breaker = CircuitBreaker::new(3, 2);
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        breaker.record_failure();
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Closed, "below threshold");
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(breaker.opens(), 1);
+        assert!(!breaker.epoch_elapsed(), "cooldown epoch 1 of 2");
+        assert!(breaker.epoch_elapsed(), "cooldown over: probe allowed");
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        // A failed probe reopens immediately.
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(breaker.opens(), 2);
+        assert!(!breaker.epoch_elapsed());
+        assert!(breaker.epoch_elapsed());
+        // A successful probe closes the breaker again.
+        breaker.record_success();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn timeout_faults_cost_their_deadline_then_fall_back() {
+        let mut policy = faulty_policy(trained_model(0), |p| p.npu.timeout_rate = 1.0);
+        let mut platform = loaded_platform(1);
+        let outcome = policy.run(&mut platform);
+        assert!(outcome.fallback_active);
+        // 3 attempts × 30 ms + 2 × 5 ms backoff = 100 ms of wall time, plus
+        // the CPU fallback and feature build on top.
+        assert!(
+            outcome.latency >= SimDuration::from_millis(100),
+            "{:?}",
+            outcome.latency
+        );
+        assert!(
+            outcome.latency < SimDuration::from_millis(260),
+            "{:?}",
+            outcome.latency
+        );
+    }
+
+    #[test]
+    fn disabled_ladder_skips_the_epoch_without_panicking() {
+        let mut policy = faulty_policy(trained_model(0), |p| p.npu.failure_rate = 1.0)
+            .with_robustness(RobustnessConfig::disabled());
+        let mut platform = loaded_platform(2);
+        for _ in 0..3 {
+            let outcome = policy.run(&mut platform);
+            assert!(outcome.deadline_missed, "no ladder: the epoch is lost");
+            assert!(outcome.migrated.is_none());
+            assert!(!outcome.fallback_active);
+            assert_eq!(outcome.backend, InferenceBackend::Npu);
+        }
+        assert_eq!(
+            policy.breaker_state(),
+            BreakerState::Closed,
+            "breaker disabled"
+        );
+    }
+
+    #[test]
+    fn zero_fault_injector_matches_uninstrumented_policy() {
+        let model = trained_model(0);
+        let mut plain = MigrationPolicy::new(model.clone());
+        let mut injected = faulty_policy(model, |_| {});
+        let mut p1 = loaded_platform(3);
+        let mut p2 = loaded_platform(3);
+        for _ in 0..3 {
+            let a = plain.run(&mut p1);
+            let b = injected.run(&mut p2);
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

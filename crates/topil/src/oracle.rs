@@ -140,10 +140,7 @@ impl ScenarioTraces {
 
     /// The maximum AoI performance observed anywhere in the traces.
     pub fn max_ips(&self) -> Ips {
-        self.points
-            .iter()
-            .map(|p| p.ips)
-            .fold(Ips::ZERO, Ips::max)
+        self.points.iter().map(|p| p.ips).fold(Ips::ZERO, Ips::max)
     }
 }
 
@@ -206,7 +203,11 @@ impl TraceCollector {
     ///
     /// Panics if a table is passed for the wrong cluster.
     pub fn with_grids(mut self, little: OppTable, big: OppTable) -> Self {
-        assert_eq!(little.cluster(), Cluster::Little, "wrong cluster for little grid");
+        assert_eq!(
+            little.cluster(),
+            Cluster::Little,
+            "wrong cluster for little grid"
+        );
         assert_eq!(big.cluster(), Cluster::Big, "wrong cluster for big grid");
         self.little_grid = little;
         self.big_grid = big;
@@ -765,11 +766,7 @@ mod tests {
             },
         );
         let infeasible = |cases: &[OracleCase]| {
-            cases
-                .iter()
-                .filter(|c| c.labels[3] == -1.0)
-                .count() as f64
-                / cases.len() as f64
+            cases.iter().filter(|c| c.labels[3] == -1.0).count() as f64 / cases.len() as f64
         };
         assert!(infeasible(&hard) > infeasible(&easy));
     }
@@ -778,10 +775,7 @@ mod tests {
     fn steady_state_close_to_transient_peak() {
         // The fast steady-state oracle must agree with the physical
         // (transient) procedure for steady benchmarks.
-        let scenario = Scenario::new(
-            Benchmark::Syr2k,
-            vec![(Benchmark::Adi, CoreId::new(4))],
-        );
+        let scenario = Scenario::new(Benchmark::Syr2k, vec![(Benchmark::Adi, CoreId::new(4))]);
         let fast = TraceCollector::new().collect(&scenario);
         let slow = TraceCollector::new()
             .with_fidelity(Fidelity::Transient {

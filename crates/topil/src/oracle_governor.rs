@@ -14,8 +14,8 @@
 //! TOP-IL gives away relative to the policy it was trained to imitate.
 
 use hikey_platform::{default_placement, Opp, Platform, Policy};
-use hmc_types::{AppId, Cluster, CoreId, QosTarget, SimDuration, NUM_CORES};
 use hmc_types::AppModel;
+use hmc_types::{AppId, Cluster, CoreId, QosTarget, SimDuration, NUM_CORES};
 use thermal::Cooling;
 use workloads::Benchmark;
 
@@ -83,9 +83,10 @@ impl OracleGovernor {
             let cluster = core.cluster();
             let table = platform.opp_table(cluster);
             let share = 1.0 / per_core[core.index()] as f64;
-            let required = table.frequencies().into_iter().position(|f| {
-                model.mean_ips(cluster, f, share).meets(target.ips())
-            })?;
+            let required = table
+                .frequencies()
+                .into_iter()
+                .position(|f| model.mean_ips(cluster, f, share).meets(target.ips()))?;
             level[cluster.index()] = level[cluster.index()].max(required);
         }
         Some([
@@ -235,16 +236,14 @@ mod tests {
         }
         let max = Simulator::new(sim()).run(&endless(Benchmark::Syr2k, 0.4), &mut NoGovernor);
         assert!(
-            report.metrics.avg_temperature().value()
-                < max.metrics.avg_temperature().value() - 1.0
+            report.metrics.avg_temperature().value() < max.metrics.avg_temperature().value() - 1.0
         );
     }
 
     #[test]
     fn oracle_is_stable() {
         let mut governor = OracleGovernor::new(Cooling::fan());
-        let report =
-            Simulator::new(sim()).run(&endless(Benchmark::SeidelTwoD, 0.3), &mut governor);
+        let report = Simulator::new(sim()).run(&endless(Benchmark::SeidelTwoD, 0.3), &mut governor);
         assert!(
             report.metrics.migrations() <= 2,
             "oracle should settle, saw {}",

@@ -241,7 +241,11 @@ mod tests {
         let scenarios = Scenario::standard_set(6, 11);
         let trainer = IlTrainer::new(quick_settings());
         let cases = trainer.collect_cases(&scenarios);
-        assert!(cases.len() > 100, "expected a rich case set, got {}", cases.len());
+        assert!(
+            cases.len() > 100,
+            "expected a rich case set, got {}",
+            cases.len()
+        );
         let model = trainer.train_from_cases(&cases, 0);
 
         // The model should rate the oracle-optimal core above the worst
@@ -249,7 +253,9 @@ mod tests {
         let mut better = 0;
         let mut total = 0;
         for case in &cases {
-            let Some(best) = case.optimal_core() else { continue };
+            let Some(best) = case.optimal_core() else {
+                continue;
+            };
             let worst = case
                 .temperatures
                 .iter()
@@ -334,11 +340,7 @@ mod tests {
         let trainer = IlTrainer::new(quick_settings());
         let cases = trainer.collect_cases(&scenarios);
         let model = trainer.train_from_cases(&cases, 1);
-        let features: Vec<Features> = cases
-            .iter()
-            .take(3)
-            .map(|c| c.sources[0])
-            .collect();
+        let features: Vec<Features> = cases.iter().take(3).map(|c| c.sources[0]).collect();
         let batch = model.standardized_batch(&features);
         let out = model.mlp().forward_batch(&batch);
         for (i, f) in features.iter().enumerate() {

@@ -98,12 +98,7 @@ mod tests {
     #[test]
     fn zero_target_gives_lowest() {
         let t = table();
-        let level = estimate_min_level(
-            Ips::ZERO,
-            QosTarget::NONE,
-            Frequency::from_mhz(509),
-            &t,
-        );
+        let level = estimate_min_level(Ips::ZERO, QosTarget::NONE, Frequency::from_mhz(509), &t);
         assert_eq!(level, 0);
     }
 }

@@ -1,0 +1,119 @@
+//! End-to-end robustness tests of the TOP-IL governor under injected
+//! faults: total NPU loss, bit-identity of the zero-fault plan, and
+//! reproducibility of seeded fault schedules.
+
+use faults::FaultPlan;
+use hikey_platform::{RunReport, SimConfig, Simulator};
+use hmc_types::SimDuration;
+use topil::oracle::Scenario;
+use topil::training::{IlModel, IlTrainer, TrainSettings};
+use topil::TopIlGovernor;
+use workloads::{Benchmark, QosSpec, Workload};
+
+fn quick_model(seed: u64) -> IlModel {
+    let settings = TrainSettings {
+        nn: nn::TrainConfig {
+            max_epochs: 60,
+            patience: 15,
+            ..nn::TrainConfig::default()
+        },
+        ..TrainSettings::default()
+    };
+    IlTrainer::new(settings).train(&Scenario::standard_set(10, 33), seed)
+}
+
+fn run(model: IlModel, plan: Option<FaultPlan>, secs: u64) -> RunReport {
+    let mut governor = TopIlGovernor::new(model);
+    if let Some(plan) = plan {
+        governor = governor.with_fault_plan(plan);
+    }
+    let config = SimConfig {
+        max_duration: SimDuration::from_secs(secs),
+        stop_when_idle: false,
+        trace_interval: Some(SimDuration::from_millis(100)),
+        fault_plan: plan,
+        ..SimConfig::default()
+    };
+    let workload = Workload::new(vec![
+        workloads::ArrivalSpec {
+            at: hmc_types::SimTime::ZERO,
+            benchmark: Benchmark::Adi,
+            qos: QosSpec::FractionOfMaxBig(0.3),
+            total_instructions: Some(u64::MAX),
+        },
+        workloads::ArrivalSpec {
+            at: hmc_types::SimTime::from_secs(1),
+            benchmark: Benchmark::Syr2k,
+            qos: QosSpec::FractionOfMaxBig(0.25),
+            total_instructions: Some(u64::MAX),
+        },
+    ]);
+    Simulator::new(config).run(&workload, &mut governor)
+}
+
+/// A run with a 100 % NPU failure rate must complete without panicking:
+/// the circuit breaker opens and every epoch is served by the CPU
+/// fallback, which the degradation report records.
+#[test]
+fn full_npu_failure_completes_via_cpu_fallback() {
+    let mut plan = FaultPlan::none(11);
+    plan.npu.failure_rate = 1.0;
+    let report = run(quick_model(4), Some(plan), 20);
+
+    let degradation = report.degradation.expect("TOP-IL reports degradation");
+    assert!(degradation.npu_failures > 0, "failures must be observed");
+    assert!(degradation.breaker_opens >= 1, "breaker must open");
+    assert!(
+        degradation.cpu_fallback_epochs > 0,
+        "CPU fallback must carry the epochs"
+    );
+    assert!(degradation.fallback_active_time > SimDuration::ZERO);
+    // The governor kept managing the platform: the run is not degenerate.
+    assert_eq!(report.metrics.outcomes().len(), 2);
+    assert!(report.metrics.avg_temperature().value() > 25.0);
+    assert!(!report.trace.is_empty());
+}
+
+/// Injecting a zero-rate fault plan must be bit-identical to running
+/// without any injector at all: traces, metrics and migration decisions
+/// all match exactly.
+#[test]
+fn zero_fault_plan_is_bit_identical_to_baseline() {
+    let model = quick_model(5);
+    let baseline = run(model.clone(), None, 12);
+    let zeroed = run(model, Some(FaultPlan::none(23)), 12);
+
+    assert_eq!(
+        baseline.trace, zeroed.trace,
+        "traces must match bit-exactly"
+    );
+    assert_eq!(baseline.metrics, zeroed.metrics);
+    let degradation = zeroed.degradation.expect("TOP-IL reports degradation");
+    assert_eq!(degradation.npu_failures, 0);
+    assert_eq!(degradation.breaker_opens, 0);
+    assert_eq!(degradation.cpu_fallback_epochs, 0);
+    assert_eq!(degradation.degraded_epochs, 0);
+}
+
+/// The same fault-plan seed must reproduce the exact same run: fault
+/// schedules are deterministic functions of the plan.
+#[test]
+fn same_fault_seed_reproduces_identical_reports() {
+    let mut plan = FaultPlan::none(7);
+    plan.npu.failure_rate = 0.3;
+    plan.sensor.dropout_rate = 0.02;
+    plan.dvfs.reject_rate = 0.05;
+
+    let model = quick_model(6);
+    let first = run(model.clone(), Some(plan), 12);
+    let second = run(model, Some(plan), 12);
+
+    assert_eq!(first.trace, second.trace);
+    assert_eq!(first.metrics, second.metrics);
+    assert_eq!(first.degradation, second.degradation);
+    let degradation = first.degradation.expect("TOP-IL reports degradation");
+    assert!(
+        degradation.npu_failures > 0,
+        "a 30 % failure rate over 24 epochs must hit at least once"
+    );
+}

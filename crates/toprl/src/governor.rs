@@ -1,10 +1,9 @@
 //! The TOP-RL governor: per-application agents, mediator, shared Q-table,
 //! and the same DVFS control loop as TOP-IL (for a fair comparison).
 
-
 use hikey_platform::{default_placement, Platform, Policy};
-use hmc_types::{AppId, CoreId, QosTarget, SimDuration};
 use hmc_types::AppModel;
+use hmc_types::{AppId, CoreId, QosTarget, SimDuration};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use topil::dvfs::DvfsControlLoop;
@@ -173,7 +172,11 @@ impl TopRlGovernor {
         if snapshots.is_empty() {
             return;
         }
-        let epsilon = if self.learning { self.config.epsilon } else { 0.0 };
+        let epsilon = if self.learning {
+            self.config.epsilon
+        } else {
+            0.0
+        };
         let mut proposals: Vec<(AppId, usize, usize, f32)> = Vec::with_capacity(snapshots.len());
         for snap in &snapshots {
             let state = quantize_state(platform, snap);
@@ -200,8 +203,7 @@ impl TopRlGovernor {
         self.stats.epochs += 1;
 
         // A tiny CPU cost: table lookups per application.
-        platform
-            .consume_governor_time(SimDuration::from_micros(20 + 10 * snapshots.len() as u64));
+        platform.consume_governor_time(SimDuration::from_micros(20 + 10 * snapshots.len() as u64));
     }
 }
 
@@ -256,7 +258,10 @@ mod tests {
         let stats = governor.stats();
         assert!(stats.epochs > 30);
         assert!(stats.updates > 25);
-        assert!(governor.qtable().nonzero_entries() > 0, "learning must write");
+        assert!(
+            governor.qtable().nonzero_entries() > 0,
+            "learning must write"
+        );
     }
 
     #[test]

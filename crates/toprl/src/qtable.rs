@@ -46,14 +46,20 @@ impl QTable {
     ///
     /// Panics if indices are out of range.
     pub fn value(&self, state: usize, action: usize) -> f32 {
-        assert!(state < NUM_STATES && action < NUM_ACTIONS, "index out of range");
+        assert!(
+            state < NUM_STATES && action < NUM_ACTIONS,
+            "index out of range"
+        );
         self.values[state * NUM_ACTIONS + action]
     }
 
     /// Sets the raw value of `(state, action)` (used when loading a
     /// pre-trained table).
     pub fn update(&mut self, state: usize, action: usize, value: f32) {
-        assert!(state < NUM_STATES && action < NUM_ACTIONS, "index out of range");
+        assert!(
+            state < NUM_STATES && action < NUM_ACTIONS,
+            "index out of range"
+        );
         self.values[state * NUM_ACTIONS + action] = value;
     }
 
@@ -153,7 +159,9 @@ mod tests {
         assert_eq!(q.best_action(5), (3, 1.0));
         let mut rng = StdRng::seed_from_u64(0);
         // ε = 1: uniform over actions, must eventually differ from greedy.
-        let explored: Vec<usize> = (0..50).map(|_| q.epsilon_greedy(5, 1.0, &mut rng)).collect();
+        let explored: Vec<usize> = (0..50)
+            .map(|_| q.epsilon_greedy(5, 1.0, &mut rng))
+            .collect();
         assert!(explored.iter().any(|&a| a != 3));
         // ε = 0: always greedy.
         assert!((0..20).all(|_| q.epsilon_greedy(5, 0.0, &mut rng) == 3));

@@ -71,8 +71,7 @@ pub fn quantize_state(platform: &Platform, snapshot: &AppSnapshot) -> usize {
             .cores()
             .any(|c| platform.apps_on_core(c) == 0),
     ); // 2
-    let state =
-        ((((cluster * 2 + qos_met) * 3 + l2d) * 4 + fl_bin) * 3 + fb_bin) * 2 + other_free;
+    let state = ((((cluster * 2 + qos_met) * 3 + l2d) * 4 + fl_bin) * 3 + fb_bin) * 2 + other_free;
     debug_assert!(state < NUM_STATES);
     state
 }

@@ -127,7 +127,12 @@ impl Benchmark {
         use Benchmark::*;
         matches!(
             self,
-            Adi | FdtdTwoD | FloydWarshall | Gramschmidt | HeatThreeD | JacobiTwoD | SeidelTwoD
+            Adi | FdtdTwoD
+                | FloydWarshall
+                | Gramschmidt
+                | HeatThreeD
+                | JacobiTwoD
+                | SeidelTwoD
                 | Syr2k
         )
     }
@@ -189,7 +194,11 @@ impl Benchmark {
         let profile = match self {
             // dedup and facesim have the strongest phase behaviour (the
             // paper observes negative migration overhead for them).
-            Dedup => vec![(0.3, 0.85, 0.7, 1.1), (0.4, 1.1, 1.15, 0.92), (0.3, 1.0, 0.95, 1.0)],
+            Dedup => vec![
+                (0.3, 0.85, 0.7, 1.1),
+                (0.4, 1.1, 1.15, 0.92),
+                (0.3, 1.0, 0.95, 1.0),
+            ],
             Facesim => vec![(0.5, 0.85, 0.85, 1.06), (0.5, 1.2, 1.2, 0.95)],
             Bodytrack => vec![(0.6, 0.9, 0.85, 1.05), (0.4, 1.15, 1.25, 0.95)],
             Ferret => vec![(0.5, 0.85, 0.9, 1.05), (0.5, 1.15, 1.1, 0.95)],
@@ -303,7 +312,11 @@ mod tests {
         let f_big = m
             .min_frequency_for(Cluster::Big, q, &freqs(&BIG_MHZ))
             .expect("reachable on big");
-        assert_eq!(f_little, Frequency::from_mhz(1844), "adi needs max LITTLE OPP");
+        assert_eq!(
+            f_little,
+            Frequency::from_mhz(1844),
+            "adi needs max LITTLE OPP"
+        );
         assert_eq!(f_big, Frequency::from_mhz(682), "adi needs min big OPP");
     }
 
@@ -345,7 +358,8 @@ mod tests {
             let m = b.model();
             let q = qos_30pct(&m);
             assert!(
-                m.min_frequency_for(Cluster::Big, q, &freqs(&BIG_MHZ)).is_some(),
+                m.min_frequency_for(Cluster::Big, q, &freqs(&BIG_MHZ))
+                    .is_some(),
                 "{b} cannot reach its own 30 % target"
             );
         }

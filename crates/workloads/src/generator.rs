@@ -48,9 +48,7 @@ impl QosSpec {
         // Fractions are taken of the *measured* (phase-averaged) peak
         // throughput, as the paper's physical procedure would observe.
         let ips = match *self {
-            QosSpec::FractionOfMaxBig(fr) => {
-                model.mean_ips(Cluster::Big, big_max, 1.0).scaled(fr)
-            }
+            QosSpec::FractionOfMaxBig(fr) => model.mean_ips(Cluster::Big, big_max, 1.0).scaled(fr),
             QosSpec::FractionOfMaxLittle(fr) => {
                 model.mean_ips(Cluster::Little, little_max, 1.0).scaled(fr)
             }
@@ -201,7 +199,11 @@ impl WorkloadGenerator {
         let mut arrivals = Vec::with_capacity(config.num_apps);
         for _ in 0..config.num_apps {
             let benchmark = config.benchmarks[rng.random_range(0..config.benchmarks.len())];
-            let fraction = if lo == hi { lo } else { rng.random_range(lo..hi) };
+            let fraction = if lo == hi {
+                lo
+            } else {
+                rng.random_range(lo..hi)
+            };
             arrivals.push(ArrivalSpec {
                 at: t,
                 benchmark,
@@ -225,10 +227,7 @@ impl WorkloadGenerator {
             .map(|&b| {
                 (
                     b,
-                    Workload::single(
-                        b,
-                        QosSpec::FractionOfMaxLittle(qos_fraction_of_max_little),
-                    ),
+                    Workload::single(b, QosSpec::FractionOfMaxLittle(qos_fraction_of_max_little)),
                 )
             })
             .collect()

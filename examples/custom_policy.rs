@@ -37,7 +37,10 @@ impl Policy for HeuristicGovernor {
                 let level = platform.cluster_level(cluster);
                 if apps.is_empty() {
                     platform.set_cluster_level(cluster, 0);
-                } else if apps.iter().any(|s| s.qos_target.is_violated_by(s.qos_current)) {
+                } else if apps
+                    .iter()
+                    .any(|s| s.qos_target.is_violated_by(s.qos_current))
+                {
                     platform.set_cluster_level(cluster, level + 1);
                 } else if apps
                     .iter()

@@ -66,7 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{}", outcome.mean_ips),
             format!("{}", outcome.qos_target.ips()),
             format!("{}", outcome.energy),
-            if outcome.violated_qos() { "VIOLATED" } else { "met" },
+            if outcome.violated_qos() {
+                "VIOLATED"
+            } else {
+                "met"
+            },
         );
     }
     Ok(())

@@ -18,7 +18,10 @@ use topil::training::IlTrainer;
 fn main() {
     // 1. Scenarios: combinations of AoI and background applications.
     let scenarios = Scenario::standard_set(20, 1234);
-    println!("step 1: {} scenarios (AoIs from the 7-benchmark training set)", scenarios.len());
+    println!(
+        "step 1: {} scenarios (AoIs from the 7-benchmark training set)",
+        scenarios.len()
+    );
 
     // 2. Trace collection over the reduced V/f grid (fan cooling).
     let collector = TraceCollector::new();
@@ -37,7 +40,10 @@ fn main() {
         .flat_map(|t| extract_cases(t, &config))
         .collect();
     let examples: usize = cases.iter().map(|c| c.sources.len()).sum();
-    println!("step 3: {} labeled cases -> {examples} training examples", cases.len());
+    println!(
+        "step 3: {} labeled cases -> {examples} training examples",
+        cases.len()
+    );
 
     // 4. NAS over depth x width (a reduced grid for the example).
     let settings = TrainSettings::default();
@@ -59,10 +65,15 @@ fn main() {
         );
     }
     let best = nas.best();
-    println!("step 4: best topology {}x{}", best.hidden_layers, best.width);
+    println!(
+        "step 4: best topology {}x{}",
+        best.hidden_layers, best.width
+    );
 
     // 5. Final training (three seeds, like the paper).
-    let models: Vec<IlModel> = (0..3).map(|seed| trainer.train_from_cases(&cases, seed)).collect();
+    let models: Vec<IlModel> = (0..3)
+        .map(|seed| trainer.train_from_cases(&cases, seed))
+        .collect();
     println!("step 5: trained {} models", models.len());
 
     // 6. NPU compilation and a sanity batch inference.

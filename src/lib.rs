@@ -6,6 +6,7 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`types`] | shared strong types (frequencies, temperatures, IDs, time) |
+//! | [`faults`] | deterministic NPU / sensor / DVFS fault injection |
 //! | [`thermal`] | RC thermal network of the HiKey 970 SoC |
 //! | [`workloads`] | synthetic PARSEC/Polybench models + workload generators |
 //! | [`platform`] | full-system big.LITTLE simulator (DVFS, DTM, counters) |
@@ -33,6 +34,7 @@
 //! assert_eq!(report.policy, "TOP-IL");
 //! ```
 
+pub use faults;
 pub use governors;
 pub use hikey_platform as platform;
 pub use hmc_types as types;
@@ -45,6 +47,7 @@ pub use workloads;
 
 /// The most common imports for working with the stack.
 pub mod prelude {
+    pub use faults::{FaultInjector, FaultPlan};
     pub use governors::LinuxGovernor;
     pub use hikey_platform::{
         AppOutcome, Platform, PlatformConfig, Policy, RunMetrics, RunReport, SimConfig, Simulator,

@@ -75,9 +75,7 @@ fn powersave_trades_qos_for_temperature() {
     let il = Simulator::new(sim()).run(&workload, &mut TopIlGovernor::new(model().clone()));
     let ps = Simulator::new(sim()).run(&workload, &mut LinuxGovernor::gts_powersave());
     assert!(ps.metrics.qos_violations() > il.metrics.qos_violations());
-    assert!(
-        ps.metrics.avg_temperature().value() <= il.metrics.avg_temperature().value() + 0.5
-    );
+    assert!(ps.metrics.avg_temperature().value() <= il.metrics.avg_temperature().value() + 0.5);
 }
 
 #[test]
@@ -94,15 +92,17 @@ fn governor_overhead_is_negligible() {
 #[test]
 fn energy_and_cpu_time_are_accounted() {
     let workload = mixed_workload(5);
-    let report =
-        Simulator::new(sim()).run(&workload, &mut TopIlGovernor::new(model().clone()));
+    let report = Simulator::new(sim()).run(&workload, &mut TopIlGovernor::new(model().clone()));
     assert!(report.metrics.energy().value() > 0.0);
     let total_busy: f64 = Cluster::ALL
         .iter()
         .flat_map(|&c| report.metrics.cpu_time_distribution(c))
         .map(|d| d.as_secs_f64())
         .sum();
-    assert!(total_busy > 10.0, "ten applications must accumulate busy time");
+    assert!(
+        total_busy > 10.0,
+        "ten applications must accumulate busy time"
+    );
 }
 
 #[test]

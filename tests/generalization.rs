@@ -17,7 +17,9 @@ fn models() -> &'static Vec<IlModel> {
         settings.nn.patience = 12;
         let trainer = IlTrainer::new(settings);
         let cases = trainer.collect_cases(&scenarios);
-        (0..3).map(|seed| trainer.train_from_cases(&cases, seed)).collect()
+        (0..3)
+            .map(|seed| trainer.train_from_cases(&cases, seed))
+            .collect()
     })
 }
 
@@ -61,8 +63,7 @@ fn unseen_applications_are_managed_well() {
         max_duration: SimDuration::from_secs(900),
         ..SimConfig::default()
     };
-    let report =
-        Simulator::new(sim).run(&workload, &mut TopIlGovernor::new(models()[0].clone()));
+    let report = Simulator::new(sim).run(&workload, &mut TopIlGovernor::new(models()[0].clone()));
     assert_eq!(report.metrics.outcomes().len(), 8);
     assert!(
         report.metrics.qos_violations() <= 1,
@@ -92,10 +93,7 @@ fn different_seeds_agree_in_outcome_quality() {
         .collect();
     let mean = temps.iter().sum::<f64>() / temps.len() as f64;
     for t in &temps {
-        assert!(
-            (t - mean).abs() < 1.0,
-            "seed variance too high: {temps:?}"
-        );
+        assert!((t - mean).abs() < 1.0, "seed variance too high: {temps:?}");
     }
 }
 
@@ -132,8 +130,15 @@ fn cooling_switch_mid_run_is_handled() {
         }
     }
     let nofan_temp = platform.sensor().value();
-    assert!(nofan_temp > fan_temp + 2.0, "passive cooling must run hotter");
+    assert!(
+        nofan_temp > fan_temp + 2.0,
+        "passive cooling must run hotter"
+    );
     let report = platform.into_report();
-    assert_eq!(report.qos_violations(), 0, "QoS survives the cooling switch");
+    assert_eq!(
+        report.qos_violations(),
+        0,
+        "QoS survives the cooling switch"
+    );
     let _ = sim;
 }
