@@ -5,4 +5,5 @@ cd "$(dirname "$0")"
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
+cargo test -q -p trace
 cargo test --workspace -q

@@ -46,6 +46,7 @@ commands:
   oracle-gap   extension: online oracle vs. the imitating network
   sensitivity  extension: thermal-calibration perturbations
   robustness   extension: fault-rate sweep vs. the degradation ladder
+  traces       structured event traces per governor (JSONL/CSV via --out)
   all          everything above
 ";
 
@@ -88,6 +89,7 @@ fn main() {
             "oracle-gap",
             "sensitivity",
             "robustness",
+            "traces",
         ]
     } else {
         commands
@@ -107,6 +109,7 @@ fn main() {
                 | "model-eval"
                 | "oracle-gap"
                 | "sensitivity"
+                | "traces"
         )
     });
     let artifacts: Option<TrainedArtifacts> = if needs_models {
@@ -177,6 +180,15 @@ fn main() {
                 let report = bench::robustness::run(effort);
                 println!("{report}");
                 write_csv(&out, "robustness.csv", bench::csv::robustness_csv(&report));
+            }
+            "traces" => {
+                let report = bench::traces::run(artifacts.as_ref().expect("trained"));
+                println!("{report}");
+                for dump in &report.dumps {
+                    let slug = dump.slug();
+                    write_csv(&out, &format!("trace_{slug}.jsonl"), dump.jsonl());
+                    write_csv(&out, &format!("trace_{slug}.csv"), dump.csv());
+                }
             }
             other => {
                 eprintln!("unknown experiment `{other}`\n");

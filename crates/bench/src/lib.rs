@@ -24,3 +24,4 @@ pub mod model_eval;
 pub mod oracle_gap;
 pub mod robustness;
 pub mod sensitivity;
+pub mod traces;

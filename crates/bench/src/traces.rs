@@ -1,0 +1,191 @@
+//! Structured-trace dumps for offline inspection.
+//!
+//! Runs every governor on one small deterministic mixed workload with
+//! full-granularity tracing and exports the event streams as JSONL and
+//! CSV (`--out`). The printed table doubles as a quick determinism check:
+//! rerunning the command must reproduce identical trace hashes.
+
+use std::fmt;
+
+use governors::LinuxGovernor;
+use hikey_platform::{Policy, RunReport, SimConfig, Simulator};
+use hmc_types::SimDuration;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use thermal::Cooling;
+use topil::oracle_governor::OracleGovernor;
+use topil::TopIlGovernor;
+use toprl::TopRlGovernor;
+use trace::{to_csv, to_jsonl, EventKind, TraceConfig, TraceLog};
+use workloads::{MixedWorkloadConfig, Workload, WorkloadGenerator};
+
+use crate::harness::TrainedArtifacts;
+
+/// Seed of the canonical trace workload.
+pub const TRACE_WORKLOAD_SEED: u64 = 0x7ace;
+
+/// Simulated duration of each trace run.
+pub const TRACE_DURATION: SimDuration = SimDuration::from_secs(20);
+
+/// The small deterministic mixed workload every governor is traced on.
+pub fn trace_workload() -> Workload {
+    let config = MixedWorkloadConfig {
+        num_apps: 6,
+        mean_interarrival: SimDuration::from_secs(2),
+        total_instructions: Some(4_000_000_000),
+        ..MixedWorkloadConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(TRACE_WORKLOAD_SEED);
+    WorkloadGenerator::mixed(&config, &mut rng)
+}
+
+/// The shared simulation configuration of every trace run.
+pub fn trace_sim_config() -> SimConfig {
+    SimConfig {
+        max_duration: TRACE_DURATION,
+        stop_when_idle: false,
+        trace: TraceConfig::full(),
+        ..SimConfig::default()
+    }
+}
+
+/// One governor's traced run.
+#[derive(Debug, Clone)]
+pub struct TraceDump {
+    /// Policy name as reported by the run.
+    pub policy: String,
+    /// The recorded event stream.
+    pub log: TraceLog,
+    /// Migrations executed (from the run metrics, for cross-checking).
+    pub migrations: u64,
+}
+
+impl TraceDump {
+    /// File-name slug of the policy (lowercase, alphanumeric and dashes).
+    pub fn slug(&self) -> String {
+        self.policy
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
+            .collect::<String>()
+            .trim_matches('-')
+            .to_string()
+    }
+
+    /// The JSONL export of the run.
+    pub fn jsonl(&self) -> String {
+        to_jsonl(&self.log)
+    }
+
+    /// The CSV export of the run.
+    pub fn csv(&self) -> String {
+        to_csv(&self.log)
+    }
+}
+
+/// The trace-dump report: one traced run per governor.
+#[derive(Debug, Clone)]
+pub struct TracesReport {
+    /// One dump per governor.
+    pub dumps: Vec<TraceDump>,
+}
+
+impl fmt::Display for TracesReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Structured traces — {} s mixed workload (seed {TRACE_WORKLOAD_SEED:#x}), full granularity",
+            TRACE_DURATION.as_secs_f64()
+        )?;
+        writeln!(
+            f,
+            "{:<20} {:>18} {:>8} {:>7} {:>7} {:>7}",
+            "policy", "trace hash", "events", "epochs", "moves", "faults"
+        )?;
+        for dump in &self.dumps {
+            let epochs = dump.log.epochs();
+            let faults = dump
+                .log
+                .events
+                .iter()
+                .filter(|e| e.kind() == EventKind::Fault)
+                .count();
+            writeln!(
+                f,
+                "{:<20} {:>18} {:>8} {:>7} {:>7} {:>7}",
+                dump.policy,
+                dump.log.hash.to_string(),
+                dump.log.emitted,
+                epochs,
+                dump.migrations,
+                faults
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn dump_of(report: RunReport) -> TraceDump {
+    let migrations = report.metrics.migrations();
+    TraceDump {
+        policy: report.policy,
+        log: report.events.expect("tracing was enabled"),
+        migrations,
+    }
+}
+
+/// Traces every governor on the canonical workload.
+pub fn run(artifacts: &TrainedArtifacts) -> TracesReport {
+    let sim = Simulator::new(trace_sim_config());
+    let workload = trace_workload();
+    let mut dumps = Vec::new();
+
+    let mut trace_one = |policy: &mut dyn Policy| dumps.push(dump_of(sim.run(&workload, policy)));
+    trace_one(&mut TopIlGovernor::new(artifacts.il_models[0].clone()));
+    trace_one(&mut TopRlGovernor::with_qtable(
+        artifacts.rl_tables[0].clone(),
+        0,
+    ));
+    trace_one(&mut LinuxGovernor::gts_ondemand());
+    trace_one(&mut LinuxGovernor::gts_powersave());
+    trace_one(&mut OracleGovernor::new(Cooling::fan()));
+
+    TracesReport { dumps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_are_filesystem_safe() {
+        let dump = TraceDump {
+            policy: "TOP-IL (CPU inference)".to_string(),
+            log: TraceLog {
+                events: Vec::new(),
+                hash: trace::TraceHash::new(trace::Fnv64::new().finish()),
+                emitted: 0,
+                dropped: 0,
+            },
+            migrations: 0,
+        };
+        assert_eq!(dump.slug(), "top-il--cpu-inference");
+    }
+
+    #[test]
+    fn gts_trace_is_deterministic_and_exportable() {
+        let sim = Simulator::new(trace_sim_config());
+        let workload = trace_workload();
+        let a = dump_of(sim.run(&workload, &mut LinuxGovernor::gts_ondemand()));
+        let b = dump_of(sim.run(&workload, &mut LinuxGovernor::gts_ondemand()));
+        assert_eq!(a.log.hash, b.log.hash, "same seed, same trace");
+        assert!(a.log.emitted > 0);
+        assert!(a.jsonl().lines().count() as u64 > a.log.events.len() as u64 / 2);
+        assert!(a.csv().starts_with(trace::CSV_HEADER));
+    }
+}

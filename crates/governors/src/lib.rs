@@ -32,6 +32,7 @@
 use hikey_platform::{Platform, Policy};
 use hmc_types::AppModel;
 use hmc_types::{Cluster, CoreId, QosTarget, SimDuration, SimTime};
+use trace::TraceEvent;
 
 /// GTS load-balancing period (Linux scheduler granularity, coarsened).
 const BALANCE_PERIOD: SimDuration = SimDuration::from_millis(100);
@@ -56,6 +57,7 @@ pub enum CpufreqGovernor {
 pub struct LinuxGovernor {
     cpufreq: CpufreqGovernor,
     name: &'static str,
+    epoch: u64,
 }
 
 impl LinuxGovernor {
@@ -64,6 +66,7 @@ impl LinuxGovernor {
         LinuxGovernor {
             cpufreq: CpufreqGovernor::Ondemand,
             name: "GTS/ondemand",
+            epoch: 0,
         }
     }
 
@@ -72,6 +75,7 @@ impl LinuxGovernor {
         LinuxGovernor {
             cpufreq: CpufreqGovernor::Powersave,
             name: "GTS/powersave",
+            epoch: 0,
         }
     }
 
@@ -80,6 +84,7 @@ impl LinuxGovernor {
         LinuxGovernor {
             cpufreq: CpufreqGovernor::Schedutil,
             name: "GTS/schedutil",
+            epoch: 0,
         }
     }
 
@@ -101,6 +106,13 @@ impl LinuxGovernor {
                 if platform.apps_on_core(core) >= 2 {
                     if let Some(target) = free_iter.next() {
                         if let Some(app) = snapshots.iter().find(|s| s.core == core).map(|s| s.id) {
+                            platform.trace_emit(TraceEvent::Decision {
+                                at: platform.now(),
+                                app: Some(app),
+                                target: Some(target),
+                                score: 0.0,
+                                logits: Vec::new(),
+                            });
                             platform.migrate(app, target);
                         }
                     }
@@ -128,6 +140,13 @@ impl LinuxGovernor {
                 .map(|s| s.id);
             match candidate {
                 Some(app) => {
+                    platform.trace_emit(TraceEvent::Decision {
+                        at: platform.now(),
+                        app: Some(app),
+                        target: Some(target),
+                        score: 0.0,
+                        logits: Vec::new(),
+                    });
                     platform.migrate(app, target);
                 }
                 None => break,
@@ -190,6 +209,11 @@ impl Policy for LinuxGovernor {
     fn on_tick(&mut self, platform: &mut Platform) {
         let now: SimTime = platform.now();
         if now.is_multiple_of(BALANCE_PERIOD) {
+            platform.trace_emit(TraceEvent::EpochTick {
+                at: now,
+                epoch: self.epoch,
+            });
+            self.epoch += 1;
             self.balance(platform);
             platform.consume_governor_time(SimDuration::from_micros(15));
         }

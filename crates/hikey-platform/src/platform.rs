@@ -10,6 +10,7 @@ use hmc_types::{
     NUM_CORES,
 };
 use thermal::{Cooling, SocThermal, ThermalParams};
+use trace::{FaultKind, TraceConfig, TraceEvent, TraceLog, TraceRecorder};
 use workloads::ArrivalSpec;
 
 use crate::app::AppInstance;
@@ -40,6 +41,9 @@ pub struct PlatformConfig {
     /// ladder: raw samples reach DTM unchecked and dropouts hold the last
     /// estimate forever (no fail-safe).
     pub sensor_filter: Option<SensorFilterConfig>,
+    /// Tracing configuration (off by default). Tracing is observational
+    /// only: it never changes platform behavior or metrics.
+    pub trace: TraceConfig,
 }
 
 impl Default for PlatformConfig {
@@ -51,6 +55,7 @@ impl Default for PlatformConfig {
             thermal_params: ThermalParams::default(),
             fault_plan: None,
             sensor_filter: Some(SensorFilterConfig::default()),
+            trace: TraceConfig::off(),
         }
     }
 }
@@ -125,6 +130,7 @@ pub struct Platform {
     dvfs_delays: u64,
     failsafe_time: SimDuration,
     failsafe_events: u64,
+    recorder: Option<TraceRecorder>,
 }
 
 impl Platform {
@@ -167,6 +173,20 @@ impl Platform {
             dvfs_delays: 0,
             failsafe_time: SimDuration::ZERO,
             failsafe_events: 0,
+            recorder: config.trace.recorder(),
+        }
+    }
+
+    /// Whether a trace is being recorded (policies can skip building
+    /// event payloads entirely when this is `false`).
+    pub fn trace_enabled(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Records one trace event. No-op when tracing is off.
+    pub fn trace_emit(&mut self, event: TraceEvent) {
+        if let Some(recorder) = &mut self.recorder {
+            recorder.record(event);
         }
     }
 
@@ -212,6 +232,11 @@ impl Platform {
             id,
             AppInstance::new(id, model, target, core, self.now, total_override),
         );
+        self.trace_emit(TraceEvent::AppAdmitted {
+            at: self.now,
+            app: id,
+            core,
+        });
         id
     }
 
@@ -221,6 +246,7 @@ impl Platform {
     pub fn kill(&mut self, id: AppId) -> bool {
         if let Some(app) = self.apps.remove(&id) {
             let outcome = Self::outcome_of(&app, None);
+            self.emit_completion(&outcome, self.now);
             self.metrics.record_outcome(outcome);
             true
         } else {
@@ -235,8 +261,15 @@ impl Platform {
         match self.apps.get_mut(&id) {
             Some(app) => {
                 if app.core != core {
+                    let from = app.core;
                     app.migrate_to(core, now);
                     self.metrics.record_migration();
+                    self.trace_emit(TraceEvent::Migration {
+                        at: now,
+                        app: id,
+                        from,
+                        to: core,
+                    });
                 }
                 true
             }
@@ -265,17 +298,32 @@ impl Platform {
         }
         match self.injector.as_mut().map(|i| i.dvfs_transition()) {
             None | Some(DvfsFault::None) => {
+                let from_level = self.level[ci] as u8;
                 self.level[ci] = applied;
                 self.pending_level[ci] = None;
+                self.trace_emit(TraceEvent::DvfsTransition {
+                    at: self.now,
+                    cluster,
+                    from_level,
+                    to_level: applied as u8,
+                });
                 applied
             }
             Some(DvfsFault::Reject) => {
                 self.dvfs_rejects += 1;
+                self.trace_emit(TraceEvent::Fault {
+                    at: self.now,
+                    kind: FaultKind::DvfsReject,
+                });
                 self.level[ci]
             }
             Some(DvfsFault::Delay(delay)) => {
                 self.dvfs_delays += 1;
                 self.pending_level[ci] = Some((self.now + delay, applied));
+                self.trace_emit(TraceEvent::Fault {
+                    at: self.now,
+                    kind: FaultKind::DvfsDelay,
+                });
                 self.level[ci]
             }
         }
@@ -415,8 +463,17 @@ impl Platform {
                     } else {
                         table_len - 1
                     };
+                    let from_level = self.level[ci] as u8;
                     self.level[ci] = target.min(max_allowed);
                     self.pending_level[ci] = None;
+                    if self.level[ci] as u8 != from_level {
+                        self.trace_emit(TraceEvent::DvfsTransition {
+                            at: now,
+                            cluster: Cluster::from_index(ci),
+                            from_level,
+                            to_level: self.level[ci] as u8,
+                        });
+                    }
                 }
             }
         }
@@ -517,7 +574,16 @@ impl Platform {
         };
         if observed.is_none() {
             self.sensor_dropouts += 1;
+            self.trace_emit(TraceEvent::Fault {
+                at: now,
+                kind: FaultKind::SensorDropout,
+            });
         }
+        let rejected_before = self
+            .filter
+            .as_ref()
+            .map(SensorFilter::rejected_samples)
+            .unwrap_or(0);
         let reading = match &mut self.filter {
             Some(filter) => filter.ingest(self.now, observed),
             // Ladder disabled: act on whatever arrives; dropouts hold the
@@ -527,12 +593,33 @@ impl Platform {
                 None => SensorReading::Held(self.sensor_estimate),
             },
         };
+        if self
+            .filter
+            .as_ref()
+            .map(SensorFilter::rejected_samples)
+            .unwrap_or(0)
+            > rejected_before
+        {
+            self.trace_emit(TraceEvent::Fault {
+                at: now,
+                kind: FaultKind::SensorRejected,
+            });
+        }
         let lost = matches!(reading, SensorReading::Lost);
         if let SensorReading::Valid(value) | SensorReading::Held(value) = reading {
             self.sensor_estimate = value;
         }
         if lost && !self.sensor_lost {
             self.failsafe_events += 1;
+            self.trace_emit(TraceEvent::Fault {
+                at: now,
+                kind: FaultKind::FailsafeEngaged,
+            });
+        } else if !lost && self.sensor_lost {
+            self.trace_emit(TraceEvent::Fault {
+                at: now,
+                kind: FaultKind::FailsafeReleased,
+            });
         }
         self.sensor_lost = lost;
         if self.config.dtm_enabled {
@@ -546,7 +633,42 @@ impl Platform {
                 let table_len = self.opp_tables[cluster.index()].len();
                 let max_allowed = self.dtm.max_allowed_index(table_len);
                 if self.level[cluster.index()] > max_allowed {
+                    let from_level = self.level[cluster.index()] as u8;
                     self.level[cluster.index()] = max_allowed;
+                    self.trace_emit(TraceEvent::DvfsTransition {
+                        at: now,
+                        cluster,
+                        from_level,
+                        to_level: max_allowed as u8,
+                    });
+                }
+            }
+        }
+
+        // Periodic observability samples (Full granularity only; the
+        // recorder filters by kind, the interval check just bounds cost).
+        if let Some(recorder) = &self.recorder {
+            let interval = recorder.config().sample_interval;
+            let sampling = recorder.config().accepts(trace::EventKind::ThermalSample);
+            if sampling && interval > SimDuration::ZERO && now.is_multiple_of(interval) {
+                let throttling = self.dtm.is_throttling();
+                self.trace_emit(TraceEvent::ThermalSample {
+                    at: now,
+                    sensor: self.sensor_estimate,
+                    throttling,
+                });
+                let samples: Vec<TraceEvent> = self
+                    .apps
+                    .values()
+                    .map(|app| TraceEvent::QosSample {
+                        at: now,
+                        app: app.id,
+                        current: app.current_ips(),
+                        target: app.qos_target.ips(),
+                    })
+                    .collect();
+                for s in samples {
+                    self.trace_emit(s);
                 }
             }
         }
@@ -590,10 +712,24 @@ impl Platform {
         for id in finished {
             let app = self.apps.remove(&id).expect("collected above");
             let outcome = Self::outcome_of(&app, Some(end));
+            self.emit_completion(&outcome, end);
             self.metrics.record_outcome(outcome);
         }
 
         self.now = end;
+    }
+
+    fn emit_completion(&mut self, outcome: &AppOutcome, at: SimTime) {
+        if self.recorder.is_some() {
+            self.trace_emit(TraceEvent::AppCompleted {
+                at,
+                app: outcome.id,
+                finished: outcome.finished_at.is_some(),
+                violation_time: outcome.violation_time,
+                energy: outcome.energy,
+                migrations: outcome.migrations,
+            });
+        }
     }
 
     fn outcome_of(app: &AppInstance, finished_at: Option<SimTime>) -> AppOutcome {
@@ -618,11 +754,20 @@ impl Platform {
 
     /// Finalizes the run: records outcomes for still-running applications
     /// and DTM statistics, and returns the metrics.
-    pub fn into_report(mut self) -> RunMetrics {
+    pub fn into_report(self) -> RunMetrics {
+        self.finish().0
+    }
+
+    /// Finalizes the run like [`into_report`](Self::into_report) and also
+    /// returns the recorded trace (`None` when tracing was off). The
+    /// trace ends with one `RunEnd` event whose aggregates equal the
+    /// returned metrics.
+    pub fn finish(mut self) -> (RunMetrics, Option<TraceLog>) {
         let running: Vec<AppId> = self.apps.keys().copied().collect();
         for id in running {
             let app = self.apps.remove(&id).expect("key exists");
             let outcome = Self::outcome_of(&app, None);
+            self.emit_completion(&outcome, self.now);
             self.metrics.record_outcome(outcome);
         }
         self.metrics
@@ -640,7 +785,22 @@ impl Platform {
         );
         self.metrics
             .record_dvfs_faults(self.dvfs_rejects, self.dvfs_delays);
-        self.metrics
+        if self.recorder.is_some() {
+            let violation_time = self
+                .metrics
+                .outcomes()
+                .iter()
+                .map(|o| o.violation_time)
+                .fold(SimDuration::ZERO, |a, b| a + b);
+            self.trace_emit(TraceEvent::RunEnd {
+                at: self.now,
+                energy: self.metrics.energy(),
+                violation_time,
+                migrations: self.metrics.migrations(),
+            });
+        }
+        let log = self.recorder.map(TraceRecorder::finish);
+        (self.metrics, log)
     }
 }
 

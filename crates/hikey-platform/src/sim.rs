@@ -3,6 +3,7 @@
 use faults::FaultPlan;
 use hmc_types::{AppId, Celsius, Cluster, CoreId, Frequency, SimDuration, SimTime};
 use thermal::{Cooling, ThermalParams};
+use trace::{TraceConfig, TraceLog};
 use workloads::Workload;
 
 use crate::metrics::RunMetrics;
@@ -34,6 +35,9 @@ pub struct SimConfig {
     /// Sensor plausibility filtering (`None` disables the degradation
     /// ladder on the sensor path).
     pub sensor_filter: Option<SensorFilterConfig>,
+    /// Structured event tracing (granularity, ring capacity, sample
+    /// interval). Off by default; never perturbs the simulation.
+    pub trace: TraceConfig,
 }
 
 impl Default for SimConfig {
@@ -48,6 +52,7 @@ impl Default for SimConfig {
             thermal_params: ThermalParams::default(),
             fault_plan: None,
             sensor_filter: Some(SensorFilterConfig::default()),
+            trace: TraceConfig::off(),
         }
     }
 }
@@ -74,6 +79,8 @@ pub struct RunReport {
     pub metrics: RunMetrics,
     /// Optional time-series trace.
     pub trace: Vec<TraceSample>,
+    /// Structured event trace (`None` when `SimConfig::trace` is off).
+    pub events: Option<TraceLog>,
     /// Degradation counters reported by the policy (`None` for policies
     /// without a degradation ladder).
     pub degradation: Option<DegradationReport>,
@@ -122,6 +129,7 @@ impl Simulator {
             thermal_params: self.config.thermal_params,
             fault_plan: self.config.fault_plan,
             sensor_filter: self.config.sensor_filter,
+            trace: self.config.trace,
         });
         policy.on_start(&mut platform);
 
@@ -183,11 +191,14 @@ impl Simulator {
             }
         }
 
+        let degradation = policy.degradation();
+        let (metrics, events) = platform.finish();
         RunReport {
             policy: policy.name().to_string(),
-            metrics: platform.into_report(),
+            metrics,
             trace,
-            degradation: policy.degradation(),
+            events,
+            degradation,
         }
     }
 }

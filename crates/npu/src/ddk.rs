@@ -49,11 +49,28 @@ pub struct CompletedJob {
 #[derive(Debug, Clone)]
 struct InFlightJob {
     handle: JobHandle,
+    submitted_at: SimTime,
     /// When the outcome (result or error) becomes observable.
     ready_at: SimTime,
     /// `None` for a successful job, otherwise the injected failure.
     fate: Option<NpuError>,
     job: CompletedJob,
+}
+
+/// Lifecycle record of one collected job (opt-in observability log, see
+/// [`HiaiClient::with_job_log`]). One record is appended per *resolved*
+/// job — success, failure, or caller-side timeout cancellation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobRecord {
+    /// When the job was submitted.
+    pub submitted_at: SimTime,
+    /// Batch size (input rows).
+    pub batch: u32,
+    /// Observed latency: end-to-end on success, time-to-resolution on
+    /// failure (the caller's deadline for a cancelled hang).
+    pub latency: SimDuration,
+    /// Whether the job delivered a result.
+    pub ok: bool,
 }
 
 /// A loaded model on the NPU, exposing the DDK's non-blocking call style:
@@ -92,6 +109,8 @@ pub struct HiaiClient {
     /// Set after a device fault; submissions fail until [`Self::reset`].
     device_lost: bool,
     resets: u64,
+    /// Lifecycle log of resolved jobs (`None` = logging disabled).
+    job_log: Option<Vec<JobRecord>>,
 }
 
 impl HiaiClient {
@@ -105,6 +124,7 @@ impl HiaiClient {
             injector: None,
             device_lost: false,
             resets: 0,
+            job_log: None,
         }
     }
 
@@ -112,6 +132,39 @@ impl HiaiClient {
     pub fn with_injector(mut self, injector: FaultInjector) -> Self {
         self.injector = Some(injector);
         self
+    }
+
+    /// Enables the per-job lifecycle log. Callers are expected to drain it
+    /// periodically via [`Self::drain_job_log`]; it grows unbounded
+    /// otherwise.
+    pub fn with_job_log(mut self) -> Self {
+        self.job_log = Some(Vec::new());
+        self
+    }
+
+    /// Drains and returns the records of jobs resolved since the previous
+    /// drain. Empty when logging is disabled.
+    pub fn drain_job_log(&mut self) -> Vec<JobRecord> {
+        self.job_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    fn log_job(&mut self, entry: &InFlightJob, resolved_at: SimTime, ok: bool) {
+        if let Some(log) = &mut self.job_log {
+            let latency = if ok {
+                entry.job.latency
+            } else {
+                resolved_at.since(entry.submitted_at)
+            };
+            log.push(JobRecord {
+                submitted_at: entry.submitted_at,
+                batch: entry.job.output.rows() as u32,
+                latency,
+                ok,
+            });
+        }
     }
 
     /// The device this client talks to.
@@ -190,6 +243,7 @@ impl HiaiClient {
         };
         self.in_flight.push(InFlightJob {
             handle,
+            submitted_at: now,
             ready_at: now + latency,
             fate,
             job,
@@ -220,6 +274,7 @@ impl HiaiClient {
         };
         if self.in_flight[pos].ready_at <= now {
             let entry = self.in_flight.swap_remove(pos);
+            self.log_job(&entry, entry.ready_at, entry.fate.is_none());
             match entry.fate {
                 None => JobStatus::Done(entry.job),
                 Some(error) => JobStatus::Failed { error },
@@ -245,8 +300,10 @@ impl HiaiClient {
         };
         let entry = self.in_flight.swap_remove(pos);
         if entry.ready_at > deadline {
+            self.log_job(&entry, deadline, false);
             return Err(NpuError::Timeout);
         }
+        self.log_job(&entry, entry.ready_at, entry.fate.is_none());
         match entry.fate {
             None => Ok(entry.job),
             Some(error) => Err(error),
@@ -271,6 +328,7 @@ impl HiaiClient {
         if let Some(error) = entry.fate {
             panic!("waited on a failed NPU job: {error}");
         }
+        self.log_job(&entry, entry.ready_at, true);
         entry.job
     }
 
@@ -490,6 +548,37 @@ mod tests {
         let job = c.submit(&batch, SimTime::ZERO);
         assert_eq!(c.poll_until(job, SimTime::ZERO), Err(NpuError::Timeout));
         assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn job_log_records_successes_and_failures() {
+        let mut c = client().with_job_log();
+        let batch = Matrix::from_rows(vec![vec![0.1; 21]; 3]);
+        let job = c.submit(&batch, SimTime::ZERO);
+        let done = c.poll_until(job, SimTime::from_secs(1)).expect("completes");
+        let records = c.drain_job_log();
+        assert_eq!(records.len(), 1);
+        assert!(records[0].ok);
+        assert_eq!(records[0].batch, 3);
+        assert_eq!(records[0].latency, done.latency);
+        assert_eq!(records[0].submitted_at, SimTime::ZERO);
+        assert!(c.drain_job_log().is_empty(), "drain resets the log");
+
+        // A cancelled hang is logged as a failure with time-to-deadline.
+        let mut c = faulty_client(|p| p.npu.timeout_rate = 1.0).with_job_log();
+        let job = c.submit(&batch, SimTime::from_millis(10));
+        let deadline = SimTime::from_millis(40);
+        assert_eq!(c.poll_until(job, deadline), Err(NpuError::Timeout));
+        let records = c.drain_job_log();
+        assert_eq!(records.len(), 1);
+        assert!(!records[0].ok);
+        assert_eq!(records[0].latency, SimDuration::from_millis(30));
+
+        // Without opting in, nothing is recorded.
+        let mut c = client();
+        let job = c.submit(&batch, SimTime::ZERO);
+        let _ = c.wait(job);
+        assert!(c.drain_job_log().is_empty());
     }
 
     #[test]

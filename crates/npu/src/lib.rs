@@ -44,7 +44,7 @@ mod error;
 mod model;
 mod quant;
 
-pub use ddk::{CompletedJob, CpuInference, HiaiClient, JobHandle, JobStatus};
+pub use ddk::{CompletedJob, CpuInference, HiaiClient, JobHandle, JobRecord, JobStatus};
 pub use device::NpuDevice;
 pub use error::NpuError;
 pub use model::NpuModel;

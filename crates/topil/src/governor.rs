@@ -60,6 +60,7 @@ pub struct TopIlGovernor {
     migration_period: SimDuration,
     dvfs_period: SimDuration,
     skip_after_migration: u8,
+    epoch: u64,
 }
 
 impl TopIlGovernor {
@@ -74,6 +75,7 @@ impl TopIlGovernor {
             migration_period: MIGRATION_PERIOD,
             dvfs_period: DVFS_PERIOD,
             skip_after_migration: 2,
+            epoch: 0,
         }
     }
 
@@ -151,6 +153,11 @@ impl Policy for TopIlGovernor {
     fn on_tick(&mut self, platform: &mut Platform) {
         let now = platform.now();
         if now.is_multiple_of(self.migration_period) && platform.app_count() > 0 {
+            platform.trace_emit(trace::TraceEvent::EpochTick {
+                at: now,
+                epoch: self.epoch,
+            });
+            self.epoch += 1;
             let outcome = self.migration.run(platform);
             self.stats.migration_invocations += 1;
             self.stats.migration_time += outcome.latency;

@@ -19,6 +19,7 @@ use hikey_platform::Platform;
 use hmc_types::{AppId, CoreId, SimDuration};
 use nn::Matrix;
 use npu::{CpuInference, HiaiClient, NpuDevice};
+use trace::{FaultKind, TraceBackend, TraceEvent};
 
 use crate::features::Features;
 use crate::training::IlModel;
@@ -243,7 +244,9 @@ pub struct MigrationPolicy {
 impl MigrationPolicy {
     /// Creates the policy with the model loaded onto the Kirin 970 NPU.
     pub fn new(model: IlModel) -> Self {
-        let client = HiaiClient::load(NpuDevice::kirin970(), model.mlp());
+        // The job log only fills between epochs and is drained every run;
+        // its records feed `NpuJob` trace events when tracing is on.
+        let client = HiaiClient::load(NpuDevice::kirin970(), model.mlp()).with_job_log();
         let robustness = RobustnessConfig::default();
         MigrationPolicy {
             model,
@@ -338,10 +341,12 @@ impl MigrationPolicy {
         let batch = self.model.standardized_batch(&features);
         let feature_cost = FEATURE_COST_PER_APP * features.len() as u64;
 
+        let opens_before = self.breaker.opens();
         let inference = match self.backend {
             InferenceBackend::Npu => self.npu_with_recovery(platform, &batch),
             InferenceBackend::Cpu => self.cpu_inference(&batch, false),
         };
+        self.emit_inference_trace(platform, &inference, batch.rows(), opens_before);
         let cpu_time = feature_cost + inference.cpu_time;
         platform.consume_governor_time(cpu_time);
         let latency = feature_cost + inference.latency;
@@ -361,17 +366,36 @@ impl MigrationPolicy {
 
         // Eq. 5: the best single migration across all (app, free core).
         let free = platform.free_cores();
-        let mut best: Option<(AppId, CoreId, f32)> = None;
+        let mut best: Option<(usize, AppId, CoreId, f32)> = None;
         for (k, snap) in snapshots.iter().enumerate() {
             let current = ratings.get(k, snap.core.index());
             for &core in &free {
                 let delta = ratings.get(k, core.index()) - current;
-                if delta > best.map_or(self.threshold, |(_, _, d)| d) {
-                    best = Some((snap.id, core, delta));
+                if delta > best.map_or(self.threshold, |(_, _, _, d)| d) {
+                    best = Some((k, snap.id, core, delta));
                 }
             }
         }
-        let migrated = best.map(|(id, core, _)| {
+        if platform.trace_enabled() {
+            let event = match best {
+                Some((k, id, core, delta)) => TraceEvent::Decision {
+                    at: platform.now(),
+                    app: Some(id),
+                    target: Some(core),
+                    score: f64::from(delta),
+                    logits: (0..ratings.cols()).map(|c| ratings.get(k, c)).collect(),
+                },
+                None => TraceEvent::Decision {
+                    at: platform.now(),
+                    app: None,
+                    target: None,
+                    score: 0.0,
+                    logits: Vec::new(),
+                },
+            };
+            platform.trace_emit(event);
+        }
+        let migrated = best.map(|(_, id, core, _)| {
             platform.migrate(id, core);
             (id, core)
         });
@@ -384,6 +408,65 @@ impl MigrationPolicy {
             npu_failures: inference.npu_failures,
             fallback_active: inference.fallback_active,
             deadline_missed: false,
+        }
+    }
+
+    /// Emits the epoch's NPU-job and fault events from the client's job
+    /// log and the inference outcome. The job log is drained even with
+    /// tracing off so it never grows across epochs.
+    fn emit_inference_trace(
+        &mut self,
+        platform: &mut Platform,
+        inference: &InferenceResult,
+        batch_rows: usize,
+        opens_before: u64,
+    ) {
+        let records = self.client.drain_job_log();
+        if !platform.trace_enabled() {
+            return;
+        }
+        let at = platform.now();
+        for record in records {
+            platform.trace_emit(TraceEvent::NpuJob {
+                at,
+                batch: record.batch,
+                latency: record.latency,
+                backend: TraceBackend::Npu,
+                ok: record.ok,
+            });
+            if !record.ok {
+                platform.trace_emit(TraceEvent::Fault {
+                    at,
+                    kind: FaultKind::NpuJobFailure,
+                });
+            }
+        }
+        if inference.backend == InferenceBackend::Cpu && inference.output.is_some() {
+            platform.trace_emit(TraceEvent::NpuJob {
+                at,
+                batch: batch_rows as u32,
+                latency: self.cpu.latency(self.model.mlp().macs(), batch_rows),
+                backend: TraceBackend::Cpu,
+                ok: true,
+            });
+        }
+        if self.breaker.opens() > opens_before {
+            platform.trace_emit(TraceEvent::Fault {
+                at,
+                kind: FaultKind::BreakerOpen,
+            });
+        }
+        if inference.fallback_active {
+            platform.trace_emit(TraceEvent::Fault {
+                at,
+                kind: FaultKind::CpuFallback,
+            });
+        }
+        if inference.output.is_none() {
+            platform.trace_emit(TraceEvent::Fault {
+                at,
+                kind: FaultKind::DegradedEpoch,
+            });
         }
     }
 

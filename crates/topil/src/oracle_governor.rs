@@ -45,13 +45,14 @@ const IMPROVEMENT_K: f64 = 0.1;
 #[derive(Debug, Clone)]
 pub struct OracleGovernor {
     cooling: Cooling,
+    epoch: u64,
 }
 
 impl OracleGovernor {
     /// Creates the oracle governor; `cooling` must match the simulation's
     /// cooling configuration (the oracle knows the platform).
     pub fn new(cooling: Cooling) -> Self {
-        OracleGovernor { cooling }
+        OracleGovernor { cooling, epoch: 0 }
     }
 
     /// Resolves each running application's model from its benchmark name
@@ -130,6 +131,11 @@ impl Policy for OracleGovernor {
         if placement.is_empty() {
             return;
         }
+        platform.trace_emit(trace::TraceEvent::EpochTick {
+            at: now,
+            epoch: self.epoch,
+        });
+        self.epoch += 1;
         let current_temp = self.evaluate(platform, &placement);
 
         // Best single migration across all (application, free core) pairs.
@@ -152,6 +158,27 @@ impl Policy for OracleGovernor {
                     }
                 }
             }
+        }
+        if platform.trace_enabled() {
+            let event = match best {
+                // `score` is the predicted steady-state improvement in
+                // kelvin — the analytic quantity TOP-IL's ratings imitate.
+                Some((id, core, improvement)) => trace::TraceEvent::Decision {
+                    at: now,
+                    app: Some(id),
+                    target: Some(core),
+                    score: improvement,
+                    logits: Vec::new(),
+                },
+                None => trace::TraceEvent::Decision {
+                    at: now,
+                    app: None,
+                    target: None,
+                    score: 0.0,
+                    logits: Vec::new(),
+                },
+            };
+            platform.trace_emit(event);
         }
         let final_placement = if let Some((id, core, _)) = best {
             platform.migrate(id, core);

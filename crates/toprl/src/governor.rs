@@ -10,7 +10,7 @@ use topil::dvfs::DvfsControlLoop;
 use workloads::{MixedWorkloadConfig, WorkloadGenerator};
 
 use crate::qtable::QTable;
-use crate::state::{quantize_state, RlConfig};
+use crate::state::{quantize_state, RlConfig, NUM_ACTIONS};
 
 /// Migration epoch (same as TOP-IL's 500 ms for a fair comparison).
 pub const EPOCH: SimDuration = SimDuration::from_millis(500);
@@ -188,8 +188,20 @@ impl TopRlGovernor {
             .max_by(|a, b| a.3.partial_cmp(&b.3).expect("Q-values finite"))
             .copied()
             .expect("proposals is non-empty");
-        let (app, state, action, _) = chosen;
+        let (app, state, action, q_value) = chosen;
         let target = CoreId::new(action);
+        if platform.trace_enabled() {
+            // The chosen agent's full Q-row doubles as the decision logits.
+            platform.trace_emit(trace::TraceEvent::Decision {
+                at: platform.now(),
+                app: Some(app),
+                target: Some(target),
+                score: f64::from(q_value),
+                logits: (0..NUM_ACTIONS)
+                    .map(|a| self.qtable.value(state, a))
+                    .collect(),
+            });
+        }
         let moved = snapshots
             .iter()
             .find(|s| s.id == app)
@@ -220,6 +232,10 @@ impl Policy for TopRlGovernor {
     fn on_tick(&mut self, platform: &mut Platform) {
         let now = platform.now();
         if now.is_multiple_of(EPOCH) && platform.app_count() > 0 {
+            platform.trace_emit(trace::TraceEvent::EpochTick {
+                at: now,
+                epoch: self.stats.epochs,
+            });
             self.migration_epoch(platform);
             self.dvfs_skip = 2;
         }

@@ -1,0 +1,222 @@
+//! Trace diffing: locate the first divergence between two runs.
+//!
+//! When a golden-trace check fails, the hash alone says only *that* the
+//! runs differ. [`TraceDiff`] walks two event streams in lockstep and
+//! reports the first index at which they disagree, the epoch it happened
+//! in, and both events — usually enough to localize a regression to one
+//! subsystem (a DVFS step, one decision, a fault) without rerunning.
+
+use std::fmt::Write as _;
+
+use hmc_types::SimTime;
+
+use crate::event::TraceEvent;
+use crate::recorder::TraceLog;
+
+/// The first point at which two traces disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Index into the retained event streams (0-based).
+    pub index: usize,
+    /// The last `EpochTick` counter seen at or before the divergence
+    /// (`None` if the streams diverged before the first epoch).
+    pub epoch: Option<u64>,
+    /// Simulated instant of the divergence.
+    pub at: SimTime,
+    /// The left run's event at `index` (`None`: left stream ended early).
+    pub left: Option<TraceEvent>,
+    /// The right run's event at `index` (`None`: right stream ended early).
+    pub right: Option<TraceEvent>,
+}
+
+/// Compares two trace logs event by event.
+///
+/// # Examples
+///
+/// ```
+/// use hmc_types::SimTime;
+/// use trace::{TraceConfig, TraceDiff, TraceEvent};
+///
+/// let mut a = TraceConfig::decisions().recorder().unwrap();
+/// let mut b = TraceConfig::decisions().recorder().unwrap();
+/// for r in [&mut a, &mut b] {
+///     r.record(TraceEvent::EpochTick { at: SimTime::ZERO, epoch: 0 });
+/// }
+/// b.record(TraceEvent::EpochTick { at: SimTime::from_millis(500), epoch: 1 });
+/// let (a, b) = (a.finish(), b.finish());
+/// let d = TraceDiff::new(&a, &b).first_divergence().unwrap();
+/// assert_eq!(d.index, 1);
+/// assert_eq!(d.epoch, Some(0));
+/// assert!(d.left.is_none());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TraceDiff<'a> {
+    left: &'a TraceLog,
+    right: &'a TraceLog,
+}
+
+impl<'a> TraceDiff<'a> {
+    /// Pairs two logs for comparison.
+    pub fn new(left: &'a TraceLog, right: &'a TraceLog) -> Self {
+        TraceDiff { left, right }
+    }
+
+    /// Whether the two runs are identical (by full-stream hash, so
+    /// ring-dropped prefixes count too).
+    pub fn identical(&self) -> bool {
+        self.left.hash == self.right.hash
+    }
+
+    /// Finds the first index at which the retained streams disagree, or
+    /// `None` if they are element-wise identical (note: if both rings
+    /// dropped events, an early divergence may have been rotated out; the
+    /// hash comparison in [`identical`](Self::identical) still catches it).
+    pub fn first_divergence(&self) -> Option<Divergence> {
+        let mut epoch = None;
+        let n = self.left.events.len().max(self.right.events.len());
+        for i in 0..n {
+            let l = self.left.events.get(i);
+            let r = self.right.events.get(i);
+            if l == r {
+                if let Some(TraceEvent::EpochTick { epoch: e, .. }) = l {
+                    epoch = Some(*e);
+                }
+                continue;
+            }
+            let at = l.or(r).map(TraceEvent::at).unwrap_or(SimTime::ZERO);
+            return Some(Divergence {
+                index: i,
+                epoch,
+                at,
+                left: l.cloned(),
+                right: r.cloned(),
+            });
+        }
+        None
+    }
+
+    /// A human-readable report: hash summary, then the first divergence
+    /// with both events, or a note that the retained windows match.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "left:  hash={} events={} (emitted {}, dropped {})",
+            self.left.hash,
+            self.left.events.len(),
+            self.left.emitted,
+            self.left.dropped
+        );
+        let _ = writeln!(
+            out,
+            "right: hash={} events={} (emitted {}, dropped {})",
+            self.right.hash,
+            self.right.events.len(),
+            self.right.emitted,
+            self.right.dropped
+        );
+        if self.identical() {
+            out.push_str("traces identical\n");
+            return out;
+        }
+        match self.first_divergence() {
+            Some(d) => {
+                let epoch = d
+                    .epoch
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "pre-epoch".into());
+                let _ = writeln!(
+                    out,
+                    "first divergence at event #{} (epoch {}, t={} ms):",
+                    d.index,
+                    epoch,
+                    d.at.as_nanos() / 1_000_000
+                );
+                let _ = writeln!(out, "  left:  {}", describe(d.left.as_ref()));
+                let _ = writeln!(out, "  right: {}", describe(d.right.as_ref()));
+            }
+            None => {
+                out.push_str("retained windows identical; divergence is in ring-dropped prefix\n");
+            }
+        }
+        out
+    }
+}
+
+fn describe(e: Option<&TraceEvent>) -> String {
+    match e {
+        None => "<stream ended>".into(),
+        Some(e) => format!("{e:?}"),
+    }
+}
+
+/// Convenience: the epoch of the first divergence between two logs, or
+/// `None` when they match.
+pub fn first_diverging_epoch(left: &TraceLog, right: &TraceLog) -> Option<Option<u64>> {
+    TraceDiff::new(left, right)
+        .first_divergence()
+        .map(|d| d.epoch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::recorder::TraceConfig;
+
+    fn tick(ms: u64, epoch: u64) -> TraceEvent {
+        TraceEvent::EpochTick {
+            at: SimTime::from_millis(ms),
+            epoch,
+        }
+    }
+
+    #[test]
+    fn identical_traces_have_no_divergence() {
+        let mut a = TraceConfig::decisions().recorder().unwrap();
+        let mut b = TraceConfig::decisions().recorder().unwrap();
+        for i in 0..4 {
+            a.record(tick(i * 500, i));
+            b.record(tick(i * 500, i));
+        }
+        let (a, b) = (a.finish(), b.finish());
+        let diff = TraceDiff::new(&a, &b);
+        assert!(diff.identical());
+        assert!(diff.first_divergence().is_none());
+        assert!(diff.report().contains("traces identical"));
+    }
+
+    #[test]
+    fn divergence_reports_epoch_and_index() {
+        let mut a = TraceConfig::decisions().recorder().unwrap();
+        let mut b = TraceConfig::decisions().recorder().unwrap();
+        for i in 0..3 {
+            a.record(tick(i * 500, i));
+            b.record(tick(i * 500, i));
+        }
+        a.record(TraceEvent::Fault {
+            at: SimTime::from_millis(1600),
+            kind: crate::event::FaultKind::DvfsReject,
+        });
+        b.record(TraceEvent::Fault {
+            at: SimTime::from_millis(1600),
+            kind: crate::event::FaultKind::DvfsDelay,
+        });
+        let (a, b) = (a.finish(), b.finish());
+        let d = TraceDiff::new(&a, &b).first_divergence().unwrap();
+        assert_eq!(d.index, 3);
+        assert_eq!(d.epoch, Some(2));
+        assert_eq!(d.at, SimTime::from_millis(1600));
+        let report = TraceDiff::new(&a, &b).report();
+        assert!(report.contains("first divergence at event #3"), "{report}");
+        assert!(report.contains("epoch 2"), "{report}");
+        assert_eq!(first_diverging_epoch(&a, &b), Some(Some(2)));
+    }
+
+    #[test]
+    fn kind_display_used_in_filtering() {
+        // EventKind names are the export contract; sanity-check one here
+        // so diff output and export columns agree.
+        assert_eq!(EventKind::Migration.name(), "migration");
+    }
+}

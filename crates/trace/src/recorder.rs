@@ -1,0 +1,278 @@
+//! The trace recorder: granularity filtering, incremental hashing, and the
+//! bounded event ring.
+
+use hmc_types::{SimDuration, SimTime};
+
+use crate::event::{EventKind, TraceEvent};
+use crate::hash::{Fnv64, TraceHash};
+use crate::ring::RingBuffer;
+
+/// How much of the event vocabulary a run records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceGranularity {
+    /// Tracing disabled: no recorder is constructed, emission is a no-op.
+    #[default]
+    Off,
+    /// Control-plane events only: epochs, decisions, migrations, DVFS
+    /// transitions, NPU jobs, faults, application lifecycle, run end.
+    Decisions,
+    /// Everything in `Decisions` plus periodic QoS and thermal samples.
+    Full,
+}
+
+/// Configuration of the tracing subsystem for one run.
+///
+/// # Examples
+///
+/// ```
+/// use trace::{TraceConfig, TraceGranularity};
+/// let config = TraceConfig::full();
+/// assert_eq!(config.granularity, TraceGranularity::Full);
+/// assert!(TraceConfig::off().recorder().is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// What to record.
+    pub granularity: TraceGranularity,
+    /// Ring-buffer capacity (events kept in memory; the hash covers the
+    /// full stream regardless).
+    pub capacity: usize,
+    /// Interval between periodic QoS/thermal samples (`Full` granularity).
+    pub sample_interval: SimDuration,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::off()
+    }
+}
+
+impl TraceConfig {
+    /// Default ring capacity.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// Tracing disabled (the default).
+    pub fn off() -> Self {
+        TraceConfig {
+            granularity: TraceGranularity::Off,
+            capacity: Self::DEFAULT_CAPACITY,
+            sample_interval: SimDuration::from_millis(50),
+        }
+    }
+
+    /// Control-plane events only.
+    pub fn decisions() -> Self {
+        TraceConfig {
+            granularity: TraceGranularity::Decisions,
+            ..Self::off()
+        }
+    }
+
+    /// Everything, sampled at the default 50 ms interval.
+    pub fn full() -> Self {
+        TraceConfig {
+            granularity: TraceGranularity::Full,
+            ..Self::off()
+        }
+    }
+
+    /// Whether this configuration records `kind`.
+    pub fn accepts(&self, kind: EventKind) -> bool {
+        match self.granularity {
+            TraceGranularity::Off => false,
+            TraceGranularity::Decisions => {
+                !matches!(kind, EventKind::QosSample | EventKind::ThermalSample)
+            }
+            TraceGranularity::Full => true,
+        }
+    }
+
+    /// Builds a recorder, or `None` when tracing is off.
+    pub fn recorder(self) -> Option<TraceRecorder> {
+        match self.granularity {
+            TraceGranularity::Off => None,
+            _ => Some(TraceRecorder::new(self)),
+        }
+    }
+}
+
+/// The finalized trace of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceLog {
+    /// The recorded events, oldest first (at most the ring capacity; when
+    /// `dropped > 0` the head of the stream was overwritten).
+    pub events: Vec<TraceEvent>,
+    /// Stable hash over the *entire* accepted event stream, including
+    /// events later overwritten in the ring.
+    pub hash: TraceHash,
+    /// Total events accepted by the granularity filter.
+    pub emitted: u64,
+    /// Events overwritten in the ring (memory bound exceeded).
+    pub dropped: u64,
+}
+
+impl TraceLog {
+    /// Number of `EpochTick` events in the retained window.
+    pub fn epochs(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.kind() == EventKind::EpochTick)
+            .count() as u64
+    }
+}
+
+/// Records accepted events into a bounded ring while hashing the full
+/// stream incrementally.
+///
+/// # Examples
+///
+/// ```
+/// use hmc_types::SimTime;
+/// use trace::{TraceConfig, TraceEvent};
+///
+/// let mut recorder = TraceConfig::decisions().recorder().unwrap();
+/// recorder.record(TraceEvent::EpochTick { at: SimTime::ZERO, epoch: 0 });
+/// let log = recorder.finish();
+/// assert_eq!(log.emitted, 1);
+/// assert_eq!(log.dropped, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    config: TraceConfig,
+    ring: RingBuffer<TraceEvent>,
+    hasher: Fnv64,
+    emitted: u64,
+    dropped: u64,
+    last_at: SimTime,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's granularity is `Off` (use
+    /// [`TraceConfig::recorder`]) or its capacity is zero.
+    pub fn new(config: TraceConfig) -> Self {
+        assert!(
+            config.granularity != TraceGranularity::Off,
+            "recorder for disabled tracing"
+        );
+        TraceRecorder {
+            config,
+            ring: RingBuffer::new(config.capacity),
+            hasher: Fnv64::new(),
+            emitted: 0,
+            dropped: 0,
+            last_at: SimTime::ZERO,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// Records one event (dropped silently if the granularity filter
+    /// rejects its kind). Events must be emitted in nondecreasing
+    /// `SimTime` order; violations panic in debug builds.
+    pub fn record(&mut self, event: TraceEvent) {
+        if !self.config.accepts(event.kind()) {
+            return;
+        }
+        debug_assert!(
+            event.at() >= self.last_at,
+            "trace events must be monotone in SimTime: {:?} after {}",
+            event,
+            self.last_at,
+        );
+        self.last_at = event.at();
+        event.hash_into(&mut self.hasher);
+        self.emitted += 1;
+        if self.ring.push(event).is_some() {
+            self.dropped += 1;
+        }
+    }
+
+    /// The hash over everything accepted so far.
+    pub fn hash(&self) -> TraceHash {
+        TraceHash::new(self.hasher.finish())
+    }
+
+    /// Events accepted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Finalizes into a [`TraceLog`].
+    pub fn finish(self) -> TraceLog {
+        TraceLog {
+            hash: TraceHash::new(self.hasher.finish()),
+            emitted: self.emitted,
+            dropped: self.dropped,
+            events: self.ring.into_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick(ms: u64, epoch: u64) -> TraceEvent {
+        TraceEvent::EpochTick {
+            at: SimTime::from_millis(ms),
+            epoch,
+        }
+    }
+
+    #[test]
+    fn granularity_filters_samples() {
+        let decisions = TraceConfig::decisions();
+        assert!(decisions.accepts(EventKind::Migration));
+        assert!(!decisions.accepts(EventKind::QosSample));
+        assert!(!decisions.accepts(EventKind::ThermalSample));
+        let full = TraceConfig::full();
+        assert!(full.accepts(EventKind::QosSample));
+        assert!(!TraceConfig::off().accepts(EventKind::Migration));
+    }
+
+    #[test]
+    fn hash_covers_overwritten_events() {
+        let config = TraceConfig {
+            capacity: 2,
+            ..TraceConfig::decisions()
+        };
+        let mut bounded = TraceRecorder::new(config);
+        let mut unbounded = TraceConfig::decisions().recorder().unwrap();
+        for i in 0..10 {
+            bounded.record(tick(i, i));
+            unbounded.record(tick(i, i));
+        }
+        let bounded = bounded.finish();
+        let unbounded = unbounded.finish();
+        assert_eq!(bounded.hash, unbounded.hash, "hash is ring-independent");
+        assert_eq!(bounded.events.len(), 2);
+        assert_eq!(bounded.dropped, 8);
+        assert_eq!(bounded.emitted, 10);
+        assert_eq!(unbounded.dropped, 0);
+    }
+
+    #[test]
+    fn epochs_counts_ticks() {
+        let mut r = TraceConfig::decisions().recorder().unwrap();
+        for i in 0..3 {
+            r.record(tick(i * 500, i));
+        }
+        assert_eq!(r.finish().epochs(), 3);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "monotone")]
+    fn out_of_order_events_panic_in_debug() {
+        let mut r = TraceConfig::decisions().recorder().unwrap();
+        r.record(tick(100, 0));
+        r.record(tick(50, 1));
+    }
+}

@@ -1,0 +1,113 @@
+//! A bounded ring buffer for trace events.
+//!
+//! The simulator records into a fixed-capacity ring so that tracing has a
+//! hard memory bound regardless of run length: once full, the oldest
+//! events are overwritten (the trace hash still covers the full stream —
+//! it is computed incrementally as events are accepted, not from the
+//! buffer).
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity FIFO that overwrites its oldest element when full.
+///
+/// # Examples
+///
+/// ```
+/// use trace::RingBuffer;
+/// let mut ring = RingBuffer::new(2);
+/// assert_eq!(ring.push(1), None);
+/// assert_eq!(ring.push(2), None);
+/// assert_eq!(ring.push(3), Some(1)); // capacity reached: 1 is dropped
+/// assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingBuffer<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates a ring holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingBuffer {
+            buf: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+        }
+    }
+
+    /// Appends an element, returning the overwritten oldest element if the
+    /// ring was full.
+    pub fn push(&mut self, value: T) -> Option<T> {
+        let dropped = if self.buf.len() == self.capacity {
+            self.buf.pop_front()
+        } else {
+            None
+        };
+        self.buf.push_back(value);
+        dropped
+    }
+
+    /// Number of elements currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The maximum number of elements held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Consumes the ring, yielding elements oldest to newest.
+    pub fn into_vec(self) -> Vec<T> {
+        self.buf.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_below_capacity() {
+        let mut ring = RingBuffer::new(8);
+        for i in 0..5 {
+            assert_eq!(ring.push(i), None);
+        }
+        assert_eq!(ring.len(), 5);
+        assert_eq!(
+            ring.iter().copied().collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let mut ring = RingBuffer::new(3);
+        for i in 0..7 {
+            ring.push(i);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.into_vec(), vec![4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = RingBuffer::<u8>::new(0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the ring buffer, the recorder, and the trace
+//! hash.
+
+use hmc_types::SimTime;
+use proptest::prelude::*;
+use trace::{EventKind, FaultKind, RingBuffer, TraceConfig, TraceEvent, TraceRecorder};
+
+fn tick(ms: u64, epoch: u64) -> TraceEvent {
+    TraceEvent::EpochTick {
+        at: SimTime::from_millis(ms),
+        epoch,
+    }
+}
+
+proptest! {
+    /// Below capacity the ring never drops; above, it holds exactly the
+    /// newest `capacity` items in order and reports every overwrite.
+    #[test]
+    fn ring_drops_only_above_capacity(capacity in 1usize..64, n in 0usize..256) {
+        let mut ring = RingBuffer::new(capacity);
+        let mut overwritten = Vec::new();
+        for i in 0..n {
+            if let Some(old) = ring.push(i) {
+                overwritten.push(old);
+            }
+        }
+        prop_assert_eq!(ring.len(), n.min(capacity));
+        prop_assert_eq!(overwritten.len(), n.saturating_sub(capacity));
+        // The retained window is the newest `capacity` items, in push
+        // order; the overwritten prefix is the oldest items, in order.
+        let kept: Vec<usize> = ring.into_vec();
+        let expected: Vec<usize> = (n.saturating_sub(capacity)..n).collect();
+        prop_assert_eq!(kept, expected);
+        let expected_overwritten: Vec<usize> = (0..n.saturating_sub(capacity)).collect();
+        prop_assert_eq!(overwritten, expected_overwritten);
+    }
+
+    /// The recorder accepts every monotone stream, counts it exactly, and
+    /// its hash is independent of the ring capacity.
+    #[test]
+    fn recorder_hash_is_capacity_independent(
+        capacity in 1usize..32,
+        deltas in proptest::collection::vec(0u64..400, 1..128),
+    ) {
+        let bounded_config = TraceConfig { capacity, ..TraceConfig::decisions() };
+        let mut bounded = TraceRecorder::new(bounded_config);
+        let mut unbounded = TraceConfig::decisions().recorder().unwrap();
+        let mut t = 0;
+        for (i, delta) in deltas.iter().enumerate() {
+            t += delta;
+            bounded.record(tick(t, i as u64));
+            unbounded.record(tick(t, i as u64));
+        }
+        let n = deltas.len() as u64;
+        let (bounded, unbounded) = (bounded.finish(), unbounded.finish());
+        prop_assert_eq!(bounded.hash, unbounded.hash);
+        prop_assert_eq!(bounded.emitted, n);
+        prop_assert_eq!(unbounded.emitted, n);
+        prop_assert_eq!(bounded.dropped, n.saturating_sub(capacity as u64));
+        prop_assert_eq!(unbounded.dropped, 0);
+        // The retained window is itself monotone in SimTime.
+        let mut last = SimTime::ZERO;
+        for event in &bounded.events {
+            prop_assert!(event.at() >= last);
+            last = event.at();
+        }
+    }
+
+    /// Any single-field perturbation of a stream changes its hash: the
+    /// hash is sensitive to event order, payload, and count.
+    #[test]
+    fn hash_is_sensitive_to_any_change(n in 2usize..32, flip in 0usize..32) {
+        let flip = flip % n;
+        let record_all = |mutate: bool| {
+            let mut r = TraceConfig::decisions().recorder().unwrap();
+            for i in 0..n {
+                let epoch = if mutate && i == flip { 999 } else { i as u64 };
+                r.record(tick(i as u64 * 500, epoch));
+            }
+            r.finish()
+        };
+        let baseline = record_all(false);
+        let mutated = record_all(true);
+        prop_assert_ne!(baseline.hash, mutated.hash);
+        // And the same stream re-recorded hashes identically.
+        prop_assert_eq!(baseline.hash, record_all(false).hash);
+    }
+
+    /// Granularity filtering never changes what a *coarser* stream hashes
+    /// to: a Decisions recorder fed a Full stream hashes exactly like a
+    /// Decisions recorder fed the pre-filtered stream.
+    #[test]
+    fn decisions_hash_ignores_samples(n in 1usize..32) {
+        let sample = |ms| TraceEvent::ThermalSample {
+            at: SimTime::from_millis(ms),
+            sensor: hmc_types::Celsius::new(42.0),
+            throttling: false,
+        };
+        let mut noisy = TraceConfig::decisions().recorder().unwrap();
+        let mut clean = TraceConfig::decisions().recorder().unwrap();
+        for i in 0..n {
+            let ms = i as u64 * 500;
+            noisy.record(tick(ms, i as u64));
+            noisy.record(sample(ms));
+            clean.record(tick(ms, i as u64));
+        }
+        let (noisy, clean) = (noisy.finish(), clean.finish());
+        prop_assert_eq!(noisy.hash, clean.hash);
+        prop_assert_eq!(noisy.emitted, clean.emitted);
+        prop_assert!(!noisy.events.iter().any(|e| e.kind() == EventKind::ThermalSample));
+    }
+}
+
+/// Known-answer pin of the canonical event encoding: if this hash moves,
+/// every committed golden fixture is invalidated — bump them deliberately
+/// (`BLESS=1`) and mention the format change in the commit.
+#[test]
+fn hash_known_answer() {
+    let mut r = TraceConfig::decisions().recorder().unwrap();
+    r.record(tick(0, 0));
+    r.record(TraceEvent::Fault {
+        at: SimTime::from_millis(100),
+        kind: FaultKind::SensorDropout,
+    });
+    let log = r.finish();
+    assert_eq!(
+        log.hash.to_string(),
+        expected_known_answer(),
+        "canonical event encoding changed"
+    );
+}
+
+fn expected_known_answer() -> String {
+    // Recompute the FNV-1a stream by hand: discriminant 0, t=0, epoch=0,
+    // then discriminant 7, t=100ms, fault code 0.
+    let mut h = trace::Fnv64::new();
+    h.write_u8(0);
+    h.write_u64(0);
+    h.write_u64(0);
+    h.write_u8(7);
+    h.write_u64(100_000_000);
+    h.write_u8(0);
+    format!("{:016x}", h.finish())
+}

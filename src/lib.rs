@@ -15,6 +15,7 @@
 //! | [`topil`] | the paper's contribution: IL migration + DVFS governor |
 //! | [`toprl`] | the multi-agent Q-learning baseline |
 //! | [`governors`] | GTS/ondemand and GTS/powersave baselines |
+//! | [`trace`] | structured epoch-level event tracing + golden-run hashing |
 //!
 //! # Quickstart
 //!
@@ -43,6 +44,7 @@ pub use npu;
 pub use thermal;
 pub use topil;
 pub use toprl;
+pub use trace;
 pub use workloads;
 
 /// The most common imports for working with the stack.
@@ -60,5 +62,6 @@ pub mod prelude {
     pub use topil::training::{IlModel, IlTrainer, TrainSettings};
     pub use topil::TopIlGovernor;
     pub use toprl::TopRlGovernor;
+    pub use trace::{TraceConfig, TraceDiff, TraceEvent, TraceGranularity, TraceHash, TraceLog};
     pub use workloads::{Benchmark, MixedWorkloadConfig, QosSpec, Workload, WorkloadGenerator};
 }

@@ -1,0 +1,203 @@
+//! Shared infrastructure of the trace test suites: the canonical traced
+//! runs, golden-fixture I/O with `BLESS=1` regeneration, and the RNG
+//! fingerprint that gates fixtures blessed under a different `StdRng`
+//! implementation (the offline build substitutes a stub stream).
+
+#![allow(dead_code)]
+
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use top_il::prelude::*;
+use top_il::trace::Fnv64;
+use top_il::workloads::ArrivalSpec;
+
+/// Fingerprint of the ambient `StdRng` stream. Golden fixtures for
+/// RNG-sensitive governors record this value; a fixture blessed under a
+/// different stream (e.g. the offline stub) is skipped, not failed.
+pub fn rng_fingerprint() -> String {
+    let mut rng = StdRng::seed_from_u64(0x51D);
+    let mut hasher = Fnv64::new();
+    for _ in 0..8 {
+        hasher.write_u64(rng.next_u64());
+    }
+    format!("{:016x}", hasher.finish())
+}
+
+/// Fingerprint sentinel for runs that draw no random numbers at all.
+pub const FINGERPRINT_ANY: &str = "any";
+
+/// The fixed, RNG-free workload every golden run uses: three staggered
+/// applications whose optimal mappings differ (adi wants big, seidel-2d
+/// wants LITTLE).
+pub fn golden_workload() -> Workload {
+    Workload::new(vec![
+        ArrivalSpec {
+            at: SimTime::ZERO,
+            benchmark: Benchmark::Adi,
+            qos: QosSpec::FractionOfMaxBig(0.3),
+            total_instructions: Some(6_000_000_000),
+        },
+        ArrivalSpec {
+            at: SimTime::from_millis(500),
+            benchmark: Benchmark::SeidelTwoD,
+            qos: QosSpec::FractionOfMaxBig(0.25),
+            total_instructions: Some(5_000_000_000),
+        },
+        ArrivalSpec {
+            at: SimTime::from_secs(1),
+            benchmark: Benchmark::Syr2k,
+            qos: QosSpec::FractionOfMaxBig(0.3),
+            total_instructions: Some(6_000_000_000),
+        },
+    ])
+}
+
+/// The shared simulation configuration of every golden run: fixed 10 s,
+/// full-granularity tracing, pristine hardware.
+pub fn golden_sim() -> SimConfig {
+    SimConfig {
+        max_duration: SimDuration::from_secs(10),
+        stop_when_idle: false,
+        trace: TraceConfig::full(),
+        ..SimConfig::default()
+    }
+}
+
+/// A quickly trained IL model (same budget as the determinism suite).
+pub fn quick_model(seed: u64) -> IlModel {
+    let scenarios = Scenario::standard_set(6, 9);
+    let mut settings = TrainSettings::default();
+    settings.nn.max_epochs = 30;
+    IlTrainer::new(settings).train(&scenarios, seed)
+}
+
+/// One parsed golden fixture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fixture {
+    /// Policy name as reported by the run.
+    pub policy: String,
+    /// Expected trace hash (16 hex digits).
+    pub hash: String,
+    /// Expected number of accepted events.
+    pub events: u64,
+    /// RNG fingerprint the fixture was blessed under, or `any`.
+    pub fingerprint: String,
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn parse_fixture(name: &str, contents: &str) -> Fixture {
+    let mut policy = None;
+    let mut hash = None;
+    let mut events = None;
+    let mut fingerprint = None;
+    for line in contents.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .unwrap_or_else(|| panic!("malformed fixture line in {name}: {line:?}"));
+        match key {
+            "policy" => policy = Some(value.to_string()),
+            "hash" => hash = Some(value.to_string()),
+            "events" => events = Some(value.parse().expect("events must be a number")),
+            "fingerprint" => fingerprint = Some(value.to_string()),
+            other => panic!("unknown fixture key in {name}: {other:?}"),
+        }
+    }
+    Fixture {
+        policy: policy.unwrap_or_else(|| panic!("fixture {name} misses `policy`")),
+        hash: hash.unwrap_or_else(|| panic!("fixture {name} misses `hash`")),
+        events: events.unwrap_or_else(|| panic!("fixture {name} misses `events`")),
+        fingerprint: fingerprint.unwrap_or_else(|| panic!("fixture {name} misses `fingerprint`")),
+    }
+}
+
+fn render_fixture(fixture: &Fixture) -> String {
+    format!(
+        "# Golden trace fixture — regenerate with: BLESS=1 cargo test --test golden_traces\n\
+         policy={}\nhash={}\nevents={}\nfingerprint={}\n",
+        fixture.policy, fixture.hash, fixture.events, fixture.fingerprint
+    )
+}
+
+/// Runs `run` and compares its trace against `tests/golden/<name>.golden`.
+///
+/// * `BLESS=1` rewrites the fixture from the current run instead.
+/// * `rng_sensitive` marks runs whose trace depends on the `StdRng`
+///   stream (model training, ε-greedy exploration); their fixtures are
+///   skipped under a different stream rather than failed.
+/// * On a mismatch the run is repeated: if the rerun diverges too, the
+///   failure is in-process nondeterminism and the report pinpoints the
+///   first diverging epoch; otherwise the behavior drifted from the
+///   fixture and the message says how to re-bless.
+pub fn check_golden(name: &str, rng_sensitive: bool, run: impl Fn() -> RunReport) {
+    let path = golden_dir().join(format!("{name}.golden"));
+    let report = run();
+    let log = report.events.as_ref().expect("golden runs enable tracing");
+    let fingerprint = if rng_sensitive {
+        rng_fingerprint()
+    } else {
+        FINGERPRINT_ANY.to_string()
+    };
+
+    if std::env::var("BLESS").is_ok_and(|v| v == "1") {
+        let fixture = Fixture {
+            policy: report.policy.clone(),
+            hash: log.hash.to_string(),
+            events: log.emitted,
+            fingerprint,
+        };
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, render_fixture(&fixture)).expect("write fixture");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+
+    let contents = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); generate it with \
+             `BLESS=1 cargo test --test golden_traces`",
+            path.display()
+        )
+    });
+    let fixture = parse_fixture(name, &contents);
+    if fixture.fingerprint != FINGERPRINT_ANY && fixture.fingerprint != fingerprint {
+        eprintln!(
+            "skipping golden trace {name}: fixture blessed under StdRng fingerprint \
+             {}, current stream is {fingerprint}",
+            fixture.fingerprint
+        );
+        return;
+    }
+
+    let got_hash = log.hash.to_string();
+    if fixture.hash == got_hash && fixture.events == log.emitted {
+        return;
+    }
+
+    // Mismatch: a rerun separates nondeterminism from behavior drift.
+    let rerun = run();
+    let rerun_log = rerun.events.as_ref().expect("golden runs enable tracing");
+    if rerun_log.hash != log.hash {
+        let diff = top_il::trace::TraceDiff::new(log, rerun_log);
+        panic!(
+            "golden trace {name} is nondeterministic: two identical runs diverged.\n{}",
+            diff.report()
+        );
+    }
+    panic!(
+        "golden trace mismatch for {name} ({}):\n  fixture: hash {} ({} events)\n  \
+         current: hash {got_hash} ({} events)\nIf the behavior change is intentional, \
+         re-bless with `BLESS=1 cargo test --test golden_traces`.",
+        report.policy, fixture.hash, fixture.events, log.emitted
+    );
+}

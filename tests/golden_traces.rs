@@ -1,0 +1,61 @@
+//! Golden-trace regression suite: every governor runs the same fixed
+//! workload under full-granularity tracing, and the resulting trace hash
+//! must match the committed fixture in `tests/golden/`.
+//!
+//! Regenerate fixtures after an intentional behavior change with:
+//!
+//! ```text
+//! BLESS=1 cargo test --test golden_traces
+//! ```
+//!
+//! Fixtures of RNG-sensitive governors (TOP-IL trains a network, TOP-RL
+//! explores ε-greedily) additionally record the `StdRng` stream
+//! fingerprint they were blessed under and are skipped — with a notice —
+//! under a different stream, so they stay portable across the offline
+//! stub RNG and the real dependency.
+
+mod common;
+
+use common::{check_golden, golden_sim, golden_workload, quick_model};
+use top_il::prelude::*;
+use top_il::topil::oracle_governor::OracleGovernor;
+
+#[test]
+fn golden_trace_topil() {
+    check_golden("topil", true, || {
+        let mut governor = TopIlGovernor::new(quick_model(0));
+        Simulator::new(golden_sim()).run(&golden_workload(), &mut governor)
+    });
+}
+
+#[test]
+fn golden_trace_toprl() {
+    check_golden("toprl", true, || {
+        let mut governor = TopRlGovernor::new(7);
+        Simulator::new(golden_sim()).run(&golden_workload(), &mut governor)
+    });
+}
+
+#[test]
+fn golden_trace_gts_ondemand() {
+    check_golden("gts_ondemand", false, || {
+        let mut governor = LinuxGovernor::gts_ondemand();
+        Simulator::new(golden_sim()).run(&golden_workload(), &mut governor)
+    });
+}
+
+#[test]
+fn golden_trace_gts_powersave() {
+    check_golden("gts_powersave", false, || {
+        let mut governor = LinuxGovernor::gts_powersave();
+        Simulator::new(golden_sim()).run(&golden_workload(), &mut governor)
+    });
+}
+
+#[test]
+fn golden_trace_oracle() {
+    check_golden("oracle", false, || {
+        let mut governor = OracleGovernor::new(Cooling::fan());
+        Simulator::new(golden_sim()).run(&golden_workload(), &mut governor)
+    });
+}

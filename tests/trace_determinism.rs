@@ -1,0 +1,132 @@
+//! Tracing must be an observer, not a participant: identical seeds and
+//! configurations produce bit-identical trace hashes, and switching
+//! tracing on or off changes nothing about the simulation itself — even
+//! with fault injection active.
+
+mod common;
+
+use common::{golden_sim, golden_workload, quick_model};
+use faults::FaultPlan;
+use top_il::prelude::*;
+
+/// A fault plan with every domain active (nonzero rates).
+fn noisy_plan() -> FaultPlan {
+    let mut plan = FaultPlan::none(11);
+    plan.npu.failure_rate = 0.3;
+    plan.npu.timeout_rate = 0.1;
+    plan.sensor.dropout_rate = 0.05;
+    plan.sensor.spike_rate = 0.02;
+    plan.dvfs.reject_rate = 0.05;
+    plan
+}
+
+#[test]
+fn same_seed_same_trace_hash() {
+    let run = || {
+        let mut governor = LinuxGovernor::gts_ondemand();
+        Simulator::new(golden_sim()).run(&golden_workload(), &mut governor)
+    };
+    let a = run().events.expect("tracing on");
+    let b = run().events.expect("tracing on");
+    assert_eq!(a.hash, b.hash, "identical runs must hash identically");
+    assert_eq!(a.emitted, b.emitted);
+}
+
+#[test]
+fn same_seed_same_trace_hash_under_faults() {
+    let model = quick_model(0);
+    let sim = SimConfig {
+        fault_plan: Some(noisy_plan()),
+        ..golden_sim()
+    };
+    let run = || {
+        let mut governor = TopIlGovernor::new(model.clone()).with_fault_plan(noisy_plan());
+        Simulator::new(sim).run(&golden_workload(), &mut governor)
+    };
+    let a = run().events.expect("tracing on");
+    let b = run().events.expect("tracing on");
+    assert_eq!(
+        a.hash, b.hash,
+        "fault streams are seeded: hashes must match"
+    );
+    assert!(
+        a.events
+            .iter()
+            .any(|e| e.kind() == top_il::trace::EventKind::Fault),
+        "the noisy plan must surface as Fault events"
+    );
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let model = quick_model(0);
+    let run = |trace: TraceConfig| {
+        let sim = SimConfig {
+            trace,
+            ..golden_sim()
+        };
+        let mut governor = TopIlGovernor::new(model.clone());
+        Simulator::new(sim).run(&golden_workload(), &mut governor)
+    };
+    let traced = run(TraceConfig::full());
+    let untraced = run(TraceConfig::off());
+    assert_eq!(
+        traced.metrics, untraced.metrics,
+        "enabling tracing must not change a single metric"
+    );
+    assert!(traced.events.is_some());
+    assert!(untraced.events.is_none());
+}
+
+#[test]
+fn tracing_does_not_perturb_faulty_runs() {
+    // The stricter variant: with faults active, any accidental RNG draw
+    // or timing shift on the tracing path would desynchronize the fault
+    // schedule and change the metrics.
+    let model = quick_model(1);
+    let run = |trace: TraceConfig| {
+        let sim = SimConfig {
+            fault_plan: Some(noisy_plan()),
+            trace,
+            ..golden_sim()
+        };
+        let mut governor = TopIlGovernor::new(model.clone()).with_fault_plan(noisy_plan());
+        Simulator::new(sim).run(&golden_workload(), &mut governor)
+    };
+    let traced = run(TraceConfig::full());
+    let decisions = run(TraceConfig::decisions());
+    let untraced = run(TraceConfig::off());
+    assert_eq!(traced.metrics, untraced.metrics);
+    assert_eq!(decisions.metrics, untraced.metrics);
+    // Decisions granularity is a strict filter of Full: fewer events,
+    // never more.
+    let full_log = traced.events.expect("full tracing on");
+    let dec_log = decisions.events.expect("decision tracing on");
+    assert!(dec_log.emitted < full_log.emitted);
+    assert!(!dec_log.events.iter().any(|e| matches!(
+        e.kind(),
+        top_il::trace::EventKind::QosSample | top_il::trace::EventKind::ThermalSample
+    )));
+}
+
+#[test]
+fn different_seeds_diverge_and_diff_pinpoints_the_epoch() {
+    // Not a determinism requirement per se, but the tooling contract: two
+    // different RL exploration seeds must produce different traces, and
+    // `TraceDiff` reports the first diverging epoch.
+    let run = |seed| {
+        let mut governor = TopRlGovernor::new(seed);
+        Simulator::new(golden_sim()).run(&golden_workload(), &mut governor)
+    };
+    let a = run(1).events.expect("tracing on");
+    let b = run(2).events.expect("tracing on");
+    assert_ne!(a.hash, b.hash, "different exploration seeds must diverge");
+    let diff = TraceDiff::new(&a, &b);
+    assert!(!diff.identical());
+    let divergence = diff.first_divergence().expect("streams differ");
+    assert!(
+        divergence.left.is_some() || divergence.right.is_some(),
+        "divergence must carry at least one event"
+    );
+    assert!(diff.report().contains("diverge"));
+}

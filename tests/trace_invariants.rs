@@ -1,0 +1,177 @@
+//! Cross-governor trace invariants: for every policy in the stack, the
+//! recorded event stream must be internally consistent (monotone time,
+//! decisions before migrations) and must exactly reconstruct the
+//! aggregates the run report publishes (energy, violation time,
+//! migrations) — the property that makes traces trustworthy evidence.
+
+mod common;
+
+use common::{golden_sim, golden_workload, quick_model};
+use top_il::prelude::*;
+use top_il::topil::oracle_governor::OracleGovernor;
+use top_il::trace::{EventKind, TraceEvent, TraceLog};
+
+/// Runs every governor on the shared workload and returns `(name, report)`.
+fn all_governor_reports() -> Vec<(&'static str, RunReport)> {
+    let sim = Simulator::new(golden_sim());
+    let workload = golden_workload();
+    vec![
+        (
+            "TOP-IL",
+            sim.run(&workload, &mut TopIlGovernor::new(quick_model(0))),
+        ),
+        ("TOP-RL", sim.run(&workload, &mut TopRlGovernor::new(3))),
+        (
+            "GTS/ondemand",
+            sim.run(&workload, &mut LinuxGovernor::gts_ondemand()),
+        ),
+        (
+            "GTS/powersave",
+            sim.run(&workload, &mut LinuxGovernor::gts_powersave()),
+        ),
+        (
+            "Oracle",
+            sim.run(&workload, &mut OracleGovernor::new(Cooling::fan())),
+        ),
+    ]
+}
+
+fn log_of(report: &RunReport) -> &TraceLog {
+    report
+        .events
+        .as_ref()
+        .expect("tracing enabled in golden_sim")
+}
+
+#[test]
+fn timestamps_are_monotone_for_every_governor() {
+    for (name, report) in all_governor_reports() {
+        let log = log_of(&report);
+        assert_eq!(log.dropped, 0, "{name}: ring must not drop at this scale");
+        let mut last = SimTime::ZERO;
+        for event in &log.events {
+            assert!(
+                event.at() >= last,
+                "{name}: event at {:?} before previous {:?}",
+                event.at(),
+                last
+            );
+            last = event.at();
+        }
+    }
+}
+
+#[test]
+fn every_migration_is_preceded_by_a_decision_in_the_same_epoch() {
+    for (name, report) in all_governor_reports() {
+        let log = log_of(&report);
+        let mut decisions_this_epoch = 0usize;
+        let mut saw_epoch = false;
+        for event in &log.events {
+            match event {
+                TraceEvent::EpochTick { .. } => {
+                    decisions_this_epoch = 0;
+                    saw_epoch = true;
+                }
+                TraceEvent::Decision { .. } => decisions_this_epoch += 1,
+                TraceEvent::Migration { .. } => {
+                    assert!(
+                        decisions_this_epoch > 0,
+                        "{name}: migration at {:?} without a preceding decision \
+                         in its epoch",
+                        event.at()
+                    );
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_epoch, "{name}: the run must contain epoch ticks");
+    }
+}
+
+#[test]
+fn aggregates_are_reconstructible_from_the_trace() {
+    for (name, report) in all_governor_reports() {
+        let log = log_of(&report);
+        assert_eq!(
+            log.dropped, 0,
+            "{name}: reconstruction needs the full stream"
+        );
+
+        // Migrations: one event per actually executed migration.
+        let migration_events = log
+            .events
+            .iter()
+            .filter(|e| e.kind() == EventKind::Migration)
+            .count() as u64;
+        assert_eq!(
+            migration_events,
+            report.metrics.migrations(),
+            "{name}: migration events must match the metric"
+        );
+
+        // Completions: one AppCompleted per outcome, with matching totals.
+        let completions: Vec<&TraceEvent> = log
+            .events
+            .iter()
+            .filter(|e| e.kind() == EventKind::AppCompleted)
+            .collect();
+        assert_eq!(
+            completions.len(),
+            report.metrics.outcomes().len(),
+            "{name}: one completion event per application outcome"
+        );
+        let traced_violation: f64 = completions
+            .iter()
+            .map(|e| match e {
+                TraceEvent::AppCompleted { violation_time, .. } => violation_time.as_secs_f64(),
+                _ => unreachable!("filtered above"),
+            })
+            .sum();
+        let metric_violation: f64 = report
+            .metrics
+            .outcomes()
+            .iter()
+            .map(|o| o.violation_time.as_secs_f64())
+            .sum();
+        assert!(
+            (traced_violation - metric_violation).abs() < 1e-12,
+            "{name}: violation time {traced_violation} vs metric {metric_violation}"
+        );
+
+        // The RunEnd footer repeats the final aggregates verbatim.
+        let end = log.events.last().expect("non-empty trace");
+        match end {
+            TraceEvent::RunEnd {
+                energy,
+                violation_time,
+                migrations,
+                ..
+            } => {
+                assert_eq!(*migrations, report.metrics.migrations(), "{name}");
+                assert!(
+                    (energy.value() - report.metrics.energy().value()).abs() < 1e-12,
+                    "{name}: RunEnd energy {energy:?} vs {:?}",
+                    report.metrics.energy()
+                );
+                assert!(
+                    (violation_time.as_secs_f64() - metric_violation).abs() < 1e-12,
+                    "{name}: RunEnd violation time mismatch"
+                );
+            }
+            other => panic!("{name}: last event must be RunEnd, got {other:?}"),
+        }
+
+        // Admissions: every application entered the trace.
+        let admissions = log
+            .events
+            .iter()
+            .filter(|e| e.kind() == EventKind::AppAdmitted)
+            .count();
+        assert_eq!(
+            admissions,
+            report.metrics.outcomes().len(),
+            "{name}: one admission per outcome"
+        );
+    }
+}
