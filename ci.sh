@@ -7,3 +7,23 @@ cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q -p trace
 cargo test --workspace -q
+
+# Crash-recovery gate: an interrupted sweep, resumed, must reproduce the
+# uninterrupted run's CSV (incl. per-point trace hashes) byte-for-byte.
+cargo build --release -q -p bench --bin experiments
+ckpt_tmp="$(mktemp -d)"
+trap 'rm -rf "$ckpt_tmp"' EXIT
+experiments=target/release/experiments
+"$experiments" sweep --points 2 --state "$ckpt_tmp/ref-state" --out "$ckpt_tmp/ref" >/dev/null
+set +e
+TOPIL_SWEEP_CRASH_AFTER=1 "$experiments" sweep --points 2 \
+    --state "$ckpt_tmp/state" --out "$ckpt_tmp/resumed" >/dev/null
+status=$?
+set -e
+if [ "$status" -ne 130 ]; then
+    echo "crash-recovery gate: expected exit 130 from interrupted sweep, got $status" >&2
+    exit 1
+fi
+"$experiments" sweep --points 2 --state "$ckpt_tmp/state" --out "$ckpt_tmp/resumed" >/dev/null
+diff "$ckpt_tmp/ref/sweep.csv" "$ckpt_tmp/resumed/sweep.csv"
+echo "crash-recovery gate passed"

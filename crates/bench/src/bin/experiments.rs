@@ -11,25 +11,37 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use bench::error::BenchError;
 use bench::harness::{train_artifacts, Effort, TrainedArtifacts};
 use thermal::Cooling;
 
-/// Writes a CSV artifact if an output directory was requested.
-fn write_csv(out: &Option<PathBuf>, name: &str, contents: String) {
-    let Some(dir) = out else { return };
-    if let Err(e) =
-        std::fs::create_dir_all(dir).and_then(|()| std::fs::write(dir.join(name), contents))
-    {
-        eprintln!("failed to write {name}: {e}");
+/// Writes a CSV artifact if an output directory was requested; a failure
+/// names the offending file.
+fn write_csv(out: &Option<PathBuf>, name: &str, contents: String) -> Result<(), BenchError> {
+    let Some(dir) = out else { return Ok(()) };
+    bench::error::write_file(&dir.join(name), &contents)
+}
+
+/// Reports (but does not abort on) a failed artifact write.
+fn report_csv(result: Result<(), BenchError>) {
+    if let Err(e) = result {
+        eprintln!("warning: {e}");
     }
 }
 
 const USAGE: &str = "\
-usage: experiments [--full] [--out <dir>] [COMMAND ...]
+usage: experiments [--full] [--out <dir>] [--state <dir>] [--points <n>] [COMMAND ...]
 
 Regenerates the paper's evaluation artifacts. Without a command (or with
 `all`) the whole suite runs. `--full` uses paper-scale parameters;
-`--out <dir>` additionally writes CSV data series.
+`--out <dir>` additionally writes CSV data series. `--state <dir>` holds
+checkpoint snapshots for the resumable commands (`sweep`, `train`);
+`--points <n>` truncates the sweep grid to its first n points.
+
+Interrupted `sweep` and `train` runs exit with status 130 and resume from
+their newest valid snapshot when rerun with the same --state directory.
+TOPIL_SWEEP_CRASH_AFTER=<n> / TOPIL_TRAIN_CRASH_AFTER=<n> simulate a crash
+after n points/epochs (used by the CI crash-recovery check).
 
 commands:
   fig1         motivational example (optimal mapping differs per app)
@@ -47,7 +59,9 @@ commands:
   sensitivity  extension: thermal-calibration perturbations
   robustness   extension: fault-rate sweep vs. the degradation ladder
   traces       structured event traces per governor (JSONL/CSV via --out)
-  all          everything above
+  sweep        crash-safe resumable robustness sweep (uses --state)
+  train        crash-safe resumable IL training (uses --state)
+  all          everything above except sweep and train
 ";
 
 fn main() {
@@ -60,18 +74,24 @@ fn main() {
         return;
     }
     let full = args.iter().any(|a| a == "--full");
-    let out: Option<PathBuf> = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from);
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let out: Option<PathBuf> = flag_value("--out").map(PathBuf::from);
+    let state: Option<PathBuf> = flag_value("--state").map(PathBuf::from);
+    let points: Option<usize> = flag_value("--points").and_then(|v| v.parse().ok());
     let effort = if full { Effort::Full } else { Effort::Quick };
-    // Positional arguments are commands; skip flags and the --out value.
-    let out_index = args.iter().position(|a| a == "--out");
+    // Positional arguments are commands; skip flags and their values.
+    let value_indices: Vec<usize> = ["--out", "--state", "--points"]
+        .iter()
+        .filter_map(|f| args.iter().position(|a| a == f).map(|i| i + 1))
+        .collect();
     let commands: Vec<&str> = args
         .iter()
         .enumerate()
-        .filter(|&(i, a)| !a.starts_with("--") && Some(i) != out_index.map(|o| o + 1))
+        .filter(|&(i, a)| !a.starts_with("--") && !value_indices.contains(&i))
         .map(|(_, a)| a.as_str())
         .collect();
     let commands: Vec<&str> = if commands.is_empty() || commands.contains(&"all") {
@@ -134,14 +154,18 @@ fn main() {
                 let artifacts = artifacts.as_ref().expect("trained");
                 let fan = bench::fig8::run(artifacts, effort, Cooling::fan());
                 println!("{fan}");
-                write_csv(&out, "fig8_fan.csv", bench::csv::fig8_csv(&fan));
+                report_csv(write_csv(&out, "fig8_fan.csv", bench::csv::fig8_csv(&fan)));
                 let nofan = bench::fig8::run(artifacts, effort, Cooling::passive());
                 println!("{nofan}");
-                write_csv(&out, "fig8_nofan.csv", bench::csv::fig8_csv(&nofan));
+                report_csv(write_csv(
+                    &out,
+                    "fig8_nofan.csv",
+                    bench::csv::fig8_csv(&nofan),
+                ));
                 // Fig. 9 is derived from the no-fan runs of Fig. 8.
                 let fig9 = bench::fig9::run(&nofan);
                 println!("{fig9}");
-                write_csv(&out, "fig9.csv", bench::csv::fig9_csv(&fig9));
+                report_csv(write_csv(&out, "fig9.csv", bench::csv::fig9_csv(&fig9)));
             }
             "fig9" => {
                 let artifacts = artifacts.as_ref().expect("trained");
@@ -151,12 +175,12 @@ fn main() {
             "fig10" => {
                 let report = bench::fig10::run(artifacts.as_ref().expect("trained"), effort);
                 println!("{report}");
-                write_csv(&out, "fig10.csv", bench::csv::fig10_csv(&report));
+                report_csv(write_csv(&out, "fig10.csv", bench::csv::fig10_csv(&report)));
             }
             "fig11" => {
                 let report = bench::fig11::run(artifacts.as_ref().expect("trained"));
                 println!("{report}");
-                write_csv(&out, "fig11.csv", bench::csv::fig11_csv(&report));
+                report_csv(write_csv(&out, "fig11.csv", bench::csv::fig11_csv(&report)));
             }
             "model-eval" => println!(
                 "{}",
@@ -170,24 +194,140 @@ fn main() {
             "sensitivity" => {
                 let report = bench::sensitivity::run(artifacts.as_ref().expect("trained"), effort);
                 println!("{report}");
-                write_csv(
+                report_csv(write_csv(
                     &out,
                     "sensitivity.csv",
                     bench::csv::sensitivity_csv(&report),
-                );
+                ));
             }
             "robustness" => {
                 let report = bench::robustness::run(effort);
                 println!("{report}");
-                write_csv(&out, "robustness.csv", bench::csv::robustness_csv(&report));
+                report_csv(write_csv(
+                    &out,
+                    "robustness.csv",
+                    bench::csv::robustness_csv(&report),
+                ));
             }
             "traces" => {
                 let report = bench::traces::run(artifacts.as_ref().expect("trained"));
                 println!("{report}");
                 for dump in &report.dumps {
                     let slug = dump.slug();
-                    write_csv(&out, &format!("trace_{slug}.jsonl"), dump.jsonl());
-                    write_csv(&out, &format!("trace_{slug}.csv"), dump.csv());
+                    report_csv(write_csv(
+                        &out,
+                        &format!("trace_{slug}.jsonl"),
+                        dump.jsonl(),
+                    ));
+                    report_csv(write_csv(&out, &format!("trace_{slug}.csv"), dump.csv()));
+                }
+            }
+            "sweep" => {
+                let model = bench::robustness::sweep_model(effort);
+                let state = state
+                    .clone()
+                    .unwrap_or_else(|| PathBuf::from("sweep-state"));
+                let mut config = bench::sweep::SweepConfig {
+                    effort,
+                    ..bench::sweep::SweepConfig::default()
+                };
+                if let Some(n) = points {
+                    config.grid = Some(bench::sweep::default_grid().into_iter().take(n).collect());
+                }
+                let hooks = bench::sweep::SweepHooks {
+                    crash_after_points: std::env::var("TOPIL_SWEEP_CRASH_AFTER")
+                        .ok()
+                        .and_then(|v| v.parse().ok()),
+                    ..bench::sweep::SweepHooks::default()
+                };
+                match bench::sweep::run_sweep(&model, &config, &state, &hooks, None) {
+                    Ok(outcome) => {
+                        if let Some(seq) = outcome.resumed_from_seq {
+                            println!("resumed from manifest snapshot {seq}");
+                        }
+                        if outcome.corrupt_skipped > 0 {
+                            println!(
+                                "skipped {} corrupt snapshot(s) during recovery",
+                                outcome.corrupt_skipped
+                            );
+                        }
+                        if let Some(reason) = &outcome.discarded {
+                            println!("discarded stale manifest: {reason}");
+                        }
+                        println!(
+                            "ran {} point(s); {} quarantined",
+                            outcome.points_run,
+                            outcome.manifest.quarantined()
+                        );
+                        if outcome.completed {
+                            let csv = bench::sweep::sweep_csv(&outcome.manifest);
+                            print!("{csv}");
+                            report_csv(write_csv(&out, "sweep.csv", csv));
+                        } else {
+                            println!("sweep interrupted; rerun with the same --state to resume");
+                            std::process::exit(130);
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("sweep failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "train" => {
+                let state = state
+                    .clone()
+                    .unwrap_or_else(|| PathBuf::from("train-state"));
+                let trainer = bench::harness::il_trainer(effort);
+                let scenarios = topil::oracle::Scenario::standard_set(
+                    effort.scenario_count().min(20),
+                    0xC0FFEE,
+                );
+                let cases = trainer.collect_cases(&scenarios);
+                let interrupt = std::env::var("TOPIL_TRAIN_CRASH_AFTER")
+                    .ok()
+                    .and_then(|v| v.parse().ok());
+                match trainer.train_checkpointed(
+                    &cases,
+                    0,
+                    &state,
+                    &topil::CkptConfig::default(),
+                    interrupt,
+                    None,
+                ) {
+                    Ok(outcome) => {
+                        if let Some(seq) = outcome.resumed_from_seq {
+                            println!("resumed from training snapshot {seq}");
+                        }
+                        if let Some(reason) = &outcome.discarded {
+                            println!("discarded stale snapshot: {reason}");
+                        }
+                        println!(
+                            "{} epoch(s) recorded, {} snapshot(s) written",
+                            outcome.report.train_losses.len(),
+                            outcome.snapshots_written
+                        );
+                        if let Some(model) = outcome.model {
+                            if let Some(dir) = &out {
+                                let path = dir.join("il-model.bin");
+                                match std::fs::create_dir_all(dir).and_then(|()| model.save(&path))
+                                {
+                                    Ok(()) => println!("model written to {}", path.display()),
+                                    Err(e) => eprintln!(
+                                        "warning: failed to write {}: {e}",
+                                        path.display()
+                                    ),
+                                }
+                            }
+                        } else {
+                            println!("training interrupted; rerun with the same --state to resume");
+                            std::process::exit(130);
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("training failed: {e}");
+                        std::process::exit(1);
+                    }
                 }
             }
             other => {

@@ -1,0 +1,109 @@
+//! Typed errors for bench I/O and sweep supervision.
+//!
+//! Every filesystem failure names the offending file, so a failed
+//! multi-hour sweep tells the operator *which* artifact could not be
+//! written instead of panicking on an anonymous `unwrap`.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use checkpoint::CheckpointError;
+
+/// Errors of the bench harness's persistent side (CSV artifacts, sweep
+/// checkpoints).
+#[derive(Debug)]
+pub enum BenchError {
+    /// A filesystem operation failed on `path`.
+    Io {
+        /// The file or directory the operation targeted.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The sweep's checkpoint store failed.
+    Checkpoint(CheckpointError),
+    /// A sweep manifest decoded but cannot drive this run.
+    Manifest(String),
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Io { path, source } => {
+                write!(f, "I/O error on {}: {source}", path.display())
+            }
+            BenchError::Checkpoint(e) => write!(f, "checkpoint store: {e}"),
+            BenchError::Manifest(detail) => write!(f, "sweep manifest: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Io { source, .. } => Some(source),
+            BenchError::Checkpoint(e) => Some(e),
+            BenchError::Manifest(_) => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for BenchError {
+    fn from(e: CheckpointError) -> Self {
+        BenchError::Checkpoint(e)
+    }
+}
+
+/// Writes `contents` to `path`, creating parent directories; failures name
+/// the file.
+///
+/// # Errors
+///
+/// Returns [`BenchError::Io`] with the offending path.
+pub fn write_file(path: &Path, contents: &str) -> Result<(), BenchError> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(|source| BenchError::Io {
+            path: parent.to_path_buf(),
+            source,
+        })?;
+    }
+    std::fs::write(path, contents).map_err(|source| BenchError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_error_names_the_file() {
+        // A parent that is a regular file fails create_dir_all even as root.
+        let blocker = std::env::temp_dir().join(format!("bench-err-file-{}", std::process::id()));
+        std::fs::write(&blocker, "not a directory").unwrap();
+        let path = blocker.join("sub/file.csv");
+        let err = write_file(&path, "x").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("bench-err-file-"), "{msg}");
+        assert!(std::error::Error::source(&err).is_some());
+        std::fs::remove_file(&blocker).ok();
+    }
+
+    #[test]
+    fn write_file_creates_parents() {
+        let dir = std::env::temp_dir().join(format!("bench-err-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("a/b/out.csv");
+        write_file(&path, "hello").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "hello");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_errors_convert() {
+        let e = checkpoint::CheckpointStore::open("/proc/no-such/dir", "k", 1).unwrap_err();
+        let b: BenchError = e.into();
+        assert!(b.to_string().contains("checkpoint store"));
+    }
+}

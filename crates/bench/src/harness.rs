@@ -106,6 +106,15 @@ pub fn train_artifacts(effort: Effort) -> TrainedArtifacts {
     }
 }
 
+/// An [`IlTrainer`] configured for the given effort level.
+pub fn il_trainer(effort: Effort) -> IlTrainer {
+    let settings = TrainSettings {
+        nn: effort.train_config(),
+        ..TrainSettings::default()
+    };
+    IlTrainer::new(settings)
+}
+
 /// Trains only the IL side (for experiments that do not involve RL).
 pub fn train_il_models(effort: Effort) -> Vec<IlModel> {
     let scenarios = Scenario::standard_set(effort.scenario_count(), 0xC0FFEE);

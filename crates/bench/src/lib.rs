@@ -10,6 +10,7 @@
 
 pub mod ablations;
 pub mod csv;
+pub mod error;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;
@@ -24,4 +25,5 @@ pub mod model_eval;
 pub mod oracle_gap;
 pub mod robustness;
 pub mod sensitivity;
+pub mod sweep;
 pub mod traces;

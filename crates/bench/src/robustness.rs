@@ -119,6 +119,30 @@ pub fn run_point(
     ladder: bool,
     effort: Effort,
 ) -> RobustnessPoint {
+    run_point_traced(
+        model,
+        npu_failure_rate,
+        sensor_dropout_rate,
+        ladder,
+        effort,
+        17,
+        trace::TraceConfig::off(),
+    )
+    .0
+}
+
+/// Runs one fault point with an explicit workload seed and event tracing —
+/// the sweep supervisor's entry point, whose trace hash certifies that a
+/// resumed sweep reproduces the uninterrupted run bit-for-bit.
+pub fn run_point_traced(
+    model: IlModel,
+    npu_failure_rate: f64,
+    sensor_dropout_rate: f64,
+    ladder: bool,
+    effort: Effort,
+    workload_seed: u64,
+    trace: trace::TraceConfig,
+) -> (RobustnessPoint, Option<trace::TraceHash>) {
     let mut plan = FaultPlan::none(0xFA0175);
     plan.npu.failure_rate = npu_failure_rate;
     plan.sensor.dropout_rate = sensor_dropout_rate;
@@ -133,10 +157,12 @@ pub fn run_point(
         total_instructions: Some(effort.app_instructions()),
         ..MixedWorkloadConfig::default()
     };
-    let workload = WorkloadGenerator::mixed(&workload_cfg, &mut StdRng::seed_from_u64(17));
+    let workload =
+        WorkloadGenerator::mixed(&workload_cfg, &mut StdRng::seed_from_u64(workload_seed));
     let sim = SimConfig {
         max_duration: SimDuration::from_secs(1200),
         fault_plan: Some(plan),
+        trace,
         // The unguarded configuration also loses the sensor filter: raw
         // (possibly dropped) samples feed the DTM directly.
         sensor_filter: if ladder {
@@ -147,8 +173,9 @@ pub fn run_point(
         ..SimConfig::default()
     };
     let report = Simulator::new(sim).run(&workload, &mut governor);
+    let hash = report.events.as_ref().map(|log| log.hash);
     let degradation = report.degradation.unwrap_or_default();
-    RobustnessPoint {
+    let point = RobustnessPoint {
         npu_failure_rate,
         sensor_dropout_rate,
         ladder,
@@ -161,17 +188,23 @@ pub fn run_point(
         npu_failures: degradation.npu_failures,
         breaker_opens: degradation.breaker_opens,
         failsafe_events: report.metrics.failsafe_events(),
-    }
+    };
+    (point, hash)
 }
 
-/// Regenerates the full sweep (each fault point, ladder on and off).
-pub fn run(effort: Effort) -> RobustnessReport {
+/// Trains the model the robustness experiments evaluate.
+pub fn sweep_model(effort: Effort) -> IlModel {
     let scenarios = Scenario::standard_set(effort.scenario_count().min(20), 0xC0FFEE);
     let settings = TrainSettings {
         nn: effort.train_config(),
         ..TrainSettings::default()
     };
-    let model = IlTrainer::new(settings).train(&scenarios, 0);
+    IlTrainer::new(settings).train(&scenarios, 0)
+}
+
+/// Regenerates the full sweep (each fault point, ladder on and off).
+pub fn run(effort: Effort) -> RobustnessReport {
+    let model = sweep_model(effort);
 
     let mut points = Vec::new();
     for (npu, dropout) in sweep_grid() {

@@ -1,0 +1,365 @@
+//! A minimal, dependency-free binary codec for snapshot payloads.
+//!
+//! Fixed-width little-endian primitives plus length-prefixed byte strings
+//! and `f32` slices. Every read is bounds-checked: decoding arbitrary
+//! garbage returns a typed [`CodecError`], never a panic or an unbounded
+//! allocation.
+
+use std::fmt;
+
+/// Why a decode failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the requested field.
+    UnexpectedEof {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Offset the read started at.
+        at: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A declared length exceeds the bytes left in the buffer (corrupt or
+    /// adversarial input; checked *before* allocating).
+    LengthOverflow {
+        /// The declared element count.
+        declared: u64,
+        /// Offset of the length field.
+        at: usize,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    BadUtf8 {
+        /// Offset of the string's first byte.
+        at: usize,
+    },
+    /// Trailing bytes remained after the caller expected the end.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof {
+                needed,
+                at,
+                remaining,
+            } => write!(
+                f,
+                "unexpected end of buffer at offset {at}: needed {needed} bytes, {remaining} remain"
+            ),
+            CodecError::LengthOverflow { declared, at } => write!(
+                f,
+                "declared length {declared} at offset {at} exceeds remaining buffer"
+            ),
+            CodecError::BadUtf8 { at } => write!(f, "invalid UTF-8 in string at offset {at}"),
+            CodecError::TrailingBytes { remaining } => {
+                write!(
+                    f,
+                    "{remaining} trailing bytes after expected end of payload"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only encoder producing the byte layout [`Decoder`] reads back.
+///
+/// # Examples
+///
+/// ```
+/// use checkpoint::{Decoder, Encoder};
+///
+/// let mut enc = Encoder::new();
+/// enc.put_u64(42);
+/// enc.put_str("adam");
+/// enc.put_f32s(&[1.0, -2.5]);
+/// let bytes = enc.finish();
+///
+/// let mut dec = Decoder::new(&bytes);
+/// assert_eq!(dec.get_u64().unwrap(), 42);
+/// assert_eq!(dec.get_str().unwrap(), "adam");
+/// assert_eq!(dec.get_f32s().unwrap(), vec![1.0, -2.5]);
+/// dec.expect_end().unwrap();
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Current encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f32` by bit pattern (NaN-payload preserving).
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Appends an `f64` by bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Appends a length-prefixed `f32` slice.
+    pub fn put_f32s(&mut self, v: &[f32]) {
+        self.put_u64(v.len() as u64);
+        for &x in v {
+            self.put_f32(x);
+        }
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked reader over bytes produced by [`Encoder`].
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Wraps `buf` for reading from the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof {
+                needed: n,
+                at: self.pos,
+                remaining: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `usize` stored as `u64`, rejecting values over `usize::MAX`.
+    pub fn get_usize(&mut self) -> Result<usize, CodecError> {
+        let at = self.pos;
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| CodecError::LengthOverflow { declared: v, at })
+    }
+
+    /// Reads an `f32` bit pattern.
+    pub fn get_f32(&mut self) -> Result<f32, CodecError> {
+        Ok(f32::from_bits(self.get_u32()?))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a bool (any nonzero byte is `true`).
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        Ok(self.get_u8()? != 0)
+    }
+
+    /// Reads a length-prefixed byte string. The declared length is checked
+    /// against the remaining buffer before any allocation.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let at = self.pos;
+        let len = self.get_u64()?;
+        if len > self.remaining() as u64 {
+            return Err(CodecError::LengthOverflow { declared: len, at });
+        }
+        self.take(len as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str, CodecError> {
+        let at = self.pos + 8;
+        let bytes = self.get_bytes()?;
+        std::str::from_utf8(bytes).map_err(|_| CodecError::BadUtf8 { at })
+    }
+
+    /// Reads a length-prefixed `f32` slice.
+    pub fn get_f32s(&mut self) -> Result<Vec<f32>, CodecError> {
+        let at = self.pos;
+        let len = self.get_u64()?;
+        match len.checked_mul(4) {
+            Some(bytes) if bytes <= self.remaining() as u64 => {}
+            _ => return Err(CodecError::LengthOverflow { declared: len, at }),
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            out.push(self.get_f32()?);
+        }
+        Ok(out)
+    }
+
+    /// Asserts the buffer is fully consumed.
+    pub fn expect_end(&self) -> Result<(), CodecError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes {
+                remaining: self.remaining(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut enc = Encoder::new();
+        enc.put_u8(7);
+        enc.put_u32(0xDEAD_BEEF);
+        enc.put_u64(u64::MAX);
+        enc.put_usize(123);
+        enc.put_f32(f32::NAN);
+        enc.put_f64(-0.0);
+        enc.put_bool(true);
+        enc.put_bytes(b"raw");
+        enc.put_str("kind");
+        enc.put_f32s(&[1.5, f32::INFINITY]);
+        let bytes = enc.finish();
+
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_u8().unwrap(), 7);
+        assert_eq!(dec.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(dec.get_u64().unwrap(), u64::MAX);
+        assert_eq!(dec.get_usize().unwrap(), 123);
+        assert!(dec.get_f32().unwrap().is_nan());
+        assert_eq!(dec.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(dec.get_bool().unwrap());
+        assert_eq!(dec.get_bytes().unwrap(), b"raw");
+        assert_eq!(dec.get_str().unwrap(), "kind");
+        assert_eq!(dec.get_f32s().unwrap(), vec![1.5, f32::INFINITY]);
+        dec.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_are_typed_errors() {
+        let mut dec = Decoder::new(&[1, 2]);
+        assert!(matches!(
+            dec.get_u32(),
+            Err(CodecError::UnexpectedEof { needed: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn huge_declared_length_is_rejected_before_allocation() {
+        // Length prefix claims u64::MAX bytes follow; only 2 actually do.
+        let mut enc = Encoder::new();
+        enc.put_u64(u64::MAX);
+        let mut bytes = enc.finish();
+        bytes.extend_from_slice(&[0, 0]);
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(
+            dec.get_bytes(),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(
+            dec.get_f32s(),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn non_utf8_string_is_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_bytes(&[0xFF, 0xFE]);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(dec.get_str(), Err(CodecError::BadUtf8 { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_are_reported() {
+        let dec = Decoder::new(&[0]);
+        assert_eq!(
+            dec.expect_end(),
+            Err(CodecError::TrailingBytes { remaining: 1 })
+        );
+    }
+}

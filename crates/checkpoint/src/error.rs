@@ -1,0 +1,78 @@
+//! Store-level error type: every variant names the file involved.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+use crate::snapshot::SnapshotError;
+
+/// Why a [`CheckpointStore`](crate::CheckpointStore) operation failed.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// An I/O operation failed; `path` is the file or directory involved.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A snapshot file existed but failed validation (and no older good
+    /// snapshot was requested — skipped files during fallback are reported
+    /// in [`Recovery::skipped`](crate::Recovery) instead).
+    Invalid {
+        /// The offending file.
+        path: PathBuf,
+        /// The validation failure.
+        source: SnapshotError,
+    },
+    /// A decoded snapshot carried a different kind tag than the store.
+    KindMismatch {
+        /// The offending file.
+        path: PathBuf,
+        /// The store's kind.
+        expected: String,
+        /// The kind found in the file.
+        found: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, source } => {
+                write!(f, "checkpoint I/O error on {}: {source}", path.display())
+            }
+            CheckpointError::Invalid { path, source } => {
+                write!(f, "invalid snapshot {}: {source}", path.display())
+            }
+            CheckpointError::KindMismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "snapshot {} has kind {found:?}, store expects {expected:?}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io { source, .. } => Some(source),
+            CheckpointError::Invalid { source, .. } => Some(source),
+            CheckpointError::KindMismatch { .. } => None,
+        }
+    }
+}
+
+impl CheckpointError {
+    pub(crate) fn io(path: impl Into<PathBuf>, source: io::Error) -> Self {
+        CheckpointError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! FNV-1a 64-bit hashing, hand-rolled so the checksum is stable across
+//! platforms and toolchains (the same constants the `trace` crate uses for
+//! stream hashes).
+
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a hasher over raw bytes.
+#[derive(Debug, Clone)]
+pub(crate) struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    pub(crate) fn new() -> Self {
+        Fnv64 { state: OFFSET }
+    }
+
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a 64-bit hash of `bytes`.
+///
+/// # Examples
+///
+/// ```
+/// assert_ne!(checkpoint::fnv64(b"a"), checkpoint::fnv64(b"b"));
+/// ```
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_offset_basis() {
+        assert_eq!(fnv64(b""), OFFSET);
+    }
+
+    #[test]
+    fn single_byte_change_changes_hash() {
+        let base = b"checkpoint payload".to_vec();
+        let h = fnv64(&base);
+        for i in 0..base.len() {
+            let mut corrupt = base.clone();
+            corrupt[i] ^= 0x01;
+            assert_ne!(fnv64(&corrupt), h, "flip at byte {i} undetected");
+        }
+    }
+}

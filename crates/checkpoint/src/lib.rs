@@ -1,0 +1,46 @@
+//! Crash-safe snapshot storage for long-running jobs.
+//!
+//! Training loops, Q-learning convergence runs, and bench sweeps all hold
+//! state that is expensive to recompute. This crate persists that state as
+//! *snapshots*: self-describing binary blobs with a format version, a kind
+//! tag, a monotonically increasing sequence number, the RNG stream
+//! fingerprint of the producing process, and a trailing FNV-64 checksum
+//! over every preceding byte.
+//!
+//! The [`CheckpointStore`] writes snapshots atomically (write to a
+//! temporary file, fsync, rename into place, fsync the directory), retains
+//! the newest `N` per kind, and on load walks snapshots newest-first,
+//! skipping — and optionally quarantining — any that fail validation, so a
+//! torn write or a flipped bit costs at most one snapshot interval of
+//! work, never the whole run.
+//!
+//! Payload encoding is delegated to callers via the dependency-free
+//! [`codec`] module; the snapshot layer treats payloads as opaque bytes.
+//!
+//! # Examples
+//!
+//! ```
+//! use checkpoint::CheckpointStore;
+//!
+//! let dir = std::env::temp_dir().join(format!("ckpt-doc-{}", std::process::id()));
+//! let mut store = CheckpointStore::open(&dir, "demo", 3).unwrap();
+//! store.save(b"state v1", 0xFEED).unwrap();
+//! store.save(b"state v2", 0xFEED).unwrap();
+//! let recovered = store.load_latest().unwrap();
+//! let snap = recovered.snapshot.unwrap();
+//! assert_eq!(snap.payload, b"state v2");
+//! assert_eq!(snap.rng_fingerprint, 0xFEED);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod codec;
+mod error;
+mod fnv;
+mod snapshot;
+mod store;
+
+pub use codec::{CodecError, Decoder, Encoder};
+pub use error::CheckpointError;
+pub use fnv::fnv64;
+pub use snapshot::{decode_snapshot, encode_snapshot, Snapshot, SnapshotError, FORMAT_VERSION};
+pub use store::{CheckpointStore, Recovery, SavedSnapshot, SkippedSnapshot};

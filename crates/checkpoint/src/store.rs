@@ -1,0 +1,419 @@
+//! The on-disk checkpoint store: atomic writes, retention, and
+//! newest-good-snapshot recovery.
+
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::error::CheckpointError;
+use crate::snapshot::{decode_snapshot, encode_snapshot, Snapshot, SnapshotError};
+
+/// Result of a successful [`CheckpointStore::save`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SavedSnapshot {
+    /// Sequence number assigned to the snapshot.
+    pub seq: u64,
+    /// Final (post-rename) path of the snapshot file.
+    pub path: PathBuf,
+    /// Total encoded size in bytes (header + payload + checksum).
+    pub bytes: u64,
+}
+
+/// A snapshot file that failed validation during recovery and was skipped.
+#[derive(Debug)]
+pub struct SkippedSnapshot {
+    /// The file that failed to load.
+    pub path: PathBuf,
+    /// Why it was rejected.
+    pub error: SnapshotError,
+    /// Where the file was moved, when quarantine is enabled.
+    pub quarantined_to: Option<PathBuf>,
+}
+
+/// Result of [`CheckpointStore::load_latest`]: the newest snapshot that
+/// validated, plus every newer one that had to be skipped.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The recovered snapshot, or `None` if no file validated.
+    pub snapshot: Option<Snapshot>,
+    /// Path the snapshot was loaded from.
+    pub path: Option<PathBuf>,
+    /// Corrupt or unreadable snapshot files skipped, newest first.
+    pub skipped: Vec<SkippedSnapshot>,
+}
+
+impl Recovery {
+    /// Whether recovery had to fall back past at least one bad snapshot.
+    pub fn fell_back(&self) -> bool {
+        !self.skipped.is_empty()
+    }
+}
+
+/// A directory of versioned snapshots for one state kind.
+///
+/// Writes are atomic: the snapshot is written to a temporary file in the
+/// same directory, fsynced, renamed into place, and the directory is
+/// fsynced — a crash at any instant leaves either the old set of
+/// snapshots or the old set plus the complete new one, never a partial
+/// file under a valid name. Temporary files left by a crash are ignored
+/// by recovery (they don't match the snapshot name pattern) and cleaned
+/// up on the next [`open`](CheckpointStore::open).
+///
+/// # Examples
+///
+/// ```
+/// use checkpoint::CheckpointStore;
+///
+/// let dir = std::env::temp_dir().join(format!("ckpt-store-doc-{}", std::process::id()));
+/// let mut store = CheckpointStore::open(&dir, "train", 2).unwrap();
+/// for epoch in 0..3u64 {
+///     store.save(&epoch.to_le_bytes(), 0).unwrap();
+/// }
+/// // Retention keeps the newest 2 snapshots.
+/// assert_eq!(store.snapshot_paths().unwrap().len(), 2);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    kind: String,
+    retain: usize,
+    quarantine: bool,
+    next_seq: u64,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) the store at `dir` for snapshots of
+    /// `kind`, retaining the newest `retain` files (clamped to >= 1).
+    ///
+    /// `kind` must be non-empty and consist of ASCII alphanumerics, `-`,
+    /// or `_` (it is embedded in filenames).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is empty or contains other characters.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        kind: &str,
+        retain: usize,
+    ) -> Result<Self, CheckpointError> {
+        assert!(
+            !kind.is_empty()
+                && kind
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_'),
+            "checkpoint kind {kind:?} must be a nonempty [A-Za-z0-9_-]+ tag"
+        );
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| CheckpointError::io(&dir, e))?;
+        let mut store = CheckpointStore {
+            dir,
+            kind: kind.to_string(),
+            retain: retain.max(1),
+            quarantine: true,
+            next_seq: 0,
+        };
+        store.sweep_temp_files()?;
+        let paths = store.snapshot_paths()?;
+        if let Some(last) = paths.last() {
+            if let Some(seq) = store.parse_seq(last) {
+                store.next_seq = seq + 1;
+            }
+        }
+        Ok(store)
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The snapshot kind this store reads and writes.
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// Sequence number the next [`save`](Self::save) will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Disables (or re-enables) quarantining of corrupt snapshot files
+    /// during recovery. On by default; tests that deliberately corrupt
+    /// files in place turn it off to keep the files where they are.
+    pub fn set_quarantine(&mut self, on: bool) {
+        self.quarantine = on;
+    }
+
+    fn file_name(&self, seq: u64) -> String {
+        format!("{}-{seq:012}.ckpt", self.kind)
+    }
+
+    fn parse_seq(&self, path: &Path) -> Option<u64> {
+        let name = path.file_name()?.to_str()?;
+        let rest = name.strip_prefix(&self.kind)?.strip_prefix('-')?;
+        let digits = rest.strip_suffix(".ckpt")?;
+        if digits.len() != 12 {
+            return None;
+        }
+        digits.parse().ok()
+    }
+
+    /// Paths of this store's snapshot files, oldest first.
+    pub fn snapshot_paths(&self) -> Result<Vec<PathBuf>, CheckpointError> {
+        let entries = fs::read_dir(&self.dir).map_err(|e| CheckpointError::io(&self.dir, e))?;
+        let mut paths: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| CheckpointError::io(&self.dir, e))?;
+            let path = entry.path();
+            if let Some(seq) = self.parse_seq(&path) {
+                paths.push((seq, path));
+            }
+        }
+        paths.sort();
+        Ok(paths.into_iter().map(|(_, p)| p).collect())
+    }
+
+    /// Removes stale temporary files from an interrupted save.
+    fn sweep_temp_files(&self) -> Result<(), CheckpointError> {
+        let entries = fs::read_dir(&self.dir).map_err(|e| CheckpointError::io(&self.dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| CheckpointError::io(&self.dir, e))?;
+            let path = entry.path();
+            let is_temp = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(&format!(".{}-", self.kind)) && n.ends_with(".tmp"));
+            if is_temp {
+                fs::remove_file(&path).map_err(|e| CheckpointError::io(&path, e))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Atomically writes a new snapshot and prunes past the retention
+    /// depth. Returns the assigned sequence number, final path, and size.
+    pub fn save(
+        &mut self,
+        payload: &[u8],
+        rng_fingerprint: u64,
+    ) -> Result<SavedSnapshot, CheckpointError> {
+        let seq = self.next_seq;
+        let bytes = encode_snapshot(&self.kind, seq, rng_fingerprint, payload);
+        let final_path = self.dir.join(self.file_name(seq));
+        let tmp_path = self.dir.join(format!(".{}-{seq:012}.ckpt.tmp", self.kind));
+        {
+            let mut f = File::create(&tmp_path).map_err(|e| CheckpointError::io(&tmp_path, e))?;
+            f.write_all(&bytes)
+                .map_err(|e| CheckpointError::io(&tmp_path, e))?;
+            f.sync_all()
+                .map_err(|e| CheckpointError::io(&tmp_path, e))?;
+        }
+        fs::rename(&tmp_path, &final_path).map_err(|e| CheckpointError::io(&final_path, e))?;
+        // Persist the rename itself: fsync the containing directory.
+        File::open(&self.dir)
+            .and_then(|d| d.sync_all())
+            .map_err(|e| CheckpointError::io(&self.dir, e))?;
+        self.next_seq = seq + 1;
+        self.prune()?;
+        Ok(SavedSnapshot {
+            seq,
+            path: final_path,
+            bytes: bytes.len() as u64,
+        })
+    }
+
+    fn prune(&self) -> Result<(), CheckpointError> {
+        let paths = self.snapshot_paths()?;
+        if paths.len() <= self.retain {
+            return Ok(());
+        }
+        let excess = paths.len() - self.retain;
+        for path in &paths[..excess] {
+            fs::remove_file(path).map_err(|e| CheckpointError::io(path, e))?;
+        }
+        Ok(())
+    }
+
+    /// Loads the newest snapshot that validates, walking backwards past
+    /// corrupt or truncated files (each is recorded in
+    /// [`Recovery::skipped`] and, when quarantine is on, renamed aside
+    /// with a `.corrupt` suffix so it is never retried).
+    ///
+    /// Returns `Ok` with `snapshot: None` when the store holds no usable
+    /// snapshot at all; I/O failures and kind mismatches are hard errors.
+    pub fn load_latest(&mut self) -> Result<Recovery, CheckpointError> {
+        let mut skipped = Vec::new();
+        for path in self.snapshot_paths()?.into_iter().rev() {
+            let bytes = fs::read(&path).map_err(|e| CheckpointError::io(&path, e))?;
+            match decode_snapshot(&bytes) {
+                Ok(snapshot) => {
+                    if snapshot.kind != self.kind {
+                        return Err(CheckpointError::KindMismatch {
+                            path,
+                            expected: self.kind.clone(),
+                            found: snapshot.kind,
+                        });
+                    }
+                    return Ok(Recovery {
+                        snapshot: Some(snapshot),
+                        path: Some(path),
+                        skipped,
+                    });
+                }
+                Err(error) => {
+                    let quarantined_to = if self.quarantine {
+                        let mut target = path.clone().into_os_string();
+                        target.push(".corrupt");
+                        let target = PathBuf::from(target);
+                        fs::rename(&path, &target).map_err(|e| CheckpointError::io(&path, e))?;
+                        Some(target)
+                    } else {
+                        None
+                    };
+                    skipped.push(SkippedSnapshot {
+                        path,
+                        error,
+                        quarantined_to,
+                    });
+                }
+            }
+        }
+        Ok(Recovery {
+            snapshot: None,
+            path: None,
+            skipped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "checkpoint-store-{tag}-{}-{:p}",
+            std::process::id(),
+            &tag
+        ));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let mut store = CheckpointStore::open(&dir, "unit", 3).unwrap();
+        let saved = store.save(b"alpha", 7).unwrap();
+        assert_eq!(saved.seq, 0);
+        assert!(saved.path.ends_with("unit-000000000000.ckpt"));
+        let rec = store.load_latest().unwrap();
+        assert!(!rec.fell_back());
+        let snap = rec.snapshot.unwrap();
+        assert_eq!(snap.payload, b"alpha");
+        assert_eq!(snap.rng_fingerprint, 7);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retention_keeps_newest_n() {
+        let dir = temp_dir("retention");
+        let mut store = CheckpointStore::open(&dir, "unit", 2).unwrap();
+        for i in 0..5u64 {
+            store.save(&i.to_le_bytes(), 0).unwrap();
+        }
+        let paths = store.snapshot_paths().unwrap();
+        assert_eq!(paths.len(), 2);
+        let rec = store.load_latest().unwrap();
+        assert_eq!(rec.snapshot.unwrap().seq, 4);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_continues_sequence() {
+        let dir = temp_dir("reopen");
+        let mut store = CheckpointStore::open(&dir, "unit", 3).unwrap();
+        store.save(b"a", 0).unwrap();
+        store.save(b"b", 0).unwrap();
+        drop(store);
+        let mut store = CheckpointStore::open(&dir, "unit", 3).unwrap();
+        assert_eq!(store.next_seq(), 2);
+        let saved = store.save(b"c", 0).unwrap();
+        assert_eq!(saved.seq, 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_and_quarantines() {
+        let dir = temp_dir("fallback");
+        let mut store = CheckpointStore::open(&dir, "unit", 3).unwrap();
+        store.save(b"good", 0).unwrap();
+        let newest = store.save(b"bad-to-be", 0).unwrap();
+        // Flip one payload byte of the newest snapshot in place.
+        let mut bytes = fs::read(&newest.path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&newest.path, &bytes).unwrap();
+
+        let rec = store.load_latest().unwrap();
+        assert_eq!(rec.snapshot.unwrap().payload, b"good");
+        assert_eq!(rec.skipped.len(), 1);
+        let quarantined = rec.skipped[0].quarantined_to.as_ref().unwrap();
+        assert!(quarantined.exists());
+        assert!(!newest.path.exists(), "corrupt file should be moved aside");
+        // After quarantine a fresh load succeeds with no fallback.
+        let rec = store.load_latest().unwrap();
+        assert!(!rec.fell_back());
+        assert_eq!(rec.snapshot.unwrap().payload, b"good");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_store_recovers_to_none() {
+        let dir = temp_dir("empty");
+        let mut store = CheckpointStore::open(&dir, "unit", 3).unwrap();
+        let rec = store.load_latest().unwrap();
+        assert!(rec.snapshot.is_none());
+        assert!(rec.skipped.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_temp_files_are_swept_on_open() {
+        let dir = temp_dir("sweep");
+        fs::create_dir_all(&dir).unwrap();
+        let stale = dir.join(".unit-000000000007.ckpt.tmp");
+        fs::write(&stale, b"torn").unwrap();
+        let _store = CheckpointStore::open(&dir, "unit", 3).unwrap();
+        assert!(!stale.exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_kind_files_are_ignored() {
+        let dir = temp_dir("foreign");
+        let mut a = CheckpointStore::open(&dir, "alpha", 3).unwrap();
+        let mut b = CheckpointStore::open(&dir, "beta", 3).unwrap();
+        a.save(b"A", 0).unwrap();
+        b.save(b"B", 0).unwrap();
+        assert_eq!(a.load_latest().unwrap().snapshot.unwrap().payload, b"A");
+        assert_eq!(b.load_latest().unwrap().snapshot.unwrap().payload, b"B");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn renamed_foreign_snapshot_is_kind_mismatch() {
+        let dir = temp_dir("kindmismatch");
+        let mut other = CheckpointStore::open(&dir, "other", 3).unwrap();
+        let saved = other.save(b"X", 0).unwrap();
+        let masquerade = dir.join("unit-000000000000.ckpt");
+        fs::rename(&saved.path, &masquerade).unwrap();
+        let mut store = CheckpointStore::open(&dir, "unit", 3).unwrap();
+        assert!(matches!(
+            store.load_latest(),
+            Err(CheckpointError::KindMismatch { .. })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests: snapshot encode/decode identity and checksum
+//! sensitivity over arbitrary payloads.
+
+use checkpoint::{decode_snapshot, encode_snapshot, Decoder, Encoder};
+use proptest::prelude::*;
+
+proptest! {
+    /// Encoding then decoding any snapshot returns every field unchanged.
+    #[test]
+    fn snapshot_encode_decode_identity(
+        seq in 0u64..u64::MAX,
+        fingerprint in 0u64..u64::MAX,
+        payload in proptest::collection::vec(0u8..=255, 0..512),
+        kind_len in 1usize..12,
+    ) {
+        let kind: String = std::iter::repeat('k').take(kind_len).collect();
+        let bytes = encode_snapshot(&kind, seq, fingerprint, &payload);
+        let snap = decode_snapshot(&bytes).unwrap();
+        prop_assert_eq!(snap.kind, kind);
+        prop_assert_eq!(snap.seq, seq);
+        prop_assert_eq!(snap.rng_fingerprint, fingerprint);
+        prop_assert_eq!(snap.payload, payload);
+    }
+
+    /// Flipping any single bit of any byte of an encoded snapshot makes
+    /// decoding fail — the checksum covers header and payload alike.
+    #[test]
+    fn any_single_bit_flip_is_detected(
+        payload in proptest::collection::vec(0u8..=255, 0..128),
+        byte_pick in 0usize..4096,
+        bit in 0u32..8,
+    ) {
+        let bytes = encode_snapshot("prop", 42, 0xF00D, &payload);
+        let i = byte_pick % bytes.len();
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 1u8 << bit;
+        prop_assert!(decode_snapshot(&corrupt).is_err(), "flip bit {bit} of byte {i}");
+    }
+
+    /// Codec primitives survive a round trip through arbitrary values.
+    #[test]
+    fn codec_round_trip_identity(
+        a in 0u64..u64::MAX,
+        b in 0u32..u32::MAX,
+        f in -1.0e30f64..1.0e30,
+        floats in proptest::collection::vec(-1.0e10f32..1.0e10, 0..64),
+        raw in proptest::collection::vec(0u8..=255, 0..64),
+    ) {
+        let mut enc = Encoder::new();
+        enc.put_u64(a);
+        enc.put_u32(b);
+        enc.put_f64(f);
+        enc.put_f32s(&floats);
+        enc.put_bytes(&raw);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        prop_assert_eq!(dec.get_u64().unwrap(), a);
+        prop_assert_eq!(dec.get_u32().unwrap(), b);
+        prop_assert_eq!(dec.get_f64().unwrap().to_bits(), f.to_bits());
+        prop_assert_eq!(dec.get_f32s().unwrap(), floats);
+        prop_assert_eq!(dec.get_bytes().unwrap(), &raw[..]);
+        dec.expect_end().unwrap();
+    }
+
+    /// Decoding arbitrary garbage never panics; it returns a typed error
+    /// (or, vanishingly unlikely, a valid snapshot).
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        let _ = decode_snapshot(&bytes);
+    }
+}

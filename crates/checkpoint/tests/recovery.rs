@@ -1,0 +1,87 @@
+//! Exhaustive corruption-recovery sweep: corrupt **any** single byte of
+//! the newest snapshot and prove the store detects it at load and falls
+//! back to the previous good snapshot without panicking.
+
+use std::fs;
+use std::path::PathBuf;
+
+use checkpoint::CheckpointStore;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("checkpoint-recovery-{tag}-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn corrupt_any_single_byte_falls_back_to_previous_snapshot() {
+    let dir = temp_dir("bytesweep");
+    let mut store = CheckpointStore::open(&dir, "sweep", 4).unwrap();
+    store.set_quarantine(false); // keep corrupt files in place so each iteration can restore them
+    store.save(b"previous good state", 0xABCD).unwrap();
+    let newest = store.save(b"newest state, soon corrupt", 0xABCD).unwrap();
+    let pristine = fs::read(&newest.path).unwrap();
+
+    for i in 0..pristine.len() {
+        let mut corrupt = pristine.clone();
+        corrupt[i] ^= 0x20;
+        fs::write(&newest.path, &corrupt).unwrap();
+
+        let rec = store.load_latest().unwrap();
+        let snap = rec
+            .snapshot
+            .unwrap_or_else(|| panic!("no fallback after corrupting byte {i}"));
+        assert_eq!(
+            snap.payload, b"previous good state",
+            "byte {i}: fallback returned wrong snapshot"
+        );
+        assert_eq!(rec.skipped.len(), 1, "byte {i}: corrupt file not reported");
+    }
+
+    // Restoring the pristine bytes restores the newest snapshot.
+    fs::write(&newest.path, &pristine).unwrap();
+    let rec = store.load_latest().unwrap();
+    assert!(!rec.fell_back());
+    assert_eq!(rec.snapshot.unwrap().payload, b"newest state, soon corrupt");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncation_at_every_length_falls_back() {
+    let dir = temp_dir("truncsweep");
+    let mut store = CheckpointStore::open(&dir, "trunc", 4).unwrap();
+    store.set_quarantine(false);
+    store.save(b"good", 1).unwrap();
+    let newest = store.save(b"torn", 1).unwrap();
+    let pristine = fs::read(&newest.path).unwrap();
+
+    for keep in 0..pristine.len() {
+        fs::write(&newest.path, &pristine[..keep]).unwrap();
+        let rec = store.load_latest().unwrap();
+        assert_eq!(
+            rec.snapshot.unwrap().payload,
+            b"good",
+            "torn write of {keep} bytes not recovered"
+        );
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn all_snapshots_corrupt_recovers_to_none_without_panic() {
+    let dir = temp_dir("allbad");
+    let mut store = CheckpointStore::open(&dir, "allbad", 4).unwrap();
+    store.set_quarantine(false);
+    for i in 0..3u64 {
+        let saved = store.save(&i.to_le_bytes(), 0).unwrap();
+        let mut bytes = fs::read(&saved.path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&saved.path, &bytes).unwrap();
+    }
+    let rec = store.load_latest().unwrap();
+    assert!(rec.snapshot.is_none());
+    assert_eq!(rec.skipped.len(), 3);
+    fs::remove_dir_all(&dir).ok();
+}

@@ -5,12 +5,14 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::plan::FaultPlan;
+use crate::storage::StorageFault;
 
 /// Domain-separation constants mixed into the plan seed so every fault
 /// domain draws from its own stream.
 const NPU_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
 const SENSOR_STREAM: u64 = 0xC2B2_AE3D_27D4_EB4F;
 const DVFS_STREAM: u64 = 0x1656_67B1_9E37_79F9;
+const STORAGE_STREAM: u64 = 0x2545_F491_4F6C_DD1D;
 
 /// Fate drawn for one submitted NPU job.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,6 +57,10 @@ pub struct FaultStats {
     pub dvfs_rejects: u64,
     /// DVFS transitions delayed.
     pub dvfs_delays: u64,
+    /// File writes torn (prefix-only).
+    pub storage_torn_writes: u64,
+    /// File writes hit by a bit flip.
+    pub storage_bit_flips: u64,
 }
 
 impl FaultStats {
@@ -68,6 +74,8 @@ impl FaultStats {
             + self.sensor_spikes
             + self.dvfs_rejects
             + self.dvfs_delays
+            + self.storage_torn_writes
+            + self.storage_bit_flips
     }
 }
 
@@ -81,6 +89,7 @@ pub struct FaultInjector {
     npu_rng: StdRng,
     sensor_rng: StdRng,
     dvfs_rng: StdRng,
+    storage_rng: StdRng,
     /// Active stuck-at episode: (expiry, latched value).
     stuck: Option<(SimTime, f64)>,
     stats: FaultStats,
@@ -94,6 +103,7 @@ impl FaultInjector {
             npu_rng: StdRng::seed_from_u64(plan.seed ^ NPU_STREAM),
             sensor_rng: StdRng::seed_from_u64(plan.seed ^ SENSOR_STREAM),
             dvfs_rng: StdRng::seed_from_u64(plan.seed ^ DVFS_STREAM),
+            storage_rng: StdRng::seed_from_u64(plan.seed ^ STORAGE_STREAM),
             stuck: None,
             stats: FaultStats::default(),
         }
@@ -182,6 +192,28 @@ impl FaultInjector {
         }
         DvfsFault::None
     }
+
+    /// Draws the fate of one file write of `len` bytes. A torn write keeps
+    /// a strict prefix (possibly empty); a bit flip targets a uniformly
+    /// drawn byte and bit. Zero-length writes can only pass through.
+    pub fn storage_write(&mut self, len: usize) -> StorageFault {
+        let cfg = self.plan.storage;
+        if len == 0 {
+            return StorageFault::None;
+        }
+        if cfg.torn_write_rate > 0.0 && self.storage_rng.random::<f64>() < cfg.torn_write_rate {
+            self.stats.storage_torn_writes += 1;
+            let keep = self.storage_rng.random_range(0..len);
+            return StorageFault::TornWrite { keep };
+        }
+        if cfg.bit_flip_rate > 0.0 && self.storage_rng.random::<f64>() < cfg.bit_flip_rate {
+            self.stats.storage_bit_flips += 1;
+            let offset = self.storage_rng.random_range(0..len);
+            let bit = self.storage_rng.random_range(0..8u8);
+            return StorageFault::BitFlip { offset, bit };
+        }
+        StorageFault::None
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +280,50 @@ mod tests {
             );
         }
         assert_eq!(inj.stats().sensor_spikes, 50);
+    }
+
+    #[test]
+    fn certain_storage_faults_always_fire() {
+        let mut plan = FaultPlan::none(5);
+        plan.storage.torn_write_rate = 1.0;
+        let mut inj = FaultInjector::new(plan);
+        match inj.storage_write(100) {
+            StorageFault::TornWrite { keep } => assert!(keep < 100),
+            other => panic!("expected torn write, got {other:?}"),
+        }
+        let mut plan = FaultPlan::none(5);
+        plan.storage.bit_flip_rate = 1.0;
+        let mut inj = FaultInjector::new(plan);
+        match inj.storage_write(100) {
+            StorageFault::BitFlip { offset, bit } => {
+                assert!(offset < 100);
+                assert!(bit < 8);
+            }
+            other => panic!("expected bit flip, got {other:?}"),
+        }
+        assert_eq!(inj.stats().storage_bit_flips, 1);
+    }
+
+    #[test]
+    fn zero_length_writes_pass_through() {
+        let mut plan = FaultPlan::none(5);
+        plan.storage.torn_write_rate = 1.0;
+        plan.storage.bit_flip_rate = 1.0;
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.storage_write(0), StorageFault::None);
+        assert_eq!(inj.stats().total(), 0);
+    }
+
+    #[test]
+    fn storage_schedule_is_deterministic() {
+        let mut plan = FaultPlan::none(77);
+        plan.storage.torn_write_rate = 0.4;
+        plan.storage.bit_flip_rate = 0.4;
+        let mut a = FaultInjector::new(plan);
+        let mut b = FaultInjector::new(plan);
+        for len in 1..200usize {
+            assert_eq!(a.storage_write(len), b.storage_write(len));
+        }
     }
 
     #[test]

@@ -32,6 +32,8 @@
 
 mod injector;
 mod plan;
+mod storage;
 
 pub use injector::{DvfsFault, FaultInjector, FaultStats, NpuFault};
 pub use plan::{DvfsFaultConfig, FaultPlan, NpuFaultConfig, SensorFaultConfig};
+pub use storage::{StorageFault, StorageFaultConfig};

@@ -3,6 +3,8 @@
 use hmc_types::SimDuration;
 use serde::{Deserialize, Serialize};
 
+use crate::storage::StorageFaultConfig;
+
 /// NPU fault model. All rates are per submitted job, in `[0, 1]`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NpuFaultConfig {
@@ -94,6 +96,8 @@ pub struct FaultPlan {
     pub sensor: SensorFaultConfig,
     /// DVFS actuation faults.
     pub dvfs: DvfsFaultConfig,
+    /// Storage faults against checkpoint/snapshot writes.
+    pub storage: StorageFaultConfig,
 }
 
 impl FaultPlan {
@@ -105,6 +109,7 @@ impl FaultPlan {
             npu: NpuFaultConfig::default(),
             sensor: SensorFaultConfig::default(),
             dvfs: DvfsFaultConfig::default(),
+            storage: StorageFaultConfig::default(),
         }
     }
 
@@ -119,6 +124,8 @@ impl FaultPlan {
             && self.sensor.spike_rate == 0.0
             && self.dvfs.reject_rate == 0.0
             && self.dvfs.delay_rate == 0.0
+            && self.storage.torn_write_rate == 0.0
+            && self.storage.bit_flip_rate == 0.0
     }
 }
 
@@ -145,6 +152,9 @@ mod tests {
         assert!(!plan.is_zero());
         let mut plan = FaultPlan::none(0);
         plan.dvfs.reject_rate = 0.5;
+        assert!(!plan.is_zero());
+        let mut plan = FaultPlan::none(0);
+        plan.storage.torn_write_rate = 0.1;
         assert!(!plan.is_zero());
     }
 }

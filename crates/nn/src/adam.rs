@@ -115,6 +115,73 @@ impl Adam {
     pub fn steps(&self) -> u64 {
         self.t
     }
+
+    /// Momentum coefficients `(β₁, β₂)`.
+    pub fn betas(&self) -> (f32, f32) {
+        (self.beta1, self.beta2)
+    }
+
+    /// Numerical-stability epsilon.
+    pub fn epsilon(&self) -> f32 {
+        self.eps
+    }
+
+    /// First and second weight moments, per layer.
+    pub fn weight_moments(&self) -> (&[Matrix], &[Matrix]) {
+        (&self.m_w, &self.v_w)
+    }
+
+    /// First and second bias moments, per layer.
+    pub fn bias_moments(&self) -> (&[Vec<f32>], &[Vec<f32>]) {
+        (&self.m_b, &self.v_b)
+    }
+
+    /// Reconstructs optimizer state captured via the accessors (the
+    /// checkpoint-restore path).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the moment tensors are mutually
+    /// inconsistent (mismatched layer counts or shapes).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_state(
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        t: u64,
+        m_w: Vec<Matrix>,
+        v_w: Vec<Matrix>,
+        m_b: Vec<Vec<f32>>,
+        v_b: Vec<Vec<f32>>,
+    ) -> Result<Adam, String> {
+        if m_w.len() != v_w.len() || m_w.len() != m_b.len() || m_w.len() != v_b.len() {
+            return Err(format!(
+                "inconsistent Adam layer counts: {} / {} / {} / {}",
+                m_w.len(),
+                v_w.len(),
+                m_b.len(),
+                v_b.len()
+            ));
+        }
+        for i in 0..m_w.len() {
+            if m_w[i].rows() != v_w[i].rows() || m_w[i].cols() != v_w[i].cols() {
+                return Err(format!("layer {i}: weight moment shape mismatch"));
+            }
+            if m_b[i].len() != v_b[i].len() || m_b[i].len() != m_w[i].rows() {
+                return Err(format!("layer {i}: bias moment shape mismatch"));
+            }
+        }
+        Ok(Adam {
+            beta1,
+            beta2,
+            eps,
+            t,
+            m_w,
+            v_w,
+            m_b,
+            v_b,
+        })
+    }
 }
 
 #[cfg(test)]

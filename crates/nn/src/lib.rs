@@ -36,11 +36,16 @@ mod matrix;
 mod mlp;
 pub mod nas;
 pub mod persist;
+pub mod resume;
 mod standardize;
 mod train;
 
 pub use adam::Adam;
 pub use matrix::Matrix;
 pub use mlp::{Gradients, Mlp};
+pub use resume::{
+    derive_rng, rng_stream_fingerprint, train_resumable, StateDecodeError, TrainControl,
+    TrainOutcome, TrainState,
+};
 pub use standardize::Standardizer;
 pub use train::{train, Dataset, TrainConfig, TrainReport};

@@ -12,10 +12,116 @@
 //! <biases>
 //! ...
 //! ```
+//!
+//! Readers are hardened against malformed files: truncation, wrong float
+//! counts, absurd layer sizes, and non-finite (NaN/inf) parameters are all
+//! rejected with a typed [`PersistError`] — a corrupted model file must
+//! never load into a silently broken policy.
 
+use std::fmt;
 use std::io::{self, BufRead, Write};
 
 use crate::{Matrix, Mlp, Standardizer};
+
+/// Largest accepted layer width or standardizer width. Real TOP-IL models
+/// are ~64 wide; this cap only exists to reject corrupt headers before
+/// they drive huge allocations.
+pub const MAX_DIMENSION: usize = 1 << 20;
+
+/// Largest accepted number of layer sizes in an `mlp v1` header.
+pub const MAX_LAYERS: usize = 64;
+
+/// Why reading a persisted model failed.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// The file ended before `expected`.
+    Truncated {
+        /// What the reader was looking for.
+        expected: String,
+    },
+    /// A header or token did not parse.
+    BadSyntax {
+        /// What went wrong, including the offending text.
+        detail: String,
+    },
+    /// A float line held the wrong number of values.
+    WrongCount {
+        /// Values the shape demanded.
+        expected: usize,
+        /// Values actually present.
+        found: usize,
+    },
+    /// A weight, bias, mean, or std was NaN or infinite.
+    NonFinite {
+        /// Which section held the value.
+        what: &'static str,
+        /// Zero-based index of the offending value within its line.
+        index: usize,
+    },
+    /// A declared dimension is outside the accepted range.
+    SizeOutOfRange {
+        /// Which dimension.
+        what: &'static str,
+        /// The declared value.
+        value: usize,
+        /// The maximum accepted.
+        max: usize,
+    },
+    /// The values parsed but violate a model invariant (shape mismatch,
+    /// non-positive std, ...).
+    Invalid {
+        /// The invariant violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O error reading model: {e}"),
+            PersistError::Truncated { expected } => {
+                write!(f, "truncated model file: expected {expected}")
+            }
+            PersistError::BadSyntax { detail } => write!(f, "malformed model file: {detail}"),
+            PersistError::WrongCount { expected, found } => {
+                write!(f, "expected {expected} floats, found {found}")
+            }
+            PersistError::NonFinite { what, index } => {
+                write!(f, "non-finite value in {what} at index {index}")
+            }
+            PersistError::SizeOutOfRange { what, value, max } => {
+                write!(f, "{what} {value} out of range (max {max})")
+            }
+            PersistError::Invalid { detail } => write!(f, "invalid model: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<PersistError> for io::Error {
+    fn from(e: PersistError) -> Self {
+        match e {
+            PersistError::Io(inner) => inner,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
 
 /// Writes an [`Mlp`] to `w` in the `mlp v1` text format.
 ///
@@ -42,29 +148,54 @@ pub fn write_mlp<W: Write>(mlp: &Mlp, mut w: W) -> io::Result<()> {
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` on any syntax or shape error.
-pub fn read_mlp<R: BufRead>(r: R) -> io::Result<Mlp> {
+/// Returns a typed [`PersistError`] on truncation, syntax errors,
+/// size/layer-count mismatches, or non-finite parameters.
+pub fn read_mlp<R: BufRead>(r: R) -> Result<Mlp, PersistError> {
     let mut lines = r.lines();
     expect_line(&mut lines, "mlp v1")?;
-    let sizes_line = next_line(&mut lines)?;
+    let sizes_line = next_line(&mut lines, "`sizes` header")?;
     let sizes: Vec<usize> = sizes_line
         .strip_prefix("sizes ")
-        .ok_or_else(|| bad("missing `sizes` header"))?
+        .ok_or_else(|| PersistError::BadSyntax {
+            detail: format!("missing `sizes` header, found `{sizes_line}`"),
+        })?
         .split_whitespace()
-        .map(|t| t.parse().map_err(|_| bad("bad size token")))
-        .collect::<io::Result<_>>()?;
+        .map(|t| {
+            t.parse().map_err(|_| PersistError::BadSyntax {
+                detail: format!("bad size token `{t}`"),
+            })
+        })
+        .collect::<Result<_, _>>()?;
     if sizes.len() < 2 {
-        return Err(bad("need at least two layer sizes"));
+        return Err(PersistError::Invalid {
+            detail: "need at least two layer sizes".to_string(),
+        });
+    }
+    if sizes.len() > MAX_LAYERS {
+        return Err(PersistError::SizeOutOfRange {
+            what: "layer count",
+            value: sizes.len(),
+            max: MAX_LAYERS,
+        });
+    }
+    for &s in &sizes {
+        if s == 0 || s > MAX_DIMENSION {
+            return Err(PersistError::SizeOutOfRange {
+                what: "layer width",
+                value: s,
+                max: MAX_DIMENSION,
+            });
+        }
     }
     let mut layers = Vec::new();
     for i in 0..sizes.len() - 1 {
         expect_line(&mut lines, &format!("layer {i}"))?;
         let (n_out, n_in) = (sizes[i + 1], sizes[i]);
-        let weights = read_floats(&mut lines, n_out * n_in)?;
-        let biases = read_floats(&mut lines, n_out)?;
+        let weights = read_floats(&mut lines, n_out * n_in, "weights")?;
+        let biases = read_floats(&mut lines, n_out, "biases")?;
         layers.push((Matrix::from_flat(n_out, n_in, weights), biases));
     }
-    Mlp::from_layers(layers).map_err(|e| bad(&e))
+    Mlp::from_layers(layers).map_err(|detail| PersistError::Invalid { detail })
 }
 
 /// Writes a [`Standardizer`] (`standardizer v1` format).
@@ -84,19 +215,30 @@ pub fn write_standardizer<W: Write>(s: &Standardizer, mut w: W) -> io::Result<()
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` on any syntax or shape error.
-pub fn read_standardizer<R: BufRead>(r: R) -> io::Result<Standardizer> {
+/// Returns a typed [`PersistError`] on any syntax, shape, or value error.
+pub fn read_standardizer<R: BufRead>(r: R) -> Result<Standardizer, PersistError> {
     let mut lines = r.lines();
     expect_line(&mut lines, "standardizer v1")?;
-    let width_line = next_line(&mut lines)?;
+    let width_line = next_line(&mut lines, "`width` header")?;
     let width: usize = width_line
         .strip_prefix("width ")
-        .ok_or_else(|| bad("missing `width` header"))?
+        .ok_or_else(|| PersistError::BadSyntax {
+            detail: format!("missing `width` header, found `{width_line}`"),
+        })?
         .parse()
-        .map_err(|_| bad("bad width"))?;
-    let mean = read_floats(&mut lines, width)?;
-    let std = read_floats(&mut lines, width)?;
-    Standardizer::from_parts(mean, std).map_err(|e| bad(&e))
+        .map_err(|_| PersistError::BadSyntax {
+            detail: format!("bad width in `{width_line}`"),
+        })?;
+    if width == 0 || width > MAX_DIMENSION {
+        return Err(PersistError::SizeOutOfRange {
+            what: "standardizer width",
+            value: width,
+            max: MAX_DIMENSION,
+        });
+    }
+    let mean = read_floats(&mut lines, width, "mean")?;
+    let std = read_floats(&mut lines, width, "std")?;
+    Standardizer::from_parts(mean, std).map_err(|detail| PersistError::Invalid { detail })
 }
 
 fn write_floats<W: Write>(w: &mut W, values: &[f32]) -> io::Result<()> {
@@ -112,34 +254,48 @@ fn write_floats<W: Write>(w: &mut W, values: &[f32]) -> io::Result<()> {
     writeln!(w)
 }
 
-fn bad(message: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, message.to_string())
-}
-
-fn next_line<B: BufRead>(lines: &mut io::Lines<B>) -> io::Result<String> {
-    lines.next().ok_or_else(|| bad("unexpected end of file"))?
-}
-
-fn expect_line<B: BufRead>(lines: &mut io::Lines<B>, expected: &str) -> io::Result<()> {
-    let line = next_line(lines)?;
-    if line.trim() == expected {
-        Ok(())
-    } else {
-        Err(bad(&format!("expected `{expected}`, found `{line}`")))
+fn next_line<B: BufRead>(lines: &mut io::Lines<B>, expected: &str) -> Result<String, PersistError> {
+    match lines.next() {
+        None => Err(PersistError::Truncated {
+            expected: expected.to_string(),
+        }),
+        Some(line) => Ok(line?),
     }
 }
 
-fn read_floats<B: BufRead>(lines: &mut io::Lines<B>, count: usize) -> io::Result<Vec<f32>> {
-    let line = next_line(lines)?;
+fn expect_line<B: BufRead>(lines: &mut io::Lines<B>, expected: &str) -> Result<(), PersistError> {
+    let line = next_line(lines, expected)?;
+    if line.trim() == expected {
+        Ok(())
+    } else {
+        Err(PersistError::BadSyntax {
+            detail: format!("expected `{expected}`, found `{line}`"),
+        })
+    }
+}
+
+fn read_floats<B: BufRead>(
+    lines: &mut io::Lines<B>,
+    count: usize,
+    what: &'static str,
+) -> Result<Vec<f32>, PersistError> {
+    let line = next_line(lines, what)?;
     let values: Vec<f32> = line
         .split_whitespace()
-        .map(|t| t.parse().map_err(|_| bad("bad float token")))
-        .collect::<io::Result<_>>()?;
+        .map(|t| {
+            t.parse().map_err(|_| PersistError::BadSyntax {
+                detail: format!("bad float token `{t}` in {what}"),
+            })
+        })
+        .collect::<Result<_, _>>()?;
     if values.len() != count {
-        return Err(bad(&format!(
-            "expected {count} floats, found {}",
-            values.len()
-        )));
+        return Err(PersistError::WrongCount {
+            expected: count,
+            found: values.len(),
+        });
+    }
+    if let Some(index) = values.iter().position(|v| !v.is_finite()) {
+        return Err(PersistError::NonFinite { what, index });
     }
     Ok(values)
 }
@@ -150,12 +306,16 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    fn written(mlp: &Mlp) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_mlp(mlp, &mut buf).unwrap();
+        buf
+    }
+
     #[test]
     fn mlp_round_trip_is_exact() {
         let mlp = Mlp::with_topology(21, 4, 64, 8, &mut StdRng::seed_from_u64(3));
-        let mut buf = Vec::new();
-        write_mlp(&mlp, &mut buf).unwrap();
-        let back = read_mlp(io::BufReader::new(&buf[..])).unwrap();
+        let back = read_mlp(io::BufReader::new(&written(&mlp)[..])).unwrap();
         assert_eq!(mlp, back);
     }
 
@@ -173,8 +333,7 @@ mod tests {
     fn rejects_corrupt_input() {
         assert!(read_mlp(io::BufReader::new(&b"not a model"[..])).is_err());
         let mlp = Mlp::new(&[2, 3], &mut StdRng::seed_from_u64(0));
-        let mut buf = Vec::new();
-        write_mlp(&mlp, &mut buf).unwrap();
+        let buf = written(&mlp);
         // Truncate the payload.
         let cut = &buf[..buf.len() / 2];
         assert!(read_mlp(io::BufReader::new(cut)).is_err());
@@ -183,10 +342,128 @@ mod tests {
     #[test]
     fn predictions_survive_round_trip() {
         let mlp = Mlp::with_topology(4, 2, 16, 3, &mut StdRng::seed_from_u64(9));
-        let mut buf = Vec::new();
-        write_mlp(&mlp, &mut buf).unwrap();
-        let back = read_mlp(io::BufReader::new(&buf[..])).unwrap();
+        let back = read_mlp(io::BufReader::new(&written(&mlp)[..])).unwrap();
         let x = [0.5, -0.125, 2.0, -3.5];
         assert_eq!(mlp.forward(&x), back.forward(&x));
+    }
+
+    #[test]
+    fn rejects_nan_weights() {
+        let mlp = Mlp::new(&[2, 2], &mut StdRng::seed_from_u64(1));
+        let text = String::from_utf8(written(&mlp)).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        // Line 3 is the weight row of layer 0; poison its second value.
+        let mut weights: Vec<&str> = lines[3].split_whitespace().collect();
+        weights[1] = "NaN";
+        lines[3] = weights.join(" ");
+        let poisoned = lines.join("\n");
+        let err = read_mlp(io::BufReader::new(poisoned.as_bytes())).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PersistError::NonFinite {
+                    what: "weights",
+                    index: 1
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_infinite_biases() {
+        let mlp = Mlp::new(&[2, 2], &mut StdRng::seed_from_u64(1));
+        let text = String::from_utf8(written(&mlp)).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        // Line 4 is the bias row of layer 0.
+        lines[4] = "inf 1.0e0".to_string();
+        let poisoned = lines.join("\n");
+        let err = read_mlp(io::BufReader::new(poisoned.as_bytes())).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PersistError::NonFinite {
+                    what: "biases",
+                    index: 0
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_float_count() {
+        let text = "mlp v1\nsizes 2 2\nlayer 0\n1.0 2.0 3.0\n0.0 0.0\n";
+        let err = read_mlp(io::BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PersistError::WrongCount {
+                    expected: 4,
+                    found: 3
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_zero_and_oversized_dimensions() {
+        let zero = "mlp v1\nsizes 2 0\n";
+        assert!(matches!(
+            read_mlp(io::BufReader::new(zero.as_bytes())).unwrap_err(),
+            PersistError::SizeOutOfRange {
+                what: "layer width",
+                ..
+            }
+        ));
+        let huge = format!("mlp v1\nsizes 2 {}\n", MAX_DIMENSION + 1);
+        assert!(matches!(
+            read_mlp(io::BufReader::new(huge.as_bytes())).unwrap_err(),
+            PersistError::SizeOutOfRange {
+                what: "layer width",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_absurd_layer_count() {
+        let sizes: Vec<String> = (0..=MAX_LAYERS).map(|_| "2".to_string()).collect();
+        let text = format!("mlp v1\nsizes {}\n", sizes.join(" "));
+        assert!(matches!(
+            read_mlp(io::BufReader::new(text.as_bytes())).unwrap_err(),
+            PersistError::SizeOutOfRange {
+                what: "layer count",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error() {
+        let text = "mlp v1\nsizes 2 2\nlayer 0\n";
+        let err = read_mlp(io::BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(matches!(err, PersistError::Truncated { .. }), "{err}");
+    }
+
+    #[test]
+    fn standardizer_rejects_nan_mean() {
+        let text = "standardizer v1\nwidth 2\nNaN 0.0\n1.0 1.0\n";
+        let err = read_standardizer(io::BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(
+            matches!(err, PersistError::NonFinite { what: "mean", .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn persist_errors_convert_to_io_errors() {
+        let err: io::Error = PersistError::Truncated {
+            expected: "biases".to_string(),
+        }
+        .into();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("biases"));
     }
 }

@@ -1,0 +1,530 @@
+//! Resumable training with derived RNG streams.
+//!
+//! [`train`](crate::train) draws the train/validation split and every
+//! epoch's shuffle from one sequential RNG, so its randomness depends on
+//! *how far* the loop has run — impossible to reproduce when a run is
+//! interrupted and resumed. This module re-derives each random decision
+//! from `(seed, stream, index)` instead: the split always comes from
+//! stream 0 and epoch `e`'s shuffle from stream `e`, so a run checkpointed
+//! after any epoch and resumed continues bit-for-bit identically to an
+//! uninterrupted run with the same seed.
+//!
+//! [`TrainState`] captures everything the loop carries across epochs
+//! (weights, Adam moments, best-so-far snapshot, loss history) and
+//! round-trips through the `checkpoint` codec; [`train_resumable`] invokes
+//! a caller hook after every epoch, which is where periodic snapshots are
+//! written and where an interruption ([`TrainControl::Stop`]) is injected.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use checkpoint::{fnv64, CodecError, Decoder, Encoder};
+
+use crate::train::shuffle;
+use crate::{Adam, Dataset, Matrix, Mlp, TrainConfig, TrainReport};
+
+/// Stream tag for the train/validation split RNG.
+const SPLIT_STREAM: u64 = 0x51E0_57A7_1C5E_ED00;
+/// Stream tag for per-epoch shuffle RNGs.
+const EPOCH_STREAM: u64 = 0xE60C_0000_5AFF_1E00;
+
+/// Derives an independent RNG for `(seed, stream, index)` via a
+/// splitmix64-style finalizer, so consecutive indices yield unrelated
+/// streams.
+pub fn derive_rng(seed: u64, stream: u64, index: u64) -> StdRng {
+    let mut z = seed ^ stream ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Fingerprint of the ambient RNG stream: an FNV-64 over the first eight
+/// draws of `StdRng::seed_from_u64(0x51D)`. Stamped into checkpoints so a
+/// snapshot written under one RNG implementation is never resumed under
+/// another (which would silently break replay determinism).
+pub fn rng_stream_fingerprint() -> u64 {
+    let mut rng = StdRng::seed_from_u64(0x51D);
+    let mut bytes = Vec::with_capacity(64);
+    for _ in 0..8 {
+        bytes.extend_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    fnv64(&bytes)
+}
+
+/// Errors decoding a serialized [`TrainState`].
+#[derive(Debug)]
+pub enum StateDecodeError {
+    /// The byte stream itself was malformed.
+    Codec(CodecError),
+    /// The bytes decoded but describe an inconsistent state.
+    Invalid(String),
+}
+
+impl std::fmt::Display for StateDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateDecodeError::Codec(e) => write!(f, "malformed train state: {e}"),
+            StateDecodeError::Invalid(detail) => write!(f, "inconsistent train state: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StateDecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StateDecodeError::Codec(e) => Some(e),
+            StateDecodeError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<CodecError> for StateDecodeError {
+    fn from(e: CodecError) -> Self {
+        StateDecodeError::Codec(e)
+    }
+}
+
+/// Everything [`train_resumable`] carries from one epoch to the next.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainState {
+    /// The epoch the resumed loop will run next.
+    pub next_epoch: usize,
+    /// Current network weights.
+    pub mlp: Mlp,
+    /// Optimizer moments and step count.
+    pub adam: Adam,
+    /// Weights of the best validation epoch so far.
+    pub best: Mlp,
+    /// Best validation loss so far.
+    pub best_val_loss: f32,
+    /// Epochs since the best validation loss improved.
+    pub epochs_since_best: usize,
+    /// Training loss per completed epoch.
+    pub train_losses: Vec<f32>,
+    /// Validation loss per completed epoch.
+    pub val_losses: Vec<f32>,
+}
+
+fn encode_matrix(enc: &mut Encoder, m: &Matrix) {
+    enc.put_usize(m.rows());
+    enc.put_usize(m.cols());
+    enc.put_f32s(m.as_slice());
+}
+
+fn decode_matrix(dec: &mut Decoder<'_>) -> Result<Matrix, StateDecodeError> {
+    let rows = dec.get_usize()?;
+    let cols = dec.get_usize()?;
+    let data = dec.get_f32s()?;
+    let expected = rows
+        .checked_mul(cols)
+        .ok_or_else(|| StateDecodeError::Invalid(format!("matrix {rows}x{cols} overflows")))?;
+    if data.len() != expected {
+        return Err(StateDecodeError::Invalid(format!(
+            "matrix {rows}x{cols} carries {} values",
+            data.len()
+        )));
+    }
+    Ok(Matrix::from_flat(rows, cols, data))
+}
+
+fn encode_mlp(enc: &mut Encoder, mlp: &Mlp) {
+    enc.put_usize(mlp.layer_count());
+    for i in 0..mlp.layer_count() {
+        encode_matrix(enc, mlp.weights(i));
+        enc.put_f32s(mlp.biases(i));
+    }
+}
+
+fn decode_mlp(dec: &mut Decoder<'_>) -> Result<Mlp, StateDecodeError> {
+    let layers = dec.get_usize()?;
+    if layers == 0 || layers > crate::persist::MAX_LAYERS {
+        return Err(StateDecodeError::Invalid(format!(
+            "layer count {layers} out of range"
+        )));
+    }
+    let mut parts = Vec::with_capacity(layers);
+    for _ in 0..layers {
+        let w = decode_matrix(dec)?;
+        let b = dec.get_f32s()?;
+        parts.push((w, b));
+    }
+    Mlp::from_layers(parts).map_err(StateDecodeError::Invalid)
+}
+
+impl TrainState {
+    /// Serializes the state through the checkpoint codec.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_usize(self.next_epoch);
+        encode_mlp(&mut enc, &self.mlp);
+        encode_mlp(&mut enc, &self.best);
+        enc.put_f32(self.best_val_loss);
+        enc.put_usize(self.epochs_since_best);
+        enc.put_f32s(&self.train_losses);
+        enc.put_f32s(&self.val_losses);
+        let (beta1, beta2) = self.adam.betas();
+        enc.put_f32(beta1);
+        enc.put_f32(beta2);
+        enc.put_f32(self.adam.epsilon());
+        enc.put_u64(self.adam.steps());
+        let (m_w, v_w) = self.adam.weight_moments();
+        let (m_b, v_b) = self.adam.bias_moments();
+        enc.put_usize(m_w.len());
+        for i in 0..m_w.len() {
+            encode_matrix(&mut enc, &m_w[i]);
+            encode_matrix(&mut enc, &v_w[i]);
+            enc.put_f32s(&m_b[i]);
+            enc.put_f32s(&v_b[i]);
+        }
+        enc.finish()
+    }
+
+    /// Deserializes a state previously produced by [`TrainState::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateDecodeError`] when the bytes are malformed or the
+    /// decoded tensors are mutually inconsistent. Never panics.
+    pub fn decode(bytes: &[u8]) -> Result<TrainState, StateDecodeError> {
+        let mut dec = Decoder::new(bytes);
+        let next_epoch = dec.get_usize()?;
+        let mlp = decode_mlp(&mut dec)?;
+        let best = decode_mlp(&mut dec)?;
+        let best_val_loss = dec.get_f32()?;
+        let epochs_since_best = dec.get_usize()?;
+        let train_losses = dec.get_f32s()?;
+        let val_losses = dec.get_f32s()?;
+        let beta1 = dec.get_f32()?;
+        let beta2 = dec.get_f32()?;
+        let eps = dec.get_f32()?;
+        let t = dec.get_u64()?;
+        let layers = dec.get_usize()?;
+        if layers > crate::persist::MAX_LAYERS {
+            return Err(StateDecodeError::Invalid(format!(
+                "Adam layer count {layers} out of range"
+            )));
+        }
+        let mut m_w = Vec::with_capacity(layers);
+        let mut v_w = Vec::with_capacity(layers);
+        let mut m_b = Vec::with_capacity(layers);
+        let mut v_b = Vec::with_capacity(layers);
+        for _ in 0..layers {
+            m_w.push(decode_matrix(&mut dec)?);
+            v_w.push(decode_matrix(&mut dec)?);
+            m_b.push(dec.get_f32s()?);
+            v_b.push(dec.get_f32s()?);
+        }
+        dec.expect_end()?;
+        if mlp.layer_sizes() != best.layer_sizes() {
+            return Err(StateDecodeError::Invalid(
+                "current and best network topologies differ".into(),
+            ));
+        }
+        let adam = Adam::from_state(beta1, beta2, eps, t, m_w, v_w, m_b, v_b)
+            .map_err(StateDecodeError::Invalid)?;
+        Ok(TrainState {
+            next_epoch,
+            mlp,
+            adam,
+            best,
+            best_val_loss,
+            epochs_since_best,
+            train_losses,
+            val_losses,
+        })
+    }
+}
+
+/// What the per-epoch hook tells the loop to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainControl {
+    /// Keep training.
+    Continue,
+    /// Interrupt the run; the state passed to the hook is the resume point.
+    Stop,
+}
+
+/// Outcome of [`train_resumable`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainOutcome {
+    /// Losses and best-epoch summary over all epochs run so far
+    /// (including those before a resume).
+    pub report: TrainReport,
+    /// `false` when the hook stopped the run before it finished; `mlp`
+    /// then still holds the in-progress (not best) weights.
+    pub completed: bool,
+}
+
+/// Trains like [`crate::train`] but with per-index derived RNG streams and
+/// an `on_epoch` hook, so the run can be interrupted after any epoch and
+/// later resumed — from the [`TrainState`] the hook saw — to produce
+/// exactly the weights an uninterrupted run yields.
+///
+/// On completion (early stopping or `max_epochs`), `mlp` holds the best
+/// validation epoch's weights. When the hook returns
+/// [`TrainControl::Stop`], the function returns immediately with
+/// `completed: false` and `mlp` left at the current epoch's weights.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty, its dimensions do not match the
+/// network, or `resume` carries a different network topology.
+pub fn train_resumable(
+    mlp: &mut Mlp,
+    data: &Dataset,
+    config: &TrainConfig,
+    seed: u64,
+    resume: Option<TrainState>,
+    on_epoch: &mut dyn FnMut(&TrainState) -> TrainControl,
+) -> TrainOutcome {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    assert_eq!(data.x().cols(), mlp.input_size(), "feature width mismatch");
+    assert_eq!(data.y().cols(), mlp.output_size(), "target width mismatch");
+
+    let mut split_rng = derive_rng(seed, SPLIT_STREAM, 0);
+    let (train_set, val_set) = data.split(config.val_fraction, &mut split_rng);
+
+    let (mut adam, mut best, mut best_val, mut since_best, mut train_losses, mut val_losses, start);
+    match resume {
+        Some(state) => {
+            assert_eq!(
+                state.mlp.layer_sizes(),
+                mlp.layer_sizes(),
+                "resume state topology mismatch"
+            );
+            *mlp = state.mlp;
+            adam = state.adam;
+            best = state.best;
+            best_val = state.best_val_loss;
+            since_best = state.epochs_since_best;
+            train_losses = state.train_losses;
+            val_losses = state.val_losses;
+            start = state.next_epoch;
+        }
+        None => {
+            adam = Adam::new(mlp);
+            best = mlp.clone();
+            best_val = f32::INFINITY;
+            since_best = 0;
+            train_losses = Vec::new();
+            val_losses = Vec::new();
+            start = 0;
+        }
+    }
+
+    let mut order: Vec<usize> = (0..train_set.len()).collect();
+    let mut completed = true;
+    for epoch in start..config.max_epochs {
+        let lr = config.initial_lr * config.lr_decay.powi(epoch as i32);
+        // The shuffle depends only on (seed, epoch), never on how many
+        // epochs this process has run — the crux of resume determinism.
+        for (i, slot) in order.iter_mut().enumerate() {
+            *slot = i;
+        }
+        let mut epoch_rng = derive_rng(seed, EPOCH_STREAM, epoch as u64);
+        shuffle(&mut order, &mut epoch_rng);
+
+        let mut epoch_loss = 0.0;
+        let mut batches = 0;
+        for chunk in order.chunks(config.batch_size.max(1)) {
+            let batch = train_set.subset(chunk);
+            let cache = mlp.forward_cached(batch.x());
+            let (loss, grad) = Mlp::mse_loss(cache.output(), batch.y());
+            let mut grads = mlp.backward(&cache, &grad);
+            if config.weight_decay > 0.0 {
+                grads.apply_weight_decay(mlp, config.weight_decay);
+            }
+            if config.grad_clip > 0.0 {
+                grads.clip_global_norm(config.grad_clip);
+            }
+            adam.step(mlp, &grads, lr);
+            epoch_loss += loss;
+            batches += 1;
+        }
+        train_losses.push(epoch_loss / batches.max(1) as f32);
+
+        let (val_loss, _) = Mlp::mse_loss(&mlp.forward_batch(val_set.x()), val_set.y());
+        val_losses.push(val_loss);
+        let mut stop_early = false;
+        if val_loss < best_val {
+            best_val = val_loss;
+            best = mlp.clone();
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if since_best >= config.patience {
+                stop_early = true;
+            }
+        }
+
+        let state = TrainState {
+            next_epoch: epoch + 1,
+            mlp: mlp.clone(),
+            adam: adam.clone(),
+            best: best.clone(),
+            best_val_loss: best_val,
+            epochs_since_best: since_best,
+            train_losses: train_losses.clone(),
+            val_losses: val_losses.clone(),
+        };
+        if on_epoch(&state) == TrainControl::Stop {
+            completed = false;
+            break;
+        }
+        if stop_early {
+            break;
+        }
+    }
+
+    if completed {
+        *mlp = best;
+    }
+    TrainOutcome {
+        report: TrainReport {
+            epochs: val_losses.len(),
+            best_val_loss: best_val,
+            train_losses,
+            val_losses,
+        },
+        completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset() -> Dataset {
+        let rows: Vec<Vec<f32>> = (0..240)
+            .map(|i| vec![(i % 13) as f32 / 13.0, (i % 7) as f32 / 7.0])
+            .collect();
+        let y = Matrix::from_rows(
+            rows.iter()
+                .map(|r| vec![r[0] + r[1], r[0] - r[1]])
+                .collect(),
+        );
+        Dataset::new(Matrix::from_rows(rows), y)
+    }
+
+    fn small_config() -> TrainConfig {
+        TrainConfig {
+            max_epochs: 12,
+            ..TrainConfig::default()
+        }
+    }
+
+    fn fresh_mlp(seed: u64) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mlp::new(&[2, 8, 2], &mut rng)
+    }
+
+    #[test]
+    fn uninterrupted_matches_plain_loop_semantics() {
+        let data = toy_dataset();
+        let mut mlp = fresh_mlp(3);
+        let outcome = train_resumable(&mut mlp, &data, &small_config(), 7, None, &mut |_| {
+            TrainControl::Continue
+        });
+        assert!(outcome.completed);
+        assert_eq!(outcome.report.epochs, 12);
+        assert_eq!(outcome.report.train_losses.len(), 12);
+    }
+
+    #[test]
+    fn interrupt_and_resume_is_bit_identical_to_uninterrupted() {
+        let data = toy_dataset();
+        let config = small_config();
+
+        let mut reference = fresh_mlp(3);
+        let ref_outcome = train_resumable(&mut reference, &data, &config, 7, None, &mut |_| {
+            TrainControl::Continue
+        });
+
+        for stop_after in [1usize, 5, 11] {
+            // Run until `stop_after` epochs finish, checkpoint, drop everything.
+            let mut interrupted = fresh_mlp(3);
+            let mut saved: Option<Vec<u8>> = None;
+            let partial =
+                train_resumable(&mut interrupted, &data, &config, 7, None, &mut |state| {
+                    if state.next_epoch >= stop_after {
+                        saved = Some(state.encode());
+                        TrainControl::Stop
+                    } else {
+                        TrainControl::Continue
+                    }
+                });
+            assert!(!partial.completed);
+
+            // Resume from the serialized state in a fresh process image.
+            let state = TrainState::decode(&saved.unwrap()).unwrap();
+            let mut resumed = fresh_mlp(3);
+            let outcome =
+                train_resumable(&mut resumed, &data, &config, 7, Some(state), &mut |_| {
+                    TrainControl::Continue
+                });
+            assert!(outcome.completed);
+            assert_eq!(resumed, reference, "stop_after={stop_after}");
+            assert_eq!(
+                outcome.report, ref_outcome.report,
+                "stop_after={stop_after}"
+            );
+        }
+    }
+
+    #[test]
+    fn state_round_trips_through_codec() {
+        let data = toy_dataset();
+        let mut mlp = fresh_mlp(5);
+        let mut captured: Option<TrainState> = None;
+        train_resumable(&mut mlp, &data, &small_config(), 11, None, &mut |state| {
+            captured = Some(state.clone());
+            TrainControl::Stop
+        });
+        let state = captured.unwrap();
+        let decoded = TrainState::decode(&state.encode()).unwrap();
+        assert_eq!(decoded, state);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_garbage_without_panic() {
+        let data = toy_dataset();
+        let mut mlp = fresh_mlp(5);
+        let mut saved = Vec::new();
+        train_resumable(&mut mlp, &data, &small_config(), 11, None, &mut |state| {
+            saved = state.encode();
+            TrainControl::Stop
+        });
+        for len in 0..saved.len().min(64) {
+            assert!(TrainState::decode(&saved[..len]).is_err(), "len={len}");
+        }
+        assert!(TrainState::decode(&[0xFF; 40]).is_err());
+        // Trailing junk is rejected too.
+        let mut padded = saved.clone();
+        padded.extend_from_slice(&[0, 0, 0]);
+        assert!(TrainState::decode(&padded).is_err());
+    }
+
+    #[test]
+    fn derived_rngs_are_independent_per_index() {
+        let a: Vec<u64> = {
+            let mut r = derive_rng(1, EPOCH_STREAM, 0);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = derive_rng(1, EPOCH_STREAM, 1);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+        let a2: Vec<u64> = {
+            let mut r = derive_rng(1, EPOCH_STREAM, 0);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_within_a_build() {
+        assert_eq!(rng_stream_fingerprint(), rng_stream_fingerprint());
+        assert_ne!(rng_stream_fingerprint(), 0);
+    }
+}

@@ -74,7 +74,7 @@ impl Dataset {
     }
 }
 
-fn shuffle<R: RngExt + ?Sized>(indices: &mut [usize], rng: &mut R) {
+pub(crate) fn shuffle<R: RngExt + ?Sized>(indices: &mut [usize], rng: &mut R) {
     for i in (1..indices.len()).rev() {
         let j = rng.random_range(0..=i);
         indices.swap(i, j);

@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ckpt;
 pub mod dvfs;
 pub mod eval;
 pub mod features;
@@ -53,6 +54,7 @@ pub mod oracle_governor;
 pub mod training;
 mod util;
 
+pub use ckpt::{AggregationBuffer, CheckpointedTrainOutcome, CkptConfig, IlTrainCheckpoint};
 pub use features::{Features, FEATURE_COUNT};
 pub use governor::{GovernorStats, TopIlGovernor};
 pub use migration::{BreakerState, RobustnessConfig};

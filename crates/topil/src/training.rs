@@ -40,6 +40,11 @@ impl IlModel {
         &self.mlp
     }
 
+    /// The fitted feature standardizer.
+    pub fn standardizer(&self) -> &Standardizer {
+        &self.standardizer
+    }
+
     /// Standardizes a batch of feature vectors into the network's input
     /// matrix (one row per AoI) — the tensor submitted to the NPU.
     pub fn standardized_batch(&self, features: &[Features]) -> Matrix {
@@ -140,6 +145,11 @@ impl IlTrainer {
     pub fn with_collector(mut self, collector: TraceCollector) -> Self {
         self.collector = collector;
         self
+    }
+
+    /// The trainer's settings.
+    pub fn settings(&self) -> &TrainSettings {
+        &self.settings
     }
 
     /// Collects traces and extracts oracle cases for all scenarios.

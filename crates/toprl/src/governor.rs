@@ -81,6 +81,13 @@ impl TopRlGovernor {
         }
     }
 
+    /// Overrides the ε-greedy exploration probability (used by the
+    /// segmented pre-training schedule).
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.config.epsilon = epsilon;
+        self
+    }
+
     /// Disables run-time exploration and learning (not used in the paper —
     /// online learning is inherent to its RL baseline — but useful for
     /// ablations).

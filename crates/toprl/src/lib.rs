@@ -20,10 +20,15 @@
 
 #![warn(missing_docs)]
 
+pub mod ckpt;
 mod governor;
 mod qtable;
 mod state;
 
+pub use ckpt::{
+    pretrain_segmented, ExplorationSchedule, PretrainCheckpoint, PretrainConfig,
+    SegmentedPretrainOutcome, RL_PRETRAIN_KIND,
+};
 pub use governor::{RlStats, TopRlGovernor};
 pub use qtable::QTable;
 pub use state::{quantize_state, RlConfig, NUM_ACTIONS, NUM_STATES};

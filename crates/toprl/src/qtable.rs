@@ -116,6 +116,31 @@ impl QTable {
     pub fn nonzero_entries(&self) -> usize {
         self.values.iter().filter(|&&v| v != 0.0).count()
     }
+
+    /// The raw values, row-major by state (for persistence).
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Rebuilds a table from raw values (the checkpoint-restore path).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a value count other than `NUM_STATES × NUM_ACTIONS` and any
+    /// non-finite entry.
+    pub fn from_values(values: Vec<f32>) -> Result<QTable, String> {
+        if values.len() != NUM_STATES * NUM_ACTIONS {
+            return Err(format!(
+                "Q-table carries {} values, expected {}",
+                values.len(),
+                NUM_STATES * NUM_ACTIONS
+            ));
+        }
+        if let Some(i) = values.iter().position(|v| !v.is_finite()) {
+            return Err(format!("Q-table value {i} is not finite"));
+        }
+        Ok(QTable { values })
+    }
 }
 
 impl Default for QTable {

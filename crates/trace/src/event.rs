@@ -95,6 +95,42 @@ impl fmt::Display for FaultKind {
     }
 }
 
+/// Which layer of the stack a checkpoint snapshot belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointScope {
+    /// IL training state (MLP weights, Adam moments, aggregation buffer).
+    Training,
+    /// TOP-RL pretraining state (Q-table, exploration schedule).
+    Rl,
+    /// A bench sweep supervisor's job manifest.
+    Sweep,
+}
+
+impl CheckpointScope {
+    /// Stable lower-snake name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckpointScope::Training => "training",
+            CheckpointScope::Rl => "rl",
+            CheckpointScope::Sweep => "sweep",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            CheckpointScope::Training => 0,
+            CheckpointScope::Rl => 1,
+            CheckpointScope::Sweep => 2,
+        }
+    }
+}
+
+impl fmt::Display for CheckpointScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
 /// The kind of a [`TraceEvent`], used for granularity filtering and as the
 /// `event` column of exports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +157,10 @@ pub enum EventKind {
     AppCompleted,
     /// End-of-run aggregate record.
     RunEnd,
+    /// A checkpoint snapshot was written durably.
+    CheckpointSaved,
+    /// State was restored from a checkpoint snapshot.
+    CheckpointRestored,
 }
 
 impl EventKind {
@@ -138,6 +178,8 @@ impl EventKind {
             EventKind::AppAdmitted => "app_admitted",
             EventKind::AppCompleted => "app_completed",
             EventKind::RunEnd => "run_end",
+            EventKind::CheckpointSaved => "checkpoint_saved",
+            EventKind::CheckpointRestored => "checkpoint_restored",
         }
     }
 }
@@ -291,6 +333,30 @@ pub enum TraceEvent {
         /// Total executed migrations.
         migrations: u64,
     },
+    /// A checkpoint snapshot was written durably (fsynced and renamed
+    /// into place).
+    CheckpointSaved {
+        /// Observation instant.
+        at: SimTime,
+        /// Which layer snapshotted.
+        scope: CheckpointScope,
+        /// The snapshot's sequence number.
+        seq: u64,
+        /// Encoded snapshot size on disk.
+        bytes: u64,
+    },
+    /// State was restored from a checkpoint snapshot (possibly after
+    /// falling back past corrupt newer snapshots).
+    CheckpointRestored {
+        /// Observation instant.
+        at: SimTime,
+        /// Which layer restored.
+        scope: CheckpointScope,
+        /// Sequence number of the snapshot that validated.
+        seq: u64,
+        /// Corrupt newer snapshots skipped to reach it.
+        skipped: u32,
+    },
 }
 
 impl TraceEvent {
@@ -307,7 +373,9 @@ impl TraceEvent {
             | TraceEvent::Fault { at, .. }
             | TraceEvent::AppAdmitted { at, .. }
             | TraceEvent::AppCompleted { at, .. }
-            | TraceEvent::RunEnd { at, .. } => at,
+            | TraceEvent::RunEnd { at, .. }
+            | TraceEvent::CheckpointSaved { at, .. }
+            | TraceEvent::CheckpointRestored { at, .. } => at,
         }
     }
 
@@ -325,6 +393,8 @@ impl TraceEvent {
             TraceEvent::AppAdmitted { .. } => EventKind::AppAdmitted,
             TraceEvent::AppCompleted { .. } => EventKind::AppCompleted,
             TraceEvent::RunEnd { .. } => EventKind::RunEnd,
+            TraceEvent::CheckpointSaved { .. } => EventKind::CheckpointSaved,
+            TraceEvent::CheckpointRestored { .. } => EventKind::CheckpointRestored,
         }
     }
 
@@ -449,6 +519,30 @@ impl TraceEvent {
                 h.write_u64(violation_time.as_nanos());
                 h.write_u64(migrations);
             }
+            TraceEvent::CheckpointSaved {
+                at,
+                scope,
+                seq,
+                bytes,
+            } => {
+                h.write_u8(11);
+                h.write_u64(at.as_nanos());
+                h.write_u8(scope.code());
+                h.write_u64(seq);
+                h.write_u64(bytes);
+            }
+            TraceEvent::CheckpointRestored {
+                at,
+                scope,
+                seq,
+                skipped,
+            } => {
+                h.write_u8(12);
+                h.write_u64(at.as_nanos());
+                h.write_u8(scope.code());
+                h.write_u64(seq);
+                h.write_u64(skipped as u64);
+            }
         }
     }
 }
@@ -478,6 +572,32 @@ mod tests {
         }
         assert_eq!(events[0].kind(), EventKind::EpochTick);
         assert_eq!(events[1].kind().name(), "fault");
+    }
+
+    #[test]
+    fn checkpoint_events_have_stable_names_and_distinct_hashes() {
+        let at = SimTime::from_millis(1);
+        let saved = TraceEvent::CheckpointSaved {
+            at,
+            scope: CheckpointScope::Sweep,
+            seq: 3,
+            bytes: 128,
+        };
+        let restored = TraceEvent::CheckpointRestored {
+            at,
+            scope: CheckpointScope::Sweep,
+            seq: 3,
+            skipped: 1,
+        };
+        assert_eq!(saved.kind().name(), "checkpoint_saved");
+        assert_eq!(restored.kind().name(), "checkpoint_restored");
+        assert_eq!(CheckpointScope::Training.name(), "training");
+        assert_eq!(CheckpointScope::Rl.name(), "rl");
+        let mut hs = Fnv64::new();
+        let mut hr = Fnv64::new();
+        saved.hash_into(&mut hs);
+        restored.hash_into(&mut hr);
+        assert_ne!(hs.finish(), hr.finish());
     }
 
     #[test]

@@ -152,6 +152,25 @@ fn json_event(e: &TraceEvent, out: &mut String) {
                 violation_time.as_nanos(),
             );
         }
+        TraceEvent::CheckpointSaved {
+            scope, seq, bytes, ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"scope\":\"{scope}\",\"seq\":{seq},\"bytes\":{bytes}"
+            );
+        }
+        TraceEvent::CheckpointRestored {
+            scope,
+            seq,
+            skipped,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"scope\":\"{scope}\",\"seq\":{seq},\"skipped\":{skipped}"
+            );
+        }
     }
     out.push('}');
 }
@@ -303,6 +322,23 @@ fn csv_row(e: &TraceEvent, out: &mut String) {
             row.a = energy.value().to_string();
             row.b = violation_time.as_nanos().to_string();
             row.lf = migrations.to_string();
+        }
+        TraceEvent::CheckpointSaved {
+            scope, seq, bytes, ..
+        } => {
+            row.a = seq.to_string();
+            row.b = bytes.to_string();
+            row.detail = scope.name();
+        }
+        TraceEvent::CheckpointRestored {
+            scope,
+            seq,
+            skipped,
+            ..
+        } => {
+            row.a = seq.to_string();
+            row.b = skipped.to_string();
+            row.detail = scope.name();
         }
     }
     let _ = write!(
