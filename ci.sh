@@ -27,3 +27,19 @@ fi
 "$experiments" sweep --points 2 --state "$ckpt_tmp/state" --out "$ckpt_tmp/resumed" >/dev/null
 diff "$ckpt_tmp/ref/sweep.csv" "$ckpt_tmp/resumed/sweep.csv"
 echo "crash-recovery gate passed"
+
+# Fleet smoke gate: 16 boards x 200 epochs on the shared NPU service must
+# drop zero requests, beat the serial baseline 3x, stay bit-exact, and be
+# deterministic (byte-identical CSV across two runs).
+"$experiments" fleet --boards 16 --epochs 200 --out "$ckpt_tmp/fleet-a" >/dev/null 2>&1
+"$experiments" fleet --boards 16 --epochs 200 --out "$ckpt_tmp/fleet-b" >/dev/null 2>&1
+fleet_csv="$ckpt_tmp/fleet-a/fleet.csv"
+grep -q '^summary,,dropped,0$' "$fleet_csv" || {
+    echo "fleet gate: dropped requests" >&2; exit 1; }
+grep -q '^summary,,mismatches,0$' "$fleet_csv" || {
+    echo "fleet gate: batched replies diverged from dedicated inference" >&2; exit 1; }
+awk -F, '$3 == "speedup_vs_serial" && $4 < 3.0 { exit 1 }' "$fleet_csv" || {
+    echo "fleet gate: batched speedup below 3x" >&2; exit 1; }
+diff "$fleet_csv" "$ckpt_tmp/fleet-b/fleet.csv" || {
+    echo "fleet gate: CSV not deterministic across runs" >&2; exit 1; }
+echo "fleet smoke gate passed"

@@ -1,0 +1,74 @@
+//! Scalar-vs-batched inference microbenchmarks for the shared NPU
+//! service: the numeric cost of serving 64 feature rows as 64 scalar
+//! calls vs. coalesced batches of 4/16/64, the service's per-request
+//! quantization-group path, and the scratch-buffer forward pass used on
+//! the per-epoch hot path.
+//!
+//! (The simulated device latency model — driver round-trips, occupancy —
+//! is virtual time and not measured here; `serve-timing` reports it into
+//! `BENCH_fleet.json` alongside these numeric costs.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nn::{ForwardScratch, Matrix, Mlp};
+use npu::NpuModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ROWS: usize = 64;
+
+fn feature_rows(n: usize) -> Matrix {
+    Matrix::from_rows(
+        (0..n)
+            .map(|r| {
+                (0..21)
+                    .map(|c| ((r * 31 + c * 7) % 13) as f32 / 13.0 - 0.5)
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+fn serving_benches(c: &mut Criterion) {
+    let mlp = Mlp::with_topology(21, 4, 64, 8, &mut StdRng::seed_from_u64(9));
+    let model = NpuModel::compile(&mlp);
+    let mut group = c.benchmark_group("serving");
+
+    // Serve 64 rows as scalar calls vs. coalesced batches.
+    for batch in [1usize, 4, 16, 64] {
+        let chunk = feature_rows(batch);
+        group.bench_function(format!("int8_64rows_batch{batch}"), |b| {
+            b.iter(|| {
+                for _ in 0..(ROWS / batch) {
+                    black_box(model.infer(black_box(&chunk)));
+                }
+            });
+        });
+    }
+
+    // The shared service's path: one stacked call, one quantization
+    // group per request (bit-identical to scalar issuance).
+    let stacked = feature_rows(ROWS);
+    let groups = vec![1usize; ROWS];
+    group.bench_function("int8_64rows_grouped", |b| {
+        b.iter(|| black_box(model.infer_grouped(black_box(&stacked), &groups)));
+    });
+
+    // Scalar float forward: fresh allocations vs. the reusable scratch
+    // buffer used on the per-epoch hot path.
+    let row: Vec<f32> = (0..21).map(|c| c as f32 / 21.0 - 0.5).collect();
+    group.bench_function("forward_alloc", |b| {
+        b.iter(|| black_box(mlp.forward(black_box(&row))));
+    });
+    group.bench_function("forward_scratch", |b| {
+        let mut scratch = ForwardScratch::new();
+        b.iter(|| {
+            black_box(mlp.forward_into(black_box(&row), &mut scratch));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, serving_benches);
+criterion_main!(benches);

@@ -30,13 +30,18 @@ fn report_csv(result: Result<(), BenchError>) {
 }
 
 const USAGE: &str = "\
-usage: experiments [--full] [--out <dir>] [--state <dir>] [--points <n>] [COMMAND ...]
+usage: experiments [--full] [--out <dir>] [--state <dir>] [--points <n>]
+                   [--boards <n>] [--epochs <n>] [--devices <n>] [COMMAND ...]
 
 Regenerates the paper's evaluation artifacts. Without a command (or with
 `all`) the whole suite runs. `--full` uses paper-scale parameters;
 `--out <dir>` additionally writes CSV data series. `--state <dir>` holds
 checkpoint snapshots for the resumable commands (`sweep`, `train`);
 `--points <n>` truncates the sweep grid to its first n points.
+`--boards`, `--epochs` and `--devices` size the `fleet` experiment.
+
+Diagnostics go to stderr; stdout carries only reports and CSV data, so
+`experiments fleet > fleet.csv` yields a clean machine-readable artifact.
 
 Interrupted `sweep` and `train` runs exit with status 130 and resume from
 their newest valid snapshot when rerun with the same --state directory.
@@ -59,6 +64,7 @@ commands:
   sensitivity  extension: thermal-calibration perturbations
   robustness   extension: fault-rate sweep vs. the degradation ladder
   traces       structured event traces per governor (JSONL/CSV via --out)
+  fleet        multi-board fleet sharing one batched NPU inference service
   sweep        crash-safe resumable robustness sweep (uses --state)
   train        crash-safe resumable IL training (uses --state)
   all          everything above except sweep and train
@@ -82,12 +88,22 @@ fn main() {
     let out: Option<PathBuf> = flag_value("--out").map(PathBuf::from);
     let state: Option<PathBuf> = flag_value("--state").map(PathBuf::from);
     let points: Option<usize> = flag_value("--points").and_then(|v| v.parse().ok());
+    let boards: Option<usize> = flag_value("--boards").and_then(|v| v.parse().ok());
+    let epochs: Option<u64> = flag_value("--epochs").and_then(|v| v.parse().ok());
+    let devices: Option<usize> = flag_value("--devices").and_then(|v| v.parse().ok());
     let effort = if full { Effort::Full } else { Effort::Quick };
     // Positional arguments are commands; skip flags and their values.
-    let value_indices: Vec<usize> = ["--out", "--state", "--points"]
-        .iter()
-        .filter_map(|f| args.iter().position(|a| a == f).map(|i| i + 1))
-        .collect();
+    let value_indices: Vec<usize> = [
+        "--out",
+        "--state",
+        "--points",
+        "--boards",
+        "--epochs",
+        "--devices",
+    ]
+    .iter()
+    .filter_map(|f| args.iter().position(|a| a == f).map(|i| i + 1))
+    .collect();
     let commands: Vec<&str> = args
         .iter()
         .enumerate()
@@ -115,7 +131,7 @@ fn main() {
         commands
     };
 
-    println!("# TOP-IL experiment suite (effort: {effort:?})\n");
+    eprintln!("# TOP-IL experiment suite (effort: {effort:?})\n");
 
     // Train once; share across experiments that need models.
     let needs_models = commands.iter().any(|c| {
@@ -134,9 +150,9 @@ fn main() {
     });
     let artifacts: Option<TrainedArtifacts> = if needs_models {
         let t = Instant::now();
-        println!("training IL models and pre-training RL tables ...");
+        eprintln!("training IL models and pre-training RL tables ...");
         let a = train_artifacts(effort);
-        println!("done in {:.1} s\n", t.elapsed().as_secs_f64());
+        eprintln!("done in {:.1} s\n", t.elapsed().as_secs_f64());
         Some(a)
     } else {
         None
@@ -222,6 +238,27 @@ fn main() {
                     report_csv(write_csv(&out, &format!("trace_{slug}.csv"), dump.csv()));
                 }
             }
+            "fleet" => {
+                let mut config = bench::fleet::FleetConfig::default();
+                if let Some(n) = boards {
+                    config.boards = n;
+                }
+                if let Some(n) = epochs {
+                    config.epochs = n;
+                }
+                if let Some(n) = devices {
+                    config.devices = n;
+                }
+                eprintln!(
+                    "fleet: {} boards x {} epochs on {} device(s) ...",
+                    config.boards, config.epochs, config.devices
+                );
+                let report = bench::fleet::run(&config);
+                eprintln!("{report}");
+                let csv = bench::csv::fleet_csv(&report);
+                print!("{csv}");
+                report_csv(write_csv(&out, "fleet.csv", csv));
+            }
             "sweep" => {
                 let model = bench::robustness::sweep_model(effort);
                 let state = state
@@ -243,18 +280,18 @@ fn main() {
                 match bench::sweep::run_sweep(&model, &config, &state, &hooks, None) {
                     Ok(outcome) => {
                         if let Some(seq) = outcome.resumed_from_seq {
-                            println!("resumed from manifest snapshot {seq}");
+                            eprintln!("resumed from manifest snapshot {seq}");
                         }
                         if outcome.corrupt_skipped > 0 {
-                            println!(
+                            eprintln!(
                                 "skipped {} corrupt snapshot(s) during recovery",
                                 outcome.corrupt_skipped
                             );
                         }
                         if let Some(reason) = &outcome.discarded {
-                            println!("discarded stale manifest: {reason}");
+                            eprintln!("discarded stale manifest: {reason}");
                         }
-                        println!(
+                        eprintln!(
                             "ran {} point(s); {} quarantined",
                             outcome.points_run,
                             outcome.manifest.quarantined()
@@ -264,7 +301,7 @@ fn main() {
                             print!("{csv}");
                             report_csv(write_csv(&out, "sweep.csv", csv));
                         } else {
-                            println!("sweep interrupted; rerun with the same --state to resume");
+                            eprintln!("sweep interrupted; rerun with the same --state to resume");
                             std::process::exit(130);
                         }
                     }
@@ -297,12 +334,12 @@ fn main() {
                 ) {
                     Ok(outcome) => {
                         if let Some(seq) = outcome.resumed_from_seq {
-                            println!("resumed from training snapshot {seq}");
+                            eprintln!("resumed from training snapshot {seq}");
                         }
                         if let Some(reason) = &outcome.discarded {
-                            println!("discarded stale snapshot: {reason}");
+                            eprintln!("discarded stale snapshot: {reason}");
                         }
-                        println!(
+                        eprintln!(
                             "{} epoch(s) recorded, {} snapshot(s) written",
                             outcome.report.train_losses.len(),
                             outcome.snapshots_written
@@ -312,7 +349,7 @@ fn main() {
                                 let path = dir.join("il-model.bin");
                                 match std::fs::create_dir_all(dir).and_then(|()| model.save(&path))
                                 {
-                                    Ok(()) => println!("model written to {}", path.display()),
+                                    Ok(()) => eprintln!("model written to {}", path.display()),
                                     Err(e) => eprintln!(
                                         "warning: failed to write {}: {e}",
                                         path.display()
@@ -320,7 +357,9 @@ fn main() {
                                 }
                             }
                         } else {
-                            println!("training interrupted; rerun with the same --state to resume");
+                            eprintln!(
+                                "training interrupted; rerun with the same --state to resume"
+                            );
                             std::process::exit(130);
                         }
                     }
@@ -336,7 +375,7 @@ fn main() {
                 std::process::exit(2);
             }
         }
-        println!(
+        eprintln!(
             "[{command} finished in {:.1} s]\n",
             t.elapsed().as_secs_f64()
         );

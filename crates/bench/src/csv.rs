@@ -8,6 +8,7 @@ use crate::fig10::Fig10Report;
 use crate::fig11::Fig11Report;
 use crate::fig8::Fig8Report;
 use crate::fig9::Fig9Report;
+use crate::fleet::FleetReport;
 use crate::robustness::RobustnessReport;
 use crate::sensitivity::SensitivityReport;
 
@@ -133,6 +134,67 @@ pub fn robustness_csv(report: &RobustnessReport) -> String {
             p.breaker_opens,
             p.failsafe_events
         );
+    }
+    out
+}
+
+/// Fleet rows, long format: `section,index,metric,value`.
+///
+/// Three sections: `summary` (aggregate service metrics, index empty),
+/// `hist` (index = requests per batch, value = batch count) and `board`
+/// (index = board number, one row per per-board metric). The output is
+/// byte-deterministic for a given [`crate::fleet::FleetConfig`] — the CI
+/// smoke gate hashes it across two runs.
+pub fn fleet_csv(report: &FleetReport) -> String {
+    let mut out = String::from("section,index,metric,value\n");
+    let mut summary = |metric: &str, value: String| {
+        let _ = writeln!(out, "summary,,{metric},{value}");
+    };
+    summary("boards", report.config.boards.to_string());
+    summary("epochs", report.config.epochs.to_string());
+    summary("devices", report.config.devices.to_string());
+    summary("max_batch", report.config.max_batch.to_string());
+    summary("submitted", report.submitted.to_string());
+    summary(
+        "rejected_submissions",
+        report.rejected_submissions.to_string(),
+    );
+    summary("served", report.served.to_string());
+    summary("dropped", report.dropped.to_string());
+    summary("batches", report.batches.to_string());
+    summary("mean_batch_size", format!("{:.4}", report.mean_batch_size));
+    summary("p50_ms", format!("{:.6}", report.p50.as_secs_f64() * 1e3));
+    summary("p95_ms", format!("{:.6}", report.p95.as_secs_f64() * 1e3));
+    summary("p99_ms", format!("{:.6}", report.p99.as_secs_f64() * 1e3));
+    summary(
+        "serial_device_s",
+        format!("{:.6}", report.serial_device_time.as_secs_f64()),
+    );
+    summary(
+        "pool_device_s",
+        format!("{:.6}", report.pool_device_time.as_secs_f64()),
+    );
+    summary(
+        "speedup_vs_serial",
+        format!("{:.4}", report.speedup_vs_serial),
+    );
+    summary("throughput_rps", format!("{:.4}", report.throughput_rps));
+    summary("mismatches", report.mismatches.to_string());
+    summary("saturation_events", report.saturation_events.to_string());
+    for (n, &count) in report.batch_histogram.iter().enumerate() {
+        if count > 0 {
+            let _ = writeln!(out, "hist,{n},batches,{count}");
+        }
+    }
+    for b in &report.boards {
+        let i = b.board;
+        let _ = writeln!(out, "board,{i},avg_temp_c,{:.3}", b.avg_temp_c);
+        let _ = writeln!(out, "board,{i},peak_temp_c,{:.3}", b.peak_temp_c);
+        let _ = writeln!(out, "board,{i},violations,{}", b.violations);
+        let _ = writeln!(out, "board,{i},executions,{}", b.executions);
+        let _ = writeln!(out, "board,{i},migrations,{}", b.migrations);
+        let _ = writeln!(out, "board,{i},degraded_epochs,{}", b.degraded_epochs);
+        let _ = writeln!(out, "board,{i},fallback_epochs,{}", b.fallback_epochs);
     }
     out
 }

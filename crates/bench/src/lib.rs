@@ -20,6 +20,7 @@ pub mod fig5;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet;
 pub mod harness;
 pub mod model_eval;
 pub mod oracle_gap;

@@ -1,0 +1,158 @@
+//! Consecutive-failure circuit breaker with half-open probing.
+//!
+//! Originally private to the TOP-IL migration policy's NPU degradation
+//! ladder, the breaker is now a shared building block: the inference
+//! service (`npu-serve`) runs one breaker per pooled device so a degraded
+//! accelerator drains to the CPU fallback instead of stalling the fleet.
+
+/// State of a circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// The guarded resource is trusted.
+    Closed,
+    /// Too many consecutive failures; the resource is bypassed while the
+    /// cooldown runs.
+    Open,
+    /// Cooldown elapsed; the next period probes the resource with one
+    /// real attempt.
+    HalfOpen,
+}
+
+/// Consecutive-failure circuit breaker guarding a fallible resource
+/// (an NPU device, a remote service).
+///
+/// The breaker opens after `threshold` consecutive failures, stays open
+/// for `cooldown` periods (see [`CircuitBreaker::epoch_elapsed`]), then
+/// half-opens for a single probe: a failed probe reopens immediately, a
+/// success closes it.
+///
+/// # Examples
+///
+/// ```
+/// use faults::{BreakerState, CircuitBreaker};
+///
+/// let mut b = CircuitBreaker::new(2, 1);
+/// b.record_failure();
+/// b.record_failure();
+/// assert_eq!(b.state(), BreakerState::Open);
+/// assert!(b.epoch_elapsed()); // cooldown over: probe allowed
+/// b.record_success();
+/// assert_eq!(b.state(), BreakerState::Closed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    cooldown_left: u32,
+    threshold: u32,
+    cooldown_epochs: u32,
+    opens: u64,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker that opens after `threshold` consecutive
+    /// failures and cools down for `cooldown_epochs` periods.
+    pub fn new(threshold: u32, cooldown_epochs: u32) -> Self {
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            cooldown_left: 0,
+            threshold,
+            cooldown_epochs,
+            opens: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker opened.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// Records a successful use of the resource: resets the failure count
+    /// and closes the breaker (a successful half-open probe closes it).
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Records a failed use of the resource, opening the breaker when the
+    /// consecutive-failure threshold is reached. A failed half-open probe
+    /// reopens immediately.
+    pub fn record_failure(&mut self) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let trip = match self.state {
+            // A failed half-open probe reopens immediately.
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => self.consecutive_failures >= self.threshold,
+            BreakerState::Open => false,
+        };
+        if trip {
+            self.state = BreakerState::Open;
+            self.cooldown_left = self.cooldown_epochs;
+            self.opens += 1;
+        }
+    }
+
+    /// Advances the open-state cooldown by one period. Returns `true` when
+    /// the breaker just moved to half-open (a probe is allowed).
+    pub fn epoch_elapsed(&mut self) -> bool {
+        if self.state == BreakerState::Open {
+            self.cooldown_left = self.cooldown_left.saturating_sub(1);
+            if self.cooldown_left == 0 {
+                self.state = BreakerState::HalfOpen;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_and_probes_after_cooldown() {
+        let mut breaker = CircuitBreaker::new(3, 2);
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        breaker.record_failure();
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Closed, "below threshold");
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(breaker.opens(), 1);
+        assert!(!breaker.epoch_elapsed(), "cooldown epoch 1 of 2");
+        assert!(breaker.epoch_elapsed(), "cooldown over: probe allowed");
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        // A failed probe reopens immediately.
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(breaker.opens(), 2);
+        assert!(!breaker.epoch_elapsed());
+        assert!(breaker.epoch_elapsed());
+        // A successful probe closes the breaker again.
+        breaker.record_success();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let mut breaker = CircuitBreaker::new(2, 1);
+        breaker.record_failure();
+        breaker.record_success();
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Closed, "count was reset");
+    }
+
+    #[test]
+    fn epoch_elapsed_is_inert_while_closed() {
+        let mut breaker = CircuitBreaker::new(1, 1);
+        assert!(!breaker.epoch_elapsed());
+        assert_eq!(breaker.state(), BreakerState::Closed);
+    }
+}

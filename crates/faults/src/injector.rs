@@ -13,6 +13,7 @@ const NPU_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
 const SENSOR_STREAM: u64 = 0xC2B2_AE3D_27D4_EB4F;
 const DVFS_STREAM: u64 = 0x1656_67B1_9E37_79F9;
 const STORAGE_STREAM: u64 = 0x2545_F491_4F6C_DD1D;
+const SERVE_STREAM: u64 = 0x6A09_E667_F3BC_C909;
 
 /// Fate drawn for one submitted NPU job.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,6 +26,18 @@ pub enum NpuFault {
     Timeout,
     /// The job completes with its latency multiplied by the factor.
     LatencySpike(f64),
+}
+
+/// Fate drawn for one batch dispatched by the shared NPU service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServeFault {
+    /// The batch completes normally.
+    None,
+    /// The batch fails on the device (counts toward its circuit breaker).
+    Failure,
+    /// The batch completes with its device latency multiplied by the
+    /// factor.
+    Slowdown(f64),
 }
 
 /// Fate drawn for one requested DVFS transition.
@@ -47,6 +60,10 @@ pub struct FaultStats {
     pub npu_timeouts: u64,
     /// NPU jobs with a latency spike.
     pub npu_latency_spikes: u64,
+    /// Serve-path batches failed on a pooled device.
+    pub serve_failures: u64,
+    /// Serve-path batches slowed down.
+    pub serve_slowdowns: u64,
     /// Sensor samples dropped.
     pub sensor_dropouts: u64,
     /// Sensor samples served from a stuck-at latch.
@@ -69,6 +86,8 @@ impl FaultStats {
         self.npu_device_faults
             + self.npu_timeouts
             + self.npu_latency_spikes
+            + self.serve_failures
+            + self.serve_slowdowns
             + self.sensor_dropouts
             + self.sensor_stuck_samples
             + self.sensor_spikes
@@ -87,6 +106,7 @@ impl FaultStats {
 pub struct FaultInjector {
     plan: FaultPlan,
     npu_rng: StdRng,
+    serve_rng: StdRng,
     sensor_rng: StdRng,
     dvfs_rng: StdRng,
     storage_rng: StdRng,
@@ -101,6 +121,7 @@ impl FaultInjector {
         FaultInjector {
             plan,
             npu_rng: StdRng::seed_from_u64(plan.seed ^ NPU_STREAM),
+            serve_rng: StdRng::seed_from_u64(plan.seed ^ SERVE_STREAM),
             sensor_rng: StdRng::seed_from_u64(plan.seed ^ SENSOR_STREAM),
             dvfs_rng: StdRng::seed_from_u64(plan.seed ^ DVFS_STREAM),
             storage_rng: StdRng::seed_from_u64(plan.seed ^ STORAGE_STREAM),
@@ -135,6 +156,20 @@ impl FaultInjector {
             return NpuFault::LatencySpike(cfg.latency_spike_factor);
         }
         NpuFault::None
+    }
+
+    /// Draws the fate of one batch dispatched by the shared NPU service.
+    pub fn serve_batch(&mut self) -> ServeFault {
+        let cfg = self.plan.serve;
+        if cfg.failure_rate > 0.0 && self.serve_rng.random::<f64>() < cfg.failure_rate {
+            self.stats.serve_failures += 1;
+            return ServeFault::Failure;
+        }
+        if cfg.slowdown_rate > 0.0 && self.serve_rng.random::<f64>() < cfg.slowdown_rate {
+            self.stats.serve_slowdowns += 1;
+            return ServeFault::Slowdown(cfg.slowdown_factor);
+        }
+        ServeFault::None
     }
 
     /// Filters one thermal-sensor sample: returns the (possibly corrupted)
@@ -226,6 +261,7 @@ mod tests {
         let mut inj = FaultInjector::new(FaultPlan::none(7));
         for i in 0..1000u64 {
             assert_eq!(inj.npu_job(), NpuFault::None);
+            assert_eq!(inj.serve_batch(), ServeFault::None);
             assert_eq!(inj.dvfs_transition(), DvfsFault::None);
             let t = Celsius::new(25.0 + i as f64 * 0.01);
             // Exact pass-through, bit for bit.
@@ -238,13 +274,25 @@ mod tests {
     fn certain_faults_always_fire() {
         let mut plan = FaultPlan::none(3);
         plan.npu.failure_rate = 1.0;
+        plan.serve.failure_rate = 1.0;
         plan.sensor.dropout_rate = 1.0;
         plan.dvfs.reject_rate = 1.0;
         let mut inj = FaultInjector::new(plan);
         assert_eq!(inj.npu_job(), NpuFault::DeviceFault);
+        assert_eq!(inj.serve_batch(), ServeFault::Failure);
         assert_eq!(inj.sensor(SimTime::ZERO, Celsius::new(40.0)), None);
         assert_eq!(inj.dvfs_transition(), DvfsFault::Reject);
-        assert_eq!(inj.stats().total(), 3);
+        assert_eq!(inj.stats().total(), 4);
+    }
+
+    #[test]
+    fn serve_slowdowns_carry_the_configured_factor() {
+        let mut plan = FaultPlan::none(9);
+        plan.serve.slowdown_rate = 1.0;
+        plan.serve.slowdown_factor = 6.5;
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.serve_batch(), ServeFault::Slowdown(6.5));
+        assert_eq!(inj.stats().serve_slowdowns, 1);
     }
 
     #[test]

@@ -30,10 +30,12 @@
 
 #![warn(missing_docs)]
 
+mod breaker;
 mod injector;
 mod plan;
 mod storage;
 
-pub use injector::{DvfsFault, FaultInjector, FaultStats, NpuFault};
-pub use plan::{DvfsFaultConfig, FaultPlan, NpuFaultConfig, SensorFaultConfig};
+pub use breaker::{BreakerState, CircuitBreaker};
+pub use injector::{DvfsFault, FaultInjector, FaultStats, NpuFault, ServeFault};
+pub use plan::{DvfsFaultConfig, FaultPlan, NpuFaultConfig, SensorFaultConfig, ServeFaultConfig};
 pub use storage::{StorageFault, StorageFaultConfig};

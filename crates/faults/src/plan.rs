@@ -30,6 +30,31 @@ impl Default for NpuFaultConfig {
     }
 }
 
+/// Serving-path fault model for the shared NPU inference service. All
+/// rates are per *dispatched batch*, in `[0, 1]` — the serve path batches
+/// many board requests into one device job, so one fault here degrades a
+/// whole batch (which then drains to the CPU fallback).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeFaultConfig {
+    /// Probability that a dispatched batch fails on the device (counts
+    /// toward the device's circuit breaker).
+    pub failure_rate: f64,
+    /// Probability that a dispatched batch completes slowed down.
+    pub slowdown_rate: f64,
+    /// Multiplier applied to the device latency of a slowed batch.
+    pub slowdown_factor: f64,
+}
+
+impl Default for ServeFaultConfig {
+    fn default() -> Self {
+        ServeFaultConfig {
+            failure_rate: 0.0,
+            slowdown_rate: 0.0,
+            slowdown_factor: 8.0,
+        }
+    }
+}
+
 /// Thermal-sensor fault model. All rates are per sample, in `[0, 1]`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SensorFaultConfig {
@@ -92,6 +117,8 @@ pub struct FaultPlan {
     pub seed: u64,
     /// NPU job faults.
     pub npu: NpuFaultConfig,
+    /// Shared-NPU-service batch faults (the serve path).
+    pub serve: ServeFaultConfig,
     /// Thermal-sensor faults.
     pub sensor: SensorFaultConfig,
     /// DVFS actuation faults.
@@ -107,6 +134,7 @@ impl FaultPlan {
         FaultPlan {
             seed,
             npu: NpuFaultConfig::default(),
+            serve: ServeFaultConfig::default(),
             sensor: SensorFaultConfig::default(),
             dvfs: DvfsFaultConfig::default(),
             storage: StorageFaultConfig::default(),
@@ -118,6 +146,8 @@ impl FaultPlan {
         self.npu.failure_rate == 0.0
             && self.npu.timeout_rate == 0.0
             && self.npu.latency_spike_rate == 0.0
+            && self.serve.failure_rate == 0.0
+            && self.serve.slowdown_rate == 0.0
             && self.sensor.dropout_rate == 0.0
             && self.sensor.stuck_rate == 0.0
             && self.sensor.noise_std == 0.0
@@ -155,6 +185,9 @@ mod tests {
         assert!(!plan.is_zero());
         let mut plan = FaultPlan::none(0);
         plan.storage.torn_write_rate = 0.1;
+        assert!(!plan.is_zero());
+        let mut plan = FaultPlan::none(0);
+        plan.serve.slowdown_rate = 0.2;
         assert!(!plan.is_zero());
     }
 }

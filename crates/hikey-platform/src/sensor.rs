@@ -247,26 +247,30 @@ mod tests {
     #[test]
     fn impulse_spike_is_held_over() {
         let mut f = filter();
+        // Warm from the 25 °C seed to 40 °C within the 200 K/s rate bound
+        // (100 ms steps).
         for i in 1..10u64 {
-            f.ingest(ms(i), Some(Celsius::new(40.0)));
+            let r = f.ingest(ms(i * 100), Some(Celsius::new(40.0)));
+            assert_eq!(r, SensorReading::Valid(Celsius::new(40.0)), "step {i}");
         }
-        let r = f.ingest(ms(10), Some(Celsius::new(75.0)));
+        // A +35 K impulse 100 ms later (350 K/s) is implausible.
+        let r = f.ingest(ms(1000), Some(Celsius::new(75.0)));
         assert_eq!(r, SensorReading::Held(Celsius::new(40.0)));
         // Recovery on the next clean sample.
-        let r = f.ingest(ms(11), Some(Celsius::new(40.1)));
+        let r = f.ingest(ms(1100), Some(Celsius::new(40.1)));
         assert_eq!(r, SensorReading::Valid(Celsius::new(40.1)));
     }
 
     #[test]
     fn out_of_range_is_rejected() {
         let mut f = filter();
-        f.ingest(ms(1), Some(Celsius::new(30.0)));
+        f.ingest(ms(100), Some(Celsius::new(30.0)));
         assert!(matches!(
-            f.ingest(ms(2), Some(Celsius::new(-40.0))),
+            f.ingest(ms(200), Some(Celsius::new(-40.0))),
             SensorReading::Held(_)
         ));
         assert!(matches!(
-            f.ingest(ms(3), Some(Celsius::new(300.0))),
+            f.ingest(ms(300), Some(Celsius::new(300.0))),
             SensorReading::Held(_)
         ));
         assert_eq!(f.rejected_samples(), 2);
@@ -275,21 +279,25 @@ mod tests {
     #[test]
     fn dropouts_hold_then_lose_after_deadline() {
         let mut f = filter();
-        f.ingest(ms(1), Some(Celsius::new(50.0)));
+        // 25 °C seed → 50 °C over 200 ms = 125 K/s: plausible.
+        assert_eq!(
+            f.ingest(ms(200), Some(Celsius::new(50.0))),
+            SensorReading::Valid(Celsius::new(50.0))
+        );
         // Within the deadline: held.
-        for i in 2..=500u64 {
+        for i in 201..=700u64 {
             assert_eq!(
                 f.ingest(ms(i), None),
                 SensorReading::Held(Celsius::new(50.0))
             );
         }
-        // Past the deadline (last good at 1 ms + 500 ms hold): lost.
-        assert_eq!(f.ingest(ms(502), None), SensorReading::Lost);
+        // Past the deadline (last good at 200 ms + 500 ms hold): lost.
+        assert_eq!(f.ingest(ms(702), None), SensorReading::Lost);
         assert!(f.is_lost());
         assert_eq!(f.lost_events(), 1);
         // A good sample restores service.
         assert_eq!(
-            f.ingest(ms(503), Some(Celsius::new(50.2))),
+            f.ingest(ms(703), Some(Celsius::new(50.2))),
             SensorReading::Valid(Celsius::new(50.2))
         );
         assert!(!f.is_lost());

@@ -1,0 +1,168 @@
+//! [`topil::PolicyClient`] adapter over the shared service.
+
+use std::sync::{Arc, Mutex};
+
+use faults::BreakerState;
+use hmc_types::{SimDuration, SimTime};
+use nn::Matrix;
+use topil::{ClientReply, InferenceBackend, PolicyClient};
+
+use crate::NpuService;
+
+/// A board's handle on the shared inference service.
+///
+/// Implements [`topil::PolicyClient`], so a board's
+/// [`topil::MigrationPolicy`] issues its epoch requests through the
+/// shared pool without knowing it is not a dedicated NPU. On an
+/// admission-control rejection the client backs off by the advertised
+/// retry-after and re-submits, up to
+/// [`client_retries`](crate::ServeConfig::client_retries) times; if every
+/// attempt is rejected the epoch degrades (reply without output), which
+/// the policy reports as a missed decision deadline.
+///
+/// Cloning yields another handle on the *same* service.
+#[derive(Debug, Clone)]
+pub struct SharedClient {
+    service: Arc<Mutex<NpuService>>,
+}
+
+impl SharedClient {
+    /// A client handle on `service`.
+    pub fn new(service: Arc<Mutex<NpuService>>) -> Self {
+        SharedClient { service }
+    }
+
+    /// Wraps a freshly built service and returns the first handle on it.
+    pub fn from_service(service: NpuService) -> Self {
+        SharedClient::new(Arc::new(Mutex::new(service)))
+    }
+
+    /// The shared service behind this handle.
+    pub fn service(&self) -> Arc<Mutex<NpuService>> {
+        Arc::clone(&self.service)
+    }
+}
+
+impl PolicyClient for SharedClient {
+    fn infer(&mut self, batch: &Matrix, now: SimTime) -> ClientReply {
+        let mut service = self.service.lock().expect("service mutex poisoned");
+        let retries = service.config().client_retries;
+        let max_wait = service.config().max_wait;
+        let mut waited = SimDuration::ZERO;
+        for _ in 0..=retries {
+            match service.submit(batch, now + waited) {
+                Ok(ticket) => {
+                    // Advance past this request's deadline so its batch
+                    // is guaranteed dispatched, then redeem the ticket.
+                    let admitted_at = service.now();
+                    service.run_until(admitted_at + max_wait);
+                    let mut reply = service
+                        .take_reply(ticket)
+                        .expect("deadline elapsed, reply must be ready");
+                    // The board also waited out the rejected attempts.
+                    reply.latency += waited;
+                    return reply;
+                }
+                Err(rejected) => {
+                    waited += rejected.retry_after;
+                }
+            }
+        }
+        // Every attempt bounced off admission control: give the epoch up.
+        ClientReply {
+            output: None,
+            latency: waited,
+            cpu_time: SimDuration::ZERO,
+            backend: InferenceBackend::Npu,
+            npu_failures: 0,
+            fallback_active: false,
+            jobs: Vec::new(),
+            breaker_opened: false,
+        }
+    }
+
+    fn breaker_state(&self) -> BreakerState {
+        let service = self.service.lock().expect("service mutex poisoned");
+        if service.all_breakers_open() {
+            BreakerState::Open
+        } else {
+            BreakerState::Closed
+        }
+    }
+
+    fn breaker_opens(&self) -> u64 {
+        self.service
+            .lock()
+            .expect("service mutex poisoned")
+            .breaker_opens()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn PolicyClient> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServeConfig;
+    use nn::Mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp() -> Mlp {
+        Mlp::with_topology(21, 4, 64, 8, &mut StdRng::seed_from_u64(3))
+    }
+
+    #[test]
+    fn shared_client_serves_through_the_pool() {
+        let net = mlp();
+        let mut client = SharedClient::from_service(NpuService::new(&net, ServeConfig::default()));
+        let batch = Matrix::from_rows(vec![vec![0.25; 21]; 4]);
+        let reply = client.infer(&batch, SimTime::from_millis(7));
+        assert_eq!(reply.output.unwrap().rows(), 4);
+        assert_eq!(reply.backend, InferenceBackend::Npu);
+        assert!(!reply.fallback_active);
+        assert_eq!(reply.jobs.len(), 1);
+        // max_wait passed before the solo batch dispatched, so the reply
+        // latency includes the batching delay.
+        let service = client.service();
+        let stats_latency = service
+            .lock()
+            .unwrap()
+            .stats()
+            .latency_percentile(1.0)
+            .unwrap();
+        assert_eq!(reply.latency, stats_latency);
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_the_epoch() {
+        let net = mlp();
+        let config = ServeConfig {
+            queue_capacity: 1,
+            // Requests only dispatch far in the future, so the queue
+            // never drains between retries.
+            max_wait: SimDuration::from_secs(1),
+            max_batch: 16,
+            client_retries: 2,
+            ..ServeConfig::default()
+        };
+        let blocker = SharedClient::from_service(NpuService::new(&net, config));
+        let mut client = blocker.clone();
+        let row = Matrix::from_rows(vec![vec![0.5; 21]]);
+        // Fill the only queue slot (ticket intentionally unredeemed).
+        blocker
+            .service()
+            .lock()
+            .unwrap()
+            .submit(&row, SimTime::ZERO)
+            .unwrap();
+        let reply = client.infer(&row, SimTime::ZERO);
+        assert!(reply.output.is_none());
+        // First try plus `client_retries` retries, all rejected.
+        assert_eq!(reply.latency, config.retry_after * 3);
+        let service = client.service();
+        assert_eq!(service.lock().unwrap().stats().rejected, 3);
+    }
+}

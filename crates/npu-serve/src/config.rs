@@ -1,0 +1,64 @@
+//! Service configuration.
+
+use hmc_types::SimDuration;
+
+/// Tunables of the shared inference service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// NPU devices in the pool.
+    pub devices: usize,
+    /// Worker threads computing ready batches (std threads, no runtime).
+    pub workers: usize,
+    /// Maximum requests coalesced into one batch call; reaching it
+    /// dispatches immediately.
+    pub max_batch: usize,
+    /// Deadline of the dynamic batcher: a pending request is dispatched at
+    /// the latest `max_wait` after submission, batched with whatever else
+    /// is waiting.
+    pub max_wait: SimDuration,
+    /// Admission control: pending requests beyond this are rejected with a
+    /// retry-after hint instead of queued.
+    pub queue_capacity: usize,
+    /// The back-off hint returned with a rejection.
+    pub retry_after: SimDuration,
+    /// Consecutive failures after which a device's circuit breaker opens.
+    pub breaker_threshold: u32,
+    /// Dispatches a breaker stays open before a half-open probe.
+    pub breaker_cooldown: u32,
+    /// Times a [`crate::SharedClient`] re-submits after a rejection before
+    /// giving the epoch up.
+    pub client_retries: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            devices: 2,
+            workers: 4,
+            max_batch: 16,
+            // Half the driver round-trip: waiting this long to fill a
+            // batch costs less than a second round-trip would.
+            max_wait: SimDuration::from_millis(2),
+            queue_capacity: 64,
+            retry_after: SimDuration::from_millis(1),
+            breaker_threshold: 3,
+            breaker_cooldown: 8,
+            client_retries: 3,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration (non-zero pool, batch and capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero device count, batch size, queue capacity or worker
+    /// count.
+    pub fn validate(&self) {
+        assert!(self.devices > 0, "need at least one device");
+        assert!(self.workers > 0, "need at least one worker");
+        assert!(self.max_batch > 0, "batch size must be positive");
+        assert!(self.queue_capacity > 0, "queue capacity must be positive");
+    }
+}

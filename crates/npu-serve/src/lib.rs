@@ -1,0 +1,60 @@
+//! Shared NPU inference service with dynamic batching.
+//!
+//! The paper gives every HiKey 970 board its own NPU. At fleet scale that
+//! inverts: the NPU's driver round-trip (~3.9 ms) dominates and is nearly
+//! independent of the batch size, so a *pool* of shared devices serving
+//! many boards' migration-decision requests through one batched call
+//! amortizes the round-trip across the fleet. This crate is that service:
+//!
+//! * [`SubmissionQueue`] — a bounded queue with admission control: when
+//!   the backlog hits capacity, new requests are rejected with a
+//!   retry-after hint (and a `QueueSaturated` trace event) instead of
+//!   growing the queue without bound,
+//! * [`NpuService`] — the dynamic batcher and virtual-time device pool:
+//!   pending requests coalesce into one batch call once `max_batch`
+//!   requests wait or the oldest request hits its `max_wait` deadline
+//!   (deadline-aware ordering), the batch lands on the earliest-free
+//!   device ([`npu::Occupancy`]), and each request's activations are
+//!   quantized in its own group ([`npu::NpuModel::infer_grouped`]) so
+//!   results are **bit-identical** to dedicated-device issuance,
+//! * per-device **circuit breakers** (reusing [`faults::CircuitBreaker`])
+//!   — a device that keeps failing is taken out of rotation and its
+//!   traffic drains to a CPU fallback until the cooldown probe passes,
+//! * [`SharedClient`] — a [`topil::PolicyClient`] adapter, so a board's
+//!   migration policy issues its requests through the shared service
+//!   without knowing it is not a dedicated NPU,
+//! * a **worker pool** of std threads (no async runtime) that computes
+//!   ready batches in parallel; results are joined in dispatch order so
+//!   the service stays deterministic.
+//!
+//! # Examples
+//!
+//! ```
+//! use hmc_types::SimTime;
+//! use nn::{Matrix, Mlp};
+//! use npu_serve::{NpuService, ServeConfig};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mlp = Mlp::with_topology(21, 4, 64, 8, &mut StdRng::seed_from_u64(0));
+//! let mut service = NpuService::new(&mlp, ServeConfig::default());
+//! let request = Matrix::from_rows(vec![vec![0.1; 21]; 3]);
+//! let ticket = service.submit(&request, SimTime::ZERO).unwrap();
+//! service.flush(SimTime::ZERO);
+//! let reply = service.take_reply(ticket).unwrap();
+//! assert_eq!(reply.output.unwrap().rows(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod client;
+mod config;
+mod queue;
+mod service;
+mod stats;
+
+pub use client::SharedClient;
+pub use config::ServeConfig;
+pub use queue::{Rejected, SubmissionQueue};
+pub use service::{NpuService, RequestTicket};
+pub use stats::ServeStats;

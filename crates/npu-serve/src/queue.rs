@@ -1,0 +1,144 @@
+//! Bounded submission queue with admission control.
+
+use hmc_types::{SimDuration, SimTime};
+use nn::Matrix;
+
+/// Admission-control rejection: the queue is at capacity. The caller
+/// should retry no earlier than `retry_after` from the rejected submit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected {
+    /// Back-off hint advertised by the service.
+    pub retry_after: SimDuration,
+}
+
+/// One queued inference request.
+#[derive(Debug, Clone)]
+pub(crate) struct QueuedRequest {
+    /// Ticket id.
+    pub id: u64,
+    /// The request's stacked feature rows.
+    pub rows: Matrix,
+    /// Virtual submission time.
+    pub submitted_at: SimTime,
+    /// Latest dispatch time the batcher may delay this request to.
+    pub deadline: SimTime,
+}
+
+/// A bounded queue ordered by `(deadline, id)` — the dynamic batcher
+/// always drains the most urgent requests first, and admission control
+/// rejects (rather than queues) once `capacity` requests wait.
+///
+/// # Examples
+///
+/// ```
+/// use hmc_types::SimDuration;
+/// use npu_serve::SubmissionQueue;
+///
+/// let queue = SubmissionQueue::new(8, SimDuration::from_millis(1));
+/// assert_eq!(queue.len(), 0);
+/// assert!(queue.next_deadline().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubmissionQueue {
+    capacity: usize,
+    retry_after: SimDuration,
+    /// Kept sorted by `(deadline, id)`.
+    entries: Vec<QueuedRequest>,
+}
+
+impl SubmissionQueue {
+    /// An empty queue admitting at most `capacity` pending requests.
+    pub fn new(capacity: usize, retry_after: SimDuration) -> Self {
+        SubmissionQueue {
+            capacity,
+            retry_after,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Pending requests.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The earliest deadline among pending requests.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.entries.first().map(|e| e.deadline)
+    }
+
+    /// Admits a request, keeping `(deadline, id)` order, or rejects it
+    /// with the retry-after hint when the queue is full.
+    pub(crate) fn try_push(&mut self, request: QueuedRequest) -> Result<(), Rejected> {
+        if self.entries.len() >= self.capacity {
+            return Err(Rejected {
+                retry_after: self.retry_after,
+            });
+        }
+        let key = (request.deadline, request.id);
+        let at = self.entries.partition_point(|e| (e.deadline, e.id) <= key);
+        self.entries.insert(at, request);
+        Ok(())
+    }
+
+    /// Removes and returns the `n` most urgent requests (fewer when less
+    /// is pending).
+    pub(crate) fn take(&mut self, n: usize) -> Vec<QueuedRequest> {
+        let n = n.min(self.entries.len());
+        self.entries.drain(..n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, deadline_ms: u64) -> QueuedRequest {
+        QueuedRequest {
+            id,
+            rows: Matrix::zeros(1, 2),
+            submitted_at: SimTime::ZERO,
+            deadline: SimTime::from_millis(deadline_ms),
+        }
+    }
+
+    #[test]
+    fn drains_in_deadline_order() {
+        let mut q = SubmissionQueue::new(8, SimDuration::from_millis(1));
+        q.try_push(req(0, 30)).unwrap();
+        q.try_push(req(1, 10)).unwrap();
+        q.try_push(req(2, 20)).unwrap();
+        assert_eq!(q.next_deadline(), Some(SimTime::from_millis(10)));
+        let taken = q.take(2);
+        assert_eq!(taken[0].id, 1);
+        assert_eq!(taken[1].id, 2);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn equal_deadlines_keep_submission_order() {
+        let mut q = SubmissionQueue::new(8, SimDuration::from_millis(1));
+        for id in 0..4 {
+            q.try_push(req(id, 10)).unwrap();
+        }
+        let ids: Vec<u64> = q.take(4).into_iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rejects_at_capacity_with_retry_hint() {
+        let mut q = SubmissionQueue::new(2, SimDuration::from_millis(3));
+        q.try_push(req(0, 10)).unwrap();
+        q.try_push(req(1, 10)).unwrap();
+        let err = q.try_push(req(2, 10)).unwrap_err();
+        assert_eq!(err.retry_after, SimDuration::from_millis(3));
+        assert_eq!(q.len(), 2);
+        // Draining makes room again.
+        q.take(1);
+        assert!(q.try_push(req(3, 12)).is_ok());
+    }
+}

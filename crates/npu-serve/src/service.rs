@@ -1,0 +1,690 @@
+//! The shared inference service: dynamic batcher + virtual-time device
+//! pool.
+
+use std::collections::HashMap;
+
+use faults::{BreakerState, CircuitBreaker, FaultInjector, ServeFault};
+use hmc_types::{SimDuration, SimTime};
+use nn::{Matrix, Mlp};
+use npu::{CpuInference, NpuDevice, NpuModel, Occupancy};
+use topil::{ClientJob, ClientReply, InferenceBackend};
+use trace::{TraceBackend, TraceEvent};
+
+use crate::queue::QueuedRequest;
+use crate::{Rejected, ServeConfig, ServeStats, SubmissionQueue};
+
+/// Handle of an admitted request; redeem it with
+/// [`NpuService::take_reply`] once the service has advanced past the
+/// request's completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestTicket(u64);
+
+/// One pooled device: its cost model, busy-horizon bookkeeping, and the
+/// circuit breaker fencing it off after consecutive failures.
+#[derive(Debug, Clone)]
+struct DeviceLane {
+    device: NpuDevice,
+    occupancy: Occupancy,
+    breaker: CircuitBreaker,
+}
+
+/// A dispatched batch whose output has not been computed yet. Scheduling
+/// (device choice, timing, faults, breakers) happens at dispatch;
+/// the numeric inference is deferred so the worker pool can compute many
+/// batches in parallel.
+#[derive(Debug, Clone)]
+struct BatchPlan {
+    requests: Vec<QueuedRequest>,
+    /// Pool index of the serving device; `None` when the CPU served.
+    device: Option<u8>,
+    /// Device attempt `(latency, ok)`, when one was made.
+    npu: Option<(SimDuration, bool)>,
+    /// CPU-fallback latency, when the CPU (also) served the batch.
+    fallback: Option<SimDuration>,
+    completes_at: SimTime,
+    breaker_opened: bool,
+}
+
+/// The shared NPU inference service.
+///
+/// The service runs in **virtual time**: `submit`, `run_until` and
+/// `flush` carry explicit [`SimTime`] stamps and the service's clock only
+/// moves forward. Given the same submission schedule it produces the same
+/// batches, latencies and outputs — and because multi-request batches are
+/// executed with per-request quantization groups, every reply is
+/// bit-identical to serving that request alone on a dedicated device.
+#[derive(Debug)]
+pub struct NpuService {
+    config: ServeConfig,
+    /// The compiled int8 model every pooled device executes.
+    model: NpuModel,
+    /// Float model for the CPU fallback path (mirrors the dedicated
+    /// client's fallback substrate).
+    mlp: Mlp,
+    /// Cost model of one pool device (the pool is homogeneous).
+    device_model: NpuDevice,
+    cpu: CpuInference,
+    macs: usize,
+    lanes: Vec<DeviceLane>,
+    injector: Option<FaultInjector>,
+    queue: SubmissionQueue,
+    /// Dispatched batches awaiting numeric computation.
+    inflight: Vec<BatchPlan>,
+    replies: HashMap<u64, ClientReply>,
+    stats: ServeStats,
+    events: Vec<TraceEvent>,
+    clock: SimTime,
+    next_id: u64,
+}
+
+impl NpuService {
+    /// Compiles `mlp` for the pool and starts an idle service.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration (see [`ServeConfig::validate`]).
+    pub fn new(mlp: &Mlp, config: ServeConfig) -> Self {
+        config.validate();
+        let device_model = NpuDevice::kirin970();
+        let lanes = (0..config.devices)
+            .map(|_| DeviceLane {
+                device: device_model,
+                occupancy: Occupancy::new(),
+                breaker: CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown),
+            })
+            .collect();
+        NpuService {
+            model: NpuModel::compile(mlp),
+            mlp: mlp.clone(),
+            device_model,
+            cpu: CpuInference::cortex_a73(),
+            macs: mlp.macs(),
+            lanes,
+            injector: None,
+            queue: SubmissionQueue::new(config.queue_capacity, config.retry_after),
+            inflight: Vec::new(),
+            replies: HashMap::new(),
+            stats: ServeStats::default(),
+            events: Vec::new(),
+            clock: SimTime::ZERO,
+            next_id: 0,
+            config,
+        }
+    }
+
+    /// Attaches a fault injector; its `serve` domain draws one fate per
+    /// dispatched batch that reaches a device.
+    pub fn with_fault_injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// The service's virtual clock.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Requests waiting in the submission queue.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Circuit-breaker states of the pool, by device index.
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        self.lanes.iter().map(|l| l.breaker.state()).collect()
+    }
+
+    /// Total breaker openings across the pool.
+    pub fn breaker_opens(&self) -> u64 {
+        self.lanes.iter().map(|l| l.breaker.opens()).sum()
+    }
+
+    /// Whether every device is currently fenced off.
+    pub fn all_breakers_open(&self) -> bool {
+        self.lanes
+            .iter()
+            .all(|l| l.breaker.state() == BreakerState::Open)
+    }
+
+    /// Per-device busy time accumulated so far, by pool index.
+    pub fn device_busy_times(&self) -> Vec<SimDuration> {
+        self.lanes.iter().map(|l| l.occupancy.busy_time()).collect()
+    }
+
+    /// Drains the trace events (`BatchDispatched`, `QueueSaturated`)
+    /// accumulated since the last drain, in dispatch order.
+    pub fn drain_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Submits one request (`rows` feature rows, one board's epoch batch)
+    /// at virtual time `now`.
+    ///
+    /// Admission control rejects the request with a retry-after hint when
+    /// the queue is at capacity. An admitted request dispatches once
+    /// `max_batch` requests wait or its `max_wait` deadline passes,
+    /// whichever is first.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty request or mismatched feature width.
+    pub fn submit(&mut self, rows: &Matrix, now: SimTime) -> Result<RequestTicket, Rejected> {
+        assert!(rows.rows() > 0, "empty request");
+        assert_eq!(rows.cols(), self.model.input_size(), "input width mismatch");
+        let now = self.clock.max(now);
+        // Fire deadlines that elapsed before this arrival.
+        self.run_until(now);
+        let id = self.next_id;
+        let request = QueuedRequest {
+            id,
+            rows: rows.clone(),
+            submitted_at: now,
+            deadline: now + self.config.max_wait,
+        };
+        match self.queue.try_push(request) {
+            Err(rejected) => {
+                self.stats.rejected += 1;
+                self.events.push(TraceEvent::QueueSaturated {
+                    at: now,
+                    depth: self.queue.len() as u32,
+                    retry_after: rejected.retry_after,
+                });
+                Err(rejected)
+            }
+            Ok(()) => {
+                self.next_id += 1;
+                self.stats.submitted += 1;
+                while self.queue.len() >= self.config.max_batch {
+                    self.dispatch_one(now);
+                }
+                Ok(RequestTicket(id))
+            }
+        }
+    }
+
+    /// Advances virtual time to `now`, dispatching every batch whose
+    /// `max_wait` deadline falls at or before it.
+    pub fn run_until(&mut self, now: SimTime) {
+        while let Some(deadline) = self.queue.next_deadline() {
+            if deadline > now {
+                break;
+            }
+            let at = self.clock.max(deadline);
+            self.clock = at;
+            self.dispatch_one(at);
+        }
+        self.clock = self.clock.max(now);
+    }
+
+    /// Advances to `now` and force-dispatches everything still pending
+    /// (end of an epoch or shutdown): afterwards every admitted request
+    /// has a reply.
+    pub fn flush(&mut self, now: SimTime) {
+        self.run_until(now);
+        while !self.queue.is_empty() {
+            let at = self.clock;
+            self.dispatch_one(at);
+        }
+        self.drain_compute();
+    }
+
+    /// Redeems a ticket. Returns `None` while the request is still
+    /// pending (advance the clock past its deadline, or `flush`).
+    pub fn take_reply(&mut self, ticket: RequestTicket) -> Option<ClientReply> {
+        self.drain_compute();
+        self.replies.remove(&ticket.0)
+    }
+
+    /// Forms one batch from the most urgent pending requests and
+    /// schedules it on the pool.
+    fn dispatch_one(&mut self, at: SimTime) {
+        let requests = self.queue.take(self.config.max_batch);
+        debug_assert!(!requests.is_empty(), "dispatch with empty queue");
+        let rows: usize = requests.iter().map(|r| r.rows.rows()).sum();
+
+        // Every dispatch advances open breakers' cooldowns one step.
+        for lane in &mut self.lanes {
+            if lane.breaker.state() == BreakerState::Open {
+                lane.breaker.epoch_elapsed();
+            }
+        }
+
+        // Earliest-free healthy device; ties go to the lowest index.
+        let lane_idx = self
+            .lanes
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.breaker.state() != BreakerState::Open)
+            .min_by_key(|(i, l)| (l.occupancy.next_start(at), *i))
+            .map(|(i, _)| i);
+
+        let fault = match (&mut self.injector, lane_idx) {
+            (Some(injector), Some(_)) => injector.serve_batch(),
+            _ => ServeFault::None,
+        };
+
+        let plan = match lane_idx {
+            None => {
+                // Every device fenced off: serve the batch on the host
+                // CPU so no request is dropped.
+                let cpu_latency = self.cpu.latency(self.macs, rows);
+                self.stats.cpu_fallback_batches += 1;
+                BatchPlan {
+                    requests,
+                    device: None,
+                    npu: None,
+                    fallback: Some(cpu_latency),
+                    completes_at: at + cpu_latency,
+                    breaker_opened: false,
+                }
+            }
+            Some(i) => {
+                let lane = &mut self.lanes[i];
+                let base = lane.device.inference_latency(&self.model, rows);
+                let latency = match fault {
+                    ServeFault::Slowdown(factor) => {
+                        SimDuration::from_secs_f64(base.as_secs_f64() * factor)
+                    }
+                    _ => base,
+                };
+                let (_start, end) = lane.occupancy.reserve(at, latency);
+                if let ServeFault::Failure = fault {
+                    // The device burned its reservation, the breaker
+                    // records the failure, and the CPU re-serves the
+                    // batch afterwards.
+                    let opens_before = lane.breaker.opens();
+                    lane.breaker.record_failure();
+                    let breaker_opened = lane.breaker.opens() > opens_before;
+                    let cpu_latency = self.cpu.latency(self.macs, rows);
+                    self.stats.failed_batches += 1;
+                    self.stats.cpu_fallback_batches += 1;
+                    BatchPlan {
+                        requests,
+                        device: Some(i as u8),
+                        npu: Some((latency, false)),
+                        fallback: Some(cpu_latency),
+                        completes_at: end + cpu_latency,
+                        breaker_opened,
+                    }
+                } else {
+                    lane.breaker.record_success();
+                    BatchPlan {
+                        requests,
+                        device: Some(i as u8),
+                        npu: Some((latency, true)),
+                        fallback: None,
+                        completes_at: end,
+                        breaker_opened: false,
+                    }
+                }
+            }
+        };
+
+        self.stats.record_batch(plan.requests.len(), rows);
+        self.events.push(TraceEvent::BatchDispatched {
+            at,
+            device: plan.device,
+            requests: plan.requests.len() as u32,
+            rows: rows as u32,
+            latency: plan.completes_at.since(at),
+        });
+        self.inflight.push(plan);
+    }
+
+    /// Computes every in-flight batch on the worker pool and files the
+    /// per-request replies. Join order is dispatch order, so results are
+    /// deterministic regardless of worker interleaving.
+    fn drain_compute(&mut self) {
+        if self.inflight.is_empty() {
+            return;
+        }
+        let plans = std::mem::take(&mut self.inflight);
+        let outputs = compute_outputs(&self.model, &self.mlp, &plans, self.config.workers);
+        for (plan, output) in plans.into_iter().zip(outputs) {
+            self.file_replies(plan, output);
+        }
+    }
+
+    /// Splits a batch output back into per-request replies.
+    fn file_replies(&mut self, plan: BatchPlan, output: Matrix) {
+        let total_rows: usize = plan.requests.iter().map(|r| r.rows.rows()).sum();
+        let mut jobs = Vec::new();
+        if let Some((latency, ok)) = plan.npu {
+            jobs.push(ClientJob {
+                batch: total_rows as u32,
+                latency,
+                backend: TraceBackend::Npu,
+                ok,
+            });
+        }
+        if let Some(cpu_latency) = plan.fallback {
+            jobs.push(ClientJob {
+                batch: total_rows as u32,
+                latency: cpu_latency,
+                backend: TraceBackend::Cpu,
+                ok: true,
+            });
+        }
+        let backend = if plan.fallback.is_some() {
+            InferenceBackend::Cpu
+        } else {
+            InferenceBackend::Npu
+        };
+        let npu_failures = u32::from(matches!(plan.npu, Some((_, false))));
+        let cols = output.cols();
+        let mut start_row = 0usize;
+        for request in &plan.requests {
+            let n = request.rows.rows();
+            let flat = output.as_slice()[start_row * cols..(start_row + n) * cols].to_vec();
+            start_row += n;
+            let latency = plan.completes_at.since(request.submitted_at);
+            self.stats.record_reply(latency);
+            self.replies.insert(
+                request.id,
+                ClientReply {
+                    output: Some(Matrix::from_flat(n, cols, flat)),
+                    latency,
+                    // The board pays the driver marshalling for its own
+                    // rows; the batched device time is the service's.
+                    cpu_time: self.device_model.host_cpu_time(n),
+                    backend,
+                    npu_failures,
+                    fallback_active: plan.fallback.is_some(),
+                    jobs: jobs.clone(),
+                    breaker_opened: plan.breaker_opened,
+                },
+            );
+        }
+    }
+}
+
+/// Runs the numeric inference for `plans` on a pool of std worker
+/// threads. Plan `i` is handled by worker `i % workers`; results are
+/// re-assembled by index, so the output order never depends on thread
+/// scheduling.
+fn compute_outputs(
+    model: &NpuModel,
+    mlp: &Mlp,
+    plans: &[BatchPlan],
+    workers: usize,
+) -> Vec<Matrix> {
+    let n = plans.len();
+    let workers = workers.min(n).max(1);
+    let mut outputs: Vec<Option<Matrix>> = vec![None; n];
+    if workers == 1 {
+        for (slot, plan) in outputs.iter_mut().zip(plans) {
+            *slot = Some(run_plan(model, mlp, plan));
+        }
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        plans
+                            .iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(workers)
+                            .map(|(i, plan)| (i, run_plan(model, mlp, plan)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, output) in handle.join().expect("serve worker panicked") {
+                    outputs[i] = Some(output);
+                }
+            }
+        });
+    }
+    outputs
+        .into_iter()
+        .map(|o| o.expect("every plan computed"))
+        .collect()
+}
+
+/// Executes one batch: int8 grouped inference on the NPU path (one
+/// quantization group per request, bit-identical to dedicated issuance),
+/// float inference on the CPU-fallback path (mirroring the dedicated
+/// client's fallback substrate).
+fn run_plan(model: &NpuModel, mlp: &Mlp, plan: &BatchPlan) -> Matrix {
+    let cols = plan.requests[0].rows.cols();
+    let total_rows: usize = plan.requests.iter().map(|r| r.rows.rows()).sum();
+    let mut flat = Vec::with_capacity(total_rows * cols);
+    for request in &plan.requests {
+        flat.extend_from_slice(request.rows.as_slice());
+    }
+    let stacked = Matrix::from_flat(total_rows, cols, flat);
+    if plan.fallback.is_some() {
+        mlp.forward_batch(&stacked)
+    } else {
+        let groups: Vec<usize> = plan.requests.iter().map(|r| r.rows.rows()).collect();
+        model.infer_grouped(&stacked, &groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faults::FaultPlan;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp() -> Mlp {
+        Mlp::with_topology(21, 4, 64, 8, &mut StdRng::seed_from_u64(3))
+    }
+
+    fn request(seed: usize, rows: usize) -> Matrix {
+        Matrix::from_rows(
+            (0..rows)
+                .map(|r| {
+                    (0..21)
+                        .map(|c| ((seed * 31 + r * 7 + c * 3) % 17) as f32 / 17.0 - 0.5)
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+
+    fn ms(t: u64) -> SimTime {
+        SimTime::from_millis(t)
+    }
+
+    #[test]
+    fn deadline_coalesces_waiting_requests_into_one_batch() {
+        let net = mlp();
+        let mut service = NpuService::new(&net, ServeConfig::default());
+        let tickets: Vec<_> = (0..4)
+            .map(|i| service.submit(&request(i, 2), ms(10)).unwrap())
+            .collect();
+        // Nothing dispatched before the oldest deadline.
+        assert_eq!(service.stats().batches, 0);
+        service.run_until(ms(13)); // max_wait = 2 ms
+        assert_eq!(service.stats().batches, 1);
+        assert_eq!(service.stats().batch_histogram()[4], 1);
+        for t in tickets {
+            let reply = service.take_reply(t).unwrap();
+            assert_eq!(reply.output.unwrap().rows(), 2);
+            assert!(!reply.fallback_active);
+        }
+        assert_eq!(service.stats().dropped(), 0);
+    }
+
+    #[test]
+    fn full_batch_dispatches_immediately() {
+        let net = mlp();
+        let config = ServeConfig {
+            max_batch: 3,
+            ..ServeConfig::default()
+        };
+        let mut service = NpuService::new(&net, config);
+        for i in 0..3 {
+            service.submit(&request(i, 1), ms(5)).unwrap();
+        }
+        // The third submission filled the batch: dispatched at 5 ms, not
+        // at the 7 ms deadline.
+        assert_eq!(service.stats().batches, 1);
+        let events = service.drain_events();
+        match &events[0] {
+            TraceEvent::BatchDispatched {
+                at, requests, rows, ..
+            } => {
+                assert_eq!(*at, ms(5));
+                assert_eq!(*requests, 3);
+                assert_eq!(*rows, 3);
+            }
+            other => panic!("expected BatchDispatched, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn admission_control_rejects_and_recovers() {
+        let net = mlp();
+        let config = ServeConfig {
+            queue_capacity: 2,
+            max_batch: 16,
+            ..ServeConfig::default()
+        };
+        let mut service = NpuService::new(&net, config);
+        service.submit(&request(0, 1), ms(1)).unwrap();
+        service.submit(&request(1, 1), ms(1)).unwrap();
+        let rejected = service.submit(&request(2, 1), ms(1)).unwrap_err();
+        assert_eq!(rejected.retry_after, config.retry_after);
+        assert_eq!(service.stats().rejected, 1);
+        let events = service.drain_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::QueueSaturated { depth: 2, .. })));
+        // After the deadline drains the queue, the retry is admitted.
+        let t = service.submit(&request(2, 1), ms(4)).unwrap();
+        service.flush(ms(10));
+        assert!(service.take_reply(t).unwrap().output.is_some());
+        assert_eq!(service.stats().dropped(), 0);
+    }
+
+    #[test]
+    fn batched_replies_bit_identical_to_dedicated_inference() {
+        let net = mlp();
+        let compiled = NpuModel::compile(&net);
+        let mut service = NpuService::new(&net, ServeConfig::default());
+        let requests: Vec<Matrix> = (0..5).map(|i| request(i, 1 + i % 3)).collect();
+        let tickets: Vec<_> = requests
+            .iter()
+            .map(|r| service.submit(r, ms(2)).unwrap())
+            .collect();
+        service.flush(ms(100));
+        assert!(service.stats().batches < 5, "requests must coalesce");
+        for (r, t) in requests.iter().zip(tickets) {
+            let reply = service.take_reply(t).unwrap();
+            // Same bits as a dedicated device serving this request alone.
+            assert_eq!(reply.output.unwrap(), compiled.infer(r));
+        }
+    }
+
+    #[test]
+    fn occupancy_queues_batches_behind_busy_devices() {
+        let net = mlp();
+        let config = ServeConfig {
+            devices: 1,
+            max_batch: 1,
+            ..ServeConfig::default()
+        };
+        let mut service = NpuService::new(&net, config);
+        // Three single-request batches dispatched back to back on one
+        // device: each completion is pushed behind the previous one.
+        let tickets: Vec<_> = (0..3)
+            .map(|i| service.submit(&request(i, 1), ms(1)).unwrap())
+            .collect();
+        service.flush(ms(1));
+        let latencies: Vec<_> = tickets
+            .into_iter()
+            .map(|t| service.take_reply(t).unwrap().latency)
+            .collect();
+        assert!(latencies[1] > latencies[0]);
+        assert!(latencies[2] > latencies[1]);
+        assert_eq!(service.device_busy_times().len(), 1);
+        assert!(service.device_busy_times()[0] >= latencies[0] * 2);
+    }
+
+    #[test]
+    fn device_failures_open_breaker_and_drain_to_cpu() {
+        let net = mlp();
+        let mut plan = FaultPlan::none(11);
+        plan.serve.failure_rate = 1.0;
+        let config = ServeConfig {
+            devices: 2,
+            max_batch: 1,
+            breaker_threshold: 2,
+            breaker_cooldown: 50,
+            ..ServeConfig::default()
+        };
+        let mut service =
+            NpuService::new(&net, config).with_fault_injector(FaultInjector::new(plan));
+        let mut replies = Vec::new();
+        for i in 0..8 {
+            let t = service.submit(&request(i, 1), ms(i as u64)).unwrap();
+            service.flush(ms(i as u64));
+            replies.push(service.take_reply(t).unwrap());
+        }
+        // Two failures per device open both breakers...
+        assert!(service.all_breakers_open());
+        assert_eq!(service.breaker_opens(), 2);
+        // ...yet every request was answered (failed batches re-served on
+        // the CPU, later ones drained directly to the fallback).
+        assert_eq!(service.stats().dropped(), 0);
+        assert!(replies.iter().all(|r| r.output.is_some()));
+        assert!(replies.iter().all(|r| r.fallback_active));
+        let last = replies.last().unwrap();
+        // Once fenced off, no device attempt is made at all.
+        assert_eq!(last.npu_failures, 0);
+        assert_eq!(last.jobs.len(), 1);
+        assert_eq!(last.jobs[0].backend, TraceBackend::Cpu);
+    }
+
+    #[test]
+    fn slowdown_faults_stretch_batch_latency() {
+        let net = mlp();
+        let mut plan = FaultPlan::none(13);
+        plan.serve.slowdown_rate = 1.0;
+        plan.serve.slowdown_factor = 10.0;
+        let config = ServeConfig {
+            max_batch: 1,
+            ..ServeConfig::default()
+        };
+        let mut clean = NpuService::new(&net, config);
+        let mut slowed =
+            NpuService::new(&net, config).with_fault_injector(FaultInjector::new(plan));
+        let tc = clean.submit(&request(0, 2), ms(1)).unwrap();
+        let ts = slowed.submit(&request(0, 2), ms(1)).unwrap();
+        clean.flush(ms(1));
+        slowed.flush(ms(1));
+        let fast = clean.take_reply(tc).unwrap();
+        let slow = slowed.take_reply(ts).unwrap();
+        assert_eq!(fast.output, slow.output, "slowdown must not corrupt data");
+        let ratio = slow.latency.as_secs_f64() / fast.latency.as_secs_f64();
+        assert!((9.0..11.0).contains(&ratio), "latency ratio {ratio}");
+    }
+
+    #[test]
+    fn virtual_clock_is_monotone_across_out_of_order_submits() {
+        let net = mlp();
+        let mut service = NpuService::new(&net, ServeConfig::default());
+        service.submit(&request(0, 1), ms(10)).unwrap();
+        // An earlier stamp is clamped to the service clock, never
+        // rewinding it.
+        service.submit(&request(1, 1), ms(5)).unwrap();
+        assert_eq!(service.now(), ms(10));
+        service.flush(ms(20));
+        assert_eq!(service.stats().dropped(), 0);
+    }
+}

@@ -1,6 +1,6 @@
 //! Latency/cycle model of the NPU.
 
-use hmc_types::{Joules, SimDuration};
+use hmc_types::{Joules, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::NpuModel;
@@ -116,6 +116,74 @@ impl Default for NpuDevice {
     }
 }
 
+/// Occupancy bookkeeping for one pooled NPU device.
+///
+/// The single-board [`HiaiClient`](crate::HiaiClient) assumes a dedicated
+/// device (each job completes `latency` after submission regardless of
+/// overlap). A shared serving pool must model contention: a batch
+/// dispatched while the device is still executing the previous one queues
+/// behind it. `Occupancy` tracks the device's `busy_until` horizon and
+/// accumulates busy time for utilization reporting.
+///
+/// # Examples
+///
+/// ```
+/// use hmc_types::{SimDuration, SimTime};
+/// use npu::Occupancy;
+///
+/// let mut occ = Occupancy::new();
+/// let (start, end) = occ.reserve(SimTime::ZERO, SimDuration::from_millis(4));
+/// assert_eq!(start, SimTime::ZERO);
+/// // A second job dispatched immediately queues behind the first.
+/// let (start2, _) = occ.reserve(SimTime::ZERO, SimDuration::from_millis(4));
+/// assert_eq!(start2, end);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Occupancy {
+    busy_until: SimTime,
+    busy_time: SimDuration,
+    jobs: u64,
+}
+
+impl Occupancy {
+    /// A fresh, idle device.
+    pub fn new() -> Self {
+        Occupancy::default()
+    }
+
+    /// The instant the device next becomes free.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// When a job dispatched at `now` could start on this device.
+    pub fn next_start(&self, now: SimTime) -> SimTime {
+        self.busy_until.max(now)
+    }
+
+    /// Reserves the device for a job of `duration` dispatched at `now`:
+    /// returns its `(start, completion)` instants and advances the busy
+    /// horizon to the completion.
+    pub fn reserve(&mut self, now: SimTime, duration: SimDuration) -> (SimTime, SimTime) {
+        let start = self.next_start(now);
+        let end = start + duration;
+        self.busy_until = end;
+        self.busy_time += duration;
+        self.jobs += 1;
+        (start, end)
+    }
+
+    /// Total busy time accumulated across all reserved jobs.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// Jobs reserved so far.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +252,36 @@ mod tests {
             "NPU inference should be cheaper: {npu_j} J vs {cpu_j} J"
         );
         assert_eq!(dev.inference_energy(&m, 0).value(), 0.0);
+    }
+
+    #[test]
+    fn occupancy_serializes_overlapping_jobs() {
+        let mut occ = Occupancy::new();
+        let ms = SimDuration::from_millis;
+        // First job at t=0 runs [0, 4ms).
+        let (s1, e1) = occ.reserve(SimTime::ZERO, ms(4));
+        assert_eq!(s1, SimTime::ZERO);
+        assert_eq!(e1, SimTime::ZERO + ms(4));
+        // Second job dispatched at t=1ms queues behind the first.
+        let (s2, e2) = occ.reserve(SimTime::ZERO + ms(1), ms(4));
+        assert_eq!(s2, e1);
+        assert_eq!(e2, e1 + ms(4));
+        // A job dispatched after the device drained starts immediately.
+        let idle_at = e2 + ms(10);
+        let (s3, _) = occ.reserve(idle_at, ms(2));
+        assert_eq!(s3, idle_at);
+        assert_eq!(occ.jobs(), 3);
+        assert_eq!(occ.busy_time(), ms(10));
+        assert_eq!(occ.busy_until(), idle_at + ms(2));
+    }
+
+    #[test]
+    fn idle_occupancy_starts_now() {
+        let occ = Occupancy::new();
+        let t = SimTime::ZERO + SimDuration::from_secs(3);
+        assert_eq!(occ.next_start(t), t);
+        assert_eq!(occ.busy_time(), SimDuration::ZERO);
+        assert_eq!(occ.jobs(), 0);
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod model;
 mod quant;
 
 pub use ddk::{CompletedJob, CpuInference, HiaiClient, JobHandle, JobRecord, JobStatus};
-pub use device::NpuDevice;
+pub use device::{NpuDevice, Occupancy};
 pub use error::NpuError;
 pub use model::NpuModel;
 pub use quant::QuantizedTensor;

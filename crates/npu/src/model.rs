@@ -107,6 +107,46 @@ impl NpuModel {
         activations
     }
 
+    /// Runs int8 inference over a batch that coalesces several independent
+    /// requests, quantizing each request's activations separately.
+    ///
+    /// [`NpuModel::infer`] quantizes the whole batch's activations with one
+    /// per-tensor scale — correct for a single caller, but a multi-tenant
+    /// serving batch must not let one board's activation range perturb
+    /// another board's results. This entry point slices the stacked input
+    /// into per-request groups (`group_rows[i]` rows each, in order) and
+    /// quantizes each group independently, so every request's output is
+    /// bit-identical to submitting it alone, while the device still charges
+    /// a single batched job for the whole matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width does not match or the group sizes do not
+    /// sum to the number of rows.
+    pub fn infer_grouped(&self, x: &Matrix, group_rows: &[usize]) -> Matrix {
+        assert_eq!(x.cols(), self.input_size, "input width mismatch");
+        assert_eq!(
+            group_rows.iter().sum::<usize>(),
+            x.rows(),
+            "group sizes must cover the batch"
+        );
+        let mut out = Matrix::zeros(x.rows(), self.output_size);
+        let mut start = 0usize;
+        for &rows in group_rows {
+            if rows == 0 {
+                continue;
+            }
+            let flat = &x.as_slice()[start * self.input_size..(start + rows) * self.input_size];
+            let group = Matrix::from_flat(rows, self.input_size, flat.to_vec());
+            let result = self.infer(&group);
+            for r in 0..rows {
+                out.row_mut(start + r).copy_from_slice(result.row(r));
+            }
+            start += rows;
+        }
+        out
+    }
+
     fn infer_layer(layer: &NpuLayer, input: &Matrix) -> Matrix {
         // Quantize the activations of the whole batch with one scale.
         let act_q = QuantizedTensor::quantize(input.as_slice());
@@ -218,5 +258,36 @@ mod tests {
     fn infer_validates_width() {
         let c = NpuModel::compile(&mlp());
         let _ = c.infer(&Matrix::zeros(1, 3));
+    }
+
+    #[test]
+    fn grouped_inference_isolates_requests() {
+        let c = NpuModel::compile(&mlp());
+        // Two requests with very different activation ranges: stacked
+        // whole-batch quantization would couple their scales.
+        let small: Vec<Vec<f32>> = (0..2).map(|i| vec![0.01 * (i + 1) as f32; 21]).collect();
+        let large: Vec<Vec<f32>> = (0..3).map(|i| vec![5.0 + i as f32; 21]).collect();
+        let mut stacked = small.clone();
+        stacked.extend(large.clone());
+        let grouped = c.infer_grouped(&Matrix::from_rows(stacked.clone()), &[2, 3]);
+        let alone_small = c.infer(&Matrix::from_rows(small));
+        let alone_large = c.infer(&Matrix::from_rows(large));
+        for r in 0..2 {
+            assert_eq!(grouped.row(r), alone_small.row(r), "request 0 row {r}");
+        }
+        for r in 0..3 {
+            assert_eq!(grouped.row(2 + r), alone_large.row(r), "request 1 row {r}");
+        }
+        // The naive whole-batch path does NOT have this isolation property
+        // (which is exactly why the serve path uses groups).
+        let naive = c.infer(&Matrix::from_rows(stacked));
+        assert_ne!(naive.row(0), grouped.row(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "group sizes must cover the batch")]
+    fn grouped_inference_validates_group_sizes() {
+        let c = NpuModel::compile(&mlp());
+        let _ = c.infer_grouped(&Matrix::zeros(4, 21), &[2, 1]);
     }
 }

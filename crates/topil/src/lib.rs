@@ -57,6 +57,9 @@ mod util;
 pub use ckpt::{AggregationBuffer, CheckpointedTrainOutcome, CkptConfig, IlTrainCheckpoint};
 pub use features::{Features, FEATURE_COUNT};
 pub use governor::{GovernorStats, TopIlGovernor};
-pub use migration::{BreakerState, RobustnessConfig};
+pub use migration::{
+    BreakerState, ClientJob, ClientReply, DedicatedNpuClient, InferenceBackend, MigrationPolicy,
+    PolicyClient, PreparedEpoch, RobustnessConfig,
+};
 pub use training::IlModel;
 pub use util::estimate_min_level;

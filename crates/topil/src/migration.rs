@@ -15,8 +15,9 @@
 //! tractable and the thermal effect attributable.
 
 use faults::FaultInjector;
+pub use faults::{BreakerState, CircuitBreaker};
 use hikey_platform::Platform;
-use hmc_types::{AppId, CoreId, SimDuration};
+use hmc_types::{AppId, CoreId, SimDuration, SimTime};
 use nn::Matrix;
 use npu::{CpuInference, HiaiClient, NpuDevice};
 use trace::{FaultKind, TraceBackend, TraceEvent};
@@ -99,86 +100,6 @@ impl RobustnessConfig {
     }
 }
 
-/// State of the NPU circuit breaker.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BreakerState {
-    /// NPU inference is trusted.
-    Closed,
-    /// Too many consecutive failures; the NPU is bypassed while the
-    /// cooldown runs.
-    Open,
-    /// Cooldown elapsed; the next epoch probes the (reset) device with one
-    /// real attempt.
-    HalfOpen,
-}
-
-/// Consecutive-failure circuit breaker guarding the NPU path.
-#[derive(Debug, Clone)]
-pub struct CircuitBreaker {
-    state: BreakerState,
-    consecutive_failures: u32,
-    cooldown_left: u32,
-    threshold: u32,
-    cooldown_epochs: u32,
-    opens: u64,
-}
-
-impl CircuitBreaker {
-    fn new(threshold: u32, cooldown_epochs: u32) -> Self {
-        CircuitBreaker {
-            state: BreakerState::Closed,
-            consecutive_failures: 0,
-            cooldown_left: 0,
-            threshold,
-            cooldown_epochs,
-            opens: 0,
-        }
-    }
-
-    /// Current state.
-    pub fn state(&self) -> BreakerState {
-        self.state
-    }
-
-    /// Times the breaker opened.
-    pub fn opens(&self) -> u64 {
-        self.opens
-    }
-
-    fn record_success(&mut self) {
-        self.consecutive_failures = 0;
-        self.state = BreakerState::Closed;
-    }
-
-    fn record_failure(&mut self) {
-        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
-        let trip = match self.state {
-            // A failed half-open probe reopens immediately.
-            BreakerState::HalfOpen => true,
-            BreakerState::Closed => self.consecutive_failures >= self.threshold,
-            BreakerState::Open => false,
-        };
-        if trip {
-            self.state = BreakerState::Open;
-            self.cooldown_left = self.cooldown_epochs;
-            self.opens += 1;
-        }
-    }
-
-    /// Advances the open-state cooldown by one epoch. Returns `true` when
-    /// the breaker just moved to half-open (a probe is allowed).
-    fn epoch_elapsed(&mut self) -> bool {
-        if self.state == BreakerState::Open {
-            self.cooldown_left = self.cooldown_left.saturating_sub(1);
-            if self.cooldown_left == 0 {
-                self.state = BreakerState::HalfOpen;
-                return true;
-            }
-        }
-        false
-    }
-}
-
 /// The outcome of one migration epoch.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MigrationOutcome {
@@ -201,15 +122,288 @@ pub struct MigrationOutcome {
     pub deadline_missed: bool,
 }
 
-/// Result of one epoch's inference, before migration selection.
-struct InferenceResult {
+/// One device job executed while serving an inference request, in
+/// submission order — replayed into `NpuJob` trace events by the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientJob {
+    /// Rows in the submitted batch.
+    pub batch: u32,
+    /// End-to-end latency of the job.
+    pub latency: SimDuration,
+    /// Substrate that executed the job.
+    pub backend: TraceBackend,
+    /// Whether the job completed successfully.
+    pub ok: bool,
+}
+
+/// The reply a [`PolicyClient`] produces for one epoch's inference
+/// request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientReply {
     /// Rating matrix, or `None` when the epoch's deadline was missed.
-    output: Option<Matrix>,
-    latency: SimDuration,
-    cpu_time: SimDuration,
+    pub output: Option<Matrix>,
+    /// Wall-clock latency of the request (including failed attempts,
+    /// backoffs and queueing).
+    pub latency: SimDuration,
+    /// CPU time the request charged to the requesting board.
+    pub cpu_time: SimDuration,
+    /// Backend that ultimately served the request.
+    pub backend: InferenceBackend,
+    /// Device-job failures observed while serving (before recovery).
+    pub npu_failures: u32,
+    /// Whether a CPU fallback served the request.
+    pub fallback_active: bool,
+    /// Device jobs executed for this request, in submission order.
+    pub jobs: Vec<ClientJob>,
+    /// Whether the client's circuit breaker opened while serving.
+    pub breaker_opened: bool,
+}
+
+/// A transport for the governor's batched inference requests.
+///
+/// The migration policy is agnostic about *where* its rating matrix is
+/// computed. The default transport is [`DedicatedNpuClient`] — the paper's
+/// configuration, one NPU per board behind the retry/breaker/fallback
+/// ladder. A fleet deployment substitutes a shared-service client
+/// (the `npu-serve` crate) so many boards multiplex a pool of devices.
+pub trait PolicyClient: std::fmt::Debug + Send {
+    /// Serves one epoch's batched inference request submitted at `now`.
+    fn infer(&mut self, batch: &Matrix, now: SimTime) -> ClientReply;
+
+    /// State of the circuit breaker guarding this client's device path.
+    fn breaker_state(&self) -> BreakerState {
+        BreakerState::Closed
+    }
+
+    /// Times this client's breaker opened so far.
+    fn breaker_opens(&self) -> u64 {
+        0
+    }
+
+    /// Clones this client into a boxed trait object.
+    fn boxed_clone(&self) -> Box<dyn PolicyClient>;
+}
+
+impl Clone for Box<dyn PolicyClient> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
+}
+
+/// The paper's deployment: a dedicated (simulated) NPU per board, guarded
+/// by the degradation ladder of [`RobustnessConfig`] — bounded retries
+/// with backoff, a consecutive-failure circuit breaker with half-open
+/// probing, and an optional CPU fallback.
+#[derive(Debug, Clone)]
+pub struct DedicatedNpuClient {
+    model: IlModel,
+    client: HiaiClient,
+    cpu: CpuInference,
     backend: InferenceBackend,
-    npu_failures: u32,
-    fallback_active: bool,
+    robustness: RobustnessConfig,
+    breaker: CircuitBreaker,
+}
+
+impl DedicatedNpuClient {
+    /// Loads `model` onto a dedicated Kirin 970 NPU.
+    pub fn new(model: IlModel) -> Self {
+        // The job log only fills between epochs and is drained every
+        // request; its records feed `NpuJob` trace events when tracing is
+        // on.
+        let client = HiaiClient::load(NpuDevice::kirin970(), model.mlp()).with_job_log();
+        let robustness = RobustnessConfig::default();
+        DedicatedNpuClient {
+            model,
+            client,
+            cpu: CpuInference::cortex_a73(),
+            backend: InferenceBackend::Npu,
+            robustness,
+            breaker: CircuitBreaker::new(
+                robustness.breaker_threshold,
+                robustness.breaker_cooldown_epochs,
+            ),
+        }
+    }
+
+    /// The active degradation-ladder configuration.
+    pub fn robustness(&self) -> &RobustnessConfig {
+        &self.robustness
+    }
+
+    /// Runs the batch on the CPU cost model.
+    fn cpu_reply(&self, batch: &Matrix, fallback: bool) -> ClientReply {
+        let output = self.model.mlp().forward_batch(batch);
+        let latency = self.cpu.latency(self.model.mlp().macs(), batch.rows());
+        ClientReply {
+            output: Some(output),
+            latency,
+            cpu_time: latency,
+            backend: InferenceBackend::Cpu,
+            npu_failures: 0,
+            fallback_active: fallback,
+            jobs: Vec::new(),
+            breaker_opened: false,
+        }
+    }
+
+    /// NPU inference behind the degradation ladder: bounded retries with
+    /// backoff, a consecutive-failure circuit breaker with half-open
+    /// probing, and an optional CPU fallback. On pristine hardware this is
+    /// exactly one submit + collect, identical to the fault-free path.
+    fn npu_with_recovery(&mut self, batch: &Matrix, now: SimTime) -> ClientReply {
+        let cfg = self.robustness;
+        let mut spent = SimDuration::ZERO;
+        // Failed attempts cost wall time only: the governor sleeps between
+        // polls, so no CPU time is charged for them.
+        let cpu_time = SimDuration::ZERO;
+        let mut failures = 0u32;
+
+        if self.breaker.state() == BreakerState::Open {
+            let probe = self.breaker.epoch_elapsed();
+            if !probe {
+                // Still cooling down: bypass the NPU entirely this epoch.
+                if cfg.cpu_fallback {
+                    return self.cpu_reply(batch, true);
+                }
+                return ClientReply {
+                    output: None,
+                    latency: SimDuration::ZERO,
+                    cpu_time: SimDuration::ZERO,
+                    backend: InferenceBackend::Npu,
+                    npu_failures: 0,
+                    fallback_active: false,
+                    jobs: Vec::new(),
+                    breaker_opened: false,
+                };
+            }
+            // Half-open: reset the device and probe with a real attempt.
+            self.client.reset();
+        }
+
+        for attempt in 0..cfg.max_attempts {
+            if attempt > 0 {
+                spent += cfg.retry_backoff;
+            }
+            let timeout = cfg.attempt_timeout.min(cfg.epoch_budget - spent);
+            if timeout.is_zero() {
+                break;
+            }
+            let submit_at = now + spent;
+            let job = self.client.submit(batch, submit_at);
+            match self.client.poll_until(job, submit_at + timeout) {
+                Ok(done) => {
+                    self.breaker.record_success();
+                    return ClientReply {
+                        output: Some(done.output),
+                        latency: spent + done.latency,
+                        cpu_time: cpu_time + done.host_cpu_time,
+                        backend: InferenceBackend::Npu,
+                        npu_failures: failures,
+                        fallback_active: false,
+                        jobs: Vec::new(),
+                        breaker_opened: false,
+                    };
+                }
+                Err(_) => {
+                    failures += 1;
+                    // The governor discovers a failure at its polling
+                    // deadline, so a failed attempt costs its full timeout.
+                    spent += timeout;
+                    self.breaker.record_failure();
+                    if self.breaker.state() == BreakerState::Open {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Retries exhausted (or the breaker tripped mid-epoch).
+        if cfg.cpu_fallback && spent < cfg.epoch_budget {
+            let fallback = self.cpu_reply(batch, true);
+            return ClientReply {
+                output: fallback.output,
+                latency: spent + fallback.latency,
+                cpu_time: cpu_time + fallback.cpu_time,
+                backend: InferenceBackend::Cpu,
+                npu_failures: failures,
+                fallback_active: true,
+                jobs: Vec::new(),
+                breaker_opened: false,
+            };
+        }
+        ClientReply {
+            output: None,
+            latency: spent,
+            cpu_time,
+            backend: InferenceBackend::Npu,
+            npu_failures: failures,
+            fallback_active: false,
+            jobs: Vec::new(),
+            breaker_opened: false,
+        }
+    }
+}
+
+impl PolicyClient for DedicatedNpuClient {
+    fn infer(&mut self, batch: &Matrix, now: SimTime) -> ClientReply {
+        let opens_before = self.breaker.opens();
+        let mut reply = match self.backend {
+            InferenceBackend::Npu => self.npu_with_recovery(batch, now),
+            InferenceBackend::Cpu => self.cpu_reply(batch, false),
+        };
+        // Replay the device's job log into the reply (drained even when
+        // the caller won't trace it, so it never grows across epochs).
+        let mut jobs: Vec<ClientJob> = self
+            .client
+            .drain_job_log()
+            .into_iter()
+            .map(|record| ClientJob {
+                batch: record.batch,
+                latency: record.latency,
+                backend: TraceBackend::Npu,
+                ok: record.ok,
+            })
+            .collect();
+        if reply.backend == InferenceBackend::Cpu && reply.output.is_some() {
+            jobs.push(ClientJob {
+                batch: batch.rows() as u32,
+                latency: self.cpu.latency(self.model.mlp().macs(), batch.rows()),
+                backend: TraceBackend::Cpu,
+                ok: true,
+            });
+        }
+        reply.jobs = jobs;
+        reply.breaker_opened = self.breaker.opens() > opens_before;
+        reply
+    }
+
+    fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    fn breaker_opens(&self) -> u64 {
+        self.breaker.opens()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn PolicyClient> {
+        Box::new(self.clone())
+    }
+}
+
+/// A prepared migration epoch: features built and standardized, awaiting
+/// its inference reply (see [`MigrationPolicy::prepare`]).
+#[derive(Debug, Clone)]
+pub struct PreparedEpoch {
+    batch: Matrix,
+    feature_cost: SimDuration,
+}
+
+impl PreparedEpoch {
+    /// The standardized feature batch to submit (one row per running
+    /// application).
+    pub fn batch(&self) -> &Matrix {
+        &self.batch
+    }
 }
 
 /// The IL migration policy.
@@ -233,70 +427,83 @@ struct InferenceResult {
 #[derive(Debug, Clone)]
 pub struct MigrationPolicy {
     model: IlModel,
-    client: HiaiClient,
-    cpu: CpuInference,
-    backend: InferenceBackend,
+    /// The built-in per-board transport; stays configured even while an
+    /// external client is active so the ablation builders keep working.
+    dedicated: DedicatedNpuClient,
+    /// When set, inference is issued through this client instead of the
+    /// dedicated NPU (e.g. the shared `npu-serve` service).
+    external: Option<Box<dyn PolicyClient>>,
     threshold: f32,
-    robustness: RobustnessConfig,
-    breaker: CircuitBreaker,
 }
 
 impl MigrationPolicy {
     /// Creates the policy with the model loaded onto the Kirin 970 NPU.
     pub fn new(model: IlModel) -> Self {
-        // The job log only fills between epochs and is drained every run;
-        // its records feed `NpuJob` trace events when tracing is on.
-        let client = HiaiClient::load(NpuDevice::kirin970(), model.mlp()).with_job_log();
-        let robustness = RobustnessConfig::default();
         MigrationPolicy {
+            dedicated: DedicatedNpuClient::new(model.clone()),
             model,
-            client,
-            cpu: CpuInference::cortex_a73(),
-            backend: InferenceBackend::Npu,
+            external: None,
             threshold: DEFAULT_IMPROVEMENT_THRESHOLD,
-            robustness,
-            breaker: CircuitBreaker::new(
-                robustness.breaker_threshold,
-                robustness.breaker_cooldown_epochs,
-            ),
         }
     }
 
     /// Switches the inference backend (for the overhead ablation).
     pub fn with_backend(mut self, backend: InferenceBackend) -> Self {
-        self.backend = backend;
+        self.dedicated.backend = backend;
         self
     }
 
     /// Attaches a fault injector to the NPU client (robustness
     /// experiments).
     pub fn with_fault_injector(mut self, injector: FaultInjector) -> Self {
-        self.client = self.client.with_injector(injector);
+        self.dedicated.client = self.dedicated.client.with_injector(injector);
         self
     }
 
     /// Overrides the degradation-ladder configuration. Resets the circuit
     /// breaker.
     pub fn with_robustness(mut self, config: RobustnessConfig) -> Self {
-        self.robustness = config;
-        self.breaker =
+        self.dedicated.robustness = config;
+        self.dedicated.breaker =
             CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown_epochs);
         self
     }
 
-    /// Current circuit-breaker state.
+    /// Routes inference through an external [`PolicyClient`] (e.g. a
+    /// shared NPU service) instead of the board's dedicated NPU.
+    pub fn with_client(mut self, client: Box<dyn PolicyClient>) -> Self {
+        self.external = Some(client);
+        self
+    }
+
+    /// The backend the next epoch would report.
+    fn active_backend(&self) -> InferenceBackend {
+        match &self.external {
+            Some(_) => InferenceBackend::Npu,
+            None => self.dedicated.backend,
+        }
+    }
+
+    /// Current circuit-breaker state of the active client.
     pub fn breaker_state(&self) -> BreakerState {
-        self.breaker.state()
+        match &self.external {
+            Some(c) => c.breaker_state(),
+            None => self.dedicated.breaker.state(),
+        }
     }
 
-    /// Times the circuit breaker opened so far.
+    /// Times the active client's circuit breaker opened so far.
     pub fn breaker_opens(&self) -> u64 {
-        self.breaker.opens()
+        match &self.external {
+            Some(c) => c.breaker_opens(),
+            None => self.dedicated.breaker.opens(),
+        }
     }
 
-    /// The active degradation-ladder configuration.
+    /// The active degradation-ladder configuration (of the dedicated
+    /// transport; external clients bring their own).
     pub fn robustness(&self) -> &RobustnessConfig {
-        &self.robustness
+        &self.dedicated.robustness
     }
 
     /// Overrides the migration hysteresis threshold (for ablations).
@@ -318,48 +525,77 @@ impl MigrationPolicy {
         &self.model
     }
 
-    /// Runs one migration epoch on the platform.
+    /// Runs one migration epoch on the platform: prepares the feature
+    /// batch, serves it through the active client, and completes the
+    /// epoch. Equivalent to [`MigrationPolicy::prepare`] +
+    /// [`MigrationPolicy::complete`] with the client in between.
     pub fn run(&mut self, platform: &mut Platform) -> MigrationOutcome {
-        let snapshots = platform.snapshots();
-        if snapshots.is_empty() {
+        let Some(prepared) = self.prepare(platform) else {
             return MigrationOutcome {
                 migrated: None,
                 latency: SimDuration::ZERO,
                 cpu_time: SimDuration::ZERO,
-                backend: self.backend,
+                backend: self.active_backend(),
                 npu_failures: 0,
                 fallback_active: false,
                 deadline_missed: false,
             };
-        }
+        };
+        let now = platform.now();
+        let reply = match &mut self.external {
+            Some(client) => client.infer(&prepared.batch, now),
+            None => self.dedicated.infer(&prepared.batch, now),
+        };
+        self.complete(platform, &prepared, reply)
+    }
 
-        // Parallel inference: every application is the AoI once.
+    /// Builds the epoch's standardized feature batch (every running
+    /// application is the AoI once). Returns `None` when nothing runs —
+    /// the epoch is a no-op then.
+    ///
+    /// Splitting preparation from completion lets a fleet driver gather
+    /// many boards' batches, serve them through a shared service, and
+    /// feed each reply back via [`MigrationPolicy::complete`].
+    pub fn prepare(&self, platform: &Platform) -> Option<PreparedEpoch> {
+        let snapshots = platform.snapshots();
+        if snapshots.is_empty() {
+            return None;
+        }
         let features: Vec<Features> = snapshots
             .iter()
             .filter_map(|s| Features::from_platform(platform, s.id))
             .collect();
         let batch = self.model.standardized_batch(&features);
         let feature_cost = FEATURE_COST_PER_APP * features.len() as u64;
+        Some(PreparedEpoch {
+            batch,
+            feature_cost,
+        })
+    }
 
-        let opens_before = self.breaker.opens();
-        let inference = match self.backend {
-            InferenceBackend::Npu => self.npu_with_recovery(platform, &batch),
-            InferenceBackend::Cpu => self.cpu_inference(&batch, false),
-        };
-        self.emit_inference_trace(platform, &inference, batch.rows(), opens_before);
-        let cpu_time = feature_cost + inference.cpu_time;
+    /// Completes a prepared epoch from the client's reply: emits trace
+    /// events, charges governor time, and executes the Eq. 5 migration.
+    pub fn complete(
+        &mut self,
+        platform: &mut Platform,
+        prepared: &PreparedEpoch,
+        reply: ClientReply,
+    ) -> MigrationOutcome {
+        let snapshots = platform.snapshots();
+        self.emit_inference_trace(platform, &reply);
+        let cpu_time = prepared.feature_cost + reply.cpu_time;
         platform.consume_governor_time(cpu_time);
-        let latency = feature_cost + inference.latency;
+        let latency = prepared.feature_cost + reply.latency;
 
-        let Some(ratings) = inference.output else {
+        let Some(ratings) = reply.output else {
             // Deadline missed: skip this epoch's migration entirely.
             return MigrationOutcome {
                 migrated: None,
                 latency,
                 cpu_time,
-                backend: inference.backend,
-                npu_failures: inference.npu_failures,
-                fallback_active: inference.fallback_active,
+                backend: reply.backend,
+                npu_failures: reply.npu_failures,
+                fallback_active: reply.fallback_active,
                 deadline_missed: true,
             };
         };
@@ -404,172 +640,52 @@ impl MigrationPolicy {
             migrated,
             latency,
             cpu_time,
-            backend: inference.backend,
-            npu_failures: inference.npu_failures,
-            fallback_active: inference.fallback_active,
+            backend: reply.backend,
+            npu_failures: reply.npu_failures,
+            fallback_active: reply.fallback_active,
             deadline_missed: false,
         }
     }
 
-    /// Emits the epoch's NPU-job and fault events from the client's job
-    /// log and the inference outcome. The job log is drained even with
-    /// tracing off so it never grows across epochs.
-    fn emit_inference_trace(
-        &mut self,
-        platform: &mut Platform,
-        inference: &InferenceResult,
-        batch_rows: usize,
-        opens_before: u64,
-    ) {
-        let records = self.client.drain_job_log();
+    /// Emits the epoch's device-job and fault events from the client's
+    /// reply.
+    fn emit_inference_trace(&mut self, platform: &mut Platform, reply: &ClientReply) {
         if !platform.trace_enabled() {
             return;
         }
         let at = platform.now();
-        for record in records {
+        for job in &reply.jobs {
             platform.trace_emit(TraceEvent::NpuJob {
                 at,
-                batch: record.batch,
-                latency: record.latency,
-                backend: TraceBackend::Npu,
-                ok: record.ok,
+                batch: job.batch,
+                latency: job.latency,
+                backend: job.backend,
+                ok: job.ok,
             });
-            if !record.ok {
+            if !job.ok {
                 platform.trace_emit(TraceEvent::Fault {
                     at,
                     kind: FaultKind::NpuJobFailure,
                 });
             }
         }
-        if inference.backend == InferenceBackend::Cpu && inference.output.is_some() {
-            platform.trace_emit(TraceEvent::NpuJob {
-                at,
-                batch: batch_rows as u32,
-                latency: self.cpu.latency(self.model.mlp().macs(), batch_rows),
-                backend: TraceBackend::Cpu,
-                ok: true,
-            });
-        }
-        if self.breaker.opens() > opens_before {
+        if reply.breaker_opened {
             platform.trace_emit(TraceEvent::Fault {
                 at,
                 kind: FaultKind::BreakerOpen,
             });
         }
-        if inference.fallback_active {
+        if reply.fallback_active {
             platform.trace_emit(TraceEvent::Fault {
                 at,
                 kind: FaultKind::CpuFallback,
             });
         }
-        if inference.output.is_none() {
+        if reply.output.is_none() {
             platform.trace_emit(TraceEvent::Fault {
                 at,
                 kind: FaultKind::DegradedEpoch,
             });
-        }
-    }
-
-    /// Runs the batch on the CPU cost model.
-    fn cpu_inference(&self, batch: &Matrix, fallback: bool) -> InferenceResult {
-        let output = self.model.mlp().forward_batch(batch);
-        let latency = self.cpu.latency(self.model.mlp().macs(), batch.rows());
-        InferenceResult {
-            output: Some(output),
-            latency,
-            cpu_time: latency,
-            backend: InferenceBackend::Cpu,
-            npu_failures: 0,
-            fallback_active: fallback,
-        }
-    }
-
-    /// NPU inference behind the degradation ladder: bounded retries with
-    /// backoff, a consecutive-failure circuit breaker with half-open
-    /// probing, and an optional CPU fallback. On pristine hardware this is
-    /// exactly one submit + collect, identical to the fault-free path.
-    fn npu_with_recovery(&mut self, platform: &Platform, batch: &Matrix) -> InferenceResult {
-        let cfg = self.robustness;
-        let mut spent = SimDuration::ZERO;
-        // Failed attempts cost wall time only: the governor sleeps between
-        // polls, so no CPU time is charged for them.
-        let cpu_time = SimDuration::ZERO;
-        let mut failures = 0u32;
-
-        if self.breaker.state() == BreakerState::Open {
-            let probe = self.breaker.epoch_elapsed();
-            if !probe {
-                // Still cooling down: bypass the NPU entirely this epoch.
-                if cfg.cpu_fallback {
-                    return self.cpu_inference(batch, true);
-                }
-                return InferenceResult {
-                    output: None,
-                    latency: SimDuration::ZERO,
-                    cpu_time: SimDuration::ZERO,
-                    backend: InferenceBackend::Npu,
-                    npu_failures: 0,
-                    fallback_active: false,
-                };
-            }
-            // Half-open: reset the device and probe with a real attempt.
-            self.client.reset();
-        }
-
-        for attempt in 0..cfg.max_attempts {
-            if attempt > 0 {
-                spent += cfg.retry_backoff;
-            }
-            let timeout = cfg.attempt_timeout.min(cfg.epoch_budget - spent);
-            if timeout.is_zero() {
-                break;
-            }
-            let submit_at = platform.now() + spent;
-            let job = self.client.submit(batch, submit_at);
-            match self.client.poll_until(job, submit_at + timeout) {
-                Ok(done) => {
-                    self.breaker.record_success();
-                    return InferenceResult {
-                        output: Some(done.output),
-                        latency: spent + done.latency,
-                        cpu_time: cpu_time + done.host_cpu_time,
-                        backend: InferenceBackend::Npu,
-                        npu_failures: failures,
-                        fallback_active: false,
-                    };
-                }
-                Err(_) => {
-                    failures += 1;
-                    // The governor discovers a failure at its polling
-                    // deadline, so a failed attempt costs its full timeout.
-                    spent += timeout;
-                    self.breaker.record_failure();
-                    if self.breaker.state() == BreakerState::Open {
-                        break;
-                    }
-                }
-            }
-        }
-
-        // Retries exhausted (or the breaker tripped mid-epoch).
-        if cfg.cpu_fallback && spent < cfg.epoch_budget {
-            let fallback = self.cpu_inference(batch, true);
-            return InferenceResult {
-                output: fallback.output,
-                latency: spent + fallback.latency,
-                cpu_time: cpu_time + fallback.cpu_time,
-                backend: InferenceBackend::Cpu,
-                npu_failures: failures,
-                fallback_active: true,
-            };
-        }
-        InferenceResult {
-            output: None,
-            latency: spent,
-            cpu_time,
-            backend: InferenceBackend::Npu,
-            npu_failures: failures,
-            fallback_active: false,
         }
     }
 }

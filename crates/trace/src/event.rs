@@ -161,6 +161,10 @@ pub enum EventKind {
     CheckpointSaved,
     /// State was restored from a checkpoint snapshot.
     CheckpointRestored,
+    /// The shared NPU service dispatched one coalesced batch to a device.
+    BatchDispatched,
+    /// The shared NPU service rejected a submission (queue full).
+    QueueSaturated,
 }
 
 impl EventKind {
@@ -180,6 +184,8 @@ impl EventKind {
             EventKind::RunEnd => "run_end",
             EventKind::CheckpointSaved => "checkpoint_saved",
             EventKind::CheckpointRestored => "checkpoint_restored",
+            EventKind::BatchDispatched => "batch_dispatched",
+            EventKind::QueueSaturated => "queue_saturated",
         }
     }
 }
@@ -357,6 +363,31 @@ pub enum TraceEvent {
         /// Corrupt newer snapshots skipped to reach it.
         skipped: u32,
     },
+    /// The shared NPU service coalesced pending requests into one device
+    /// job (the dynamic batcher's unit of work).
+    BatchDispatched {
+        /// Dispatch instant.
+        at: SimTime,
+        /// Index of the pooled device that executed the batch (`None` for
+        /// the CPU fallback path).
+        device: Option<u8>,
+        /// Requests coalesced into the batch.
+        requests: u32,
+        /// Total feature rows across those requests.
+        rows: u32,
+        /// Device latency of the batched job (queueing excluded).
+        latency: SimDuration,
+    },
+    /// The shared NPU service rejected a submission with backpressure
+    /// (bounded queue at capacity).
+    QueueSaturated {
+        /// Rejection instant.
+        at: SimTime,
+        /// Queue depth at rejection (== capacity).
+        depth: u32,
+        /// Suggested resubmission delay returned to the client.
+        retry_after: SimDuration,
+    },
 }
 
 impl TraceEvent {
@@ -375,7 +406,9 @@ impl TraceEvent {
             | TraceEvent::AppCompleted { at, .. }
             | TraceEvent::RunEnd { at, .. }
             | TraceEvent::CheckpointSaved { at, .. }
-            | TraceEvent::CheckpointRestored { at, .. } => at,
+            | TraceEvent::CheckpointRestored { at, .. }
+            | TraceEvent::BatchDispatched { at, .. }
+            | TraceEvent::QueueSaturated { at, .. } => at,
         }
     }
 
@@ -395,6 +428,8 @@ impl TraceEvent {
             TraceEvent::RunEnd { .. } => EventKind::RunEnd,
             TraceEvent::CheckpointSaved { .. } => EventKind::CheckpointSaved,
             TraceEvent::CheckpointRestored { .. } => EventKind::CheckpointRestored,
+            TraceEvent::BatchDispatched { .. } => EventKind::BatchDispatched,
+            TraceEvent::QueueSaturated { .. } => EventKind::QueueSaturated,
         }
     }
 
@@ -542,6 +577,30 @@ impl TraceEvent {
                 h.write_u8(scope.code());
                 h.write_u64(seq);
                 h.write_u64(skipped as u64);
+            }
+            TraceEvent::BatchDispatched {
+                at,
+                device,
+                requests,
+                rows,
+                latency,
+            } => {
+                h.write_u8(13);
+                h.write_u64(at.as_nanos());
+                h.write_opt_u64(device.map(u64::from));
+                h.write_u64(requests as u64);
+                h.write_u64(rows as u64);
+                h.write_u64(latency.as_nanos());
+            }
+            TraceEvent::QueueSaturated {
+                at,
+                depth,
+                retry_after,
+            } => {
+                h.write_u8(14);
+                h.write_u64(at.as_nanos());
+                h.write_u64(depth as u64);
+                h.write_u64(retry_after.as_nanos());
             }
         }
     }

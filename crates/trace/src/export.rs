@@ -171,6 +171,34 @@ fn json_event(e: &TraceEvent, out: &mut String) {
                 ",\"scope\":\"{scope}\",\"seq\":{seq},\"skipped\":{skipped}"
             );
         }
+        TraceEvent::BatchDispatched {
+            device,
+            requests,
+            rows,
+            latency,
+            ..
+        } => {
+            match device {
+                Some(d) => {
+                    let _ = write!(out, ",\"device\":{d}");
+                }
+                None => out.push_str(",\"device\":null"),
+            }
+            let _ = write!(
+                out,
+                ",\"requests\":{requests},\"rows\":{rows},\"latency_ns\":{}",
+                latency.as_nanos()
+            );
+        }
+        TraceEvent::QueueSaturated {
+            depth, retry_after, ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"depth\":{depth},\"retry_after_ns\":{}",
+                retry_after.as_nanos()
+            );
+        }
     }
     out.push('}');
 }
@@ -339,6 +367,25 @@ fn csv_row(e: &TraceEvent, out: &mut String) {
             row.a = seq.to_string();
             row.b = skipped.to_string();
             row.detail = scope.name();
+        }
+        TraceEvent::BatchDispatched {
+            device,
+            requests,
+            rows,
+            latency,
+            ..
+        } => {
+            row.to = device.map(|d| d.to_string()).unwrap_or_default();
+            row.a = requests.to_string();
+            row.b = latency.as_nanos().to_string();
+            row.lf = rows.to_string();
+            row.detail = if device.is_some() { "npu" } else { "cpu" };
+        }
+        TraceEvent::QueueSaturated {
+            depth, retry_after, ..
+        } => {
+            row.a = depth.to_string();
+            row.b = retry_after.as_nanos().to_string();
         }
     }
     let _ = write!(
