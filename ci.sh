@@ -1,12 +1,19 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, and the full test suite.
+#
+# Fast tier by default; FULL=1 additionally runs the #[ignore]d soak
+# tests (10k-task pool drains) via --include-ignored.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q -p trace
-cargo test --workspace -q
+if [ "${FULL:-0}" = "1" ]; then
+    cargo test --workspace -q -- --include-ignored
+else
+    cargo test --workspace -q
+fi
 
 # Crash-recovery gate: an interrupted sweep, resumed, must reproduce the
 # uninterrupted run's CSV (incl. per-point trace hashes) byte-for-byte.
@@ -28,11 +35,12 @@ fi
 diff "$ckpt_tmp/ref/sweep.csv" "$ckpt_tmp/resumed/sweep.csv"
 echo "crash-recovery gate passed"
 
-# Fleet smoke gate: 16 boards x 200 epochs on the shared NPU service must
-# drop zero requests, beat the serial baseline 3x, stay bit-exact, and be
-# deterministic (byte-identical CSV across two runs).
-"$experiments" fleet --boards 16 --epochs 200 --out "$ckpt_tmp/fleet-a" >/dev/null 2>&1
-"$experiments" fleet --boards 16 --epochs 200 --out "$ckpt_tmp/fleet-b" >/dev/null 2>&1
+# Fleet smoke + parallel-determinism gate: 16 boards x 200 epochs on the
+# shared NPU service must drop zero requests, beat the serial baseline 3x,
+# stay bit-exact — and produce byte-identical CSV whether the boards are
+# stepped by one thread or four.
+"$experiments" fleet --boards 16 --epochs 200 --threads 1 --out "$ckpt_tmp/fleet-a" >/dev/null 2>&1
+"$experiments" fleet --boards 16 --epochs 200 --threads 4 --out "$ckpt_tmp/fleet-b" >/dev/null 2>&1
 fleet_csv="$ckpt_tmp/fleet-a/fleet.csv"
 grep -q '^summary,,dropped,0$' "$fleet_csv" || {
     echo "fleet gate: dropped requests" >&2; exit 1; }
@@ -41,5 +49,5 @@ grep -q '^summary,,mismatches,0$' "$fleet_csv" || {
 awk -F, '$3 == "speedup_vs_serial" && $4 < 3.0 { exit 1 }' "$fleet_csv" || {
     echo "fleet gate: batched speedup below 3x" >&2; exit 1; }
 diff "$fleet_csv" "$ckpt_tmp/fleet-b/fleet.csv" || {
-    echo "fleet gate: CSV not deterministic across runs" >&2; exit 1; }
-echo "fleet smoke gate passed"
+    echo "fleet gate: CSV diverged between --threads 1 and --threads 4" >&2; exit 1; }
+echo "fleet smoke + parallel-determinism gate passed"

@@ -31,7 +31,8 @@ fn report_csv(result: Result<(), BenchError>) {
 
 const USAGE: &str = "\
 usage: experiments [--full] [--out <dir>] [--state <dir>] [--points <n>]
-                   [--boards <n>] [--epochs <n>] [--devices <n>] [COMMAND ...]
+                   [--boards <n>] [--epochs <n>] [--devices <n>]
+                   [--threads <n>] [COMMAND ...]
 
 Regenerates the paper's evaluation artifacts. Without a command (or with
 `all`) the whole suite runs. `--full` uses paper-scale parameters;
@@ -39,6 +40,9 @@ Regenerates the paper's evaluation artifacts. Without a command (or with
 checkpoint snapshots for the resumable commands (`sweep`, `train`);
 `--points <n>` truncates the sweep grid to its first n points.
 `--boards`, `--epochs` and `--devices` size the `fleet` experiment.
+`--threads <n>` sets the host-thread budget of `train`, `sweep` and
+`fleet` (default: all available cores). Every command produces the same
+bytes at every thread count — the budget changes wall time only.
 
 Diagnostics go to stderr; stdout carries only reports and CSV data, so
 `experiments fleet > fleet.csv` yields a clean machine-readable artifact.
@@ -91,6 +95,10 @@ fn main() {
     let boards: Option<usize> = flag_value("--boards").and_then(|v| v.parse().ok());
     let epochs: Option<u64> = flag_value("--epochs").and_then(|v| v.parse().ok());
     let devices: Option<usize> = flag_value("--devices").and_then(|v| v.parse().ok());
+    let threads: Option<usize> = flag_value("--threads").and_then(|v| v.parse().ok());
+    // No --threads means "use every core"; the result is bit-identical
+    // either way.
+    let budget = threads.map_or_else(par::Budget::auto, par::Budget::with_threads);
     let effort = if full { Effort::Full } else { Effort::Quick };
     // Positional arguments are commands; skip flags and their values.
     let value_indices: Vec<usize> = [
@@ -100,6 +108,7 @@ fn main() {
         "--boards",
         "--epochs",
         "--devices",
+        "--threads",
     ]
     .iter()
     .filter_map(|f| args.iter().position(|a| a == f).map(|i| i + 1))
@@ -131,7 +140,10 @@ fn main() {
         commands
     };
 
-    eprintln!("# TOP-IL experiment suite (effort: {effort:?})\n");
+    eprintln!(
+        "# TOP-IL experiment suite (effort: {effort:?}, thread budget: {})\n",
+        budget.effective_threads()
+    );
 
     // Train once; share across experiments that need models.
     let needs_models = commands.iter().any(|c| {
@@ -249,9 +261,13 @@ fn main() {
                 if let Some(n) = devices {
                     config.devices = n;
                 }
+                config.budget = budget;
                 eprintln!(
-                    "fleet: {} boards x {} epochs on {} device(s) ...",
-                    config.boards, config.epochs, config.devices
+                    "fleet: {} boards x {} epochs on {} device(s), {} thread(s) ...",
+                    config.boards,
+                    config.epochs,
+                    config.devices,
+                    config.budget.effective_threads()
                 );
                 let report = bench::fleet::run(&config);
                 eprintln!("{report}");
@@ -266,6 +282,7 @@ fn main() {
                     .unwrap_or_else(|| PathBuf::from("sweep-state"));
                 let mut config = bench::sweep::SweepConfig {
                     effort,
+                    budget,
                     ..bench::sweep::SweepConfig::default()
                 };
                 if let Some(n) = points {
@@ -328,7 +345,10 @@ fn main() {
                     &cases,
                     0,
                     &state,
-                    &topil::CkptConfig::default(),
+                    &topil::CkptConfig {
+                        budget,
+                        ..topil::CkptConfig::default()
+                    },
                     interrupt,
                     None,
                 ) {

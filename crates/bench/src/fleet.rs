@@ -48,6 +48,11 @@ pub struct FleetConfig {
     /// Master seed (model training and per-board workloads derive from
     /// it).
     pub seed: u64,
+    /// Host-thread budget for stepping boards between lockstep barriers.
+    /// Boards only interact at migration epochs, so each one is advanced
+    /// to the next barrier independently; the report and CSV are
+    /// byte-identical at every budget.
+    pub budget: par::Budget,
 }
 
 impl Default for FleetConfig {
@@ -59,6 +64,7 @@ impl Default for FleetConfig {
             max_batch: 16,
             workers: 4,
             seed: 7,
+            budget: par::Budget::serial(),
         }
     }
 }
@@ -260,43 +266,35 @@ pub fn run_with_model(model: &IlModel, config: &FleetConfig) -> FleetReport {
     let mut mismatches = 0u64;
     let mut saturation_events = 0u64;
 
+    // Boards only interact at migration barriers, so the run alternates
+    // between a serial barrier (admissions due at the barrier instant,
+    // then the shared-service epoch) and a parallel stretch where every
+    // board is stepped to the next barrier independently. Each board sees
+    // the exact per-tick operation order of the serial loop — admit(t),
+    // DVFS(t), tick — so the outcome is bit-identical at every budget.
     loop {
         let now = boards[0].platform.now();
         if now >= end {
             break;
         }
-        for board in &mut boards {
-            while let Some(spec) = board.arrivals.get(board.next_arrival) {
-                if spec.at > now {
-                    break;
-                }
-                let core = default_placement(&board.platform);
-                board.platform.admit(spec, core);
-                board.next_arrival += 1;
-            }
-        }
-        if now.is_multiple_of(MIGRATION_PERIOD) {
-            fleet_epoch(
-                &mut boards,
-                &mut service,
-                &dedicated,
-                &device,
-                now,
-                &mut serial_device_time,
-                &mut mismatches,
-            );
-        }
-        for board in &mut boards {
-            if now.is_multiple_of(DVFS_PERIOD) {
-                if board.dvfs_skip > 0 {
-                    board.dvfs_skip -= 1;
-                } else {
-                    // `run` charges its own CPU cost to the platform.
-                    let _ = board.dvfs.run(&mut board.platform);
-                }
-            }
-            board.platform.tick();
-        }
+        debug_assert!(now.is_multiple_of(MIGRATION_PERIOD), "boards left lockstep");
+        par::par_for_each_mut(&config.budget, &mut boards, |_, board| {
+            admit_due(board, now);
+        });
+        fleet_epoch(
+            &mut boards,
+            &mut service,
+            &dedicated,
+            &device,
+            now,
+            &mut serial_device_time,
+            &mut mismatches,
+            &config.budget,
+        );
+        let next_barrier = now + MIGRATION_PERIOD;
+        par::par_for_each_mut(&config.budget, &mut boards, |_, board| {
+            step_to_barrier(board, now, next_barrier);
+        });
     }
     service.flush(end);
     for event in service.drain_events() {
@@ -356,8 +354,46 @@ pub fn run_with_model(model: &IlModel, config: &FleetConfig) -> FleetReport {
     }
 }
 
+/// Admits every arrival due at or before `now` on one board.
+fn admit_due(board: &mut Board, now: SimTime) {
+    while let Some(spec) = board.arrivals.get(board.next_arrival) {
+        if spec.at > now {
+            break;
+        }
+        let core = default_placement(&board.platform);
+        board.platform.admit(spec, core);
+        board.next_arrival += 1;
+    }
+}
+
+/// Steps one board from the `barrier` instant up to (exclusive)
+/// `next_barrier`, replaying the serial loop's per-tick order: admissions
+/// (already done at the barrier itself), then DVFS, then the platform
+/// tick.
+fn step_to_barrier(board: &mut Board, barrier: SimTime, next_barrier: SimTime) {
+    loop {
+        let t = board.platform.now();
+        if t >= next_barrier {
+            break;
+        }
+        if t != barrier {
+            admit_due(board, t);
+        }
+        if t.is_multiple_of(DVFS_PERIOD) {
+            if board.dvfs_skip > 0 {
+                board.dvfs_skip -= 1;
+            } else {
+                // `run` charges its own CPU cost to the platform.
+                let _ = board.dvfs.run(&mut board.platform);
+            }
+        }
+        board.platform.tick();
+    }
+}
+
 /// One lockstep migration epoch: prepare on every board, submit jittered,
 /// flush, complete from the batched replies.
+#[allow(clippy::too_many_arguments)]
 fn fleet_epoch(
     boards: &mut [Board],
     service: &mut NpuService,
@@ -366,6 +402,7 @@ fn fleet_epoch(
     now: SimTime,
     serial_device_time: &mut SimDuration,
     mismatches: &mut u64,
+    budget: &par::Budget,
 ) {
     // Boards submit in jitter order — the arrival interleaving the shared
     // service actually sees.
@@ -397,26 +434,40 @@ fn fleet_epoch(
     // Everything this epoch submitted is served before the next one.
     service.flush(now + MIGRATION_PERIOD);
 
-    for (i, prepared, ticket) in pending {
-        let reply = match ticket.and_then(|t| service.take_reply(t)) {
-            Some(reply) => reply,
-            // Admission control bounced every retry: the epoch degrades.
-            None => ClientReply {
-                output: None,
-                latency: SimDuration::ZERO,
-                cpu_time: SimDuration::ZERO,
-                backend: InferenceBackend::Npu,
-                npu_failures: 0,
-                fallback_active: false,
-                jobs: Vec::new(),
-                breaker_opened: false,
-            },
-        };
-        if let Some(output) = &reply.output {
-            if *output != dedicated.infer(prepared.batch()) {
-                *mismatches += 1;
-            }
-        }
+    // Collect replies serially (the service is shared mutable state) …
+    let completed: Vec<(usize, PreparedEpoch, ClientReply)> = pending
+        .into_iter()
+        .map(|(i, prepared, ticket)| {
+            let reply = match ticket.and_then(|t| service.take_reply(t)) {
+                Some(reply) => reply,
+                // Admission control bounced every retry: the epoch
+                // degrades.
+                None => ClientReply {
+                    output: None,
+                    latency: SimDuration::ZERO,
+                    cpu_time: SimDuration::ZERO,
+                    backend: InferenceBackend::Npu,
+                    npu_failures: 0,
+                    fallback_active: false,
+                    jobs: Vec::new(),
+                    breaker_opened: false,
+                },
+            };
+            (i, prepared, reply)
+        })
+        .collect();
+    // … then run the dedicated-device bit-identity checks in parallel:
+    // each is a pure re-inference of one board's batch, and the flags are
+    // folded in submission order.
+    let mismatch_flags = par::par_map(budget, &completed, |_, (_, prepared, reply)| {
+        reply
+            .output
+            .as_ref()
+            .is_some_and(|output| *output != dedicated.infer(prepared.batch()))
+    });
+    *mismatches += mismatch_flags.iter().filter(|&&m| m).count() as u64;
+
+    for (i, prepared, reply) in completed {
         let board = &mut boards[i];
         let outcome = board.policy.complete(&mut board.platform, &prepared, reply);
         if outcome.migrated.is_some() {
@@ -447,6 +498,7 @@ mod tests {
             max_batch: 8,
             workers: 2,
             seed: 3,
+            budget: par::Budget::serial(),
         }
     }
 

@@ -295,6 +295,13 @@ pub struct SweepConfig {
     pub backoff_cap_ms: u64,
     /// Grid override; `None` runs [`default_grid`].
     pub grid: Option<Vec<GridPoint>>,
+    /// Thread budget: pending points run in waves of this many parallel
+    /// simulations. Each point's workload seed derives from its grid
+    /// index and results are committed to the manifest in grid order, so
+    /// the manifest, snapshots and CSV are byte-identical at every
+    /// budget. Not part of the manifest identity — a sweep interrupted
+    /// under one budget resumes cleanly under another.
+    pub budget: par::Budget,
 }
 
 impl Default for SweepConfig {
@@ -307,6 +314,7 @@ impl Default for SweepConfig {
             backoff_base_ms: 250,
             backoff_cap_ms: 4_000,
             grid: None,
+            budget: par::Budget::serial(),
         }
     }
 }
@@ -439,62 +447,41 @@ pub fn run_sweep(
     let mut points_run = 0usize;
     let mut snapshots_written = 0usize;
     let mut completed = true;
-    for index in manifest.pending() {
+    // Pending points run in waves of `effective_threads` parallel
+    // simulations. Every point's seed derives from its grid index and the
+    // wave's results are committed (and snapshotted) strictly in grid
+    // order, so the manifest history is identical to a serial run; the
+    // budget changes wall-clock only. A simulated crash discards the
+    // uncommitted tail of the wave — exactly the state a serial crash at
+    // the same commit count leaves behind.
+    let wave = config.budget.effective_threads().max(1);
+    let pending = manifest.pending();
+    'waves: for chunk in pending.chunks(wave) {
         if hooks.crash_after_points.is_some_and(|n| points_run >= n) {
             completed = false;
             break;
         }
-        let gp = manifest.points[index];
-        // Each point gets its own derived workload seed so resumed runs
-        // reproduce interrupted ones regardless of execution order.
-        let seed =
-            nn::derive_rng(config.workload_seed, WORKLOAD_POINT_STREAM, index as u64).next_u64();
-        let injected = hooks.injected_failures(index);
-        let mut attempts = 0u32;
-        let status = loop {
-            attempts += 1;
-            if attempts <= injected {
-                let last_error = format!("injected failure on attempt {attempts}");
-                if attempts >= config.max_attempts {
-                    break PointStatus::Quarantined {
-                        attempts,
-                        last_error,
-                    };
-                }
-                let delay =
-                    backoff_delay_ms(attempts, config.backoff_base_ms, config.backoff_cap_ms);
-                if delay > 0 {
-                    std::thread::sleep(Duration::from_millis(delay));
-                }
-                continue;
+        let statuses = par::par_map(&config.budget, chunk, |_, &index| {
+            run_point_supervised(model, config, hooks, manifest.points[index], index)
+        });
+        for (&index, status) in chunk.iter().zip(statuses) {
+            if hooks.crash_after_points.is_some_and(|n| points_run >= n) {
+                completed = false;
+                break 'waves;
             }
-            let (point, hash) = run_point_traced(
-                model.clone(),
-                gp.npu_failure_rate,
-                gp.sensor_dropout_rate,
-                gp.ladder,
-                config.effort,
-                seed,
-                trace::TraceConfig::full(),
-            );
-            break PointStatus::Done {
-                point,
-                trace_hash: hash.map_or(0, |h| h.value()),
-                attempts,
-            };
-        };
-        manifest.status[index] = status;
-        points_run += 1;
+            manifest.status[index] = status;
+            points_run += 1;
 
-        let saved = store.save(&manifest.encode(), fingerprint)?;
-        snapshots_written += 1;
-        if let Some(rec) = recorder.as_deref_mut() {
-            rec.record(TraceEvent::CheckpointSaved {
-                at: SimTime::from_nanos(index as u64 + 1),
-                scope: CheckpointScope::Sweep,
-                seq: saved.seq,
-                bytes: saved.bytes,
-            });
+            let saved = store.save(&manifest.encode(), fingerprint)?;
+            snapshots_written += 1;
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.record(TraceEvent::CheckpointSaved {
+                    at: SimTime::from_nanos(index as u64 + 1),
+                    scope: CheckpointScope::Sweep,
+                    seq: saved.seq,
+                    bytes: saved.bytes,
+                });
+            }
         }
     }
     if completed && hooks.crash_after_points.is_some_and(|n| points_run >= n) {
@@ -515,6 +502,56 @@ pub fn run_sweep(
 
 /// Stream tag for per-point workload seeds.
 const WORKLOAD_POINT_STREAM: u64 = 0x5EE9_0B05_7C11_D300;
+
+/// Brings one grid point to a terminal status: derives its workload seed
+/// from the grid index, applies the hook-injected attempt failures, and
+/// retries with capped exponential backoff until done or quarantined.
+/// Pure per-point (no shared state), so waves of points can run in
+/// parallel and produce the exact statuses a serial loop produces.
+fn run_point_supervised(
+    model: &IlModel,
+    config: &SweepConfig,
+    hooks: &SweepHooks,
+    gp: GridPoint,
+    index: usize,
+) -> PointStatus {
+    // Each point gets its own derived workload seed so resumed runs
+    // reproduce interrupted ones regardless of execution order.
+    let seed = nn::derive_rng(config.workload_seed, WORKLOAD_POINT_STREAM, index as u64).next_u64();
+    let injected = hooks.injected_failures(index);
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        if attempts <= injected {
+            let last_error = format!("injected failure on attempt {attempts}");
+            if attempts >= config.max_attempts {
+                return PointStatus::Quarantined {
+                    attempts,
+                    last_error,
+                };
+            }
+            let delay = backoff_delay_ms(attempts, config.backoff_base_ms, config.backoff_cap_ms);
+            if delay > 0 {
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            continue;
+        }
+        let (point, hash) = run_point_traced(
+            model.clone(),
+            gp.npu_failure_rate,
+            gp.sensor_dropout_rate,
+            gp.ladder,
+            config.effort,
+            seed,
+            trace::TraceConfig::full(),
+        );
+        return PointStatus::Done {
+            point,
+            trace_hash: hash.map_or(0, |h| h.value()),
+            attempts,
+        };
+    }
+}
 
 /// Renders the manifest as CSV: the robustness columns plus per-point
 /// status, attempts and certifying trace hash.

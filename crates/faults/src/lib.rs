@@ -37,5 +37,7 @@ mod storage;
 
 pub use breaker::{BreakerState, CircuitBreaker};
 pub use injector::{DvfsFault, FaultInjector, FaultStats, NpuFault, ServeFault};
-pub use plan::{DvfsFaultConfig, FaultPlan, NpuFaultConfig, SensorFaultConfig, ServeFaultConfig};
+pub use plan::{
+    DvfsFaultConfig, FaultPlan, NpuFaultConfig, SensorFaultConfig, ServeFaultConfig, TaskFaultPlan,
+};
 pub use storage::{StorageFault, StorageFaultConfig};

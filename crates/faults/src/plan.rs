@@ -165,6 +165,63 @@ impl Default for FaultPlan {
     }
 }
 
+/// Deterministic per-task panic injection for worker-pool stress tests.
+///
+/// Unlike the [`FaultInjector`](crate::FaultInjector) domains, which draw
+/// from sequential RNG streams, a worker pool executes tasks from many
+/// threads at once, so the fault decision must be a pure function of the
+/// task index — any shared mutable RNG would make the schedule depend on
+/// thread interleaving. [`TaskFaultPlan::should_panic`] hashes
+/// `(seed, task)` through a splitmix64-style finalizer and compares the
+/// result against `panic_rate`, giving every thread count the identical
+/// fault schedule.
+///
+/// # Examples
+///
+/// ```
+/// use faults::TaskFaultPlan;
+/// let plan = TaskFaultPlan { seed: 7, panic_rate: 0.5 };
+/// // Pure per-index decisions: repeatable, order-independent.
+/// assert_eq!(plan.should_panic(3), plan.should_panic(3));
+/// assert!(!TaskFaultPlan::none(7).should_panic(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskFaultPlan {
+    /// Seed of the fault schedule.
+    pub seed: u64,
+    /// Probability that a task panics, in `[0, 1]`.
+    pub panic_rate: f64,
+}
+
+impl TaskFaultPlan {
+    /// A plan that never injects a panic.
+    pub fn none(seed: u64) -> Self {
+        TaskFaultPlan {
+            seed,
+            panic_rate: 0.0,
+        }
+    }
+
+    /// Whether task number `task` is scheduled to panic.
+    pub fn should_panic(&self, task: u64) -> bool {
+        if self.panic_rate <= 0.0 {
+            return false;
+        }
+        if self.panic_rate >= 1.0 {
+            return true;
+        }
+        let mut z = self
+            .seed
+            .wrapping_add(task.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Top 53 bits → uniform in [0, 1).
+        let uniform = (z >> 11) as f64 / (1u64 << 53) as f64;
+        uniform < self.panic_rate
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +230,34 @@ mod tests {
     fn none_is_zero() {
         assert!(FaultPlan::none(123).is_zero());
         assert!(FaultPlan::default().is_zero());
+    }
+
+    #[test]
+    fn task_fault_plan_is_pure_and_rate_faithful() {
+        let plan = TaskFaultPlan {
+            seed: 99,
+            panic_rate: 0.25,
+        };
+        let first: Vec<bool> = (0..1000).map(|t| plan.should_panic(t)).collect();
+        let second: Vec<bool> = (0..1000).map(|t| plan.should_panic(t)).collect();
+        assert_eq!(first, second, "decisions must be pure per index");
+        let hits = first.iter().filter(|&&b| b).count();
+        assert!((150..350).contains(&hits), "rate 0.25 produced {hits}/1000");
+        assert!((0..1000).all(|t| !TaskFaultPlan::none(99).should_panic(t)));
+        let always = TaskFaultPlan {
+            seed: 1,
+            panic_rate: 1.0,
+        };
+        assert!((0..100).all(|t| always.should_panic(t)));
+        // Different seeds give different schedules.
+        let other = TaskFaultPlan {
+            seed: 100,
+            panic_rate: 0.25,
+        };
+        assert_ne!(
+            first,
+            (0..1000).map(|t| other.should_panic(t)).collect::<Vec<_>>()
+        );
     }
 
     #[test]

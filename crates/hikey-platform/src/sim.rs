@@ -38,6 +38,12 @@ pub struct SimConfig {
     /// Structured event tracing (granularity, ring capacity, sample
     /// interval). Off by default; never perturbs the simulation.
     pub trace: TraceConfig,
+    /// Thread budget available to whoever drives this simulation (sweep
+    /// supervisors, fleet runners). The single-board tick loop itself is
+    /// sequential; the budget is carried here so one config travels
+    /// through every layer. Results are bit-identical at every budget, so
+    /// it is never encoded into traces or checkpoints.
+    pub budget: par::Budget,
 }
 
 impl Default for SimConfig {
@@ -53,6 +59,7 @@ impl Default for SimConfig {
             fault_plan: None,
             sensor_filter: Some(SensorFilterConfig::default()),
             trace: TraceConfig::off(),
+            budget: par::Budget::serial(),
         }
     }
 }

@@ -19,9 +19,10 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
 use checkpoint::{fnv64, CodecError, Decoder, Encoder};
+use par::{par_reduce, shard_ranges, Budget, DEFAULT_SHARDS};
 
 use crate::train::shuffle;
-use crate::{Adam, Dataset, Matrix, Mlp, TrainConfig, TrainReport};
+use crate::{Adam, Dataset, Gradients, Matrix, Mlp, TrainConfig, TrainReport};
 
 /// Stream tag for the train/validation split RNG.
 const SPLIT_STREAM: u64 = 0x51E0_57A7_1C5E_ED00;
@@ -260,6 +261,13 @@ pub struct TrainOutcome {
 /// later resumed — from the [`TrainState`] the hook saw — to produce
 /// exactly the weights an uninterrupted run yields.
 ///
+/// Each minibatch is split into [`DEFAULT_SHARDS`] gradient shards
+/// evaluated under `budget` and merged over a fixed reduction tree
+/// ([`par_reduce`]) before the Adam step. The shard layout and tree shape
+/// depend only on the batch size — never on the thread budget — so
+/// `threads = 1` and `threads = N` produce bit-identical weights; the
+/// budget changes wall-clock only.
+///
 /// On completion (early stopping or `max_epochs`), `mlp` holds the best
 /// validation epoch's weights. When the hook returns
 /// [`TrainControl::Stop`], the function returns immediately with
@@ -274,6 +282,7 @@ pub fn train_resumable(
     data: &Dataset,
     config: &TrainConfig,
     seed: u64,
+    budget: &Budget,
     resume: Option<TrainState>,
     on_epoch: &mut dyn FnMut(&TrainState) -> TrainControl,
 ) -> TrainOutcome {
@@ -327,10 +336,7 @@ pub fn train_resumable(
         let mut epoch_loss = 0.0;
         let mut batches = 0;
         for chunk in order.chunks(config.batch_size.max(1)) {
-            let batch = train_set.subset(chunk);
-            let cache = mlp.forward_cached(batch.x());
-            let (loss, grad) = Mlp::mse_loss(cache.output(), batch.y());
-            let mut grads = mlp.backward(&cache, &grad);
+            let (sq_sum, mut grads) = sharded_batch_step(mlp, &train_set, chunk, budget);
             if config.weight_decay > 0.0 {
                 grads.apply_weight_decay(mlp, config.weight_decay);
             }
@@ -338,12 +344,12 @@ pub fn train_resumable(
                 grads.clip_global_norm(config.grad_clip);
             }
             adam.step(mlp, &grads, lr);
-            epoch_loss += loss;
+            epoch_loss += sq_sum / (chunk.len() * mlp.output_size()) as f32;
             batches += 1;
         }
         train_losses.push(epoch_loss / batches.max(1) as f32);
 
-        let (val_loss, _) = Mlp::mse_loss(&mlp.forward_batch(val_set.x()), val_set.y());
+        let val_loss = sharded_validation_loss(mlp, &val_set, budget);
         val_losses.push(val_loss);
         let mut stop_early = false;
         if val_loss < best_val {
@@ -390,6 +396,59 @@ pub fn train_resumable(
     }
 }
 
+/// Forward/backward over one minibatch, split into [`DEFAULT_SHARDS`]
+/// gradient shards evaluated under `budget` and merged over the fixed
+/// reduction tree. Returns the summed squared error over the chunk and
+/// the merged (batch-summed) gradients.
+///
+/// The shard layout comes from `shard_ranges(chunk.len(), DEFAULT_SHARDS)`
+/// — a pure function of the chunk length — and the gradient mean uses the
+/// *full* chunk's element count as denominator, so the merged result is
+/// the full-batch gradient regardless of how many shards ran where.
+fn sharded_batch_step(
+    mlp: &Mlp,
+    train_set: &Dataset,
+    chunk: &[usize],
+    budget: &Budget,
+) -> (f32, Gradients) {
+    let shards = shard_ranges(chunk.len(), DEFAULT_SHARDS);
+    let total_elems = chunk.len() * mlp.output_size();
+    par_reduce(
+        budget,
+        shards.len(),
+        |s| {
+            let batch = train_set.subset(&chunk[shards[s].clone()]);
+            let cache = mlp.forward_cached(batch.x());
+            let (sq_sum, grad) = Mlp::mse_loss_sharded(cache.output(), batch.y(), total_elems);
+            (sq_sum, mlp.backward(&cache, &grad))
+        },
+        |(sq_a, mut grad_a), (sq_b, grad_b)| {
+            grad_a.accumulate(&grad_b);
+            (sq_a + sq_b, grad_a)
+        },
+    )
+    .expect("minibatch chunks are never empty")
+}
+
+/// Validation loss with the same sharded evaluation scheme as the batch
+/// step: per-shard squared-error sums, tree-reduced, then averaged over
+/// the full validation set.
+fn sharded_validation_loss(mlp: &Mlp, val_set: &Dataset, budget: &Budget) -> f32 {
+    let shards = shard_ranges(val_set.len(), DEFAULT_SHARDS);
+    let sq_sum = par_reduce(
+        budget,
+        shards.len(),
+        |s| {
+            let indices: Vec<usize> = shards[s].clone().collect();
+            let batch = val_set.subset(&indices);
+            Mlp::sq_error_sum(&mlp.forward_batch(batch.x()), batch.y())
+        },
+        |a, b| a + b,
+    )
+    .unwrap_or(0.0);
+    sq_sum / (val_set.len() * mlp.output_size()).max(1) as f32
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,9 +481,15 @@ mod tests {
     fn uninterrupted_matches_plain_loop_semantics() {
         let data = toy_dataset();
         let mut mlp = fresh_mlp(3);
-        let outcome = train_resumable(&mut mlp, &data, &small_config(), 7, None, &mut |_| {
-            TrainControl::Continue
-        });
+        let outcome = train_resumable(
+            &mut mlp,
+            &data,
+            &small_config(),
+            7,
+            &Budget::serial(),
+            None,
+            &mut |_| TrainControl::Continue,
+        );
         assert!(outcome.completed);
         assert_eq!(outcome.report.epochs, 12);
         assert_eq!(outcome.report.train_losses.len(), 12);
@@ -436,32 +501,50 @@ mod tests {
         let config = small_config();
 
         let mut reference = fresh_mlp(3);
-        let ref_outcome = train_resumable(&mut reference, &data, &config, 7, None, &mut |_| {
-            TrainControl::Continue
-        });
+        let ref_outcome = train_resumable(
+            &mut reference,
+            &data,
+            &config,
+            7,
+            &Budget::serial(),
+            None,
+            &mut |_| TrainControl::Continue,
+        );
 
         for stop_after in [1usize, 5, 11] {
             // Run until `stop_after` epochs finish, checkpoint, drop everything.
             let mut interrupted = fresh_mlp(3);
             let mut saved: Option<Vec<u8>> = None;
-            let partial =
-                train_resumable(&mut interrupted, &data, &config, 7, None, &mut |state| {
+            let partial = train_resumable(
+                &mut interrupted,
+                &data,
+                &config,
+                7,
+                &Budget::serial(),
+                None,
+                &mut |state| {
                     if state.next_epoch >= stop_after {
                         saved = Some(state.encode());
                         TrainControl::Stop
                     } else {
                         TrainControl::Continue
                     }
-                });
+                },
+            );
             assert!(!partial.completed);
 
             // Resume from the serialized state in a fresh process image.
             let state = TrainState::decode(&saved.unwrap()).unwrap();
             let mut resumed = fresh_mlp(3);
-            let outcome =
-                train_resumable(&mut resumed, &data, &config, 7, Some(state), &mut |_| {
-                    TrainControl::Continue
-                });
+            let outcome = train_resumable(
+                &mut resumed,
+                &data,
+                &config,
+                7,
+                &Budget::serial(),
+                Some(state),
+                &mut |_| TrainControl::Continue,
+            );
             assert!(outcome.completed);
             assert_eq!(resumed, reference, "stop_after={stop_after}");
             assert_eq!(
@@ -476,10 +559,18 @@ mod tests {
         let data = toy_dataset();
         let mut mlp = fresh_mlp(5);
         let mut captured: Option<TrainState> = None;
-        train_resumable(&mut mlp, &data, &small_config(), 11, None, &mut |state| {
-            captured = Some(state.clone());
-            TrainControl::Stop
-        });
+        train_resumable(
+            &mut mlp,
+            &data,
+            &small_config(),
+            11,
+            &Budget::serial(),
+            None,
+            &mut |state| {
+                captured = Some(state.clone());
+                TrainControl::Stop
+            },
+        );
         let state = captured.unwrap();
         let decoded = TrainState::decode(&state.encode()).unwrap();
         assert_eq!(decoded, state);
@@ -490,10 +581,18 @@ mod tests {
         let data = toy_dataset();
         let mut mlp = fresh_mlp(5);
         let mut saved = Vec::new();
-        train_resumable(&mut mlp, &data, &small_config(), 11, None, &mut |state| {
-            saved = state.encode();
-            TrainControl::Stop
-        });
+        train_resumable(
+            &mut mlp,
+            &data,
+            &small_config(),
+            11,
+            &Budget::serial(),
+            None,
+            &mut |state| {
+                saved = state.encode();
+                TrainControl::Stop
+            },
+        );
         for len in 0..saved.len().min(64) {
             assert!(TrainState::decode(&saved[..len]).is_err(), "len={len}");
         }
@@ -526,5 +625,40 @@ mod tests {
     fn fingerprint_is_stable_within_a_build() {
         assert_eq!(rng_stream_fingerprint(), rng_stream_fingerprint());
         assert_ne!(rng_stream_fingerprint(), 0);
+    }
+
+    #[test]
+    fn training_is_bit_identical_across_thread_budgets() {
+        let data = toy_dataset();
+        let config = TrainConfig {
+            max_epochs: 6,
+            weight_decay: 1e-4,
+            grad_clip: 1.0,
+            ..TrainConfig::default()
+        };
+        let mut reference = fresh_mlp(3);
+        let ref_outcome = train_resumable(
+            &mut reference,
+            &data,
+            &config,
+            7,
+            &Budget::serial(),
+            None,
+            &mut |_| TrainControl::Continue,
+        );
+        for threads in [2usize, 4, 7] {
+            let mut mlp = fresh_mlp(3);
+            let outcome = train_resumable(
+                &mut mlp,
+                &data,
+                &config,
+                7,
+                &Budget::with_threads(threads),
+                None,
+                &mut |_| TrainControl::Continue,
+            );
+            assert_eq!(mlp, reference, "threads={threads}");
+            assert_eq!(outcome.report, ref_outcome.report, "threads={threads}");
+        }
     }
 }

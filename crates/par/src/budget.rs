@@ -1,0 +1,85 @@
+//! The thread budget threaded through every parallel entry point.
+
+use std::num::NonZeroUsize;
+
+/// How many worker threads a parallel construct may use.
+///
+/// The budget is deliberately *not* part of any checkpoint, manifest or
+/// trace: two runs that differ only in their budget must produce
+/// byte-identical artifacts, so recording the budget in an artifact would
+/// itself break that property.
+///
+/// # Examples
+///
+/// ```
+/// use par::Budget;
+/// assert_eq!(Budget::serial().effective_threads(), 1);
+/// assert_eq!(Budget::with_threads(4).effective_threads(), 4);
+/// // `threads == 0` resolves to the host's available parallelism.
+/// assert!(Budget::auto().effective_threads() >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Worker threads; `0` means "resolve to
+    /// [`std::thread::available_parallelism`] at the call site".
+    pub threads: usize,
+}
+
+impl Default for Budget {
+    /// Serial by default: existing single-threaded behavior is the
+    /// baseline every parallel run must reproduce.
+    fn default() -> Self {
+        Budget::serial()
+    }
+}
+
+impl Budget {
+    /// One worker: the serial reference schedule.
+    pub const fn serial() -> Self {
+        Budget { threads: 1 }
+    }
+
+    /// An explicit worker count (`0` behaves like [`Budget::auto`]).
+    pub const fn with_threads(threads: usize) -> Self {
+        Budget { threads }
+    }
+
+    /// Resolve the worker count from the host at the call site.
+    pub const fn auto() -> Self {
+        Budget { threads: 0 }
+    }
+
+    /// The worker count this budget resolves to on this host.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+
+    /// `true` when the budget resolves to a single worker.
+    pub fn is_serial(&self) -> bool {
+        self.effective_threads() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_serial() {
+        assert_eq!(Budget::default(), Budget::serial());
+        assert!(Budget::serial().is_serial());
+    }
+
+    #[test]
+    fn zero_resolves_to_host_parallelism() {
+        let auto = Budget::auto().effective_threads();
+        assert!(auto >= 1);
+        assert_eq!(Budget::with_threads(0).effective_threads(), auto);
+    }
+}

@@ -1,0 +1,221 @@
+//! Order-preserving parallel map over scoped std threads.
+//!
+//! Work distribution is dynamic (an atomic cursor hands out the next
+//! unclaimed index), but results are re-assembled by index and panics are
+//! re-thrown lowest-index-first, so nothing observable depends on which
+//! worker ran which task.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::Budget;
+
+/// A panic captured on a worker, tagged with the index of the task that
+/// raised it.
+type TaskPanic = (usize, Box<dyn std::any::Any + Send + 'static>);
+
+/// Records `panic` unless a lower-indexed one is already held.
+fn record_panic(slot: &Mutex<Option<TaskPanic>>, panic: TaskPanic) {
+    let mut held = slot.lock().unwrap_or_else(|e| e.into_inner());
+    if held.as_ref().is_none_or(|(i, _)| panic.0 < *i) {
+        *held = Some(panic);
+    }
+}
+
+/// Re-throws the recorded panic, if any, after every worker has joined.
+fn propagate(slot: Mutex<Option<TaskPanic>>) {
+    if let Some((_, payload)) = slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        resume_unwind(payload);
+    }
+}
+
+/// Applies `f` to every item, in parallel under `budget`, returning the
+/// results in input order.
+///
+/// Semantically identical to
+/// `items.iter().enumerate().map(|(i, t)| f(i, t)).collect()` at every
+/// thread count: result `i` always lands in slot `i`. If tasks panic, the
+/// pool drains (all workers join) and then re-raises the panic of the
+/// lowest-indexed panicking task, so the observable failure is the same
+/// one a serial loop would hit first.
+///
+/// # Examples
+///
+/// ```
+/// use par::{par_map, Budget};
+/// let squares = par_map(&Budget::with_threads(3), &[1, 2, 3, 4], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, R, F>(budget: &Budget, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = budget.effective_threads().min(items.len()).max(1);
+    if threads <= 1 {
+        // The serial reference path still shares the panic contract: the
+        // first (lowest-index) panic propagates.
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let first_panic: Mutex<Option<TaskPanic>> = Mutex::new(None);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    {
+        let slots = Mutex::new(&mut slots);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut produced: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                            Ok(r) => produced.push((i, r)),
+                            Err(payload) => {
+                                record_panic(&first_panic, (i, payload));
+                                stop.store(true, Ordering::Release);
+                                break;
+                            }
+                        }
+                    }
+                    let mut slots = slots.lock().unwrap_or_else(|e| e.into_inner());
+                    for (i, r) in produced {
+                        slots[i] = Some(r);
+                    }
+                });
+            }
+        });
+    }
+    propagate(first_panic);
+    slots
+        .into_iter()
+        .map(|r| r.expect("pool drained without panic, so every task completed"))
+        .collect()
+}
+
+/// Runs `f` on every item in parallel under `budget`, mutating items in
+/// place.
+///
+/// Items are partitioned into contiguous chunks, one per worker; since
+/// every item is visited exactly once and items are independent, the
+/// result is identical to a serial `for` loop at every thread count. The
+/// panic contract matches [`par_map`]: the pool drains, then the
+/// lowest-indexed panic is re-thrown.
+///
+/// # Examples
+///
+/// ```
+/// use par::{par_for_each_mut, Budget};
+/// let mut v = vec![1, 2, 3, 4, 5];
+/// par_for_each_mut(&Budget::with_threads(2), &mut v, |i, x| *x += i as i32);
+/// assert_eq!(v, vec![1, 3, 5, 7, 9]);
+/// ```
+pub fn par_for_each_mut<T, F>(budget: &Budget, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let threads = budget.effective_threads().min(items.len()).max(1);
+    if threads <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+
+    let chunk_len = items.len().div_ceil(threads);
+    let first_panic: Mutex<Option<TaskPanic>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for (chunk_index, chunk) in items.chunks_mut(chunk_len).enumerate() {
+            let base = chunk_index * chunk_len;
+            let first_panic = &first_panic;
+            let f = &f;
+            scope.spawn(move || {
+                for (offset, item) in chunk.iter_mut().enumerate() {
+                    let i = base + offset;
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                        record_panic(first_panic, (i, payload));
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    propagate(first_panic);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_at_every_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let reference: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 4, 7, 16] {
+            let got = par_map(&Budget::with_threads(threads), &items, |_, &x| x * 3 + 1);
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_singleton() {
+        let empty: Vec<u8> = par_map(&Budget::with_threads(4), &[] as &[u8], |_, &x| x);
+        assert!(empty.is_empty());
+        assert_eq!(par_map(&Budget::with_threads(4), &[9], |_, &x| x), vec![9]);
+    }
+
+    #[test]
+    fn for_each_mut_visits_every_item_once() {
+        for threads in [1, 2, 3, 8] {
+            let mut v = vec![0usize; 100];
+            par_for_each_mut(&Budget::with_threads(threads), &mut v, |i, x| *x = i * i);
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i * i));
+        }
+    }
+
+    #[test]
+    fn lowest_index_panic_wins() {
+        for threads in [1, 2, 4, 7] {
+            let items: Vec<usize> = (0..64).collect();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                par_map(&Budget::with_threads(threads), &items, |_, &x| {
+                    if x == 5 || x == 40 {
+                        panic!("task {x} failed");
+                    }
+                    x
+                })
+            }));
+            let payload = result.expect_err("a task panicked");
+            let message = payload
+                .downcast_ref::<String>()
+                .expect("panic carries a message");
+            assert_eq!(message, "task 5 failed", "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_mut_propagates_lowest_panic() {
+        let mut v = vec![0u8; 32];
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_for_each_mut(&Budget::with_threads(4), &mut v, |i, _| {
+                if i == 3 || i == 20 {
+                    panic!("item {i}");
+                }
+            })
+        }));
+        let payload = result.expect_err("an item panicked");
+        let message = payload.downcast_ref::<String>().expect("message");
+        assert_eq!(message, "item 3");
+    }
+}

@@ -1,0 +1,176 @@
+//! Ordered reduction: shard layouts and a fixed-tree fold.
+//!
+//! Floating-point addition is not associative, so a parallel sum is only
+//! reproducible if the association order is pinned. Two rules pin it
+//! here:
+//!
+//! 1. [`shard_ranges`] derives the shard layout purely from the input
+//!    length (and a requested shard count), never from the thread budget.
+//! 2. [`tree_fold`] combines partials over a balanced binary tree whose
+//!    shape depends only on the number of partials: adjacent pairs are
+//!    combined level by level, an odd tail passing through unchanged.
+//!
+//! Together, `threads=1` and `threads=N` execute exactly the same
+//! floating-point operations in exactly the same association order; only
+//! the wall-clock interleaving differs.
+
+use std::ops::Range;
+
+use crate::{par_map, Budget};
+
+/// Default shard count for data-parallel reductions (gradient shards).
+///
+/// Chosen larger than typical worker counts so load balances, but small
+/// enough that per-shard fixed costs stay negligible. This constant is
+/// part of the numerical contract: changing it changes reduction trees
+/// and therefore the bits of every float artifact built on them.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Splits `0..len` into at most `shards` contiguous ranges whose sizes
+/// differ by at most one.
+///
+/// The layout is a pure function of `(len, shards)` — thread budgets
+/// never enter — so every budget shards identically. Empty input yields
+/// no ranges; `shards` is clamped to `1..=len`.
+///
+/// # Examples
+///
+/// ```
+/// use par::shard_ranges;
+/// assert_eq!(shard_ranges(10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+/// assert_eq!(shard_ranges(2, 8).len(), 2);
+/// assert!(shard_ranges(0, 8).is_empty());
+/// ```
+pub fn shard_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, len);
+    let base = len / shards;
+    let extra = len % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let size = base + usize::from(s < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Folds `partials` over a balanced binary tree of fixed shape.
+///
+/// Level by level, adjacent pairs `(0,1), (2,3), …` are combined; an odd
+/// final element passes through to the next level. The tree shape — and
+/// therefore the association order of every combine — depends only on
+/// `partials.len()`. Returns `None` for empty input.
+///
+/// # Examples
+///
+/// ```
+/// use par::tree_fold;
+/// // ((1+2)+(3+4)) — not the left fold ((1+2)+3)+4, but fixed.
+/// assert_eq!(tree_fold(vec![1, 2, 3, 4], |a, b| a + b), Some(10));
+/// assert_eq!(tree_fold(Vec::<i32>::new(), |a, b| a + b), None);
+/// ```
+pub fn tree_fold<A>(mut partials: Vec<A>, combine: impl Fn(A, A) -> A) -> Option<A> {
+    while partials.len() > 1 {
+        let mut next = Vec::with_capacity(partials.len().div_ceil(2));
+        let mut it = partials.into_iter();
+        while let Some(a) = it.next() {
+            next.push(match it.next() {
+                Some(b) => combine(a, b),
+                None => a,
+            });
+        }
+        partials = next;
+    }
+    partials.pop()
+}
+
+/// Evaluates `eval(0..shards)` in parallel under `budget` and folds the
+/// results with [`tree_fold`].
+///
+/// Because shard evaluation is order-preserving ([`par_map`]) and the
+/// fold tree is fixed, the result is bit-identical at every thread count.
+/// Returns `None` when `shards == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use par::{par_reduce, Budget};
+/// let serial = par_reduce(&Budget::serial(), 5, |s| s as f64 * 0.1, |a, b| a + b);
+/// let parallel = par_reduce(&Budget::with_threads(4), 5, |s| s as f64 * 0.1, |a, b| a + b);
+/// assert_eq!(serial.unwrap().to_bits(), parallel.unwrap().to_bits());
+/// ```
+pub fn par_reduce<A, F, C>(budget: &Budget, shards: usize, eval: F, combine: C) -> Option<A>
+where
+    A: Send,
+    F: Fn(usize) -> A + Sync,
+    C: Fn(A, A) -> A,
+{
+    let indices: Vec<usize> = (0..shards).collect();
+    let partials = par_map(budget, &indices, |_, &s| eval(s));
+    tree_fold(partials, combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_cover_exactly_once() {
+        for len in [0usize, 1, 2, 7, 8, 9, 63, 64, 100] {
+            for shards in [1usize, 2, 3, 7, 8, 64] {
+                let ranges = shard_ranges(len, shards);
+                let mut covered = 0;
+                for (i, r) in ranges.iter().enumerate() {
+                    assert_eq!(r.start, covered, "len={len} shards={shards} range {i}");
+                    covered = r.end;
+                }
+                assert_eq!(covered, len, "len={len} shards={shards}");
+                if len > 0 {
+                    assert_eq!(ranges.len(), shards.clamp(1, len));
+                    let sizes: Vec<usize> = ranges.iter().map(Range::len).collect();
+                    let min = sizes.iter().min().unwrap();
+                    let max = sizes.iter().max().unwrap();
+                    assert!(max - min <= 1, "len={len} shards={shards}: {sizes:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_fold_matches_serial_fold_for_associative_ops() {
+        for n in 0..40usize {
+            let items: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+            let serial = items.iter().copied().reduce(u64::wrapping_add);
+            assert_eq!(
+                tree_fold(items, u64::wrapping_add),
+                serial,
+                "n={n}: tree fold of an associative op must equal the left fold"
+            );
+        }
+    }
+
+    #[test]
+    fn float_reduction_is_bit_stable_across_budgets() {
+        // Values chosen so association order matters: a naive left fold
+        // and the tree fold genuinely differ in the low bits.
+        let eval = |s: usize| (s as f64 + 0.1).exp().recip();
+        let reference = par_reduce(&Budget::serial(), 23, eval, |a, b| a + b).unwrap();
+        for threads in [2, 3, 4, 7, 16] {
+            let got = par_reduce(&Budget::with_threads(threads), 23, eval, |a, b| a + b).unwrap();
+            assert_eq!(
+                got.to_bits(),
+                reference.to_bits(),
+                "threads={threads}: tree reduction must be associativity-stable"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_reduction_is_none() {
+        assert!(par_reduce(&Budget::serial(), 0, |s| s, |a, b| a + b).is_none());
+    }
+}

@@ -239,6 +239,10 @@ pub struct CkptConfig {
     pub every_epochs: usize,
     /// Snapshots kept on disk (older ones are pruned).
     pub retain: usize,
+    /// Thread budget for the sharded gradient loop. Never persisted: the
+    /// trained weights are bit-identical at every budget, so a run
+    /// checkpointed under one budget resumes cleanly under another.
+    pub budget: par::Budget,
 }
 
 impl Default for CkptConfig {
@@ -246,6 +250,7 @@ impl Default for CkptConfig {
         CkptConfig {
             every_epochs: 1,
             retain: 3,
+            budget: par::Budget::serial(),
         }
     }
 }
@@ -375,6 +380,7 @@ impl IlTrainer {
             &dataset,
             &settings.nn,
             seed,
+            &config.budget,
             resume,
             &mut |state| {
                 epochs_this_run += 1;
@@ -472,10 +478,19 @@ mod tests {
             &mut StdRng::seed_from_u64(0),
         );
         let mut captured = None;
-        nn::train_resumable(&mut mlp, &dataset, &tiny_settings().nn, 3, None, &mut |s| {
-            captured = Some(s.clone());
-            TrainControl::Stop
-        });
+        let budget = par::Budget::serial();
+        nn::train_resumable(
+            &mut mlp,
+            &dataset,
+            &tiny_settings().nn,
+            3,
+            &budget,
+            None,
+            &mut |s| {
+                captured = Some(s.clone());
+                TrainControl::Stop
+            },
+        );
         let ckpt = IlTrainCheckpoint {
             buffer,
             standardizer,

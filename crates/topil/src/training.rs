@@ -142,6 +142,7 @@ impl Default for TrainSettings {
 pub struct IlTrainer {
     settings: TrainSettings,
     collector: TraceCollector,
+    budget: par::Budget,
 }
 
 impl IlTrainer {
@@ -151,6 +152,7 @@ impl IlTrainer {
         IlTrainer {
             settings,
             collector: TraceCollector::new(),
+            budget: par::Budget::serial(),
         }
     }
 
@@ -160,20 +162,29 @@ impl IlTrainer {
         self
     }
 
+    /// Sets the thread budget for per-scenario trace collection. Each
+    /// scenario's simulation is independent, so the cases are identical at
+    /// every budget (results are assembled in scenario order).
+    pub fn with_budget(mut self, budget: par::Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// The trainer's settings.
     pub fn settings(&self) -> &TrainSettings {
         &self.settings
     }
 
-    /// Collects traces and extracts oracle cases for all scenarios.
+    /// Collects traces and extracts oracle cases for all scenarios,
+    /// simulating scenarios in parallel under the trainer's budget.
     pub fn collect_cases(&self, scenarios: &[Scenario]) -> Vec<OracleCase> {
-        scenarios
-            .iter()
-            .flat_map(|s| {
-                let traces = self.collector.collect(s);
-                extract_cases(&traces, &self.settings.extraction)
-            })
-            .collect()
+        par::par_map(&self.budget, scenarios, |_, s| {
+            let traces = self.collector.collect(s);
+            extract_cases(&traces, &self.settings.extraction)
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     /// Flattens oracle cases into a supervised dataset (one example per

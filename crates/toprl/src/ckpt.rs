@@ -134,6 +134,12 @@ pub struct PretrainConfig {
     pub retain: usize,
     /// Applications per segment's random training workload.
     pub apps_per_segment: usize,
+    /// Thread budget for pre-generating the per-segment workloads. Each
+    /// segment's workload derives from `(seed, segment)` independently, so
+    /// the generated apps are identical at every budget; the learning loop
+    /// itself stays sequential (segment `k+1` starts from segment `k`'s
+    /// Q-table). Never persisted in snapshots.
+    pub budget: par::Budget,
 }
 
 impl Default for PretrainConfig {
@@ -144,6 +150,7 @@ impl Default for PretrainConfig {
             schedule: ExplorationSchedule::default(),
             retain: 3,
             apps_per_segment: 40,
+            budget: par::Budget::serial(),
         }
     }
 }
@@ -230,28 +237,35 @@ pub fn pretrain_segmented(
         }
     }
 
+    // Segment workloads derive from (seed, WORKLOAD_STREAM, segment)
+    // independently of each other and of the learning loop, so they can be
+    // pre-generated in parallel; par_map returns them in segment order.
+    let workload_cfg = MixedWorkloadConfig {
+        num_apps: config.apps_per_segment,
+        mean_interarrival: SimDuration::from_secs(8),
+        benchmarks: Benchmark::training_set().to_vec(),
+        total_instructions: Some(8_000_000_000),
+        ..MixedWorkloadConfig::default()
+    };
+    let pending: Vec<u64> = (start_segment..config.segments).collect();
+    let workloads = par::par_map(&config.budget, &pending, |_, &segment| {
+        let mut workload_rng = nn::derive_rng(seed, WORKLOAD_STREAM, segment);
+        WorkloadGenerator::mixed(&workload_cfg, &mut workload_rng)
+    });
+
     let mut segments_run = 0u64;
     let mut snapshots_written = 0usize;
     let mut completed = true;
-    for segment in start_segment..config.segments {
+    for (workload, &segment) in workloads.iter().zip(&pending) {
         let governor_seed = nn::derive_rng(seed, GOVERNOR_STREAM, segment).next_u64();
         let mut governor = TopRlGovernor::with_qtable(table, governor_seed)
             .with_epsilon(config.schedule.epsilon_at(segment));
-        let mut workload_rng = nn::derive_rng(seed, WORKLOAD_STREAM, segment);
-        let workload_cfg = MixedWorkloadConfig {
-            num_apps: config.apps_per_segment,
-            mean_interarrival: SimDuration::from_secs(8),
-            benchmarks: Benchmark::training_set().to_vec(),
-            total_instructions: Some(8_000_000_000),
-            ..MixedWorkloadConfig::default()
-        };
-        let workload = WorkloadGenerator::mixed(&workload_cfg, &mut workload_rng);
         let sim = SimConfig {
             max_duration: config.segment_time,
             stop_when_idle: false,
             ..SimConfig::default()
         };
-        let _ = Simulator::new(sim).run(&workload, &mut governor);
+        let _ = Simulator::new(sim).run(workload, &mut governor);
         let stats = governor.stats();
         updates += stats.updates;
         cumulative_reward += stats.cumulative_reward;

@@ -16,6 +16,7 @@
 //! | [`toprl`] | the multi-agent Q-learning baseline |
 //! | [`governors`] | GTS/ondemand and GTS/powersave baselines |
 //! | [`trace`] | structured epoch-level event tracing + golden-run hashing |
+//! | [`par`] | deterministic parallel execution (ordered map / tree reduction) |
 //!
 //! # Quickstart
 //!
@@ -41,6 +42,7 @@ pub use hikey_platform as platform;
 pub use hmc_types as types;
 pub use nn;
 pub use npu;
+pub use par;
 pub use thermal;
 pub use topil;
 pub use toprl;
