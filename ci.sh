@@ -51,3 +51,27 @@ awk -F, '$3 == "speedup_vs_serial" && $4 < 3.0 { exit 1 }' "$fleet_csv" || {
 diff "$fleet_csv" "$ckpt_tmp/fleet-b/fleet.csv" || {
     echo "fleet gate: CSV diverged between --threads 1 and --threads 4" >&2; exit 1; }
 echo "fleet smoke + parallel-determinism gate passed"
+
+# Overload gate: 10x open-loop traffic plus a fault storm. Admitted
+# requests must never miss a deadline, sheds must stay bounded (the pool
+# keeps serving), the breaker must actually cycle, the run must finish
+# inside a hard wall-clock budget, and the CSV must be byte-identical
+# whether payload generation uses one thread or four.
+timeout 300 "$experiments" overload --threads 1 --storm --out "$ckpt_tmp/ov-a" >/dev/null 2>&1 || {
+    echo "overload gate: run failed or exceeded the 300s wall-clock budget" >&2; exit 1; }
+timeout 300 "$experiments" overload --threads 4 --storm --out "$ckpt_tmp/ov-b" >/dev/null 2>&1 || {
+    echo "overload gate: run failed or exceeded the 300s wall-clock budget" >&2; exit 1; }
+overload_csv="$ckpt_tmp/ov-a/overload.csv"
+grep -q '^summary,,deadline_misses,0$' "$overload_csv" || {
+    echo "overload gate: an admitted request was served past its deadline" >&2; exit 1; }
+grep -q '^summary,,dropped,0$' "$overload_csv" || {
+    echo "overload gate: a ticket vanished without a reply or a typed error" >&2; exit 1; }
+awk -F, '$3 == "shed_rate" && $1 == "summary" && ($4 >= 1.0 || $4 <= 0.0) { exit 1 }' "$overload_csv" || {
+    echo "overload gate: shed rate unbounded (all or none of the traffic shed)" >&2; exit 1; }
+awk -F, '$3 == "served" && $1 == "summary" && $4 == 0 { exit 1 }' "$overload_csv" || {
+    echo "overload gate: the pool served nothing under overload" >&2; exit 1; }
+awk -F, '$3 == "breaker_opens" && $1 == "summary" && $4 == 0 { exit 1 }' "$overload_csv" || {
+    echo "overload gate: the fault storm never tripped a breaker" >&2; exit 1; }
+diff "$overload_csv" "$ckpt_tmp/ov-b/overload.csv" || {
+    echo "overload gate: CSV diverged between --threads 1 and --threads 4" >&2; exit 1; }
+echo "overload gate passed"

@@ -32,17 +32,21 @@ fn report_csv(result: Result<(), BenchError>) {
 const USAGE: &str = "\
 usage: experiments [--full] [--out <dir>] [--state <dir>] [--points <n>]
                    [--boards <n>] [--epochs <n>] [--devices <n>]
-                   [--threads <n>] [COMMAND ...]
+                   [--threads <n>] [--clients <n>] [--overload <x>]
+                   [--storm] [COMMAND ...]
 
 Regenerates the paper's evaluation artifacts. Without a command (or with
 `all`) the whole suite runs. `--full` uses paper-scale parameters;
 `--out <dir>` additionally writes CSV data series. `--state <dir>` holds
 checkpoint snapshots for the resumable commands (`sweep`, `train`);
 `--points <n>` truncates the sweep grid to its first n points.
-`--boards`, `--epochs` and `--devices` size the `fleet` experiment.
-`--threads <n>` sets the host-thread budget of `train`, `sweep` and
-`fleet` (default: all available cores). Every command produces the same
-bytes at every thread count — the budget changes wall time only.
+`--boards`, `--epochs` and `--devices` size the `fleet` experiment;
+`--clients`, `--epochs`, `--devices`, `--overload <x>` (arrival rate as a
+multiple of pool capacity) and `--storm` (add a device fault storm) size
+the `overload` experiment. `--threads <n>` sets the host-thread budget of
+`train`, `sweep`, `fleet` and `overload` (default: all available cores).
+Every command produces the same bytes at every thread count — the budget
+changes wall time only.
 
 Diagnostics go to stderr; stdout carries only reports and CSV data, so
 `experiments fleet > fleet.csv` yields a clean machine-readable artifact.
@@ -69,6 +73,7 @@ commands:
   robustness   extension: fault-rate sweep vs. the degradation ladder
   traces       structured event traces per governor (JSONL/CSV via --out)
   fleet        multi-board fleet sharing one batched NPU inference service
+  overload     adversarial 10x-overload harness against the shared service
   sweep        crash-safe resumable robustness sweep (uses --state)
   train        crash-safe resumable IL training (uses --state)
   all          everything above except sweep and train
@@ -96,6 +101,9 @@ fn main() {
     let epochs: Option<u64> = flag_value("--epochs").and_then(|v| v.parse().ok());
     let devices: Option<usize> = flag_value("--devices").and_then(|v| v.parse().ok());
     let threads: Option<usize> = flag_value("--threads").and_then(|v| v.parse().ok());
+    let clients: Option<usize> = flag_value("--clients").and_then(|v| v.parse().ok());
+    let overload: Option<f64> = flag_value("--overload").and_then(|v| v.parse().ok());
+    let storm = args.iter().any(|a| a == "--storm");
     // No --threads means "use every core"; the result is bit-identical
     // either way.
     let budget = threads.map_or_else(par::Budget::auto, par::Budget::with_threads);
@@ -109,6 +117,8 @@ fn main() {
         "--epochs",
         "--devices",
         "--threads",
+        "--clients",
+        "--overload",
     ]
     .iter()
     .filter_map(|f| args.iter().position(|a| a == f).map(|i| i + 1))
@@ -274,6 +284,37 @@ fn main() {
                 let csv = bench::csv::fleet_csv(&report);
                 print!("{csv}");
                 report_csv(write_csv(&out, "fleet.csv", csv));
+            }
+            "overload" => {
+                let mut config = bench::overload::OverloadConfig::default();
+                if let Some(n) = clients {
+                    config.clients = n;
+                }
+                if let Some(n) = epochs {
+                    config.epochs = n;
+                }
+                if let Some(n) = devices {
+                    config.devices = n;
+                }
+                if let Some(x) = overload {
+                    config.overload = x;
+                }
+                config.fault_storm = storm;
+                config.budget = budget;
+                eprintln!(
+                    "overload: {:.0}x capacity, {} clients x {} epochs on {} device(s), {} thread(s){} ...",
+                    config.overload,
+                    config.clients,
+                    config.epochs,
+                    config.devices,
+                    config.budget.effective_threads(),
+                    if config.fault_storm { ", fault storm" } else { "" }
+                );
+                let report = bench::overload::run(&config);
+                eprintln!("{report}");
+                let csv = bench::csv::overload_csv(&report);
+                print!("{csv}");
+                report_csv(write_csv(&out, "overload.csv", csv));
             }
             "sweep" => {
                 let model = bench::robustness::sweep_model(effort);

@@ -420,7 +420,7 @@ fn fleet_epoch(
         *serial_device_time += device.inference_latency(dedicated, prepared.batch().rows());
         let mut at = now + board.jitter;
         let mut ticket = None;
-        for _ in 0..=service.config().client_retries {
+        for _ in 0..=service.config().retry.max_attempts {
             match service.submit(prepared.batch(), at) {
                 Ok(t) => {
                     ticket = Some(t);

@@ -13,7 +13,7 @@ proptest! {
         payload in proptest::collection::vec(0u8..=255, 0..512),
         kind_len in 1usize..12,
     ) {
-        let kind: String = std::iter::repeat('k').take(kind_len).collect();
+        let kind: String = std::iter::repeat_n('k', kind_len).collect();
         let bytes = encode_snapshot(&kind, seq, fingerprint, &payload);
         let snap = decode_snapshot(&bytes).unwrap();
         prop_assert_eq!(snap.kind, kind);

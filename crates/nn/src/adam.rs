@@ -14,7 +14,7 @@ use crate::{Matrix, Mlp};
 /// use rand::rngs::StdRng;
 /// use rand::SeedableRng;
 ///
-/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut rng = StdRng::seed_from_u64(1);
 /// let mut mlp = Mlp::new(&[2, 4, 1], &mut rng);
 /// let mut adam = Adam::new(&mlp);
 /// let x = Matrix::from_rows(vec![vec![1.0, 0.0]]);

@@ -7,34 +7,57 @@ use hmc_types::{SimDuration, SimTime};
 use nn::Matrix;
 use topil::{ClientReply, InferenceBackend, PolicyClient};
 
+use crate::limiter::ClientId;
+use crate::retry::RetryClass;
+use crate::service::SubmitOptions;
 use crate::NpuService;
 
 /// A board's handle on the shared inference service.
 ///
 /// Implements [`topil::PolicyClient`], so a board's
 /// [`topil::MigrationPolicy`] issues its epoch requests through the
-/// shared pool without knowing it is not a dedicated NPU. On an
-/// admission-control rejection the client backs off by the advertised
-/// retry-after and re-submits, up to
-/// [`client_retries`](crate::ServeConfig::client_retries) times; if every
-/// attempt is rejected the epoch degrades (reply without output), which
-/// the policy reports as a missed decision deadline.
+/// shared pool without knowing it is not a dedicated NPU. Failed
+/// submissions are classified ([`crate::ServeError::retry_class`]):
+/// retryable
+/// errors (shed, rate-limited) are retried with deterministic jittered
+/// backoff under the service's [`RetryPolicy`](crate::RetryPolicy),
+/// floored at the advertised retry-after; terminal errors (infeasible
+/// deadline, invalid input) degrade the epoch immediately (reply without
+/// output), which the policy reports as a missed decision deadline.
 ///
-/// Cloning yields another handle on the *same* service.
+/// Cloning yields another handle on the *same* service with the same
+/// client identity; use [`SharedClient::with_client_id`] to give each
+/// board its own identity for per-client rate limiting.
 #[derive(Debug, Clone)]
 pub struct SharedClient {
     service: Arc<Mutex<NpuService>>,
+    client: ClientId,
 }
 
 impl SharedClient {
-    /// A client handle on `service`.
+    /// A client handle on `service` (anonymous client identity).
     pub fn new(service: Arc<Mutex<NpuService>>) -> Self {
-        SharedClient { service }
+        SharedClient {
+            service,
+            client: ClientId::default(),
+        }
     }
 
     /// Wraps a freshly built service and returns the first handle on it.
     pub fn from_service(service: NpuService) -> Self {
         SharedClient::new(Arc::new(Mutex::new(service)))
+    }
+
+    /// This handle with a distinct client identity (rate-limit key and
+    /// trace identity).
+    pub fn with_client_id(mut self, client: ClientId) -> Self {
+        self.client = client;
+        self
+    }
+
+    /// The client identity submissions carry.
+    pub fn client_id(&self) -> ClientId {
+        self.client
     }
 
     /// The shared service behind this handle.
@@ -46,11 +69,16 @@ impl SharedClient {
 impl PolicyClient for SharedClient {
     fn infer(&mut self, batch: &Matrix, now: SimTime) -> ClientReply {
         let mut service = self.service.lock().expect("service mutex poisoned");
-        let retries = service.config().client_retries;
+        let policy = service.config().retry;
         let max_wait = service.config().max_wait;
         let mut waited = SimDuration::ZERO;
-        for _ in 0..=retries {
-            match service.submit(batch, now + waited) {
+        // First try plus up to `max_attempts` classified retries.
+        for attempt in 0..=policy.max_attempts {
+            let opts = SubmitOptions {
+                client: self.client,
+                ..SubmitOptions::default()
+            };
+            match service.submit_with(batch, now + waited, opts) {
                 Ok(ticket) => {
                     // Advance past this request's deadline so its batch
                     // is guaranteed dispatched, then redeem the ticket.
@@ -63,12 +91,22 @@ impl PolicyClient for SharedClient {
                     reply.latency += waited;
                     return reply;
                 }
-                Err(rejected) => {
-                    waited += rejected.retry_after;
+                Err(err) => {
+                    if err.retry_class() == RetryClass::Terminal || attempt == policy.max_attempts {
+                        break;
+                    }
+                    // Deterministic jitter: seeded from the client's
+                    // identity and virtual time, so re-runs reproduce the
+                    // exact backoff schedule.
+                    let at = now + waited;
+                    let seed = self.client.value() ^ at.as_nanos();
+                    let backoff = policy.backoff(attempt + 1, err.retry_after(), seed);
+                    service.record_retry(self.client, attempt + 1, backoff, at);
+                    waited += backoff;
                 }
             }
         }
-        // Every attempt bounced off admission control: give the epoch up.
+        // Terminal error or every attempt bounced: give the epoch up.
         ClientReply {
             output: None,
             latency: waited,
@@ -105,7 +143,7 @@ impl PolicyClient for SharedClient {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ServeConfig;
+    use crate::{RetryPolicy, ServeConfig};
     use nn::Mlp;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -145,11 +183,14 @@ mod tests {
             // never drains between retries.
             max_wait: SimDuration::from_secs(1),
             max_batch: 16,
-            client_retries: 2,
+            retry: RetryPolicy {
+                max_attempts: 2,
+                ..RetryPolicy::default()
+            },
             ..ServeConfig::default()
         };
         let blocker = SharedClient::from_service(NpuService::new(&net, config));
-        let mut client = blocker.clone();
+        let mut client = blocker.clone().with_client_id(ClientId::new(9));
         let row = Matrix::from_rows(vec![vec![0.5; 21]]);
         // Fill the only queue slot (ticket intentionally unredeemed).
         blocker
@@ -160,9 +201,52 @@ mod tests {
             .unwrap();
         let reply = client.infer(&row, SimTime::ZERO);
         assert!(reply.output.is_none());
-        // First try plus `client_retries` retries, all rejected.
-        assert_eq!(reply.latency, config.retry_after * 3);
+        // First try plus two classified retries, all shed at the full
+        // queue; each backoff is at least the advertised retry-after.
+        assert!(reply.latency >= config.retry_after * 2);
         let service = client.service();
-        assert_eq!(service.lock().unwrap().stats().rejected, 3);
+        let stats = service.lock().unwrap().stats().clone();
+        assert_eq!(stats.rejected, 3);
+        assert_eq!(stats.retries, 2);
+    }
+
+    #[test]
+    fn retry_backoff_schedule_is_deterministic() {
+        let net = mlp();
+        let config = ServeConfig {
+            queue_capacity: 1,
+            max_wait: SimDuration::from_secs(1),
+            max_batch: 16,
+            ..ServeConfig::default()
+        };
+        let run = || {
+            let blocker = SharedClient::from_service(NpuService::new(&net, config));
+            let mut client = blocker.clone().with_client_id(ClientId::new(4));
+            let row = Matrix::from_rows(vec![vec![0.5; 21]]);
+            blocker
+                .service()
+                .lock()
+                .unwrap()
+                .submit(&row, SimTime::ZERO)
+                .unwrap();
+            client.infer(&row, SimTime::ZERO).latency
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn terminal_errors_degrade_without_retrying() {
+        let net = mlp();
+        let client = SharedClient::from_service(NpuService::new(&net, ServeConfig::default()));
+        let mut client = client.with_client_id(ClientId::new(2));
+        // Wrong feature width: terminal InvalidInput, no retries burned.
+        let skewed = Matrix::from_rows(vec![vec![0.5; 7]]);
+        let reply = client.infer(&skewed, SimTime::ZERO);
+        assert!(reply.output.is_none());
+        assert_eq!(reply.latency, SimDuration::ZERO);
+        let service = client.service();
+        let stats = service.lock().unwrap().stats().clone();
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.submitted, 0);
     }
 }

@@ -1,8 +1,18 @@
 //! Service configuration.
 
+use std::fmt;
+
 use hmc_types::SimDuration;
 
+use crate::limiter::RateLimit;
+use crate::retry::RetryPolicy;
+
 /// Tunables of the shared inference service.
+///
+/// The middleware fields (`shed_*`, `cpu_degrade_watermark`,
+/// `rate_limit`) all default to *disabled*, so a default configuration
+/// behaves exactly like the pre-middleware service: admission control is
+/// queue capacity alone.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
     /// NPU devices in the pool.
@@ -13,21 +23,42 @@ pub struct ServeConfig {
     /// dispatches immediately.
     pub max_batch: usize,
     /// Deadline of the dynamic batcher: a pending request is dispatched at
-    /// the latest `max_wait` after submission, batched with whatever else
+    /// the latest `max_wait` after it is ready, batched with whatever else
     /// is waiting.
     pub max_wait: SimDuration,
     /// Admission control: pending requests beyond this are rejected with a
     /// retry-after hint instead of queued.
     pub queue_capacity: usize,
-    /// The back-off hint returned with a rejection.
+    /// The static floor of the back-off hint returned with a rejection
+    /// (the shed layer scales the hint up with the backlog).
     pub retry_after: SimDuration,
     /// Consecutive failures after which a device's circuit breaker opens.
     pub breaker_threshold: u32,
     /// Dispatches a breaker stays open before a half-open probe.
     pub breaker_cooldown: u32,
-    /// Times a [`crate::SharedClient`] re-submits after a rejection before
-    /// giving the epoch up.
-    pub client_retries: u32,
+    /// Client-side retry schedule of a [`crate::SharedClient`]
+    /// (resubmissions after retryable errors, with jittered backoff).
+    pub retry: RetryPolicy,
+    /// Shed every submission arriving at this queue depth or deeper.
+    /// `None` disables the depth watermark.
+    pub shed_depth_watermark: Option<usize>,
+    /// Shed every submission whose estimated service latency reaches this
+    /// mark. `None` disables the latency watermark.
+    pub shed_latency_watermark: Option<SimDuration>,
+    /// Before shedding: once the estimated service latency reaches this
+    /// mark, admit but route to the CPU fallback to spare pool capacity.
+    /// `None` disables graceful degrade.
+    pub cpu_degrade_watermark: Option<SimDuration>,
+    /// Per-client token-bucket rate limit. `None` disables rate limiting.
+    pub rate_limit: Option<RateLimit>,
+    /// Safety margin of the deadline-feasibility check: a request whose
+    /// absolute deadline is closer than this to its earliest dispatch is
+    /// rejected as infeasible instead of admitted-then-expired.
+    pub deadline_margin: SimDuration,
+    /// Upper clamp on a submission's `hold` (slow-loris guard): a client
+    /// may delay its payload's readiness at most this long while holding
+    /// a queue slot.
+    pub max_hold: SimDuration,
 }
 
 impl Default for ServeConfig {
@@ -43,22 +74,184 @@ impl Default for ServeConfig {
             retry_after: SimDuration::from_millis(1),
             breaker_threshold: 3,
             breaker_cooldown: 8,
-            client_retries: 3,
+            retry: RetryPolicy::default(),
+            shed_depth_watermark: None,
+            shed_latency_watermark: None,
+            cpu_degrade_watermark: None,
+            rate_limit: None,
+            // One driver round-trip: a tighter deadline cannot survive
+            // even an empty queue.
+            deadline_margin: SimDuration::from_millis(4),
+            max_hold: SimDuration::from_millis(50),
         }
     }
 }
 
+/// Why a [`ServeConfig`] was rejected by [`ServeConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `devices` was zero.
+    ZeroDevices,
+    /// `workers` was zero.
+    ZeroWorkers,
+    /// `max_batch` was zero.
+    ZeroMaxBatch,
+    /// `queue_capacity` was zero.
+    ZeroQueueCapacity,
+    /// `shed_depth_watermark` was `Some(0)` — that sheds everything.
+    ZeroDepthWatermark,
+    /// `rate_limit` had a burst below one token or a non-positive refill.
+    InvalidRateLimit,
+    /// `retry` had a zero base, a multiplier below one, or `max < base`.
+    InvalidRetryPolicy,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            ConfigError::ZeroDevices => "need at least one device",
+            ConfigError::ZeroWorkers => "need at least one worker",
+            ConfigError::ZeroMaxBatch => "batch size must be positive",
+            ConfigError::ZeroQueueCapacity => "queue capacity must be positive",
+            ConfigError::ZeroDepthWatermark => "a zero depth watermark sheds every request",
+            ConfigError::InvalidRateLimit => {
+                "rate limit needs burst >= 1 and a positive refill rate"
+            }
+            ConfigError::InvalidRetryPolicy => {
+                "retry policy needs a positive base, multiplier >= 1 and max >= base"
+            }
+        };
+        f.write_str(text)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl ServeConfig {
-    /// Validates the configuration (non-zero pool, batch and capacity).
-    ///
-    /// # Panics
-    ///
-    /// Panics on a zero device count, batch size, queue capacity or worker
-    /// count.
-    pub fn validate(&self) {
-        assert!(self.devices > 0, "need at least one device");
-        assert!(self.workers > 0, "need at least one worker");
-        assert!(self.max_batch > 0, "batch size must be positive");
-        assert!(self.queue_capacity > 0, "queue capacity must be positive");
+    /// Validates the configuration, returning the first violated
+    /// invariant: non-zero pool, batch, capacity and workers, a usable
+    /// depth watermark, a sane rate limit and a sane retry policy.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.devices == 0 {
+            return Err(ConfigError::ZeroDevices);
+        }
+        if self.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if self.max_batch == 0 {
+            return Err(ConfigError::ZeroMaxBatch);
+        }
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
+        if self.shed_depth_watermark == Some(0) {
+            return Err(ConfigError::ZeroDepthWatermark);
+        }
+        if let Some(limit) = self.rate_limit {
+            if !limit.is_valid() {
+                return Err(ConfigError::InvalidRateLimit);
+            }
+        }
+        if self.retry.base.is_zero()
+            || self.retry.multiplier < 1.0
+            || self.retry.max < self.retry.base
+        {
+            return Err(ConfigError::InvalidRetryPolicy);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(ServeConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_devices_rejected() {
+        let config = ServeConfig {
+            devices: 0,
+            ..ServeConfig::default()
+        };
+        assert_eq!(config.validate(), Err(ConfigError::ZeroDevices));
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let config = ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        };
+        assert_eq!(config.validate(), Err(ConfigError::ZeroWorkers));
+    }
+
+    #[test]
+    fn zero_max_batch_rejected() {
+        let config = ServeConfig {
+            max_batch: 0,
+            ..ServeConfig::default()
+        };
+        assert_eq!(config.validate(), Err(ConfigError::ZeroMaxBatch));
+    }
+
+    #[test]
+    fn zero_queue_capacity_rejected() {
+        let config = ServeConfig {
+            queue_capacity: 0,
+            ..ServeConfig::default()
+        };
+        assert_eq!(config.validate(), Err(ConfigError::ZeroQueueCapacity));
+    }
+
+    #[test]
+    fn zero_depth_watermark_rejected() {
+        let config = ServeConfig {
+            shed_depth_watermark: Some(0),
+            ..ServeConfig::default()
+        };
+        assert_eq!(config.validate(), Err(ConfigError::ZeroDepthWatermark));
+    }
+
+    #[test]
+    fn non_positive_rate_limit_rejected() {
+        for limit in [
+            RateLimit {
+                burst: 0.0,
+                refill_per_sec: 10.0,
+            },
+            RateLimit {
+                burst: 4.0,
+                refill_per_sec: 0.0,
+            },
+        ] {
+            let config = ServeConfig {
+                rate_limit: Some(limit),
+                ..ServeConfig::default()
+            };
+            assert_eq!(config.validate(), Err(ConfigError::InvalidRateLimit));
+        }
+    }
+
+    #[test]
+    fn degenerate_retry_policy_rejected() {
+        let retry = crate::RetryPolicy {
+            multiplier: 0.5,
+            ..crate::RetryPolicy::default()
+        };
+        let config = ServeConfig {
+            retry,
+            ..ServeConfig::default()
+        };
+        assert_eq!(config.validate(), Err(ConfigError::InvalidRetryPolicy));
+    }
+
+    #[test]
+    fn errors_display_the_violated_invariant() {
+        assert!(ConfigError::ZeroDevices.to_string().contains("device"));
+        assert!(ConfigError::InvalidRateLimit.to_string().contains("burst"));
     }
 }

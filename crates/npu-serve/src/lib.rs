@@ -1,4 +1,5 @@
-//! Shared NPU inference service with dynamic batching.
+//! Shared NPU inference service with dynamic batching and a
+//! production-grade admission layer.
 //!
 //! The paper gives every HiKey 970 board its own NPU. At fleet scale that
 //! inverts: the NPU's driver round-trip (~3.9 ms) dominates and is nearly
@@ -8,8 +9,16 @@
 //!
 //! * [`SubmissionQueue`] — a bounded queue with admission control: when
 //!   the backlog hits capacity, new requests are rejected with a
-//!   retry-after hint (and a `QueueSaturated` trace event) instead of
-//!   growing the queue without bound,
+//!   retry-after hint and the depth at rejection (and a `QueueSaturated`
+//!   trace event) instead of growing the queue without bound,
+//! * an **admission middleware stack** ([`middleware`]) every submission
+//!   runs through before it may occupy a queue slot: input validation,
+//!   deadline feasibility ([`SubmitOptions::deadline`] — infeasible
+//!   deadlines fail fast with [`ServeError::DeadlineExceeded`] instead of
+//!   computing-then-discarding), per-client token-bucket rate limiting
+//!   ([`RateLimit`], keyed by [`ClientId`], refilled in virtual time),
+//!   and watermark-driven **load shedding** with a backlog-derived
+//!   retry-after and a graceful CPU-degrade rung before dropping,
 //! * [`NpuService`] — the dynamic batcher and virtual-time device pool:
 //!   pending requests coalesce into one batch call once `max_batch`
 //!   requests wait or the oldest request hits its `max_wait` deadline
@@ -19,10 +28,12 @@
 //!   results are **bit-identical** to dedicated-device issuance,
 //! * per-device **circuit breakers** (reusing [`faults::CircuitBreaker`])
 //!   — a device that keeps failing is taken out of rotation and its
-//!   traffic drains to a CPU fallback until the cooldown probe passes,
-//! * [`SharedClient`] — a [`topil::PolicyClient`] adapter, so a board's
-//!   migration policy issues its requests through the shared service
-//!   without knowing it is not a dedicated NPU,
+//!   traffic drains to a CPU fallback until the cooldown probe passes;
+//!   every transition (open, half-open, closed) is a drained trace event,
+//! * [`SharedClient`] — a [`topil::PolicyClient`] adapter with classified
+//!   retries: retryable failures ([`RetryClass::Retryable`]) back off with
+//!   deterministic jitter under the service's [`RetryPolicy`], terminal
+//!   failures degrade the epoch immediately,
 //! * a **worker pool** of std threads (no async runtime) that computes
 //!   ready batches in parallel; results are joined in dispatch order so
 //!   the service stays deterministic.
@@ -39,22 +50,42 @@
 //! let mlp = Mlp::with_topology(21, 4, 64, 8, &mut StdRng::seed_from_u64(0));
 //! let mut service = NpuService::new(&mlp, ServeConfig::default());
 //! let request = Matrix::from_rows(vec![vec![0.1; 21]; 3]);
-//! let ticket = service.submit(&request, SimTime::ZERO).unwrap();
-//! service.flush(SimTime::ZERO);
-//! let reply = service.take_reply(ticket).unwrap();
-//! assert_eq!(reply.output.unwrap().rows(), 3);
+//! // Admission control may reject instead of queueing without bound:
+//! // honor the advertised retry-after rather than unwrapping.
+//! match service.submit(&request, SimTime::ZERO) {
+//!     Ok(ticket) => {
+//!         service.flush(SimTime::ZERO);
+//!         let reply = service.take_reply(ticket).unwrap();
+//!         assert_eq!(reply.output.unwrap().rows(), 3);
+//!     }
+//!     Err(rejected) => {
+//!         // Back off and resubmit no earlier than this.
+//!         let _retry_at = SimTime::ZERO + rejected.retry_after;
+//!         assert!(rejected.depth > 0);
+//!     }
+//! }
 //! ```
 
 #![warn(missing_docs)]
 
 mod client;
 mod config;
+mod error;
+mod limiter;
+pub mod middleware;
 mod queue;
+mod retry;
 mod service;
+mod shed;
 mod stats;
 
 pub use client::SharedClient;
-pub use config::ServeConfig;
+pub use config::{ConfigError, ServeConfig};
+pub use error::ServeError;
+pub use limiter::{ClientId, RateLimit};
+pub use middleware::{Admission, AdmissionContext, AdmissionLayer};
 pub use queue::{Rejected, SubmissionQueue};
-pub use service::{NpuService, RequestTicket};
-pub use stats::ServeStats;
+pub use retry::{RetryClass, RetryPolicy};
+pub use service::{NpuService, RequestTicket, SubmitOptions};
+pub use shed::Backlog;
+pub use stats::{MetricsSnapshot, ServeStats};

@@ -1,0 +1,319 @@
+//! Composable admission middleware.
+//!
+//! Every submission runs through an ordered [`AdmissionStack`] before it
+//! may enter the queue — the smithy-runtime layering idea applied to the
+//! batcher: each [`AdmissionLayer`] sees one immutable
+//! [`AdmissionContext`] snapshot and either passes the request on or
+//! fails it with a typed [`ServeError`]. The stack owns all mutable
+//! policy state (token buckets); the service translates the outcome into
+//! trace events and statistics so layers stay pure decision logic.
+//!
+//! Order matters and is fixed at construction: validation (cheapest,
+//! catches malformed input), deadline feasibility (terminal — don't burn
+//! a token on a doomed request), rate limiting (per-client fairness),
+//! then load shedding (global overload control). Queue capacity stays in
+//! [`crate::SubmissionQueue::try_push`] as the final backstop.
+
+use hmc_types::{SimDuration, SimTime};
+use trace::ShedReason;
+
+use crate::error::ServeError;
+use crate::limiter::{ClientId, RateLimiter};
+use crate::shed::{self, Backlog, ShedDecision};
+use crate::ServeConfig;
+
+/// Everything a layer may consult for one admission decision.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionContext<'a> {
+    /// Service configuration.
+    pub config: &'a ServeConfig,
+    /// Virtual submission instant (already clamped to the service clock).
+    pub now: SimTime,
+    /// Submitting client.
+    pub client: ClientId,
+    /// Requested absolute completion deadline, if any.
+    pub deadline: Option<SimTime>,
+    /// When the payload becomes batchable (slow-loris hold, clamped).
+    pub ready_at: SimTime,
+    /// Feature rows in the submission.
+    pub rows: usize,
+    /// Feature width of the submission.
+    pub cols: usize,
+    /// Feature width the compiled model expects.
+    pub expected_cols: usize,
+    /// Backlog snapshot for shed/feasibility estimates.
+    pub backlog: Backlog,
+}
+
+/// Outcome of a full admission pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Admission {
+    /// Queue normally.
+    Admit,
+    /// Queue, but route to the CPU fallback (graceful degrade).
+    DegradeCpu,
+}
+
+/// One admission layer: inspect the context, pass or fail the request.
+pub trait AdmissionLayer: std::fmt::Debug + Send {
+    /// Diagnostic name of the layer.
+    fn name(&self) -> &'static str;
+
+    /// Pass (`Ok`) or fail the submission. A layer may refine the
+    /// admission from [`Admission::Admit`] to [`Admission::DegradeCpu`]
+    /// by returning it; refinements compose as "most degraded wins".
+    fn admit(&mut self, ctx: &AdmissionContext<'_>) -> Result<Admission, ServeError>;
+}
+
+/// Rejects malformed submissions (empty batch, wrong feature width).
+#[derive(Debug, Default)]
+pub(crate) struct ValidateLayer;
+
+impl AdmissionLayer for ValidateLayer {
+    fn name(&self) -> &'static str {
+        "validate"
+    }
+
+    fn admit(&mut self, ctx: &AdmissionContext<'_>) -> Result<Admission, ServeError> {
+        if ctx.rows == 0 {
+            return Err(ServeError::InvalidInput {
+                reason: "empty request",
+            });
+        }
+        if ctx.cols != ctx.expected_cols {
+            return Err(ServeError::InvalidInput {
+                reason: "input width mismatch",
+            });
+        }
+        Ok(Admission::Admit)
+    }
+}
+
+/// Rejects deadlines that cannot be met even by the earliest possible
+/// completion (ready + one batch + margin).
+#[derive(Debug, Default)]
+pub(crate) struct DeadlineLayer;
+
+impl AdmissionLayer for DeadlineLayer {
+    fn name(&self) -> &'static str {
+        "deadline"
+    }
+
+    fn admit(&mut self, ctx: &AdmissionContext<'_>) -> Result<Admission, ServeError> {
+        let Some(deadline) = ctx.deadline else {
+            return Ok(Admission::Admit);
+        };
+        let earliest_completion = ctx.ready_at + ctx.config.deadline_margin;
+        if deadline < earliest_completion {
+            return Err(ServeError::DeadlineExceeded {
+                deadline,
+                at: ctx.now,
+                late_by: earliest_completion.since(deadline),
+            });
+        }
+        Ok(Admission::Admit)
+    }
+}
+
+/// Per-client token buckets ([`crate::RateLimit`]), refilled in virtual
+/// time.
+#[derive(Debug)]
+pub(crate) struct RateLimitLayer {
+    limiter: RateLimiter,
+}
+
+impl RateLimitLayer {
+    pub(crate) fn new(limiter: RateLimiter) -> Self {
+        RateLimitLayer { limiter }
+    }
+}
+
+impl AdmissionLayer for RateLimitLayer {
+    fn name(&self) -> &'static str {
+        "rate_limit"
+    }
+
+    fn admit(&mut self, ctx: &AdmissionContext<'_>) -> Result<Admission, ServeError> {
+        match self.limiter.try_acquire(ctx.client, ctx.now) {
+            Ok(()) => Ok(Admission::Admit),
+            Err(retry_after) => Err(ServeError::RateLimited {
+                client: ctx.client,
+                retry_after,
+            }),
+        }
+    }
+}
+
+/// Watermark-driven load shedding with CPU degrade
+/// (see [`crate::shed`]).
+#[derive(Debug, Default)]
+pub(crate) struct ShedLayer;
+
+impl AdmissionLayer for ShedLayer {
+    fn name(&self) -> &'static str {
+        "shed"
+    }
+
+    fn admit(&mut self, ctx: &AdmissionContext<'_>) -> Result<Admission, ServeError> {
+        match shed::evaluate(ctx.config, &ctx.backlog) {
+            ShedDecision::Admit => Ok(Admission::Admit),
+            ShedDecision::DegradeCpu => Ok(Admission::DegradeCpu),
+            ShedDecision::Shed {
+                reason,
+                retry_after,
+            } => Err(ServeError::Shed {
+                reason,
+                depth: ctx.backlog.depth,
+                retry_after,
+            }),
+        }
+    }
+}
+
+/// The ordered admission stack the service runs every submission through.
+#[derive(Debug)]
+pub(crate) struct AdmissionStack {
+    layers: Vec<Box<dyn AdmissionLayer>>,
+}
+
+impl AdmissionStack {
+    /// The standard stack for `config`: validate → deadline → rate limit
+    /// (when configured) → shed.
+    pub(crate) fn standard(config: &ServeConfig) -> Self {
+        let mut layers: Vec<Box<dyn AdmissionLayer>> =
+            vec![Box::new(ValidateLayer), Box::new(DeadlineLayer)];
+        if let Some(limit) = config.rate_limit {
+            layers.push(Box::new(RateLimitLayer::new(RateLimiter::new(limit))));
+        }
+        layers.push(Box::new(ShedLayer));
+        AdmissionStack { layers }
+    }
+
+    /// Runs the stack; the first failing layer wins, refinements compose.
+    pub(crate) fn admit(&mut self, ctx: &AdmissionContext<'_>) -> Result<Admission, ServeError> {
+        let mut admission = Admission::Admit;
+        for layer in &mut self.layers {
+            if layer.admit(ctx)? == Admission::DegradeCpu {
+                admission = Admission::DegradeCpu;
+            }
+        }
+        Ok(admission)
+    }
+
+    /// Layer names in execution order (diagnostics).
+    pub(crate) fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+}
+
+/// Maps a queue-capacity rejection into the error taxonomy.
+pub(crate) fn queue_full_error(depth: usize, retry_after: SimDuration) -> ServeError {
+    ServeError::Shed {
+        reason: ShedReason::QueueFull,
+        depth,
+        retry_after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RateLimit;
+
+    fn backlog() -> Backlog {
+        Backlog {
+            depth: 0,
+            healthy_devices: 2,
+            earliest_free: SimDuration::ZERO,
+            batch_latency: SimDuration::from_millis(4),
+        }
+    }
+
+    fn ctx<'a>(config: &'a ServeConfig) -> AdmissionContext<'a> {
+        AdmissionContext {
+            config,
+            now: SimTime::from_millis(10),
+            client: ClientId::new(1),
+            deadline: None,
+            ready_at: SimTime::from_millis(10),
+            rows: 2,
+            cols: 21,
+            expected_cols: 21,
+            backlog: backlog(),
+        }
+    }
+
+    #[test]
+    fn standard_stack_orders_layers() {
+        let config = ServeConfig {
+            rate_limit: Some(RateLimit {
+                burst: 4.0,
+                refill_per_sec: 100.0,
+            }),
+            ..ServeConfig::default()
+        };
+        let stack = AdmissionStack::standard(&config);
+        assert_eq!(
+            stack.layer_names(),
+            vec!["validate", "deadline", "rate_limit", "shed"]
+        );
+        // Without a rate limit the layer is absent entirely.
+        let bare = AdmissionStack::standard(&ServeConfig::default());
+        assert_eq!(bare.layer_names(), vec!["validate", "deadline", "shed"]);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_input() {
+        let config = ServeConfig::default();
+        let mut stack = AdmissionStack::standard(&config);
+        let empty = AdmissionContext {
+            rows: 0,
+            ..ctx(&config)
+        };
+        assert!(matches!(
+            stack.admit(&empty),
+            Err(ServeError::InvalidInput { .. })
+        ));
+        let skewed = AdmissionContext {
+            cols: 7,
+            ..ctx(&config)
+        };
+        assert!(matches!(
+            stack.admit(&skewed),
+            Err(ServeError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn infeasible_deadline_is_terminal_before_rate_limiting() {
+        let config = ServeConfig {
+            rate_limit: Some(RateLimit {
+                burst: 1.0,
+                refill_per_sec: 1.0,
+            }),
+            ..ServeConfig::default()
+        };
+        let mut stack = AdmissionStack::standard(&config);
+        let doomed = AdmissionContext {
+            deadline: Some(SimTime::from_millis(11)),
+            ..ctx(&config)
+        };
+        // Margin is 4 ms: an 11 ms deadline at ready=10 ms is infeasible,
+        // and must NOT consume the client's only token.
+        assert!(matches!(
+            stack.admit(&doomed),
+            Err(ServeError::DeadlineExceeded { .. })
+        ));
+        assert_eq!(stack.admit(&ctx(&config)), Ok(Admission::Admit));
+    }
+
+    #[test]
+    fn degrade_refinement_wins_over_admit() {
+        let config = ServeConfig {
+            cpu_degrade_watermark: Some(SimDuration::ZERO),
+            ..ServeConfig::default()
+        };
+        let mut stack = AdmissionStack::standard(&config);
+        assert_eq!(stack.admit(&ctx(&config)), Ok(Admission::DegradeCpu));
+    }
+}

@@ -3,12 +3,18 @@
 use hmc_types::{SimDuration, SimTime};
 use nn::Matrix;
 
+use crate::limiter::ClientId;
+
 /// Admission-control rejection: the queue is at capacity. The caller
-/// should retry no earlier than `retry_after` from the rejected submit.
+/// should retry no earlier than `retry_after` from the rejected submit;
+/// `depth` reports how many requests were already waiting, so callers can
+/// scale their own back-off with the backlog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Rejected {
     /// Back-off hint advertised by the service.
     pub retry_after: SimDuration,
+    /// Pending requests at the instant of the rejection.
+    pub depth: usize,
 }
 
 /// One queued inference request.
@@ -16,17 +22,27 @@ pub struct Rejected {
 pub(crate) struct QueuedRequest {
     /// Ticket id.
     pub id: u64,
+    /// Submitting client.
+    pub client: ClientId,
     /// The request's stacked feature rows.
     pub rows: Matrix,
     /// Virtual submission time.
     pub submitted_at: SimTime,
+    /// When the payload becomes batchable (slow-loris hold, clamped).
+    pub ready_at: SimTime,
     /// Latest dispatch time the batcher may delay this request to.
-    pub deadline: SimTime,
+    pub dispatch_deadline: SimTime,
+    /// Absolute completion deadline the client asked for, if any. A reply
+    /// after this instant is worthless — the service fails the request
+    /// fast instead of computing it.
+    pub deadline: Option<SimTime>,
+    /// Route to the CPU fallback (graceful degrade) instead of the pool.
+    pub route_cpu: bool,
 }
 
-/// A bounded queue ordered by `(deadline, id)` — the dynamic batcher
-/// always drains the most urgent requests first, and admission control
-/// rejects (rather than queues) once `capacity` requests wait.
+/// A bounded queue ordered by `(dispatch_deadline, id)` — the dynamic
+/// batcher always drains the most urgent requests first, and admission
+/// control rejects (rather than queues) once `capacity` requests wait.
 ///
 /// # Examples
 ///
@@ -42,7 +58,7 @@ pub(crate) struct QueuedRequest {
 pub struct SubmissionQueue {
     capacity: usize,
     retry_after: SimDuration,
-    /// Kept sorted by `(deadline, id)`.
+    /// Kept sorted by `(dispatch_deadline, id)`.
     entries: Vec<QueuedRequest>,
 }
 
@@ -66,43 +82,101 @@ impl SubmissionQueue {
         self.entries.is_empty()
     }
 
-    /// The earliest deadline among pending requests.
+    /// The earliest dispatch deadline among pending requests.
     pub fn next_deadline(&self) -> Option<SimTime> {
-        self.entries.first().map(|e| e.deadline)
+        self.entries.first().map(|e| e.dispatch_deadline)
     }
 
-    /// Admits a request, keeping `(deadline, id)` order, or rejects it
-    /// with the retry-after hint when the queue is full.
+    /// Total feature rows pending (backlog size in work units).
+    pub fn backlog_rows(&self) -> usize {
+        self.entries.iter().map(|e| e.rows.rows()).sum()
+    }
+
+    /// Pending requests whose payload is ready at `at` (slow-loris holds
+    /// excluded).
+    pub(crate) fn ready_len(&self, at: SimTime) -> usize {
+        self.entries.iter().filter(|e| e.ready_at <= at).count()
+    }
+
+    /// The earliest instant any pending payload becomes ready, if one is
+    /// still held back.
+    pub(crate) fn earliest_ready(&self) -> Option<SimTime> {
+        self.entries.iter().map(|e| e.ready_at).min()
+    }
+
+    /// Admits a request, keeping `(dispatch_deadline, id)` order, or
+    /// rejects it with the retry-after hint when the queue is full.
     pub(crate) fn try_push(&mut self, request: QueuedRequest) -> Result<(), Rejected> {
         if self.entries.len() >= self.capacity {
             return Err(Rejected {
                 retry_after: self.retry_after,
+                depth: self.entries.len(),
             });
         }
-        let key = (request.deadline, request.id);
-        let at = self.entries.partition_point(|e| (e.deadline, e.id) <= key);
+        let key = (request.dispatch_deadline, request.id);
+        let at = self
+            .entries
+            .partition_point(|e| (e.dispatch_deadline, e.id) <= key);
         self.entries.insert(at, request);
         Ok(())
     }
 
     /// Removes and returns the `n` most urgent requests (fewer when less
     /// is pending).
+    #[cfg(test)]
     pub(crate) fn take(&mut self, n: usize) -> Vec<QueuedRequest> {
         let n = n.min(self.entries.len());
         self.entries.drain(..n).collect()
+    }
+
+    /// Removes and returns the `n` most urgent requests whose payloads
+    /// are ready at `at`. Held (slow-loris) requests keep their queue
+    /// slots but are skipped.
+    pub(crate) fn take_ready(&mut self, n: usize, at: SimTime) -> Vec<QueuedRequest> {
+        let mut taken = Vec::new();
+        let mut i = 0;
+        while i < self.entries.len() && taken.len() < n {
+            if self.entries[i].ready_at <= at {
+                taken.push(self.entries.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        taken
+    }
+
+    /// Removes and returns every pending request whose absolute deadline
+    /// has already passed at `at` — they can no longer be served on time
+    /// and must fail fast instead of burning pool capacity.
+    pub(crate) fn take_expired(&mut self, at: SimTime) -> Vec<QueuedRequest> {
+        let mut expired = Vec::new();
+        let mut i = 0;
+        while i < self.entries.len() {
+            if self.entries[i].deadline.is_some_and(|d| d < at) {
+                expired.push(self.entries.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        expired
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn req(id: u64, deadline_ms: u64) -> QueuedRequest {
         QueuedRequest {
             id,
+            client: ClientId::default(),
             rows: Matrix::zeros(1, 2),
             submitted_at: SimTime::ZERO,
-            deadline: SimTime::from_millis(deadline_ms),
+            ready_at: SimTime::ZERO,
+            dispatch_deadline: SimTime::from_millis(deadline_ms),
+            deadline: None,
+            route_cpu: false,
         }
     }
 
@@ -130,15 +204,109 @@ mod tests {
     }
 
     #[test]
-    fn rejects_at_capacity_with_retry_hint() {
+    fn rejects_at_capacity_with_retry_hint_and_depth() {
         let mut q = SubmissionQueue::new(2, SimDuration::from_millis(3));
         q.try_push(req(0, 10)).unwrap();
         q.try_push(req(1, 10)).unwrap();
         let err = q.try_push(req(2, 10)).unwrap_err();
         assert_eq!(err.retry_after, SimDuration::from_millis(3));
+        assert_eq!(err.depth, 2);
         assert_eq!(q.len(), 2);
         // Draining makes room again.
         q.take(1);
         assert!(q.try_push(req(3, 12)).is_ok());
+    }
+
+    #[test]
+    fn held_requests_are_skipped_but_keep_their_slots() {
+        let mut q = SubmissionQueue::new(4, SimDuration::from_millis(1));
+        let mut held = req(0, 5);
+        held.ready_at = SimTime::from_millis(9);
+        q.try_push(held).unwrap();
+        q.try_push(req(1, 10)).unwrap();
+
+        let at = SimTime::from_millis(3);
+        assert_eq!(q.ready_len(at), 1);
+        assert_eq!(q.earliest_ready(), Some(SimTime::ZERO));
+        let taken = q.take_ready(4, at);
+        assert_eq!(taken.len(), 1);
+        assert_eq!(taken[0].id, 1);
+        // The held request still occupies its slot...
+        assert_eq!(q.len(), 1);
+        // ...and is drained once its payload arrives.
+        let taken = q.take_ready(4, SimTime::from_millis(9));
+        assert_eq!(taken.len(), 1);
+        assert_eq!(taken[0].id, 0);
+    }
+
+    proptest! {
+        /// Any interleaving of pushes (with heavily duplicated deadlines)
+        /// and drains keeps the queue within capacity and drains in
+        /// strict `(dispatch_deadline, id)` order — equal deadlines tie-
+        /// break by submission order, with no request lost or duplicated.
+        #[test]
+        fn interleavings_drain_in_strict_key_order_within_capacity(
+            // 0 ⇒ drain one; 1..=6 ⇒ push with deadline (op - 1) ms.
+            ops in proptest::collection::vec(0u64..7, 1..80),
+            capacity in 1usize..12,
+        ) {
+            let mut q = SubmissionQueue::new(capacity, SimDuration::from_millis(1));
+            // Reference model: the multiset of keys still queued.
+            let mut model: Vec<(SimTime, u64)> = Vec::new();
+            let mut next_id = 0u64;
+            for &op in &ops {
+                if op == 0 {
+                    let taken = q.take(1);
+                    if let Some(r) = taken.first() {
+                        let min = *model.iter().min().expect("model tracks queue");
+                        prop_assert_eq!((r.dispatch_deadline, r.id), min);
+                        model.retain(|&k| k != min);
+                    } else {
+                        prop_assert!(model.is_empty());
+                    }
+                } else {
+                    let deadline_ms = op - 1;
+                    match q.try_push(req(next_id, deadline_ms)) {
+                        Ok(()) => {
+                            model.push((SimTime::from_millis(deadline_ms), next_id));
+                            next_id += 1;
+                        }
+                        Err(rejected) => {
+                            prop_assert_eq!(rejected.depth, capacity);
+                            prop_assert_eq!(model.len(), capacity);
+                        }
+                    }
+                }
+                prop_assert!(q.len() <= capacity, "capacity exceeded");
+                prop_assert_eq!(q.len(), model.len());
+            }
+            // The final drain is strictly increasing: every queued request
+            // comes out exactly once, most urgent first.
+            let rest = q.take(usize::MAX);
+            prop_assert_eq!(rest.len(), model.len());
+            let keys: Vec<_> = rest.iter().map(|r| (r.dispatch_deadline, r.id)).collect();
+            for pair in keys.windows(2) {
+                prop_assert!(pair[0] < pair[1], "drain order not strict: {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadlines_are_drained_separately() {
+        let mut q = SubmissionQueue::new(4, SimDuration::from_millis(1));
+        let mut doomed = req(0, 5);
+        doomed.deadline = Some(SimTime::from_millis(4));
+        q.try_push(doomed).unwrap();
+        let mut fine = req(1, 6);
+        fine.deadline = Some(SimTime::from_millis(40));
+        q.try_push(fine).unwrap();
+        q.try_push(req(2, 7)).unwrap();
+
+        let expired = q.take_expired(SimTime::from_millis(10));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].id, 0);
+        assert_eq!(q.len(), 2);
+        // Nothing else expires — no deadline, or a deadline still ahead.
+        assert!(q.take_expired(SimTime::from_millis(10)).is_empty());
     }
 }

@@ -1,0 +1,103 @@
+//! Client-side retry classification and deterministic jittered backoff.
+
+use hmc_types::SimDuration;
+
+/// Whether an error is worth resubmitting after a backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryClass {
+    /// Transient condition (shed, rate limit, device fault): back off by
+    /// the advertised or computed delay, then resubmit.
+    Retryable,
+    /// Permanent condition (deadline passed, malformed input): give the
+    /// request up immediately.
+    Terminal,
+}
+
+/// Exponential backoff with deterministic jitter.
+///
+/// The delay for retry `attempt` (1-based) is
+/// `base * multiplier^(attempt-1)`, clamped to `max`, floored at the
+/// service's retry-after hint when one was advertised, plus a jitter in
+/// `[0, delay/4)` drawn from a SplitMix64 hash of the caller-provided
+/// seed and the attempt number. Everything is pure arithmetic on virtual
+/// time, so two runs with the same schedule produce bit-identical
+/// backoffs — jitter decorrelates *clients*, not runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Resubmissions after the first attempt before the client gives up.
+    pub max_attempts: u32,
+    /// First retry's base delay.
+    pub base: SimDuration,
+    /// Growth factor per retry.
+    pub multiplier: f64,
+    /// Upper clamp on the un-jittered delay.
+    pub max: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base: SimDuration::from_millis(1),
+            multiplier: 2.0,
+            max: SimDuration::from_millis(16),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry `attempt` (1-based). `hint` is the
+    /// service's retry-after, used as a floor; `seed` decorrelates
+    /// clients (hash a client id and the submission time into it).
+    pub fn backoff(&self, attempt: u32, hint: Option<SimDuration>, seed: u64) -> SimDuration {
+        let exp = self.base.as_secs_f64() * self.multiplier.powi(attempt.saturating_sub(1) as i32);
+        let clamped = exp.min(self.max.as_secs_f64());
+        let floored = match hint {
+            Some(h) => clamped.max(h.as_secs_f64()),
+            None => clamped,
+        };
+        let jitter_unit = splitmix64(seed ^ u64::from(attempt)) as f64 / (u64::MAX as f64 + 1.0);
+        SimDuration::from_secs_f64(floored + jitter_unit * (clamped / 4.0))
+    }
+}
+
+/// SplitMix64 finalizer: one well-mixed output per distinct input.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_clamps() {
+        let policy = RetryPolicy::default();
+        let b1 = policy.backoff(1, None, 7);
+        let b2 = policy.backoff(2, None, 7);
+        let b3 = policy.backoff(3, None, 7);
+        assert!(b2 > b1, "backoff must grow: {b1:?} vs {b2:?}");
+        assert!(b3 > b2);
+        // Deep attempts clamp at max (+ up to 25% jitter).
+        let deep = policy.backoff(30, None, 7);
+        assert!(deep <= SimDuration::from_secs_f64(policy.max.as_secs_f64() * 1.25));
+    }
+
+    #[test]
+    fn hint_floors_the_delay() {
+        let policy = RetryPolicy::default();
+        let hint = SimDuration::from_millis(40);
+        let b = policy.backoff(1, Some(hint), 3);
+        assert!(b >= hint);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_seed_sensitive() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff(2, None, 11), policy.backoff(2, None, 11));
+        assert_ne!(policy.backoff(2, None, 11), policy.backoff(2, None, 12));
+    }
+}

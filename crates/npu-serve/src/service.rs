@@ -1,5 +1,5 @@
-//! The shared inference service: dynamic batcher + virtual-time device
-//! pool.
+//! The shared inference service: admission middleware, dynamic batcher
+//! and virtual-time device pool.
 
 use std::collections::HashMap;
 
@@ -8,16 +8,39 @@ use hmc_types::{SimDuration, SimTime};
 use nn::{Matrix, Mlp};
 use npu::{CpuInference, NpuDevice, NpuModel, Occupancy};
 use topil::{ClientJob, ClientReply, InferenceBackend};
-use trace::{TraceBackend, TraceEvent};
+use trace::{FaultKind, TraceBackend, TraceEvent};
 
+use crate::config::ConfigError;
+use crate::error::ServeError;
+use crate::limiter::ClientId;
+use crate::middleware::{self, Admission, AdmissionContext, AdmissionStack};
 use crate::queue::QueuedRequest;
+use crate::shed::Backlog;
+use crate::stats::MetricsSnapshot;
 use crate::{Rejected, ServeConfig, ServeStats, SubmissionQueue};
 
 /// Handle of an admitted request; redeem it with
-/// [`NpuService::take_reply`] once the service has advanced past the
-/// request's completion.
+/// [`NpuService::take_reply`] (or [`NpuService::take_outcome`]) once the
+/// service has advanced past the request's completion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RequestTicket(u64);
+
+/// Per-submission options of [`NpuService::submit_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SubmitOptions {
+    /// Submitting client (rate-limit key and trace identity).
+    pub client: ClientId,
+    /// Absolute completion deadline. A reply after this instant is
+    /// worthless: the service refuses infeasible deadlines at admission
+    /// and fails queued requests fast once the deadline cannot be met,
+    /// instead of computing-then-discarding.
+    pub deadline: Option<SimTime>,
+    /// How long after submission the payload becomes batchable (a
+    /// slow-loris client holds its bytes back). Clamped to
+    /// [`ServeConfig::max_hold`]; the request occupies a queue slot for
+    /// the whole hold.
+    pub hold: SimDuration,
+}
 
 /// One pooled device: its cost model, busy-horizon bookkeeping, and the
 /// circuit breaker fencing it off after consecutive failures.
@@ -45,6 +68,18 @@ struct BatchPlan {
     breaker_opened: bool,
 }
 
+/// Counter values at the last metrics snapshot, for per-epoch deltas.
+#[derive(Debug, Clone, Copy, Default)]
+struct EpochMark {
+    at: SimTime,
+    admitted: u64,
+    served: u64,
+    shed: u64,
+    expired: u64,
+    attempts: u64,
+    busy: SimDuration,
+}
+
 /// The shared NPU inference service.
 ///
 /// The service runs in **virtual time**: `submit`, `run_until` and
@@ -53,6 +88,12 @@ struct BatchPlan {
 /// batches, latencies and outputs — and because multi-request batches are
 /// executed with per-request quantization groups, every reply is
 /// bit-identical to serving that request alone on a dedicated device.
+///
+/// Every submission runs through the admission middleware stack
+/// (validation → deadline feasibility → per-client rate limit → load
+/// shedding; see [`crate::middleware`]) before it may occupy a queue
+/// slot. With a default [`ServeConfig`] every middleware feature is
+/// disabled and admission control is queue capacity alone.
 #[derive(Debug)]
 pub struct NpuService {
     config: ServeConfig,
@@ -67,12 +108,17 @@ pub struct NpuService {
     macs: usize,
     lanes: Vec<DeviceLane>,
     injector: Option<FaultInjector>,
+    admission: AdmissionStack,
     queue: SubmissionQueue,
     /// Dispatched batches awaiting numeric computation.
     inflight: Vec<BatchPlan>,
     replies: HashMap<u64, ClientReply>,
+    /// Terminal outcomes of requests that were admitted but failed fast
+    /// (deadline passed before compute), by ticket id.
+    failures: HashMap<u64, ServeError>,
     stats: ServeStats,
     events: Vec<TraceEvent>,
+    mark: EpochMark,
     clock: SimTime,
     next_id: u64,
 }
@@ -82,9 +128,19 @@ impl NpuService {
     ///
     /// # Panics
     ///
-    /// Panics on an invalid configuration (see [`ServeConfig::validate`]).
+    /// Panics on an invalid configuration (see [`ServeConfig::validate`]);
+    /// use [`NpuService::try_new`] to handle the error instead.
     pub fn new(mlp: &Mlp, config: ServeConfig) -> Self {
-        config.validate();
+        match Self::try_new(mlp, config) {
+            Ok(service) => service,
+            Err(err) => panic!("invalid serve configuration: {err}"),
+        }
+    }
+
+    /// Compiles `mlp` for the pool and starts an idle service, or returns
+    /// which configuration invariant was violated.
+    pub fn try_new(mlp: &Mlp, config: ServeConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
         let device_model = NpuDevice::kirin970();
         let lanes = (0..config.devices)
             .map(|_| DeviceLane {
@@ -93,7 +149,7 @@ impl NpuService {
                 breaker: CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown),
             })
             .collect();
-        NpuService {
+        Ok(NpuService {
             model: NpuModel::compile(mlp),
             mlp: mlp.clone(),
             device_model,
@@ -101,15 +157,18 @@ impl NpuService {
             macs: mlp.macs(),
             lanes,
             injector: None,
+            admission: AdmissionStack::standard(&config),
             queue: SubmissionQueue::new(config.queue_capacity, config.retry_after),
             inflight: Vec::new(),
             replies: HashMap::new(),
+            failures: HashMap::new(),
             stats: ServeStats::default(),
             events: Vec::new(),
+            mark: EpochMark::default(),
             clock: SimTime::ZERO,
             next_id: 0,
             config,
-        }
+        })
     }
 
     /// Attaches a fault injector; its `serve` domain draws one fate per
@@ -139,6 +198,11 @@ impl NpuService {
         self.queue.len()
     }
 
+    /// Names of the admission middleware layers, in execution order.
+    pub fn admission_layers(&self) -> Vec<&'static str> {
+        self.admission.layer_names()
+    }
+
     /// Circuit-breaker states of the pool, by device index.
     pub fn breaker_states(&self) -> Vec<BreakerState> {
         self.lanes.iter().map(|l| l.breaker.state()).collect()
@@ -161,50 +225,123 @@ impl NpuService {
         self.lanes.iter().map(|l| l.occupancy.busy_time()).collect()
     }
 
-    /// Drains the trace events (`BatchDispatched`, `QueueSaturated`)
-    /// accumulated since the last drain, in dispatch order.
+    /// Drains the trace events accumulated since the last drain, in
+    /// emission order (`BatchDispatched`, `QueueSaturated`,
+    /// `RequestAdmitted`, `RequestShed`, `DeadlineMiss`,
+    /// `RetryScheduled`, and `Fault` for breaker transitions).
     pub fn drain_events(&mut self) -> Vec<TraceEvent> {
         std::mem::take(&mut self.events)
     }
 
     /// Submits one request (`rows` feature rows, one board's epoch batch)
-    /// at virtual time `now`.
+    /// at virtual time `now`, with default [`SubmitOptions`] (anonymous
+    /// client, no completion deadline, no hold).
     ///
     /// Admission control rejects the request with a retry-after hint when
-    /// the queue is at capacity. An admitted request dispatches once
-    /// `max_batch` requests wait or its `max_wait` deadline passes,
-    /// whichever is first.
+    /// the queue is at capacity or a shed watermark fires. An admitted
+    /// request dispatches once `max_batch` requests wait or its
+    /// `max_wait` deadline passes, whichever is first.
     ///
     /// # Panics
     ///
-    /// Panics on an empty request or mismatched feature width.
+    /// Panics on an empty request or mismatched feature width (use
+    /// [`NpuService::submit_with`] for a typed `InvalidInput` error
+    /// instead).
     pub fn submit(&mut self, rows: &Matrix, now: SimTime) -> Result<RequestTicket, Rejected> {
         assert!(rows.rows() > 0, "empty request");
         assert_eq!(rows.cols(), self.model.input_size(), "input width mismatch");
+        self.submit_with(rows, now, SubmitOptions::default())
+            .map_err(|err| Rejected {
+                retry_after: err.retry_after().unwrap_or(self.config.retry_after),
+                depth: self.queue.len(),
+            })
+    }
+
+    /// Submits one request with explicit [`SubmitOptions`] at virtual
+    /// time `now`.
+    ///
+    /// The submission runs through the admission middleware stack; on
+    /// failure the typed [`ServeError`] reports whether a retry can
+    /// succeed ([`ServeError::retry_class`]) and how long to back off
+    /// ([`ServeError::retry_after`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::InvalidInput`] — empty request or feature-width
+    ///   mismatch (terminal),
+    /// * [`ServeError::DeadlineExceeded`] — the deadline cannot be met
+    ///   even by the earliest possible completion (terminal),
+    /// * [`ServeError::RateLimited`] — the client's token bucket is empty
+    ///   (retryable),
+    /// * [`ServeError::Shed`] — a shed watermark fired or the queue is at
+    ///   capacity (retryable).
+    pub fn submit_with(
+        &mut self,
+        rows: &Matrix,
+        now: SimTime,
+        opts: SubmitOptions,
+    ) -> Result<RequestTicket, ServeError> {
         let now = self.clock.max(now);
         // Fire deadlines that elapsed before this arrival.
         self.run_until(now);
+        let ready_at = now + opts.hold.min(self.config.max_hold);
+        let backlog = self.backlog(now);
+        let ctx = AdmissionContext {
+            config: &self.config,
+            now,
+            client: opts.client,
+            deadline: opts.deadline,
+            ready_at,
+            rows: rows.rows(),
+            cols: rows.cols(),
+            expected_cols: self.model.input_size(),
+            backlog,
+        };
+        let admission = match self.admission.admit(&ctx) {
+            Ok(admission) => admission,
+            Err(err) => {
+                self.note_admission_failure(&err, now, opts.client);
+                return Err(err);
+            }
+        };
+
         let id = self.next_id;
         let request = QueuedRequest {
             id,
+            client: opts.client,
             rows: rows.clone(),
             submitted_at: now,
-            deadline: now + self.config.max_wait,
+            ready_at,
+            dispatch_deadline: ready_at + self.config.max_wait,
+            deadline: opts.deadline,
+            route_cpu: admission == Admission::DegradeCpu,
         };
         match self.queue.try_push(request) {
             Err(rejected) => {
                 self.stats.rejected += 1;
                 self.events.push(TraceEvent::QueueSaturated {
                     at: now,
-                    depth: self.queue.len() as u32,
+                    depth: rejected.depth as u32,
                     retry_after: rejected.retry_after,
                 });
-                Err(rejected)
+                Err(middleware::queue_full_error(
+                    rejected.depth,
+                    rejected.retry_after,
+                ))
             }
             Ok(()) => {
                 self.next_id += 1;
                 self.stats.submitted += 1;
-                while self.queue.len() >= self.config.max_batch {
+                if admission == Admission::DegradeCpu {
+                    self.stats.degraded += 1;
+                }
+                self.events.push(TraceEvent::RequestAdmitted {
+                    at: now,
+                    request: id,
+                    client: opts.client.value(),
+                    depth: self.queue.len() as u32,
+                });
+                while self.queue.ready_len(now) >= self.config.max_batch {
                     self.dispatch_one(now);
                 }
                 Ok(RequestTicket(id))
@@ -215,11 +352,12 @@ impl NpuService {
     /// Advances virtual time to `now`, dispatching every batch whose
     /// `max_wait` deadline falls at or before it.
     pub fn run_until(&mut self, now: SimTime) {
-        while let Some(deadline) = self.queue.next_deadline() {
-            if deadline > now {
-                break;
-            }
-            let at = self.clock.max(deadline);
+        loop {
+            let next = match self.queue.next_deadline() {
+                Some(deadline) if deadline <= now => deadline,
+                _ => break,
+            };
+            let at = self.clock.max(next);
             self.clock = at;
             self.dispatch_one(at);
         }
@@ -228,35 +366,204 @@ impl NpuService {
 
     /// Advances to `now` and force-dispatches everything still pending
     /// (end of an epoch or shutdown): afterwards every admitted request
-    /// has a reply.
+    /// has an outcome — a reply, or a fail-fast deadline error.
     pub fn flush(&mut self, now: SimTime) {
         self.run_until(now);
         while !self.queue.is_empty() {
             let at = self.clock;
-            self.dispatch_one(at);
+            if !self.dispatch_one(at) {
+                // Everything left is held back (slow-loris); jump the
+                // clock to the earliest readiness instead of spinning.
+                match self.queue.earliest_ready() {
+                    Some(ready) => self.clock = self.clock.max(ready),
+                    None => break,
+                }
+            }
         }
         self.drain_compute();
     }
 
     /// Redeems a ticket. Returns `None` while the request is still
-    /// pending (advance the clock past its deadline, or `flush`).
+    /// pending (advance the clock past its deadline, or `flush`) — and
+    /// also for requests that failed fast on their deadline; use
+    /// [`NpuService::take_outcome`] to observe those.
     pub fn take_reply(&mut self, ticket: RequestTicket) -> Option<ClientReply> {
         self.drain_compute();
         self.replies.remove(&ticket.0)
     }
 
-    /// Forms one batch from the most urgent pending requests and
-    /// schedules it on the pool.
-    fn dispatch_one(&mut self, at: SimTime) {
-        let requests = self.queue.take(self.config.max_batch);
-        debug_assert!(!requests.is_empty(), "dispatch with empty queue");
-        let rows: usize = requests.iter().map(|r| r.rows.rows()).sum();
+    /// Redeems a ticket as a typed outcome: `Ok` with the reply, or `Err`
+    /// with the terminal error of a request that failed fast (deadline
+    /// passed while queued). Returns `None` while the request is still
+    /// pending.
+    pub fn take_outcome(
+        &mut self,
+        ticket: RequestTicket,
+    ) -> Option<Result<ClientReply, ServeError>> {
+        self.drain_compute();
+        if let Some(reply) = self.replies.remove(&ticket.0) {
+            return Some(Ok(reply));
+        }
+        self.failures.remove(&ticket.0).map(Err)
+    }
 
-        // Every dispatch advances open breakers' cooldowns one step.
-        for lane in &mut self.lanes {
-            if lane.breaker.state() == BreakerState::Open {
-                lane.breaker.epoch_elapsed();
+    /// Records a client-side retry decision (for trace and statistics):
+    /// `attempt` is 1-based, `backoff` the jittered wait before the
+    /// resubmission.
+    pub fn record_retry(
+        &mut self,
+        client: ClientId,
+        attempt: u32,
+        backoff: SimDuration,
+        at: SimTime,
+    ) {
+        self.stats.retries += 1;
+        self.events.push(TraceEvent::RetryScheduled {
+            at: self.clock.max(at),
+            client: client.value(),
+            attempt,
+            backoff,
+        });
+    }
+
+    /// Cuts a per-epoch metrics snapshot at `now`: pool utilization,
+    /// queue depth, shed rate and p99 queue wait since the previous
+    /// snapshot (or service start). Counters in the snapshot are deltas
+    /// over that window.
+    pub fn epoch_metrics(&mut self, now: SimTime) -> MetricsSnapshot {
+        let now = self.clock.max(now);
+        let busy: SimDuration = self.lanes.iter().map(|l| l.occupancy.busy_time()).sum();
+        let shed_total = self.stats.shed + self.stats.rejected + self.stats.rate_limited;
+        let attempts = self.stats.submitted + shed_total;
+        let window = now.since(self.mark.at).as_secs_f64() * self.lanes.len() as f64;
+        let utilization = if window > 0.0 {
+            ((busy - self.mark.busy).as_secs_f64() / window).max(0.0)
+        } else {
+            0.0
+        };
+        let attempts_delta = attempts - self.mark.attempts;
+        let shed_delta = shed_total - self.mark.shed;
+        let snapshot = MetricsSnapshot {
+            from: self.mark.at,
+            to: now,
+            queue_depth: self.queue.len(),
+            utilization,
+            shed_rate: if attempts_delta > 0 {
+                shed_delta as f64 / attempts_delta as f64
+            } else {
+                0.0
+            },
+            p99_queue_wait: self.stats.queue_wait_percentile(0.99),
+            admitted: self.stats.submitted - self.mark.admitted,
+            served: self.stats.served - self.mark.served,
+            shed: shed_delta,
+            expired: self.stats.expired - self.mark.expired,
+        };
+        self.mark = EpochMark {
+            at: now,
+            admitted: self.stats.submitted,
+            served: self.stats.served,
+            shed: shed_total,
+            expired: self.stats.expired,
+            attempts,
+            busy,
+        };
+        snapshot
+    }
+
+    /// Snapshot of the backlog for admission decisions at `at`.
+    fn backlog(&self, at: SimTime) -> Backlog {
+        let healthy = self
+            .lanes
+            .iter()
+            .filter(|l| l.breaker.state() != BreakerState::Open)
+            .count();
+        let earliest_free = self
+            .lanes
+            .iter()
+            .filter(|l| l.breaker.state() != BreakerState::Open)
+            .map(|l| l.occupancy.next_start(at).since(at))
+            .min()
+            .unwrap_or(SimDuration::ZERO);
+        let batch_latency = if healthy > 0 {
+            self.device_model
+                .inference_latency(&self.model, self.config.max_batch)
+        } else {
+            self.cpu.latency(self.macs, self.config.max_batch)
+        };
+        Backlog {
+            depth: self.queue.len(),
+            healthy_devices: healthy,
+            earliest_free,
+            batch_latency,
+        }
+    }
+
+    /// Translates an admission failure into statistics and trace events.
+    fn note_admission_failure(&mut self, err: &ServeError, now: SimTime, client: ClientId) {
+        match *err {
+            ServeError::DeadlineExceeded {
+                deadline, late_by, ..
+            } => {
+                self.events.push(TraceEvent::DeadlineMiss {
+                    at: now,
+                    request: u64::MAX,
+                    client: client.value(),
+                    deadline,
+                    late_by,
+                });
             }
+            ServeError::RateLimited { retry_after, .. } => {
+                self.stats.rate_limited += 1;
+                self.events.push(TraceEvent::RequestShed {
+                    at: now,
+                    client: client.value(),
+                    reason: trace::ShedReason::RateLimited,
+                    depth: self.queue.len() as u32,
+                    retry_after,
+                });
+            }
+            ServeError::Shed {
+                reason,
+                depth,
+                retry_after,
+            } => {
+                self.stats.shed += 1;
+                self.events.push(TraceEvent::RequestShed {
+                    at: now,
+                    client: client.value(),
+                    reason,
+                    depth: depth as u32,
+                    retry_after,
+                });
+            }
+            ServeError::InvalidInput { .. } => {}
+        }
+    }
+
+    /// Forms one batch from the most urgent ready requests and schedules
+    /// it on the pool. Returns whether any progress was made (a batch
+    /// dispatched or expired requests failed fast); `false` means every
+    /// pending request is still held back.
+    fn dispatch_one(&mut self, at: SimTime) -> bool {
+        let mut progress = self.fail_expired(at);
+        let taken = self.queue.take_ready(self.config.max_batch, at);
+        if taken.is_empty() {
+            return progress;
+        }
+        progress = true;
+        for request in &taken {
+            self.stats.record_queue_wait(at.since(request.submitted_at));
+        }
+        self.advance_breakers(at);
+
+        // Graceful-degrade members bypass the pool entirely.
+        let (degraded, pooled): (Vec<_>, Vec<_>) = taken.into_iter().partition(|r| r.route_cpu);
+        if !degraded.is_empty() {
+            self.dispatch_cpu(degraded, at);
+        }
+        if pooled.is_empty() {
+            return progress;
         }
 
         // Earliest-free healthy device; ties go to the lowest index.
@@ -267,69 +574,206 @@ impl NpuService {
             .filter(|(_, l)| l.breaker.state() != BreakerState::Open)
             .min_by_key(|(i, l)| (l.occupancy.next_start(at), *i))
             .map(|(i, _)| i);
-
-        let fault = match (&mut self.injector, lane_idx) {
-            (Some(injector), Some(_)) => injector.serve_batch(),
-            _ => ServeFault::None,
-        };
-
-        let plan = match lane_idx {
+        match lane_idx {
             None => {
                 // Every device fenced off: serve the batch on the host
                 // CPU so no request is dropped.
-                let cpu_latency = self.cpu.latency(self.macs, rows);
-                self.stats.cpu_fallback_batches += 1;
-                BatchPlan {
-                    requests,
-                    device: None,
-                    npu: None,
-                    fallback: Some(cpu_latency),
-                    completes_at: at + cpu_latency,
-                    breaker_opened: false,
-                }
+                self.dispatch_cpu(pooled, at);
             }
             Some(i) => {
-                let lane = &mut self.lanes[i];
-                let base = lane.device.inference_latency(&self.model, rows);
-                let latency = match fault {
-                    ServeFault::Slowdown(factor) => {
-                        SimDuration::from_secs_f64(base.as_secs_f64() * factor)
-                    }
-                    _ => base,
+                let fault = match &mut self.injector {
+                    Some(injector) => injector.serve_batch(),
+                    None => ServeFault::None,
                 };
-                let (_start, end) = lane.occupancy.reserve(at, latency);
-                if let ServeFault::Failure = fault {
-                    // The device burned its reservation, the breaker
-                    // records the failure, and the CPU re-serves the
-                    // batch afterwards.
-                    let opens_before = lane.breaker.opens();
-                    lane.breaker.record_failure();
-                    let breaker_opened = lane.breaker.opens() > opens_before;
-                    let cpu_latency = self.cpu.latency(self.macs, rows);
-                    self.stats.failed_batches += 1;
-                    self.stats.cpu_fallback_batches += 1;
-                    BatchPlan {
-                        requests,
-                        device: Some(i as u8),
-                        npu: Some((latency, false)),
-                        fallback: Some(cpu_latency),
-                        completes_at: end + cpu_latency,
-                        breaker_opened,
-                    }
-                } else {
-                    lane.breaker.record_success();
-                    BatchPlan {
-                        requests,
-                        device: Some(i as u8),
-                        npu: Some((latency, true)),
-                        fallback: None,
-                        completes_at: end,
-                        breaker_opened: false,
-                    }
-                }
+                self.dispatch_npu(pooled, i, fault, at);
+            }
+        }
+        progress
+    }
+
+    /// Advances open breakers' cooldowns one step per dispatch, tracing
+    /// half-open transitions.
+    fn advance_breakers(&mut self, at: SimTime) {
+        for lane in &mut self.lanes {
+            if lane.breaker.state() == BreakerState::Open && lane.breaker.epoch_elapsed() {
+                self.events.push(TraceEvent::Fault {
+                    at,
+                    kind: FaultKind::BreakerHalfOpen,
+                });
+            }
+        }
+    }
+
+    /// Schedules a batch on pool device `lane` with the drawn `fault`.
+    fn dispatch_npu(
+        &mut self,
+        requests: Vec<QueuedRequest>,
+        lane: usize,
+        fault: ServeFault,
+        at: SimTime,
+    ) {
+        // Feasibility uses the batch's TRUE completion — device start,
+        // fault-stretched latency, and the CPU re-serve after a failure —
+        // so an admitted-and-served request can never miss its deadline,
+        // even under a fault storm.
+        let start = self.lanes[lane].occupancy.next_start(at);
+        let rows: usize = requests.iter().map(|r| r.rows.rows()).sum();
+        let estimate =
+            start + self.npu_latency(lane, rows, fault) + self.failure_reserve(rows, fault);
+        let requests = self.fail_infeasible(requests, estimate, at);
+        if requests.is_empty() {
+            return;
+        }
+        let rows: usize = requests.iter().map(|r| r.rows.rows()).sum();
+        let latency = self.npu_latency(lane, rows, fault);
+        let cpu_latency = self.cpu.latency(self.macs, rows);
+
+        let lane_ref = &mut self.lanes[lane];
+        let (_start, end) = lane_ref.occupancy.reserve(at, latency);
+        let plan = if matches!(fault, ServeFault::Failure) {
+            // The device burned its reservation, the breaker records the
+            // failure, and the CPU re-serves the batch afterwards.
+            let opens_before = lane_ref.breaker.opens();
+            lane_ref.breaker.record_failure();
+            let breaker_opened = lane_ref.breaker.opens() > opens_before;
+            if breaker_opened {
+                self.events.push(TraceEvent::Fault {
+                    at,
+                    kind: FaultKind::BreakerOpen,
+                });
+            }
+            self.stats.failed_batches += 1;
+            self.stats.cpu_fallback_batches += 1;
+            BatchPlan {
+                requests,
+                device: Some(lane as u8),
+                npu: Some((latency, false)),
+                fallback: Some(cpu_latency),
+                completes_at: end + cpu_latency,
+                breaker_opened,
+            }
+        } else {
+            let was_half_open = lane_ref.breaker.state() == BreakerState::HalfOpen;
+            lane_ref.breaker.record_success();
+            if was_half_open {
+                self.events.push(TraceEvent::Fault {
+                    at,
+                    kind: FaultKind::BreakerClosed,
+                });
+            }
+            BatchPlan {
+                requests,
+                device: Some(lane as u8),
+                npu: Some((latency, true)),
+                fallback: None,
+                completes_at: end,
+                breaker_opened: false,
             }
         };
+        self.finish_plan(plan, at, rows);
+    }
 
+    /// Schedules a batch directly on the host CPU (graceful degrade, or
+    /// every breaker open).
+    fn dispatch_cpu(&mut self, requests: Vec<QueuedRequest>, at: SimTime) {
+        let rows: usize = requests.iter().map(|r| r.rows.rows()).sum();
+        let estimate = at + self.cpu.latency(self.macs, rows);
+        let requests = self.fail_infeasible(requests, estimate, at);
+        if requests.is_empty() {
+            return;
+        }
+        let rows: usize = requests.iter().map(|r| r.rows.rows()).sum();
+        let cpu_latency = self.cpu.latency(self.macs, rows);
+        self.stats.cpu_fallback_batches += 1;
+        let plan = BatchPlan {
+            requests,
+            device: None,
+            npu: None,
+            fallback: Some(cpu_latency),
+            completes_at: at + cpu_latency,
+            breaker_opened: false,
+        };
+        self.finish_plan(plan, at, rows);
+    }
+
+    /// Device latency for `rows` on `lane`, with the fault's slowdown
+    /// applied.
+    fn npu_latency(&self, lane: usize, rows: usize, fault: ServeFault) -> SimDuration {
+        let base = self.lanes[lane].device.inference_latency(&self.model, rows);
+        match fault {
+            ServeFault::Slowdown(factor) => SimDuration::from_secs_f64(base.as_secs_f64() * factor),
+            _ => base,
+        }
+    }
+
+    /// The CPU re-serve time appended to a batch's completion when its
+    /// device attempt fails.
+    fn failure_reserve(&self, rows: usize, fault: ServeFault) -> SimDuration {
+        if matches!(fault, ServeFault::Failure) {
+            self.cpu.latency(self.macs, rows)
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Drops every member whose absolute deadline precedes the batch's
+    /// completion estimate, failing it fast with a typed error, and
+    /// returns the survivors.
+    fn fail_infeasible(
+        &mut self,
+        requests: Vec<QueuedRequest>,
+        completes_at: SimTime,
+        at: SimTime,
+    ) -> Vec<QueuedRequest> {
+        let mut kept = Vec::with_capacity(requests.len());
+        for request in requests {
+            match request.deadline {
+                Some(deadline) if deadline < completes_at => {
+                    self.fail_deadline(request, at, completes_at);
+                }
+                _ => kept.push(request),
+            }
+        }
+        kept
+    }
+
+    /// Fails every queued request whose deadline has already passed.
+    /// Returns whether any expired.
+    fn fail_expired(&mut self, at: SimTime) -> bool {
+        let expired = self.queue.take_expired(at);
+        let any = !expired.is_empty();
+        for request in expired {
+            self.fail_deadline(request, at, at);
+        }
+        any
+    }
+
+    /// Records the fail-fast outcome of one deadline-doomed request.
+    fn fail_deadline(&mut self, request: QueuedRequest, at: SimTime, completes_at: SimTime) {
+        let deadline = request
+            .deadline
+            .expect("deadline-failed request carries a deadline");
+        let late_by = completes_at.since(deadline);
+        self.stats.expired += 1;
+        self.events.push(TraceEvent::DeadlineMiss {
+            at,
+            request: request.id,
+            client: request.client.value(),
+            deadline,
+            late_by,
+        });
+        self.failures.insert(
+            request.id,
+            ServeError::DeadlineExceeded {
+                deadline,
+                at,
+                late_by,
+            },
+        );
+    }
+
+    /// Accounts and traces a planned batch.
+    fn finish_plan(&mut self, plan: BatchPlan, at: SimTime, rows: usize) {
         self.stats.record_batch(plan.requests.len(), rows);
         self.events.push(TraceEvent::BatchDispatched {
             at,
@@ -388,6 +832,12 @@ impl NpuService {
             let flat = output.as_slice()[start_row * cols..(start_row + n) * cols].to_vec();
             start_row += n;
             let latency = plan.completes_at.since(request.submitted_at);
+            // Safety net behind the fail-fast pipeline: a reply delivered
+            // past its deadline is a deadline miss. The feasibility checks
+            // exist to keep this counter at zero.
+            if request.deadline.is_some_and(|d| plan.completes_at > d) {
+                self.stats.deadline_misses += 1;
+            }
             self.stats.record_reply(latency);
             self.replies.insert(
                 request.id,
@@ -476,6 +926,7 @@ fn run_plan(model: &NpuModel, mlp: &Mlp, plan: &BatchPlan) -> Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::limiter::RateLimit;
     use faults::FaultPlan;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -535,16 +986,15 @@ mod tests {
         // at the 7 ms deadline.
         assert_eq!(service.stats().batches, 1);
         let events = service.drain_events();
-        match &events[0] {
+        assert!(events.iter().any(|e| matches!(
+            e,
             TraceEvent::BatchDispatched {
-                at, requests, rows, ..
-            } => {
-                assert_eq!(*at, ms(5));
-                assert_eq!(*requests, 3);
-                assert_eq!(*rows, 3);
-            }
-            other => panic!("expected BatchDispatched, got {other:?}"),
-        }
+                at,
+                requests: 3,
+                rows: 3,
+                ..
+            } if *at == ms(5)
+        )));
     }
 
     #[test]
@@ -560,6 +1010,7 @@ mod tests {
         service.submit(&request(1, 1), ms(1)).unwrap();
         let rejected = service.submit(&request(2, 1), ms(1)).unwrap_err();
         assert_eq!(rejected.retry_after, config.retry_after);
+        assert_eq!(rejected.depth, 2);
         assert_eq!(service.stats().rejected, 1);
         let events = service.drain_events();
         assert!(events
@@ -639,6 +1090,21 @@ mod tests {
         // Two failures per device open both breakers...
         assert!(service.all_breakers_open());
         assert_eq!(service.breaker_opens(), 2);
+        // ...and each opening is a drained trace event.
+        let events = service.drain_events();
+        let opens = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Fault {
+                        kind: FaultKind::BreakerOpen,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(opens, 2);
         // ...yet every request was answered (failed batches re-served on
         // the CPU, later ones drained directly to the fallback).
         assert_eq!(service.stats().dropped(), 0);
@@ -686,5 +1152,267 @@ mod tests {
         assert_eq!(service.now(), ms(10));
         service.flush(ms(20));
         assert_eq!(service.stats().dropped(), 0);
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        let net = mlp();
+        let config = ServeConfig {
+            devices: 0,
+            ..ServeConfig::default()
+        };
+        assert_eq!(
+            NpuService::try_new(&net, config).err(),
+            Some(ConfigError::ZeroDevices)
+        );
+    }
+
+    #[test]
+    fn infeasible_deadline_is_refused_at_admission() {
+        let net = mlp();
+        let mut service = NpuService::new(&net, ServeConfig::default());
+        let opts = SubmitOptions {
+            deadline: Some(ms(11)), // margin is 4 ms; 10 + 4 > 11
+            ..SubmitOptions::default()
+        };
+        let err = service
+            .submit_with(&request(0, 1), ms(10), opts)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::DeadlineExceeded { .. }));
+        assert_eq!(service.stats().submitted, 0);
+        let events = service.drain_events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::DeadlineMiss {
+                request: u64::MAX,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn admitted_deadlines_are_met_or_failed_fast_never_served_late() {
+        let net = mlp();
+        let config = ServeConfig {
+            devices: 1,
+            max_batch: 4,
+            ..ServeConfig::default()
+        };
+        let mut service = NpuService::new(&net, config);
+        // Saturate the single device so completions pile up, with tight
+        // (but admissible) deadlines.
+        let tickets: Vec<_> = (0..12)
+            .map(|i| {
+                let opts = SubmitOptions {
+                    client: ClientId::new(i as u64),
+                    deadline: Some(ms(10)),
+                    ..SubmitOptions::default()
+                };
+                service.submit_with(&request(i, 4), ms(1), opts).unwrap()
+            })
+            .collect();
+        service.flush(ms(200));
+        let mut served = 0u64;
+        let mut expired = 0u64;
+        for t in tickets {
+            match service.take_outcome(t).unwrap() {
+                Ok(reply) => {
+                    served += 1;
+                    assert!(reply.output.is_some());
+                }
+                Err(ServeError::DeadlineExceeded { .. }) => expired += 1,
+                Err(other) => panic!("unexpected terminal error: {other}"),
+            }
+        }
+        assert_eq!(served + expired, 12);
+        assert!(expired > 0, "the backlog must doom some deadlines");
+        assert!(served > 0, "the earliest batches must meet theirs");
+        // The invariant the whole pipeline exists for:
+        assert_eq!(service.stats().deadline_misses, 0);
+        assert_eq!(service.stats().expired, expired);
+        assert_eq!(service.stats().dropped(), 0);
+    }
+
+    #[test]
+    fn depth_watermark_sheds_with_backlog_scaled_hint() {
+        let net = mlp();
+        let config = ServeConfig {
+            shed_depth_watermark: Some(2),
+            max_batch: 16,
+            ..ServeConfig::default()
+        };
+        let mut service = NpuService::new(&net, config);
+        service.submit(&request(0, 1), ms(1)).unwrap();
+        service.submit(&request(1, 1), ms(1)).unwrap();
+        let err = service
+            .submit_with(&request(2, 1), ms(1), SubmitOptions::default())
+            .unwrap_err();
+        let ServeError::Shed {
+            reason,
+            depth,
+            retry_after,
+        } = err
+        else {
+            panic!("expected a shed, got {err:?}");
+        };
+        assert_eq!(reason, trace::ShedReason::DepthWatermark);
+        assert_eq!(depth, 2);
+        assert!(retry_after >= config.retry_after);
+        assert_eq!(service.stats().shed, 1);
+        let events = service.drain_events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::RequestShed {
+                reason: trace::ShedReason::DepthWatermark,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn rate_limiter_is_per_client() {
+        let net = mlp();
+        let config = ServeConfig {
+            rate_limit: Some(RateLimit {
+                burst: 2.0,
+                refill_per_sec: 10.0,
+            }),
+            ..ServeConfig::default()
+        };
+        let mut service = NpuService::new(&net, config);
+        let hog = SubmitOptions {
+            client: ClientId::new(1),
+            ..SubmitOptions::default()
+        };
+        let other = SubmitOptions {
+            client: ClientId::new(2),
+            ..SubmitOptions::default()
+        };
+        service.submit_with(&request(0, 1), ms(1), hog).unwrap();
+        service.submit_with(&request(1, 1), ms(1), hog).unwrap();
+        let err = service.submit_with(&request(2, 1), ms(1), hog).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::RateLimited { client, .. } if client == ClientId::new(1)
+        ));
+        // A different client is unaffected by the hog's empty bucket.
+        service.submit_with(&request(3, 1), ms(1), other).unwrap();
+        assert_eq!(service.stats().rate_limited, 1);
+        // Virtual-time refill: 100 ms at 10 tokens/s is one token.
+        service.flush(ms(10));
+        service.submit_with(&request(4, 1), ms(101), hog).unwrap();
+        service.flush(ms(200));
+        assert_eq!(service.stats().dropped(), 0);
+    }
+
+    #[test]
+    fn degrade_watermark_routes_to_cpu_before_shedding() {
+        let net = mlp();
+        let config = ServeConfig {
+            cpu_degrade_watermark: Some(SimDuration::ZERO),
+            max_batch: 4,
+            ..ServeConfig::default()
+        };
+        let mut service = NpuService::new(&net, config);
+        let t = service
+            .submit_with(&request(0, 2), ms(1), SubmitOptions::default())
+            .unwrap();
+        service.flush(ms(10));
+        let reply = service.take_reply(t).unwrap();
+        assert!(reply.fallback_active, "degraded requests serve on the CPU");
+        assert_eq!(reply.backend, InferenceBackend::Cpu);
+        assert_eq!(service.stats().degraded, 1);
+        assert_eq!(service.stats().cpu_fallback_batches, 1);
+        // The pool never saw the request.
+        assert!(service.device_busy_times().iter().all(|d| d.is_zero()));
+    }
+
+    #[test]
+    fn held_submissions_batch_only_once_ready() {
+        let net = mlp();
+        let mut service = NpuService::new(&net, ServeConfig::default());
+        let held = SubmitOptions {
+            hold: SimDuration::from_millis(20),
+            ..SubmitOptions::default()
+        };
+        let slow = service.submit_with(&request(0, 1), ms(1), held).unwrap();
+        let fast = service
+            .submit_with(&request(1, 1), ms(1), SubmitOptions::default())
+            .unwrap();
+        // The prompt request dispatches at its own max_wait deadline; the
+        // slow-loris request stays queued until its payload arrives.
+        service.run_until(ms(10));
+        assert!(service.take_reply(fast).is_some());
+        assert!(service.take_reply(slow).is_none());
+        assert_eq!(service.pending(), 1);
+        service.flush(ms(40));
+        assert!(service.take_reply(slow).is_some());
+        assert_eq!(service.stats().dropped(), 0);
+    }
+
+    #[test]
+    fn hold_is_clamped_to_max_hold() {
+        let net = mlp();
+        let config = ServeConfig {
+            max_hold: SimDuration::from_millis(5),
+            ..ServeConfig::default()
+        };
+        let mut service = NpuService::new(&net, config);
+        let loris = SubmitOptions {
+            hold: SimDuration::from_secs(3600),
+            ..SubmitOptions::default()
+        };
+        let t = service.submit_with(&request(0, 1), ms(0), loris).unwrap();
+        // Ready at 5 ms (clamped), dispatched by 7 ms (max_wait 2 ms).
+        service.run_until(ms(8));
+        assert!(service.take_reply(t).is_some());
+    }
+
+    #[test]
+    fn retry_records_are_traced() {
+        let net = mlp();
+        let mut service = NpuService::new(&net, ServeConfig::default());
+        service.record_retry(ClientId::new(7), 1, SimDuration::from_millis(3), ms(2));
+        assert_eq!(service.stats().retries, 1);
+        let events = service.drain_events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::RetryScheduled {
+                client: 7,
+                attempt: 1,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn epoch_metrics_report_deltas_and_utilization() {
+        let net = mlp();
+        let config = ServeConfig {
+            queue_capacity: 2,
+            max_batch: 16,
+            ..ServeConfig::default()
+        };
+        let mut service = NpuService::new(&net, config);
+        service.submit(&request(0, 1), ms(1)).unwrap();
+        service.submit(&request(1, 1), ms(1)).unwrap();
+        let _ = service.submit(&request(2, 1), ms(1)); // queue full: shed
+        service.flush(ms(100));
+        let m = service.epoch_metrics(ms(100));
+        assert_eq!(m.from, SimTime::ZERO);
+        assert_eq!(m.to, ms(100));
+        assert_eq!(m.admitted, 2);
+        assert_eq!(m.served, 2);
+        assert_eq!(m.shed, 1);
+        assert_eq!(m.expired, 0);
+        assert!((m.shed_rate - 1.0 / 3.0).abs() < 1e-9);
+        assert!(m.utilization > 0.0, "the pool did work this epoch");
+        assert!(m.p99_queue_wait.is_some());
+        // The next epoch starts from zero deltas.
+        let next = service.epoch_metrics(ms(200));
+        assert_eq!(next.from, ms(100));
+        assert_eq!(next.admitted, 0);
+        assert_eq!(next.shed, 0);
+        assert!((next.utilization - 0.0).abs() < 1e-9);
     }
 }

@@ -1,14 +1,30 @@
 //! Aggregate service statistics.
 
-use hmc_types::SimDuration;
+use hmc_types::{SimDuration, SimTime};
 
 /// Counters and distributions the service accumulates while serving.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServeStats {
     /// Requests admitted into the queue.
     pub submitted: u64,
-    /// Requests rejected by admission control.
+    /// Requests rejected because the queue was at capacity.
     pub rejected: u64,
+    /// Requests shed by a watermark (depth or estimated latency).
+    pub shed: u64,
+    /// Requests refused by the per-client rate limiter.
+    pub rate_limited: u64,
+    /// Requests whose deadline was infeasible at admission or passed
+    /// while queued — failed fast, never computed.
+    pub expired: u64,
+    /// Requests admitted under the CPU-degrade watermark and routed to
+    /// the fallback instead of the pool.
+    pub degraded: u64,
+    /// Client retries scheduled after retryable errors.
+    pub retries: u64,
+    /// Replies that would have been delivered after their deadline. The
+    /// deadline pipeline exists to keep this at zero; the counter is the
+    /// safety net that proves it.
+    pub deadline_misses: u64,
     /// Requests served (a reply was produced).
     pub served: u64,
     /// Batches dispatched to the pool (including CPU-fallback batches).
@@ -23,6 +39,9 @@ pub struct ServeStats {
     /// Per-request end-to-end latencies (submit → completion), in
     /// nanoseconds, in completion order.
     latencies_ns: Vec<u64>,
+    /// Per-request queue waits (submit → dispatch), in nanoseconds, in
+    /// dispatch order.
+    queue_wait_ns: Vec<u64>,
     /// `batch_hist[n]` counts dispatched batches that coalesced `n`
     /// requests; index 0 is unused.
     batch_hist: Vec<u64>,
@@ -43,9 +62,14 @@ impl ServeStats {
         self.latencies_ns.push(latency.as_nanos());
     }
 
-    /// Requests admitted but never served. Zero after a final flush.
+    pub(crate) fn record_queue_wait(&mut self, wait: SimDuration) {
+        self.queue_wait_ns.push(wait.as_nanos());
+    }
+
+    /// Requests admitted but neither served nor expired. Zero after a
+    /// final flush.
     pub fn dropped(&self) -> u64 {
-        self.submitted - self.served
+        self.submitted - self.served - self.expired
     }
 
     /// The batch-size histogram: entry `n` counts batches that coalesced
@@ -71,14 +95,54 @@ impl ServeStats {
     /// The `q`-quantile (0.0–1.0, nearest-rank) of the per-request
     /// end-to-end latency. `None` before anything was served.
     pub fn latency_percentile(&self, q: f64) -> Option<SimDuration> {
-        if self.latencies_ns.is_empty() {
-            return None;
-        }
-        let mut sorted = self.latencies_ns.clone();
-        sorted.sort_unstable();
-        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        Some(SimDuration::from_nanos(sorted[rank - 1]))
+        percentile(&self.latencies_ns, q)
     }
+
+    /// The `q`-quantile (0.0–1.0, nearest-rank) of the per-request queue
+    /// wait (submit → dispatch). `None` before anything was dispatched.
+    pub fn queue_wait_percentile(&self, q: f64) -> Option<SimDuration> {
+        percentile(&self.queue_wait_ns, q)
+    }
+}
+
+fn percentile(samples_ns: &[u64], q: f64) -> Option<SimDuration> {
+    if samples_ns.is_empty() {
+        return None;
+    }
+    let mut sorted = samples_ns.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(SimDuration::from_nanos(sorted[rank - 1]))
+}
+
+/// One epoch of service health, cut by [`crate::NpuService::epoch_metrics`].
+///
+/// Counters are deltas since the previous snapshot; the queue depth and
+/// utilization describe the instant the snapshot was cut.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Epoch start (previous snapshot, or service start).
+    pub from: SimTime,
+    /// Epoch end (the instant the snapshot was cut).
+    pub to: SimTime,
+    /// Requests pending in the queue at `to`.
+    pub queue_depth: usize,
+    /// Fraction of the pool's device-time spent busy since `from`
+    /// (1.0 = every device computed the whole epoch).
+    pub utilization: f64,
+    /// Sheds (watermark + queue-full + rate-limited) per submission
+    /// attempt this epoch; 0.0 when nothing arrived.
+    pub shed_rate: f64,
+    /// p99 queue wait across all dispatches so far.
+    pub p99_queue_wait: Option<SimDuration>,
+    /// Requests admitted this epoch.
+    pub admitted: u64,
+    /// Replies produced this epoch.
+    pub served: u64,
+    /// Requests shed this epoch (watermark + queue-full + rate-limited).
+    pub shed: u64,
+    /// Requests failed fast on deadline this epoch.
+    pub expired: u64,
 }
 
 #[cfg(test)]
@@ -110,12 +174,30 @@ mod tests {
     }
 
     #[test]
+    fn queue_wait_distribution_is_tracked() {
+        let mut s = ServeStats::default();
+        assert_eq!(s.queue_wait_percentile(0.99), None);
+        for ms in [2u64, 1, 5] {
+            s.record_queue_wait(SimDuration::from_millis(ms));
+        }
+        assert_eq!(
+            s.queue_wait_percentile(0.5),
+            Some(SimDuration::from_millis(2))
+        );
+        assert_eq!(
+            s.queue_wait_percentile(0.99),
+            Some(SimDuration::from_millis(5))
+        );
+    }
+
+    #[test]
     fn dropped_counts_unserved_requests() {
         let mut s = ServeStats {
             submitted: 5,
+            expired: 1,
             ..ServeStats::default()
         };
         s.record_reply(SimDuration::from_millis(1));
-        assert_eq!(s.dropped(), 4);
+        assert_eq!(s.dropped(), 3);
     }
 }

@@ -1,0 +1,187 @@
+//! Breaker-ladder behavior under fault storms: every transition in the
+//! open → half-open → {closed, open} ladder is legal and traced, and no
+//! admitted request is ever lost — a fenced-off pool drains to the CPU.
+
+use faults::{BreakerState, FaultInjector, FaultPlan};
+use hmc_types::SimTime;
+use nn::{Matrix, Mlp};
+use npu_serve::{NpuService, ServeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trace::{FaultKind, TraceEvent};
+
+fn mlp() -> Mlp {
+    Mlp::with_topology(21, 4, 64, 8, &mut StdRng::seed_from_u64(3))
+}
+
+fn request(seed: usize) -> Matrix {
+    Matrix::from_rows(vec![(0..21)
+        .map(|c| ((seed * 31 + c * 3) % 17) as f32 / 17.0 - 0.5)
+        .collect()])
+}
+
+fn ms(t: u64) -> SimTime {
+    SimTime::from_millis(t)
+}
+
+/// Extracts the breaker-transition ladder from a drained event stream.
+fn transitions(events: &[TraceEvent]) -> Vec<FaultKind> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Fault { kind, .. }
+                if matches!(
+                    kind,
+                    FaultKind::BreakerOpen | FaultKind::BreakerHalfOpen | FaultKind::BreakerClosed
+                ) =>
+            {
+                Some(*kind)
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn intermittent_storm_recovers_half_open_to_closed() {
+    let net = mlp();
+    // One device, hair-trigger breaker, one-dispatch cooldown: an
+    // intermittent storm (deterministic seed) keeps cycling the ladder.
+    let mut plan = FaultPlan::none(21);
+    plan.serve.failure_rate = 0.5;
+    let config = ServeConfig {
+        devices: 1,
+        max_batch: 1,
+        breaker_threshold: 1,
+        breaker_cooldown: 1,
+        ..ServeConfig::default()
+    };
+    let mut service = NpuService::new(&net, config).with_fault_injector(FaultInjector::new(plan));
+    let mut replies = Vec::new();
+    for i in 0..40 {
+        let t = service.submit(&request(i), ms(i as u64)).unwrap();
+        service.flush(ms(i as u64));
+        replies.push(service.take_reply(t).expect("flushed"));
+    }
+    // Zero lost replies through the whole storm.
+    assert_eq!(service.stats().dropped(), 0);
+    assert!(replies.iter().all(|r| r.output.is_some()));
+    assert!(
+        service.breaker_opens() > 1,
+        "the storm must trip the breaker"
+    );
+
+    // The drained trace must show the full ladder, every step legal:
+    // Closed -open-> Open -half-open-> HalfOpen -{closed,open}-> ...
+    let ladder = transitions(&service.drain_events());
+    assert!(ladder.contains(&FaultKind::BreakerOpen));
+    assert!(ladder.contains(&FaultKind::BreakerHalfOpen));
+    assert!(
+        ladder.contains(&FaultKind::BreakerClosed),
+        "a half-open probe must succeed and close the breaker: {ladder:?}"
+    );
+    let mut state = BreakerState::Closed;
+    for kind in ladder {
+        state = match (state, kind) {
+            (BreakerState::Closed, FaultKind::BreakerOpen) => BreakerState::Open,
+            (BreakerState::Open, FaultKind::BreakerHalfOpen) => BreakerState::HalfOpen,
+            (BreakerState::HalfOpen, FaultKind::BreakerClosed) => BreakerState::Closed,
+            (BreakerState::HalfOpen, FaultKind::BreakerOpen) => BreakerState::Open,
+            (from, kind) => panic!("illegal breaker transition {kind:?} from {from:?}"),
+        };
+    }
+    // The traced ladder ends wherever the live breaker actually is.
+    assert_eq!(service.breaker_states(), vec![state]);
+}
+
+#[test]
+fn total_storm_fences_the_pool_and_drains_to_cpu_without_loss() {
+    let net = mlp();
+    let mut plan = FaultPlan::none(11);
+    plan.serve.failure_rate = 1.0;
+    let config = ServeConfig {
+        devices: 3,
+        max_batch: 1,
+        breaker_threshold: 1,
+        breaker_cooldown: 1_000,
+        ..ServeConfig::default()
+    };
+    let mut service = NpuService::new(&net, config).with_fault_injector(FaultInjector::new(plan));
+    let mut replies = Vec::new();
+    for i in 0..12 {
+        let t = service.submit(&request(i), ms(i as u64)).unwrap();
+        service.flush(ms(i as u64));
+        replies.push(service.take_reply(t).expect("flushed"));
+    }
+    // Each device fails once and is fenced off; everything after drains
+    // straight to the CPU fallback — with zero lost replies.
+    assert!(service.all_breakers_open());
+    assert_eq!(service.breaker_opens(), 3);
+    assert_eq!(service.stats().dropped(), 0);
+    assert_eq!(service.stats().served, 12);
+    assert!(replies.iter().all(|r| r.output.is_some()));
+    assert!(replies.iter().all(|r| r.fallback_active));
+    // The last replies never even attempt a device.
+    assert_eq!(replies.last().unwrap().npu_failures, 0);
+
+    // Exactly three open transitions in the trace, no recovery (the
+    // cooldown outlives the run).
+    let ladder = transitions(&service.drain_events());
+    assert_eq!(
+        ladder
+            .iter()
+            .filter(|k| **k == FaultKind::BreakerOpen)
+            .count(),
+        3
+    );
+    assert!(!ladder.contains(&FaultKind::BreakerClosed));
+}
+
+#[test]
+fn storm_with_deadlines_never_serves_late() {
+    let net = mlp();
+    // A half-and-half storm with tight-but-feasible deadlines: admitted
+    // requests are either served on time or failed fast — never computed
+    // past their deadline.
+    let mut plan = FaultPlan::none(5);
+    plan.serve.failure_rate = 0.4;
+    plan.serve.slowdown_rate = 0.4;
+    plan.serve.slowdown_factor = 8.0;
+    let config = ServeConfig {
+        devices: 2,
+        max_batch: 2,
+        breaker_threshold: 2,
+        breaker_cooldown: 2,
+        ..ServeConfig::default()
+    };
+    let mut service = NpuService::new(&net, config).with_fault_injector(FaultInjector::new(plan));
+    let mut tickets = Vec::new();
+    for i in 0..30u64 {
+        let opts = npu_serve::SubmitOptions {
+            deadline: Some(ms(i + 12)),
+            ..npu_serve::SubmitOptions::default()
+        };
+        match service.submit_with(&request(i as usize), ms(i), opts) {
+            Ok(t) => tickets.push(t),
+            Err(err) => assert!(
+                err.retry_after().is_some() || err.retry_class() == npu_serve::RetryClass::Terminal
+            ),
+        }
+    }
+    service.flush(ms(500));
+    let mut outcomes = 0;
+    for t in tickets {
+        match service.take_outcome(t).expect("flushed") {
+            Ok(reply) => assert!(reply.output.is_some()),
+            Err(err) => assert!(matches!(
+                err,
+                npu_serve::ServeError::DeadlineExceeded { .. }
+            )),
+        }
+        outcomes += 1;
+    }
+    assert!(outcomes > 0);
+    // The invariant under any storm: zero late replies.
+    assert_eq!(service.stats().deadline_misses, 0);
+    assert_eq!(service.stats().dropped(), 0);
+}

@@ -54,6 +54,11 @@ pub enum FaultKind {
     CpuFallback,
     /// A migration epoch was skipped entirely (inference deadline missed).
     DegradedEpoch,
+    /// An NPU circuit breaker moved to half-open (cooldown over, probe
+    /// allowed).
+    BreakerHalfOpen,
+    /// An NPU circuit breaker closed again (successful half-open probe).
+    BreakerClosed,
 }
 
 impl FaultKind {
@@ -70,6 +75,8 @@ impl FaultKind {
             FaultKind::BreakerOpen => "breaker_open",
             FaultKind::CpuFallback => "cpu_fallback",
             FaultKind::DegradedEpoch => "degraded_epoch",
+            FaultKind::BreakerHalfOpen => "breaker_half_open",
+            FaultKind::BreakerClosed => "breaker_closed",
         }
     }
 
@@ -85,11 +92,53 @@ impl FaultKind {
             FaultKind::BreakerOpen => 7,
             FaultKind::CpuFallback => 8,
             FaultKind::DegradedEpoch => 9,
+            FaultKind::BreakerHalfOpen => 10,
+            FaultKind::BreakerClosed => 11,
         }
     }
 }
 
 impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Why the shared NPU service turned a submission away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded submission queue was at hard capacity.
+    QueueFull,
+    /// Queue depth crossed the load-shedding depth watermark.
+    DepthWatermark,
+    /// The estimated service latency crossed the latency watermark.
+    LatencyWatermark,
+    /// The client's token bucket was empty (per-client rate limit).
+    RateLimited,
+}
+
+impl ShedReason {
+    /// Stable lower-snake name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::DepthWatermark => "depth_watermark",
+            ShedReason::LatencyWatermark => "latency_watermark",
+            ShedReason::RateLimited => "rate_limited",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            ShedReason::QueueFull => 0,
+            ShedReason::DepthWatermark => 1,
+            ShedReason::LatencyWatermark => 2,
+            ShedReason::RateLimited => 3,
+        }
+    }
+}
+
+impl fmt::Display for ShedReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.name())
     }
@@ -165,6 +214,16 @@ pub enum EventKind {
     BatchDispatched,
     /// The shared NPU service rejected a submission (queue full).
     QueueSaturated,
+    /// The shared NPU service admitted a request through its middleware
+    /// stack.
+    RequestAdmitted,
+    /// The shared NPU service shed a request (watermark or rate limit).
+    RequestShed,
+    /// A request could not meet its completion deadline (failed fast or
+    /// rejected as infeasible at admission).
+    DeadlineMiss,
+    /// A client scheduled a classified retry with jittered backoff.
+    RetryScheduled,
 }
 
 impl EventKind {
@@ -186,6 +245,10 @@ impl EventKind {
             EventKind::CheckpointRestored => "checkpoint_restored",
             EventKind::BatchDispatched => "batch_dispatched",
             EventKind::QueueSaturated => "queue_saturated",
+            EventKind::RequestAdmitted => "request_admitted",
+            EventKind::RequestShed => "request_shed",
+            EventKind::DeadlineMiss => "deadline_miss",
+            EventKind::RetryScheduled => "retry_scheduled",
         }
     }
 }
@@ -388,6 +451,61 @@ pub enum TraceEvent {
         /// Suggested resubmission delay returned to the client.
         retry_after: SimDuration,
     },
+    /// The shared NPU service admitted a request past its middleware
+    /// stack (validation, rate limit, shed, queue capacity).
+    RequestAdmitted {
+        /// Admission instant.
+        at: SimTime,
+        /// Service-global request id (the ticket value).
+        request: u64,
+        /// Submitting client id.
+        client: u64,
+        /// Queue depth after admission.
+        depth: u32,
+    },
+    /// The shared NPU service shed a submission before queueing it
+    /// (watermark crossing or per-client rate limit).
+    RequestShed {
+        /// Shed instant.
+        at: SimTime,
+        /// Submitting client id.
+        client: u64,
+        /// Why the request was turned away.
+        reason: ShedReason,
+        /// Queue depth at the shed decision.
+        depth: u32,
+        /// Backlog-derived resubmission hint returned to the client.
+        retry_after: SimDuration,
+    },
+    /// A request could not meet its completion deadline: rejected as
+    /// infeasible at admission, or failed fast at dispatch instead of
+    /// being computed-then-discarded.
+    DeadlineMiss {
+        /// Detection instant.
+        at: SimTime,
+        /// Service-global request id (`u64::MAX` when the request was
+        /// never admitted).
+        request: u64,
+        /// Submitting client id.
+        client: u64,
+        /// The absolute deadline that could not be met.
+        deadline: SimTime,
+        /// How far past the deadline the earliest possible completion
+        /// would have landed.
+        late_by: SimDuration,
+    },
+    /// A client classified an error as retryable and scheduled a
+    /// deterministic jittered backoff before resubmitting.
+    RetryScheduled {
+        /// Scheduling instant.
+        at: SimTime,
+        /// Retrying client id.
+        client: u64,
+        /// 1-based retry attempt number.
+        attempt: u32,
+        /// The backoff before the resubmission.
+        backoff: SimDuration,
+    },
 }
 
 impl TraceEvent {
@@ -408,7 +526,11 @@ impl TraceEvent {
             | TraceEvent::CheckpointSaved { at, .. }
             | TraceEvent::CheckpointRestored { at, .. }
             | TraceEvent::BatchDispatched { at, .. }
-            | TraceEvent::QueueSaturated { at, .. } => at,
+            | TraceEvent::QueueSaturated { at, .. }
+            | TraceEvent::RequestAdmitted { at, .. }
+            | TraceEvent::RequestShed { at, .. }
+            | TraceEvent::DeadlineMiss { at, .. }
+            | TraceEvent::RetryScheduled { at, .. } => at,
         }
     }
 
@@ -430,6 +552,10 @@ impl TraceEvent {
             TraceEvent::CheckpointRestored { .. } => EventKind::CheckpointRestored,
             TraceEvent::BatchDispatched { .. } => EventKind::BatchDispatched,
             TraceEvent::QueueSaturated { .. } => EventKind::QueueSaturated,
+            TraceEvent::RequestAdmitted { .. } => EventKind::RequestAdmitted,
+            TraceEvent::RequestShed { .. } => EventKind::RequestShed,
+            TraceEvent::DeadlineMiss { .. } => EventKind::DeadlineMiss,
+            TraceEvent::RetryScheduled { .. } => EventKind::RetryScheduled,
         }
     }
 
@@ -601,6 +727,58 @@ impl TraceEvent {
                 h.write_u64(at.as_nanos());
                 h.write_u64(depth as u64);
                 h.write_u64(retry_after.as_nanos());
+            }
+            TraceEvent::RequestAdmitted {
+                at,
+                request,
+                client,
+                depth,
+            } => {
+                h.write_u8(15);
+                h.write_u64(at.as_nanos());
+                h.write_u64(request);
+                h.write_u64(client);
+                h.write_u64(depth as u64);
+            }
+            TraceEvent::RequestShed {
+                at,
+                client,
+                reason,
+                depth,
+                retry_after,
+            } => {
+                h.write_u8(16);
+                h.write_u64(at.as_nanos());
+                h.write_u64(client);
+                h.write_u8(reason.code());
+                h.write_u64(depth as u64);
+                h.write_u64(retry_after.as_nanos());
+            }
+            TraceEvent::DeadlineMiss {
+                at,
+                request,
+                client,
+                deadline,
+                late_by,
+            } => {
+                h.write_u8(17);
+                h.write_u64(at.as_nanos());
+                h.write_u64(request);
+                h.write_u64(client);
+                h.write_u64(deadline.as_nanos());
+                h.write_u64(late_by.as_nanos());
+            }
+            TraceEvent::RetryScheduled {
+                at,
+                client,
+                attempt,
+                backoff,
+            } => {
+                h.write_u8(18);
+                h.write_u64(at.as_nanos());
+                h.write_u64(client);
+                h.write_u64(attempt as u64);
+                h.write_u64(backoff.as_nanos());
             }
         }
     }

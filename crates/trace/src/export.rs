@@ -199,6 +199,56 @@ fn json_event(e: &TraceEvent, out: &mut String) {
                 retry_after.as_nanos()
             );
         }
+        TraceEvent::RequestAdmitted {
+            request,
+            client,
+            depth,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"request\":{request},\"client\":{client},\"depth\":{depth}"
+            );
+        }
+        TraceEvent::RequestShed {
+            client,
+            reason,
+            depth,
+            retry_after,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"client\":{client},\"reason\":\"{reason}\",\"depth\":{depth},\"retry_after_ns\":{}",
+                retry_after.as_nanos()
+            );
+        }
+        TraceEvent::DeadlineMiss {
+            request,
+            client,
+            deadline,
+            late_by,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"request\":{request},\"client\":{client},\"deadline_ns\":{},\"late_by_ns\":{}",
+                deadline.as_nanos(),
+                late_by.as_nanos()
+            );
+        }
+        TraceEvent::RetryScheduled {
+            client,
+            attempt,
+            backoff,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"client\":{client},\"attempt\":{attempt},\"backoff_ns\":{}",
+                backoff.as_nanos()
+            );
+        }
     }
     out.push('}');
 }
@@ -386,6 +436,54 @@ fn csv_row(e: &TraceEvent, out: &mut String) {
         } => {
             row.a = depth.to_string();
             row.b = retry_after.as_nanos().to_string();
+        }
+        TraceEvent::RequestAdmitted {
+            request,
+            client,
+            depth,
+            ..
+        } => {
+            row.app = client.to_string();
+            row.a = request.to_string();
+            row.b = depth.to_string();
+        }
+        TraceEvent::RequestShed {
+            client,
+            reason,
+            depth,
+            retry_after,
+            ..
+        } => {
+            row.app = client.to_string();
+            row.a = depth.to_string();
+            row.b = retry_after.as_nanos().to_string();
+            row.detail = reason.name();
+        }
+        TraceEvent::DeadlineMiss {
+            request,
+            client,
+            deadline,
+            late_by,
+            ..
+        } => {
+            row.app = client.to_string();
+            row.a = if request == u64::MAX {
+                String::new()
+            } else {
+                request.to_string()
+            };
+            row.b = deadline.as_nanos().to_string();
+            row.lf = late_by.as_nanos().to_string();
+        }
+        TraceEvent::RetryScheduled {
+            client,
+            attempt,
+            backoff,
+            ..
+        } => {
+            row.app = client.to_string();
+            row.a = attempt.to_string();
+            row.b = backoff.as_nanos().to_string();
         }
     }
     let _ = write!(

@@ -13,9 +13,9 @@ fn model() -> &'static IlModel {
     MODEL.get_or_init(|| {
         let scenarios = Scenario::standard_set(12, 77);
         let mut settings = TrainSettings::default();
-        settings.nn.max_epochs = 60;
-        settings.nn.patience = 12;
-        IlTrainer::new(settings).train(&scenarios, 0)
+        settings.nn.max_epochs = 90;
+        settings.nn.patience = 15;
+        IlTrainer::new(settings).train(&scenarios, 3)
     })
 }
 

@@ -1,0 +1,141 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's `benches/` targets use
+//! (`Criterion::benchmark_group`, `sample_size`, `bench_function`,
+//! `Bencher::iter` / `iter_batched`, `criterion_group!`,
+//! `criterion_main!`). Instead of criterion's statistical machinery it
+//! runs each routine `sample_size` times and prints min/mean wall-clock
+//! per iteration — enough to eyeball regressions in an offline container.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized; accepted for API compatibility, ignored.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample count.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark routine and print its timing.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.as_ref();
+        let mut bencher = Bencher {
+            samples: self.samples,
+            times: Vec::new(),
+        };
+        f(&mut bencher);
+        let (min, mean) = bencher.stats();
+        println!(
+            "{}/{}: min {:?}, mean {:?} ({} samples)",
+            self.name, id, min, mean, self.samples
+        );
+        self
+    }
+
+    /// Close the group (no-op; prints nothing).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark routine to time its inner loop.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` once per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.times.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Time `routine` on inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.times.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    fn stats(&self) -> (Duration, Duration) {
+        if self.times.is_empty() {
+            return (Duration::ZERO, Duration::ZERO);
+        }
+        let min = *self.times.iter().min().expect("non-empty");
+        let total: Duration = self.times.iter().sum();
+        (min, total / self.times.len() as u32)
+    }
+}
+
+/// Define a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` as documentation of
+//! which types are meant to be serializable, but no code path actually
+//! serializes through serde (the `checkpoint` crate has its own format).
+//! This stub keeps those derives compiling without network access: the
+//! traits are markers with blanket impls, and the `derive` feature
+//! re-exports no-op proc-macros.
+
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types the workspace considers serializable.
+pub trait Serialize {}
+
+/// Marker for types the workspace considers deserializable.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T> Deserialize<'de> for T {}
