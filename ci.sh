@@ -75,3 +75,34 @@ awk -F, '$3 == "breaker_opens" && $1 == "summary" && $4 == 0 { exit 1 }' "$overl
 diff "$overload_csv" "$ckpt_tmp/ov-b/overload.csv" || {
     echo "overload gate: CSV diverged between --threads 1 and --threads 4" >&2; exit 1; }
 echo "overload gate passed"
+
+# Event-kernel gate: the sim-core event driver is now the default loop
+# for every simulation. It must reproduce the lockstep reference
+# byte-for-byte — in-process (golden traces, fleet/overload reports) and
+# from the CLI — and skipping idle barriers on a sparse fleet must not
+# cost wall time. (The fleet and overload gates above already exercise
+# the event driver: it is the default.)
+cargo test -q --test event_kernel_equivalence
+"$experiments" overload --threads 1 --storm --driver lockstep \
+    --out "$ckpt_tmp/ek-ov" >/dev/null 2>&1
+diff "$overload_csv" "$ckpt_tmp/ek-ov/overload.csv" || {
+    echo "event-kernel gate: overload CSV diverged between drivers" >&2; exit 1; }
+t0=$(date +%s%N)
+"$experiments" fleet --boards 4 --epochs 160 --threads 1 --driver lockstep \
+    --out "$ckpt_tmp/ek-lock" >/dev/null 2>&1
+t1=$(date +%s%N)
+"$experiments" fleet --boards 4 --epochs 160 --threads 1 --driver event \
+    --out "$ckpt_tmp/ek-event" >/dev/null 2>&1
+t2=$(date +%s%N)
+diff "$ckpt_tmp/ek-lock/fleet.csv" "$ckpt_tmp/ek-event/fleet.csv" || {
+    echo "event-kernel gate: sparse fleet CSV diverged between drivers" >&2; exit 1; }
+lock_ms=$(( (t1 - t0) / 1000000 ))
+event_ms=$(( (t2 - t1) / 1000000 ))
+# Sanity bound, not a benchmark: the event driver may not be
+# pathologically slower than the reference on an idle-heavy fleet
+# (1.5x + noise slack; both runs include identical model training).
+if [ "$event_ms" -gt $(( lock_ms * 3 / 2 + 2000 )) ]; then
+    echo "event-kernel gate: sparse fleet took ${event_ms}ms event-driven vs ${lock_ms}ms lockstep" >&2
+    exit 1
+fi
+echo "event-kernel gate passed (sparse fleet: ${lock_ms}ms lockstep, ${event_ms}ms event)"

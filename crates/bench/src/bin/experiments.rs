@@ -13,6 +13,7 @@ use std::time::Instant;
 
 use bench::error::BenchError;
 use bench::harness::{train_artifacts, Effort, TrainedArtifacts};
+use hikey_platform::SimDriver;
 use thermal::Cooling;
 
 /// Writes a CSV artifact if an output directory was requested; a failure
@@ -33,7 +34,7 @@ const USAGE: &str = "\
 usage: experiments [--full] [--out <dir>] [--state <dir>] [--points <n>]
                    [--boards <n>] [--epochs <n>] [--devices <n>]
                    [--threads <n>] [--clients <n>] [--overload <x>]
-                   [--storm] [COMMAND ...]
+                   [--storm] [--driver <event|lockstep>] [COMMAND ...]
 
 Regenerates the paper's evaluation artifacts. Without a command (or with
 `all`) the whole suite runs. `--full` uses paper-scale parameters;
@@ -46,7 +47,9 @@ multiple of pool capacity) and `--storm` (add a device fault storm) size
 the `overload` experiment. `--threads <n>` sets the host-thread budget of
 `train`, `sweep`, `fleet` and `overload` (default: all available cores).
 Every command produces the same bytes at every thread count — the budget
-changes wall time only.
+changes wall time only. `--driver` selects the simulation loop of `fleet`
+and `overload`: the `sim-core` event kernel (`event`, the default) or the
+fixed-barrier reference (`lockstep`); both produce identical bytes.
 
 Diagnostics go to stderr; stdout carries only reports and CSV data, so
 `experiments fleet > fleet.csv` yields a clean machine-readable artifact.
@@ -104,6 +107,14 @@ fn main() {
     let clients: Option<usize> = flag_value("--clients").and_then(|v| v.parse().ok());
     let overload: Option<f64> = flag_value("--overload").and_then(|v| v.parse().ok());
     let storm = args.iter().any(|a| a == "--storm");
+    let driver = match flag_value("--driver").map(String::as_str) {
+        None | Some("event") => SimDriver::EventDriven,
+        Some("lockstep") => SimDriver::Lockstep,
+        Some(other) => {
+            eprintln!("unknown --driver {other:?} (expected `event` or `lockstep`)");
+            std::process::exit(2);
+        }
+    };
     // No --threads means "use every core"; the result is bit-identical
     // either way.
     let budget = threads.map_or_else(par::Budget::auto, par::Budget::with_threads);
@@ -119,6 +130,7 @@ fn main() {
         "--threads",
         "--clients",
         "--overload",
+        "--driver",
     ]
     .iter()
     .filter_map(|f| args.iter().position(|a| a == f).map(|i| i + 1))
@@ -273,13 +285,14 @@ fn main() {
                 }
                 config.budget = budget;
                 eprintln!(
-                    "fleet: {} boards x {} epochs on {} device(s), {} thread(s) ...",
+                    "fleet: {} boards x {} epochs on {} device(s), {} thread(s), {:?} driver ...",
                     config.boards,
                     config.epochs,
                     config.devices,
-                    config.budget.effective_threads()
+                    config.budget.effective_threads(),
+                    driver
                 );
-                let report = bench::fleet::run(&config);
+                let report = bench::fleet::run_driver(&config, driver);
                 eprintln!("{report}");
                 let csv = bench::csv::fleet_csv(&report);
                 print!("{csv}");
@@ -310,7 +323,7 @@ fn main() {
                     config.budget.effective_threads(),
                     if config.fault_storm { ", fault storm" } else { "" }
                 );
-                let report = bench::overload::run(&config);
+                let report = bench::overload::run_with_driver(&config, driver);
                 eprintln!("{report}");
                 let csv = bench::csv::overload_csv(&report);
                 print!("{csv}");

@@ -15,15 +15,30 @@
 //!
 //! The whole experiment runs in virtual time and is fully deterministic:
 //! the same configuration produces byte-identical CSV output.
+//!
+//! Two drivers execute the run. The **lockstep** reference visits every
+//! board at every 500 ms barrier. The **event-driven** driver (the
+//! default) hosts the barriers on the `sim-core` kernel: one `Barrier`
+//! event per *active* barrier instant carries the set of boards due
+//! there, and a board with no running applications is not due again
+//! until the barrier covering its next workload arrival — its platform
+//! ticks are replayed lazily (in the exact per-tick order of the
+//! reference loop) when it is next visited, so QoS and thermal
+//! aggregates are bit-identical while idle boards skip the per-barrier
+//! coordination entirely. [`FleetKernelStats`] counts the skipped
+//! board-epoch visits; the `event_kernel_equivalence` suite asserts
+//! report and CSV equality between the drivers.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
-use hikey_platform::{default_placement, Platform, PlatformConfig};
+use hikey_platform::{default_placement, Platform, PlatformConfig, SimDriver};
 use hmc_types::{SimDuration, SimTime};
 use npu::{NpuDevice, NpuModel};
 use npu_serve::{NpuService, RequestTicket, ServeConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sim_core::{ComponentId, Kernel, Scheduler};
 use topil::dvfs::DvfsControlLoop;
 use topil::governor::{DVFS_PERIOD, MIGRATION_PERIOD};
 use topil::oracle::Scenario;
@@ -210,15 +225,72 @@ pub fn run(config: &FleetConfig) -> FleetReport {
     run_with_model(&fleet_model(config.seed), config)
 }
 
-/// Runs the fleet with an already-trained model.
+/// As [`run`], on an explicitly chosen driver (`experiments fleet
+/// --driver ...`).
+pub fn run_driver(config: &FleetConfig, driver: SimDriver) -> FleetReport {
+    run_with_model_driver(&fleet_model(config.seed), config, driver)
+}
+
+/// Kernel-side counters of one event-driven fleet run: how much
+/// per-barrier coordination the virtual-time skipping avoided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetKernelStats {
+    /// Board-barrier visits the event driver actually performed.
+    pub board_epoch_visits: u64,
+    /// Barrier instants that had at least one board due (each is one
+    /// kernel event / handler invocation).
+    pub active_barriers: u64,
+    /// Visits the lockstep reference performs unconditionally
+    /// (`epochs * boards`).
+    pub lockstep_visits: u64,
+    /// Kernel handler invocations over the run.
+    pub handler_invocations: u64,
+    /// Events pushed onto the kernel queue over the run.
+    pub events_scheduled: u64,
+}
+
+impl FleetKernelStats {
+    /// `lockstep_visits / board_epoch_visits` — how many times fewer
+    /// board-barrier visits the event driver performed.
+    pub fn visit_reduction(&self) -> f64 {
+        if self.board_epoch_visits > 0 {
+            self.lockstep_visits as f64 / self.board_epoch_visits as f64
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Runs the fleet with an already-trained model on the default driver
+/// ([`SimDriver::EventDriven`]).
 ///
 /// # Panics
 ///
 /// Panics on a zero board or epoch count.
 pub fn run_with_model(model: &IlModel, config: &FleetConfig) -> FleetReport {
-    assert!(config.boards > 0, "need at least one board");
-    assert!(config.epochs > 0, "need at least one epoch");
-    let serve = ServeConfig {
+    run_with_model_driver(model, config, SimDriver::default())
+}
+
+/// Runs the fleet on an explicitly chosen driver. Both drivers produce
+/// identical [`FleetReport`]s (and therefore byte-identical CSV).
+///
+/// # Panics
+///
+/// Panics on a zero board or epoch count.
+pub fn run_with_model_driver(
+    model: &IlModel,
+    config: &FleetConfig,
+    driver: SimDriver,
+) -> FleetReport {
+    match driver {
+        SimDriver::Lockstep => run_lockstep_with_model(model, config),
+        SimDriver::EventDriven => run_event_with_stats(model, config).0,
+    }
+}
+
+/// The shared-service configuration derived from a fleet config.
+fn serve_config(config: &FleetConfig) -> ServeConfig {
+    ServeConfig {
         devices: config.devices,
         workers: config.workers,
         max_batch: config.max_batch,
@@ -226,14 +298,12 @@ pub fn run_with_model(model: &IlModel, config: &FleetConfig) -> FleetReport {
         // wave is never bounced.
         queue_capacity: config.boards.max(ServeConfig::default().queue_capacity),
         ..ServeConfig::default()
-    };
-    let mut service = NpuService::new(model.mlp(), serve);
-    // Reference for the serial baseline and the bit-identity check: one
-    // dedicated device per board, each request served alone.
-    let dedicated = NpuModel::compile(model.mlp());
-    let device = NpuDevice::kirin970();
+    }
+}
 
-    let mut boards: Vec<Board> = (0..config.boards)
+/// Builds the per-board platforms, policies and workloads.
+fn make_boards(model: &IlModel, config: &FleetConfig, serve: &ServeConfig) -> Vec<Board> {
+    (0..config.boards)
         .map(|i| {
             let workload_cfg = MixedWorkloadConfig {
                 num_apps: 4,
@@ -259,12 +329,27 @@ pub fn run_with_model(model: &IlModel, config: &FleetConfig) -> FleetReport {
                 fallback_epochs: 0,
             }
         })
-        .collect();
+        .collect()
+}
+
+/// The fixed-barrier reference loop: every board visited at every
+/// barrier. The event-driven driver is proven equivalent to this
+/// implementation; keep the two in sync.
+fn run_lockstep_with_model(model: &IlModel, config: &FleetConfig) -> FleetReport {
+    assert!(config.boards > 0, "need at least one board");
+    assert!(config.epochs > 0, "need at least one epoch");
+    let serve = serve_config(config);
+    let mut service = NpuService::new(model.mlp(), serve);
+    // Reference for the serial baseline and the bit-identity check: one
+    // dedicated device per board, each request served alone.
+    let dedicated = NpuModel::compile(model.mlp());
+    let device = NpuDevice::kirin970();
+    let mut boards = make_boards(model, config, &serve);
+    let all_boards: Vec<usize> = (0..config.boards).collect();
 
     let end = SimTime::ZERO + MIGRATION_PERIOD * config.epochs;
     let mut serial_device_time = SimDuration::ZERO;
     let mut mismatches = 0u64;
-    let mut saturation_events = 0u64;
 
     // Boards only interact at migration barriers, so the run alternates
     // between a serial barrier (admissions due at the barrier instant,
@@ -283,6 +368,7 @@ pub fn run_with_model(model: &IlModel, config: &FleetConfig) -> FleetReport {
         });
         fleet_epoch(
             &mut boards,
+            &all_boards,
             &mut service,
             &dedicated,
             &device,
@@ -296,6 +382,20 @@ pub fn run_with_model(model: &IlModel, config: &FleetConfig) -> FleetReport {
             step_to_barrier(board, now, next_barrier);
         });
     }
+    finalize(config, boards, service, end, serial_device_time, mismatches)
+}
+
+/// Flushes the service at `end` and assembles the report — shared by
+/// both drivers (boards must already be stepped to `end`).
+fn finalize(
+    config: &FleetConfig,
+    boards: Vec<Board>,
+    mut service: NpuService,
+    end: SimTime,
+    serial_device_time: SimDuration,
+    mismatches: u64,
+) -> FleetReport {
+    let mut saturation_events = 0u64;
     service.flush(end);
     for event in service.drain_events() {
         if matches!(event, TraceEvent::QueueSaturated { .. }) {
@@ -354,6 +454,176 @@ pub fn run_with_model(model: &IlModel, config: &FleetConfig) -> FleetReport {
     }
 }
 
+/// Shared state of the event-driven driver.
+struct FleetState {
+    boards: Vec<Board>,
+    service: NpuService,
+    dedicated: NpuModel,
+    device: NpuDevice,
+    serial_device_time: SimDuration,
+    mismatches: u64,
+    /// Barrier instant -> boards due there (each key has exactly one
+    /// scheduled `Barrier` event).
+    due: BTreeMap<SimTime, Vec<usize>>,
+    visits: u64,
+    active_barriers: u64,
+}
+
+/// The single fleet event kind: a barrier instant with boards due.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BarrierDue;
+
+/// Marks board `i` due at `at`, scheduling the barrier's kernel event
+/// if `at` is a new barrier instant.
+fn mark_due(
+    due: &mut BTreeMap<SimTime, Vec<usize>>,
+    sched: &mut Scheduler<BarrierDue>,
+    barrier: ComponentId,
+    at: SimTime,
+    i: usize,
+) {
+    let boards = due.entry(at).or_insert_with(|| {
+        sched.schedule(at, barrier, 0, BarrierDue);
+        Vec::new()
+    });
+    boards.push(i);
+}
+
+/// The barrier at or after a board's next arrival — the earliest one
+/// where it can have a running application again.
+fn next_due_barrier(board: &Board, after: SimTime) -> Option<SimTime> {
+    let at = board.arrivals.get(board.next_arrival)?.at;
+    let period = MIGRATION_PERIOD.as_nanos();
+    let aligned = SimTime::from_nanos(at.as_nanos().div_ceil(period) * period);
+    Some(aligned.max(after))
+}
+
+/// Replays one board's platform ticks from wherever it last stopped up
+/// to `to`, in the reference loop's exact per-tick order. Admissions at
+/// the board's resume instant were already performed when it was last
+/// visited, which is precisely `step_to_barrier`'s contract.
+fn catch_up(board: &mut Board, to: SimTime) {
+    let resumed_at = board.platform.now();
+    step_to_barrier(board, resumed_at, to);
+}
+
+/// The event-driven driver, returning the report plus kernel counters.
+/// Equivalent to [`run_with_model_driver`] with [`SimDriver::Lockstep`]
+/// — same report, byte-identical CSV — while visiting each board only
+/// at barriers where it can have work.
+///
+/// # Panics
+///
+/// Panics on a zero board or epoch count.
+pub fn run_event_with_stats(
+    model: &IlModel,
+    config: &FleetConfig,
+) -> (FleetReport, FleetKernelStats) {
+    assert!(config.boards > 0, "need at least one board");
+    assert!(config.epochs > 0, "need at least one epoch");
+    let serve = serve_config(config);
+    let end = SimTime::ZERO + MIGRATION_PERIOD * config.epochs;
+    let mut state = FleetState {
+        boards: make_boards(model, config, &serve),
+        service: NpuService::new(model.mlp(), serve),
+        dedicated: NpuModel::compile(model.mlp()),
+        device: NpuDevice::kirin970(),
+        serial_device_time: SimDuration::ZERO,
+        mismatches: 0,
+        due: BTreeMap::new(),
+        visits: 0,
+        active_barriers: 0,
+    };
+
+    let cfg = *config;
+    let mut kernel: Kernel<BarrierDue, FleetState> = Kernel::new(config.seed);
+    let barrier = kernel.register(
+        "fleet-barrier",
+        move |state: &mut FleetState, sched, event| {
+            let now = event.time;
+            let mut due = state
+                .due
+                .remove(&now)
+                .expect("barrier event without due boards");
+            due.sort_unstable();
+            state.visits += due.len() as u64;
+            state.active_barriers += 1;
+
+            // Replay deferred ticks up to the barrier and admit due
+            // arrivals — board-local, so the stretch runs under the thread
+            // budget exactly like the reference loop's parallel phases.
+            let due_ref = &due;
+            par::par_for_each_mut(&cfg.budget, &mut state.boards, |i, board| {
+                if due_ref.binary_search(&i).is_ok() {
+                    catch_up(board, now);
+                    admit_due(board, now);
+                }
+            });
+
+            // Boards not due here provably have no running applications, so
+            // the epoch over the due set equals the reference epoch over
+            // all boards (whose first step filters on `app_count > 0`).
+            fleet_epoch(
+                &mut state.boards,
+                due_ref,
+                &mut state.service,
+                &state.dedicated,
+                &state.device,
+                now,
+                &mut state.serial_device_time,
+                &mut state.mismatches,
+                &cfg.budget,
+            );
+
+            // Re-arm: busy boards are due at the next barrier; idle boards
+            // sleep until the barrier covering their next arrival.
+            for i in due {
+                let board = &state.boards[i];
+                let next = if board.platform.app_count() > 0 {
+                    Some(now + MIGRATION_PERIOD)
+                } else {
+                    next_due_barrier(board, now + MIGRATION_PERIOD)
+                };
+                match next {
+                    Some(at) if at < end => mark_due(&mut state.due, sched, event.dst, at, i),
+                    _ => {} // dormant until the final catch-up
+                }
+            }
+        },
+    );
+
+    for i in 0..state.boards.len() {
+        if let Some(at) = next_due_barrier(&state.boards[i], SimTime::ZERO) {
+            if at < end {
+                mark_due(&mut state.due, kernel.scheduler(), barrier, at, i);
+            }
+        }
+    }
+    kernel.run_to_idle(&mut state);
+
+    // Every board still owes its deferred ticks up to `end`.
+    par::par_for_each_mut(&cfg.budget, &mut state.boards, |_, board| {
+        catch_up(board, end);
+    });
+
+    let kernel_stats = FleetKernelStats {
+        board_epoch_visits: state.visits,
+        active_barriers: state.active_barriers,
+        lockstep_visits: config.epochs * config.boards as u64,
+        handler_invocations: kernel.stats().handler_invocations,
+        events_scheduled: kernel.scheduler().queue_stats().scheduled,
+    };
+    let report = finalize(
+        config,
+        state.boards,
+        state.service,
+        end,
+        state.serial_device_time,
+        state.mismatches,
+    );
+    (report, kernel_stats)
+}
+
 /// Admits every arrival due at or before `now` on one board.
 fn admit_due(board: &mut Board, now: SimTime) {
     while let Some(spec) = board.arrivals.get(board.next_arrival) {
@@ -391,11 +661,16 @@ fn step_to_barrier(board: &mut Board, barrier: SimTime, next_barrier: SimTime) {
     }
 }
 
-/// One lockstep migration epoch: prepare on every board, submit jittered,
-/// flush, complete from the batched replies.
+/// One migration epoch over `candidates`: prepare on every candidate
+/// board with running applications, submit jittered, flush, complete
+/// from the batched replies. The lockstep driver passes every board;
+/// the event driver passes only the boards due at this barrier (the
+/// rest have no running applications, so the filter below would drop
+/// them anyway).
 #[allow(clippy::too_many_arguments)]
 fn fleet_epoch(
     boards: &mut [Board],
+    candidates: &[usize],
     service: &mut NpuService,
     dedicated: &NpuModel,
     device: &NpuDevice,
@@ -406,7 +681,9 @@ fn fleet_epoch(
 ) {
     // Boards submit in jitter order — the arrival interleaving the shared
     // service actually sees.
-    let mut order: Vec<usize> = (0..boards.len())
+    let mut order: Vec<usize> = candidates
+        .iter()
+        .copied()
         .filter(|&i| boards[i].platform.app_count() > 0)
         .collect();
     order.sort_by_key(|&i| (boards[i].jitter, i));
@@ -533,5 +810,21 @@ mod tests {
         let a = run_with_model(&model, &config);
         let b = run_with_model(&model, &config);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn drivers_agree_and_event_driver_skips_visits() {
+        let model = fleet_model(0);
+        let config = small_config();
+        let lockstep = run_with_model_driver(&model, &config, SimDriver::Lockstep);
+        let (event, kernel) = run_event_with_stats(&model, &config);
+        assert_eq!(lockstep, event);
+        assert_eq!(kernel.lockstep_visits, config.epochs * config.boards as u64);
+        assert!(
+            kernel.board_epoch_visits <= kernel.lockstep_visits,
+            "event driver visited more board-epochs than lockstep"
+        );
+        assert!(kernel.active_barriers <= config.epochs);
+        assert_eq!(kernel.handler_invocations, kernel.active_barriers);
     }
 }

@@ -24,15 +24,17 @@
 use std::collections::BinaryHeap;
 use std::fmt;
 
+use hikey_platform::SimDriver;
 use hmc_types::{SimDuration, SimTime};
 use nn::{Matrix, Mlp};
 use npu::{NpuDevice, NpuModel};
 use npu_serve::{
-    ClientId, MetricsSnapshot, NpuService, RateLimit, RequestTicket, RetryClass, ServeConfig,
-    SubmitOptions,
+    ClientId, MetricsSnapshot, NpuService, RateLimit, RequestTicket, RetryClass, RetryPolicy,
+    ServeConfig, SubmitOptions,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sim_core::Kernel;
 
 /// Length of one metrics epoch.
 const METRIC_EPOCH: SimDuration = SimDuration::from_millis(100);
@@ -223,12 +225,28 @@ fn payload(seed: u64, rows: usize) -> Matrix {
     )
 }
 
-/// Runs the overload experiment.
+/// Runs the overload experiment on the default driver
+/// ([`SimDriver::EventDriven`]).
 ///
 /// # Panics
 ///
 /// Panics on a zero client, epoch or device count.
 pub fn run(config: &OverloadConfig) -> OverloadReport {
+    run_with_driver(config, SimDriver::default())
+}
+
+/// Runs the overload experiment on an explicitly chosen driver.
+///
+/// The lockstep reference drains a hand-rolled attempt heap ordered on
+/// `(at, seq)`; the event driver posts each attempt onto the `sim-core`
+/// kernel. Each attempt carries its own heap sequence number in the
+/// payload — the retry backoff jitter is seeded from it — so the two
+/// drivers compute identical backoffs and produce identical reports.
+///
+/// # Panics
+///
+/// Panics on a zero client, epoch or device count.
+pub fn run_with_driver(config: &OverloadConfig, driver: SimDriver) -> OverloadReport {
     assert!(config.clients > 0, "need at least one burst client");
     assert!(config.epochs > 0, "need at least one epoch");
     assert!(config.devices > 0, "need at least one device");
@@ -334,66 +352,18 @@ pub fn run(config: &OverloadConfig) -> OverloadReport {
 
     let policy = service.config().retry;
     let end = SimTime::from_nanos(config.epochs * epoch_ns);
-    let mut queue: BinaryHeap<Attempt> = schedule
-        .iter()
-        .enumerate()
-        .map(|(seq, &(at, arrival))| Attempt {
-            at,
-            seq: seq as u64,
-            arrival,
-            retry: 0,
-        })
-        .collect();
-    let mut next_seq = schedule.len() as u64;
-    let mut tickets: Vec<RequestTicket> = Vec::new();
-    let mut epochs: Vec<MetricsSnapshot> = Vec::new();
-    let mut attempts = 0u64;
-    let mut next_epoch = 1u64;
-
-    while let Some(attempt) = queue.pop() {
-        // Cut metric epochs the schedule has crossed.
-        while next_epoch <= config.epochs {
-            let boundary = SimTime::from_nanos(next_epoch * epoch_ns);
-            if attempt.at < boundary {
-                break;
-            }
-            service.run_until(boundary);
-            epochs.push(service.epoch_metrics(boundary));
-            next_epoch += 1;
-        }
-        let arrival = arrivals[attempt.arrival];
-        let opts = SubmitOptions {
-            client: arrival.client,
-            deadline: Some(attempt.at + arrival.deadline),
-            hold: arrival.hold,
-        };
-        attempts += 1;
-        match service.submit_with(&payloads[attempt.arrival], attempt.at, opts) {
-            Ok(ticket) => tickets.push(ticket),
-            Err(err) => {
-                if err.retry_class() == RetryClass::Retryable && attempt.retry < policy.max_attempts
-                {
-                    let retry = attempt.retry + 1;
-                    let seed = arrival.client.value() ^ attempt.at.as_nanos() ^ attempt.seq;
-                    let backoff = policy.backoff(retry, err.retry_after(), seed);
-                    service.record_retry(arrival.client, retry, backoff, attempt.at);
-                    queue.push(Attempt {
-                        at: attempt.at + backoff,
-                        seq: next_seq,
-                        arrival: attempt.arrival,
-                        retry,
-                    });
-                    next_seq += 1;
-                }
-            }
-        }
-    }
-    service.flush(end);
-    while next_epoch <= config.epochs {
-        let boundary = SimTime::from_nanos(next_epoch * epoch_ns);
-        epochs.push(service.epoch_metrics(boundary));
-        next_epoch += 1;
-    }
+    let drive = Drive {
+        arrivals: &arrivals,
+        schedule: &schedule,
+        payloads: &payloads,
+        policy,
+        epochs: config.epochs,
+        end,
+    };
+    let (mut service, tickets, epochs, attempts) = match driver {
+        SimDriver::Lockstep => drive_lockstep(service, &drive),
+        SimDriver::EventDriven => drive_event(service, &drive),
+    };
 
     let mut served = 0u64;
     let mut expired = 0u64;
@@ -439,6 +409,170 @@ pub fn run(config: &OverloadConfig) -> OverloadReport {
     }
 }
 
+/// The borrowed attempt plan shared by both drivers.
+struct Drive<'a> {
+    arrivals: &'a [Arrival],
+    schedule: &'a [(SimTime, usize)],
+    payloads: &'a [Matrix],
+    policy: RetryPolicy,
+    epochs: u64,
+    end: SimTime,
+}
+
+/// Mutable run state threaded through attempt processing.
+struct DriveState {
+    service: NpuService,
+    tickets: Vec<RequestTicket>,
+    epochs: Vec<MetricsSnapshot>,
+    attempts: u64,
+    next_epoch: u64,
+    next_seq: u64,
+}
+
+impl DriveState {
+    fn new(service: NpuService, drive: &Drive) -> Self {
+        DriveState {
+            service,
+            tickets: Vec::new(),
+            epochs: Vec::new(),
+            attempts: 0,
+            next_epoch: 1,
+            next_seq: drive.schedule.len() as u64,
+        }
+    }
+
+    fn into_parts(self) -> (NpuService, Vec<RequestTicket>, Vec<MetricsSnapshot>, u64) {
+        (self.service, self.tickets, self.epochs, self.attempts)
+    }
+}
+
+/// Processes one attempt — cuts the metric epochs the schedule crossed,
+/// submits, and on a retryable rejection returns the follow-up attempt
+/// to enqueue. Identical for both drivers; only the queue differs.
+fn process_attempt(drive: &Drive, state: &mut DriveState, attempt: Attempt) -> Option<Attempt> {
+    while state.next_epoch <= drive.epochs {
+        let boundary = SimTime::from_nanos(state.next_epoch * METRIC_EPOCH.as_nanos());
+        if attempt.at < boundary {
+            break;
+        }
+        state.service.run_until(boundary);
+        let snapshot = state.service.epoch_metrics(boundary);
+        state.epochs.push(snapshot);
+        state.next_epoch += 1;
+    }
+    let arrival = drive.arrivals[attempt.arrival];
+    let opts = SubmitOptions {
+        client: arrival.client,
+        deadline: Some(attempt.at + arrival.deadline),
+        hold: arrival.hold,
+    };
+    state.attempts += 1;
+    match state
+        .service
+        .submit_with(&drive.payloads[attempt.arrival], attempt.at, opts)
+    {
+        Ok(ticket) => {
+            state.tickets.push(ticket);
+            None
+        }
+        Err(err) => {
+            if err.retry_class() == RetryClass::Retryable
+                && attempt.retry < drive.policy.max_attempts
+            {
+                let retry = attempt.retry + 1;
+                // Seeded from the attempt's own heap sequence number, so
+                // the jitter is independent of how the queue is hosted.
+                let seed = arrival.client.value() ^ attempt.at.as_nanos() ^ attempt.seq;
+                let backoff = drive.policy.backoff(retry, err.retry_after(), seed);
+                state
+                    .service
+                    .record_retry(arrival.client, retry, backoff, attempt.at);
+                let next = Attempt {
+                    at: attempt.at + backoff,
+                    seq: state.next_seq,
+                    arrival: attempt.arrival,
+                    retry,
+                };
+                state.next_seq += 1;
+                Some(next)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Final flush plus the trailing epoch cuts past the last attempt. The
+/// cut-after-flush order matters for `MetricsSnapshot` equality.
+fn finish_epochs(drive: &Drive, state: &mut DriveState) {
+    state.service.flush(drive.end);
+    while state.next_epoch <= drive.epochs {
+        let boundary = SimTime::from_nanos(state.next_epoch * METRIC_EPOCH.as_nanos());
+        let snapshot = state.service.epoch_metrics(boundary);
+        state.epochs.push(snapshot);
+        state.next_epoch += 1;
+    }
+}
+
+/// Reference driver: drains the hand-rolled `(at, seq)`-ordered heap.
+fn drive_lockstep(
+    service: NpuService,
+    drive: &Drive,
+) -> (NpuService, Vec<RequestTicket>, Vec<MetricsSnapshot>, u64) {
+    let mut state = DriveState::new(service, drive);
+    let mut queue: BinaryHeap<Attempt> = drive
+        .schedule
+        .iter()
+        .enumerate()
+        .map(|(seq, &(at, arrival))| Attempt {
+            at,
+            seq: seq as u64,
+            arrival,
+            retry: 0,
+        })
+        .collect();
+    while let Some(attempt) = queue.pop() {
+        if let Some(retry) = process_attempt(drive, &mut state, attempt) {
+            queue.push(retry);
+        }
+    }
+    finish_epochs(drive, &mut state);
+    state.into_parts()
+}
+
+/// Event driver: every attempt is a kernel event. The kernel's
+/// `(time, priority, seq)` order coincides with the reference heap's
+/// `(at, seq)` order because attempts are the only events and are
+/// scheduled in exactly the order the reference pushes them.
+fn drive_event(
+    service: NpuService,
+    drive: &Drive,
+) -> (NpuService, Vec<RequestTicket>, Vec<MetricsSnapshot>, u64) {
+    let mut state = DriveState::new(service, drive);
+    let mut kernel: Kernel<Attempt, DriveState> = Kernel::new(0);
+    let submitter = kernel.register("overload-client", |state: &mut DriveState, sched, event| {
+        if let Some(retry) = process_attempt(drive, state, event.payload) {
+            sched.schedule(retry.at, event.dst, 0, retry);
+        }
+    });
+    for (seq, &(at, arrival)) in drive.schedule.iter().enumerate() {
+        kernel.scheduler().schedule(
+            at,
+            submitter,
+            0,
+            Attempt {
+                at,
+                seq: seq as u64,
+                arrival,
+                retry: 0,
+            },
+        );
+    }
+    kernel.run_to_idle(&mut state);
+    finish_epochs(drive, &mut state);
+    state.into_parts()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,6 +613,24 @@ mod tests {
         assert_eq!(report.served + report.expired, report.admitted);
         assert!(report.served > 0);
         assert!(report.breaker_opens > 0, "a storm must trip the breaker");
+    }
+
+    #[test]
+    fn drivers_agree_on_the_full_storm() {
+        let lockstep = run_with_driver(&quick(), SimDriver::Lockstep);
+        let event = run_with_driver(&quick(), SimDriver::EventDriven);
+        // Same heap order, same backoff seeds, same epoch cuts: the
+        // kernel-hosted run is indistinguishable from the reference.
+        assert_eq!(lockstep, event);
+
+        let storm = OverloadConfig {
+            fault_storm: true,
+            ..quick()
+        };
+        assert_eq!(
+            run_with_driver(&storm, SimDriver::Lockstep),
+            run_with_driver(&storm, SimDriver::EventDriven)
+        );
     }
 
     #[test]

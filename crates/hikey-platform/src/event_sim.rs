@@ -1,0 +1,186 @@
+//! Event-driven simulation driver: the same observable semantics as the
+//! lockstep loop in [`crate::sim`], hosted on the `sim-core`
+//! discrete-event kernel.
+//!
+//! The lockstep loop's per-iteration structure — admit due arrivals,
+//! sample the trace, let the policy act, advance the platform — maps
+//! onto three kernel components with a fixed priority order at every
+//! instant:
+//!
+//! | component  | priority | fires at |
+//! |------------|----------|----------|
+//! | `arrivals` | 0        | each arrival's admission instant, pre-scheduled |
+//! | `tracer`   | 1        | each sampling instant (self-rescheduling) |
+//! | `ticker`   | 2        | every platform tick (self-rescheduling) |
+//!
+//! Priorities reproduce the intra-iteration order of the lockstep loop
+//! (admissions before the trace sample before `policy.on_tick` +
+//! `platform.tick`), and the admission instants are the lockstep loop's
+//! effective ones: arrival `k` is admitted at the first tick boundary
+//! `>=` its arrival time, never before a predecessor in workload order.
+//! Given that, the two drivers execute the identical sequence of
+//! platform operations at identical clock readings, which the
+//! workspace-level `event_kernel_equivalence` suite verifies
+//! byte-for-byte.
+//!
+//! The platform's thermal RC network integrates every tick, so the
+//! single-board driver cannot skip idle virtual time without changing
+//! thermal aggregates; the skipping win lives one level up, in
+//! `bench`'s fleet driver, where idle boards skip whole coordination
+//! epochs.
+
+use hmc_types::{Cluster, SimDuration, SimTime};
+use sim_core::Kernel;
+use workloads::{ArrivalSpec, Workload};
+
+use crate::platform::{Platform, PlatformConfig};
+use crate::policy::Policy;
+use crate::sim::{RunReport, SimConfig, TraceSample};
+
+/// Intra-instant ordering: admissions fire first...
+const PRI_ADMIT: u64 = 0;
+/// ...then the trace sample...
+const PRI_TRACE: u64 = 1;
+/// ...then the policy + platform tick.
+const PRI_TICK: u64 = 2;
+
+/// Event payload. The component id already routes the event, so the
+/// payload only exists to make traces readable in debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    Admit,
+    Trace,
+    Tick,
+}
+
+/// Shared state threaded through every handler.
+struct DriverState<'p> {
+    platform: Platform,
+    policy: &'p mut dyn Policy,
+    specs: Vec<ArrivalSpec>,
+    next_arrival: usize,
+    trace: Vec<TraceSample>,
+    stopped: bool,
+}
+
+/// First tick boundary at or after `t`.
+fn ceil_to_tick(t: SimTime, tick: SimDuration) -> SimTime {
+    let step = tick.as_nanos();
+    SimTime::from_nanos(t.as_nanos().div_ceil(step) * step)
+}
+
+/// Runs `workload` under `policy` on the event kernel; semantically
+/// identical to the lockstep loop in [`crate::Simulator`].
+pub(crate) fn run_event_driven(
+    config: SimConfig,
+    workload: &Workload,
+    policy: &mut dyn Policy,
+) -> RunReport {
+    let mut platform = Platform::new(PlatformConfig {
+        cooling: config.cooling,
+        tick: config.tick,
+        dtm_enabled: config.dtm_enabled,
+        thermal_params: config.thermal_params,
+        fault_plan: config.fault_plan,
+        sensor_filter: config.sensor_filter,
+        trace: config.trace,
+    });
+    policy.on_start(&mut platform);
+
+    let mut state = DriverState {
+        platform,
+        policy,
+        specs: workload.iter().copied().collect(),
+        next_arrival: 0,
+        trace: Vec::new(),
+        stopped: false,
+    };
+
+    let mut kernel: Kernel<Ev, DriverState> = Kernel::new(0);
+
+    let arrivals = kernel.register("arrivals", |state: &mut DriverState, _, _| {
+        let spec = state.specs[state.next_arrival];
+        state.next_arrival += 1;
+        let model = spec.benchmark.model();
+        let target = spec.qos.resolve(
+            &model,
+            state.platform.opp_table(Cluster::Little).max_frequency(),
+            state.platform.opp_table(Cluster::Big).max_frequency(),
+        );
+        let core = state.policy.placement(&state.platform, &model, target);
+        state.platform.admit(&spec, core);
+    });
+
+    let tracer = kernel.register("tracer", move |state: &mut DriverState, sched, event| {
+        state.trace.push(TraceSample {
+            at: event.time,
+            sensor: state.platform.sensor(),
+            frequency: [
+                state.platform.cluster_frequency(Cluster::Little),
+                state.platform.cluster_frequency(Cluster::Big),
+            ],
+            app_cores: state
+                .platform
+                .snapshots()
+                .iter()
+                .map(|s| (s.id, s.core))
+                .collect(),
+        });
+        let interval = config
+            .trace_interval
+            .expect("tracer only scheduled when sampling is on");
+        // The lockstep loop re-checks `now >= next_trace` once per
+        // iteration, so the next sample lands on the first tick
+        // boundary >= now + interval, but never earlier than the next
+        // tick (intervals shorter than a tick sample once per tick).
+        let next = ceil_to_tick(event.time + interval, config.tick).max(event.time + config.tick);
+        sched.schedule(next, event.dst, PRI_TRACE, Ev::Trace);
+    });
+
+    let ticker = kernel.register("ticker", move |state: &mut DriverState, sched, event| {
+        state.policy.on_tick(&mut state.platform);
+        state.platform.tick();
+        let drained = state.next_arrival == state.specs.len();
+        if config.stop_when_idle && drained && state.platform.app_count() == 0 {
+            state.stopped = true;
+            return;
+        }
+        if state.platform.now().since(SimTime::ZERO).as_nanos() >= config.max_duration.as_nanos() {
+            state.stopped = true;
+            return;
+        }
+        sched.schedule(event.time + config.tick, event.dst, PRI_TICK, Ev::Tick);
+    });
+
+    // Pre-schedule every admission at its lockstep-effective instant:
+    // the first tick boundary >= the arrival time, clamped to be
+    // non-decreasing in workload order (the lockstep loop admits
+    // strictly in iterator order).
+    let mut when = SimTime::ZERO;
+    for spec in &state.specs {
+        when = when.max(ceil_to_tick(spec.at, config.tick));
+        kernel
+            .scheduler()
+            .schedule(when, arrivals, PRI_ADMIT, Ev::Admit);
+    }
+    if config.trace_interval.is_some() {
+        kernel
+            .scheduler()
+            .schedule(SimTime::ZERO, tracer, PRI_TRACE, Ev::Trace);
+    }
+    kernel
+        .scheduler()
+        .schedule(SimTime::ZERO, ticker, PRI_TICK, Ev::Tick);
+
+    while !state.stopped && kernel.step(&mut state).is_some() {}
+
+    let degradation = state.policy.degradation();
+    let (metrics, events) = state.platform.finish();
+    RunReport {
+        policy: state.policy.name().to_string(),
+        metrics,
+        trace: state.trace,
+        events,
+        degradation,
+    }
+}

@@ -1,0 +1,319 @@
+//! Event-driven host for [`NpuService`]: batch-deadline dispatch as
+//! posted kernel events instead of lazy piggybacking on submissions.
+//!
+//! The service itself is pull-driven — every entry point clamps the
+//! clock forward and calls [`NpuService::run_until`], which dispatches
+//! all batches whose `max_wait` deadline has passed. [`Evented`] hosts
+//! that same machinery on a `sim-core` kernel: it keeps exactly one
+//! `DispatchDue` event armed at [`NpuService::next_dispatch_deadline`]
+//! and cancels/reschedules it whenever a submission moves the deadline.
+//! Because `run_until` is incremental and idempotent, firing it from
+//! deadline events and then again from the next submission performs the
+//! identical dispatch sequence — the `evented` unit tests assert
+//! reply-for-reply equality against a directly-driven service.
+//!
+//! Client token buckets need no refill events: the per-client limiter
+//! refills lazily from elapsed virtual time at each admission check
+//! (see `limiter.rs`), which is already the event-driven behaviour.
+
+use hmc_types::SimTime;
+use nn::Matrix;
+use sim_core::{ComponentId, EventId, Kernel, KernelStats};
+use topil::ClientReply;
+
+use crate::error::ServeError;
+use crate::queue::Rejected;
+use crate::service::{NpuService, RequestTicket, SubmitOptions};
+use crate::stats::{MetricsSnapshot, ServeStats};
+
+/// The single event kind the host posts: "the earliest batch deadline
+/// is due — dispatch".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DispatchDue;
+
+/// The armed wake-up, if any: the scheduled event and the deadline it
+/// was armed for (so an unchanged deadline never reschedules).
+#[derive(Debug, Clone, Copy)]
+struct Armed {
+    id: EventId,
+    at: SimTime,
+}
+
+/// Kernel state: the wrapped service plus the armed-event bookkeeping
+/// (handlers re-arm after dispatching).
+struct Inner {
+    service: NpuService,
+    armed: Option<Armed>,
+}
+
+/// An [`NpuService`] hosted on the `sim-core` event kernel.
+///
+/// # Examples
+///
+/// ```
+/// use hmc_types::SimTime;
+/// use nn::{Matrix, Mlp};
+/// use npu_serve::{Evented, ServeConfig};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mlp = Mlp::with_topology(4, 1, 8, 2, &mut StdRng::seed_from_u64(0));
+/// let mut host = Evented::new(npu_serve::NpuService::new(&mlp, ServeConfig::default()));
+/// let ticket = host
+///     .submit(&Matrix::from_rows(vec![vec![0.5; 4]]), SimTime::ZERO)
+///     .unwrap();
+/// // Pump virtual time forward: the batch deadline fires as an event.
+/// host.pump(SimTime::from_secs(1));
+/// assert!(host.take_reply(ticket).is_some());
+/// ```
+pub struct Evented {
+    inner: Inner,
+    kernel: Kernel<'static, DispatchDue, Inner>,
+    dispatcher: ComponentId,
+}
+
+impl Evented {
+    /// Wraps `service`; any already-queued work is armed immediately.
+    pub fn new(service: NpuService) -> Self {
+        let mut kernel: Kernel<DispatchDue, Inner> = Kernel::new(0);
+        let dispatcher = kernel.register("npu-dispatch", |inner: &mut Inner, sched, event| {
+            inner.armed = None;
+            inner.service.run_until(event.time);
+            if let Some(deadline) = inner.service.next_dispatch_deadline() {
+                let id = sched.schedule(deadline, event.dst, 0, DispatchDue);
+                inner.armed = Some(Armed { id, at: deadline });
+            }
+        });
+        let mut host = Evented {
+            inner: Inner {
+                service,
+                armed: None,
+            },
+            kernel,
+            dispatcher,
+        };
+        host.sync();
+        host
+    }
+
+    /// Executes every dispatch deadline up to `now` as kernel events
+    /// and advances the virtual clock.
+    pub fn pump(&mut self, now: SimTime) {
+        self.kernel.run_until(&mut self.inner, now);
+    }
+
+    /// Submits one request (see [`NpuService::submit`]), re-arming the
+    /// dispatch wake-up if the earliest deadline moved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NpuService::submit`] rejections unchanged.
+    pub fn submit(&mut self, rows: &Matrix, now: SimTime) -> Result<RequestTicket, Rejected> {
+        self.pump(now);
+        let result = self.inner.service.submit(rows, now);
+        self.sync();
+        result
+    }
+
+    /// Submits with explicit options (see [`NpuService::submit_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NpuService::submit_with`] errors unchanged.
+    pub fn submit_with(
+        &mut self,
+        rows: &Matrix,
+        now: SimTime,
+        opts: SubmitOptions,
+    ) -> Result<RequestTicket, ServeError> {
+        self.pump(now);
+        let result = self.inner.service.submit_with(rows, now, opts);
+        self.sync();
+        result
+    }
+
+    /// Pumps to `now`, then force-dispatches everything still pending
+    /// (see [`NpuService::flush`]).
+    pub fn flush(&mut self, now: SimTime) {
+        self.pump(now);
+        self.inner.service.flush(now);
+        self.sync();
+    }
+
+    /// Redeems a ticket (see [`NpuService::take_reply`]).
+    pub fn take_reply(&mut self, ticket: RequestTicket) -> Option<ClientReply> {
+        self.inner.service.take_reply(ticket)
+    }
+
+    /// Redeems a ticket as a typed outcome (see
+    /// [`NpuService::take_outcome`]).
+    pub fn take_outcome(
+        &mut self,
+        ticket: RequestTicket,
+    ) -> Option<Result<ClientReply, ServeError>> {
+        self.inner.service.take_outcome(ticket)
+    }
+
+    /// Pumps to `now` and cuts a metrics epoch (see
+    /// [`NpuService::epoch_metrics`]).
+    pub fn epoch_metrics(&mut self, now: SimTime) -> MetricsSnapshot {
+        self.pump(now);
+        let snapshot = self.inner.service.epoch_metrics(now);
+        self.sync();
+        snapshot
+    }
+
+    /// Service-side counters.
+    pub fn stats(&self) -> &ServeStats {
+        self.inner.service.stats()
+    }
+
+    /// Kernel-side counters (events scheduled / executed / cancelled,
+    /// handler invocations).
+    pub fn kernel_stats(&mut self) -> (KernelStats, sim_core::QueueStats) {
+        let queue = self.kernel.scheduler().queue_stats();
+        (self.kernel.stats(), queue)
+    }
+
+    /// Shared read access to the wrapped service.
+    pub fn service(&self) -> &NpuService {
+        &self.inner.service
+    }
+
+    /// Unwraps the service, discarding the kernel.
+    pub fn into_inner(self) -> NpuService {
+        self.inner.service
+    }
+
+    /// Re-arms the dispatch wake-up to the service's earliest deadline:
+    /// cancels a stale event, keeps an accurate one, schedules a new
+    /// one when the deadline moved (or first appeared).
+    fn sync(&mut self) {
+        let want = self.inner.service.next_dispatch_deadline();
+        match (want, self.inner.armed) {
+            (None, None) => {}
+            (Some(at), Some(armed)) if armed.at == at => {}
+            (None, Some(armed)) => {
+                self.kernel.scheduler().cancel(armed.id);
+                self.inner.armed = None;
+            }
+            (Some(at), prev) => {
+                if let Some(armed) = prev {
+                    self.kernel.scheduler().cancel(armed.id);
+                }
+                let id = self
+                    .kernel
+                    .scheduler()
+                    .schedule(at, self.dispatcher, 0, DispatchDue);
+                self.inner.armed = Some(Armed { id, at });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServeConfig;
+    use hmc_types::SimDuration;
+    use nn::Mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn service() -> NpuService {
+        let mlp = Mlp::with_topology(6, 1, 8, 2, &mut StdRng::seed_from_u64(7));
+        NpuService::new(&mlp, ServeConfig::default())
+    }
+
+    fn row(v: f32) -> Matrix {
+        Matrix::from_rows(vec![vec![v; 6]])
+    }
+
+    /// A scripted run through the event host matches the same script
+    /// against a directly-driven service, reply for reply.
+    #[test]
+    fn event_pumped_matches_direct() {
+        let script: Vec<(u64, f32)> = (0..40).map(|i| (i * 13 % 220, i as f32 / 40.0)).collect();
+        let mut times: Vec<u64> = script.iter().map(|&(t, _)| t).collect();
+        times.sort_unstable();
+
+        let mut direct = service();
+        let mut direct_tickets = Vec::new();
+        for &(t, v) in &script {
+            direct_tickets.push(direct.submit(&row(v), SimTime::from_millis(t)));
+        }
+        direct.flush(SimTime::from_secs(2));
+
+        let mut host = Evented::new(service());
+        let mut host_tickets = Vec::new();
+        for &(t, v) in &script {
+            // Pump past intermediate deadlines to force event-driven
+            // dispatch where the direct service dispatched lazily.
+            host.pump(SimTime::from_millis(t.saturating_sub(1)));
+            host_tickets.push(host.submit(&row(v), SimTime::from_millis(t)));
+        }
+        host.flush(SimTime::from_secs(2));
+
+        for (a, b) in direct_tickets.into_iter().zip(host_tickets) {
+            match (a, b) {
+                (Ok(ta), Ok(tb)) => {
+                    assert_eq!(direct.take_reply(ta), host.take_reply(tb));
+                }
+                (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+                (a, b) => panic!("divergent admission: {a:?} vs {b:?}"),
+            }
+        }
+        assert_eq!(direct.stats(), host.stats());
+    }
+
+    /// The host keeps exactly one dispatch event armed and fires it at
+    /// the batch deadline without any intervening submission.
+    #[test]
+    fn dispatch_fires_without_submissions() {
+        let mut host = Evented::new(service());
+        let ticket = host.submit(&row(0.25), SimTime::ZERO).unwrap();
+        assert!(host.take_reply(ticket).is_none(), "dispatched too early");
+        let deadline = host
+            .service()
+            .next_dispatch_deadline()
+            .expect("queued request must arm a deadline");
+        host.pump(deadline);
+        assert!(
+            host.take_reply(ticket).is_some(),
+            "deadline event did not dispatch the batch"
+        );
+        let (kernel, queue) = host.kernel_stats();
+        assert!(kernel.handler_invocations >= 1);
+        assert_eq!(
+            queue.scheduled,
+            queue.executed + queue.cancelled + host_pending(&queue)
+        );
+    }
+
+    fn host_pending(stats: &sim_core::QueueStats) -> u64 {
+        stats.scheduled - stats.executed - stats.cancelled
+    }
+
+    /// Rescheduling: an earlier submission pulls the armed deadline in;
+    /// the stale event is cancelled rather than double-fired.
+    #[test]
+    fn earlier_deadline_reschedules() {
+        let mut host = Evented::new(service());
+        let slow = host
+            .submit_with(
+                &row(0.5),
+                SimTime::ZERO,
+                SubmitOptions {
+                    hold: SimDuration::from_millis(50),
+                    ..SubmitOptions::default()
+                },
+            )
+            .unwrap();
+        let fast = host.submit(&row(0.75), SimTime::from_millis(1)).unwrap();
+        host.pump(SimTime::from_secs(1));
+        assert!(host.take_reply(fast).is_some());
+        assert!(host.take_reply(slow).is_some());
+        let (_, queue) = host.kernel_stats();
+        assert!(queue.cancelled >= 1, "stale deadline was not cancelled");
+    }
+}

@@ -71,6 +71,7 @@
 mod client;
 mod config;
 mod error;
+mod evented;
 mod limiter;
 pub mod middleware;
 mod queue;
@@ -82,6 +83,7 @@ mod stats;
 pub use client::SharedClient;
 pub use config::{ConfigError, ServeConfig};
 pub use error::ServeError;
+pub use evented::Evented;
 pub use limiter::{ClientId, RateLimit};
 pub use middleware::{Admission, AdmissionContext, AdmissionLayer};
 pub use queue::{Rejected, SubmissionQueue};

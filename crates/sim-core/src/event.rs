@@ -1,0 +1,48 @@
+//! Event identities and the delivered-event envelope.
+
+use hmc_types::SimTime;
+
+/// Identity of a registered component — the index assigned by
+/// [`crate::Kernel::register`], stable for the lifetime of the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub(crate) u32);
+
+impl ComponentId {
+    /// The raw index (also the component's default RNG stream id).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Identity of a scheduled event: its global sequence number.
+///
+/// Sequence numbers increase monotonically with every
+/// [`crate::Scheduler::schedule`] call and double as the final
+/// tie-break of the execution order, so two events scheduled for the
+/// same `(time, priority)` always execute in scheduling order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub(crate) u64);
+
+impl EventId {
+    /// The raw sequence number.
+    pub fn seq(self) -> u64 {
+        self.0
+    }
+}
+
+/// One event as delivered to its component handler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event<P> {
+    /// The identity assigned at scheduling time.
+    pub id: EventId,
+    /// The virtual instant this event fires at (the kernel clock reads
+    /// exactly this during the handler).
+    pub time: SimTime,
+    /// The component the event is addressed to.
+    pub dst: ComponentId,
+    /// Tie-break rank among events at the same instant: lower fires
+    /// first; equal priorities fall back to scheduling order.
+    pub priority: u64,
+    /// The embedder-defined payload.
+    pub payload: P,
+}

@@ -1,0 +1,235 @@
+//! The virtual-time event queue: a binary heap ordered by the
+//! deterministic key `(time, priority, seq)` with tombstone
+//! cancellation.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashSet};
+
+use hmc_types::SimTime;
+
+use crate::event::{ComponentId, Event, EventId};
+
+/// One heap entry. Ordering ignores the payload entirely: the execution
+/// order of a schedule is a pure function of `(time, priority, seq)`.
+struct Entry<P> {
+    time: SimTime,
+    priority: u64,
+    seq: u64,
+    dst: ComponentId,
+    payload: P,
+}
+
+impl<P> Entry<P> {
+    fn key(&self) -> (SimTime, u64, u64) {
+        (self.time, self.priority, self.seq)
+    }
+}
+
+impl<P> PartialEq for Entry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl<P> Eq for Entry<P> {}
+
+impl<P> PartialOrd for Entry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P> Ord for Entry<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// Counters over the queue's lifetime (monotonic, never reset).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events accepted by [`EventQueue::push`].
+    pub scheduled: u64,
+    /// Events handed out by [`EventQueue::pop`].
+    pub executed: u64,
+    /// Events tombstoned by [`EventQueue::cancel`] before they fired.
+    pub cancelled: u64,
+}
+
+/// A deterministic pending-event set.
+///
+/// Events pop in strictly non-decreasing `(time, priority, seq)` order;
+/// cancellation tombstones an event by id without disturbing the heap,
+/// and tombstones are discarded lazily on pop.
+///
+/// # Examples
+///
+/// ```
+/// use hmc_types::SimTime;
+/// use sim_core::{ComponentId, EventQueue};
+///
+/// let mut queue: EventQueue<&str> = EventQueue::new();
+/// let dst = ComponentId::default_for_tests();
+/// queue.push(SimTime::from_millis(5), dst, 1, "late");
+/// let early = queue.push(SimTime::from_millis(5), dst, 0, "early");
+/// assert_eq!(queue.len(), 2);
+/// assert_eq!(queue.next_time(), Some(SimTime::from_millis(5)));
+/// assert!(queue.cancel(early));
+/// assert_eq!(queue.pop().unwrap().payload, "late");
+/// assert!(queue.is_empty());
+/// ```
+pub struct EventQueue<P> {
+    heap: BinaryHeap<Reverse<Entry<P>>>,
+    /// Seqs of live (pending, not cancelled) events — O(1) cancel.
+    pending: HashSet<u64>,
+    tombstones: HashSet<u64>,
+    next_seq: u64,
+    stats: QueueStats,
+}
+
+impl<P> Default for EventQueue<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> EventQueue<P> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            tombstones: HashSet::new(),
+            next_seq: 0,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no live event is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// The fire time of the next live event, if any.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        self.discard_tombstones();
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Schedules an event and returns its identity.
+    pub fn push(&mut self, time: SimTime, dst: ComponentId, priority: u64, payload: P) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry {
+            time,
+            priority,
+            seq,
+            dst,
+            payload,
+        }));
+        self.pending.insert(seq);
+        self.stats.scheduled += 1;
+        EventId(seq)
+    }
+
+    /// Tombstones a pending event. Returns `false` when the event
+    /// already fired, was already cancelled, or never existed.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if !self.pending.remove(&id.0) {
+            return false;
+        }
+        self.tombstones.insert(id.0);
+        self.stats.cancelled += 1;
+        true
+    }
+
+    /// Pops the next live event in `(time, priority, seq)` order.
+    pub fn pop(&mut self) -> Option<Event<P>> {
+        self.discard_tombstones();
+        let Reverse(entry) = self.heap.pop()?;
+        self.pending.remove(&entry.seq);
+        self.stats.executed += 1;
+        Some(Event {
+            id: EventId(entry.seq),
+            time: entry.time,
+            dst: entry.dst,
+            priority: entry.priority,
+            payload: entry.payload,
+        })
+    }
+
+    /// Drops tombstoned entries sitting at the top of the heap.
+    fn discard_tombstones(&mut self) {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.tombstones.remove(&entry.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl ComponentId {
+    /// A fixed component id for doctests and queue-level tests that
+    /// exercise the queue without a kernel.
+    pub fn default_for_tests() -> Self {
+        ComponentId(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_priority_seq_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let c = ComponentId(0);
+        q.push(t(5), c, 1, 0);
+        q.push(t(3), c, 9, 1);
+        q.push(t(5), c, 0, 2);
+        q.push(t(5), c, 0, 3);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn cancel_skips_events_and_reports_liveness() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let c = ComponentId(0);
+        let a = q.push(t(1), c, 0, 10);
+        let b = q.push(t(2), c, 0, 20);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel must be refused");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_time(), Some(t(2)));
+        let fired = q.pop().unwrap();
+        assert_eq!(fired.id, b);
+        assert!(!q.cancel(b), "cancelling a fired event must be refused");
+        assert!(q.is_empty());
+        assert_eq!(
+            q.stats(),
+            QueueStats {
+                scheduled: 2,
+                executed: 1,
+                cancelled: 1
+            }
+        );
+    }
+}

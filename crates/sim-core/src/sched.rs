@@ -1,0 +1,123 @@
+//! The scheduler: the event queue plus the virtual clock and the
+//! master seed. Handlers receive `&mut Scheduler` so they can post,
+//! cancel and reschedule events and derive component RNG streams.
+
+use hmc_types::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+
+use crate::event::{ComponentId, Event, EventId};
+use crate::queue::{EventQueue, QueueStats};
+use crate::rng::derive_rng;
+
+/// Virtual clock, deterministic event queue and master seed.
+///
+/// The clock only ever moves forward: it is set to each event's
+/// timestamp as the event fires, and [`Scheduler::schedule`] clamps
+/// requested fire times to the current instant so no event can fire in
+/// the past.
+pub struct Scheduler<P> {
+    queue: EventQueue<P>,
+    clock: SimTime,
+    seed: u64,
+}
+
+impl<P> Scheduler<P> {
+    pub(crate) fn new(seed: u64) -> Self {
+        Scheduler {
+            queue: EventQueue::new(),
+            clock: SimTime::ZERO,
+            seed,
+        }
+    }
+
+    /// The current virtual instant. During a handler this reads exactly
+    /// the firing event's timestamp.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The master seed the kernel was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Schedules an event for `at` (clamped to now — events cannot fire
+    /// in the past) addressed to `dst`, with `priority` breaking ties
+    /// at equal instants (lower fires first) and scheduling order
+    /// breaking ties at equal priority.
+    pub fn schedule(
+        &mut self,
+        at: SimTime,
+        dst: ComponentId,
+        priority: u64,
+        payload: P,
+    ) -> EventId {
+        let at = at.max(self.clock);
+        self.queue.push(at, dst, priority, payload)
+    }
+
+    /// Schedules an event `delay` after the current instant.
+    pub fn schedule_after(
+        &mut self,
+        delay: SimDuration,
+        dst: ComponentId,
+        priority: u64,
+        payload: P,
+    ) -> EventId {
+        self.queue.push(self.clock + delay, dst, priority, payload)
+    }
+
+    /// Tombstones a pending event. Returns `false` when the event
+    /// already fired or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// The fire time of the next live event, if any.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        self.queue.next_time()
+    }
+
+    /// Live (non-cancelled) pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no live event is pending.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Lifetime queue counters.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+
+    /// Derives an independent RNG stream from the master seed — the
+    /// same splitmix64 family as `nn::resume::derive_rng`, so a
+    /// component's randomness depends only on `(seed, stream, index)`
+    /// and never on event ordering.
+    pub fn derive_rng(&self, stream: u64, index: u64) -> StdRng {
+        derive_rng(self.seed, stream, index)
+    }
+
+    /// Derives the RNG stream conventionally owned by `component`,
+    /// using its registration index as the stream tag.
+    pub fn component_rng(&self, component: ComponentId, index: u64) -> StdRng {
+        self.derive_rng(u64::from(component.index()), index)
+    }
+
+    /// Pops the next event and advances the clock to its timestamp.
+    pub(crate) fn pop(&mut self) -> Option<Event<P>> {
+        let event = self.queue.pop()?;
+        debug_assert!(event.time >= self.clock, "event queue went backwards");
+        self.clock = event.time;
+        Some(event)
+    }
+
+    /// Moves the clock forward to `to` without firing anything (no-op
+    /// when `to` is in the past).
+    pub(crate) fn advance_clock(&mut self, to: SimTime) {
+        self.clock = self.clock.max(to);
+    }
+}

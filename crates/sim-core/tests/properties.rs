@@ -1,0 +1,170 @@
+//! Property-based tests of the kernel's ordering guarantees: events
+//! never execute out of timestamp order, tie-breaking is stable under
+//! arbitrary insertion order, cancel/reschedule preserves determinism,
+//! and the queue always drains empty.
+
+use hmc_types::SimTime;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sim_core::{ComponentId, EventQueue, Kernel};
+
+/// Decodes a raw draw into a (time, priority) key with plenty of
+/// deliberate collisions so tie-breaking is actually exercised.
+fn key_of(raw: u64) -> (SimTime, u64) {
+    (SimTime::from_millis(raw % 40), (raw / 40) % 5)
+}
+
+/// Fisher–Yates driven by a seeded StdRng (the vendored rand has no
+/// shuffle helper).
+fn shuffled<T>(mut items: Vec<T>, seed: u64) -> Vec<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..items.len()).rev() {
+        let j = rng.random_range(0..=i);
+        items.swap(i, j);
+    }
+    items
+}
+
+proptest! {
+    /// Pop order is exactly the stable sort of push order by
+    /// `(time, priority)` — timestamps never regress, and equal keys
+    /// fire in scheduling order.
+    #[test]
+    fn pops_follow_time_priority_seq(raws in proptest::collection::vec(0u64..2_000, 1..80)) {
+        let dst = ComponentId::default_for_tests();
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        for (i, &raw) in raws.iter().enumerate() {
+            let (t, p) = key_of(raw);
+            queue.push(t, dst, p, i);
+        }
+        let mut expected: Vec<usize> = (0..raws.len()).collect();
+        expected.sort_by_key(|&i| key_of(raws[i]));
+        let mut popped = Vec::new();
+        let mut last = (SimTime::ZERO, 0u64);
+        while let Some(event) = queue.pop() {
+            prop_assert!((event.time, event.priority) >= last, "queue went backwards");
+            last = (event.time, event.priority);
+            popped.push(event.payload);
+        }
+        prop_assert_eq!(popped, expected);
+        prop_assert!(queue.is_empty());
+        prop_assert_eq!(queue.len(), 0);
+    }
+
+    /// For events with pairwise-distinct `(time, priority)` keys the
+    /// execution order is independent of insertion order.
+    #[test]
+    fn distinct_keys_ignore_insertion_order(
+        raws in proptest::collection::vec(0u64..10_000, 1..60),
+        perm_seed in 0u64..1_000_000,
+    ) {
+        let dst = ComponentId::default_for_tests();
+        let mut keys: Vec<(SimTime, u64)> = raws.iter().map(|&r| key_of(r)).collect();
+        keys.sort();
+        keys.dedup();
+        let pop_keys = |order: Vec<(SimTime, u64)>| {
+            let mut queue: EventQueue<(SimTime, u64)> = EventQueue::new();
+            for &(t, p) in &order {
+                queue.push(t, dst, p, (t, p));
+            }
+            std::iter::from_fn(move || queue.pop().map(|e| e.payload)).collect::<Vec<_>>()
+        };
+        let a = pop_keys(keys.clone());
+        let b = pop_keys(shuffled(keys.clone(), perm_seed));
+        prop_assert_eq!(&a, &b, "insertion order leaked into execution order");
+        prop_assert_eq!(a, keys, "execution order is the sorted key order");
+    }
+
+    /// Cancellation removes exactly the cancelled events, twice-built
+    /// queues drain identically, and the bookkeeping adds up.
+    #[test]
+    fn cancel_preserves_determinism(
+        raws in proptest::collection::vec(0u64..2_000, 1..60),
+        mask in proptest::collection::vec(0u64..4, 1..60),
+    ) {
+        let dst = ComponentId::default_for_tests();
+        let build_and_drain = || {
+            let mut queue: EventQueue<usize> = EventQueue::new();
+            let ids: Vec<_> = raws
+                .iter()
+                .enumerate()
+                .map(|(i, &raw)| {
+                    let (t, p) = key_of(raw);
+                    queue.push(t, dst, p, i)
+                })
+                .collect();
+            let mut cancelled = Vec::new();
+            for (i, id) in ids.iter().enumerate() {
+                if mask.get(i % mask.len()) == Some(&0) {
+                    assert!(queue.cancel(*id));
+                    assert!(!queue.cancel(*id), "double cancel accepted");
+                    cancelled.push(i);
+                }
+            }
+            let order: Vec<usize> = std::iter::from_fn(|| queue.pop().map(|e| e.payload)).collect();
+            (order, cancelled, queue.stats(), queue.is_empty())
+        };
+        let (order_a, cancelled, stats, drained) = build_and_drain();
+        let (order_b, ..) = build_and_drain();
+        prop_assert_eq!(&order_a, &order_b, "same construction, different drain order");
+        for i in &cancelled {
+            prop_assert!(!order_a.contains(i), "cancelled event {i} fired anyway");
+        }
+        let mut expected: Vec<usize> =
+            (0..raws.len()).filter(|i| !cancelled.contains(i)).collect();
+        expected.sort_by_key(|&i| key_of(raws[i]));
+        prop_assert_eq!(order_a, expected);
+        prop_assert!(drained, "queue did not drain empty");
+        prop_assert_eq!(stats.scheduled, raws.len() as u64);
+        prop_assert_eq!(stats.executed + stats.cancelled, stats.scheduled);
+    }
+
+    /// `Kernel::run_until` executes exactly the events at or before the
+    /// boundary, the clock lands on the boundary, and rescheduling via
+    /// cancel+schedule behaves identically across runs.
+    #[test]
+    fn kernel_run_until_respects_boundary(
+        raws in proptest::collection::vec(0u64..2_000, 1..50),
+        boundary_ms in 0u64..40,
+    ) {
+        let run = || {
+            let mut kernel: Kernel<usize, Vec<(usize, SimTime)>> = Kernel::new(42);
+            let sink = kernel.register("sink", |log: &mut Vec<(usize, SimTime)>, _, e| {
+                log.push((e.payload, e.time));
+            });
+            let ids: Vec<_> = raws
+                .iter()
+                .enumerate()
+                .map(|(i, &raw)| {
+                    let (t, p) = key_of(raw);
+                    kernel.scheduler().schedule(t, sink, p, i)
+                })
+                .collect();
+            // Reschedule every fourth event one tick later.
+            for (i, id) in ids.iter().enumerate() {
+                if i % 4 == 0 {
+                    let (t, p) = key_of(raws[i]);
+                    assert!(kernel.scheduler().cancel(*id));
+                    kernel
+                        .scheduler()
+                        .schedule(t + hmc_types::SimDuration::from_millis(1), sink, p, i);
+                }
+            }
+            let boundary = SimTime::from_millis(boundary_ms);
+            let mut log = Vec::new();
+            let early = kernel.run_until(&mut log, boundary);
+            assert_eq!(kernel.now(), boundary);
+            assert!(log.iter().all(|&(_, t)| t <= boundary));
+            assert_eq!(early, log.len() as u64);
+            let late = kernel.run_to_idle(&mut log);
+            assert!(kernel.is_idle());
+            assert_eq!(early + late, raws.len() as u64);
+            assert_eq!(kernel.stats().handler_invocations, raws.len() as u64);
+            log
+        };
+        let a = run();
+        prop_assert_eq!(a.len(), raws.len(), "an event was lost or duplicated");
+        prop_assert_eq!(a, run(), "same schedule, different execution");
+    }
+}

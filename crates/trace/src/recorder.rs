@@ -119,6 +119,16 @@ impl TraceLog {
             .filter(|e| e.kind() == EventKind::EpochTick)
             .count() as u64
     }
+
+    /// The retained window as CSV (see [`crate::to_csv`]).
+    pub fn csv(&self) -> String {
+        crate::export::to_csv(self)
+    }
+
+    /// The retained window as JSONL (see [`crate::to_jsonl`]).
+    pub fn jsonl(&self) -> String {
+        crate::export::to_jsonl(self)
+    }
 }
 
 /// Records accepted events into a bounded ring while hashing the full

@@ -43,6 +43,7 @@ pub use hmc_types as types;
 pub use nn;
 pub use npu;
 pub use par;
+pub use sim_core;
 pub use thermal;
 pub use topil;
 pub use toprl;
@@ -54,7 +55,8 @@ pub mod prelude {
     pub use faults::{FaultInjector, FaultPlan};
     pub use governors::LinuxGovernor;
     pub use hikey_platform::{
-        AppOutcome, Platform, PlatformConfig, Policy, RunMetrics, RunReport, SimConfig, Simulator,
+        AppOutcome, Platform, PlatformConfig, Policy, RunMetrics, RunReport, SimConfig, SimDriver,
+        Simulator,
     };
     pub use hmc_types::{
         AppId, Celsius, Cluster, CoreId, Frequency, Ips, QosTarget, SimDuration, SimTime, Watts,

@@ -1,0 +1,180 @@
+//! Equivalence-proving harness for the `sim-core` event kernel: every
+//! simulation that gained an event-driven driver is replayed under both
+//! drivers with the same seed and must produce the same bytes.
+//!
+//! Three layers are covered:
+//!
+//! * **Governor runs** — each governor drives the golden workload
+//!   through [`Simulator::run_with_driver`] twice; the FNV-64 trace
+//!   hashes, the exported CSV bytes, and every report field must match.
+//! * **Fleet runs** — `bench::fleet` under lockstep barriers vs. the
+//!   event kernel: identical [`FleetReport`]s and `fleet_csv` bytes,
+//!   plus the sparse-workload regression that the kernel executes
+//!   *strictly fewer* board-epoch visits than `epochs x boards`.
+//! * **Overload runs** — `bench::overload`'s retry storm on both
+//!   drivers: identical reports and `overload_csv` bytes.
+//!
+//! These tests are the acceptance bar for the kernel: the lockstep
+//! loops are the executable specification, and any divergence — event
+//! ordering, RNG stream, epoch accounting — shows up as a byte diff.
+
+mod common;
+
+use bench::csv::{fleet_csv, overload_csv};
+use bench::fleet::{self, FleetConfig};
+use bench::overload::{self, OverloadConfig};
+use common::{golden_sim, golden_workload, quick_model};
+use top_il::prelude::*;
+use top_il::topil::oracle_governor::OracleGovernor;
+
+/// Runs the golden workload under both drivers with freshly-built
+/// policies and asserts byte equality of everything observable.
+fn assert_drivers_agree(mut lockstep_policy: Box<dyn Policy>, mut event_policy: Box<dyn Policy>) {
+    let sim = Simulator::new(golden_sim());
+    let workload = golden_workload();
+    let lockstep = sim.run_with_driver(&workload, lockstep_policy.as_mut(), SimDriver::Lockstep);
+    let event = sim.run_with_driver(&workload, event_policy.as_mut(), SimDriver::EventDriven);
+
+    assert_eq!(lockstep.policy, event.policy);
+    let (a, b) = (
+        lockstep.events.as_ref().expect("golden runs trace"),
+        event.events.as_ref().expect("golden runs trace"),
+    );
+    assert_eq!(a.hash, b.hash, "FNV-64 trace hashes diverged");
+    assert_eq!(a.emitted, b.emitted, "event counts diverged");
+    assert_eq!(a.csv(), b.csv(), "exported CSV bytes diverged");
+    assert_eq!(a.jsonl(), b.jsonl(), "exported JSONL bytes diverged");
+    assert_eq!(lockstep.trace, event.trace, "time-series samples diverged");
+    assert_eq!(lockstep.metrics, event.metrics, "run metrics diverged");
+    assert_eq!(lockstep.degradation, event.degradation);
+}
+
+#[test]
+fn equivalence_topil() {
+    let model = quick_model(0);
+    assert_drivers_agree(
+        Box::new(TopIlGovernor::new(model.clone())),
+        Box::new(TopIlGovernor::new(model)),
+    );
+}
+
+#[test]
+fn equivalence_toprl() {
+    assert_drivers_agree(
+        Box::new(TopRlGovernor::new(7)),
+        Box::new(TopRlGovernor::new(7)),
+    );
+}
+
+#[test]
+fn equivalence_gts_ondemand() {
+    assert_drivers_agree(
+        Box::new(LinuxGovernor::gts_ondemand()),
+        Box::new(LinuxGovernor::gts_ondemand()),
+    );
+}
+
+#[test]
+fn equivalence_gts_powersave() {
+    assert_drivers_agree(
+        Box::new(LinuxGovernor::gts_powersave()),
+        Box::new(LinuxGovernor::gts_powersave()),
+    );
+}
+
+#[test]
+fn equivalence_oracle() {
+    assert_drivers_agree(
+        Box::new(OracleGovernor::new(Cooling::fan())),
+        Box::new(OracleGovernor::new(Cooling::fan())),
+    );
+}
+
+#[test]
+fn equivalence_fleet_reports_and_csv() {
+    let model = fleet::fleet_model(0);
+    let config = FleetConfig {
+        boards: 6,
+        epochs: 16,
+        devices: 2,
+        max_batch: 8,
+        workers: 2,
+        seed: 11,
+        budget: par::Budget::serial(),
+    };
+    let lockstep = fleet::run_with_model_driver(&model, &config, SimDriver::Lockstep);
+    let event = fleet::run_with_model_driver(&model, &config, SimDriver::EventDriven);
+    assert_eq!(lockstep, event, "fleet reports diverged across drivers");
+    assert_eq!(
+        fleet_csv(&lockstep),
+        fleet_csv(&event),
+        "fleet CSV bytes diverged across drivers"
+    );
+}
+
+/// Sparse-workload regression: with far more barriers than work, the
+/// event kernel must *skip* idle board-epochs — strictly fewer handler
+/// visits than the lockstep `epochs x boards` grid — while reproducing
+/// the lockstep report bit for bit.
+#[test]
+fn sparse_fleet_skips_idle_barriers() {
+    let model = fleet::fleet_model(0);
+    // 4 boards x 160 epochs = 80 s of barriers; each board's four apps
+    // arrive within the first ~30 s and drain, leaving a long idle tail
+    // during which no barrier should fire at all.
+    let config = FleetConfig {
+        boards: 4,
+        epochs: 160,
+        devices: 2,
+        max_batch: 8,
+        workers: 2,
+        seed: 5,
+        budget: par::Budget::serial(),
+    };
+    let lockstep = fleet::run_with_model_driver(&model, &config, SimDriver::Lockstep);
+    let (event, kernel) = fleet::run_event_with_stats(&model, &config);
+
+    assert_eq!(lockstep, event, "sparse fleet reports diverged");
+    assert_eq!(kernel.lockstep_visits, config.epochs * config.boards as u64);
+    assert!(
+        kernel.board_epoch_visits < kernel.lockstep_visits,
+        "event driver must skip idle board-epochs: visited {} of {}",
+        kernel.board_epoch_visits,
+        kernel.lockstep_visits,
+    );
+    assert!(kernel.active_barriers < config.epochs);
+    assert_eq!(kernel.handler_invocations, kernel.active_barriers);
+
+    // The aggregates the paper cares about survive the skipping.
+    assert_eq!(lockstep.dropped, 0);
+    assert_eq!(lockstep.mismatches, 0);
+    let (la, ea): (Vec<_>, Vec<_>) = (
+        lockstep
+            .boards
+            .iter()
+            .map(|b| (b.avg_temp_c, b.violations))
+            .collect(),
+        event
+            .boards
+            .iter()
+            .map(|b| (b.avg_temp_c, b.violations))
+            .collect(),
+    );
+    assert_eq!(la, ea, "thermal and QoS aggregates diverged");
+}
+
+#[test]
+fn equivalence_overload_reports_and_csv() {
+    let config = OverloadConfig {
+        epochs: 5,
+        ..OverloadConfig::default()
+    };
+    let lockstep = overload::run_with_driver(&config, SimDriver::Lockstep);
+    let event = overload::run_with_driver(&config, SimDriver::EventDriven);
+    assert_eq!(lockstep, event, "overload reports diverged across drivers");
+    assert_eq!(
+        overload_csv(&lockstep),
+        overload_csv(&event),
+        "overload CSV bytes diverged across drivers"
+    );
+}
