@@ -106,3 +106,39 @@ if [ "$event_ms" -gt $(( lock_ms * 3 / 2 + 2000 )) ]; then
     exit 1
 fi
 echo "event-kernel gate passed (sparse fleet: ${lock_ms}ms lockstep, ${event_ms}ms event)"
+
+# Chaos gate: a seeded storm grid under the always-on invariant checker.
+# Every storm must finish with zero invariant violations, and the CSV
+# must be byte-identical across thread budgets (1 vs 4) and across the
+# event and lockstep drivers. FULL=1 widens the grid into a soak.
+chaos_args="--boards 8 --racks 2 --epochs 24 --seed 11 --threads 1"
+storms="crash-wave partition heartbeat slow-tier all"
+seeds="11"
+if [ "${FULL:-0}" = "1" ]; then
+    chaos_args="--boards 12 --racks 3 --epochs 80 --seed 11 --threads 1"
+    seeds="11 23 47"
+fi
+for storm in $storms; do
+    for seed in $seeds; do
+        args="$(echo "$chaos_args" | sed "s/--seed 11/--seed $seed/")"
+        # shellcheck disable=SC2086
+        "$experiments" chaos $args --storm "$storm" \
+            --out "$ckpt_tmp/chaos-$storm-$seed" >/dev/null 2>&1 || {
+            echo "chaos gate: storm $storm seed $seed violated an invariant" >&2; exit 1; }
+        chaos_csv="$ckpt_tmp/chaos-$storm-$seed/chaos.csv"
+        grep -q '^summary,,invariant_violations,0$' "$chaos_csv" || {
+            echo "chaos gate: storm $storm seed $seed reported violations" >&2; exit 1; }
+    done
+done
+# Determinism legs on the full preset: threads 1 vs 4, event vs lockstep.
+# shellcheck disable=SC2086
+"$experiments" chaos $chaos_args --storm all --threads 4 \
+    --out "$ckpt_tmp/chaos-t4" >/dev/null 2>&1
+diff "$ckpt_tmp/chaos-all-11/chaos.csv" "$ckpt_tmp/chaos-t4/chaos.csv" || {
+    echo "chaos gate: CSV diverged between --threads 1 and --threads 4" >&2; exit 1; }
+# shellcheck disable=SC2086
+"$experiments" chaos $chaos_args --storm all --driver lockstep \
+    --out "$ckpt_tmp/chaos-lock" >/dev/null 2>&1
+diff "$ckpt_tmp/chaos-all-11/chaos.csv" "$ckpt_tmp/chaos-lock/chaos.csv" || {
+    echo "chaos gate: CSV diverged between event and lockstep drivers" >&2; exit 1; }
+echo "chaos gate passed (storms: $storms; seeds: $seeds)"

@@ -11,6 +11,7 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use bench::chaos::StormPreset;
 use bench::error::BenchError;
 use bench::harness::{train_artifacts, Effort, TrainedArtifacts};
 use hikey_platform::SimDriver;
@@ -32,24 +33,33 @@ fn report_csv(result: Result<(), BenchError>) {
 
 const USAGE: &str = "\
 usage: experiments [--full] [--out <dir>] [--state <dir>] [--points <n>]
-                   [--boards <n>] [--epochs <n>] [--devices <n>]
-                   [--threads <n>] [--clients <n>] [--overload <x>]
-                   [--storm] [--driver <event|lockstep>] [COMMAND ...]
+                   [--boards <n>] [--racks <n>] [--epochs <n>] [--devices <n>]
+                   [--threads <n>] [--clients <n>] [--overload <x>] [--seed <n>]
+                   [--churn <period>] [--churn-down <epochs>]
+                   [--storm [preset]] [--driver <event|lockstep>] [COMMAND ...]
 
 Regenerates the paper's evaluation artifacts. Without a command (or with
 `all`) the whole suite runs. `--full` uses paper-scale parameters;
 `--out <dir>` additionally writes CSV data series. `--state <dir>` holds
 checkpoint snapshots for the resumable commands (`sweep`, `train`);
 `--points <n>` truncates the sweep grid to its first n points.
-`--boards`, `--epochs` and `--devices` size the `fleet` experiment;
+`--boards`, `--epochs` and `--devices` size the `fleet` experiment, and
+`--churn <period>` adds board churn to it (one seeded crash every
+`period` epochs, each lasting `--churn-down` epochs, default 2);
 `--clients`, `--epochs`, `--devices`, `--overload <x>` (arrival rate as a
-multiple of pool capacity) and `--storm` (add a device fault storm) size
-the `overload` experiment. `--threads <n>` sets the host-thread budget of
-`train`, `sweep`, `fleet` and `overload` (default: all available cores).
-Every command produces the same bytes at every thread count — the budget
-changes wall time only. `--driver` selects the simulation loop of `fleet`
-and `overload`: the `sim-core` event kernel (`event`, the default) or the
+multiple of pool capacity) and a bare `--storm` (add a device fault storm)
+size the `overload` experiment. `--boards`, `--racks`, `--epochs` and
+`--seed` size the `chaos` experiment; `--storm <preset>` picks its fault
+storm (`crash-wave`, `partition`, `heartbeat`, `slow-tier` or `all`).
+`--threads <n>` sets the host-thread budget of `train`, `sweep`, `fleet`,
+`overload` and `chaos` (default: all available cores). Every command
+produces the same bytes at every thread count — the budget changes wall
+time only. `--driver` selects the simulation loop of `fleet`, `overload`
+and `chaos`: the `sim-core` event kernel (`event`, the default) or the
 fixed-barrier reference (`lockstep`); both produce identical bytes.
+
+Unknown commands, unknown flags, and malformed flag values print this
+usage to stderr and exit with status 2.
 
 Diagnostics go to stderr; stdout carries only reports and CSV data, so
 `experiments fleet > fleet.csv` yields a clean machine-readable artifact.
@@ -77,10 +87,62 @@ commands:
   traces       structured event traces per governor (JSONL/CSV via --out)
   fleet        multi-board fleet sharing one batched NPU inference service
   overload     adversarial 10x-overload harness against the shared service
+  chaos        seeded fault storms under an always-on invariant checker
   sweep        crash-safe resumable robustness sweep (uses --state)
   train        crash-safe resumable IL training (uses --state)
   all          everything above except sweep and train
 ";
+
+/// Every recognized subcommand. `--storm`'s optional value is
+/// disambiguated against this list so `overload --storm` keeps working
+/// when a command name follows the bare flag.
+const COMMANDS: &[&str] = &[
+    "fig1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "model-eval",
+    "ablations",
+    "oracle-gap",
+    "sensitivity",
+    "robustness",
+    "traces",
+    "fleet",
+    "overload",
+    "chaos",
+    "sweep",
+    "train",
+    "all",
+];
+
+/// Rejects a malformed command line: the message and the usage text go to
+/// stderr and the process exits with status 2 (never a panic).
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}\n");
+    eprint!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// Consumes the value of `flag`, or exits 2 if the command line ends first.
+fn flag_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) => v.as_str(),
+        None => usage_error(&format!("flag `{flag}` needs a value")),
+    }
+}
+
+/// Consumes and parses the value of `flag`, or exits 2 on a malformed one.
+fn flag_number<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) -> T {
+    let v = flag_value(args, i, flag);
+    v.parse()
+        .unwrap_or_else(|_| usage_error(&format!("flag `{flag}` got a malformed value `{v}`")))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -91,56 +153,77 @@ fn main() {
         print!("{USAGE}");
         return;
     }
-    let full = args.iter().any(|a| a == "--full");
-    let flag_value = |flag: &str| {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-    };
-    let out: Option<PathBuf> = flag_value("--out").map(PathBuf::from);
-    let state: Option<PathBuf> = flag_value("--state").map(PathBuf::from);
-    let points: Option<usize> = flag_value("--points").and_then(|v| v.parse().ok());
-    let boards: Option<usize> = flag_value("--boards").and_then(|v| v.parse().ok());
-    let epochs: Option<u64> = flag_value("--epochs").and_then(|v| v.parse().ok());
-    let devices: Option<usize> = flag_value("--devices").and_then(|v| v.parse().ok());
-    let threads: Option<usize> = flag_value("--threads").and_then(|v| v.parse().ok());
-    let clients: Option<usize> = flag_value("--clients").and_then(|v| v.parse().ok());
-    let overload: Option<f64> = flag_value("--overload").and_then(|v| v.parse().ok());
-    let storm = args.iter().any(|a| a == "--storm");
-    let driver = match flag_value("--driver").map(String::as_str) {
-        None | Some("event") => SimDriver::EventDriven,
-        Some("lockstep") => SimDriver::Lockstep,
-        Some(other) => {
-            eprintln!("unknown --driver {other:?} (expected `event` or `lockstep`)");
-            std::process::exit(2);
+    let mut full = false;
+    let mut out: Option<PathBuf> = None;
+    let mut state: Option<PathBuf> = None;
+    let mut points: Option<usize> = None;
+    let mut boards: Option<usize> = None;
+    let mut racks: Option<usize> = None;
+    let mut epochs: Option<u64> = None;
+    let mut devices: Option<usize> = None;
+    let mut threads: Option<usize> = None;
+    let mut clients: Option<usize> = None;
+    let mut overload: Option<f64> = None;
+    let mut seed: Option<u64> = None;
+    let mut churn_period: Option<u64> = None;
+    let mut churn_down: Option<u64> = None;
+    let mut storm = false;
+    let mut storm_preset: Option<StormPreset> = None;
+    let mut driver = SimDriver::EventDriven;
+    let mut commands: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--full" => full = true,
+            "--out" => out = Some(PathBuf::from(flag_value(&args, &mut i, arg))),
+            "--state" => state = Some(PathBuf::from(flag_value(&args, &mut i, arg))),
+            "--points" => points = Some(flag_number(&args, &mut i, arg)),
+            "--boards" => boards = Some(flag_number(&args, &mut i, arg)),
+            "--racks" => racks = Some(flag_number(&args, &mut i, arg)),
+            "--epochs" => epochs = Some(flag_number(&args, &mut i, arg)),
+            "--devices" => devices = Some(flag_number(&args, &mut i, arg)),
+            "--threads" => threads = Some(flag_number(&args, &mut i, arg)),
+            "--clients" => clients = Some(flag_number(&args, &mut i, arg)),
+            "--overload" => overload = Some(flag_number(&args, &mut i, arg)),
+            "--seed" => seed = Some(flag_number(&args, &mut i, arg)),
+            "--churn" => churn_period = Some(flag_number(&args, &mut i, arg)),
+            "--churn-down" => churn_down = Some(flag_number(&args, &mut i, arg)),
+            "--driver" => match flag_value(&args, &mut i, arg) {
+                "event" => driver = SimDriver::EventDriven,
+                "lockstep" => driver = SimDriver::Lockstep,
+                other => usage_error(&format!(
+                    "unknown --driver `{other}` (expected `event` or `lockstep`)"
+                )),
+            },
+            "--storm" => match args.get(i + 1).map(String::as_str) {
+                // Bare `--storm` arms the overload fault storm; a value
+                // names the chaos preset. A preset name always binds
+                // (`all` is both a preset and a command — the preset
+                // reading wins); any other following command or flag
+                // leaves the flag bare.
+                Some(next) if StormPreset::parse(next).is_some() => {
+                    i += 1;
+                    storm_preset = StormPreset::parse(next);
+                }
+                Some(next) if !next.starts_with('-') && !COMMANDS.contains(&next) => {
+                    usage_error(&format!(
+                        "unknown --storm `{next}` (expected `crash-wave`, \
+                         `partition`, `heartbeat`, `slow-tier` or `all`)"
+                    ))
+                }
+                _ => storm = true,
+            },
+            _ if arg.starts_with('-') => usage_error(&format!("unknown flag `{arg}`")),
+            _ if COMMANDS.contains(&arg) => commands.push(arg),
+            other => usage_error(&format!("unknown experiment `{other}`")),
         }
-    };
+        i += 1;
+    }
     // No --threads means "use every core"; the result is bit-identical
     // either way.
     let budget = threads.map_or_else(par::Budget::auto, par::Budget::with_threads);
     let effort = if full { Effort::Full } else { Effort::Quick };
-    // Positional arguments are commands; skip flags and their values.
-    let value_indices: Vec<usize> = [
-        "--out",
-        "--state",
-        "--points",
-        "--boards",
-        "--epochs",
-        "--devices",
-        "--threads",
-        "--clients",
-        "--overload",
-        "--driver",
-    ]
-    .iter()
-    .filter_map(|f| args.iter().position(|a| a == f).map(|i| i + 1))
-    .collect();
-    let commands: Vec<&str> = args
-        .iter()
-        .enumerate()
-        .filter(|&(i, a)| !a.starts_with("--") && !value_indices.contains(&i))
-        .map(|(_, a)| a.as_str())
-        .collect();
     let commands: Vec<&str> = if commands.is_empty() || commands.contains(&"all") {
         vec![
             "fig1",
@@ -283,6 +366,12 @@ fn main() {
                 if let Some(n) = devices {
                     config.devices = n;
                 }
+                if let Some(period) = churn_period {
+                    config.churn = Some(bench::fleet::ChurnSpec {
+                        period,
+                        down: churn_down.unwrap_or(2),
+                    });
+                }
                 config.budget = budget;
                 eprintln!(
                     "fleet: {} boards x {} epochs on {} device(s), {} thread(s), {:?} driver ...",
@@ -328,6 +417,48 @@ fn main() {
                 let csv = bench::csv::overload_csv(&report);
                 print!("{csv}");
                 report_csv(write_csv(&out, "overload.csv", csv));
+            }
+            "chaos" => {
+                let mut config = bench::chaos::ChaosConfig::default();
+                if let Some(n) = boards {
+                    config.boards = n;
+                }
+                if let Some(n) = racks {
+                    config.racks = n;
+                }
+                if let Some(n) = epochs {
+                    config.epochs = n;
+                }
+                if let Some(n) = seed {
+                    config.seed = n;
+                }
+                if let Some(preset) = storm_preset {
+                    config.storm = preset;
+                }
+                config.budget = budget;
+                eprintln!(
+                    "chaos: `{}` storm over {} boards in {} racks x {} epochs, \
+                     seed {}, {} thread(s), {:?} driver ...",
+                    config.storm,
+                    config.boards,
+                    config.racks,
+                    config.epochs,
+                    config.seed,
+                    config.budget.effective_threads(),
+                    driver
+                );
+                let report = bench::chaos::run_with_driver(&config, driver);
+                eprintln!("{report}");
+                let csv = bench::csv::chaos_csv(&report);
+                print!("{csv}");
+                report_csv(write_csv(&out, "chaos.csv", csv));
+                if !report.violations.is_empty() {
+                    eprintln!(
+                        "chaos: {} invariant violation(s) — see the `violation` CSV rows",
+                        report.violations.len()
+                    );
+                    std::process::exit(1);
+                }
             }
             "sweep" => {
                 let model = bench::robustness::sweep_model(effort);

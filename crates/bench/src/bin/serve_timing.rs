@@ -130,6 +130,7 @@ fn main() {
         workers: 2,
         seed: 5,
         budget: par::Budget::serial(),
+        churn: None,
     };
     let (_, kernel) = fleet::run_event_with_stats(&model, &sparse);
     // Interleave the drivers within each sample pair so host-load noise

@@ -1,0 +1,798 @@
+//! Chaos harness: seeded fault storms against the two-tier `npu-serve`
+//! failover topology, under an always-on invariant checker.
+//!
+//! Each run drives per-board request streams through a
+//! [`npu_serve::TieredService`] (per-rack services, a regional tier, a
+//! local-CPU last rung) while a [`faults::FleetSchedule`] storm derived
+//! from the seed injects crash waves, rack partitions, heartbeat
+//! silence and regional slowdowns at barrier epochs. The
+//! [`InvariantChecker`] watches every request and breaker transition:
+//!
+//! * **request conservation** — every admitted request resolves exactly
+//!   once: a reply, or a typed failure (shed / deadline / failed-over),
+//! * **zero late replies** — a reply past its deadline is a violation;
+//!   the tier must fail typed instead,
+//! * **bounded hedge amplification** — at most `hedge_bound` hedges per
+//!   admitted request,
+//! * **legal breaker transitions** — only `Closed→Open`, `Open→HalfOpen`,
+//!   `HalfOpen→{Closed,Open}`, plus probation entries into `HalfOpen`,
+//!   each continuing from the scope's previous state,
+//! * **virtual-time monotonicity** — barrier instants strictly increase,
+//!   transition and completion times never run backwards.
+//!
+//! The run is deterministic: byte-identical CSV at every thread budget
+//! and on both the lockstep and the event-driven (`sim-core`) driver —
+//! the CI chaos gate diffs exactly that.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use faults::{BreakerState, FleetFault, FleetSchedule, StormBuilder};
+use hikey_platform::SimDriver;
+use hmc_types::{SimDuration, SimTime};
+use nn::{Matrix, Mlp};
+use npu_serve::{
+    ClientId, TierConfig, TierOutcome, TierScope, TierSubmit, TierTicket, TierTransition,
+    TieredService,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim_core::Kernel;
+
+/// Length of one chaos barrier epoch.
+const CHAOS_EPOCH: SimDuration = SimDuration::from_millis(100);
+/// Completion deadline attached to every request (past submission).
+const CHAOS_DEADLINE: SimDuration = SimDuration::from_millis(80);
+/// Hedge floor. Sits just under the typical rack latency (~6 ms) so
+/// tail-latency rack requests genuinely race the regional tier (a few
+/// percent of traffic hedges) while the p99-derived timeout takes over
+/// once the latency window fills.
+const CHAOS_HEDGE_MIN: SimDuration = SimDuration::from_millis(5);
+
+/// The seeded fault storm a chaos run injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StormPreset {
+    /// Two crash waves take boards out and bring them back.
+    CrashWave,
+    /// A rack is partitioned from the regional tier, then heals.
+    Partition,
+    /// A rack goes heartbeat-silent; the failure detector must notice.
+    Heartbeat,
+    /// The regional tier slows down, then recovers.
+    SlowTier,
+    /// All of the above, overlapped, plus steady board churn.
+    All,
+}
+
+impl StormPreset {
+    /// Every preset, in CLI/reporting order.
+    pub const ALL: [StormPreset; 5] = [
+        StormPreset::CrashWave,
+        StormPreset::Partition,
+        StormPreset::Heartbeat,
+        StormPreset::SlowTier,
+        StormPreset::All,
+    ];
+
+    /// The CLI name of this preset.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StormPreset::CrashWave => "crash-wave",
+            StormPreset::Partition => "partition",
+            StormPreset::Heartbeat => "heartbeat",
+            StormPreset::SlowTier => "slow-tier",
+            StormPreset::All => "all",
+        }
+    }
+
+    /// Parses a CLI name; `None` for unknown values (the caller prints
+    /// usage and exits 2 — never panics).
+    pub fn parse(name: &str) -> Option<StormPreset> {
+        StormPreset::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+impl fmt::Display for StormPreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of one chaos run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Boards generating requests (one per epoch while alive).
+    pub boards: usize,
+    /// Racks in the tier topology (boards map round-robin).
+    pub racks: usize,
+    /// 100 ms barrier epochs to simulate.
+    pub epochs: u64,
+    /// Master seed of the storm schedule and the payloads.
+    pub seed: u64,
+    /// The fault storm to inject.
+    pub storm: StormPreset,
+    /// Most hedges allowed per admitted request before the checker
+    /// flags amplification.
+    pub hedge_bound: f64,
+    /// Host-thread budget for payload generation; the report and CSV
+    /// are byte-identical at every budget.
+    pub budget: par::Budget,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            boards: 12,
+            racks: 3,
+            epochs: 40,
+            seed: 11,
+            storm: StormPreset::All,
+            hedge_bound: 1.0,
+            budget: par::Budget::serial(),
+        }
+    }
+}
+
+/// Aggregate result of a chaos run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// The configuration that produced this report.
+    pub config: ChaosConfig,
+    /// Timed fault events the storm injected.
+    pub storm_events: u64,
+    /// Requests submitted to the tier.
+    pub submitted: u64,
+    /// Requests answered with a reply (any rung).
+    pub replies: u64,
+    /// Requests that ended in a typed failure.
+    pub failed: u64,
+    /// Replies served by the board's own rack service.
+    pub rack_served: u64,
+    /// Replies served by the regional tier.
+    pub regional_served: u64,
+    /// Replies served by the local-CPU last rung.
+    pub cpu_served: u64,
+    /// Requests routed past their primary rack (crash, partition,
+    /// suspicion, open breaker, or admission back-pressure).
+    pub failovers: u64,
+    /// Hedged requests (regional duplicate fired on the p99 timeout).
+    pub hedges: u64,
+    /// Hedges that beat the rack reply.
+    pub hedge_wins: u64,
+    /// Hedges per admitted request.
+    pub hedge_overhead: f64,
+    /// Heartbeats the failure detector processed.
+    pub heartbeats: u64,
+    /// Racks the detector declared suspect.
+    pub suspects: u64,
+    /// Suspected racks that recovered.
+    pub recoveries: u64,
+    /// Mean failure-detection latency (silence start → suspicion).
+    pub detection_latency_avg: SimDuration,
+    /// Worst-case failure-detection latency.
+    pub detection_latency_max: SimDuration,
+    /// Tier breaker transitions observed.
+    pub breaker_transitions: u64,
+    /// Median reply latency.
+    pub p50: SimDuration,
+    /// 99th-percentile reply latency.
+    pub p99: SimDuration,
+    /// Fraction of board-epochs the fleet was up under the storm.
+    pub availability: f64,
+    /// Invariant violations (the gate requires none).
+    pub violations: Vec<String>,
+}
+
+impl fmt::Display for ChaosReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Chaos `{}`: {} boards / {} racks x {} epochs, {} storm events",
+            self.config.storm,
+            self.config.boards,
+            self.config.racks,
+            self.config.epochs,
+            self.storm_events
+        )?;
+        writeln!(
+            f,
+            "  requests: {} submitted -> {} replies + {} typed failures ({} failovers, availability {:.4})",
+            self.submitted, self.replies, self.failed, self.failovers, self.availability
+        )?;
+        writeln!(
+            f,
+            "  rungs:    {} rack / {} regional / {} cpu, p50 {} p99 {}",
+            self.rack_served, self.regional_served, self.cpu_served, self.p50, self.p99
+        )?;
+        writeln!(
+            f,
+            "  hedges:   {} fired ({} won, {:.3} per request)",
+            self.hedges, self.hedge_wins, self.hedge_overhead
+        )?;
+        writeln!(
+            f,
+            "  detector: {} beats, {} suspects, {} recoveries, detection avg {} max {}",
+            self.heartbeats,
+            self.suspects,
+            self.recoveries,
+            self.detection_latency_avg,
+            self.detection_latency_max
+        )?;
+        writeln!(
+            f,
+            "  invariants: {} violations ({} breaker transitions checked)",
+            self.violations.len(),
+            self.breaker_transitions
+        )?;
+        for violation in &self.violations {
+            writeln!(f, "    VIOLATION: {violation}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Always-on invariant checker fed during the run; violations are
+/// collected (never panicking) so the report and CSV stay comparable
+/// across drivers even when an invariant breaks.
+#[derive(Debug)]
+pub struct InvariantChecker {
+    hedge_bound: f64,
+    submitted: u64,
+    resolved: u64,
+    violations: Vec<String>,
+    /// Last observed breaker state and transition instant per scope;
+    /// `(0, rack)` for racks, `(1, 0)` for the regional tier. Scopes
+    /// start `Closed` at time zero. Monotonicity is per scope: two
+    /// components may legitimately move at interleaved instants, but one
+    /// component's history never runs backwards.
+    breaker_last: BTreeMap<(u8, usize), (BreakerState, SimTime)>,
+    last_barrier: Option<SimTime>,
+}
+
+/// A scope's map key — racks and the regional tier share one table.
+fn scope_key(scope: TierScope) -> (u8, usize) {
+    match scope {
+        TierScope::Rack(rack) => (0, rack),
+        TierScope::Regional => (1, 0),
+    }
+}
+
+/// Whether a breaker edge is legal. Probation entries (a rejoining
+/// board's rack) may come from any state but must land in `HalfOpen`.
+fn legal_edge(from: BreakerState, to: BreakerState, probation: bool) -> bool {
+    if probation {
+        return to == BreakerState::HalfOpen;
+    }
+    matches!(
+        (from, to),
+        (BreakerState::Closed, BreakerState::Open)
+            | (BreakerState::Open, BreakerState::HalfOpen)
+            | (BreakerState::HalfOpen, BreakerState::Closed)
+            | (BreakerState::HalfOpen, BreakerState::Open)
+    )
+}
+
+impl InvariantChecker {
+    /// A checker allowing at most `hedge_bound` hedges per request.
+    pub fn new(hedge_bound: f64) -> Self {
+        InvariantChecker {
+            hedge_bound,
+            submitted: 0,
+            resolved: 0,
+            violations: Vec::new(),
+            breaker_last: BTreeMap::new(),
+            last_barrier: None,
+        }
+    }
+
+    /// Records an admitted submission.
+    pub fn observe_submit(&mut self) {
+        self.submitted += 1;
+    }
+
+    /// Checks one barrier instant: virtual time must move strictly
+    /// forward.
+    pub fn observe_barrier(&mut self, at: SimTime) {
+        if let Some(last) = self.last_barrier {
+            if at <= last {
+                self.violations
+                    .push(format!("barrier time went backwards: {last} -> {at}"));
+            }
+        }
+        self.last_barrier = Some(at);
+    }
+
+    /// Checks one resolved request: exactly-once (the caller redeems
+    /// each ticket once; a missing outcome is reported by the caller),
+    /// no late replies, completion not before submission.
+    pub fn observe_outcome(
+        &mut self,
+        submit_at: SimTime,
+        deadline: Option<SimTime>,
+        outcome: &TierOutcome,
+    ) {
+        self.resolved += 1;
+        if let TierOutcome::Reply(reply) = outcome {
+            if reply.completed_at < submit_at {
+                self.violations.push(format!(
+                    "reply completed at {} before its submission at {}",
+                    reply.completed_at, submit_at
+                ));
+            }
+            if let Some(deadline) = deadline {
+                if reply.completed_at > deadline {
+                    self.violations.push(format!(
+                        "late reply delivered: completed {} past deadline {}",
+                        reply.completed_at, deadline
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Records a ticket that never produced an outcome — a conservation
+    /// violation in itself.
+    pub fn observe_lost_ticket(&mut self, submit_at: SimTime) {
+        self.violations.push(format!(
+            "request submitted at {submit_at} has no outcome after the flush"
+        ));
+    }
+
+    /// Checks a drained batch of tier breaker transitions: legal edges,
+    /// continuity with the scope's previous state, monotone timestamps.
+    pub fn observe_transitions(&mut self, transitions: &[TierTransition]) {
+        for t in transitions {
+            let key = scope_key(t.scope);
+            let (last_state, last_at) = *self
+                .breaker_last
+                .get(&key)
+                .unwrap_or(&(BreakerState::Closed, SimTime::ZERO));
+            if t.at < last_at {
+                self.violations.push(format!(
+                    "breaker {:?} transition time went backwards: {} -> {}",
+                    t.scope, last_at, t.at
+                ));
+            }
+            if t.from != last_state {
+                self.violations.push(format!(
+                    "breaker {:?} transition from {:?} does not continue from {:?}",
+                    t.scope, t.from, last_state
+                ));
+            }
+            if !legal_edge(t.from, t.to, t.probation) {
+                self.violations.push(format!(
+                    "illegal breaker edge {:?}: {:?} -> {:?} (probation {})",
+                    t.scope, t.from, t.to, t.probation
+                ));
+            }
+            self.breaker_last.insert(key, (t.to, t.at.max(last_at)));
+        }
+    }
+
+    /// Final conservation and amplification checks against the tier's
+    /// own counters; returns the collected violations.
+    pub fn finish(mut self, stats: &npu_serve::TierStats) -> Vec<String> {
+        if self.resolved != self.submitted {
+            self.violations.push(format!(
+                "conservation: {} submitted but {} resolved",
+                self.submitted, self.resolved
+            ));
+        }
+        if stats.replies + stats.failed != stats.submitted {
+            self.violations.push(format!(
+                "conservation (tier stats): {} replies + {} failed != {} submitted",
+                stats.replies, stats.failed, stats.submitted
+            ));
+        }
+        let allowed = (self.hedge_bound * stats.submitted as f64).floor() as u64;
+        if stats.hedges > allowed {
+            self.violations.push(format!(
+                "hedge amplification: {} hedges exceed {} allowed ({} submitted, bound {})",
+                stats.hedges, allowed, stats.submitted, self.hedge_bound
+            ));
+        }
+        self.violations
+    }
+}
+
+/// Derives the storm schedule from the preset. Epoch anchors scale with
+/// the run length so every preset stays meaningful at any `--epochs`.
+fn storm_schedule(config: &ChaosConfig) -> FleetSchedule {
+    let e = config.epochs;
+    let quarter = (e / 4).max(1);
+    let builder = StormBuilder::new(config.seed, config.boards, e);
+    let builder = match config.storm {
+        StormPreset::CrashWave => builder
+            .crash_wave(quarter, (config.boards / 3).max(1), quarter)
+            .crash_wave(3 * quarter, (config.boards / 4).max(1), quarter),
+        StormPreset::Partition => builder.rack_partition(0, quarter, quarter),
+        StormPreset::Heartbeat => builder.heartbeat_loss(0, quarter, quarter),
+        StormPreset::SlowTier => builder.slow_tier(3.0, quarter, 2 * quarter),
+        StormPreset::All => builder
+            .crash_wave(quarter, (config.boards / 3).max(1), quarter)
+            .rack_partition(0, quarter, quarter)
+            .heartbeat_loss(config.racks.saturating_sub(1), 2 * quarter, quarter)
+            .slow_tier(3.0, 2 * quarter, quarter)
+            .churn(5, 3),
+    };
+    builder.build()
+}
+
+/// One planned request.
+struct Arrival {
+    board: usize,
+    at: SimTime,
+    deadline: SimTime,
+    payload_seed: u64,
+    rows: usize,
+}
+
+/// The immutable plan shared by both drivers.
+struct Plan {
+    schedule: FleetSchedule,
+    arrivals: Vec<Arrival>,
+    payloads: Vec<Matrix>,
+    /// Arrival index ranges per epoch (arrivals are stored epoch-major,
+    /// time-sorted within each epoch).
+    epoch_ranges: Vec<(usize, usize)>,
+}
+
+/// splitmix64 — the same pure hash the storm builder uses.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A payload as a pure function of its seed.
+fn payload(seed: u64, rows: usize, width: usize) -> Matrix {
+    let mut flat = Vec::with_capacity(rows * width);
+    for i in 0..rows * width {
+        let draw = splitmix64(seed ^ (i as u64) << 1);
+        flat.push((draw % 2_000) as f32 / 1_000.0 - 1.0);
+    }
+    Matrix::from_flat(rows, width, flat)
+}
+
+/// Plans the whole run: one request per alive board per epoch (alive is
+/// pure schedule data), jittered inside the epoch, time-sorted.
+fn plan(config: &ChaosConfig, width: usize) -> Plan {
+    let schedule = storm_schedule(config);
+    let epoch_ns = CHAOS_EPOCH.as_nanos();
+    let mut arrivals = Vec::new();
+    let mut epoch_ranges = Vec::with_capacity(config.epochs as usize);
+    for epoch in 0..config.epochs {
+        let start = arrivals.len();
+        let base = SimTime::from_nanos(epoch * epoch_ns);
+        let mut batch: Vec<Arrival> = (0..config.boards)
+            .filter(|&board| schedule.alive(board, epoch))
+            .map(|board| {
+                let seed = splitmix64(config.seed ^ (epoch << 24) ^ ((board as u64) << 4));
+                let at = base + SimDuration::from_nanos(seed % (epoch_ns / 2));
+                Arrival {
+                    board,
+                    at,
+                    deadline: at + CHAOS_DEADLINE,
+                    payload_seed: seed,
+                    rows: 1 + (seed % 2) as usize,
+                }
+            })
+            .collect();
+        // The tier clock is nondecreasing between flushes: submit in
+        // time order (board index breaks ties deterministically).
+        batch.sort_by_key(|a| (a.at, a.board));
+        arrivals.extend(batch);
+        epoch_ranges.push((start, arrivals.len()));
+    }
+    let payloads = par::par_map(&config.budget, &arrivals, |_, a| {
+        payload(a.payload_seed, a.rows, width)
+    });
+    Plan {
+        schedule,
+        arrivals,
+        payloads,
+        epoch_ranges,
+    }
+}
+
+/// Mutable run state threaded through epoch processing.
+struct ChaosState {
+    service: TieredService,
+    checker: InvariantChecker,
+    /// Reply latencies in resolution order (per-epoch, time-sorted).
+    latencies: Vec<SimDuration>,
+    transitions: u64,
+}
+
+/// Maps a board to its rack, round-robin.
+fn rack_of(board: usize, racks: usize) -> usize {
+    board % racks
+}
+
+/// Applies the storm's fault events due at this epoch to the tier.
+fn apply_storm(service: &mut TieredService, plan: &Plan, racks: usize, epoch: u64, now: SimTime) {
+    for event in plan.schedule.events_at(epoch) {
+        match event.fault {
+            // A crashed board simply stops submitting (the plan already
+            // excludes it); its rejoin puts the rack breaker on
+            // probation — the half-open re-entry the breaker-ladder
+            // tests pin down.
+            FleetFault::BoardCrash { .. } => {}
+            FleetFault::BoardRejoin { board } => {
+                service.begin_rack_probation(rack_of(board, racks), now);
+            }
+            FleetFault::RackPartition { rack } => service.set_partitioned(rack % racks, true),
+            FleetFault::RackHeal { rack } => service.set_partitioned(rack % racks, false),
+            FleetFault::HeartbeatLoss { rack } => {
+                service.set_heartbeat_silent(rack % racks, true, now);
+            }
+            FleetFault::HeartbeatRestore { rack } => {
+                service.set_heartbeat_silent(rack % racks, false, now);
+            }
+            FleetFault::TierSlow { factor_milli } => service.set_tier_slowdown(factor_milli),
+            FleetFault::TierRecover => service.set_tier_slowdown(1_000),
+        }
+    }
+}
+
+/// Processes one barrier epoch — storm events, submissions, the flush,
+/// outcome resolution, transition checks. Identical for both drivers.
+fn process_epoch(plan: &Plan, config: &ChaosConfig, state: &mut ChaosState, epoch: u64) {
+    let base = SimTime::from_nanos(epoch * CHAOS_EPOCH.as_nanos());
+    let barrier = base + CHAOS_EPOCH;
+    state.checker.observe_barrier(barrier);
+    apply_storm(&mut state.service, plan, config.racks, epoch, base);
+
+    let (start, end) = plan.epoch_ranges[epoch as usize];
+    let mut tickets: Vec<(TierTicket, usize)> = Vec::with_capacity(end - start);
+    for idx in start..end {
+        let arrival = &plan.arrivals[idx];
+        let ticket = state
+            .service
+            .submit(
+                plan.payloads[idx].clone(),
+                arrival.at,
+                TierSubmit {
+                    rack: rack_of(arrival.board, config.racks),
+                    client: ClientId::new(arrival.board as u64),
+                    deadline: Some(arrival.deadline),
+                },
+            )
+            .expect("chaos payloads are valid");
+        state.checker.observe_submit();
+        tickets.push((ticket, idx));
+    }
+    state.service.flush(barrier);
+
+    for (ticket, idx) in tickets {
+        let arrival = &plan.arrivals[idx];
+        match state.service.take_outcome(ticket) {
+            Some(outcome) => {
+                if let TierOutcome::Reply(reply) = &outcome {
+                    state.latencies.push(reply.latency);
+                }
+                state
+                    .checker
+                    .observe_outcome(arrival.at, Some(arrival.deadline), &outcome);
+            }
+            None => state.checker.observe_lost_ticket(arrival.at),
+        }
+    }
+    let transitions = state.service.drain_transitions();
+    state.transitions += transitions.len() as u64;
+    state.checker.observe_transitions(&transitions);
+}
+
+/// Runs the chaos experiment on the default (event-driven) driver.
+///
+/// # Panics
+///
+/// Panics on a zero board, rack or epoch count.
+pub fn run(config: &ChaosConfig) -> ChaosReport {
+    run_with_driver(config, SimDriver::default())
+}
+
+/// Runs the chaos experiment on an explicitly chosen driver. Both
+/// produce identical reports (and byte-identical CSV): the lockstep
+/// reference iterates the barrier epochs; the event driver hosts one
+/// kernel event per epoch on the `sim-core` queue.
+///
+/// # Panics
+///
+/// Panics on a zero board, rack or epoch count.
+pub fn run_with_driver(config: &ChaosConfig, driver: SimDriver) -> ChaosReport {
+    assert!(config.boards > 0, "need at least one board");
+    assert!(config.racks > 0, "need at least one rack");
+    assert!(config.epochs > 0, "need at least one epoch");
+    let mlp = Mlp::with_topology(21, 4, 64, 8, &mut StdRng::seed_from_u64(config.seed));
+    let tier_config = TierConfig {
+        racks: config.racks,
+        hedge_min: CHAOS_HEDGE_MIN,
+        breaker_threshold: 2,
+        breaker_cooldown: 3,
+        ..TierConfig::default()
+    };
+    let the_plan = plan(config, mlp.input_size());
+    let mut state = ChaosState {
+        service: TieredService::new(&mlp, tier_config),
+        checker: InvariantChecker::new(config.hedge_bound),
+        latencies: Vec::new(),
+        transitions: 0,
+    };
+
+    match driver {
+        SimDriver::Lockstep => {
+            for epoch in 0..config.epochs {
+                process_epoch(&the_plan, config, &mut state, epoch);
+            }
+        }
+        SimDriver::EventDriven => {
+            let plan_ref = &the_plan;
+            let mut kernel: Kernel<u64, ChaosState> = Kernel::new(config.seed);
+            let driver_id = kernel.register("chaos-barrier", |state: &mut ChaosState, _, event| {
+                process_epoch(plan_ref, config, state, event.payload);
+            });
+            for epoch in 0..config.epochs {
+                let at = SimTime::from_nanos(epoch * CHAOS_EPOCH.as_nanos()) + CHAOS_EPOCH;
+                kernel.scheduler().schedule(at, driver_id, 0, epoch);
+            }
+            kernel.run_to_idle(&mut state);
+        }
+    }
+
+    let ChaosState {
+        mut service,
+        checker,
+        mut latencies,
+        transitions,
+    } = state;
+    let stats = *service.stats();
+    // Drain the per-service trace streams so a longer pipeline behind
+    // the harness can consume them; the chaos report only needs counts.
+    let _ = service.drain_service_events();
+    let violations = checker.finish(&stats);
+
+    latencies.sort_unstable();
+    let percentile = |q: f64| -> SimDuration {
+        if latencies.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let rank = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[rank]
+    };
+
+    let down: u64 = (0..config.boards)
+        .map(|board| {
+            the_plan
+                .schedule
+                .down_spans(board)
+                .into_iter()
+                .map(|(from, until)| until.min(config.epochs) - from)
+                .sum::<u64>()
+        })
+        .sum();
+    let total = config.boards as u64 * config.epochs;
+
+    ChaosReport {
+        config: *config,
+        storm_events: the_plan.schedule.events().len() as u64,
+        submitted: stats.submitted,
+        replies: stats.replies,
+        failed: stats.failed,
+        rack_served: stats.rack_served,
+        regional_served: stats.regional_served,
+        cpu_served: stats.cpu_served,
+        failovers: stats.failovers,
+        hedges: stats.hedges,
+        hedge_wins: stats.hedge_wins,
+        hedge_overhead: if stats.submitted > 0 {
+            stats.hedges as f64 / stats.submitted as f64
+        } else {
+            0.0
+        },
+        heartbeats: stats.heartbeats,
+        suspects: stats.suspects,
+        recoveries: stats.recoveries,
+        detection_latency_avg: stats
+            .detection_latency_total
+            .as_nanos()
+            .checked_div(stats.suspects)
+            .map(SimDuration::from_nanos)
+            .unwrap_or(SimDuration::ZERO),
+        detection_latency_max: stats.detection_latency_max,
+        breaker_transitions: transitions,
+        p50: percentile(0.50),
+        p99: percentile(0.99),
+        availability: 1.0 - down as f64 / total as f64,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(storm: StormPreset) -> ChaosConfig {
+        ChaosConfig {
+            boards: 8,
+            racks: 2,
+            epochs: 20,
+            seed: 5,
+            storm,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_storm_holds_the_invariants() {
+        for storm in StormPreset::ALL {
+            let report = run(&small(storm));
+            assert!(
+                report.violations.is_empty(),
+                "storm `{storm}` violated invariants: {:?}",
+                report.violations
+            );
+            assert!(report.submitted > 0, "storm `{storm}` submitted nothing");
+            assert_eq!(
+                report.replies + report.failed,
+                report.submitted,
+                "storm `{storm}` lost requests"
+            );
+        }
+    }
+
+    #[test]
+    fn drivers_agree_and_budgets_are_invisible() {
+        let config = small(StormPreset::All);
+        let lockstep = run_with_driver(&config, SimDriver::Lockstep);
+        let event = run_with_driver(&config, SimDriver::EventDriven);
+        assert_eq!(lockstep, event, "chaos drivers must agree");
+        let threaded_cfg = ChaosConfig {
+            budget: par::Budget::with_threads(4),
+            ..config
+        };
+        let mut threaded = run_with_driver(&threaded_cfg, SimDriver::Lockstep);
+        threaded.config = config;
+        assert_eq!(threaded, lockstep, "chaos must be budget-invariant");
+    }
+
+    #[test]
+    fn heartbeat_storm_detects_and_recovers() {
+        let report = run(&small(StormPreset::Heartbeat));
+        assert!(report.suspects > 0, "silent rack must be suspected");
+        assert!(report.recoveries > 0, "restored rack must recover");
+        assert!(
+            report.detection_latency_max > SimDuration::ZERO,
+            "detection latency must be measured"
+        );
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn crash_wave_costs_availability_but_conserves_requests() {
+        let report = run(&small(StormPreset::CrashWave));
+        assert!(report.availability < 1.0);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.replies + report.failed, report.submitted);
+    }
+
+    #[test]
+    fn checker_flags_illegal_edges_and_late_replies() {
+        let mut checker = InvariantChecker::new(1.0);
+        checker.observe_transitions(&[TierTransition {
+            at: SimTime::ZERO,
+            scope: TierScope::Regional,
+            from: BreakerState::Closed,
+            to: BreakerState::HalfOpen,
+            probation: false,
+        }]);
+        let violations = checker.finish(&npu_serve::TierStats::default());
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("illegal breaker edge")),
+            "{violations:?}"
+        );
+    }
+}

@@ -4,6 +4,7 @@ use std::fmt::Write as _;
 
 use hmc_types::Cluster;
 
+use crate::chaos::ChaosReport;
 use crate::fig10::Fig10Report;
 use crate::fig11::Fig11Report;
 use crate::fig8::Fig8Report;
@@ -182,6 +183,16 @@ pub fn fleet_csv(report: &FleetReport) -> String {
     summary("throughput_rps", format!("{:.4}", report.throughput_rps));
     summary("mismatches", report.mismatches.to_string());
     summary("saturation_events", report.saturation_events.to_string());
+    summary("churn_events", report.churn_events.to_string());
+    summary(
+        "reassigned_inflight",
+        report.reassigned_inflight.to_string(),
+    );
+    summary(
+        "checkpoint_restores",
+        report.checkpoint_restores.to_string(),
+    );
+    summary("availability", format!("{:.6}", report.availability));
     for (n, &count) in report.batch_histogram.iter().enumerate() {
         if count > 0 {
             let _ = writeln!(out, "hist,{n},batches,{count}");
@@ -196,6 +207,10 @@ pub fn fleet_csv(report: &FleetReport) -> String {
         let _ = writeln!(out, "board,{i},migrations,{}", b.migrations);
         let _ = writeln!(out, "board,{i},degraded_epochs,{}", b.degraded_epochs);
         let _ = writeln!(out, "board,{i},fallback_epochs,{}", b.fallback_epochs);
+        let _ = writeln!(out, "board,{i},crashes,{}", b.crashes);
+        let _ = writeln!(out, "board,{i},down_epochs,{}", b.down_epochs);
+        let _ = writeln!(out, "board,{i},reassigned,{}", b.reassigned);
+        let _ = writeln!(out, "board,{i},adopted_arrivals,{}", b.adopted_arrivals);
     }
     out
 }
@@ -248,6 +263,60 @@ pub fn overload_csv(report: &OverloadReport) -> String {
         let _ = writeln!(out, "epoch,{i},served,{}", epoch.served);
         let _ = writeln!(out, "epoch,{i},shed,{}", epoch.shed);
         let _ = writeln!(out, "epoch,{i},expired,{}", epoch.expired);
+    }
+    out
+}
+
+/// Chaos rows, long format: `section,index,metric,value`.
+///
+/// Two sections: `summary` (whole-storm metrics, index empty) and
+/// `violation` (index = violation number, one row per invariant breach —
+/// absent when the run is clean). The chaos CI gate greps
+/// `summary,,invariant_violations,0` and diffs the full output across
+/// thread budgets and drivers, so every value must be byte-deterministic
+/// for a given [`crate::chaos::ChaosConfig`].
+pub fn chaos_csv(report: &ChaosReport) -> String {
+    let mut out = String::from("section,index,metric,value\n");
+    let mut summary = |metric: &str, value: String| {
+        let _ = writeln!(out, "summary,,{metric},{value}");
+    };
+    summary("storm", report.config.storm.name().to_string());
+    summary("boards", report.config.boards.to_string());
+    summary("racks", report.config.racks.to_string());
+    summary("epochs", report.config.epochs.to_string());
+    summary("seed", report.config.seed.to_string());
+    summary("storm_events", report.storm_events.to_string());
+    summary("submitted", report.submitted.to_string());
+    summary("replies", report.replies.to_string());
+    summary("failed", report.failed.to_string());
+    summary("rack_served", report.rack_served.to_string());
+    summary("regional_served", report.regional_served.to_string());
+    summary("cpu_served", report.cpu_served.to_string());
+    summary("failovers", report.failovers.to_string());
+    summary("hedges", report.hedges.to_string());
+    summary("hedge_wins", report.hedge_wins.to_string());
+    summary("hedge_overhead", format!("{:.6}", report.hedge_overhead));
+    summary("heartbeats", report.heartbeats.to_string());
+    summary("suspects", report.suspects.to_string());
+    summary("recoveries", report.recoveries.to_string());
+    summary(
+        "detection_avg_ms",
+        format!("{:.6}", report.detection_latency_avg.as_secs_f64() * 1e3),
+    );
+    summary(
+        "detection_max_ms",
+        format!("{:.6}", report.detection_latency_max.as_secs_f64() * 1e3),
+    );
+    summary(
+        "breaker_transitions",
+        report.breaker_transitions.to_string(),
+    );
+    summary("p50_ms", format!("{:.6}", report.p50.as_secs_f64() * 1e3));
+    summary("p99_ms", format!("{:.6}", report.p99.as_secs_f64() * 1e3));
+    summary("availability", format!("{:.6}", report.availability));
+    summary("invariant_violations", report.violations.len().to_string());
+    for (i, violation) in report.violations.iter().enumerate() {
+        let _ = writeln!(out, "violation,{i},text,{}", field(violation));
     }
     out
 }
@@ -329,6 +398,22 @@ mod tests {
             "0.2,0.1,true,31.250,44.500,1,12,0,7,30,2,3"
         );
         assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn chaos_csv_carries_the_gate_row() {
+        let config = crate::chaos::ChaosConfig {
+            boards: 6,
+            racks: 2,
+            epochs: 10,
+            seed: 3,
+            ..crate::chaos::ChaosConfig::default()
+        };
+        let csv = chaos_csv(&crate::chaos::run(&config));
+        assert!(csv.starts_with("section,index,metric,value\n"));
+        assert!(csv.contains("\nsummary,,invariant_violations,0\n"));
+        assert!(csv.contains("\nsummary,,storm,all\n"));
+        assert!(!csv.contains("\nviolation,"));
     }
 
     #[test]

@@ -31,7 +31,11 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use checkpoint::CheckpointStore;
+use faults::{FleetFault, FleetSchedule, StormBuilder};
 use hikey_platform::{default_placement, Platform, PlatformConfig, SimDriver};
 use hmc_types::{SimDuration, SimTime};
 use npu::{NpuDevice, NpuModel};
@@ -68,6 +72,27 @@ pub struct FleetConfig {
     /// to the next barrier independently; the report and CSV are
     /// byte-identical at every budget.
     pub budget: par::Budget,
+    /// Seeded board churn: boards crash, drain and later rejoin on a
+    /// fixed cadence (see [`ChurnSpec`]). `None` runs a stable fleet.
+    pub churn: Option<ChurnSpec>,
+}
+
+/// Periodic crash/rejoin churn injected into a fleet run.
+///
+/// The schedule itself is derived from the fleet seed through the
+/// [`faults::StormBuilder`] fleet-fault family, so the same configuration
+/// always crashes the same boards at the same epochs. A crashed board's
+/// in-flight request is absorbed by its next alive sibling, its running
+/// applications are killed (drained at the crash instant), its pending
+/// arrivals are rerouted to the sibling, and its policy is checkpointed
+/// through the `checkpoint` crate; on rejoin the policy is restored from
+/// that checkpoint and the board's deferred platform ticks are replayed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnSpec {
+    /// A crash is drawn every `period` epochs (the first at `period`).
+    pub period: u64,
+    /// Epochs a crashed board stays down before rejoining.
+    pub down: u64,
 }
 
 impl Default for FleetConfig {
@@ -80,6 +105,7 @@ impl Default for FleetConfig {
             workers: 4,
             seed: 7,
             budget: par::Budget::serial(),
+            churn: None,
         }
     }
 }
@@ -103,6 +129,14 @@ pub struct BoardOutcome {
     pub degraded_epochs: u64,
     /// Epochs served by a CPU fallback path.
     pub fallback_epochs: u64,
+    /// Times this board crashed out of the fleet.
+    pub crashes: u64,
+    /// Epochs this board spent down (crashed, not yet rejoined).
+    pub down_epochs: u64,
+    /// In-flight sibling requests this board absorbed at a crash barrier.
+    pub reassigned: u64,
+    /// Pending arrivals rerouted to this board from crashed siblings.
+    pub adopted_arrivals: u64,
 }
 
 /// Aggregate result of a fleet run.
@@ -144,6 +178,16 @@ pub struct FleetReport {
     pub mismatches: u64,
     /// `QueueSaturated` events the service emitted.
     pub saturation_events: u64,
+    /// Timed fleet-fault events in the churn schedule (zero without
+    /// churn).
+    pub churn_events: u64,
+    /// In-flight requests absorbed by a sibling at a crash barrier.
+    pub reassigned_inflight: u64,
+    /// Policies restored from a crash-time checkpoint on rejoin.
+    pub checkpoint_restores: u64,
+    /// Fraction of board-epochs the fleet was up:
+    /// `1 - down_board_epochs / (boards * epochs)`.
+    pub availability: f64,
     /// Per-board QoS/thermal outcomes.
     pub boards: Vec<BoardOutcome>,
 }
@@ -180,6 +224,14 @@ impl fmt::Display for FleetReport {
                 writeln!(f, "    {n:>3} requests: {count}")?;
             }
         }
+        if self.churn_events > 0 {
+            let crashes: u64 = self.boards.iter().map(|b| b.crashes).sum();
+            writeln!(
+                f,
+                "  churn: {} crashes, availability {:.4}, {} in-flight reassigned, {} checkpoint restores",
+                crashes, self.availability, self.reassigned_inflight, self.checkpoint_restores
+            )?;
+        }
         let violations: usize = self.boards.iter().map(|b| b.violations).sum();
         let executions: usize = self.boards.iter().map(|b| b.executions).sum();
         let degraded: u64 = self.boards.iter().map(|b| b.degraded_epochs).sum();
@@ -205,6 +257,13 @@ struct Board {
     migrations: u64,
     degraded_epochs: u64,
     fallback_epochs: u64,
+    /// False while the board is crashed out of the fleet. Dead boards
+    /// take no barriers; their platform ticks replay on rejoin (or at the
+    /// final catch-up), exactly like dormant idle boards.
+    alive: bool,
+    crashes: u64,
+    reassigned: u64,
+    adopted_arrivals: u64,
 }
 
 /// Trains the small IL model the fleet deploys on every board.
@@ -327,9 +386,171 @@ fn make_boards(model: &IlModel, config: &FleetConfig, serve: &ServeConfig) -> Ve
                 migrations: 0,
                 degraded_epochs: 0,
                 fallback_epochs: 0,
+                alive: true,
+                crashes: 0,
+                reassigned: 0,
+                adopted_arrivals: 0,
             }
         })
         .collect()
+}
+
+/// Uniquifies checkpoint directories across runs within one process.
+static CHURN_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Runtime state of an active churn schedule.
+struct ChurnState {
+    schedule: FleetSchedule,
+    /// Per-board checkpoint stores live under here; removed at finalize.
+    base_dir: PathBuf,
+    restores: u64,
+}
+
+/// Derives the seeded crash/rejoin schedule from the fleet config.
+fn churn_state(config: &FleetConfig) -> Option<ChurnState> {
+    let spec = config.churn?;
+    let schedule = StormBuilder::new(config.seed, config.boards, config.epochs)
+        .churn(spec.period, spec.down)
+        .build();
+    let base_dir = std::env::temp_dir().join(format!(
+        "topil-fleet-churn-{}-{}",
+        std::process::id(),
+        CHURN_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    Some(ChurnState {
+        schedule,
+        base_dir,
+        restores: 0,
+    })
+}
+
+/// Serializes a board policy's model for the crash-time checkpoint.
+fn policy_snapshot(policy: &MigrationPolicy) -> Vec<u8> {
+    let model = policy.model();
+    let mut bytes = Vec::new();
+    nn::persist::write_standardizer(model.standardizer(), &mut bytes)
+        .expect("serialize standardizer");
+    nn::persist::write_mlp(model.mlp(), &mut bytes).expect("serialize mlp");
+    bytes
+}
+
+/// Rebuilds a board policy from a checkpoint payload.
+fn restore_policy(bytes: &[u8]) -> MigrationPolicy {
+    let mut reader = bytes;
+    let standardizer = nn::persist::read_standardizer(&mut reader).expect("restore standardizer");
+    let mlp = nn::persist::read_mlp(&mut reader).expect("restore mlp");
+    MigrationPolicy::new(IlModel::new(mlp, standardizer))
+}
+
+/// First alive board in the cyclic scan after `board` — the schedule's
+/// min-alive guarantee ensures one exists at every crash epoch.
+fn sibling_of(schedule: &FleetSchedule, epoch: u64, board: usize) -> usize {
+    let boards = schedule.boards();
+    (1..boards)
+        .map(|step| (board + step) % boards)
+        .find(|&j| schedule.alive(j, epoch))
+        .expect("storm schedule keeps at least one board alive")
+}
+
+/// Boards crashing at `epoch`, each paired with the sibling absorbing
+/// its in-flight request and rerouted arrivals.
+fn crashes_at(schedule: &FleetSchedule, epoch: u64) -> Vec<(usize, usize)> {
+    schedule
+        .events_at(epoch)
+        .filter_map(|event| match event.fault {
+            FleetFault::BoardCrash { board } => Some((board, sibling_of(schedule, epoch, board))),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The rejoin epoch of the down span starting at `epoch` (clamped to the
+/// run length for spans that never close).
+fn rejoin_epoch(schedule: &FleetSchedule, board: usize, epoch: u64) -> u64 {
+    schedule
+        .down_spans(board)
+        .into_iter()
+        .find(|&(from, _)| from == epoch)
+        .map(|(_, until)| until.min(schedule.epochs()))
+        .unwrap_or(schedule.epochs())
+}
+
+/// Brings every board rejoining at `epoch` back: replays its deferred
+/// platform ticks up to the barrier and restores its policy from the
+/// crash-time checkpoint (a fresh store open, exactly like a process
+/// restart would).
+fn apply_rejoins(boards: &mut [Board], churn: &mut ChurnState, epoch: u64, now: SimTime) {
+    let rejoining: Vec<usize> = churn
+        .schedule
+        .events_at(epoch)
+        .filter_map(|event| match event.fault {
+            FleetFault::BoardRejoin { board } => Some(board),
+            _ => None,
+        })
+        .collect();
+    for i in rejoining {
+        let board = &mut boards[i];
+        debug_assert!(!board.alive, "rejoin of a board that never crashed");
+        catch_up(board, now);
+        let mut store =
+            CheckpointStore::open(churn.base_dir.join(format!("board-{i}")), "fleet-policy", 2)
+                .expect("reopen checkpoint store");
+        let recovery = store.load_latest().expect("load policy checkpoint");
+        let snapshot = recovery
+            .snapshot
+            .expect("crashed board saved a policy checkpoint");
+        board.policy = restore_policy(&snapshot.payload);
+        board.alive = true;
+        churn.restores += 1;
+    }
+}
+
+/// Executes the crash half of a barrier, after the epoch's replies were
+/// redeemed: checkpoints each dying board's policy, kills its running
+/// applications (outcomes recorded at the crash instant), reroutes the
+/// arrivals landing inside its down window to the sibling and marks it
+/// dead. Deterministic: the order is the schedule's event order.
+fn execute_crashes(
+    boards: &mut [Board],
+    churn: &mut ChurnState,
+    crashes: &[(usize, usize)],
+    epoch: u64,
+) {
+    for &(i, sibling) in crashes {
+        let bytes = policy_snapshot(&boards[i].policy);
+        let mut store =
+            CheckpointStore::open(churn.base_dir.join(format!("board-{i}")), "fleet-policy", 2)
+                .expect("open checkpoint store");
+        store
+            .save(&bytes, churn.schedule.seed())
+            .expect("save policy checkpoint");
+
+        let rejoin = rejoin_epoch(&churn.schedule, i, epoch);
+        let rejoin_time = SimTime::ZERO + MIGRATION_PERIOD * rejoin;
+        let dying = &mut boards[i];
+        let ids: Vec<_> = dying.platform.snapshots().iter().map(|s| s.id).collect();
+        for id in ids {
+            dying.platform.kill(id);
+        }
+        let mut moved = Vec::new();
+        while dying
+            .arrivals
+            .get(dying.next_arrival)
+            .is_some_and(|spec| spec.at < rejoin_time)
+        {
+            moved.push(dying.arrivals.remove(dying.next_arrival));
+        }
+        dying.alive = false;
+        dying.crashes += 1;
+
+        let sib = &mut boards[sibling];
+        for spec in moved {
+            let pos = sib.arrivals[sib.next_arrival..].partition_point(|a| a.at <= spec.at)
+                + sib.next_arrival;
+            sib.arrivals.insert(pos, spec);
+            sib.adopted_arrivals += 1;
+        }
+    }
 }
 
 /// The fixed-barrier reference loop: every board visited at every
@@ -345,7 +566,7 @@ fn run_lockstep_with_model(model: &IlModel, config: &FleetConfig) -> FleetReport
     let dedicated = NpuModel::compile(model.mlp());
     let device = NpuDevice::kirin970();
     let mut boards = make_boards(model, config, &serve);
-    let all_boards: Vec<usize> = (0..config.boards).collect();
+    let mut churn = churn_state(config);
 
     let end = SimTime::ZERO + MIGRATION_PERIOD * config.epochs;
     let mut serial_device_time = SimDuration::ZERO;
@@ -357,32 +578,67 @@ fn run_lockstep_with_model(model: &IlModel, config: &FleetConfig) -> FleetReport
     // board is stepped to the next barrier independently. Each board sees
     // the exact per-tick operation order of the serial loop — admit(t),
     // DVFS(t), tick — so the outcome is bit-identical at every budget.
-    loop {
-        let now = boards[0].platform.now();
-        if now >= end {
-            break;
-        }
-        debug_assert!(now.is_multiple_of(MIGRATION_PERIOD), "boards left lockstep");
+    let mut now = SimTime::ZERO;
+    let mut epoch = 0u64;
+    while now < end {
+        // Barrier order: rejoins first (so a returning board takes this
+        // epoch), then admissions, then the shared-service epoch (a board
+        // crashing *this* barrier still submits — its reply is absorbed by
+        // the sibling), then the crash drain, then the parallel stretch.
+        let crashes = match &mut churn {
+            Some(state) => {
+                apply_rejoins(&mut boards, state, epoch, now);
+                crashes_at(&state.schedule, epoch)
+            }
+            None => Vec::new(),
+        };
+        debug_assert!(
+            boards.iter().all(|b| !b.alive || b.platform.now() == now),
+            "boards left lockstep"
+        );
         par::par_for_each_mut(&config.budget, &mut boards, |_, board| {
-            admit_due(board, now);
+            if board.alive {
+                admit_due(board, now);
+            }
         });
+        let candidates: Vec<usize> = (0..config.boards).filter(|&i| boards[i].alive).collect();
         fleet_epoch(
             &mut boards,
-            &all_boards,
+            &candidates,
             &mut service,
             &dedicated,
             &device,
             now,
             &mut serial_device_time,
             &mut mismatches,
+            &crashes,
             &config.budget,
         );
+        if let Some(state) = &mut churn {
+            execute_crashes(&mut boards, state, &crashes, epoch);
+        }
         let next_barrier = now + MIGRATION_PERIOD;
         par::par_for_each_mut(&config.budget, &mut boards, |_, board| {
-            step_to_barrier(board, now, next_barrier);
+            if board.alive {
+                step_to_barrier(board, now, next_barrier);
+            }
         });
+        now = next_barrier;
+        epoch += 1;
     }
-    finalize(config, boards, service, end, serial_device_time, mismatches)
+    // Boards dead at the end still owe their deferred cooling ticks.
+    par::par_for_each_mut(&config.budget, &mut boards, |_, board| {
+        catch_up(board, end);
+    });
+    finalize(
+        config,
+        boards,
+        service,
+        end,
+        serial_device_time,
+        mismatches,
+        churn,
+    )
 }
 
 /// Flushes the service at `end` and assembles the report — shared by
@@ -394,7 +650,32 @@ fn finalize(
     end: SimTime,
     serial_device_time: SimDuration,
     mismatches: u64,
+    churn: Option<ChurnState>,
 ) -> FleetReport {
+    // Churn aggregates come from the pure schedule (identical in both
+    // drivers); the checkpoint directory is gone after this.
+    let (churn_events, checkpoint_restores, down_by_board) = match &churn {
+        Some(state) => {
+            let down: Vec<u64> = (0..config.boards)
+                .map(|i| {
+                    state
+                        .schedule
+                        .down_spans(i)
+                        .into_iter()
+                        .map(|(from, until)| until.min(config.epochs) - from)
+                        .sum()
+                })
+                .collect();
+            (state.schedule.events().len() as u64, state.restores, down)
+        }
+        None => (0, 0, vec![0; config.boards]),
+    };
+    if let Some(state) = &churn {
+        let _ = std::fs::remove_dir_all(&state.base_dir);
+    }
+    let down_total: u64 = down_by_board.iter().sum();
+    let availability = 1.0 - down_total as f64 / (config.boards as u64 * config.epochs) as f64;
+
     let mut saturation_events = 0u64;
     service.flush(end);
     for event in service.drain_events() {
@@ -421,9 +702,14 @@ fn finalize(
                 migrations: board.migrations,
                 degraded_epochs: board.degraded_epochs,
                 fallback_epochs: board.fallback_epochs,
+                crashes: board.crashes,
+                down_epochs: down_by_board[i],
+                reassigned: board.reassigned,
+                adopted_arrivals: board.adopted_arrivals,
             }
         })
         .collect();
+    let reassigned_inflight: u64 = outcomes.iter().map(|b| b.reassigned).sum();
     FleetReport {
         config: *config,
         submitted: stats.submitted,
@@ -450,6 +736,10 @@ fn finalize(
         },
         mismatches,
         saturation_events,
+        churn_events,
+        reassigned_inflight,
+        checkpoint_restores,
+        availability,
         boards: outcomes,
     }
 }
@@ -463,10 +753,13 @@ struct FleetState {
     serial_device_time: SimDuration,
     mismatches: u64,
     /// Barrier instant -> boards due there (each key has exactly one
-    /// scheduled `Barrier` event).
+    /// scheduled `Barrier` event). A board may be marked more than once
+    /// at one instant (e.g. a pre-marked churn barrier plus its regular
+    /// arming); the handler dedups.
     due: BTreeMap<SimTime, Vec<usize>>,
     visits: u64,
     active_barriers: u64,
+    churn: Option<ChurnState>,
 }
 
 /// The single fleet event kind: a barrier instant with boards due.
@@ -533,6 +826,7 @@ pub fn run_event_with_stats(
         due: BTreeMap::new(),
         visits: 0,
         active_barriers: 0,
+        churn: churn_state(config),
     };
 
     let cfg = *config;
@@ -541,20 +835,34 @@ pub fn run_event_with_stats(
         "fleet-barrier",
         move |state: &mut FleetState, sched, event| {
             let now = event.time;
+            let epoch = now.as_nanos() / MIGRATION_PERIOD.as_nanos();
             let mut due = state
                 .due
                 .remove(&now)
                 .expect("barrier event without due boards");
             due.sort_unstable();
+            due.dedup();
             state.visits += due.len() as u64;
             state.active_barriers += 1;
+
+            // Mirror the reference barrier order: rejoins first, then
+            // admissions, the epoch, the crash drain, and re-arming.
+            let crashes = match &mut state.churn {
+                Some(churn) => {
+                    apply_rejoins(&mut state.boards, churn, epoch, now);
+                    crashes_at(&churn.schedule, epoch)
+                }
+                None => Vec::new(),
+            };
 
             // Replay deferred ticks up to the barrier and admit due
             // arrivals — board-local, so the stretch runs under the thread
             // budget exactly like the reference loop's parallel phases.
+            // Dead boards stay frozen (a board armed before its crash can
+            // still be in the due set).
             let due_ref = &due;
             par::par_for_each_mut(&cfg.budget, &mut state.boards, |i, board| {
-                if due_ref.binary_search(&i).is_ok() {
+                if board.alive && due_ref.binary_search(&i).is_ok() {
                     catch_up(board, now);
                     admit_due(board, now);
                 }
@@ -563,6 +871,8 @@ pub fn run_event_with_stats(
             // Boards not due here provably have no running applications, so
             // the epoch over the due set equals the reference epoch over
             // all boards (whose first step filters on `app_count > 0`).
+            // Dead boards in the due set have no applications either —
+            // their crash killed them — so the same filter drops them.
             fleet_epoch(
                 &mut state.boards,
                 due_ref,
@@ -572,13 +882,36 @@ pub fn run_event_with_stats(
                 now,
                 &mut state.serial_device_time,
                 &mut state.mismatches,
+                &crashes,
                 &cfg.budget,
             );
 
+            if let Some(churn) = &mut state.churn {
+                execute_crashes(&mut state.boards, churn, &crashes, epoch);
+                // Wake each sibling at the barrier covering its adopted
+                // arrivals. Extra markings are harmless: duplicates at one
+                // instant collapse in the handler's dedup, and a visit
+                // never changes epoch participation (that is decided by
+                // `app_count > 0`, exactly as in the reference loop).
+                for &(_, sibling) in &crashes {
+                    if let Some(at) =
+                        next_due_barrier(&state.boards[sibling], now + MIGRATION_PERIOD)
+                    {
+                        if at < end {
+                            mark_due(&mut state.due, sched, event.dst, at, sibling);
+                        }
+                    }
+                }
+            }
+
             // Re-arm: busy boards are due at the next barrier; idle boards
-            // sleep until the barrier covering their next arrival.
+            // sleep until the barrier covering their next arrival. Boards
+            // that crashed this barrier are pre-marked at their rejoin.
             for i in due {
                 let board = &state.boards[i];
+                if !board.alive {
+                    continue;
+                }
                 let next = if board.platform.app_count() > 0 {
                     Some(now + MIGRATION_PERIOD)
                 } else {
@@ -598,6 +931,27 @@ pub fn run_event_with_stats(
                 mark_due(&mut state.due, kernel.scheduler(), barrier, at, i);
             }
         }
+    }
+    // Churn barriers are known upfront (the schedule is pure data): every
+    // crash and rejoin instant is a barrier the affected board must take,
+    // even if it would otherwise be dormant there.
+    let churn_marks: Vec<(SimTime, usize)> = match &state.churn {
+        Some(churn) => churn
+            .schedule
+            .events()
+            .iter()
+            .filter_map(|event| match event.fault {
+                FleetFault::BoardCrash { board } | FleetFault::BoardRejoin { board } => {
+                    Some((SimTime::ZERO + MIGRATION_PERIOD * event.epoch, board))
+                }
+                _ => None,
+            })
+            .filter(|&(at, _)| at < end)
+            .collect(),
+        None => Vec::new(),
+    };
+    for (at, i) in churn_marks {
+        mark_due(&mut state.due, kernel.scheduler(), barrier, at, i);
     }
     kernel.run_to_idle(&mut state);
 
@@ -620,6 +974,7 @@ pub fn run_event_with_stats(
         end,
         state.serial_device_time,
         state.mismatches,
+        state.churn,
     );
     (report, kernel_stats)
 }
@@ -667,6 +1022,11 @@ fn step_to_barrier(board: &mut Board, barrier: SimTime, next_barrier: SimTime) {
 /// the event driver passes only the boards due at this barrier (the
 /// rest have no running applications, so the filter below would drop
 /// them anyway).
+///
+/// `reassigned` lists `(dying, sibling)` pairs for boards crashing at
+/// this barrier: the dying board's reply is still redeemed (conserving
+/// the request and keeping the bit-identity check) but its decision
+/// lands nowhere — the sibling absorbs it.
 #[allow(clippy::too_many_arguments)]
 fn fleet_epoch(
     boards: &mut [Board],
@@ -677,6 +1037,7 @@ fn fleet_epoch(
     now: SimTime,
     serial_device_time: &mut SimDuration,
     mismatches: &mut u64,
+    reassigned: &[(usize, usize)],
     budget: &par::Budget,
 ) {
     // Boards submit in jitter order — the arrival interleaving the shared
@@ -745,6 +1106,13 @@ fn fleet_epoch(
     *mismatches += mismatch_flags.iter().filter(|&&m| m).count() as u64;
 
     for (i, prepared, reply) in completed {
+        if let Some(&(_, sibling)) = reassigned.iter().find(|&&(dying, _)| dying == i) {
+            // The board dies at this barrier; its in-flight reply was
+            // redeemed above but completes nowhere.
+            let _ = (prepared, reply);
+            boards[sibling].reassigned += 1;
+            continue;
+        }
         let board = &mut boards[i];
         let outcome = board.policy.complete(&mut board.platform, &prepared, reply);
         if outcome.migrated.is_some() {
@@ -776,6 +1144,18 @@ mod tests {
             workers: 2,
             seed: 3,
             budget: par::Budget::serial(),
+            churn: None,
+        }
+    }
+
+    fn churn_config() -> FleetConfig {
+        // Long outages relative to the 8 s mean interarrival, so crashes
+        // reliably catch both in-flight requests and future arrivals.
+        FleetConfig {
+            boards: 6,
+            epochs: 24,
+            churn: Some(ChurnSpec { period: 3, down: 8 }),
+            ..small_config()
         }
     }
 
@@ -826,5 +1206,79 @@ mod tests {
         );
         assert!(kernel.active_barriers <= config.epochs);
         assert_eq!(kernel.handler_invocations, kernel.active_barriers);
+    }
+
+    #[test]
+    fn churn_crashes_drain_and_rejoin_through_checkpoints() {
+        let model = fleet_model(0);
+        let report = run_with_model(&model, &churn_config());
+        assert!(report.churn_events > 0, "churn must schedule events");
+        let crashes: u64 = report.boards.iter().map(|b| b.crashes).sum();
+        assert!(crashes > 0, "churn must crash at least one board");
+        assert!(
+            report.availability < 1.0,
+            "crashed boards must cost availability"
+        );
+        assert!(
+            report.checkpoint_restores > 0,
+            "a rejoining board must restore its policy from a checkpoint"
+        );
+        assert!(
+            report.reassigned_inflight > 0,
+            "a crashing board's in-flight request must move to a sibling"
+        );
+        // Request conservation survives the crashes: nothing admitted is
+        // lost, and batching stays bit-exact.
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.mismatches, 0);
+        // Down spans are bounded by the configured outage length (a crash
+        // near the end is clamped to the run).
+        let down: u64 = report.boards.iter().map(|b| b.down_epochs).sum();
+        let window = churn_config().churn.unwrap().down;
+        assert!(down >= crashes, "every crash costs at least one epoch");
+        assert!(
+            down <= crashes * window,
+            "no crash is down beyond its window"
+        );
+    }
+
+    #[test]
+    fn churn_drivers_agree_at_every_thread_budget() {
+        let model = fleet_model(0);
+        let config = churn_config();
+        let lockstep = run_with_model_driver(&model, &config, SimDriver::Lockstep);
+        let (event, _) = run_event_with_stats(&model, &config);
+        assert_eq!(lockstep, event, "drivers must agree under churn");
+        let threaded_cfg = FleetConfig {
+            budget: par::Budget::with_threads(4),
+            ..config
+        };
+        let mut threaded = run_with_model_driver(&model, &threaded_cfg, SimDriver::Lockstep);
+        threaded.config = config;
+        assert_eq!(threaded, lockstep, "churn must be budget-invariant");
+    }
+
+    #[test]
+    fn rerouted_arrivals_land_on_the_sibling() {
+        let model = fleet_model(0);
+        let report = run_with_model(&model, &churn_config());
+        let adopted: u64 = report.boards.iter().map(|b| b.adopted_arrivals).sum();
+        let stable = run_with_model(
+            &model,
+            &FleetConfig {
+                churn: None,
+                ..churn_config()
+            },
+        );
+        // The churn run admits work on siblings that the stable run ran
+        // on the crashed boards; total executions stay comparable because
+        // nothing is silently dropped (killed apps record outcomes too).
+        let churn_execs: usize = report.boards.iter().map(|b| b.executions).sum();
+        let stable_execs: usize = stable.boards.iter().map(|b| b.executions).sum();
+        assert!(adopted > 0, "a crash inside the run must reroute arrivals");
+        assert!(
+            churn_execs >= stable_execs / 2,
+            "churn must not silently lose most executions ({churn_execs} vs {stable_execs})"
+        );
     }
 }

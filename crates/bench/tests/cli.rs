@@ -1,0 +1,181 @@
+//! Bad-input behaviour of the `experiments` binary.
+//!
+//! Every malformed command line must print the usage text to stderr and
+//! exit with status 2 — never panic, never start an experiment. These
+//! tests spawn the real binary (Cargo exposes its path at build time), so
+//! they exercise the exact code path a user hits.
+
+use std::process::{Command, Output};
+
+fn experiments(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(args)
+        .output()
+        .expect("spawn the experiments binary")
+}
+
+/// Asserts the usage-rejection contract: status 2, usage on stderr (with
+/// the given diagnostic), and nothing on stdout.
+fn assert_rejected(args: &[&str], diagnostic: &str) {
+    let out = experiments(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?} should exit 2, stderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains(diagnostic),
+        "{args:?} stderr should mention {diagnostic:?}, got:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("usage: experiments"),
+        "{args:?} should print usage to stderr, got:\n{stderr}"
+    );
+    assert!(
+        out.stdout.is_empty(),
+        "{args:?} must not write to stdout on a usage error"
+    );
+}
+
+#[test]
+fn unknown_command_is_rejected() {
+    assert_rejected(&["frobnicate"], "unknown experiment `frobnicate`");
+}
+
+#[test]
+fn unknown_flag_is_rejected_for_every_subcommand() {
+    for command in [
+        "fig1",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "model-eval",
+        "ablations",
+        "oracle-gap",
+        "sensitivity",
+        "robustness",
+        "traces",
+        "fleet",
+        "overload",
+        "chaos",
+        "sweep",
+        "train",
+        "all",
+    ] {
+        assert_rejected(&[command, "--bogus"], "unknown flag `--bogus`");
+    }
+}
+
+#[test]
+fn unknown_driver_value_is_rejected() {
+    for command in ["fleet", "overload", "chaos"] {
+        assert_rejected(&[command, "--driver", "bogus"], "unknown --driver `bogus`");
+    }
+}
+
+#[test]
+fn unknown_storm_preset_is_rejected() {
+    assert_rejected(&["chaos", "--storm", "bogus"], "unknown --storm `bogus`");
+}
+
+#[test]
+fn malformed_numeric_values_are_rejected() {
+    assert_rejected(&["fleet", "--boards", "eight"], "flag `--boards`");
+    assert_rejected(&["fleet", "--epochs", "-3"], "flag `--epochs`");
+    assert_rejected(&["overload", "--clients", "many"], "flag `--clients`");
+    assert_rejected(&["overload", "--overload", "10x"], "flag `--overload`");
+    assert_rejected(&["chaos", "--racks", "two"], "flag `--racks`");
+    assert_rejected(&["chaos", "--seed", "0x11"], "flag `--seed`");
+    assert_rejected(&["sweep", "--points", "1.5"], "flag `--points`");
+    assert_rejected(&["train", "--threads", "0.5"], "flag `--threads`");
+    assert_rejected(&["fleet", "--churn", "often"], "flag `--churn`");
+    assert_rejected(&["fleet", "--churn-down", "-1"], "flag `--churn-down`");
+}
+
+#[test]
+fn flag_missing_its_value_is_rejected() {
+    assert_rejected(&["fleet", "--devices"], "flag `--devices` needs a value");
+    assert_rejected(&["chaos", "--driver"], "flag `--driver` needs a value");
+}
+
+#[test]
+fn bare_storm_flag_stays_an_overload_toggle() {
+    // A flag after a bare `--storm` must not be eaten as its value: the
+    // diagnostic names the unknown flag, not an unknown storm preset.
+    assert_rejected(
+        &["overload", "--storm", "--bogus"],
+        "unknown flag `--bogus`",
+    );
+}
+
+#[test]
+fn help_exits_cleanly() {
+    let out = experiments(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage: experiments"));
+}
+
+#[test]
+fn chaos_subcommand_emits_the_gate_row() {
+    let out = experiments(&[
+        "chaos",
+        "--boards",
+        "4",
+        "--racks",
+        "2",
+        "--epochs",
+        "8",
+        "--seed",
+        "7",
+        "--storm",
+        "crash-wave",
+        "--threads",
+        "1",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("section,index,metric,value\n"));
+    assert!(stdout.contains("\nsummary,,invariant_violations,0\n"));
+    assert!(stdout.contains("\nsummary,,storm,crash-wave\n"));
+}
+
+#[test]
+fn storm_all_binds_as_a_preset_not_the_all_command() {
+    // `all` names both a storm preset and a command; after `--storm` the
+    // preset reading must win (the run is chaos, not the whole suite).
+    let out = experiments(&[
+        "chaos",
+        "--storm",
+        "all",
+        "--boards",
+        "4",
+        "--racks",
+        "2",
+        "--epochs",
+        "6",
+        "--seed",
+        "7",
+        "--threads",
+        "1",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\nsummary,,storm,all\n"));
+    assert!(!stdout.contains("TOP-IL experiment suite ran figures"));
+}

@@ -98,6 +98,29 @@ impl CircuitBreaker {
         }
     }
 
+    /// Force-opens the breaker regardless of the failure count, e.g. when
+    /// the failure detector declares the guarded resource dead (heartbeat
+    /// silence) rather than observing request failures. Counts as an open;
+    /// a no-op when the breaker is already open.
+    pub fn trip(&mut self) {
+        if self.state != BreakerState::Open {
+            self.state = BreakerState::Open;
+            self.cooldown_left = self.cooldown_epochs;
+            self.opens += 1;
+        }
+    }
+
+    /// Puts the breaker straight into half-open probation: the next use is
+    /// a probe (success closes, failure reopens). This is the rejoin
+    /// entry-point — a board coming back from a crash must prove itself
+    /// with one successful request before being trusted again. Does not
+    /// count as an open.
+    pub fn begin_probation(&mut self) {
+        self.state = BreakerState::HalfOpen;
+        self.consecutive_failures = 0;
+        self.cooldown_left = 0;
+    }
+
     /// Advances the open-state cooldown by one period. Returns `true` when
     /// the breaker just moved to half-open (a probe is allowed).
     pub fn epoch_elapsed(&mut self) -> bool {
@@ -153,6 +176,36 @@ mod tests {
     fn epoch_elapsed_is_inert_while_closed() {
         let mut breaker = CircuitBreaker::new(1, 1);
         assert!(!breaker.epoch_elapsed());
+        assert_eq!(breaker.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn trip_opens_once_and_respects_cooldown() {
+        let mut breaker = CircuitBreaker::new(3, 2);
+        breaker.trip();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(breaker.opens(), 1);
+        breaker.trip();
+        assert_eq!(breaker.opens(), 1, "tripping an open breaker is a no-op");
+        assert!(!breaker.epoch_elapsed());
+        assert!(breaker.epoch_elapsed());
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn probation_probes_like_half_open() {
+        let mut breaker = CircuitBreaker::new(3, 2);
+        breaker.begin_probation();
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        assert_eq!(breaker.opens(), 0, "probation is not an open");
+        // A failed probe reopens immediately, as from a cooldown half-open.
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(breaker.opens(), 1);
+        // A successful probe closes.
+        let mut breaker = CircuitBreaker::new(3, 2);
+        breaker.begin_probation();
+        breaker.record_success();
         assert_eq!(breaker.state(), BreakerState::Closed);
     }
 }

@@ -16,6 +16,27 @@
 //!   with all rates at zero draws nothing at all — a zero-fault run is
 //!   bit-identical to a run without any injector.
 //!
+//! # Fault taxonomy
+//!
+//! Two fault families share one seed. **Rate-driven** domains draw per
+//! operation from seeded per-domain RNG streams inside [`FaultInjector`];
+//! **timed** fleet faults are barrier-epoch events derived through pure
+//! splitmix64 hashes by the [`StormBuilder`] schedule builder, which
+//! unifies both families in a single [`FleetSchedule`].
+//!
+//! | Fault | Family | Unit | Effect |
+//! |---|---|---|---|
+//! | [`NpuFault`] | rate | NPU job | device fault / driver hang / latency spike |
+//! | [`ServeFault`] | rate | dispatched batch | batch failure (breaker) / slowdown |
+//! | sensor (via [`SensorFaultConfig`]) | rate | sample | dropout / stuck-at / noise / spike |
+//! | [`DvfsFault`] | rate | V/f transition | reject / late apply |
+//! | [`StorageFault`] | rate | checkpoint write | torn write / bit flip |
+//! | [`TaskFaultPlan`] | pure per-index | pool task | injected panic |
+//! | [`FleetFault::BoardCrash`] / [`FleetFault::BoardRejoin`] | timed | board | leave fleet, drain, restore from checkpoint |
+//! | [`FleetFault::RackPartition`] / [`FleetFault::RackHeal`] | timed | rack | rack unreachable from the regional tier |
+//! | [`FleetFault::HeartbeatLoss`] / [`FleetFault::HeartbeatRestore`] | timed | rack | failure detector sees silence |
+//! | [`FleetFault::TierSlow`] / [`FleetFault::TierRecover`] | timed | regional tier | latency multiplied |
+//!
 //! # Examples
 //!
 //! ```
@@ -31,11 +52,13 @@
 #![warn(missing_docs)]
 
 mod breaker;
+mod fleet;
 mod injector;
 mod plan;
 mod storage;
 
 pub use breaker::{BreakerState, CircuitBreaker};
+pub use fleet::{FleetFault, FleetFaultEvent, FleetSchedule, StormBuilder};
 pub use injector::{DvfsFault, FaultInjector, FaultStats, NpuFault, ServeFault};
 pub use plan::{
     DvfsFaultConfig, FaultPlan, NpuFaultConfig, SensorFaultConfig, ServeFaultConfig, TaskFaultPlan,

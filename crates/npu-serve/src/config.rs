@@ -104,6 +104,13 @@ pub enum ConfigError {
     InvalidRateLimit,
     /// `retry` had a zero base, a multiplier below one, or `max < base`.
     InvalidRetryPolicy,
+    /// A tier topology had zero racks.
+    ZeroRacks,
+    /// Heartbeat interval was zero, or the timeout was shorter than the
+    /// interval (every rack would look dead).
+    InvalidHeartbeat,
+    /// Hedge quantile outside `[0, 1]`, or a zero latency window.
+    InvalidHedge,
 }
 
 impl fmt::Display for ConfigError {
@@ -119,6 +126,13 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidRetryPolicy => {
                 "retry policy needs a positive base, multiplier >= 1 and max >= base"
+            }
+            ConfigError::ZeroRacks => "need at least one rack",
+            ConfigError::InvalidHeartbeat => {
+                "heartbeat needs a positive interval and timeout >= interval"
+            }
+            ConfigError::InvalidHedge => {
+                "hedge needs a quantile in [0, 1] and a positive latency window"
             }
         };
         f.write_str(text)

@@ -79,6 +79,7 @@ mod retry;
 mod service;
 mod shed;
 mod stats;
+mod tier;
 
 pub use client::SharedClient;
 pub use config::{ConfigError, ServeConfig};
@@ -91,3 +92,7 @@ pub use retry::{RetryClass, RetryPolicy};
 pub use service::{NpuService, RequestTicket, SubmitOptions};
 pub use shed::Backlog;
 pub use stats::{MetricsSnapshot, ServeStats};
+pub use tier::{
+    ServedBy, TierConfig, TierOutcome, TierReply, TierScope, TierStats, TierSubmit, TierTicket,
+    TierTransition, TieredService,
+};

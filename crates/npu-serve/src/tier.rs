@@ -1,0 +1,1238 @@
+//! Hierarchical failover: per-rack services → regional tier → local CPU.
+//!
+//! A datacenter fleet does not talk to one shared service — each rack
+//! runs its own [`NpuService`], and a larger **regional** service backs
+//! all racks. [`TieredService`] extends the existing retry → breaker →
+//! CPU ladder *across tiers*:
+//!
+//! 1. **Per-rack primary.** A request is routed to its home rack unless
+//!    the rack is partitioned, suspected dead, or its tier breaker is
+//!    open — in which case it fails over to the regional tier at submit
+//!    time.
+//! 2. **Heartbeat failure detector.** Racks emit heartbeats in virtual
+//!    time every [`TierConfig::heartbeat_interval`]; a rack silent for
+//!    longer than [`TierConfig::heartbeat_timeout`] is *suspected* at the
+//!    exact virtual instant `last_beat + timeout`, its tier breaker trips,
+//!    and new submissions fail over. The first heartbeat after silence
+//!    clears the suspicion and puts the breaker into half-open probation.
+//! 3. **Hedged requests.** Every rack-routed request arms a hedge at
+//!    `submit + hedge_timeout()`, where the timeout is derived from the
+//!    p-quantile ([`TierConfig::hedge_quantile`], default p99) of recent
+//!    rack latencies (never below [`TierConfig::hedge_min`]). If the rack
+//!    reply has not completed by then, a duplicate fires to the regional
+//!    tier and the earlier completion wins. Hedge decisions are made
+//!    retrospectively at the barrier but use only information available
+//!    at the hedge instant, so the schedule is identical under any
+//!    driver.
+//! 4. **Per-tier circuit breakers.** One breaker per rack plus one for
+//!    the regional tier, above the per-device breakers inside each
+//!    service. A suspected rack trips its breaker ([`CircuitBreaker::
+//!    trip`]); a recovered rack re-enters through half-open probation.
+//! 5. **Local CPU last rung.** When the rack and regional rungs are both
+//!    unavailable (or failed), the board computes locally on its CPU.
+//!    A reply is only delivered if it meets the deadline; otherwise the
+//!    request resolves as a typed failure — the tier never delivers a
+//!    late reply.
+//!
+//! The tier runs in virtual time like the services it owns: `submit`
+//! carries explicit timestamps (nondecreasing per tier), and `flush`
+//! advances everything to a barrier, after which every submitted request
+//! has exactly one outcome (request conservation — checked by the chaos
+//! harness in `bench`).
+
+use std::collections::HashMap;
+
+use faults::{BreakerState, CircuitBreaker};
+use hmc_types::{SimDuration, SimTime};
+use nn::{Matrix, Mlp};
+use npu::CpuInference;
+use topil::ClientReply;
+use trace::TraceEvent;
+
+use crate::limiter::ClientId;
+use crate::service::SubmitOptions;
+use crate::{ConfigError, NpuService, RequestTicket, ServeConfig, ServeError};
+
+/// Configuration of a [`TieredService`].
+#[derive(Debug, Clone)]
+pub struct TierConfig {
+    /// Number of rack-level services.
+    pub racks: usize,
+    /// Configuration of each rack service.
+    pub rack_serve: ServeConfig,
+    /// Configuration of the regional service.
+    pub regional_serve: ServeConfig,
+    /// Virtual-time spacing of rack heartbeats.
+    pub heartbeat_interval: SimDuration,
+    /// Silence longer than this marks a rack suspected.
+    pub heartbeat_timeout: SimDuration,
+    /// Floor of the hedge timeout (the p99 estimate never hedges
+    /// earlier than this).
+    pub hedge_min: SimDuration,
+    /// Latency quantile deriving the hedge timeout (e.g. `0.99`).
+    pub hedge_quantile: f64,
+    /// How many recent rack latencies feed the quantile estimate.
+    pub hedge_window: usize,
+    /// Consecutive failures opening a tier breaker.
+    pub breaker_threshold: u32,
+    /// Cooldown (in barriers) of an open tier breaker.
+    pub breaker_cooldown: u32,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig {
+            racks: 4,
+            rack_serve: ServeConfig::default(),
+            regional_serve: ServeConfig::default(),
+            heartbeat_interval: SimDuration::from_millis(50),
+            heartbeat_timeout: SimDuration::from_millis(160),
+            hedge_min: SimDuration::from_millis(1),
+            hedge_quantile: 0.99,
+            hedge_window: 256,
+            breaker_threshold: 3,
+            breaker_cooldown: 4,
+        }
+    }
+}
+
+impl TierConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.racks == 0 {
+            return Err(ConfigError::ZeroRacks);
+        }
+        if self.heartbeat_interval.is_zero() || self.heartbeat_timeout < self.heartbeat_interval {
+            return Err(ConfigError::InvalidHeartbeat);
+        }
+        if !(0.0..=1.0).contains(&self.hedge_quantile) || self.hedge_window == 0 {
+            return Err(ConfigError::InvalidHedge);
+        }
+        self.rack_serve.validate()?;
+        self.regional_serve.validate()
+    }
+}
+
+/// Which rung ultimately served a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// The home rack's service.
+    Rack(usize),
+    /// The regional tier (failover or winning hedge).
+    Regional,
+    /// The board's own CPU (last rung).
+    LocalCpu,
+}
+
+/// A reply from the tiered ladder. Never late: `completed_at` is at or
+/// before the request deadline whenever one was set.
+#[derive(Debug, Clone)]
+pub struct TierReply {
+    /// Rating matrix.
+    pub output: Matrix,
+    /// Wall latency from submission to the winning completion.
+    pub latency: SimDuration,
+    /// When the winning rung completed.
+    pub completed_at: SimTime,
+    /// The winning rung.
+    pub served_by: ServedBy,
+    /// Whether a hedge fired for this request.
+    pub hedged: bool,
+    /// Whether the hedge (not the primary) won the race.
+    pub hedge_won: bool,
+    /// Whether the request failed over away from its home rack at
+    /// submission (partition, suspicion, open breaker, or admission
+    /// rejection).
+    pub failed_over: bool,
+}
+
+/// Terminal outcome of a tier request: a reply, or a typed failure when
+/// no rung could meet the deadline.
+#[derive(Debug, Clone)]
+pub enum TierOutcome {
+    /// Served within the deadline.
+    Reply(TierReply),
+    /// No rung could serve in time; carries the decisive error.
+    Failed(ServeError),
+}
+
+/// Handle of a tier submission; redeem with
+/// [`TieredService::take_outcome`] after a [`TieredService::flush`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TierTicket(u64);
+
+/// Per-submission options of [`TieredService::submit`].
+#[derive(Debug, Clone, Copy)]
+pub struct TierSubmit {
+    /// Home rack of the submitting board.
+    pub rack: usize,
+    /// Submitting client identity (rate-limit key inside the services).
+    pub client: ClientId,
+    /// Absolute completion deadline.
+    pub deadline: Option<SimTime>,
+}
+
+/// A breaker scope in the tier topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierScope {
+    /// The breaker guarding rack `0..racks`.
+    Rack(usize),
+    /// The breaker guarding the regional tier.
+    Regional,
+}
+
+/// One observed tier-breaker transition, for the chaos invariant checker
+/// (which asserts every transition is an edge of the breaker FSM).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierTransition {
+    /// Virtual time of the transition. Charge and cooldown moves are
+    /// barrier-quantized (outcomes materialize at the flush); detector
+    /// trips, recoveries and probation entries carry exact instants. Per
+    /// scope, transition times never decrease.
+    pub at: SimTime,
+    /// Which breaker moved.
+    pub scope: TierScope,
+    /// State before.
+    pub from: BreakerState,
+    /// State after.
+    pub to: BreakerState,
+    /// Whether this was a rejoin probation entry (the one legal edge
+    /// into half-open that does not come from a cooldown).
+    pub probation: bool,
+}
+
+/// Counters of the tiered ladder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TierStats {
+    /// Requests submitted to the tier.
+    pub submitted: u64,
+    /// Requests resolved with a reply.
+    pub replies: u64,
+    /// Requests resolved as typed failures.
+    pub failed: u64,
+    /// Replies served by the home rack.
+    pub rack_served: u64,
+    /// Replies served by the regional tier.
+    pub regional_served: u64,
+    /// Replies served by the local CPU rung.
+    pub cpu_served: u64,
+    /// Submissions that failed over away from their home rack.
+    pub failovers: u64,
+    /// Hedges fired to the regional tier.
+    pub hedges: u64,
+    /// Hedges that won their race.
+    pub hedge_wins: u64,
+    /// Heartbeats emitted by racks.
+    pub heartbeats: u64,
+    /// Racks declared suspected by the failure detector.
+    pub suspects: u64,
+    /// Suspicions cleared by a returning heartbeat.
+    pub recoveries: u64,
+    /// Sum of detection latencies (silence start → suspicion instant).
+    pub detection_latency_total: SimDuration,
+    /// Largest single detection latency.
+    pub detection_latency_max: SimDuration,
+}
+
+/// Where a pending request's primary attempt went.
+#[derive(Debug, Clone, Copy)]
+enum Primary {
+    Rack(RequestTicket),
+    Regional,
+    Cpu,
+}
+
+#[derive(Debug)]
+struct PendingRequest {
+    id: u64,
+    rack: usize,
+    rows: Matrix,
+    submit_at: SimTime,
+    deadline: Option<SimTime>,
+    client: ClientId,
+    /// Armed hedge instant (rack-routed requests only).
+    hedge_at: Option<SimTime>,
+    primary: Primary,
+    failed_over: bool,
+}
+
+#[derive(Debug)]
+struct RackSlot {
+    service: NpuService,
+    breaker: CircuitBreaker,
+    partitioned: bool,
+    silent: bool,
+    silent_since: SimTime,
+    /// When the last silence ended (ticks before this stay suppressed).
+    resume_at: SimTime,
+    suspected: bool,
+    /// Next heartbeat tick to evaluate.
+    beat_cursor: SimTime,
+    /// Last heartbeat actually heard.
+    last_beat: SimTime,
+}
+
+/// The two-tier failover ladder. See the module docs for the routing
+/// rules.
+#[derive(Debug)]
+pub struct TieredService {
+    config: TierConfig,
+    racks: Vec<RackSlot>,
+    regional: NpuService,
+    regional_breaker: CircuitBreaker,
+    mlp: Mlp,
+    cpu: CpuInference,
+    macs: usize,
+    /// Regional latency multiplier in thousandths (slow-tier fault).
+    slow_milli: u32,
+    /// Recent successful rack latencies, for the hedge quantile.
+    latency_window: Vec<SimDuration>,
+    pending: Vec<PendingRequest>,
+    outcomes: HashMap<u64, TierOutcome>,
+    transitions: Vec<TierTransition>,
+    stats: TierStats,
+    clock: SimTime,
+    next_id: u64,
+}
+
+impl TieredService {
+    /// Builds the topology: `config.racks` rack services plus one
+    /// regional service, all compiled from `mlp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration; use
+    /// [`TieredService::try_new`] to handle the error.
+    pub fn new(mlp: &Mlp, config: TierConfig) -> Self {
+        match Self::try_new(mlp, config) {
+            Ok(tier) => tier,
+            Err(err) => panic!("invalid tier configuration: {err}"),
+        }
+    }
+
+    /// Fallible constructor.
+    pub fn try_new(mlp: &Mlp, config: TierConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let racks = (0..config.racks)
+            .map(|_| RackSlot {
+                service: NpuService::new(mlp, config.rack_serve),
+                breaker: CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown),
+                partitioned: false,
+                silent: false,
+                silent_since: SimTime::ZERO,
+                resume_at: SimTime::ZERO,
+                suspected: false,
+                beat_cursor: SimTime::ZERO,
+                last_beat: SimTime::ZERO,
+            })
+            .collect();
+        Ok(TieredService {
+            regional: NpuService::new(mlp, config.regional_serve),
+            regional_breaker: CircuitBreaker::new(
+                config.breaker_threshold,
+                config.breaker_cooldown,
+            ),
+            racks,
+            mlp: mlp.clone(),
+            cpu: CpuInference::cortex_a73(),
+            macs: mlp.macs(),
+            slow_milli: 1000,
+            latency_window: Vec::new(),
+            pending: Vec::new(),
+            outcomes: HashMap::new(),
+            transitions: Vec::new(),
+            stats: TierStats::default(),
+            clock: SimTime::ZERO,
+            next_id: 0,
+            config,
+        })
+    }
+
+    /// The tier configuration.
+    pub fn config(&self) -> &TierConfig {
+        &self.config
+    }
+
+    /// Tier counters.
+    pub fn stats(&self) -> &TierStats {
+        &self.stats
+    }
+
+    /// Current hedge timeout: `max(hedge_min, q-quantile of the recent
+    /// rack latencies)`.
+    pub fn hedge_timeout(&self) -> SimDuration {
+        if self.latency_window.is_empty() {
+            return self.config.hedge_min;
+        }
+        let mut sorted = self.latency_window.clone();
+        sorted.sort();
+        let rank = ((sorted.len() as f64) * self.config.hedge_quantile).ceil() as usize;
+        let quantile = sorted[rank.clamp(1, sorted.len()) - 1];
+        quantile.max(self.config.hedge_min)
+    }
+
+    /// State of a tier breaker.
+    pub fn breaker_state(&self, scope: TierScope) -> BreakerState {
+        match scope {
+            TierScope::Rack(i) => self.racks[i].breaker.state(),
+            TierScope::Regional => self.regional_breaker.state(),
+        }
+    }
+
+    /// Whether the failure detector currently suspects `rack`.
+    pub fn suspected(&self, rack: usize) -> bool {
+        self.racks[rack].suspected
+    }
+
+    /// Drains the observed tier-breaker transitions.
+    pub fn drain_transitions(&mut self) -> Vec<TierTransition> {
+        std::mem::take(&mut self.transitions)
+    }
+
+    /// Drains the trace events of every owned service, tagged by scope
+    /// (the regional tier reports as [`TierScope::Regional`]).
+    pub fn drain_service_events(&mut self) -> Vec<(TierScope, Vec<TraceEvent>)> {
+        let mut out = Vec::with_capacity(self.racks.len() + 1);
+        for (i, rack) in self.racks.iter_mut().enumerate() {
+            out.push((TierScope::Rack(i), rack.service.drain_events()));
+        }
+        out.push((TierScope::Regional, self.regional.drain_events()));
+        out
+    }
+
+    /// Sum of breaker opens across every rung (device breakers inside
+    /// the services plus the tier breakers).
+    pub fn breaker_opens(&self) -> u64 {
+        let device: u64 = self
+            .racks
+            .iter()
+            .map(|r| r.service.breaker_opens())
+            .sum::<u64>()
+            + self.regional.breaker_opens();
+        let tier: u64 = self.racks.iter().map(|r| r.breaker.opens()).sum::<u64>()
+            + self.regional_breaker.opens();
+        device + tier
+    }
+
+    // ---- fault hooks (driven by the chaos schedule) ----
+
+    /// Partitions (or heals) `rack` from the regional tier. Partitioned
+    /// racks are bypassed at submit time.
+    pub fn set_partitioned(&mut self, rack: usize, partitioned: bool) {
+        self.racks[rack].partitioned = partitioned;
+    }
+
+    /// Silences (or restores) `rack`'s heartbeats from `at` on. The
+    /// service stays healthy — only the failure detector goes blind.
+    pub fn set_heartbeat_silent(&mut self, rack: usize, silent: bool, at: SimTime) {
+        let slot = &mut self.racks[rack];
+        if silent && !slot.silent {
+            slot.silent_since = at;
+        }
+        if !silent && slot.silent {
+            slot.resume_at = at;
+        }
+        slot.silent = silent;
+    }
+
+    /// Multiplies regional-tier latency by `factor_milli / 1000`
+    /// (1000 restores nominal speed).
+    pub fn set_tier_slowdown(&mut self, factor_milli: u32) {
+        self.slow_milli = factor_milli.max(1);
+    }
+
+    /// Puts `rack`'s tier breaker into half-open probation, as when its
+    /// board rejoins after a crash.
+    pub fn begin_rack_probation(&mut self, rack: usize, at: SimTime) {
+        let from = self.racks[rack].breaker.state();
+        self.racks[rack].breaker.begin_probation();
+        self.record_transition(at, TierScope::Rack(rack), from, true);
+    }
+
+    // ---- request path ----
+
+    /// Submits one request at `now` (nondecreasing across calls between
+    /// flushes). Routing happens here; the outcome materializes at the
+    /// next [`TieredService::flush`].
+    pub fn submit(
+        &mut self,
+        rows: Matrix,
+        now: SimTime,
+        opts: TierSubmit,
+    ) -> Result<TierTicket, ServeError> {
+        if rows.rows() == 0 {
+            return Err(ServeError::InvalidInput {
+                reason: "empty request",
+            });
+        }
+        if rows.cols() != self.mlp.input_size() {
+            return Err(ServeError::InvalidInput {
+                reason: "input width mismatch",
+            });
+        }
+        assert!(opts.rack < self.racks.len(), "rack index out of range");
+        self.clock = self.clock.max(now);
+        self.stats.submitted += 1;
+        let id = self.next_id;
+        self.next_id += 1;
+
+        let rack_usable = {
+            let slot = &self.racks[opts.rack];
+            !slot.partitioned && !slot.suspected && slot.breaker.state() != BreakerState::Open
+        };
+        let hedge_timeout = self.hedge_timeout();
+        let mut failed_over = false;
+        let primary = if rack_usable {
+            let submit = self.racks[opts.rack].service.submit_with(
+                &rows,
+                now,
+                SubmitOptions {
+                    client: opts.client,
+                    deadline: opts.deadline,
+                    hold: SimDuration::ZERO,
+                },
+            );
+            match submit {
+                Ok(ticket) => Primary::Rack(ticket),
+                // Admission rejection (shed, rate limit, infeasible
+                // deadline) is back-pressure, not a rack failure: fail
+                // over without charging the tier breaker.
+                Err(_) => {
+                    failed_over = true;
+                    self.regional_or_cpu()
+                }
+            }
+        } else {
+            failed_over = true;
+            self.regional_or_cpu()
+        };
+        if failed_over {
+            self.stats.failovers += 1;
+        }
+        let hedge_at = match primary {
+            Primary::Rack(_) => Some(now + hedge_timeout),
+            _ => None,
+        };
+        self.pending.push(PendingRequest {
+            id,
+            rack: opts.rack,
+            rows,
+            submit_at: now,
+            deadline: opts.deadline,
+            client: opts.client,
+            hedge_at,
+            primary,
+            failed_over,
+        });
+        Ok(TierTicket(id))
+    }
+
+    fn regional_or_cpu(&self) -> Primary {
+        if self.regional_breaker.state() == BreakerState::Open {
+            Primary::Cpu
+        } else {
+            Primary::Regional
+        }
+    }
+
+    /// Redeems a ticket after a flush.
+    pub fn take_outcome(&mut self, ticket: TierTicket) -> Option<TierOutcome> {
+        self.outcomes.remove(&ticket.0)
+    }
+
+    // ---- barrier advance ----
+
+    /// Advances the tier to `barrier`: heartbeats and the failure
+    /// detector, tier-breaker cooldowns, every owned service, hedges and
+    /// the CPU last rung. Afterwards every submitted request has exactly
+    /// one outcome.
+    pub fn flush(&mut self, barrier: SimTime) {
+        self.clock = self.clock.max(barrier);
+        self.advance_detector(barrier);
+        self.advance_breaker_cooldowns(barrier);
+        for rack in &mut self.racks {
+            rack.service.flush(barrier);
+        }
+        self.resolve_pending(barrier);
+    }
+
+    /// Replays heartbeat ticks up to `now` and updates suspicion.
+    fn advance_detector(&mut self, now: SimTime) {
+        let interval = self.config.heartbeat_interval;
+        let timeout = self.config.heartbeat_timeout;
+        for (i, slot) in self.racks.iter_mut().enumerate() {
+            while slot.beat_cursor <= now {
+                let tick = slot.beat_cursor;
+                slot.beat_cursor += interval;
+                // Silence applies from its exact start instant, and
+                // recovery from its exact end — the flags are set at
+                // barriers but the tick replay honors the instants.
+                let suppressed = if slot.silent {
+                    tick >= slot.silent_since
+                } else {
+                    tick < slot.resume_at && tick >= slot.silent_since
+                };
+                if suppressed {
+                    continue;
+                }
+                self.stats.heartbeats += 1;
+                slot.last_beat = tick;
+                if slot.suspected {
+                    // First heartbeat after silence: recover through
+                    // half-open probation.
+                    slot.suspected = false;
+                    self.stats.recoveries += 1;
+                    let from = slot.breaker.state();
+                    slot.breaker.begin_probation();
+                    if from != BreakerState::HalfOpen {
+                        self.transitions.push(TierTransition {
+                            at: tick,
+                            scope: TierScope::Rack(i),
+                            from,
+                            to: BreakerState::HalfOpen,
+                            probation: true,
+                        });
+                    }
+                }
+            }
+            if !slot.suspected && now.since(slot.last_beat) > timeout {
+                // Suspected at the exact instant the timeout elapsed.
+                let detected_at = slot.last_beat + timeout;
+                slot.suspected = true;
+                self.stats.suspects += 1;
+                let detection = detected_at.since(slot.silent_since.min(detected_at));
+                self.stats.detection_latency_total += detection;
+                self.stats.detection_latency_max = self.stats.detection_latency_max.max(detection);
+                let from = slot.breaker.state();
+                slot.breaker.trip();
+                if from != BreakerState::Open {
+                    self.transitions.push(TierTransition {
+                        at: detected_at,
+                        scope: TierScope::Rack(i),
+                        from,
+                        to: BreakerState::Open,
+                        probation: false,
+                    });
+                }
+            }
+        }
+    }
+
+    fn advance_breaker_cooldowns(&mut self, at: SimTime) {
+        for i in 0..self.racks.len() {
+            // A suspected rack stays fenced: its breaker reopens on the
+            // next detector pass anyway, so skip the cooldown while the
+            // detector still suspects it.
+            if self.racks[i].suspected {
+                continue;
+            }
+            let from = self.racks[i].breaker.state();
+            if self.racks[i].breaker.epoch_elapsed() {
+                self.transitions.push(TierTransition {
+                    at,
+                    scope: TierScope::Rack(i),
+                    from,
+                    to: BreakerState::HalfOpen,
+                    probation: false,
+                });
+            }
+        }
+        let from = self.regional_breaker.state();
+        if self.regional_breaker.epoch_elapsed() {
+            self.transitions.push(TierTransition {
+                at,
+                scope: TierScope::Regional,
+                from,
+                to: BreakerState::HalfOpen,
+                probation: false,
+            });
+        }
+    }
+
+    fn record_transition(
+        &mut self,
+        at: SimTime,
+        scope: TierScope,
+        from: BreakerState,
+        probation: bool,
+    ) {
+        let to = match scope {
+            TierScope::Rack(i) => self.racks[i].breaker.state(),
+            TierScope::Regional => self.regional_breaker.state(),
+        };
+        if from != to {
+            self.transitions.push(TierTransition {
+                at,
+                scope,
+                from,
+                to,
+                probation,
+            });
+        }
+    }
+
+    /// Scales a regional latency by the slow-tier factor.
+    fn scale_regional(&self, latency: SimDuration) -> SimDuration {
+        SimDuration::from_nanos(
+            ((latency.as_nanos() as u128 * self.slow_milli as u128) / 1000) as u64,
+        )
+    }
+
+    /// Resolution of one pending request after the rack rung.
+    fn resolve_pending(&mut self, barrier: SimTime) {
+        let pendings = std::mem::take(&mut self.pending);
+        // Phase 1: rack outcomes, hedge decisions, regional submissions.
+        struct Ladder {
+            pending: PendingRequest,
+            /// Successful rack completion `(reply, completed_at)`.
+            rack_reply: Option<(ClientReply, SimTime)>,
+            /// When the rack rung was given up on (hedge instant or
+            /// submit instant for direct failovers).
+            handover_at: SimTime,
+            hedged: bool,
+            regional: Option<RequestTicket>,
+            /// When the regional submission was made (if any).
+            regional_at: SimTime,
+        }
+        let mut ladders: Vec<Ladder> = Vec::with_capacity(pendings.len());
+        // Regional submissions must reach the service in nondecreasing
+        // time order; collect, sort, submit, then flush once.
+        let mut regional_submits: Vec<(SimTime, usize)> = Vec::new();
+        for pending in pendings {
+            let mut ladder = Ladder {
+                handover_at: pending.submit_at,
+                rack_reply: None,
+                hedged: false,
+                regional: None,
+                regional_at: pending.submit_at,
+                pending,
+            };
+            match ladder.pending.primary {
+                Primary::Rack(ticket) => {
+                    let hedge_at = ladder.pending.hedge_at.expect("rack primaries arm a hedge");
+                    let slot = &mut self.racks[ladder.pending.rack];
+                    let outcome = slot.service.take_outcome(ticket);
+                    let mut rack_failed_at: Option<SimTime> = None;
+                    match outcome {
+                        Some(Ok(reply)) if reply.output.is_some() => {
+                            let completed = ladder.pending.submit_at + reply.latency;
+                            self.latency_window.push(reply.latency);
+                            if self.latency_window.len() > self.config.hedge_window {
+                                let excess = self.latency_window.len() - self.config.hedge_window;
+                                self.latency_window.drain(..excess);
+                            }
+                            // A suspected rack's breaker belongs to the
+                            // failure detector: an in-flight success from
+                            // before the silence is stale evidence and
+                            // must not close it.
+                            if !slot.suspected {
+                                let from = slot.breaker.state();
+                                slot.breaker.record_success();
+                                self.record_transition(
+                                    barrier,
+                                    TierScope::Rack(ladder.pending.rack),
+                                    from,
+                                    false,
+                                );
+                            }
+                            ladder.rack_reply = Some((reply, completed));
+                        }
+                        Some(Ok(_)) | Some(Err(_)) | None => {
+                            // A fail-fast error (or a reply with no
+                            // output) is a rack-rung failure.
+                            let at = match outcome {
+                                Some(Err(ServeError::DeadlineExceeded { at, .. })) => at,
+                                _ => barrier,
+                            };
+                            rack_failed_at = Some(at);
+                            if !slot.suspected {
+                                let from = slot.breaker.state();
+                                slot.breaker.record_failure();
+                                self.record_transition(
+                                    barrier,
+                                    TierScope::Rack(ladder.pending.rack),
+                                    from,
+                                    false,
+                                );
+                            }
+                        }
+                    }
+                    // Hedge decision: at `hedge_at` the reply had not
+                    // arrived (completion later, or it never will).
+                    let hedge_needed = match (&ladder.rack_reply, rack_failed_at) {
+                        (Some((_, completed)), _) => *completed > hedge_at,
+                        (None, _) => true,
+                    };
+                    if hedge_needed {
+                        if self.regional_breaker.state() != BreakerState::Open {
+                            ladder.hedged = true;
+                            ladder.handover_at = hedge_at;
+                            self.stats.hedges += 1;
+                            regional_submits.push((hedge_at, ladders.len()));
+                        } else {
+                            // Regional rung fenced: hand straight to the
+                            // CPU rung at the instant the rack was given
+                            // up on.
+                            ladder.handover_at = match rack_failed_at {
+                                Some(at) => at.max(hedge_at),
+                                None => hedge_at,
+                            };
+                        }
+                    }
+                }
+                Primary::Regional => {
+                    regional_submits.push((ladder.pending.submit_at, ladders.len()));
+                }
+                Primary::Cpu => {}
+            }
+            ladders.push(ladder);
+        }
+
+        // Phase 2: regional rung.
+        regional_submits.sort_by_key(|&(at, idx)| (at, idx));
+        for (at, idx) in regional_submits {
+            let ladder = &mut ladders[idx];
+            let submit = self.regional.submit_with(
+                &ladder.pending.rows,
+                at,
+                SubmitOptions {
+                    client: ladder.pending.client,
+                    deadline: ladder.pending.deadline,
+                    hold: SimDuration::ZERO,
+                },
+            );
+            match submit {
+                Ok(ticket) => {
+                    ladder.regional = Some(ticket);
+                    ladder.regional_at = at;
+                }
+                Err(_) => {
+                    // Regional admission rejected: the CPU rung takes
+                    // over from the rejection instant.
+                    ladder.handover_at = ladder.handover_at.max(at);
+                }
+            }
+        }
+        self.regional.flush(barrier);
+
+        // Phase 3: race resolution and the CPU last rung.
+        for ladder in ladders {
+            let Ladder {
+                pending,
+                rack_reply,
+                mut handover_at,
+                hedged,
+                regional,
+                regional_at,
+            } = ladder;
+            let regional_reply: Option<(ClientReply, SimTime)> = regional.and_then(|ticket| {
+                match self.regional.take_outcome(ticket) {
+                    Some(Ok(reply)) if reply.output.is_some() => {
+                        let latency = self.scale_regional(reply.latency);
+                        let completed = regional_at + latency;
+                        // A slow-tier-stretched completion past the
+                        // deadline is a failure, never a late reply.
+                        let late = pending
+                            .deadline
+                            .is_some_and(|deadline| completed > deadline);
+                        if late {
+                            handover_at = handover_at.max(completed);
+                            None
+                        } else {
+                            Some((reply, completed))
+                        }
+                    }
+                    Some(Err(ServeError::DeadlineExceeded { at, .. })) => {
+                        handover_at = handover_at.max(at);
+                        None
+                    }
+                    _ => None,
+                }
+            });
+            // Charge the regional breaker once per regional attempt.
+            if regional.is_some() {
+                let from = self.regional_breaker.state();
+                match &regional_reply {
+                    Some(_) => self.regional_breaker.record_success(),
+                    None => self.regional_breaker.record_failure(),
+                }
+                self.record_transition(barrier, TierScope::Regional, from, false);
+            }
+
+            // The race: earliest completion wins; ties go to the rack.
+            let outcome = match (rack_reply, regional_reply) {
+                (Some((reply, rack_done)), Some((hedge, hedge_done))) => {
+                    if hedge_done < rack_done {
+                        self.stats.hedge_wins += 1;
+                        self.reply(
+                            &pending,
+                            hedge,
+                            hedge_done,
+                            ServedBy::Regional,
+                            hedged,
+                            true,
+                        )
+                    } else {
+                        self.reply(
+                            &pending,
+                            reply,
+                            rack_done,
+                            ServedBy::Rack(pending.rack),
+                            hedged,
+                            false,
+                        )
+                    }
+                }
+                (Some((reply, rack_done)), None) => self.reply(
+                    &pending,
+                    reply,
+                    rack_done,
+                    ServedBy::Rack(pending.rack),
+                    hedged,
+                    false,
+                ),
+                (None, Some((hedge, hedge_done))) => {
+                    if hedged {
+                        self.stats.hedge_wins += 1;
+                    }
+                    self.reply(
+                        &pending,
+                        hedge,
+                        hedge_done,
+                        ServedBy::Regional,
+                        hedged,
+                        hedged,
+                    )
+                }
+                (None, None) => self.cpu_rung(&pending, handover_at, hedged),
+            };
+            match &outcome {
+                TierOutcome::Reply(reply) => {
+                    self.stats.replies += 1;
+                    match reply.served_by {
+                        ServedBy::Rack(_) => self.stats.rack_served += 1,
+                        ServedBy::Regional => self.stats.regional_served += 1,
+                        ServedBy::LocalCpu => self.stats.cpu_served += 1,
+                    }
+                }
+                TierOutcome::Failed(_) => self.stats.failed += 1,
+            }
+            self.outcomes.insert(pending.id, outcome);
+        }
+    }
+
+    fn reply(
+        &self,
+        pending: &PendingRequest,
+        reply: ClientReply,
+        completed_at: SimTime,
+        served_by: ServedBy,
+        hedged: bool,
+        hedge_won: bool,
+    ) -> TierOutcome {
+        debug_assert!(
+            pending.deadline.is_none_or(|d| completed_at <= d),
+            "tier delivered a late reply"
+        );
+        TierOutcome::Reply(TierReply {
+            output: reply.output.expect("winning rung carries an output"),
+            latency: completed_at.since(pending.submit_at),
+            completed_at,
+            served_by,
+            hedged,
+            hedge_won,
+            failed_over: pending.failed_over,
+        })
+    }
+
+    /// Last rung: local CPU compute from `start`. Delivers only when the
+    /// deadline holds; otherwise resolves as a typed failure.
+    fn cpu_rung(&self, pending: &PendingRequest, start: SimTime, hedged: bool) -> TierOutcome {
+        let start = start.max(pending.submit_at);
+        let latency = self.cpu.latency(self.macs, pending.rows.rows());
+        let completed_at = start + latency;
+        if let Some(deadline) = pending.deadline {
+            if completed_at > deadline {
+                return TierOutcome::Failed(ServeError::DeadlineExceeded {
+                    deadline,
+                    at: completed_at,
+                    late_by: completed_at.since(deadline),
+                });
+            }
+        }
+        TierOutcome::Reply(TierReply {
+            output: self.mlp.forward_batch(&pending.rows),
+            latency: completed_at.since(pending.submit_at),
+            completed_at,
+            served_by: ServedBy::LocalCpu,
+            hedged,
+            hedge_won: false,
+            failed_over: pending.failed_over,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::Mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp() -> Mlp {
+        let mut rng = StdRng::seed_from_u64(9);
+        Mlp::with_topology(8, 4, 16, 2, &mut rng)
+    }
+
+    fn rows(mlp: &Mlp, n: usize) -> Matrix {
+        Matrix::from_rows(
+            (0..n)
+                .map(|i| {
+                    (0..mlp.input_size())
+                        .map(|j| (i + j) as f32 * 0.1)
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+
+    fn submit_opts(rack: usize) -> TierSubmit {
+        TierSubmit {
+            rack,
+            client: ClientId::new(7),
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn healthy_tier_serves_from_the_home_rack() {
+        let mlp = mlp();
+        let mut tier = TieredService::new(&mlp, TierConfig::default());
+        let ticket = tier
+            .submit(rows(&mlp, 2), SimTime::from_millis(1), submit_opts(1))
+            .unwrap();
+        tier.flush(SimTime::from_millis(500));
+        match tier.take_outcome(ticket).expect("resolved") {
+            TierOutcome::Reply(reply) => {
+                assert_eq!(reply.served_by, ServedBy::Rack(1));
+                assert!(!reply.failed_over);
+                assert_eq!(reply.output.rows(), 2);
+            }
+            TierOutcome::Failed(err) => panic!("unexpected failure: {err}"),
+        }
+        assert_eq!(tier.stats().rack_served, 1);
+        assert_eq!(tier.stats().failovers, 0);
+    }
+
+    #[test]
+    fn partitioned_rack_fails_over_to_regional() {
+        let mlp = mlp();
+        let mut tier = TieredService::new(&mlp, TierConfig::default());
+        tier.set_partitioned(0, true);
+        let ticket = tier
+            .submit(rows(&mlp, 1), SimTime::from_millis(1), submit_opts(0))
+            .unwrap();
+        tier.flush(SimTime::from_millis(500));
+        match tier.take_outcome(ticket).expect("resolved") {
+            TierOutcome::Reply(reply) => {
+                assert_eq!(reply.served_by, ServedBy::Regional);
+                assert!(reply.failed_over);
+            }
+            TierOutcome::Failed(err) => panic!("unexpected failure: {err}"),
+        }
+        assert_eq!(tier.stats().failovers, 1);
+    }
+
+    #[test]
+    fn silent_rack_is_suspected_at_the_exact_timeout_instant() {
+        let mlp = mlp();
+        let config = TierConfig::default();
+        let timeout = config.heartbeat_timeout;
+        let interval = config.heartbeat_interval;
+        let mut tier = TieredService::new(&mlp, config);
+        let silence = SimTime::from_millis(100);
+        tier.set_heartbeat_silent(2, true, silence);
+        tier.flush(SimTime::from_secs(1));
+        assert!(tier.suspected(2));
+        assert_eq!(tier.breaker_state(TierScope::Rack(2)), BreakerState::Open);
+        assert_eq!(tier.stats().suspects, 1);
+        // Last beat was the interval tick strictly before the silence
+        // start (a tick at the silence instant is already silent);
+        // detection fires exactly `timeout` later.
+        let last_beat = SimTime::from_nanos(
+            (silence.as_nanos() - 1) / interval.as_nanos() * interval.as_nanos(),
+        );
+        let expected = (last_beat + timeout).since(silence);
+        assert_eq!(tier.stats().detection_latency_max, expected);
+        // Submissions now fail over.
+        let ticket = tier
+            .submit(rows(&mlp, 1), SimTime::from_secs(1), submit_opts(2))
+            .unwrap();
+        tier.flush(SimTime::from_millis(1500));
+        match tier.take_outcome(ticket).unwrap() {
+            TierOutcome::Reply(reply) => {
+                assert_eq!(reply.served_by, ServedBy::Regional);
+                assert!(reply.failed_over);
+            }
+            TierOutcome::Failed(err) => panic!("unexpected failure: {err}"),
+        }
+        // Heartbeats resume: suspicion clears into half-open probation.
+        tier.set_heartbeat_silent(2, false, SimTime::from_millis(1500));
+        tier.flush(SimTime::from_secs(2));
+        assert!(!tier.suspected(2));
+        assert_eq!(
+            tier.breaker_state(TierScope::Rack(2)),
+            BreakerState::HalfOpen
+        );
+        assert_eq!(tier.stats().recoveries, 1);
+    }
+
+    #[test]
+    fn hedge_fires_when_the_rack_is_slower_than_the_timeout() {
+        let mlp = mlp();
+        // A zero-floor hedge timeout with an empty window hedges
+        // everything: the first request races rack vs regional.
+        let config = TierConfig {
+            hedge_min: SimDuration::ZERO,
+            ..TierConfig::default()
+        };
+        let mut tier = TieredService::new(&mlp, config);
+        let ticket = tier
+            .submit(rows(&mlp, 1), SimTime::from_millis(1), submit_opts(0))
+            .unwrap();
+        tier.flush(SimTime::from_millis(500));
+        assert_eq!(tier.stats().hedges, 1);
+        match tier.take_outcome(ticket).unwrap() {
+            TierOutcome::Reply(reply) => assert!(reply.hedged),
+            TierOutcome::Failed(err) => panic!("unexpected failure: {err}"),
+        }
+        // Later requests learn the observed latency and stop hedging
+        // (the p99 of the window now covers the rack's service time).
+        let ticket = tier
+            .submit(rows(&mlp, 1), SimTime::from_millis(600), submit_opts(0))
+            .unwrap();
+        tier.flush(SimTime::from_millis(1100));
+        assert_eq!(tier.stats().hedges, 1, "no second hedge");
+        match tier.take_outcome(ticket).unwrap() {
+            TierOutcome::Reply(reply) => {
+                assert!(!reply.hedged);
+                assert_eq!(reply.served_by, ServedBy::Rack(0));
+            }
+            TierOutcome::Failed(err) => panic!("unexpected failure: {err}"),
+        }
+    }
+
+    #[test]
+    fn cpu_last_rung_serves_when_both_tiers_are_fenced() {
+        let mlp = mlp();
+        let mut tier = TieredService::new(&mlp, TierConfig::default());
+        tier.set_partitioned(3, true);
+        // Trip the regional breaker by hand: every regional rung is
+        // fenced and the CPU must serve.
+        for _ in 0..tier.config.breaker_threshold {
+            tier.regional_breaker.record_failure();
+        }
+        let ticket = tier
+            .submit(rows(&mlp, 2), SimTime::from_millis(1), submit_opts(3))
+            .unwrap();
+        tier.flush(SimTime::from_millis(500));
+        match tier.take_outcome(ticket).unwrap() {
+            TierOutcome::Reply(reply) => {
+                assert_eq!(reply.served_by, ServedBy::LocalCpu);
+                assert!(reply.failed_over);
+                // Bit-exact with the float model.
+                assert_eq!(reply.output, mlp.forward_batch(&rows(&mlp, 2)));
+            }
+            TierOutcome::Failed(err) => panic!("unexpected failure: {err}"),
+        }
+        assert_eq!(tier.stats().cpu_served, 1);
+    }
+
+    #[test]
+    fn impossible_deadline_fails_typed_instead_of_late() {
+        let mlp = mlp();
+        let mut tier = TieredService::new(&mlp, TierConfig::default());
+        tier.set_partitioned(0, true);
+        for _ in 0..tier.config.breaker_threshold {
+            tier.regional_breaker.record_failure();
+        }
+        let opts = TierSubmit {
+            rack: 0,
+            client: ClientId::new(1),
+            deadline: Some(SimTime::from_millis(1) + SimDuration::from_nanos(10)),
+        };
+        let ticket = tier
+            .submit(rows(&mlp, 1), SimTime::from_millis(1), opts)
+            .unwrap();
+        tier.flush(SimTime::from_millis(500));
+        match tier.take_outcome(ticket).unwrap() {
+            TierOutcome::Failed(ServeError::DeadlineExceeded { .. }) => {}
+            other => panic!("expected a typed deadline failure, got {other:?}"),
+        }
+        assert_eq!(tier.stats().failed, 1);
+        assert_eq!(tier.stats().replies, 0);
+    }
+
+    #[test]
+    fn conservation_every_ticket_resolves_exactly_once() {
+        let mlp = mlp();
+        let config = TierConfig {
+            hedge_min: SimDuration::from_nanos(100),
+            ..TierConfig::default()
+        };
+        let mut tier = TieredService::new(&mlp, config);
+        tier.set_heartbeat_silent(1, true, SimTime::ZERO);
+        let mut tickets = Vec::new();
+        for i in 0..40u64 {
+            let at = SimTime::from_millis(1 + i * 7);
+            let opts = submit_opts((i % 4) as usize);
+            tickets.push(tier.submit(rows(&mlp, 1), at, opts).unwrap());
+        }
+        tier.flush(SimTime::from_millis(600));
+        let mut resolved = 0;
+        for ticket in &tickets {
+            if tier.take_outcome(*ticket).is_some() {
+                resolved += 1;
+            }
+            assert!(tier.take_outcome(*ticket).is_none(), "double resolution");
+        }
+        assert_eq!(resolved, tickets.len());
+        let stats = tier.stats();
+        assert_eq!(stats.replies + stats.failed, tickets.len() as u64);
+    }
+
+    #[test]
+    fn invalid_input_is_rejected_at_the_door() {
+        let mlp = mlp();
+        let mut tier = TieredService::new(&mlp, TierConfig::default());
+        let empty = Matrix::zeros(0, mlp.input_size());
+        assert!(matches!(
+            tier.submit(empty, SimTime::ZERO, submit_opts(0)),
+            Err(ServeError::InvalidInput { .. })
+        ));
+        let narrow = Matrix::zeros(1, mlp.input_size() + 1);
+        assert!(matches!(
+            tier.submit(narrow, SimTime::ZERO, submit_opts(0)),
+            Err(ServeError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_topologies() {
+        let config = TierConfig {
+            racks: 0,
+            ..TierConfig::default()
+        };
+        assert_eq!(config.validate(), Err(ConfigError::ZeroRacks));
+        let config = TierConfig {
+            heartbeat_timeout: SimDuration::from_nanos(1),
+            ..TierConfig::default()
+        };
+        assert_eq!(config.validate(), Err(ConfigError::InvalidHeartbeat));
+        let config = TierConfig {
+            hedge_quantile: 1.5,
+            ..TierConfig::default()
+        };
+        assert_eq!(config.validate(), Err(ConfigError::InvalidHedge));
+    }
+}

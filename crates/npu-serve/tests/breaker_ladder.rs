@@ -3,9 +3,12 @@
 //! admitted request is ever lost — a fenced-off pool drains to the CPU.
 
 use faults::{BreakerState, FaultInjector, FaultPlan};
-use hmc_types::SimTime;
+use hmc_types::{SimDuration, SimTime};
 use nn::{Matrix, Mlp};
-use npu_serve::{NpuService, ServeConfig};
+use npu_serve::{
+    ClientId, NpuService, ServeConfig, TierConfig, TierOutcome, TierScope, TierSubmit,
+    TieredService,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use trace::{FaultKind, TraceEvent};
@@ -184,4 +187,158 @@ fn storm_with_deadlines_never_serves_late() {
     // The invariant under any storm: zero late replies.
     assert_eq!(service.stats().deadline_misses, 0);
     assert_eq!(service.stats().dropped(), 0);
+}
+
+/// A churn-friendly tier: two racks, a 50 ms heartbeat with a 160 ms
+/// timeout, and a cooldown long enough that only an explicit rejoin can
+/// half-open a tripped breaker within a test.
+fn tier() -> TieredService {
+    TieredService::new(
+        &mlp(),
+        TierConfig {
+            racks: 2,
+            hedge_min: SimDuration::from_millis(20),
+            breaker_cooldown: 1_000,
+            ..TierConfig::default()
+        },
+    )
+}
+
+fn tier_request(seed: usize) -> Matrix {
+    request(seed)
+}
+
+#[test]
+fn breaker_opens_while_its_board_is_crashing() {
+    let mut service = tier();
+    // The board behind rack 0 starts crashing at t=0: its heartbeats stop
+    // mid-run while a request is still in flight on the rack.
+    service.set_heartbeat_silent(0, true, ms(0));
+    let early = service
+        .submit(
+            tier_request(0),
+            ms(10),
+            TierSubmit {
+                rack: 0,
+                client: ClientId::new(1),
+                deadline: None,
+            },
+        )
+        .expect("valid request");
+    // The flush crosses the 160 ms silence threshold: the failure
+    // detector must suspect the rack and trip its breaker open — and the
+    // in-flight request must still resolve exactly once.
+    service.flush(ms(300));
+    assert!(service.suspected(0), "silent rack must be suspected");
+    assert_eq!(
+        service.breaker_state(TierScope::Rack(0)),
+        BreakerState::Open
+    );
+    assert!(
+        service.take_outcome(early).is_some(),
+        "the in-flight request must drain despite the crash"
+    );
+    let trip = service
+        .drain_transitions()
+        .into_iter()
+        .find(|t| t.scope == TierScope::Rack(0) && t.to == BreakerState::Open)
+        .expect("the detector trip must be traced");
+    assert_eq!(trip.from, BreakerState::Closed);
+    assert!(!trip.probation);
+    assert_eq!(
+        trip.at,
+        ms(160),
+        "the trip carries the exact suspicion instant"
+    );
+
+    // Later submissions from the crashed board's clients fail over away
+    // from the dead rack; nothing is lost.
+    let late = service
+        .submit(
+            tier_request(1),
+            ms(350),
+            TierSubmit {
+                rack: 0,
+                client: ClientId::new(1),
+                deadline: None,
+            },
+        )
+        .expect("valid request");
+    service.flush(ms(500));
+    match service.take_outcome(late).expect("flushed") {
+        TierOutcome::Reply(reply) => assert!(reply.failed_over, "a dead rack cannot serve"),
+        TierOutcome::Failed(err) => panic!("failover path lost the request: {err}"),
+    }
+    let stats = *service.stats();
+    assert_eq!(stats.suspects, 1);
+    assert_eq!(stats.replies + stats.failed, stats.submitted);
+    assert!(stats.failovers > 0);
+}
+
+#[test]
+fn rejoining_board_starts_with_a_half_open_breaker() {
+    let mut service = tier();
+    // Crash: silence trips the rack breaker open (as above).
+    service.set_heartbeat_silent(0, true, ms(0));
+    service.flush(ms(300));
+    assert_eq!(
+        service.breaker_state(TierScope::Rack(0)),
+        BreakerState::Open
+    );
+    service.drain_transitions();
+
+    // Rejoin: heartbeats resume and the fleet enters the rack into
+    // probation — the breaker must come back half-open, never closed.
+    service.set_heartbeat_silent(0, false, ms(400));
+    service.begin_rack_probation(0, ms(400));
+    assert_eq!(
+        service.breaker_state(TierScope::Rack(0)),
+        BreakerState::HalfOpen
+    );
+    let probation = service
+        .drain_transitions()
+        .into_iter()
+        .find(|t| t.scope == TierScope::Rack(0) && t.to == BreakerState::HalfOpen)
+        .expect("the probation entry must be traced");
+    assert!(probation.probation);
+    assert_eq!(probation.from, BreakerState::Open);
+
+    // Let the detector hear a heartbeat again, then send the probe: a
+    // successful request through the rejoined rack closes the breaker.
+    service.flush(ms(500));
+    assert!(!service.suspected(0), "heard heartbeats clear suspicion");
+    let probe = service
+        .submit(
+            tier_request(2),
+            ms(510),
+            TierSubmit {
+                rack: 0,
+                client: ClientId::new(2),
+                deadline: None,
+            },
+        )
+        .expect("valid request");
+    service.flush(ms(700));
+    match service.take_outcome(probe).expect("flushed") {
+        TierOutcome::Reply(reply) => {
+            assert!(!reply.failed_over, "a half-open rack admits its probe");
+            assert_eq!(reply.served_by, npu_serve::ServedBy::Rack(0));
+        }
+        TierOutcome::Failed(err) => panic!("the probe must succeed: {err}"),
+    }
+    assert_eq!(
+        service.breaker_state(TierScope::Rack(0)),
+        BreakerState::Closed
+    );
+    let closes = service
+        .drain_transitions()
+        .into_iter()
+        .filter(|t| t.scope == TierScope::Rack(0))
+        .collect::<Vec<_>>();
+    assert!(closes
+        .iter()
+        .any(|t| t.from == BreakerState::HalfOpen && t.to == BreakerState::Closed));
+    let stats = *service.stats();
+    assert_eq!(stats.recoveries, 1);
+    assert_eq!(stats.replies + stats.failed, stats.submitted);
 }

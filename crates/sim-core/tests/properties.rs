@@ -167,4 +167,157 @@ proptest! {
         prop_assert_eq!(a.len(), raws.len(), "an event was lost or duplicated");
         prop_assert_eq!(a, run(), "same schedule, different execution");
     }
+
+    /// Cancel-then-repost interleavings: an event may be cancelled and
+    /// replaced (possibly at the same key) at any point between pops.
+    /// After every single operation the ledger balances —
+    /// `scheduled == fired + cancelled + pending` — the cancelled
+    /// original never fires, and the whole interleaving is deterministic.
+    #[test]
+    fn cancel_then_repost_balances_the_ledger(
+        raws in proptest::collection::vec(0u64..2_000, 2..60),
+        ops in proptest::collection::vec(0u64..6, 2..60),
+    ) {
+        let dst = ComponentId::default_for_tests();
+        let run = || {
+            let mut queue: EventQueue<usize> = EventQueue::new();
+            let mut alive: Vec<(sim_core::EventId, usize)> = Vec::new();
+            let mut cancelled_payloads = Vec::new();
+            let mut fired = Vec::new();
+            let mut next_payload = raws.len();
+            let balanced = |q: &EventQueue<usize>| {
+                let s = q.stats();
+                s.scheduled == s.executed + s.cancelled + q.len() as u64
+            };
+            for (i, &raw) in raws.iter().enumerate() {
+                let (t, p) = key_of(raw);
+                alive.push((queue.push(t, dst, p, i), i));
+                assert!(balanced(&queue), "ledger broke after push");
+                match ops[i % ops.len()] {
+                    // Cancel the oldest live event, then repost a
+                    // replacement at the same key under a fresh payload.
+                    0 => {
+                        let (id, payload) = alive.remove(0);
+                        assert!(queue.cancel(id), "live event refused cancellation");
+                        assert!(!queue.cancel(id), "double cancel accepted");
+                        cancelled_payloads.push(payload);
+                        assert!(balanced(&queue), "ledger broke after cancel");
+                        alive.push((queue.push(t, dst, p, next_payload), next_payload));
+                        next_payload += 1;
+                        assert!(balanced(&queue), "ledger broke after repost");
+                    }
+                    // Cancel the newest live event without a replacement.
+                    1 => {
+                        let (id, payload) = alive.pop().expect("just pushed");
+                        assert!(queue.cancel(id));
+                        cancelled_payloads.push(payload);
+                        assert!(balanced(&queue), "ledger broke after cancel");
+                    }
+                    // Pop one event mid-stream.
+                    2 | 3 => {
+                        if let Some(event) = queue.pop() {
+                            alive.retain(|&(id, _)| id != event.id);
+                            fired.push(event.payload);
+                        }
+                        assert!(balanced(&queue), "ledger broke after pop");
+                    }
+                    _ => {}
+                }
+            }
+            while let Some(event) = queue.pop() {
+                fired.push(event.payload);
+                assert!(balanced(&queue), "ledger broke during the final drain");
+            }
+            let stats = queue.stats();
+            assert!(queue.is_empty(), "drain left pendings");
+            assert_eq!(stats.executed + stats.cancelled, stats.scheduled);
+            (fired, cancelled_payloads, stats)
+        };
+        let (fired, cancelled_payloads, stats) = run();
+        for payload in &cancelled_payloads {
+            prop_assert!(!fired.contains(payload), "cancelled event {payload} fired anyway");
+        }
+        prop_assert_eq!(
+            fired.len() + cancelled_payloads.len(),
+            stats.scheduled as usize,
+            "an event neither fired nor was cancelled"
+        );
+        let mut unique = fired.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), fired.len(), "an event fired twice");
+        prop_assert_eq!(run().0, fired, "same interleaving, different fire order");
+    }
+
+    /// Tombstone-drain interleavings: cancellations bury tombstones deep
+    /// in the heap and pops discard them lazily. However pops and late
+    /// cancels interleave, tombstoned events never surface, live pops
+    /// never regress in `(time, priority)`, and
+    /// `scheduled == fired + cancelled + pending` holds at every step.
+    #[test]
+    fn tombstone_drain_balances_the_ledger(
+        raws in proptest::collection::vec(0u64..2_000, 1..80),
+        mask in proptest::collection::vec(0u64..3, 1..80),
+        late_mask in proptest::collection::vec(0u64..4, 1..80),
+    ) {
+        let dst = ComponentId::default_for_tests();
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        let ids: Vec<_> = raws
+            .iter()
+            .enumerate()
+            .map(|(i, &raw)| {
+                let (t, p) = key_of(raw);
+                queue.push(t, dst, p, i)
+            })
+            .collect();
+        let balanced = |q: &EventQueue<usize>| {
+            let s = q.stats();
+            s.scheduled == s.executed + s.cancelled + q.len() as u64
+        };
+        // First wave: tombstone a subset while everything is pending.
+        let mut dead: Vec<usize> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if mask[i % mask.len()] == 0 {
+                prop_assert!(queue.cancel(*id));
+                dead.push(i);
+                prop_assert!(balanced(&queue), "ledger broke while tombstoning");
+            }
+        }
+        // Drain with late cancellations racing the pops.
+        let mut fired = Vec::new();
+        let mut last = (SimTime::ZERO, 0u64);
+        let mut step = 0usize;
+        while !queue.is_empty() {
+            if late_mask[step % late_mask.len()] == 0 {
+                // Cancel the first still-pending event; `cancel` itself is
+                // the liveness test (it refuses fired or dead events).
+                if let Some(i) = (0..ids.len()).find(|&i| queue.cancel(ids[i])) {
+                    dead.push(i);
+                    prop_assert!(balanced(&queue), "ledger broke on a late cancel");
+                    step += 1;
+                    continue;
+                }
+            }
+            if let Some(event) = queue.pop() {
+                prop_assert!(
+                    (event.time, event.priority) >= last,
+                    "a tombstone drain made time regress"
+                );
+                last = (event.time, event.priority);
+                fired.push(event.payload);
+                prop_assert!(balanced(&queue), "ledger broke on a pop");
+            }
+            step += 1;
+        }
+        for i in &dead {
+            prop_assert!(!fired.contains(i), "tombstoned event {i} surfaced");
+        }
+        let stats = queue.stats();
+        prop_assert_eq!(stats.scheduled, raws.len() as u64);
+        prop_assert_eq!(stats.executed, fired.len() as u64);
+        prop_assert_eq!(stats.cancelled, dead.len() as u64);
+        prop_assert_eq!(stats.executed + stats.cancelled, stats.scheduled);
+        prop_assert_eq!(queue.len(), 0);
+        prop_assert_eq!(queue.next_time(), None);
+    }
 }
