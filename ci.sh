@@ -6,17 +6,33 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# Per-gate wall-clock accounting: every gate runs between gate_begin and
+# gate_end "name", and the summary at the bottom prints where CI time went.
+gate_timing=""
+gate_t0=0
+gate_begin() { gate_t0=$(date +%s%N); }
+gate_end() {
+    local gate_ms=$(( ($(date +%s%N) - gate_t0) / 1000000 ))
+    gate_timing="${gate_timing}$(printf '  %-28s %6d ms' "$1" "$gate_ms")"$'\n'
+}
+
+gate_begin
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
+gate_end "fmt + clippy"
+
+gate_begin
 cargo test -q -p trace
 if [ "${FULL:-0}" = "1" ]; then
     cargo test --workspace -q -- --include-ignored
 else
     cargo test --workspace -q
 fi
+gate_end "test suite"
 
 # Crash-recovery gate: an interrupted sweep, resumed, must reproduce the
 # uninterrupted run's CSV (incl. per-point trace hashes) byte-for-byte.
+gate_begin
 cargo build --release -q -p bench --bin experiments
 ckpt_tmp="$(mktemp -d)"
 trap 'rm -rf "$ckpt_tmp"' EXIT
@@ -33,12 +49,14 @@ if [ "$status" -ne 130 ]; then
 fi
 "$experiments" sweep --points 2 --state "$ckpt_tmp/state" --out "$ckpt_tmp/resumed" >/dev/null
 diff "$ckpt_tmp/ref/sweep.csv" "$ckpt_tmp/resumed/sweep.csv"
+gate_end "crash-recovery gate"
 echo "crash-recovery gate passed"
 
 # Fleet smoke + parallel-determinism gate: 16 boards x 200 epochs on the
 # shared NPU service must drop zero requests, beat the serial baseline 3x,
 # stay bit-exact — and produce byte-identical CSV whether the boards are
 # stepped by one thread or four.
+gate_begin
 "$experiments" fleet --boards 16 --epochs 200 --threads 1 --out "$ckpt_tmp/fleet-a" >/dev/null 2>&1
 "$experiments" fleet --boards 16 --epochs 200 --threads 4 --out "$ckpt_tmp/fleet-b" >/dev/null 2>&1
 fleet_csv="$ckpt_tmp/fleet-a/fleet.csv"
@@ -50,6 +68,7 @@ awk -F, '$3 == "speedup_vs_serial" && $4 < 3.0 { exit 1 }' "$fleet_csv" || {
     echo "fleet gate: batched speedup below 3x" >&2; exit 1; }
 diff "$fleet_csv" "$ckpt_tmp/fleet-b/fleet.csv" || {
     echo "fleet gate: CSV diverged between --threads 1 and --threads 4" >&2; exit 1; }
+gate_end "fleet gate"
 echo "fleet smoke + parallel-determinism gate passed"
 
 # Overload gate: 10x open-loop traffic plus a fault storm. Admitted
@@ -57,6 +76,7 @@ echo "fleet smoke + parallel-determinism gate passed"
 # keeps serving), the breaker must actually cycle, the run must finish
 # inside a hard wall-clock budget, and the CSV must be byte-identical
 # whether payload generation uses one thread or four.
+gate_begin
 timeout 300 "$experiments" overload --threads 1 --storm --out "$ckpt_tmp/ov-a" >/dev/null 2>&1 || {
     echo "overload gate: run failed or exceeded the 300s wall-clock budget" >&2; exit 1; }
 timeout 300 "$experiments" overload --threads 4 --storm --out "$ckpt_tmp/ov-b" >/dev/null 2>&1 || {
@@ -74,6 +94,7 @@ awk -F, '$3 == "breaker_opens" && $1 == "summary" && $4 == 0 { exit 1 }' "$overl
     echo "overload gate: the fault storm never tripped a breaker" >&2; exit 1; }
 diff "$overload_csv" "$ckpt_tmp/ov-b/overload.csv" || {
     echo "overload gate: CSV diverged between --threads 1 and --threads 4" >&2; exit 1; }
+gate_end "overload gate"
 echo "overload gate passed"
 
 # Event-kernel gate: the sim-core event driver is now the default loop
@@ -82,6 +103,7 @@ echo "overload gate passed"
 # from the CLI — and skipping idle barriers on a sparse fleet must not
 # cost wall time. (The fleet and overload gates above already exercise
 # the event driver: it is the default.)
+gate_begin
 cargo test -q --test event_kernel_equivalence
 "$experiments" overload --threads 1 --storm --driver lockstep \
     --out "$ckpt_tmp/ek-ov" >/dev/null 2>&1
@@ -105,12 +127,14 @@ if [ "$event_ms" -gt $(( lock_ms * 3 / 2 + 2000 )) ]; then
     echo "event-kernel gate: sparse fleet took ${event_ms}ms event-driven vs ${lock_ms}ms lockstep" >&2
     exit 1
 fi
+gate_end "event-kernel gate"
 echo "event-kernel gate passed (sparse fleet: ${lock_ms}ms lockstep, ${event_ms}ms event)"
 
 # Chaos gate: a seeded storm grid under the always-on invariant checker.
 # Every storm must finish with zero invariant violations, and the CSV
 # must be byte-identical across thread budgets (1 vs 4) and across the
 # event and lockstep drivers. FULL=1 widens the grid into a soak.
+gate_begin
 chaos_args="--boards 8 --racks 2 --epochs 24 --seed 11 --threads 1"
 storms="crash-wave partition heartbeat slow-tier all"
 seeds="11"
@@ -141,4 +165,36 @@ diff "$ckpt_tmp/chaos-all-11/chaos.csv" "$ckpt_tmp/chaos-t4/chaos.csv" || {
     --out "$ckpt_tmp/chaos-lock" >/dev/null 2>&1
 diff "$ckpt_tmp/chaos-all-11/chaos.csv" "$ckpt_tmp/chaos-lock/chaos.csv" || {
     echo "chaos gate: CSV diverged between event and lockstep drivers" >&2; exit 1; }
+gate_end "chaos gate"
 echo "chaos gate passed (storms: $storms; seeds: $seeds)"
+
+# Edge-fleet gate: 1k boards of the datacenter-scale simulator (user
+# frontier + network model + tiered service, region-sharded). The run
+# must finish with zero invariant violations, actually serve traffic,
+# and produce byte-identical CSV across thread budgets (1 vs 4) and
+# across the event and lockstep drivers.
+gate_begin
+edge_args="--boards 1000 --racks 8 --epochs 24 --seed 11"
+# shellcheck disable=SC2086
+"$experiments" edge $edge_args --threads 1 \
+    --out "$ckpt_tmp/edge-t1" >/dev/null 2>&1 || {
+    echo "edge gate: run failed or violated an invariant" >&2; exit 1; }
+edge_csv="$ckpt_tmp/edge-t1/edge.csv"
+grep -q '^summary,,invariant_violations,0$' "$edge_csv" || {
+    echo "edge gate: invariant violations reported" >&2; exit 1; }
+awk -F, '$1 == "summary" && $3 == "replies" && $4 == 0 { exit 1 }' "$edge_csv" || {
+    echo "edge gate: the fleet served nothing" >&2; exit 1; }
+# shellcheck disable=SC2086
+"$experiments" edge $edge_args --threads 4 \
+    --out "$ckpt_tmp/edge-t4" >/dev/null 2>&1
+diff "$edge_csv" "$ckpt_tmp/edge-t4/edge.csv" || {
+    echo "edge gate: CSV diverged between --threads 1 and --threads 4" >&2; exit 1; }
+# shellcheck disable=SC2086
+"$experiments" edge $edge_args --threads 1 --driver lockstep \
+    --out "$ckpt_tmp/edge-lock" >/dev/null 2>&1
+diff "$edge_csv" "$ckpt_tmp/edge-lock/edge.csv" || {
+    echo "edge gate: CSV diverged between event and lockstep drivers" >&2; exit 1; }
+gate_end "edge gate"
+echo "edge-fleet gate passed"
+
+printf 'gate timing summary:\n%s' "$gate_timing"

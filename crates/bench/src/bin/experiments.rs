@@ -35,6 +35,7 @@ const USAGE: &str = "\
 usage: experiments [--full] [--out <dir>] [--state <dir>] [--points <n>]
                    [--boards <n>] [--racks <n>] [--epochs <n>] [--devices <n>]
                    [--threads <n>] [--clients <n>] [--overload <x>] [--seed <n>]
+                   [--users <n>] [--load <x>] [--replay <file>]
                    [--churn <period>] [--churn-down <epochs>]
                    [--storm [preset]] [--driver <event|lockstep>] [COMMAND ...]
 
@@ -51,13 +52,20 @@ multiple of pool capacity) and a bare `--storm` (add a device fault storm)
 size the `overload` experiment. `--boards`, `--racks`, `--epochs` and
 `--seed` size the `chaos` experiment; `--storm <preset>` picks its fault
 storm (`crash-wave`, `partition`, `heartbeat`, `slow-tier` or `all`).
+`--boards`, `--racks` (racks per region), `--epochs`, `--seed`,
+`--users` (logical users) and `--load <x>` (mean requests per board per
+epoch) size the `edge` experiment; `--replay <file>` drives its demand
+from a recorded workload CSV instead of the synthetic rate model, and a
+bare `--storm` injects its regional backbone outage.
 `--threads <n>` sets the host-thread budget of `train`, `sweep`, `fleet`,
-`overload` and `chaos` (default: all available cores). Every command
-produces the same bytes at every thread count — the budget changes wall
-time only. `--driver` selects the simulation loop of `fleet`, `overload`
-and `chaos`: the `sim-core` event kernel (`event`, the default) or the
-fixed-barrier reference (`lockstep`); both produce identical bytes.
+`overload`, `chaos` and `edge` (default: all available cores). Every
+command produces the same bytes at every thread count — the budget
+changes wall time only. `--driver` selects the simulation loop of
+`fleet`, `overload`, `chaos` and `edge`: the `sim-core` event kernel
+(`event`, the default) or the fixed-barrier reference (`lockstep`); both
+produce identical bytes.
 
+`--help`, `-h`, `help` and `list` print this usage to stdout and exit 0.
 Unknown commands, unknown flags, and malformed flag values print this
 usage to stderr and exit with status 2.
 
@@ -88,6 +96,7 @@ commands:
   fleet        multi-board fleet sharing one batched NPU inference service
   overload     adversarial 10x-overload harness against the shared service
   chaos        seeded fault storms under an always-on invariant checker
+  edge         datacenter-scale edge fleet: user/request frontier + network model
   sweep        crash-safe resumable robustness sweep (uses --state)
   train        crash-safe resumable IL training (uses --state)
   all          everything above except sweep and train
@@ -115,6 +124,7 @@ const COMMANDS: &[&str] = &[
     "fleet",
     "overload",
     "chaos",
+    "edge",
     "sweep",
     "train",
     "all",
@@ -148,7 +158,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args
         .iter()
-        .any(|a| a == "--help" || a == "-h" || a == "list")
+        .any(|a| a == "--help" || a == "-h" || a == "help" || a == "list")
     {
         print!("{USAGE}");
         return;
@@ -165,6 +175,9 @@ fn main() {
     let mut clients: Option<usize> = None;
     let mut overload: Option<f64> = None;
     let mut seed: Option<u64> = None;
+    let mut users: Option<u64> = None;
+    let mut load: Option<f64> = None;
+    let mut replay: Option<PathBuf> = None;
     let mut churn_period: Option<u64> = None;
     let mut churn_down: Option<u64> = None;
     let mut storm = false;
@@ -187,6 +200,9 @@ fn main() {
             "--clients" => clients = Some(flag_number(&args, &mut i, arg)),
             "--overload" => overload = Some(flag_number(&args, &mut i, arg)),
             "--seed" => seed = Some(flag_number(&args, &mut i, arg)),
+            "--users" => users = Some(flag_number(&args, &mut i, arg)),
+            "--load" => load = Some(flag_number(&args, &mut i, arg)),
+            "--replay" => replay = Some(PathBuf::from(flag_value(&args, &mut i, arg))),
             "--churn" => churn_period = Some(flag_number(&args, &mut i, arg)),
             "--churn-down" => churn_down = Some(flag_number(&args, &mut i, arg)),
             "--driver" => match flag_value(&args, &mut i, arg) {
@@ -455,6 +471,92 @@ fn main() {
                 if !report.violations.is_empty() {
                     eprintln!(
                         "chaos: {} invariant violation(s) — see the `violation` CSV rows",
+                        report.violations.len()
+                    );
+                    std::process::exit(1);
+                }
+            }
+            "edge" => {
+                let mut config = edge_sim::EdgeConfig::default();
+                if let Some(n) = boards {
+                    config.boards = n;
+                }
+                if let Some(n) = racks {
+                    config.racks_per_region = n;
+                }
+                if let Some(n) = epochs {
+                    config.epochs = n;
+                }
+                if let Some(n) = seed {
+                    config.seed = n;
+                }
+                if let Some(n) = users {
+                    config.users = n;
+                }
+                if let Some(x) = load {
+                    config.load = x;
+                }
+                config.outage = storm;
+                config.budget = budget;
+                if let Some(path) = &replay {
+                    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                        usage_error(&format!(
+                            "flag `--replay` could not read `{}`: {e}",
+                            path.display()
+                        ))
+                    });
+                    let workload = workloads::replay::from_csv(&text).unwrap_or_else(|e| {
+                        usage_error(&format!(
+                            "flag `--replay` got a malformed workload `{}`: {e}",
+                            path.display()
+                        ))
+                    });
+                    config.demand = edge_sim::Demand::Replay(workloads::replay::EpochReplay::new(
+                        &workload,
+                        config.epoch,
+                        config.epochs,
+                    ));
+                }
+                eprintln!(
+                    "edge: {} boards in {} regions x {} racks, {} users x {} epochs, \
+                     seed {}, {} thread(s), {:?} driver{}{} ...",
+                    config.boards,
+                    config.regions,
+                    config.racks_per_region,
+                    config.users,
+                    config.epochs,
+                    config.seed,
+                    config.budget.effective_threads(),
+                    driver,
+                    if config.outage {
+                        ", backbone outage"
+                    } else {
+                        ""
+                    },
+                    if replay.is_some() {
+                        ", replayed demand"
+                    } else {
+                        ""
+                    }
+                );
+                let started = Instant::now();
+                let report = edge_sim::run_with_driver(&config, driver);
+                let wall = started.elapsed().as_secs_f64();
+                eprintln!("{report}");
+                // Wall-clock throughput goes to stderr only; the CSV
+                // stays byte-deterministic.
+                eprintln!(
+                    "edge: {:.1} simulated boards/s, {:.0} requests/s ({:.2} s wall)",
+                    config.boards as f64 / wall,
+                    report.submitted as f64 / wall,
+                    wall
+                );
+                let csv = bench::csv::edge_csv(&report);
+                print!("{csv}");
+                report_csv(write_csv(&out, "edge.csv", csv));
+                if !report.violations.is_empty() {
+                    eprintln!(
+                        "edge: {} invariant violation(s) — see the `violation` CSV rows",
                         report.violations.len()
                     );
                     std::process::exit(1);

@@ -437,19 +437,11 @@ struct Plan {
     epoch_ranges: Vec<(usize, usize)>,
 }
 
-/// splitmix64 — the same pure hash the storm builder uses.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
 /// A payload as a pure function of its seed.
 fn payload(seed: u64, rows: usize, width: usize) -> Matrix {
     let mut flat = Vec::with_capacity(rows * width);
     for i in 0..rows * width {
-        let draw = splitmix64(seed ^ (i as u64) << 1);
+        let draw = sim_core::splitmix64(seed ^ (i as u64) << 1);
         flat.push((draw % 2_000) as f32 / 1_000.0 - 1.0);
     }
     Matrix::from_flat(rows, width, flat)
@@ -468,7 +460,8 @@ fn plan(config: &ChaosConfig, width: usize) -> Plan {
         let mut batch: Vec<Arrival> = (0..config.boards)
             .filter(|&board| schedule.alive(board, epoch))
             .map(|board| {
-                let seed = splitmix64(config.seed ^ (epoch << 24) ^ ((board as u64) << 4));
+                let seed =
+                    sim_core::splitmix64(config.seed ^ (epoch << 24) ^ ((board as u64) << 4));
                 let at = base + SimDuration::from_nanos(seed % (epoch_ns / 2));
                 Arrival {
                     board,
@@ -532,6 +525,10 @@ fn apply_storm(service: &mut TieredService, plan: &Plan, racks: usize, epoch: u6
             }
             FleetFault::TierSlow { factor_milli } => service.set_tier_slowdown(factor_milli),
             FleetFault::TierRecover => service.set_tier_slowdown(1_000),
+            // The chaos harness drives a single-region tier: a regional
+            // outage maps onto its one backbone.
+            FleetFault::RegionOutage { .. } => service.set_regional_down(true),
+            FleetFault::RegionRestore { .. } => service.set_regional_down(false),
         }
     }
 }

@@ -13,6 +13,7 @@ use crate::fleet::FleetReport;
 use crate::overload::OverloadReport;
 use crate::robustness::RobustnessReport;
 use crate::sensitivity::SensitivityReport;
+use edge_sim::EdgeReport;
 
 /// Escapes one CSV field (quotes fields containing separators).
 fn field(s: &str) -> String {
@@ -321,6 +322,108 @@ pub fn chaos_csv(report: &ChaosReport) -> String {
     out
 }
 
+/// Edge-fleet rows, long format: `section,index,metric,value`.
+///
+/// Three sections: `summary` (fleet-wide metrics, index empty), `region`
+/// (index = region number, one row per per-region metric, regions in
+/// ascending order) and `violation` (index = violation number, absent on
+/// a clean run). The edge CI gate greps
+/// `summary,,invariant_violations,0` and diffs the full output across
+/// thread budgets and drivers, so every value must be byte-deterministic
+/// for a given [`edge_sim::EdgeConfig`]. Wall-clock quantities
+/// (boards/second) deliberately never appear here — they go to stderr
+/// and the BENCH json.
+pub fn edge_csv(report: &EdgeReport) -> String {
+    let mut out = String::from("section,index,metric,value\n");
+    let mut summary = |metric: &str, value: String| {
+        let _ = writeln!(out, "summary,,{metric},{value}");
+    };
+    summary("boards", report.boards.to_string());
+    summary("users", report.users.to_string());
+    summary("active_users", report.active_users.to_string());
+    summary("regions", report.regions.len().to_string());
+    summary("epochs", report.epochs.to_string());
+    summary("seed", report.seed.to_string());
+    summary("generated", report.generated.to_string());
+    summary("truncated", report.truncated.to_string());
+    summary("submitted", report.submitted.to_string());
+    summary("replies", report.replies.to_string());
+    summary("failed", report.failed.to_string());
+    summary("rack_served", report.rack_served.to_string());
+    summary("regional_served", report.regional_served.to_string());
+    summary("cpu_served", report.cpu_served.to_string());
+    summary("failovers", report.failovers.to_string());
+    summary("hedges", report.hedges.to_string());
+    summary("hedges_infeasible", report.hedges_infeasible.to_string());
+    summary(
+        "breaker_transitions",
+        report.breaker_transitions.to_string(),
+    );
+    summary("storm_events", report.storm_events.to_string());
+    summary("outage_epochs", report.outage_epochs.to_string());
+    summary("shed_rate", format!("{:.6}", report.shed_rate));
+    summary("hedge_rate", format!("{:.6}", report.hedge_rate));
+    summary(
+        "qos_p50_ms",
+        format!("{:.6}", report.qos_p50.as_secs_f64() * 1e3),
+    );
+    summary(
+        "qos_p99_ms",
+        format!("{:.6}", report.qos_p99.as_secs_f64() * 1e3),
+    );
+    summary("thermal_violations", report.thermal_violations.to_string());
+    summary(
+        "thermal_violation_rate",
+        format!("{:.6}", report.thermal_violation_rate),
+    );
+    summary("peak_temp_c", format!("{:.3}", report.peak_temp));
+    summary("invariant_violations", report.violations.len().to_string());
+    for r in &report.regions {
+        let i = r.region;
+        let _ = writeln!(out, "region,{i},boards,{}", r.boards);
+        let _ = writeln!(out, "region,{i},users,{}", r.users);
+        let _ = writeln!(out, "region,{i},active_users,{}", r.active_users);
+        let _ = writeln!(out, "region,{i},generated,{}", r.generated);
+        let _ = writeln!(out, "region,{i},truncated,{}", r.truncated);
+        let _ = writeln!(out, "region,{i},submitted,{}", r.submitted);
+        let _ = writeln!(out, "region,{i},replies,{}", r.replies);
+        let _ = writeln!(out, "region,{i},failed,{}", r.failed);
+        let _ = writeln!(out, "region,{i},rack_served,{}", r.rack_served);
+        let _ = writeln!(out, "region,{i},regional_served,{}", r.regional_served);
+        let _ = writeln!(out, "region,{i},cpu_served,{}", r.cpu_served);
+        let _ = writeln!(out, "region,{i},failovers,{}", r.failovers);
+        let _ = writeln!(out, "region,{i},hedges,{}", r.hedges);
+        let _ = writeln!(out, "region,{i},hedges_infeasible,{}", r.hedges_infeasible);
+        let _ = writeln!(
+            out,
+            "region,{i},breaker_transitions,{}",
+            r.breaker_transitions
+        );
+        let _ = writeln!(out, "region,{i},storm_events,{}", r.storm_events);
+        let _ = writeln!(out, "region,{i},outage_epochs,{}", r.outage_epochs);
+        let _ = writeln!(
+            out,
+            "region,{i},qos_p50_ms,{:.6}",
+            r.qos_p50.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(
+            out,
+            "region,{i},qos_p99_ms,{:.6}",
+            r.qos_p99.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(
+            out,
+            "region,{i},thermal_violations,{}",
+            r.thermal_violations
+        );
+        let _ = writeln!(out, "region,{i},peak_temp_c,{:.3}", r.peak_temp);
+    }
+    for (i, violation) in report.violations.iter().enumerate() {
+        let _ = writeln!(out, "violation,{i},text,{}", field(violation));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,6 +433,65 @@ mod tests {
         assert_eq!(field("plain"), "plain");
         assert_eq!(field("a,b"), "\"a,b\"");
         assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(field("two\nlines"), "\"two\nlines\"");
+        assert_eq!(field(""), "");
+    }
+
+    /// The headers are a contract with external plotting scripts: any
+    /// rename or reorder must be deliberate (and versioned), not a
+    /// side effect of a refactor.
+    #[test]
+    fn long_format_headers_are_stable() {
+        let edge = edge_csv(&edge_sim::run(&small_edge()));
+        let chaos = chaos_csv(&crate::chaos::run(&crate::chaos::ChaosConfig {
+            boards: 4,
+            racks: 2,
+            epochs: 6,
+            ..crate::chaos::ChaosConfig::default()
+        }));
+        for csv in [&edge, &chaos] {
+            assert_eq!(csv.lines().next().unwrap(), "section,index,metric,value");
+        }
+    }
+
+    fn small_edge() -> edge_sim::EdgeConfig {
+        edge_sim::EdgeConfig {
+            boards: 16,
+            users: 1_000,
+            regions: 2,
+            racks_per_region: 2,
+            epochs: 8,
+            ..edge_sim::EdgeConfig::default()
+        }
+    }
+
+    #[test]
+    fn edge_csv_carries_the_gate_row() {
+        let csv = edge_csv(&edge_sim::run(&small_edge()));
+        assert!(csv.starts_with("section,index,metric,value\n"));
+        assert!(csv.contains("\nsummary,,invariant_violations,0\n"));
+        assert!(csv.contains("\nsummary,,boards,16\n"));
+        assert!(!csv.contains("\nviolation,"));
+        // Wall-clock metrics must never leak into the deterministic CSV.
+        assert!(!csv.contains("boards_per_sec"));
+    }
+
+    #[test]
+    fn edge_csv_rows_are_deterministically_ordered_across_budgets() {
+        let config = small_edge();
+        let serial = edge_csv(&edge_sim::run(&config));
+        let threaded = edge_csv(&edge_sim::run(&edge_sim::EdgeConfig {
+            budget: par::Budget::with_threads(4),
+            ..config
+        }));
+        assert_eq!(
+            serial, threaded,
+            "edge CSV must be byte-identical at every thread budget"
+        );
+        // Region sections appear in ascending region order.
+        let first = serial.find("\nregion,0,").expect("region 0 rows");
+        let second = serial.find("\nregion,1,").expect("region 1 rows");
+        assert!(first < second, "region rows out of order");
     }
 
     #[test]

@@ -202,13 +202,6 @@ struct Arrival {
     deadline: SimDuration,
 }
 
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
 /// Deterministic pseudo-random feature batch.
 fn payload(seed: u64, rows: usize) -> Matrix {
     Matrix::from_rows(
@@ -216,7 +209,7 @@ fn payload(seed: u64, rows: usize) -> Matrix {
             .map(|r| {
                 (0..21)
                     .map(|c| {
-                        let h = splitmix64(seed ^ ((r * 31 + c) as u64));
+                        let h = sim_core::splitmix64(seed ^ ((r * 31 + c) as u64));
                         (h >> 40) as f32 / (1u64 << 24) as f32 - 0.5
                     })
                     .collect()
@@ -306,13 +299,13 @@ pub fn run_with_driver(config: &OverloadConfig, driver: SimDriver) -> OverloadRe
     for epoch in 0..config.epochs {
         let base = SimTime::from_nanos(epoch * epoch_ns);
         for client in 0..config.clients {
-            let stream = splitmix64(config.seed ^ (epoch << 20) ^ ((client as u64) << 8));
+            let stream = sim_core::splitmix64(config.seed ^ (epoch << 20) ^ ((client as u64) << 8));
             let mut left = per_client_epoch;
             for burst in 0..bursts_per_epoch {
-                let jitter = splitmix64(stream ^ burst as u64) % epoch_ns;
+                let jitter = sim_core::splitmix64(stream ^ burst as u64) % epoch_ns;
                 let burst_at = base + SimDuration::from_nanos(jitter);
                 for shot in 0..left.min(8) {
-                    let seed = splitmix64(stream ^ (burst as u64) << 16 ^ shot as u64);
+                    let seed = sim_core::splitmix64(stream ^ (burst as u64) << 16 ^ shot as u64);
                     arrivals.push(Arrival {
                         client: ClientId::new(client as u64),
                         rows: 1 + (seed % 3) as usize,
@@ -329,7 +322,7 @@ pub fn run_with_driver(config: &OverloadConfig, driver: SimDriver) -> OverloadRe
         }
         // Each loris client drips one held request per epoch.
         for loris in 0..config.loris_clients {
-            let stream = splitmix64(config.seed ^ 0xA11C ^ (epoch << 16) ^ loris as u64);
+            let stream = sim_core::splitmix64(config.seed ^ 0xA11C ^ (epoch << 16) ^ loris as u64);
             arrivals.push(Arrival {
                 client: ClientId::new(1_000 + loris as u64),
                 rows: 1,

@@ -64,6 +64,7 @@ fn unknown_flag_is_rejected_for_every_subcommand() {
         "fleet",
         "overload",
         "chaos",
+        "edge",
         "sweep",
         "train",
         "all",
@@ -74,7 +75,7 @@ fn unknown_flag_is_rejected_for_every_subcommand() {
 
 #[test]
 fn unknown_driver_value_is_rejected() {
-    for command in ["fleet", "overload", "chaos"] {
+    for command in ["fleet", "overload", "chaos", "edge"] {
         assert_rejected(&[command, "--driver", "bogus"], "unknown --driver `bogus`");
     }
 }
@@ -96,6 +97,16 @@ fn malformed_numeric_values_are_rejected() {
     assert_rejected(&["train", "--threads", "0.5"], "flag `--threads`");
     assert_rejected(&["fleet", "--churn", "often"], "flag `--churn`");
     assert_rejected(&["fleet", "--churn-down", "-1"], "flag `--churn-down`");
+    assert_rejected(&["edge", "--users", "millions"], "flag `--users`");
+    assert_rejected(&["edge", "--load", "heavy"], "flag `--load`");
+}
+
+#[test]
+fn unreadable_replay_file_is_rejected() {
+    assert_rejected(
+        &["edge", "--replay", "/nonexistent/trace.csv"],
+        "flag `--replay` could not read",
+    );
 }
 
 #[test]
@@ -116,9 +127,65 @@ fn bare_storm_flag_stays_an_overload_toggle() {
 
 #[test]
 fn help_exits_cleanly() {
-    let out = experiments(&["--help"]);
-    assert_eq!(out.status.code(), Some(0));
-    assert!(String::from_utf8_lossy(&out.stdout).contains("usage: experiments"));
+    // Every help spelling prints the usage to *stdout* and exits 0 —
+    // asking for help is not an error.
+    for invocation in [
+        &["--help"][..],
+        &["-h"][..],
+        &["help"][..],
+        &["list"][..],
+        &["edge", "--help"][..],
+    ] {
+        let out = experiments(invocation);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{invocation:?} should exit 0, stderr:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("usage: experiments"),
+            "{invocation:?} should print usage to stdout"
+        );
+        assert!(
+            out.stderr.is_empty(),
+            "{invocation:?} must not write to stderr on a help request"
+        );
+    }
+}
+
+#[test]
+fn edge_subcommand_emits_the_gate_row() {
+    let out = experiments(&[
+        "edge",
+        "--boards",
+        "16",
+        "--racks",
+        "2",
+        "--epochs",
+        "8",
+        "--users",
+        "500",
+        "--seed",
+        "3",
+        "--threads",
+        "1",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("section,index,metric,value\n"));
+    assert!(stdout.contains("\nsummary,,invariant_violations,0\n"));
+    assert!(stdout.contains("\nsummary,,boards,16\n"));
+    assert!(stdout.contains("\nsummary,,users,500\n"));
+    // Wall-clock throughput is diagnostics: stderr, never the CSV.
+    assert!(!stdout.contains("boards/s"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("simulated boards/s"));
 }
 
 #[test]

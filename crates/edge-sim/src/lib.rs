@@ -1,0 +1,58 @@
+//! Datacenter-scale edge-fleet simulator: the demand side of the
+//! reproduction.
+//!
+//! The fleet harnesses so far (`bench::fleet`, `bench::chaos`) drive
+//! boards from a closed loop — one request per board per epoch. Real
+//! edge fleets face an **open system**: millions of users issue requests
+//! on their own schedule, the load follows the sun, regions are skewed,
+//! and flash crowds arrive uninvited. This crate supplies that demand
+//! side, in the spirit of the dslab-iaas/dslab-faas trace-replay cloud
+//! simulators, and drives it through the existing serving stack at
+//! 10k–100k boards:
+//!
+//! * **user/request frontier** ([`frontier`]) — seeded open-loop arrival
+//!   generation for millions of logical users partitioned into regions,
+//!   with diurnal load curves, regional (Zipf) skew, a flash-crowd
+//!   burst, and optional replay of recorded [`workloads::Workload`]
+//!   traces; every draw comes from the workspace-shared splitmix64
+//!   streams (`sim_core::rng`), so the schedule is a pure function of
+//!   the seed and each user's identity and requests are reproducible
+//!   per `(seed, user, epoch)`;
+//! * **network model** ([`topology`]) — per-link latency/bandwidth with
+//!   serialization delay ([`sim_core::net::Link`]) in a two-level
+//!   topology: user→rack edge links (FIFO, jittered) and the
+//!   rack→regional backbone, whose round trip feeds the tier's
+//!   network-aware hedging ([`npu_serve::TierConfig::regional_rtt`]);
+//!   transit times become `sim-core` events under the event driver;
+//! * **scale layer** ([`run`]) — lightweight boards (a thermal proxy
+//!   and QoS accounting, not a full platform) behind per-region
+//!   [`npu_serve::TieredService`] ladders with admission control end to
+//!   end, region-sharded via the [`par::Budget`] with byte-identical
+//!   merges, equal under the lockstep and event-driven drivers, and
+//!   watched by an always-on invariant checker.
+//!
+//! # Examples
+//!
+//! ```
+//! use edge_sim::{run, EdgeConfig};
+//!
+//! let report = run(&EdgeConfig {
+//!     boards: 64,
+//!     users: 4_000,
+//!     epochs: 12,
+//!     ..EdgeConfig::default()
+//! });
+//! assert_eq!(report.replies + report.failed, report.submitted);
+//! assert!(report.violations.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod frontier;
+pub mod run;
+pub mod topology;
+
+pub use frontier::{Demand, FlashCrowd};
+pub use run::{run, run_with_driver, EdgeConfig, EdgeReport, RegionOutcome};
+pub use topology::NetworkConfig;

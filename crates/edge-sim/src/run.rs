@@ -1,0 +1,1073 @@
+//! Scale layer: drives the frontier's request schedule through the
+//! network model into per-region [`TieredService`] ladders, on either
+//! the lockstep reference loop or the `sim-core` event kernel.
+//!
+//! One run plans every region's requests up front (arrival → FIFO
+//! uplink → delivery instant, all pure functions of the seed), then
+//! simulates the regions independently — sharded across host threads by
+//! the [`par::Budget`] and merged in region order, so the report is
+//! byte-identical at every thread budget. Each region's service ladder
+//! carries the backbone round trip as
+//! [`npu_serve::TierConfig::regional_rtt`], making hedges and failovers
+//! network-aware end to end, and an always-on invariant checker watches
+//! conservation, late replies, breaker edges and barrier monotonicity.
+//!
+//! Boards are deliberately lightweight — a thermal proxy and QoS
+//! accounting, not a full [`hikey_platform`] model — which is what lets
+//! a single run sweep 10k–100k boards.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use faults::{BreakerState, FleetFault, FleetSchedule, StormBuilder};
+use hikey_platform::SimDriver;
+use hmc_types::{SimDuration, SimTime};
+use nn::{Matrix, Mlp};
+use npu_serve::{
+    ClientId, ServeConfig, TierConfig, TierOutcome, TierScope, TierStats, TierSubmit, TierTicket,
+    TierTransition, TieredService,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim_core::net::FifoLink;
+use sim_core::Kernel;
+
+use crate::frontier::{self, Demand, FlashCrowd};
+use crate::topology::{region_board_base, region_boards, NetworkConfig};
+
+/// Hedge floor of the per-region tier (mirrors the chaos harness).
+const EDGE_HEDGE_MIN: SimDuration = SimDuration::from_millis(5);
+/// Ambient temperature of the thermal proxy, °C.
+const AMBIENT: f64 = 45.0;
+/// Per-epoch exponential decay of a board's excess temperature.
+const ALPHA: f64 = 0.8;
+/// Temperature added per request homed on a board in one epoch, °C.
+const HEAT_PER_REQ: f64 = 2.0;
+/// Thermal limit; a board-epoch above it is a violation.
+const THERMAL_LIMIT: f64 = 75.0;
+/// Stream tag of the per-request uplink jitter draws.
+const TAG_NET: u64 = 0x6564_6765_2d6e_6574; // "edge-net"
+
+/// Configuration of one edge-fleet run.
+#[derive(Debug, Clone)]
+pub struct EdgeConfig {
+    /// Boards in the fleet, split across the regions.
+    pub boards: usize,
+    /// Logical users issuing requests (never materialised; a user is an
+    /// index into the seeded streams).
+    pub users: u64,
+    /// Regions the fleet and users are partitioned into.
+    pub regions: usize,
+    /// Racks per region (boards map round-robin within their region).
+    pub racks_per_region: usize,
+    /// Barrier epochs to simulate.
+    pub epochs: u64,
+    /// Length of one barrier epoch.
+    pub epoch: SimDuration,
+    /// Master seed; the whole run is a pure function of it.
+    pub seed: u64,
+    /// Mean requests per board per epoch before diurnal/skew/flash
+    /// shaping.
+    pub load: f64,
+    /// Amplitude of the diurnal curve (`0` flattens it).
+    pub diurnal_amplitude: f64,
+    /// Zipf exponent of the regional demand/user skew (`0` is uniform).
+    pub regional_skew: f64,
+    /// Optional flash-crowd burst.
+    pub flash: Option<FlashCrowd>,
+    /// End-to-end QoS deadline a user attaches to each request.
+    pub qos_deadline: SimDuration,
+    /// Inject a regional backbone outage storm (region 0 goes dark for
+    /// a sixth of the run starting at its third).
+    pub outage: bool,
+    /// Where the request schedule comes from.
+    pub demand: Demand,
+    /// The two-level network model.
+    pub network: NetworkConfig,
+    /// Host-thread budget sharding the regions; the report is
+    /// byte-identical at every budget.
+    pub budget: par::Budget,
+}
+
+impl Default for EdgeConfig {
+    fn default() -> Self {
+        EdgeConfig {
+            boards: 1_000,
+            users: 100_000,
+            regions: 4,
+            racks_per_region: 8,
+            epochs: 48,
+            epoch: SimDuration::from_millis(100),
+            seed: 7,
+            load: 1.0,
+            diurnal_amplitude: 0.5,
+            regional_skew: 0.5,
+            flash: Some(FlashCrowd {
+                region: 0,
+                multiplier: 3.0,
+            }),
+            qos_deadline: SimDuration::from_millis(100),
+            outage: false,
+            demand: Demand::Synthetic,
+            network: NetworkConfig::default(),
+            budget: par::Budget::serial(),
+        }
+    }
+}
+
+/// Per-region result of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionOutcome {
+    /// Region index.
+    pub region: usize,
+    /// Boards hosted in this region.
+    pub boards: usize,
+    /// Logical users homed in this region.
+    pub users: u64,
+    /// Distinct users that issued at least one request.
+    pub active_users: u64,
+    /// Requests the frontier generated here.
+    pub generated: u64,
+    /// Generated requests whose network delivery fell past the horizon
+    /// (never submitted; identical under both drivers).
+    pub truncated: u64,
+    /// Requests submitted to the region's tier.
+    pub submitted: u64,
+    /// Requests answered with a reply.
+    pub replies: u64,
+    /// Requests that ended in a typed failure (shed, deadline, …).
+    pub failed: u64,
+    /// Replies served by the home rack.
+    pub rack_served: u64,
+    /// Replies served by the regional tier.
+    pub regional_served: u64,
+    /// Replies served by the local CPU rung.
+    pub cpu_served: u64,
+    /// Submissions routed past their home rack.
+    pub failovers: u64,
+    /// Hedges fired to the regional tier.
+    pub hedges: u64,
+    /// Hedges suppressed as network-infeasible (backbone RTT or outage).
+    pub hedges_infeasible: u64,
+    /// Tier breaker transitions observed.
+    pub breaker_transitions: u64,
+    /// Timed fault events the region's storm injected.
+    pub storm_events: u64,
+    /// Epochs this region's backbone was dark.
+    pub outage_epochs: u64,
+    /// Median end-to-end QoS delay (arrival at the user → reply back at
+    /// the user).
+    pub qos_p50: SimDuration,
+    /// 99th-percentile end-to-end QoS delay.
+    pub qos_p99: SimDuration,
+    /// Board-epochs above the thermal limit.
+    pub thermal_violations: u64,
+    /// Hottest board temperature reached, °C.
+    pub peak_temp: f64,
+    /// Invariant violations observed in this region.
+    pub violations: Vec<String>,
+}
+
+/// Fleet-wide result of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeReport {
+    /// Boards simulated.
+    pub boards: usize,
+    /// Logical users.
+    pub users: u64,
+    /// Distinct users that issued at least one request (users are
+    /// region-disjoint, so the regional counts sum exactly).
+    pub active_users: u64,
+    /// Barrier epochs simulated.
+    pub epochs: u64,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Requests the frontier generated.
+    pub generated: u64,
+    /// Requests whose delivery fell past the horizon.
+    pub truncated: u64,
+    /// Requests submitted across all regions.
+    pub submitted: u64,
+    /// Requests answered with a reply.
+    pub replies: u64,
+    /// Requests that ended in a typed failure.
+    pub failed: u64,
+    /// Replies served by home racks.
+    pub rack_served: u64,
+    /// Replies served by regional tiers.
+    pub regional_served: u64,
+    /// Replies served by CPU rungs.
+    pub cpu_served: u64,
+    /// Submissions routed past their home rack.
+    pub failovers: u64,
+    /// Hedges fired.
+    pub hedges: u64,
+    /// Hedges suppressed as network-infeasible.
+    pub hedges_infeasible: u64,
+    /// Tier breaker transitions observed fleet-wide.
+    pub breaker_transitions: u64,
+    /// Timed fault events injected fleet-wide.
+    pub storm_events: u64,
+    /// Region-epochs with a dark backbone.
+    pub outage_epochs: u64,
+    /// Typed failures per submitted request.
+    pub shed_rate: f64,
+    /// Hedges per submitted request.
+    pub hedge_rate: f64,
+    /// Fleet-wide median end-to-end QoS delay.
+    pub qos_p50: SimDuration,
+    /// Fleet-wide 99th-percentile end-to-end QoS delay.
+    pub qos_p99: SimDuration,
+    /// Board-epochs above the thermal limit.
+    pub thermal_violations: u64,
+    /// Thermal violations per board-epoch.
+    pub thermal_violation_rate: f64,
+    /// Hottest board temperature reached anywhere, °C.
+    pub peak_temp: f64,
+    /// Per-region outcomes, in region order.
+    pub regions: Vec<RegionOutcome>,
+    /// Invariant violations (the CI gate requires none).
+    pub violations: Vec<String>,
+}
+
+impl fmt::Display for EdgeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Edge fleet: {} boards / {} regions x {} epochs, {} users (seed {})",
+            self.boards,
+            self.regions.len(),
+            self.epochs,
+            self.users,
+            self.seed
+        )?;
+        writeln!(
+            f,
+            "  frontier: {} generated by {} active users -> {} submitted (+{} truncated past horizon)",
+            self.generated, self.active_users, self.submitted, self.truncated
+        )?;
+        writeln!(
+            f,
+            "  requests: {} replies + {} typed failures (shed rate {:.4}), QoS p50 {} p99 {}",
+            self.replies, self.failed, self.shed_rate, self.qos_p50, self.qos_p99
+        )?;
+        writeln!(
+            f,
+            "  rungs:    {} rack / {} regional / {} cpu, {} failovers, {} hedges ({} infeasible, rate {:.4})",
+            self.rack_served,
+            self.regional_served,
+            self.cpu_served,
+            self.failovers,
+            self.hedges,
+            self.hedges_infeasible,
+            self.hedge_rate
+        )?;
+        writeln!(
+            f,
+            "  thermal:  {} violations (rate {:.5}), peak {:.1} C",
+            self.thermal_violations, self.thermal_violation_rate, self.peak_temp
+        )?;
+        writeln!(
+            f,
+            "  faults:   {} storm events, {} dark region-epochs, {} breaker transitions",
+            self.storm_events, self.outage_epochs, self.breaker_transitions
+        )?;
+        writeln!(f, "  invariants: {} violations", self.violations.len())?;
+        for violation in &self.violations {
+            writeln!(f, "    VIOLATION: {violation}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One planned request after the network model: where and when it lands.
+#[derive(Clone)]
+struct PlannedRequest {
+    /// Region-local home board.
+    board: usize,
+    /// Arrival instant at the user (before the uplink).
+    at: SimTime,
+    /// Delivery instant at the rack (uplink FIFO + jitter).
+    delivered_at: SimTime,
+    /// Deadline handed to the tier: the user deadline minus the reply's
+    /// downlink transit.
+    deadline_tier: SimTime,
+    /// Seed the payload is a pure function of.
+    payload_seed: u64,
+}
+
+/// The immutable per-region plan shared by both drivers.
+struct RegionPlan {
+    schedule: FleetSchedule,
+    requests: Vec<PlannedRequest>,
+    /// Request index ranges per delivery epoch (epoch-major, sorted by
+    /// delivery instant within each epoch).
+    epoch_ranges: Vec<(usize, usize)>,
+    generated: u64,
+    truncated: u64,
+    /// Distinct logical users that issued at least one request.
+    active_users: u64,
+}
+
+/// Derives the region's fault schedule. Only the backbone-outage storm
+/// exists today, and it targets region 0: dark from `epochs/3` for
+/// `epochs/6` epochs.
+fn storm_schedule(config: &EdgeConfig, region: usize) -> FleetSchedule {
+    let boards_r = region_boards(config.boards, config.regions, region).max(1);
+    let seed = sim_core::mix_indexed(config.seed, region as u64);
+    let builder = StormBuilder::new(seed, boards_r, config.epochs);
+    if config.outage && region == 0 {
+        builder
+            .region_outage(region, config.epochs / 3, (config.epochs / 6).max(1))
+            .build()
+    } else {
+        builder.build()
+    }
+}
+
+/// Plans one region: frontier arrivals pushed through the rack uplinks,
+/// bucketed by delivery epoch. Deliveries past the horizon are counted
+/// as `truncated` and never submitted — identically under both drivers.
+fn plan_region(config: &EdgeConfig, region: usize) -> RegionPlan {
+    let epoch_ns = config.epoch.as_nanos();
+    let racks = config.racks_per_region;
+    let mut uplinks = vec![FifoLink::new(config.network.edge); racks];
+    let jitter_ns = config.network.jitter.as_nanos();
+    let jitter_stream = sim_core::mix64(
+        config.seed ^ TAG_NET ^ (region as u64).wrapping_mul(sim_core::GOLDEN_GAMMA),
+    );
+    let downlink = config.network.downlink();
+
+    let mut generated = 0u64;
+    let mut truncated = 0u64;
+    let mut active_users = std::collections::HashSet::new();
+    let mut buckets: Vec<Vec<(SimTime, u64, PlannedRequest)>> =
+        vec![Vec::new(); config.epochs as usize];
+    let mut seq = 0u64;
+    for epoch in 0..config.epochs {
+        let base = SimTime::from_nanos(epoch * epoch_ns);
+        for arrival in frontier::epoch_arrivals(config, region, epoch) {
+            generated += 1;
+            active_users.insert(arrival.user);
+            let at = base + arrival.offset;
+            // The uplink is a shared FIFO medium per rack; sends are
+            // issued in arrival order (the frontier sorts each epoch).
+            let wire = uplinks[arrival.board % racks].send(at, config.network.request_bytes);
+            let jitter = SimDuration::from_nanos(if jitter_ns == 0 {
+                0
+            } else {
+                sim_core::mix_indexed(jitter_stream, seq) % (jitter_ns + 1)
+            });
+            seq += 1;
+            let delivered_at = wire + jitter;
+            let delivery_epoch = delivered_at.as_nanos() / epoch_ns;
+            if delivery_epoch >= config.epochs {
+                truncated += 1;
+                continue;
+            }
+            let request = PlannedRequest {
+                board: arrival.board,
+                at,
+                delivered_at,
+                deadline_tier: at + config.qos_deadline - downlink,
+                payload_seed: arrival.payload_seed,
+            };
+            buckets[delivery_epoch as usize].push((delivered_at, seq, request));
+        }
+    }
+
+    let mut requests = Vec::new();
+    let mut epoch_ranges = Vec::with_capacity(config.epochs as usize);
+    for mut bucket in buckets {
+        let start = requests.len();
+        // The tier clock is nondecreasing between flushes: submit in
+        // delivery order (plan sequence breaks ties deterministically).
+        bucket.sort_by_key(|&(delivered_at, seq, _)| (delivered_at, seq));
+        requests.extend(bucket.into_iter().map(|(_, _, request)| request));
+        epoch_ranges.push((start, requests.len()));
+    }
+    RegionPlan {
+        schedule: storm_schedule(config, region),
+        requests,
+        epoch_ranges,
+        generated,
+        truncated,
+        active_users: active_users.len() as u64,
+    }
+}
+
+/// A payload as a pure function of its seed (one row).
+fn payload(seed: u64, width: usize) -> Matrix {
+    let mut flat = Vec::with_capacity(width);
+    for i in 0..width {
+        let draw = sim_core::splitmix64(seed ^ ((i as u64) << 1));
+        flat.push((draw % 2_000) as f32 / 1_000.0 - 1.0);
+    }
+    Matrix::from_flat(1, width, flat)
+}
+
+/// Compact invariant checker (the chaos harness carries the richer
+/// variant; regions here check the same core properties).
+struct EdgeChecker {
+    submitted: u64,
+    resolved: u64,
+    violations: Vec<String>,
+    breaker_last: BTreeMap<(u8, usize), (BreakerState, SimTime)>,
+    last_barrier: Option<SimTime>,
+}
+
+fn scope_key(scope: TierScope) -> (u8, usize) {
+    match scope {
+        TierScope::Rack(rack) => (0, rack),
+        TierScope::Regional => (1, 0),
+    }
+}
+
+fn legal_edge(from: BreakerState, to: BreakerState, probation: bool) -> bool {
+    if probation {
+        return to == BreakerState::HalfOpen;
+    }
+    matches!(
+        (from, to),
+        (BreakerState::Closed, BreakerState::Open)
+            | (BreakerState::Open, BreakerState::HalfOpen)
+            | (BreakerState::HalfOpen, BreakerState::Closed)
+            | (BreakerState::HalfOpen, BreakerState::Open)
+    )
+}
+
+impl EdgeChecker {
+    fn new() -> Self {
+        EdgeChecker {
+            submitted: 0,
+            resolved: 0,
+            violations: Vec::new(),
+            breaker_last: BTreeMap::new(),
+            last_barrier: None,
+        }
+    }
+
+    fn observe_submit(&mut self) {
+        self.submitted += 1;
+    }
+
+    fn observe_barrier(&mut self, at: SimTime) {
+        if let Some(last) = self.last_barrier {
+            if at <= last {
+                self.violations
+                    .push(format!("barrier time went backwards: {last} -> {at}"));
+            }
+        }
+        self.last_barrier = Some(at);
+    }
+
+    fn observe_outcome(&mut self, submit_at: SimTime, deadline: SimTime, outcome: &TierOutcome) {
+        self.resolved += 1;
+        if let TierOutcome::Reply(reply) = outcome {
+            if reply.completed_at < submit_at {
+                self.violations.push(format!(
+                    "reply completed at {} before its delivery at {}",
+                    reply.completed_at, submit_at
+                ));
+            }
+            if reply.completed_at > deadline {
+                self.violations.push(format!(
+                    "late reply delivered: completed {} past tier deadline {}",
+                    reply.completed_at, deadline
+                ));
+            }
+        }
+    }
+
+    fn observe_lost_ticket(&mut self, submit_at: SimTime) {
+        self.violations.push(format!(
+            "request delivered at {submit_at} has no outcome after the flush"
+        ));
+    }
+
+    fn observe_transitions(&mut self, transitions: &[TierTransition]) {
+        for t in transitions {
+            let key = scope_key(t.scope);
+            let (last_state, last_at) = *self
+                .breaker_last
+                .get(&key)
+                .unwrap_or(&(BreakerState::Closed, SimTime::ZERO));
+            if t.at < last_at {
+                self.violations.push(format!(
+                    "breaker {:?} transition time went backwards: {} -> {}",
+                    t.scope, last_at, t.at
+                ));
+            }
+            if t.from != last_state {
+                self.violations.push(format!(
+                    "breaker {:?} transition from {:?} does not continue from {:?}",
+                    t.scope, t.from, last_state
+                ));
+            }
+            if !legal_edge(t.from, t.to, t.probation) {
+                self.violations.push(format!(
+                    "illegal breaker edge {:?}: {:?} -> {:?} (probation {})",
+                    t.scope, t.from, t.to, t.probation
+                ));
+            }
+            self.breaker_last.insert(key, (t.to, t.at.max(last_at)));
+        }
+    }
+
+    fn finish(mut self, stats: &TierStats) -> Vec<String> {
+        if self.resolved != self.submitted {
+            self.violations.push(format!(
+                "conservation: {} submitted but {} resolved",
+                self.submitted, self.resolved
+            ));
+        }
+        if stats.replies + stats.failed != stats.submitted {
+            self.violations.push(format!(
+                "conservation (tier stats): {} replies + {} failed != {} submitted",
+                stats.replies, stats.failed, stats.submitted
+            ));
+        }
+        if stats.hedges > stats.submitted {
+            self.violations.push(format!(
+                "hedge amplification: {} hedges exceed {} submitted",
+                stats.hedges, stats.submitted
+            ));
+        }
+        self.violations
+    }
+}
+
+/// Mutable per-region state threaded through epoch processing.
+struct RegionState {
+    service: TieredService,
+    checker: EdgeChecker,
+    width: usize,
+    board_base: usize,
+    /// Tickets of the epoch currently accepting deliveries.
+    tickets: Vec<(TierTicket, usize)>,
+    /// End-to-end QoS delays of replies, in resolution order.
+    qos_delays: Vec<SimDuration>,
+    /// Requests homed per board in the current epoch (thermal proxy
+    /// input: demand heat at the board, regardless of serving rung).
+    heat: Vec<u64>,
+    temps: Vec<f64>,
+    thermal_violations: u64,
+    peak_temp: f64,
+    transitions: u64,
+    regional_down: bool,
+    outage_epochs: u64,
+}
+
+/// Starts epoch `epoch`: applies the storm's fault events at the epoch
+/// base and counts dark epochs.
+fn begin_epoch(plan: &RegionPlan, config: &EdgeConfig, state: &mut RegionState, epoch: u64) {
+    let base = SimTime::from_nanos(epoch * config.epoch.as_nanos());
+    for event in plan.schedule.events_at(epoch) {
+        match event.fault {
+            FleetFault::RegionOutage { .. } => {
+                state.service.set_regional_down(true);
+                state.regional_down = true;
+            }
+            FleetFault::RegionRestore { .. } => {
+                state.service.set_regional_down(false);
+                state.regional_down = false;
+            }
+            // The edge storm only injects backbone outages today; the
+            // remaining fleet faults map exactly as in the chaos
+            // harness should a future storm add them.
+            FleetFault::BoardCrash { .. } => {}
+            FleetFault::BoardRejoin { board } => {
+                let racks = config.racks_per_region;
+                state.service.begin_rack_probation(board % racks, base);
+            }
+            FleetFault::RackPartition { rack } => {
+                let racks = config.racks_per_region;
+                state.service.set_partitioned(rack % racks, true);
+            }
+            FleetFault::RackHeal { rack } => {
+                let racks = config.racks_per_region;
+                state.service.set_partitioned(rack % racks, false);
+            }
+            FleetFault::HeartbeatLoss { rack } => {
+                let racks = config.racks_per_region;
+                state.service.set_heartbeat_silent(rack % racks, true, base);
+            }
+            FleetFault::HeartbeatRestore { rack } => {
+                let racks = config.racks_per_region;
+                state
+                    .service
+                    .set_heartbeat_silent(rack % racks, false, base);
+            }
+            FleetFault::TierSlow { factor_milli } => state.service.set_tier_slowdown(factor_milli),
+            FleetFault::TierRecover => state.service.set_tier_slowdown(1_000),
+        }
+    }
+    if state.regional_down {
+        state.outage_epochs += 1;
+    }
+}
+
+/// Delivers one planned request to the region's tier.
+fn deliver(plan: &RegionPlan, config: &EdgeConfig, state: &mut RegionState, idx: usize) {
+    let request = &plan.requests[idx];
+    let ticket = state
+        .service
+        .submit(
+            payload(request.payload_seed, state.width),
+            request.delivered_at,
+            TierSubmit {
+                rack: request.board % config.racks_per_region,
+                client: ClientId::new((state.board_base + request.board) as u64),
+                deadline: Some(request.deadline_tier),
+            },
+        )
+        .expect("edge payloads are valid");
+    state.checker.observe_submit();
+    state.heat[request.board] += 1;
+    state.tickets.push((ticket, idx));
+}
+
+/// Ends epoch `epoch`: flushes the tier at the barrier, resolves every
+/// ticket, checks transitions, and steps the thermal proxy.
+fn end_epoch(plan: &RegionPlan, config: &EdgeConfig, state: &mut RegionState, epoch: u64) {
+    let barrier = SimTime::from_nanos((epoch + 1) * config.epoch.as_nanos());
+    state.checker.observe_barrier(barrier);
+    state.service.flush(barrier);
+    let downlink = config.network.downlink();
+    for (ticket, idx) in std::mem::take(&mut state.tickets) {
+        let request = &plan.requests[idx];
+        match state.service.take_outcome(ticket) {
+            Some(outcome) => {
+                if let TierOutcome::Reply(reply) = &outcome {
+                    // End-to-end QoS delay: arrival at the user until
+                    // the reply lands back at the user.
+                    state
+                        .qos_delays
+                        .push((reply.completed_at + downlink).since(request.at));
+                }
+                state.checker.observe_outcome(
+                    request.delivered_at,
+                    request.deadline_tier,
+                    &outcome,
+                );
+            }
+            None => state.checker.observe_lost_ticket(request.delivered_at),
+        }
+    }
+    let transitions = state.service.drain_transitions();
+    state.transitions += transitions.len() as u64;
+    state.checker.observe_transitions(&transitions);
+
+    for (board, temp) in state.temps.iter_mut().enumerate() {
+        *temp = AMBIENT + (*temp - AMBIENT) * ALPHA + HEAT_PER_REQ * state.heat[board] as f64;
+        if *temp > THERMAL_LIMIT {
+            state.thermal_violations += 1;
+        }
+        if *temp > state.peak_temp {
+            state.peak_temp = *temp;
+        }
+        state.heat[board] = 0;
+    }
+}
+
+/// Kernel payload of the event driver: epoch boundaries interleaved
+/// with request deliveries, ordered by `(time, priority, seq)`.
+#[derive(Debug, Clone, Copy)]
+enum EdgeEvent {
+    /// Boundary `e` at the base of epoch `e`: closes epoch `e - 1`,
+    /// opens epoch `e`.
+    Boundary(u64),
+    /// Delivery of request `idx` at its delivery instant.
+    Deliver(usize),
+}
+
+/// Simulates one region end to end; returns its outcome and the raw
+/// QoS delays for the fleet-wide percentile merge.
+fn simulate_region(
+    config: &EdgeConfig,
+    region: usize,
+    driver: SimDriver,
+) -> (RegionOutcome, Vec<SimDuration>) {
+    let plan = plan_region(config, region);
+    let boards_r = region_boards(config.boards, config.regions, region);
+    let mlp = Mlp::with_topology(
+        12,
+        2,
+        16,
+        4,
+        &mut StdRng::seed_from_u64(sim_core::mix_indexed(config.seed, region as u64)),
+    );
+    let tier_config = TierConfig {
+        racks: config.racks_per_region,
+        // Rack and regional pools sized for open-loop fleet volume: the
+        // defaults target a single board's closed loop and would shed
+        // almost everything at 10k boards.
+        rack_serve: ServeConfig {
+            devices: 4,
+            workers: 4,
+            max_batch: 32,
+            queue_capacity: 512,
+            ..ServeConfig::default()
+        },
+        regional_serve: ServeConfig {
+            devices: 8,
+            workers: 8,
+            max_batch: 64,
+            queue_capacity: 2_048,
+            ..ServeConfig::default()
+        },
+        hedge_min: EDGE_HEDGE_MIN,
+        breaker_threshold: 2,
+        breaker_cooldown: 3,
+        regional_rtt: config.network.regional_rtt(),
+        ..TierConfig::default()
+    };
+    let mut state = RegionState {
+        service: TieredService::new(&mlp, tier_config),
+        checker: EdgeChecker::new(),
+        width: mlp.input_size(),
+        board_base: region_board_base(config.boards, config.regions, region),
+        tickets: Vec::new(),
+        qos_delays: Vec::new(),
+        heat: vec![0; boards_r],
+        temps: vec![AMBIENT; boards_r],
+        thermal_violations: 0,
+        peak_temp: AMBIENT,
+        transitions: 0,
+        regional_down: false,
+        outage_epochs: 0,
+    };
+
+    match driver {
+        SimDriver::Lockstep => {
+            for epoch in 0..config.epochs {
+                begin_epoch(&plan, config, &mut state, epoch);
+                let (start, end) = plan.epoch_ranges[epoch as usize];
+                for idx in start..end {
+                    deliver(&plan, config, &mut state, idx);
+                }
+                end_epoch(&plan, config, &mut state, epoch);
+            }
+        }
+        SimDriver::EventDriven => {
+            let plan_ref = &plan;
+            let mut kernel: Kernel<EdgeEvent, RegionState> =
+                Kernel::new(sim_core::mix_indexed(config.seed, region as u64));
+            let handler =
+                kernel.register(
+                    "edge-region",
+                    |state: &mut RegionState, _, event| match event.payload {
+                        EdgeEvent::Boundary(epoch) => {
+                            if epoch > 0 {
+                                end_epoch(plan_ref, config, state, epoch - 1);
+                            }
+                            if epoch < config.epochs {
+                                begin_epoch(plan_ref, config, state, epoch);
+                            }
+                        }
+                        EdgeEvent::Deliver(idx) => deliver(plan_ref, config, state, idx),
+                    },
+                );
+            // Boundaries at priority 0 run before same-instant
+            // deliveries at priority 1; within an epoch, deliveries are
+            // scheduled in plan order so equal instants keep the plan's
+            // deterministic sequence.
+            for epoch in 0..=config.epochs {
+                let at = SimTime::from_nanos(epoch * config.epoch.as_nanos());
+                kernel
+                    .scheduler()
+                    .schedule(at, handler, 0, EdgeEvent::Boundary(epoch));
+            }
+            for (idx, request) in plan.requests.iter().enumerate() {
+                kernel.scheduler().schedule(
+                    request.delivered_at,
+                    handler,
+                    1,
+                    EdgeEvent::Deliver(idx),
+                );
+            }
+            kernel.run_to_idle(&mut state);
+        }
+    }
+
+    let RegionState {
+        mut service,
+        checker,
+        mut qos_delays,
+        thermal_violations,
+        peak_temp,
+        transitions,
+        outage_epochs,
+        ..
+    } = state;
+    let stats = *service.stats();
+    let _ = service.drain_service_events();
+    let violations = checker.finish(&stats);
+
+    qos_delays.sort_unstable();
+    let percentile = |q: f64| -> SimDuration {
+        if qos_delays.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let rank = ((qos_delays.len() - 1) as f64 * q).round() as usize;
+        qos_delays[rank]
+    };
+    let outcome = RegionOutcome {
+        region,
+        boards: boards_r,
+        users: frontier::region_users(config.users, config.regions, config.regional_skew, region),
+        active_users: plan.active_users,
+        generated: plan.generated,
+        truncated: plan.truncated,
+        submitted: stats.submitted,
+        replies: stats.replies,
+        failed: stats.failed,
+        rack_served: stats.rack_served,
+        regional_served: stats.regional_served,
+        cpu_served: stats.cpu_served,
+        failovers: stats.failovers,
+        hedges: stats.hedges,
+        hedges_infeasible: stats.hedges_infeasible,
+        breaker_transitions: transitions,
+        storm_events: plan.schedule.events().len() as u64,
+        outage_epochs,
+        qos_p50: percentile(0.50),
+        qos_p99: percentile(0.99),
+        thermal_violations,
+        peak_temp,
+        violations,
+    };
+    (outcome, qos_delays)
+}
+
+/// Runs the edge fleet on the default (event-driven) driver.
+///
+/// # Panics
+///
+/// Panics on a zero board, region, rack or epoch count, a zero-length
+/// epoch, or more regions than boards.
+pub fn run(config: &EdgeConfig) -> EdgeReport {
+    run_with_driver(config, SimDriver::default())
+}
+
+/// Runs the edge fleet on an explicitly chosen driver. Both drivers —
+/// and every thread budget — produce identical reports (and therefore
+/// byte-identical CSV downstream): regions simulate independently and
+/// merge in region order.
+///
+/// # Panics
+///
+/// Panics on a zero board, region, rack or epoch count, a zero-length
+/// epoch, or more regions than boards.
+pub fn run_with_driver(config: &EdgeConfig, driver: SimDriver) -> EdgeReport {
+    assert!(config.boards > 0, "need at least one board");
+    assert!(config.regions > 0, "need at least one region");
+    assert!(
+        config.regions <= config.boards,
+        "need at least one board per region"
+    );
+    assert!(config.racks_per_region > 0, "need at least one rack");
+    assert!(config.epochs > 0, "need at least one epoch");
+    assert!(!config.epoch.is_zero(), "epoch must be positive");
+
+    let regions: Vec<usize> = (0..config.regions).collect();
+    let sharded = par::par_map(&config.budget, &regions, |_, &region| {
+        simulate_region(config, region, driver)
+    });
+
+    let mut outcomes = Vec::with_capacity(config.regions);
+    let mut all_delays = Vec::new();
+    let mut violations = Vec::new();
+    for (outcome, delays) in sharded {
+        for violation in &outcome.violations {
+            violations.push(format!("region {}: {violation}", outcome.region));
+        }
+        all_delays.extend(delays);
+        outcomes.push(outcome);
+    }
+    all_delays.sort_unstable();
+    let percentile = |q: f64| -> SimDuration {
+        if all_delays.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let rank = ((all_delays.len() - 1) as f64 * q).round() as usize;
+        all_delays[rank]
+    };
+
+    let sum = |f: fn(&RegionOutcome) -> u64| -> u64 { outcomes.iter().map(f).sum() };
+    let submitted = sum(|r| r.submitted);
+    let failed = sum(|r| r.failed);
+    let hedges = sum(|r| r.hedges);
+    let thermal_violations = sum(|r| r.thermal_violations);
+    let rate = |n: u64| {
+        if submitted > 0 {
+            n as f64 / submitted as f64
+        } else {
+            0.0
+        }
+    };
+    EdgeReport {
+        boards: config.boards,
+        users: config.users,
+        active_users: sum(|r| r.active_users),
+        epochs: config.epochs,
+        seed: config.seed,
+        generated: sum(|r| r.generated),
+        truncated: sum(|r| r.truncated),
+        submitted,
+        replies: sum(|r| r.replies),
+        failed,
+        rack_served: sum(|r| r.rack_served),
+        regional_served: sum(|r| r.regional_served),
+        cpu_served: sum(|r| r.cpu_served),
+        failovers: sum(|r| r.failovers),
+        hedges,
+        hedges_infeasible: sum(|r| r.hedges_infeasible),
+        breaker_transitions: sum(|r| r.breaker_transitions),
+        storm_events: sum(|r| r.storm_events),
+        outage_epochs: sum(|r| r.outage_epochs),
+        shed_rate: rate(failed),
+        hedge_rate: rate(hedges),
+        qos_p50: percentile(0.50),
+        qos_p99: percentile(0.99),
+        thermal_violations,
+        thermal_violation_rate: thermal_violations as f64
+            / (config.boards as f64 * config.epochs as f64),
+        peak_temp: outcomes.iter().map(|r| r.peak_temp).fold(AMBIENT, f64::max),
+        regions: outcomes,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{Benchmark, QosSpec, Workload};
+
+    fn small() -> EdgeConfig {
+        EdgeConfig {
+            boards: 32,
+            users: 2_000,
+            regions: 2,
+            racks_per_region: 2,
+            epochs: 16,
+            ..EdgeConfig::default()
+        }
+    }
+
+    #[test]
+    fn conserves_every_request_and_holds_invariants() {
+        let report = run(&small());
+        assert!(report.submitted > 0, "frontier generated nothing");
+        assert_eq!(report.replies + report.failed, report.submitted);
+        assert_eq!(report.generated, report.submitted + report.truncated);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.qos_p99 >= report.qos_p50);
+        // Every QoS delay includes at least one edge round trip.
+        assert!(report.qos_p50 >= report.regions[0].qos_p50.min(report.qos_p50));
+        let per_region: u64 = report.regions.iter().map(|r| r.submitted).sum();
+        assert_eq!(per_region, report.submitted);
+    }
+
+    #[test]
+    fn drivers_agree_and_budgets_are_invisible() {
+        let config = small();
+        let lockstep = run_with_driver(&config, SimDriver::Lockstep);
+        let event = run_with_driver(&config, SimDriver::EventDriven);
+        assert_eq!(lockstep, event, "edge drivers must agree");
+        let threaded = EdgeConfig {
+            budget: par::Budget::with_threads(4),
+            ..config
+        };
+        assert_eq!(
+            run_with_driver(&threaded, SimDriver::Lockstep),
+            lockstep,
+            "edge runs must be budget-invariant"
+        );
+    }
+
+    #[test]
+    fn seeds_are_reproducible_and_distinct() {
+        let config = small();
+        assert_eq!(run(&config), run(&config), "same seed must reproduce");
+        let reseeded = EdgeConfig {
+            seed: 1234,
+            ..config.clone()
+        };
+        assert_ne!(run(&config), run(&reseeded), "seeds must matter");
+    }
+
+    #[test]
+    fn flash_crowd_drives_thermal_violations() {
+        let config = EdgeConfig {
+            flash: Some(FlashCrowd {
+                region: 0,
+                multiplier: 8.0,
+            }),
+            ..small()
+        };
+        let report = run(&config);
+        assert!(
+            report.thermal_violations > 0,
+            "an 8x flash crowd must overheat boards"
+        );
+        assert!(report.peak_temp > THERMAL_LIMIT);
+        // The crowd hits region 0; the other region stays cooler.
+        assert!(report.regions[0].peak_temp > report.regions[1].peak_temp);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn backbone_outage_darkens_region_zero_only() {
+        let config = EdgeConfig {
+            outage: true,
+            ..small()
+        };
+        let report = run(&config);
+        assert!(report.outage_epochs > 0, "outage must darken epochs");
+        assert_eq!(report.regions[0].outage_epochs, report.outage_epochs);
+        assert_eq!(report.regions[1].outage_epochs, 0);
+        assert!(report.storm_events >= 2, "outage + restore events");
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_ne!(report, run(&small()), "the storm must change the run");
+    }
+
+    #[test]
+    fn replay_demand_drives_the_fleet() {
+        let workload = Workload::new(
+            (0..200)
+                .map(|i| workloads::ArrivalSpec {
+                    at: SimTime::from_millis(i * 7),
+                    benchmark: Benchmark::Adi,
+                    qos: QosSpec::FractionOfMaxBig(0.3),
+                    total_instructions: None,
+                })
+                .collect(),
+        );
+        let base = small();
+        let replay = workloads::replay::EpochReplay::new(&workload, base.epoch, base.epochs);
+        let expected = replay.total() as u64;
+        let config = EdgeConfig {
+            demand: Demand::Replay(replay),
+            ..base
+        };
+        let report = run(&config);
+        assert_eq!(report.generated, expected);
+        assert_eq!(report.replies + report.failed, report.submitted);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn network_delays_show_up_in_qos() {
+        let config = small();
+        let report = run(&config);
+        // QoS delay includes uplink + downlink: strictly more than two
+        // edge propagation latencies.
+        let floor = config.network.edge.latency * 2;
+        assert!(
+            report.qos_p50 > floor,
+            "p50 {} must exceed the network floor {floor}",
+            report.qos_p50
+        );
+    }
+}

@@ -75,7 +75,15 @@ impl CircuitBreaker {
 
     /// Records a successful use of the resource: resets the failure count
     /// and closes the breaker (a successful half-open probe closes it).
+    ///
+    /// A stale success arriving while the breaker is open — a request
+    /// that was already in flight when the trip happened — is ignored:
+    /// re-entry from open always goes through the half-open probe, never
+    /// straight to closed.
     pub fn record_success(&mut self) {
+        if self.state == BreakerState::Open {
+            return;
+        }
         self.consecutive_failures = 0;
         self.state = BreakerState::Closed;
     }
@@ -170,6 +178,25 @@ mod tests {
         breaker.record_success();
         breaker.record_failure();
         assert_eq!(breaker.state(), BreakerState::Closed, "count was reset");
+    }
+
+    #[test]
+    fn stale_success_while_open_does_not_close() {
+        // A request in flight when the breaker trips may still succeed;
+        // that success must not short-circuit the cooldown + probe.
+        let mut breaker = CircuitBreaker::new(1, 2);
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        breaker.record_success();
+        assert_eq!(breaker.state(), BreakerState::Open, "stale success ignored");
+        assert!(
+            !breaker.epoch_elapsed(),
+            "cooldown unchanged by the success"
+        );
+        assert!(breaker.epoch_elapsed());
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        breaker.record_success();
+        assert_eq!(breaker.state(), BreakerState::Closed, "probe closes");
     }
 
     #[test]

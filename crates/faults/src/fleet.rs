@@ -88,6 +88,18 @@ pub enum FleetFault {
     },
     /// The regional tier recovers its nominal latency.
     TierRecover,
+    /// Region `region` loses its backbone to the regional tier: every
+    /// rack in the region fails over straight to the CPU rung (the
+    /// regional service is unreachable, not failing).
+    RegionOutage {
+        /// Index of the darkened region.
+        region: usize,
+    },
+    /// Region `region`'s backbone is restored.
+    RegionRestore {
+        /// Index of the restored region.
+        region: usize,
+    },
 }
 
 /// A timed fleet fault: `fault` fires at the start of barrier `epoch`.
@@ -101,11 +113,9 @@ pub struct FleetFaultEvent {
 
 /// Splitmix64-style finalizer: hashes `(seed, index)` to a uniform u64.
 /// Pure per-index, so schedules never depend on evaluation order.
+/// Delegates to the workspace-shared finalizer in `sim_core::rng`.
 fn mix(seed: u64, index: u64) -> u64 {
-    let mut z = seed.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    sim_core::mix_indexed(seed, index)
 }
 
 /// Uniform draw in `[0, bound)` from the hash of `(seed, index)`.
@@ -372,6 +382,28 @@ impl StormBuilder {
         self
     }
 
+    /// Darkens region `region`'s backbone over `[at, at + restore_after)`:
+    /// a regional outage storm. While dark, the region's racks cannot
+    /// reach their regional tier and every failover lands on the CPU
+    /// rung.
+    pub fn region_outage(mut self, region: usize, at: u64, restore_after: u64) -> Self {
+        if at >= self.epochs {
+            return self;
+        }
+        self.events.push(FleetFaultEvent {
+            epoch: at,
+            fault: FleetFault::RegionOutage { region },
+        });
+        let restore = at + restore_after.max(1);
+        if restore < self.epochs {
+            self.events.push(FleetFaultEvent {
+                epoch: restore,
+                fault: FleetFault::RegionRestore { region },
+            });
+        }
+        self
+    }
+
     /// Slows the regional tier by `factor` over `[at, at + recover_after)`.
     pub fn slow_tier(mut self, factor: f64, at: u64, recover_after: u64) -> Self {
         if at >= self.epochs {
@@ -500,6 +532,28 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e.fault, FleetFault::BoardRejoin { .. })));
+    }
+
+    #[test]
+    fn region_outage_brackets_the_dark_span() {
+        let schedule = StormBuilder::new(4, 8, 40).region_outage(2, 10, 8).build();
+        let events: Vec<_> = schedule.events().to_vec();
+        assert!(events.contains(&FleetFaultEvent {
+            epoch: 10,
+            fault: FleetFault::RegionOutage { region: 2 },
+        }));
+        assert!(events.contains(&FleetFaultEvent {
+            epoch: 18,
+            fault: FleetFault::RegionRestore { region: 2 },
+        }));
+        // An outage running past the horizon never emits its restore.
+        let open = StormBuilder::new(4, 8, 40)
+            .region_outage(2, 35, 100)
+            .build();
+        assert!(!open
+            .events()
+            .iter()
+            .any(|e| matches!(e.fault, FleetFault::RegionRestore { .. })));
     }
 
     #[test]

@@ -56,17 +56,10 @@ impl RetryPolicy {
             Some(h) => clamped.max(h.as_secs_f64()),
             None => clamped,
         };
-        let jitter_unit = splitmix64(seed ^ u64::from(attempt)) as f64 / (u64::MAX as f64 + 1.0);
+        let jitter_unit =
+            sim_core::splitmix64(seed ^ u64::from(attempt)) as f64 / (u64::MAX as f64 + 1.0);
         SimDuration::from_secs_f64(floored + jitter_unit * (clamped / 4.0))
     }
-}
-
-/// SplitMix64 finalizer: one well-mixed output per distinct input.
-fn splitmix64(seed: u64) -> u64 {
-    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 #[cfg(test)]

@@ -77,6 +77,12 @@ pub struct TierConfig {
     pub breaker_threshold: u32,
     /// Cooldown (in barriers) of an open tier breaker.
     pub breaker_cooldown: u32,
+    /// Round-trip network penalty of reaching the regional tier (the
+    /// rack→regional backbone, modelled by the embedder). Added to every
+    /// regional completion; hedges and failovers that cannot beat their
+    /// deadline across this RTT are routed straight to the CPU rung.
+    /// Zero (the default) preserves the network-oblivious behaviour.
+    pub regional_rtt: SimDuration,
 }
 
 impl Default for TierConfig {
@@ -92,6 +98,7 @@ impl Default for TierConfig {
             hedge_window: 256,
             breaker_threshold: 3,
             breaker_cooldown: 4,
+            regional_rtt: SimDuration::ZERO,
         }
     }
 }
@@ -222,6 +229,11 @@ pub struct TierStats {
     pub hedges: u64,
     /// Hedges that won their race.
     pub hedge_wins: u64,
+    /// Hedges suppressed because the regional round trip could not beat
+    /// the deadline, or the regional tier was down (network-aware
+    /// feasibility; zero when [`TierConfig::regional_rtt`] is zero and
+    /// no outage is injected).
+    pub hedges_infeasible: u64,
     /// Heartbeats emitted by racks.
     pub heartbeats: u64,
     /// Racks declared suspected by the failure detector.
@@ -285,6 +297,9 @@ pub struct TieredService {
     macs: usize,
     /// Regional latency multiplier in thousandths (slow-tier fault).
     slow_milli: u32,
+    /// Regional outage fault: the backbone to the regional tier is cut,
+    /// so failovers and hedges go straight to the CPU rung.
+    regional_down: bool,
     /// Recent successful rack latencies, for the hedge quantile.
     latency_window: Vec<SimDuration>,
     pending: Vec<PendingRequest>,
@@ -337,6 +352,7 @@ impl TieredService {
             cpu: CpuInference::cortex_a73(),
             macs: mlp.macs(),
             slow_milli: 1000,
+            regional_down: false,
             latency_window: Vec::new(),
             pending: Vec::new(),
             outcomes: HashMap::new(),
@@ -441,6 +457,14 @@ impl TieredService {
         self.slow_milli = factor_milli.max(1);
     }
 
+    /// Cuts (or restores) the backbone to the regional tier, as during a
+    /// regional outage storm: while down, failovers and hedges skip the
+    /// regional rung and go straight to the CPU, without charging the
+    /// regional breaker (an unreachable tier is not a failing tier).
+    pub fn set_regional_down(&mut self, down: bool) {
+        self.regional_down = down;
+    }
+
     /// Puts `rack`'s tier breaker into half-open probation, as when its
     /// board rejoins after a crash.
     pub fn begin_rack_probation(&mut self, rack: usize, at: SimTime) {
@@ -499,12 +523,12 @@ impl TieredService {
                 // over without charging the tier breaker.
                 Err(_) => {
                     failed_over = true;
-                    self.regional_or_cpu()
+                    self.regional_or_cpu(now, opts.deadline)
                 }
             }
         } else {
             failed_over = true;
-            self.regional_or_cpu()
+            self.regional_or_cpu(now, opts.deadline)
         };
         if failed_over {
             self.stats.failovers += 1;
@@ -527,12 +551,25 @@ impl TieredService {
         Ok(TierTicket(id))
     }
 
-    fn regional_or_cpu(&self) -> Primary {
-        if self.regional_breaker.state() == BreakerState::Open {
-            Primary::Cpu
-        } else {
-            Primary::Regional
+    /// Failover target below the rack rung: the regional tier when it is
+    /// reachable and a completion can still cross the backbone before
+    /// the deadline, else the local CPU.
+    fn regional_or_cpu(&self, now: SimTime, deadline: Option<SimTime>) -> Primary {
+        if self.regional_down || self.regional_breaker.state() == BreakerState::Open {
+            return Primary::Cpu;
         }
+        let rtt = self.config.regional_rtt;
+        if !rtt.is_zero() {
+            if let Some(deadline) = deadline {
+                // Even a zero-service-time regional reply lands at
+                // `now + rtt`: past the deadline, the round trip is
+                // wasted work and the CPU rung is the only feasible one.
+                if now + rtt > deadline {
+                    return Primary::Cpu;
+                }
+            }
+        }
+        Primary::Regional
     }
 
     /// Redeems a ticket after a flush.
@@ -764,7 +801,24 @@ impl TieredService {
                         (None, _) => true,
                     };
                     if hedge_needed {
-                        if self.regional_breaker.state() != BreakerState::Open {
+                        let rtt = self.config.regional_rtt;
+                        // Network-aware hedge feasibility: a duplicate
+                        // that cannot cross the backbone and return
+                        // before the deadline (or reach a downed
+                        // regional tier at all) is never fired.
+                        let infeasible = self.regional_down
+                            || (!rtt.is_zero()
+                                && ladder
+                                    .pending
+                                    .deadline
+                                    .is_some_and(|deadline| hedge_at + rtt > deadline));
+                        if infeasible {
+                            self.stats.hedges_infeasible += 1;
+                            ladder.handover_at = match rack_failed_at {
+                                Some(at) => at.max(hedge_at),
+                                None => hedge_at,
+                            };
+                        } else if self.regional_breaker.state() != BreakerState::Open {
                             ladder.hedged = true;
                             ladder.handover_at = hedge_at;
                             self.stats.hedges += 1;
@@ -828,7 +882,11 @@ impl TieredService {
             let regional_reply: Option<(ClientReply, SimTime)> = regional.and_then(|ticket| {
                 match self.regional.take_outcome(ticket) {
                     Some(Ok(reply)) if reply.output.is_some() => {
-                        let latency = self.scale_regional(reply.latency);
+                        // The backbone round trip rides on every
+                        // regional completion, after the slow-tier
+                        // scaling (the RTT is wire time, not service
+                        // time).
+                        let latency = self.scale_regional(reply.latency) + self.config.regional_rtt;
                         let completed = regional_at + latency;
                         // A slow-tier-stretched completion past the
                         // deadline is a failure, never a late reply.
@@ -1199,6 +1257,128 @@ mod tests {
         assert_eq!(resolved, tickets.len());
         let stats = tier.stats();
         assert_eq!(stats.replies + stats.failed, tickets.len() as u64);
+    }
+
+    #[test]
+    fn regional_rtt_rides_on_regional_completions() {
+        let mlp = mlp();
+        let rtt = SimDuration::from_millis(8);
+        let run = |regional_rtt: SimDuration| {
+            let config = TierConfig {
+                regional_rtt,
+                ..TierConfig::default()
+            };
+            let mut tier = TieredService::new(&mlp, config);
+            tier.set_partitioned(0, true);
+            let ticket = tier
+                .submit(rows(&mlp, 1), SimTime::from_millis(1), submit_opts(0))
+                .unwrap();
+            tier.flush(SimTime::from_millis(500));
+            match tier.take_outcome(ticket).unwrap() {
+                TierOutcome::Reply(reply) => {
+                    assert_eq!(reply.served_by, ServedBy::Regional);
+                    reply.completed_at
+                }
+                TierOutcome::Failed(err) => panic!("unexpected failure: {err}"),
+            }
+        };
+        let plain = run(SimDuration::ZERO);
+        let delayed = run(rtt);
+        assert_eq!(delayed.since(plain), rtt);
+    }
+
+    #[test]
+    fn infeasible_backbone_deadline_fails_over_to_cpu_not_regional() {
+        let mlp = mlp();
+        let config = TierConfig {
+            regional_rtt: SimDuration::from_millis(250),
+            ..TierConfig::default()
+        };
+        let mut tier = TieredService::new(&mlp, config);
+        tier.set_partitioned(0, true);
+        let opts = TierSubmit {
+            rack: 0,
+            client: ClientId::new(1),
+            // Tighter than the backbone round trip: the regional rung
+            // cannot possibly answer in time, the CPU can.
+            deadline: Some(SimTime::from_millis(1) + SimDuration::from_millis(100)),
+        };
+        let ticket = tier
+            .submit(rows(&mlp, 1), SimTime::from_millis(1), opts)
+            .unwrap();
+        tier.flush(SimTime::from_millis(500));
+        match tier.take_outcome(ticket).unwrap() {
+            TierOutcome::Reply(reply) => {
+                assert_eq!(reply.served_by, ServedBy::LocalCpu);
+                assert!(reply.failed_over);
+            }
+            TierOutcome::Failed(err) => panic!("unexpected failure: {err}"),
+        }
+        // The regional tier never saw the request, so its breaker was
+        // not charged either way.
+        assert_eq!(tier.stats().regional_served, 0);
+    }
+
+    #[test]
+    fn network_infeasible_hedge_is_suppressed() {
+        let mlp = mlp();
+        // Zero hedge floor + empty window hedges every rack request —
+        // unless the backbone RTT makes the duplicate pointless.
+        let config = TierConfig {
+            hedge_min: SimDuration::ZERO,
+            regional_rtt: SimDuration::from_secs(1),
+            ..TierConfig::default()
+        };
+        let mut tier = TieredService::new(&mlp, config);
+        let opts = TierSubmit {
+            rack: 0,
+            client: ClientId::new(7),
+            deadline: Some(SimTime::from_millis(1) + SimDuration::from_millis(400)),
+        };
+        let ticket = tier
+            .submit(rows(&mlp, 1), SimTime::from_millis(1), opts)
+            .unwrap();
+        tier.flush(SimTime::from_millis(401));
+        assert_eq!(tier.stats().hedges, 0, "hedge cannot beat the deadline");
+        assert_eq!(tier.stats().hedges_infeasible, 1);
+        match tier.take_outcome(ticket).unwrap() {
+            TierOutcome::Reply(reply) => {
+                assert!(!reply.hedged);
+                assert_eq!(reply.served_by, ServedBy::Rack(0));
+            }
+            TierOutcome::Failed(err) => panic!("unexpected failure: {err}"),
+        }
+    }
+
+    #[test]
+    fn regional_outage_routes_failovers_to_cpu_and_heals() {
+        let mlp = mlp();
+        let mut tier = TieredService::new(&mlp, TierConfig::default());
+        tier.set_partitioned(0, true);
+        tier.set_regional_down(true);
+        let ticket = tier
+            .submit(rows(&mlp, 1), SimTime::from_millis(1), submit_opts(0))
+            .unwrap();
+        tier.flush(SimTime::from_millis(500));
+        match tier.take_outcome(ticket).unwrap() {
+            TierOutcome::Reply(reply) => assert_eq!(reply.served_by, ServedBy::LocalCpu),
+            TierOutcome::Failed(err) => panic!("unexpected failure: {err}"),
+        }
+        // An unreachable tier is not a failing tier: the breaker stayed
+        // closed, so the heal restores regional failover immediately.
+        assert_eq!(
+            tier.breaker_state(TierScope::Regional),
+            BreakerState::Closed
+        );
+        tier.set_regional_down(false);
+        let ticket = tier
+            .submit(rows(&mlp, 1), SimTime::from_millis(600), submit_opts(0))
+            .unwrap();
+        tier.flush(SimTime::from_millis(1100));
+        match tier.take_outcome(ticket).unwrap() {
+            TierOutcome::Reply(reply) => assert_eq!(reply.served_by, ServedBy::Regional),
+            TierOutcome::Failed(err) => panic!("unexpected failure: {err}"),
+        }
     }
 
     #[test]

@@ -67,12 +67,14 @@
 
 mod event;
 mod kernel;
+pub mod net;
 mod queue;
-mod rng;
+pub mod rng;
 mod sched;
 
 pub use event::{ComponentId, Event, EventId};
 pub use kernel::{Kernel, KernelStats};
+pub use net::{FifoLink, Link};
 pub use queue::{EventQueue, QueueStats};
-pub use rng::derive_rng;
+pub use rng::{derive_rng, mix64, mix_indexed, splitmix64, GOLDEN_GAMMA};
 pub use sched::Scheduler;

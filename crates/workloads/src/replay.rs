@@ -112,6 +112,80 @@ pub fn from_csv(csv: &str) -> Result<Workload, TypeError> {
     Ok(Workload::new(arrivals))
 }
 
+/// A recorded [`Workload`] rebucketed into fixed-length epochs for
+/// open-loop replay — the adapter the `edge-sim` request frontier uses to
+/// drive a fleet from a real trace instead of a synthetic rate model.
+///
+/// The trace is tiled across the replay horizon: a trace spanning `k`
+/// epochs repeats every `k` epochs (relative spacing preserved), so a
+/// short recording can drive an arbitrarily long simulation. Offsets
+/// within each bucket are sorted, making the replayed schedule a pure
+/// function of `(workload, epoch length)`.
+///
+/// # Examples
+///
+/// ```
+/// use hmc_types::SimDuration;
+/// use workloads::{replay::EpochReplay, Benchmark, QosSpec, Workload};
+///
+/// let w = Workload::single(Benchmark::Adi, QosSpec::FractionOfMaxBig(0.3));
+/// let replay = EpochReplay::new(&w, SimDuration::from_secs(1), 3);
+/// // A single arrival at t=0 tiles into every epoch.
+/// assert_eq!(replay.total(), 3);
+/// assert_eq!(replay.arrivals_in(2), &[SimDuration::ZERO]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EpochReplay {
+    /// Arrival offsets within each epoch, one bucket per epoch.
+    buckets: Vec<Vec<SimDuration>>,
+    total: usize,
+}
+
+impl EpochReplay {
+    /// Buckets `workload` into `epochs` epochs of length `epoch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epoch` is zero.
+    pub fn new(workload: &Workload, epoch: SimDuration, epochs: u64) -> Self {
+        assert!(!epoch.is_zero(), "replay epoch must be positive");
+        // Horizon of one tile: the trace span rounded up to whole
+        // epochs, never less than one epoch.
+        let span_epochs = (workload.last_arrival().as_nanos() / epoch.as_nanos()) + 1;
+        let mut buckets = vec![Vec::new(); epochs as usize];
+        let mut total = 0usize;
+        for arrival in workload {
+            let base_epoch = arrival.at.as_nanos() / epoch.as_nanos();
+            let offset = SimDuration::from_nanos(arrival.at.as_nanos() % epoch.as_nanos());
+            let mut at = base_epoch;
+            while at < epochs {
+                buckets[at as usize].push(offset);
+                total += 1;
+                at += span_epochs;
+            }
+        }
+        for bucket in &mut buckets {
+            bucket.sort();
+        }
+        EpochReplay { buckets, total }
+    }
+
+    /// Arrival offsets (within the epoch) of epoch `epoch`, sorted.
+    pub fn arrivals_in(&self, epoch: u64) -> &[SimDuration] {
+        &self.buckets[epoch as usize]
+    }
+
+    /// Number of epochs in the replay horizon.
+    pub fn epochs(&self) -> u64 {
+        self.buckets.len() as u64
+    }
+
+    /// Total replayed arrivals across the horizon.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +224,39 @@ mod tests {
         assert_eq!(arrivals[0].benchmark, Benchmark::Adi);
         assert_eq!(arrivals[1].total_instructions, Some(5_000_000_000));
         assert!(matches!(arrivals[2].qos, QosSpec::FractionOfMaxLittle(f) if f == 0.8));
+    }
+
+    #[test]
+    fn epoch_replay_tiles_and_preserves_spacing() {
+        use crate::ArrivalSpec;
+        let workload = Workload::new(vec![
+            ArrivalSpec {
+                at: SimTime::from_millis(100),
+                benchmark: Benchmark::Adi,
+                qos: QosSpec::FractionOfMaxBig(0.3),
+                total_instructions: None,
+            },
+            ArrivalSpec {
+                at: SimTime::from_millis(1_700),
+                benchmark: Benchmark::Canneal,
+                qos: QosSpec::FractionOfMaxBig(0.3),
+                total_instructions: None,
+            },
+        ]);
+        // Trace spans 2 epochs of 1 s; over 6 epochs it tiles 3 times.
+        let replay = EpochReplay::new(&workload, SimDuration::from_secs(1), 6);
+        assert_eq!(replay.total(), 6);
+        assert_eq!(replay.epochs(), 6);
+        for tile in 0..3u64 {
+            assert_eq!(
+                replay.arrivals_in(tile * 2),
+                &[SimDuration::from_millis(100)]
+            );
+            assert_eq!(
+                replay.arrivals_in(tile * 2 + 1),
+                &[SimDuration::from_millis(700)]
+            );
+        }
     }
 
     #[test]
