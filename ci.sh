@@ -64,12 +64,42 @@ grep -q '^summary,,dropped,0$' "$fleet_csv" || {
     echo "fleet gate: dropped requests" >&2; exit 1; }
 grep -q '^summary,,mismatches,0$' "$fleet_csv" || {
     echo "fleet gate: batched replies diverged from dedicated inference" >&2; exit 1; }
-awk -F, '$3 == "speedup_vs_serial" && $4 < 3.0 { exit 1 }' "$fleet_csv" || {
-    echo "fleet gate: batched speedup below 3x" >&2; exit 1; }
+awk -F, '$3 == "speedup_vs_serial" && $4 < 6.0 { exit 1 }' "$fleet_csv" || {
+    echo "fleet gate: batched speedup below 6x" >&2; exit 1; }
 diff "$fleet_csv" "$ckpt_tmp/fleet-b/fleet.csv" || {
     echo "fleet gate: CSV diverged between --threads 1 and --threads 4" >&2; exit 1; }
 gate_end "fleet gate"
 echo "fleet smoke + parallel-determinism gate passed"
+
+# Kernel gate: the vectorized int8 kernel, the scalar reference, and the
+# policy cache must be interchangeable byte-for-byte. Runs the
+# differential suite (scalar vs vectorized vs cached over randomized
+# shapes, scales, and rounding-boundary inputs), then forces a 1k-board
+# fleet smoke onto the scalar kernel and onto a cache-disabled service
+# and diffs the CSVs against the vectorized cached default.
+gate_begin
+cargo test -q -p nn kernel
+cargo test -q -p npu cache
+cargo test -q --test kernel_equivalence
+kern_args="--boards 1000 --epochs 20 --threads 4"
+# shellcheck disable=SC2086
+"$experiments" fleet $kern_args --out "$ckpt_tmp/kern-vec" >/dev/null 2>&1
+# shellcheck disable=SC2086
+"$experiments" fleet $kern_args --kernel scalar \
+    --out "$ckpt_tmp/kern-scalar" >/dev/null 2>&1
+diff "$ckpt_tmp/kern-vec/fleet.csv" "$ckpt_tmp/kern-scalar/fleet.csv" || {
+    echo "kernel gate: fleet CSV diverged between scalar and vectorized kernels" >&2; exit 1; }
+# shellcheck disable=SC2086
+"$experiments" fleet $kern_args --policy-cache 0 \
+    --out "$ckpt_tmp/kern-nocache" >/dev/null 2>&1
+awk -F, '$3 == "cache_hits" && $4 == 0 { exit 1 }' "$ckpt_tmp/kern-vec/fleet.csv" || {
+    echo "kernel gate: the default fleet run never hit the policy cache" >&2; exit 1; }
+grep -v '^summary,,cache_' "$ckpt_tmp/kern-vec/fleet.csv" > "$ckpt_tmp/kern-vec.stripped"
+grep -v '^summary,,cache_' "$ckpt_tmp/kern-nocache/fleet.csv" > "$ckpt_tmp/kern-nocache.stripped"
+diff "$ckpt_tmp/kern-vec.stripped" "$ckpt_tmp/kern-nocache.stripped" || {
+    echo "kernel gate: policy cache changed an output byte outside its counters" >&2; exit 1; }
+gate_end "kernel gate"
+echo "kernel gate passed (scalar == vectorized == cached, byte-for-byte)"
 
 # Overload gate: 10x open-loop traffic plus a fault storm. Admitted
 # requests must never miss a deadline, sheds must stay bounded (the pool

@@ -37,7 +37,8 @@ usage: experiments [--full] [--out <dir>] [--state <dir>] [--points <n>]
                    [--threads <n>] [--clients <n>] [--overload <x>] [--seed <n>]
                    [--users <n>] [--load <x>] [--replay <file>]
                    [--churn <period>] [--churn-down <epochs>]
-                   [--storm [preset]] [--driver <event|lockstep>] [COMMAND ...]
+                   [--storm [preset]] [--driver <event|lockstep>]
+                   [--kernel <scalar|vector>] [--policy-cache <n>] [COMMAND ...]
 
 Regenerates the paper's evaluation artifacts. Without a command (or with
 `all`) the whole suite runs. `--full` uses paper-scale parameters;
@@ -63,7 +64,11 @@ command produces the same bytes at every thread count — the budget
 changes wall time only. `--driver` selects the simulation loop of
 `fleet`, `overload`, `chaos` and `edge`: the `sim-core` event kernel
 (`event`, the default) or the fixed-barrier reference (`lockstep`); both
-produce identical bytes.
+produce identical bytes. `--kernel` selects the numeric inference kernel
+of the `fleet` experiment (`vector`, the default, or `scalar` — the
+reference loop) and `--policy-cache <n>` sizes its memoization cache
+(0 disables); both kernels and any cache size produce identical bytes —
+the kernel CI gate diffs them.
 
 `--help`, `-h`, `help` and `list` print this usage to stdout and exit 0.
 Unknown commands, unknown flags, and malformed flag values print this
@@ -183,6 +188,8 @@ fn main() {
     let mut storm = false;
     let mut storm_preset: Option<StormPreset> = None;
     let mut driver = SimDriver::EventDriven;
+    let mut kernel: Option<npu::KernelMode> = None;
+    let mut policy_cache: Option<usize> = None;
     let mut commands: Vec<&str> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -205,6 +212,14 @@ fn main() {
             "--replay" => replay = Some(PathBuf::from(flag_value(&args, &mut i, arg))),
             "--churn" => churn_period = Some(flag_number(&args, &mut i, arg)),
             "--churn-down" => churn_down = Some(flag_number(&args, &mut i, arg)),
+            "--kernel" => match npu::KernelMode::parse(flag_value(&args, &mut i, arg)) {
+                Some(mode) => kernel = Some(mode),
+                None => usage_error(&format!(
+                    "unknown --kernel `{}` (expected `scalar` or `vector`)",
+                    args[i]
+                )),
+            },
+            "--policy-cache" => policy_cache = Some(flag_number(&args, &mut i, arg)),
             "--driver" => match flag_value(&args, &mut i, arg) {
                 "event" => driver = SimDriver::EventDriven,
                 "lockstep" => driver = SimDriver::Lockstep,
@@ -388,14 +403,21 @@ fn main() {
                         down: churn_down.unwrap_or(2),
                     });
                 }
+                if let Some(mode) = kernel {
+                    config.kernel = mode;
+                }
+                if let Some(n) = policy_cache {
+                    config.policy_cache = n;
+                }
                 config.budget = budget;
                 eprintln!(
-                    "fleet: {} boards x {} epochs on {} device(s), {} thread(s), {:?} driver ...",
+                    "fleet: {} boards x {} epochs on {} device(s), {} thread(s), {:?} driver, {} kernel ...",
                     config.boards,
                     config.epochs,
                     config.devices,
                     config.budget.effective_threads(),
-                    driver
+                    driver,
+                    config.kernel.name()
                 );
                 let report = bench::fleet::run_driver(&config, driver);
                 eprintln!("{report}");

@@ -271,7 +271,7 @@ fn main() {
         workers: 2,
         seed: 3,
         budget: Budget::serial(),
-        churn: None,
+        ..FleetConfig::default()
     };
     let mut serial_csv = String::new();
     let fleet_serial_ns = median_ns(|| {

@@ -15,8 +15,8 @@ use std::time::Instant;
 
 use bench::fleet::{self, FleetConfig};
 use hikey_platform::SimDriver;
-use nn::{ForwardScratch, Matrix, Mlp};
-use npu::{NpuDevice, NpuModel};
+use nn::{ForwardScratch, KernelMode, Matrix, Mlp};
+use npu::{InferScratch, NpuDevice, NpuModel, PolicyCache};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -57,10 +57,13 @@ fn main() {
     let device = NpuDevice::kirin970();
 
     println!("{{");
-    println!("  \"note\": \"wall-clock ns serving 64 feature rows (21 features, 64x8 MLP), medians of {SAMPLES} samples; modeled_* are the virtual Kirin 970 device latencies that set the fleet speedup; sparse_fleet_* compare the lockstep and sim-core event drivers on an idle-heavy fleet — the visit reduction is the per-barrier coordination skipped, while wall time stays near parity because bit-identical thermal aggregates require replaying every platform tick\",");
+    println!("  \"note\": \"wall-clock ns serving 64 feature rows (21 features, 64x8 MLP), medians of {SAMPLES} samples, on the vectorized fused int8 kernel (int8_64rows_scalar_kernel_ns is the bit-identical scalar reference the differential gate diffs against; *_cached_ns is the policy-cache replay path); modeled_* are the virtual Kirin 970 device latencies that set the fleet speedup; sparse_fleet_* compare the lockstep and sim-core event drivers on an idle-heavy fleet — the visit reduction is the per-barrier coordination skipped, while wall time stays near parity because bit-identical thermal aggregates require replaying every platform tick\",");
 
-    // Numeric cost of serving 64 rows at each coalescing level.
+    // Numeric cost of serving 64 rows at each coalescing level, on the
+    // default (vectorized fused) kernel. Outputs are bit-identical to
+    // the scalar reference at every level.
     let mut scalar_ns = 0.0;
+    let mut batch64_ns = 0.0;
     for batch in [1usize, 4, 16, 64] {
         let chunk = feature_rows(batch);
         let calls = ROWS / batch;
@@ -72,8 +75,27 @@ fn main() {
         if batch == 1 {
             scalar_ns = ns;
         }
+        if batch == 64 {
+            batch64_ns = ns;
+        }
         println!("  \"int8_64rows_batch{batch}_ns\": {ns:.0},");
+        println!(
+            "  \"int8_64rows_batch{batch}_per_row_ns\": {:.0},",
+            ns / ROWS as f64
+        );
     }
+
+    // The same 64-row batch on the scalar reference kernel: the gap is
+    // the vectorization win the kernel gate protects.
+    let chunk64 = feature_rows(ROWS);
+    let scalar_kernel_ns = median_ns(200, || {
+        black_box(model.infer_with(black_box(&chunk64), KernelMode::Scalar));
+    });
+    println!("  \"int8_64rows_scalar_kernel_ns\": {scalar_kernel_ns:.0},");
+    println!(
+        "  \"kernel_speedup_vs_scalar\": {:.2},",
+        scalar_kernel_ns / batch64_ns
+    );
 
     let stacked = feature_rows(ROWS);
     let groups = vec![1usize; ROWS];
@@ -84,6 +106,34 @@ fn main() {
     println!(
         "  \"numeric_speedup_grouped_vs_scalar\": {:.2},",
         scalar_ns / grouped_ns
+    );
+
+    // The steady-state cached service path: 64 one-row requests that all
+    // hit the policy cache (quantize + probe + replay, no kernel work).
+    let rows: Vec<Matrix> = (0..ROWS).map(|_| feature_rows(1)).collect();
+    let mut cache = PolicyCache::new(128);
+    let mut iscratch = InferScratch::new();
+    let mut q = Vec::new();
+    let cached_ns = median_ns(200, || {
+        for row in &rows {
+            let scale = model.quantize_input(row.as_slice(), &mut q);
+            let out = match cache.probe(&q, scale, 1) {
+                Some(out) => out.to_vec(),
+                None => {
+                    let out = model
+                        .infer_prequant(&q, scale, 1, KernelMode::Vectorized, &mut iscratch)
+                        .to_vec();
+                    cache.insert(&q, scale, 1, &out);
+                    out
+                }
+            };
+            black_box(out);
+        }
+    });
+    println!("  \"int8_64rows_grouped_cached_ns\": {cached_ns:.0},");
+    println!(
+        "  \"cache_hit_speedup_vs_grouped\": {:.2},",
+        grouped_ns / cached_ns
     );
 
     let row: Vec<f32> = (0..21).map(|c| c as f32 / 21.0 - 0.5).collect();
@@ -131,6 +181,7 @@ fn main() {
         seed: 5,
         budget: par::Budget::serial(),
         churn: None,
+        ..FleetConfig::default()
     };
     let (_, kernel) = fleet::run_event_with_stats(&model, &sparse);
     // Interleave the drivers within each sample pair so host-load noise

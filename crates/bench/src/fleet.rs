@@ -38,7 +38,7 @@ use checkpoint::CheckpointStore;
 use faults::{FleetFault, FleetSchedule, StormBuilder};
 use hikey_platform::{default_placement, Platform, PlatformConfig, SimDriver};
 use hmc_types::{SimDuration, SimTime};
-use npu::{NpuDevice, NpuModel};
+use npu::{KernelMode, NpuDevice, NpuModel};
 use npu_serve::{NpuService, RequestTicket, ServeConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -75,6 +75,15 @@ pub struct FleetConfig {
     /// Seeded board churn: boards crash, drain and later rejoin on a
     /// fixed cadence (see [`ChurnSpec`]). `None` runs a stable fleet.
     pub churn: Option<ChurnSpec>,
+    /// Numeric inference kernel of the shared service. Both modes are
+    /// bit-identical, so the report and CSV do not depend on this; the
+    /// kernel CI gate diffs a scalar-forced run against the default to
+    /// prove it.
+    pub kernel: KernelMode,
+    /// Capacity of the service's policy-output cache (0 disables it).
+    /// The cache replays numeric outputs for repeated quantized feature
+    /// vectors; simulated device time and batching are unaffected.
+    pub policy_cache: usize,
 }
 
 /// Periodic crash/rejoin churn injected into a fleet run.
@@ -106,6 +115,8 @@ impl Default for FleetConfig {
             seed: 7,
             budget: par::Budget::serial(),
             churn: None,
+            kernel: KernelMode::default(),
+            policy_cache: 1024,
         }
     }
 }
@@ -178,6 +189,10 @@ pub struct FleetReport {
     pub mismatches: u64,
     /// `QueueSaturated` events the service emitted.
     pub saturation_events: u64,
+    /// Policy-cache hits across the run (0 when the cache is disabled).
+    pub cache_hits: u64,
+    /// Policy-cache misses across the run (0 when the cache is disabled).
+    pub cache_misses: u64,
     /// Timed fleet-fault events in the churn schedule (zero without
     /// churn).
     pub churn_events: u64,
@@ -218,6 +233,15 @@ impl fmt::Display for FleetReport {
             self.throughput_rps,
             self.mismatches
         )?;
+        if self.cache_hits + self.cache_misses > 0 {
+            writeln!(
+                f,
+                "  policy cache: {} hits / {} probes ({:.1}% hit rate)",
+                self.cache_hits,
+                self.cache_hits + self.cache_misses,
+                100.0 * self.cache_hits as f64 / (self.cache_hits + self.cache_misses) as f64
+            )?;
+        }
         writeln!(f, "  batch-size histogram:")?;
         for (n, &count) in self.batch_histogram.iter().enumerate() {
             if count > 0 {
@@ -356,6 +380,8 @@ fn serve_config(config: &FleetConfig) -> ServeConfig {
         // Admit at least one pending request per board so a full fleet
         // wave is never bounced.
         queue_capacity: config.boards.max(ServeConfig::default().queue_capacity),
+        kernel: config.kernel,
+        policy_cache: config.policy_cache,
         ..ServeConfig::default()
     }
 }
@@ -736,6 +762,8 @@ fn finalize(
         },
         mismatches,
         saturation_events,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
         churn_events,
         reassigned_inflight,
         checkpoint_restores,
@@ -1144,7 +1172,7 @@ mod tests {
             workers: 2,
             seed: 3,
             budget: par::Budget::serial(),
-            churn: None,
+            ..FleetConfig::default()
         }
     }
 

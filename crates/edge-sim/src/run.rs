@@ -707,6 +707,10 @@ fn simulate_region(
             workers: 4,
             max_batch: 32,
             queue_capacity: 512,
+            // Replays repeated quantized feature vectors; outputs are
+            // bit-identical with the cache on or off, so the CSV and
+            // checker artifacts do not depend on this.
+            policy_cache: 512,
             ..ServeConfig::default()
         },
         regional_serve: ServeConfig {
@@ -714,6 +718,7 @@ fn simulate_region(
             workers: 8,
             max_batch: 64,
             queue_capacity: 2_048,
+            policy_cache: 2_048,
             ..ServeConfig::default()
         },
         hedge_min: EDGE_HEDGE_MIN,

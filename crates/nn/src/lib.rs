@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod adam;
+pub mod kernel;
 mod matrix;
 mod mlp;
 pub mod nas;
@@ -41,6 +42,7 @@ mod standardize;
 mod train;
 
 pub use adam::Adam;
+pub use kernel::KernelMode;
 pub use matrix::Matrix;
 pub use mlp::{ForwardScratch, Gradients, Mlp};
 pub use resume::{

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use hmc_types::SimDuration;
+use npu::KernelMode;
 
 use crate::limiter::RateLimit;
 use crate::retry::RetryPolicy;
@@ -59,6 +60,14 @@ pub struct ServeConfig {
     /// may delay its payload's readiness at most this long while holding
     /// a queue slot.
     pub max_hold: SimDuration,
+    /// Numeric inference kernel used for NPU-path batches. Both modes are
+    /// bit-identical; `Scalar` forces the reference loop for differential
+    /// runs.
+    pub kernel: KernelMode,
+    /// Capacity of the policy-output cache keyed on the quantized feature
+    /// vector. Zero disables the cache. The cache replays numeric outputs
+    /// only — simulated device time, occupancy and batching are untouched.
+    pub policy_cache: usize,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +92,8 @@ impl Default for ServeConfig {
             // even an empty queue.
             deadline_margin: SimDuration::from_millis(4),
             max_hold: SimDuration::from_millis(50),
+            kernel: KernelMode::default(),
+            policy_cache: 0,
         }
     }
 }

@@ -6,7 +6,9 @@ use std::collections::HashMap;
 use faults::{BreakerState, CircuitBreaker, FaultInjector, ServeFault};
 use hmc_types::{SimDuration, SimTime};
 use nn::{Matrix, Mlp};
-use npu::{CpuInference, NpuDevice, NpuModel, Occupancy};
+use npu::{
+    CacheStats, CpuInference, InferScratch, KernelMode, NpuDevice, NpuModel, Occupancy, PolicyCache,
+};
 use topil::{ClientJob, ClientReply, InferenceBackend};
 use trace::{FaultKind, TraceBackend, TraceEvent};
 
@@ -78,6 +80,29 @@ struct EpochMark {
     expired: u64,
     attempts: u64,
     busy: SimDuration,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Outcome of probing the policy cache for one request group. Probes run
+/// sequentially in dispatch order *before* the worker pool computes, so
+/// hit/miss counters never depend on thread scheduling.
+#[derive(Debug, Clone)]
+enum GroupProbe {
+    /// The quantized codes were resident: the output is replayed and the
+    /// kernel is skipped for this group.
+    Hit(Vec<f32>),
+    /// The codes were absent: the worker computes from the prequantized
+    /// input and the result is inserted afterwards.
+    Miss { q: Vec<i8>, scale: f32 },
+}
+
+/// Cache probes of one batch plan; empty when the cache is disabled or
+/// the plan runs on the CPU-fallback (float) path, which bypasses the
+/// int8 cache entirely.
+#[derive(Debug, Clone, Default)]
+struct PlanProbe {
+    groups: Vec<GroupProbe>,
 }
 
 /// The shared NPU inference service.
@@ -121,6 +146,10 @@ pub struct NpuService {
     mark: EpochMark,
     clock: SimTime,
     next_id: u64,
+    /// Policy-output cache over quantized feature groups (`None` when
+    /// [`ServeConfig::policy_cache`] is zero). Replays numeric outputs
+    /// only; device timing and occupancy are charged as if computed.
+    cache: Option<PolicyCache>,
 }
 
 impl NpuService {
@@ -167,6 +196,7 @@ impl NpuService {
             mark: EpochMark::default(),
             clock: SimTime::ZERO,
             next_id: 0,
+            cache: (config.policy_cache > 0).then(|| PolicyCache::new(config.policy_cache)),
             config,
         })
     }
@@ -223,6 +253,11 @@ impl NpuService {
     /// Per-device busy time accumulated so far, by pool index.
     pub fn device_busy_times(&self) -> Vec<SimDuration> {
         self.lanes.iter().map(|l| l.occupancy.busy_time()).collect()
+    }
+
+    /// Counters of the policy-output cache, `None` when it is disabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
     }
 
     /// Drains the trace events accumulated since the last drain, in
@@ -466,7 +501,17 @@ impl NpuService {
             served: self.stats.served - self.mark.served,
             shed: shed_delta,
             expired: self.stats.expired - self.mark.expired,
+            cache_hits: self.stats.cache_hits - self.mark.cache_hits,
+            cache_misses: self.stats.cache_misses - self.mark.cache_misses,
         };
+        if let Some(cache) = &self.cache {
+            self.events.push(TraceEvent::CacheReport {
+                at: now,
+                hits: snapshot.cache_hits,
+                misses: snapshot.cache_misses,
+                entries: cache.len() as u64,
+            });
+        }
         self.mark = EpochMark {
             at: now,
             admitted: self.stats.submitted,
@@ -475,6 +520,8 @@ impl NpuService {
             expired: self.stats.expired,
             attempts,
             busy,
+            cache_hits: self.stats.cache_hits,
+            cache_misses: self.stats.cache_misses,
         };
         snapshot
     }
@@ -795,15 +842,55 @@ impl NpuService {
 
     /// Computes every in-flight batch on the worker pool and files the
     /// per-request replies. Join order is dispatch order, so results are
-    /// deterministic regardless of worker interleaving.
+    /// deterministic regardless of worker interleaving; cache probes and
+    /// inserts are sequential passes around the parallel compute, so the
+    /// hit/miss counters are also schedule-independent.
     fn drain_compute(&mut self) {
         if self.inflight.is_empty() {
             return;
         }
         let plans = std::mem::take(&mut self.inflight);
-        let outputs = compute_outputs(&self.model, &self.mlp, &plans, self.config.workers);
-        for (plan, output) in plans.into_iter().zip(outputs) {
+        let probes: Vec<PlanProbe> = {
+            let model = &self.model;
+            match self.cache.as_mut() {
+                Some(cache) => plans.iter().map(|p| probe_plan(model, cache, p)).collect(),
+                None => plans.iter().map(|_| PlanProbe::default()).collect(),
+            }
+        };
+        let outputs = compute_outputs(
+            &self.model,
+            &self.mlp,
+            &plans,
+            &probes,
+            self.config.kernel,
+            self.config.workers,
+        );
+        for ((plan, probe), output) in plans.into_iter().zip(probes).zip(outputs) {
+            self.absorb_probe(&plan, probe, &output);
             self.file_replies(plan, output);
+        }
+    }
+
+    /// Counts this plan's probes and inserts the freshly computed miss
+    /// outputs, in dispatch order.
+    fn absorb_probe(&mut self, plan: &BatchPlan, probe: PlanProbe, output: &Matrix) {
+        if probe.groups.is_empty() {
+            return;
+        }
+        let cache = self.cache.as_mut().expect("probed plans imply a cache");
+        let cols = output.cols();
+        let mut start_row = 0usize;
+        for (request, group) in plan.requests.iter().zip(probe.groups) {
+            let n = request.rows.rows();
+            match group {
+                GroupProbe::Hit(_) => self.stats.cache_hits += 1,
+                GroupProbe::Miss { q, scale } => {
+                    self.stats.cache_misses += 1;
+                    let out = &output.as_slice()[start_row * cols..(start_row + n) * cols];
+                    cache.insert(&q, scale, n, out);
+                }
+            }
+            start_row += n;
         }
     }
 
@@ -866,34 +953,67 @@ impl NpuService {
     }
 }
 
+/// Quantizes every group of `plan` and probes the cache sequentially, in
+/// dispatch order. CPU-fallback plans use the float path and bypass the
+/// int8 cache (empty probe).
+fn probe_plan(model: &NpuModel, cache: &mut PolicyCache, plan: &BatchPlan) -> PlanProbe {
+    if plan.fallback.is_some() {
+        return PlanProbe::default();
+    }
+    let mut q = Vec::new();
+    let groups = plan
+        .requests
+        .iter()
+        .map(|request| {
+            let rows = request.rows.rows();
+            let scale = model.quantize_input(request.rows.as_slice(), &mut q);
+            match cache.probe(&q, scale, rows) {
+                Some(out) => GroupProbe::Hit(out.to_vec()),
+                None => GroupProbe::Miss {
+                    q: std::mem::take(&mut q),
+                    scale,
+                },
+            }
+        })
+        .collect();
+    PlanProbe { groups }
+}
+
 /// Runs the numeric inference for `plans` on a pool of std worker
 /// threads. Plan `i` is handled by worker `i % workers`; results are
 /// re-assembled by index, so the output order never depends on thread
-/// scheduling.
+/// scheduling. Each worker reuses one [`InferScratch`] across its plans.
 fn compute_outputs(
     model: &NpuModel,
     mlp: &Mlp,
     plans: &[BatchPlan],
+    probes: &[PlanProbe],
+    kernel: KernelMode,
     workers: usize,
 ) -> Vec<Matrix> {
     let n = plans.len();
     let workers = workers.min(n).max(1);
     let mut outputs: Vec<Option<Matrix>> = vec![None; n];
     if workers == 1 {
-        for (slot, plan) in outputs.iter_mut().zip(plans) {
-            *slot = Some(run_plan(model, mlp, plan));
+        let mut scratch = InferScratch::new();
+        for ((slot, plan), probe) in outputs.iter_mut().zip(plans).zip(probes) {
+            *slot = Some(run_plan(model, mlp, plan, probe, kernel, &mut scratch));
         }
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     scope.spawn(move || {
+                        let mut scratch = InferScratch::new();
                         plans
                             .iter()
+                            .zip(probes)
                             .enumerate()
                             .skip(w)
                             .step_by(workers)
-                            .map(|(i, plan)| (i, run_plan(model, mlp, plan)))
+                            .map(|(i, (plan, probe))| {
+                                (i, run_plan(model, mlp, plan, probe, kernel, &mut scratch))
+                            })
                             .collect::<Vec<_>>()
                     })
                 })
@@ -914,21 +1034,47 @@ fn compute_outputs(
 /// Executes one batch: int8 grouped inference on the NPU path (one
 /// quantization group per request, bit-identical to dedicated issuance),
 /// float inference on the CPU-fallback path (mirroring the dedicated
-/// client's fallback substrate).
-fn run_plan(model: &NpuModel, mlp: &Mlp, plan: &BatchPlan) -> Matrix {
+/// client's fallback substrate). With a non-empty probe, cache hits are
+/// replayed and only misses run the kernel — from prequantized codes, so
+/// quantization is never done twice.
+fn run_plan(
+    model: &NpuModel,
+    mlp: &Mlp,
+    plan: &BatchPlan,
+    probe: &PlanProbe,
+    kernel: KernelMode,
+    scratch: &mut InferScratch,
+) -> Matrix {
     let cols = plan.requests[0].rows.cols();
     let total_rows: usize = plan.requests.iter().map(|r| r.rows.rows()).sum();
-    let mut flat = Vec::with_capacity(total_rows * cols);
-    for request in &plan.requests {
-        flat.extend_from_slice(request.rows.as_slice());
-    }
-    let stacked = Matrix::from_flat(total_rows, cols, flat);
     if plan.fallback.is_some() {
-        mlp.forward_batch(&stacked)
-    } else {
-        let groups: Vec<usize> = plan.requests.iter().map(|r| r.rows.rows()).collect();
-        model.infer_grouped(&stacked, &groups)
+        let mut flat = Vec::with_capacity(total_rows * cols);
+        for request in &plan.requests {
+            flat.extend_from_slice(request.rows.as_slice());
+        }
+        return mlp.forward_batch(&Matrix::from_flat(total_rows, cols, flat));
     }
+    if probe.groups.is_empty() {
+        let mut flat = Vec::with_capacity(total_rows * cols);
+        for request in &plan.requests {
+            flat.extend_from_slice(request.rows.as_slice());
+        }
+        let stacked = Matrix::from_flat(total_rows, cols, flat);
+        let groups: Vec<usize> = plan.requests.iter().map(|r| r.rows.rows()).collect();
+        return model.infer_grouped_with(&stacked, &groups, kernel);
+    }
+    let out_cols = model.output_size();
+    let mut flat = Vec::with_capacity(total_rows * out_cols);
+    for (request, group) in plan.requests.iter().zip(&probe.groups) {
+        match group {
+            GroupProbe::Hit(out) => flat.extend_from_slice(out),
+            GroupProbe::Miss { q, scale } => {
+                let rows = request.rows.rows();
+                flat.extend_from_slice(model.infer_prequant(q, *scale, rows, kernel, scratch));
+            }
+        }
+    }
+    Matrix::from_flat(total_rows, out_cols, flat)
 }
 
 #[cfg(test)]
@@ -1422,5 +1568,67 @@ mod tests {
         assert_eq!(next.admitted, 0);
         assert_eq!(next.shed, 0);
         assert!((next.utilization - 0.0).abs() < 1e-9);
+    }
+
+    /// Regression guard for the policy cache's one safety property: a
+    /// cache hit replays the numeric output and NOTHING else. Timing,
+    /// fault-injector RNG draws, occupancy, breaker state and every
+    /// reply byte must be identical whether the cache is off, warm, or
+    /// running on the scalar kernel — only the hit/miss counters may
+    /// move. A cache that skipped a device dispatch (and with it an RNG
+    /// draw) would desynchronize the fault stream and fail this test on
+    /// the first divergent slowdown.
+    #[test]
+    fn cache_hits_do_not_advance_rng_occupancy_or_timing() {
+        let net = mlp();
+        let run = |policy_cache: usize, kernel: KernelMode| {
+            let mut plan = FaultPlan::none(17);
+            plan.serve.slowdown_rate = 0.4;
+            plan.serve.slowdown_factor = 3.0;
+            plan.serve.failure_rate = 0.15;
+            let config = ServeConfig {
+                devices: 2,
+                max_batch: 4,
+                policy_cache,
+                kernel,
+                ..ServeConfig::default()
+            };
+            let mut service =
+                NpuService::new(&net, config).with_fault_injector(FaultInjector::new(plan));
+            let mut replies = Vec::new();
+            for step in 0..24usize {
+                // A pool of three recurring feature vectors: every
+                // revisit after the first probe is a cache hit.
+                let t = service
+                    .submit(&request(step % 3, 1 + step % 2), ms(step as u64))
+                    .unwrap();
+                service.flush(ms(step as u64));
+                replies.push(service.take_reply(t).unwrap());
+            }
+            let busy = service.device_busy_times();
+            let stats = service.stats().clone();
+            (replies, busy, stats)
+        };
+        let (cold, cold_busy, cold_stats) = run(0, KernelMode::Vectorized);
+        let (warm, warm_busy, warm_stats) = run(64, KernelMode::Vectorized);
+        let (scalar, scalar_busy, scalar_stats) = run(64, KernelMode::Scalar);
+
+        assert_eq!(cold, warm, "cache hits changed a reply");
+        assert_eq!(cold, scalar, "kernel choice changed a reply");
+        assert_eq!(cold_busy, warm_busy, "cache hits changed occupancy");
+        assert_eq!(cold_busy, scalar_busy, "kernel choice changed occupancy");
+
+        // The warm run actually exercised the cache...
+        assert_eq!(cold_stats.cache_hits + cold_stats.cache_misses, 0);
+        assert!(warm_stats.cache_hits > 0, "recurring requests must hit");
+        assert_eq!(warm_stats, scalar_stats, "counters are kernel-invariant");
+        // ...and the hit/miss counters are the ONLY stats that moved.
+        let neutral = |s: &ServeStats| {
+            let mut s = s.clone();
+            s.cache_hits = 0;
+            s.cache_misses = 0;
+            s
+        };
+        assert_eq!(neutral(&cold_stats), neutral(&warm_stats));
     }
 }

@@ -36,6 +36,13 @@ pub struct ServeStats {
     pub cpu_fallback_batches: u64,
     /// Batches whose device attempt failed (re-served on the CPU).
     pub failed_batches: u64,
+    /// Policy-cache hits: request groups whose quantized feature vector
+    /// was resident, replayed without numeric compute. Zero when the
+    /// cache is disabled.
+    pub cache_hits: u64,
+    /// Policy-cache misses: request groups that went through the kernel.
+    /// Zero when the cache is disabled.
+    pub cache_misses: u64,
     /// Per-request end-to-end latencies (submit → completion), in
     /// nanoseconds, in completion order.
     latencies_ns: Vec<u64>,
@@ -143,6 +150,22 @@ pub struct MetricsSnapshot {
     pub shed: u64,
     /// Requests failed fast on deadline this epoch.
     pub expired: u64,
+    /// Policy-cache hits this epoch (zero when the cache is disabled).
+    pub cache_hits: u64,
+    /// Policy-cache misses this epoch (zero when the cache is disabled).
+    pub cache_misses: u64,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of cache probes this epoch that hit; 0.0 when the cache
+    /// is disabled or nothing was probed.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let probes = self.cache_hits + self.cache_misses;
+        if probes == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / probes as f64
+    }
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 
 use faults::{FaultInjector, FaultStats, NpuFault};
 use hmc_types::{SimDuration, SimTime};
+use nn::kernel::KernelMode;
 use nn::{Matrix, Mlp};
 
 use crate::{NpuDevice, NpuError, NpuModel};
@@ -111,6 +112,9 @@ pub struct HiaiClient {
     resets: u64,
     /// Lifecycle log of resolved jobs (`None` = logging disabled).
     job_log: Option<Vec<JobRecord>>,
+    /// Numeric kernel running the submitted batches (bit-identical either
+    /// way; selectable for differential testing).
+    kernel: KernelMode,
 }
 
 impl HiaiClient {
@@ -125,6 +129,7 @@ impl HiaiClient {
             device_lost: false,
             resets: 0,
             job_log: None,
+            kernel: KernelMode::default(),
         }
     }
 
@@ -132,6 +137,20 @@ impl HiaiClient {
     pub fn with_injector(mut self, injector: FaultInjector) -> Self {
         self.injector = Some(injector);
         self
+    }
+
+    /// Selects the numeric kernel executing submitted batches. Outputs
+    /// are bit-identical across modes; `Scalar` forces the reference
+    /// loop for differential runs (e.g. `experiments fleet --kernel
+    /// scalar`).
+    pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The numeric kernel this client runs.
+    pub fn kernel(&self) -> KernelMode {
+        self.kernel
     }
 
     /// Enables the per-job lifecycle log. Callers are expected to drain it
@@ -237,7 +256,7 @@ impl HiaiClient {
         }
 
         let job = CompletedJob {
-            output: self.model.infer(batch),
+            output: self.model.infer_with(batch, self.kernel),
             latency,
             host_cpu_time,
         };

@@ -38,14 +38,17 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod ddk;
 mod device;
 mod error;
 mod model;
 mod quant;
 
+pub use cache::{CacheStats, PolicyCache};
 pub use ddk::{CompletedJob, CpuInference, HiaiClient, JobHandle, JobRecord, JobStatus};
 pub use device::{NpuDevice, Occupancy};
 pub use error::NpuError;
-pub use model::NpuModel;
+pub use model::{InferScratch, NpuModel};
+pub use nn::kernel::KernelMode;
 pub use quant::QuantizedTensor;

@@ -1,9 +1,32 @@
 //! The "compiled" NPU model: int8 weights executed in integer arithmetic.
 
+use nn::kernel::{self, KernelMode};
 use nn::{Matrix, Mlp};
 use serde::{Deserialize, Serialize};
 
 use crate::QuantizedTensor;
+
+/// Reusable buffers for the fused inference path: quantized activations
+/// and the two activation planes swapped between layers. Create one per
+/// worker and reuse it across calls; every buffer sizes itself on first
+/// use and is recycled afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct InferScratch {
+    /// First-layer quantized input (kept intact across the forward pass —
+    /// it doubles as the policy-cache key material).
+    q0: Vec<i8>,
+    /// Per-layer quantized activations.
+    q: Vec<i8>,
+    cur: Vec<f32>,
+    next: Vec<f32>,
+}
+
+impl InferScratch {
+    /// Empty scratch buffers; they size themselves on first use.
+    pub fn new() -> Self {
+        InferScratch::default()
+    }
+}
 
 /// One compiled layer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -93,18 +116,119 @@ impl NpuModel {
         self.layers.iter().map(|l| l.weights.len()).sum()
     }
 
-    /// Runs int8 batch inference. Each row of `x` is one sample.
+    /// Runs int8 batch inference with the default (vectorized) kernel.
+    /// Each row of `x` is one sample.
     ///
     /// # Panics
     ///
     /// Panics if the input width does not match.
     pub fn infer(&self, x: &Matrix) -> Matrix {
+        self.infer_with(x, KernelMode::default())
+    }
+
+    /// Runs int8 batch inference with an explicit kernel selection.
+    ///
+    /// Both modes are bit-identical (`tests/kernel_equivalence.rs` holds
+    /// them equal); `Scalar` routes through the original triple-loop
+    /// reference, kept alive as the executable specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width does not match.
+    pub fn infer_with(&self, x: &Matrix, mode: KernelMode) -> Matrix {
+        match mode {
+            KernelMode::Scalar => self.infer_reference(x),
+            KernelMode::Vectorized => {
+                assert_eq!(x.cols(), self.input_size, "input width mismatch");
+                let mut scratch = InferScratch::new();
+                let scale = kernel::quantize_sym(x.as_slice(), &mut scratch.q0);
+                let q0 = std::mem::take(&mut scratch.q0);
+                let out = self
+                    .infer_prequant(&q0, scale, x.rows(), mode, &mut scratch)
+                    .to_vec();
+                Matrix::from_flat(x.rows(), self.output_size, out)
+            }
+        }
+    }
+
+    /// The scalar reference: the naive per-layer loop the vectorized
+    /// kernel is differentially tested against. One `i32` accumulator per
+    /// output, products added in input order, whole-batch activation
+    /// quantization per layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width does not match.
+    pub fn infer_reference(&self, x: &Matrix) -> Matrix {
         assert_eq!(x.cols(), self.input_size, "input width mismatch");
         let mut activations = x.clone();
         for layer in &self.layers {
             activations = Self::infer_layer(layer, &activations);
         }
         activations
+    }
+
+    /// Quantizes a stacked group of feature rows exactly as the first
+    /// inference layer would — the int8 row + scale pair is both the fast
+    /// path's input and the policy-cache key material.
+    pub fn quantize_input(&self, flat: &[f32], q: &mut Vec<i8>) -> f32 {
+        kernel::quantize_sym(flat, q)
+    }
+
+    /// Runs the fused forward for one group whose first-layer input is
+    /// already quantized (`q0` with scale `scale0`, `rows × input_size`).
+    ///
+    /// Returns the output activations (`rows × output_size`) borrowed from
+    /// the scratch buffer. The output is a pure function of
+    /// `(q0, scale0, rows)` — the invariant that makes the policy cache
+    /// sound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q0` does not cover `rows` input rows.
+    pub fn infer_prequant<'a>(
+        &self,
+        q0: &[i8],
+        scale0: f32,
+        rows: usize,
+        mode: KernelMode,
+        scratch: &'a mut InferScratch,
+    ) -> &'a [f32] {
+        assert_eq!(q0.len(), rows * self.input_size, "input shape mismatch");
+        let (first, rest) = self
+            .layers
+            .split_first()
+            .expect("compiled model has layers");
+        kernel::fused_layer_prequant(
+            mode,
+            q0,
+            scale0,
+            rows,
+            first.n_in,
+            first.weights.values(),
+            first.weights.scale(),
+            first.n_out,
+            &first.bias,
+            first.relu,
+            &mut scratch.cur,
+        );
+        for layer in rest {
+            kernel::fused_layer(
+                mode,
+                &scratch.cur,
+                rows,
+                layer.n_in,
+                layer.weights.values(),
+                layer.weights.scale(),
+                layer.n_out,
+                &layer.bias,
+                layer.relu,
+                &mut scratch.q,
+                &mut scratch.next,
+            );
+            std::mem::swap(&mut scratch.cur, &mut scratch.next);
+        }
+        &scratch.cur
     }
 
     /// Runs int8 inference over a batch that coalesces several independent
@@ -124,6 +248,21 @@ impl NpuModel {
     /// Panics if the input width does not match or the group sizes do not
     /// sum to the number of rows.
     pub fn infer_grouped(&self, x: &Matrix, group_rows: &[usize]) -> Matrix {
+        self.infer_grouped_with(x, group_rows, KernelMode::default())
+    }
+
+    /// [`NpuModel::infer_grouped`] with an explicit kernel selection.
+    ///
+    /// The vectorized path slices each group out of the stacked input and
+    /// runs the fused kernel over reused scratch buffers — no per-group
+    /// matrix allocations; the scalar path keeps the original
+    /// allocate-per-group reference loop alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width does not match or the group sizes do not
+    /// sum to the number of rows.
+    pub fn infer_grouped_with(&self, x: &Matrix, group_rows: &[usize], mode: KernelMode) -> Matrix {
         assert_eq!(x.cols(), self.input_size, "input width mismatch");
         assert_eq!(
             group_rows.iter().sum::<usize>(),
@@ -131,16 +270,31 @@ impl NpuModel {
             "group sizes must cover the batch"
         );
         let mut out = Matrix::zeros(x.rows(), self.output_size);
+        let mut scratch = InferScratch::new();
+        let mut q0 = Vec::new();
         let mut start = 0usize;
         for &rows in group_rows {
             if rows == 0 {
                 continue;
             }
             let flat = &x.as_slice()[start * self.input_size..(start + rows) * self.input_size];
-            let group = Matrix::from_flat(rows, self.input_size, flat.to_vec());
-            let result = self.infer(&group);
-            for r in 0..rows {
-                out.row_mut(start + r).copy_from_slice(result.row(r));
+            match mode {
+                KernelMode::Scalar => {
+                    let group = Matrix::from_flat(rows, self.input_size, flat.to_vec());
+                    let result = self.infer_reference(&group);
+                    for r in 0..rows {
+                        out.row_mut(start + r).copy_from_slice(result.row(r));
+                    }
+                }
+                KernelMode::Vectorized => {
+                    let scale = kernel::quantize_sym(flat, &mut q0);
+                    let result = self.infer_prequant(&q0, scale, rows, mode, &mut scratch);
+                    for r in 0..rows {
+                        out.row_mut(start + r).copy_from_slice(
+                            &result[r * self.output_size..(r + 1) * self.output_size],
+                        );
+                    }
+                }
             }
             start += rows;
         }
@@ -289,5 +443,61 @@ mod tests {
     fn grouped_inference_validates_group_sizes() {
         let c = NpuModel::compile(&mlp());
         let _ = c.infer_grouped(&Matrix::zeros(4, 21), &[2, 1]);
+    }
+
+    fn feature_batch(rows: usize, seed: usize) -> Matrix {
+        Matrix::from_rows(
+            (0..rows)
+                .map(|r| {
+                    (0..21)
+                        .map(|c| ((seed * 29 + r * 7 + c * 3) % 19) as f32 / 19.0 - 0.5)
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn vectorized_infer_is_bit_identical_to_reference() {
+        let c = NpuModel::compile(&mlp());
+        for rows in [1, 2, 5, 16] {
+            let batch = feature_batch(rows, rows);
+            let reference = c.infer_reference(&batch);
+            let vectorized = c.infer_with(&batch, KernelMode::Vectorized);
+            assert_eq!(reference, vectorized, "batch of {rows}");
+            assert_eq!(c.infer(&batch), reference, "default mode, batch of {rows}");
+        }
+    }
+
+    #[test]
+    fn grouped_modes_are_bit_identical() {
+        let c = NpuModel::compile(&mlp());
+        let batch = feature_batch(9, 4);
+        for groups in [vec![9], vec![1; 9], vec![2, 3, 4], vec![4, 0, 5]] {
+            let scalar = c.infer_grouped_with(&batch, &groups, KernelMode::Scalar);
+            let vectorized = c.infer_grouped_with(&batch, &groups, KernelMode::Vectorized);
+            assert_eq!(scalar, vectorized, "groups {groups:?}");
+        }
+    }
+
+    #[test]
+    fn prequant_path_matches_grouped_inference() {
+        let c = NpuModel::compile(&mlp());
+        let batch = feature_batch(3, 7);
+        let grouped = c.infer_grouped(&batch, &[3]);
+        let mut q0 = Vec::new();
+        let scale = c.quantize_input(batch.as_slice(), &mut q0);
+        let mut scratch = InferScratch::new();
+        let out = c
+            .infer_prequant(&q0, scale, 3, KernelMode::Vectorized, &mut scratch)
+            .to_vec();
+        assert_eq!(grouped.as_slice(), &out[..]);
+        // Scratch reuse across calls must not leak state between groups.
+        let other = feature_batch(2, 12);
+        let scale2 = c.quantize_input(other.as_slice(), &mut q0);
+        let out2 = c
+            .infer_prequant(&q0, scale2, 2, KernelMode::Vectorized, &mut scratch)
+            .to_vec();
+        assert_eq!(c.infer_grouped(&other, &[2]).as_slice(), &out2[..]);
     }
 }

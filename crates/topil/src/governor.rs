@@ -132,6 +132,14 @@ impl TopIlGovernor {
         self
     }
 
+    /// Selects the numeric inference kernel (bit-identical outputs;
+    /// `Scalar` forces the reference loop so golden traces can be
+    /// re-verified against both paths).
+    pub fn with_kernel(mut self, kernel: npu::KernelMode) -> Self {
+        self.migration = self.migration.with_kernel(kernel);
+        self
+    }
+
     /// The accumulated run-time statistics.
     pub fn stats(&self) -> GovernorStats {
         self.stats

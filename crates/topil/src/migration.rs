@@ -460,6 +460,14 @@ impl MigrationPolicy {
         self
     }
 
+    /// Selects the numeric kernel of the dedicated NPU client — outputs
+    /// are bit-identical across modes; `Scalar` forces the reference loop
+    /// for differential runs (golden-trace re-verification).
+    pub fn with_kernel(mut self, kernel: npu::KernelMode) -> Self {
+        self.dedicated.client = self.dedicated.client.with_kernel(kernel);
+        self
+    }
+
     /// Overrides the degradation-ladder configuration. Resets the circuit
     /// breaker.
     pub fn with_robustness(mut self, config: RobustnessConfig) -> Self {

@@ -224,6 +224,8 @@ pub enum EventKind {
     DeadlineMiss,
     /// A client scheduled a classified retry with jittered backoff.
     RetryScheduled,
+    /// A periodic policy-output cache report from the shared NPU service.
+    CacheReport,
 }
 
 impl EventKind {
@@ -249,6 +251,7 @@ impl EventKind {
             EventKind::RequestShed => "request_shed",
             EventKind::DeadlineMiss => "deadline_miss",
             EventKind::RetryScheduled => "retry_scheduled",
+            EventKind::CacheReport => "cache_report",
         }
     }
 }
@@ -506,6 +509,21 @@ pub enum TraceEvent {
         /// The backoff before the resubmission.
         backoff: SimDuration,
     },
+    /// Periodic policy-output cache counters from the shared NPU service
+    /// (deltas since the previous report). The cache replays memoized
+    /// numeric results for repeated quantized feature vectors; it never
+    /// changes simulated device time, so these counters are identical
+    /// across kernel modes and worker counts.
+    CacheReport {
+        /// Report instant (metrics epoch boundary).
+        at: SimTime,
+        /// Cache hits since the previous report.
+        hits: u64,
+        /// Cache misses since the previous report.
+        misses: u64,
+        /// Resident entries at the report instant.
+        entries: u64,
+    },
 }
 
 impl TraceEvent {
@@ -530,7 +548,8 @@ impl TraceEvent {
             | TraceEvent::RequestAdmitted { at, .. }
             | TraceEvent::RequestShed { at, .. }
             | TraceEvent::DeadlineMiss { at, .. }
-            | TraceEvent::RetryScheduled { at, .. } => at,
+            | TraceEvent::RetryScheduled { at, .. }
+            | TraceEvent::CacheReport { at, .. } => at,
         }
     }
 
@@ -556,6 +575,7 @@ impl TraceEvent {
             TraceEvent::RequestShed { .. } => EventKind::RequestShed,
             TraceEvent::DeadlineMiss { .. } => EventKind::DeadlineMiss,
             TraceEvent::RetryScheduled { .. } => EventKind::RetryScheduled,
+            TraceEvent::CacheReport { .. } => EventKind::CacheReport,
         }
     }
 
@@ -779,6 +799,18 @@ impl TraceEvent {
                 h.write_u64(client);
                 h.write_u64(attempt as u64);
                 h.write_u64(backoff.as_nanos());
+            }
+            TraceEvent::CacheReport {
+                at,
+                hits,
+                misses,
+                entries,
+            } => {
+                h.write_u8(19);
+                h.write_u64(at.as_nanos());
+                h.write_u64(hits);
+                h.write_u64(misses);
+                h.write_u64(entries);
             }
         }
     }

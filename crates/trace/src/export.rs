@@ -249,6 +249,17 @@ fn json_event(e: &TraceEvent, out: &mut String) {
                 backoff.as_nanos()
             );
         }
+        TraceEvent::CacheReport {
+            hits,
+            misses,
+            entries,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"hits\":{hits},\"misses\":{misses},\"entries\":{entries}"
+            );
+        }
     }
     out.push('}');
 }
@@ -484,6 +495,16 @@ fn csv_row(e: &TraceEvent, out: &mut String) {
             row.app = client.to_string();
             row.a = attempt.to_string();
             row.b = backoff.as_nanos().to_string();
+        }
+        TraceEvent::CacheReport {
+            hits,
+            misses,
+            entries,
+            ..
+        } => {
+            row.a = hits.to_string();
+            row.b = misses.to_string();
+            row.lf = entries.to_string();
         }
     }
     let _ = write!(

@@ -101,7 +101,7 @@ fn equivalence_fleet_reports_and_csv() {
         workers: 2,
         seed: 11,
         budget: par::Budget::serial(),
-        churn: None,
+        ..FleetConfig::default()
     };
     let lockstep = fleet::run_with_model_driver(&model, &config, SimDriver::Lockstep);
     let event = fleet::run_with_model_driver(&model, &config, SimDriver::EventDriven);
@@ -131,7 +131,7 @@ fn sparse_fleet_skips_idle_barriers() {
         workers: 2,
         seed: 5,
         budget: par::Budget::serial(),
-        churn: None,
+        ..FleetConfig::default()
     };
     let lockstep = fleet::run_with_model_driver(&model, &config, SimDriver::Lockstep);
     let (event, kernel) = fleet::run_event_with_stats(&model, &config);

@@ -59,3 +59,30 @@ fn golden_trace_oracle() {
         Simulator::new(golden_sim()).run(&golden_workload(), &mut governor)
     });
 }
+
+/// Kernel differential: the TOP-IL fixture run repeated with the scalar
+/// reference kernel forced must produce the identical FNV-64 trace
+/// stream — every decision, logit and migration bit-for-bit. A kernel
+/// change that drifts outputs fails here, with a first-divergence diff,
+/// instead of surfacing as an opaque hash mismatch in the ci.sh edge
+/// gate.
+#[test]
+fn golden_trace_topil_is_kernel_invariant() {
+    let model = quick_model(0);
+    let run = |kernel: top_il::npu::KernelMode| {
+        let mut governor = TopIlGovernor::new(model.clone()).with_kernel(kernel);
+        Simulator::new(golden_sim()).run(&golden_workload(), &mut governor)
+    };
+    let vectorized = run(top_il::npu::KernelMode::Vectorized);
+    let scalar = run(top_il::npu::KernelMode::Scalar);
+    let vec_log = vectorized.events.as_ref().expect("tracing enabled");
+    let sca_log = scalar.events.as_ref().expect("tracing enabled");
+    assert_eq!(vec_log.emitted, sca_log.emitted, "event counts diverged");
+    if vec_log.hash != sca_log.hash {
+        let diff = top_il::trace::TraceDiff::new(vec_log, sca_log);
+        panic!(
+            "scalar and vectorized kernels produced different traces:\n{}",
+            diff.report()
+        );
+    }
+}

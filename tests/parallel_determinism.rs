@@ -180,7 +180,7 @@ fn fleet_csv_is_bit_identical_across_budgets() {
         workers: 2,
         seed: 3,
         budget: Budget::serial(),
-        churn: None,
+        ..bench::fleet::FleetConfig::default()
     };
     let reference = bench::fleet::run_with_model(&model, &config);
     assert_eq!(reference.mismatches, 0);

@@ -22,6 +22,16 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// Units processed per iteration; enables per-element reporting
+/// (mirrors criterion's `Throughput`).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (rows, items) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
 /// Top-level benchmark driver.
 #[derive(Debug, Default)]
 pub struct Criterion {
@@ -34,6 +44,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.to_string(),
             samples: 10,
+            throughput: None,
         }
     }
 }
@@ -43,12 +54,20 @@ impl Criterion {
 pub struct BenchmarkGroup {
     name: String,
     samples: usize,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup {
     /// Set how many timed samples each benchmark records.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.samples = n.max(1);
+        self
+    }
+
+    /// Declare the units one iteration processes; subsequent benchmarks
+    /// additionally print a per-unit figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
         self
     }
 
@@ -65,9 +84,19 @@ impl BenchmarkGroup {
         };
         f(&mut bencher);
         let (min, mean) = bencher.stats();
+        let per_unit = match self.throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) if n > 0 => {
+                let unit = match self.throughput {
+                    Some(Throughput::Bytes(_)) => "byte",
+                    _ => "elem",
+                };
+                format!(", {:.1} ns/{}", mean.as_secs_f64() * 1e9 / n as f64, unit)
+            }
+            _ => String::new(),
+        };
         println!(
-            "{}/{}: min {:?}, mean {:?} ({} samples)",
-            self.name, id, min, mean, self.samples
+            "{}/{}: min {:?}, mean {:?}{} ({} samples)",
+            self.name, id, min, mean, per_unit, self.samples
         );
         self
     }
